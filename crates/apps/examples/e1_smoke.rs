@@ -1,0 +1,24 @@
+//! Developer harness: verify selected E1 properties by name and print the
+//! paper's measurement columns. Used for quick performance triage:
+//! `cargo run --release -p wave-apps --example e1_smoke -- P5 P7`.
+
+use wave_apps::e1;
+use wave_core::Verifier;
+
+fn main() {
+    let suite = e1::suite();
+    let verifier = Verifier::new(suite.spec.clone()).unwrap();
+    for name in std::env::args().skip(1) {
+        let case = suite.properties.iter().find(|p| p.name == name).unwrap();
+        let t = std::time::Instant::now();
+        match verifier.check_str(&case.text) {
+            Ok(v) => println!(
+                "{}: measured={:?} expected={} complete={} time={:?} run_len={} trie={} configs={} cores={} asg={}",
+                name,
+                match v.verdict { wave_core::Verdict::Holds => "true", wave_core::Verdict::Violated(_) => "false", _ => "unknown" },
+                case.holds, v.complete, t.elapsed(), v.stats.max_run_len, v.stats.max_trie, v.stats.configs, v.stats.cores, v.stats.assignments,
+            ),
+            Err(e) => println!("{name}: ERROR {e}"),
+        }
+    }
+}

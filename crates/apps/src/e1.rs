@@ -1,0 +1,291 @@
+//! E1 — the online computer shopping application (the paper's running
+//! example and first experimental setup), with the 17-property suite of
+//! the Section 5 results table.
+//!
+//! The specification lives in `specs/e1_shop.wave`; page `LSP` is
+//! transliterated from the paper's Example 2.1 verbatim. Properties cover
+//! all ten property types T1–T10 with the truth values of the paper's E1
+//! table (which properties hold and which fail).
+
+use crate::suite::{AppSuite, PropCase, PropType};
+use wave_spec::{parse_spec, Spec};
+
+/// DSL source of the E1 specification.
+pub const E1_SOURCE: &str = include_str!("../specs/e1_shop.wave");
+
+/// Parse the E1 specification.
+pub fn spec() -> Spec {
+    parse_spec(E1_SOURCE).expect("E1 spec parses")
+}
+
+/// The 17-property suite of the paper's E1 experiment.
+pub fn properties() -> Vec<PropCase> {
+    vec![
+        PropCase {
+            name: "P1",
+            ptype: PropType::Guarantee,
+            holds: true,
+            text: "F @HP".into(),
+            comment: "The home page is eventually reached in all runs — the \
+                      paper's minimum yardstick (it is the start page, so \
+                      pseudoruns of length 1 suffice).",
+        },
+        PropCase {
+            name: "P2",
+            ptype: PropType::Response,
+            holds: true,
+            text: r#"button("register") -> F @RP"#.into(),
+            comment: "Clicking register on the first page leads to the \
+                      registration page.",
+        },
+        PropCase {
+            name: "P3",
+            ptype: PropType::Response,
+            holds: false,
+            text: r#"button("help") -> F @CP"#.into(),
+            comment: "Asking for help does not guarantee ever reaching the \
+                      customer page (the user may never log in).",
+        },
+        PropCase {
+            name: "P4",
+            ptype: PropType::Invariance,
+            holds: true,
+            text: p4_successor_uniqueness(),
+            comment: "At each step there can be no two distinct successor \
+                      pages: per page, the next page is among its declared \
+                      successors. Chosen (like the paper's P4) for its size, \
+                      to study the impact of the property automaton.",
+        },
+        PropCase {
+            name: "P5",
+            ptype: PropType::Sequence,
+            holds: true,
+            text: r#"forall pid, category, pname, ram, hdd, display, price:
+                (@UPP & button("submit") & cart(pid, price)
+                 & products(pid, category, pname, ram, hdd, display, price))
+                B conf(pid, category, pname, ram, hdd, display, price)"#
+                .into(),
+            comment: "Property (1) of the paper: any confirmed product was \
+                      previously (or simultaneously) paid for, in the right \
+                      amount, from the cart.",
+        },
+        PropCase {
+            name: "P6",
+            ptype: PropType::StrongNonProgress,
+            holds: false,
+            text: "F (G @HP)".into(),
+            comment: "Not every run eventually stays home forever.",
+        },
+        PropCase {
+            name: "P7",
+            ptype: PropType::Sequence,
+            holds: true,
+            text: r#"forall oid, owner, pid, price, status:
+                orders_db(oid, owner, pid, price, "ordered")
+                B (@CCP & orderpick(oid, pid, price, status))"#
+                .into(),
+            comment: "The paper's P7: an order must have status \"ordered\" \
+                      before it can be cancelled (the cancel pick is recorded \
+                      in the orderpick state, read on page CCP).",
+        },
+        PropCase {
+            name: "P8",
+            ptype: PropType::Guarantee,
+            holds: false,
+            text: "F @CP".into(),
+            comment: "Not every run logs in.",
+        },
+        PropCase {
+            name: "P9",
+            ptype: PropType::Session,
+            holds: true,
+            text: "(G (@EP -> (exists x: button(x))))
+                   -> G (G (!@EP) | F (@EP & F @HP))"
+                .into(),
+            comment: "The paper's P9: if the user always clicks a link on \
+                      the error page, then whenever EP is reached, HP is \
+                      eventually reached as well (EP's only link leads home).",
+        },
+        PropCase {
+            name: "P10",
+            ptype: PropType::WeakNonProgress,
+            holds: true,
+            text: "G (helpseen() -> X helpseen())".into(),
+            comment: "The helpseen flag is never retracted once set.",
+        },
+        PropCase {
+            name: "P11",
+            ptype: PropType::Session,
+            holds: false,
+            text: "(G (exists x: button(x))) -> F @CP".into(),
+            comment: "Always clicking something does not force a login \
+                      (the user may lack valid credentials).",
+        },
+        PropCase {
+            name: "P12",
+            ptype: PropType::Correlation,
+            holds: true,
+            text: "forall pid, price: (F cart(pid, price)) -> F pick(pid, price)"
+                .into(),
+            comment: "The paper's P12: a product ends up in the cart only if \
+                      the user picked it from the product list.",
+        },
+        PropCase {
+            name: "P13",
+            ptype: PropType::Correlation,
+            holds: false,
+            text: "forall pid, price: (F pick(pid, price)) -> F cart(pid, price)"
+                .into(),
+            comment: "Picking a product does not imply adding it to the cart.",
+        },
+        PropCase {
+            name: "P14",
+            ptype: PropType::Correlation,
+            holds: false,
+            // note: `exists o: cancelnotice(o)` would fall outside the
+            // input-bounded fragment (an existential must be guarded by an
+            // input atom); universal parameters keep verification complete
+            text: "forall o, p: (F cancelnotice(o)) -> F ship(o, p)".into(),
+            comment: "A cancelled order need not ever be shipped.",
+        },
+        PropCase {
+            name: "P15",
+            ptype: PropType::StrongNonProgress,
+            holds: false,
+            text: "F (G @EP)".into(),
+            comment: "The paper's P15: every run reaches the error page and \
+                      is trapped there forever — fortunately false.",
+        },
+        PropCase {
+            name: "P16",
+            ptype: PropType::Recurrence,
+            holds: false,
+            text: "G (F @HP)".into(),
+            comment: "Runs need not return home infinitely often (the user \
+                      can idle on the customer page forever).",
+        },
+        PropCase {
+            name: "P17",
+            ptype: PropType::Reachability,
+            holds: false,
+            text: "(G @HP) | (F @CP)".into(),
+            comment: "Runs may leave the home page without ever logging in.",
+        },
+    ]
+}
+
+/// P4: for every page, the next page is among its declared successors
+/// (12+ `G`/`X` operator pairs, mirroring the paper's large-automaton
+/// property). Staying put is always possible (no-transition semantics).
+fn p4_successor_uniqueness() -> String {
+    let succ: &[(&str, &[&str])] = &[
+        ("HP", &["CP", "EP", "RP", "HLP", "ABP"]),
+        ("RP", &["RCP", "HP"]),
+        ("RCP", &["HP"]),
+        ("HLP", &["HP"]),
+        ("ABP", &["HP"]),
+        ("CP", &["LSP", "DSP", "CC", "MYP", "LOP"]),
+        ("LSP", &["HP", "PIP", "CC"]),
+        ("DSP", &["HP", "PIP", "CC"]),
+        ("PIP", &["CC", "CP", "PDP"]),
+        ("PDP", &["PIP"]),
+        ("CC", &["SHP", "CP", "HP"]),
+        ("SHP", &["UPP", "CC"]),
+        ("UPP", &["OCP", "CC"]),
+        ("OCP", &["CP", "HP"]),
+        ("MYP", &["OSP", "CCP", "CP"]),
+        ("OSP", &["MYP"]),
+        ("CCP", &["MYP"]),
+        ("LOP", &["HP"]),
+        ("EP", &["HP"]),
+    ];
+    let parts: Vec<String> = succ
+        .iter()
+        .map(|(page, nexts)| {
+            let mut alts: Vec<String> = vec![format!("@{page}")];
+            alts.extend(nexts.iter().map(|n| format!("@{n}")));
+            format!("G (@{page} -> X ({}))", alts.join(" | "))
+        })
+        .collect();
+    parts.join(" & ")
+}
+
+/// The full E1 suite.
+pub fn suite() -> AppSuite {
+    AppSuite { name: "E1 computer shopping", spec: spec(), properties: properties() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_and_validates() {
+        let s = spec();
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
+    }
+
+    #[test]
+    fn spec_matches_the_papers_inventory() {
+        let s = spec();
+        assert_eq!(s.pages.len(), 19, "paper: 19 page schemas");
+        let mut db_arities: Vec<usize> = s.database.iter().map(|&(_, a)| a).collect();
+        db_arities.sort_unstable();
+        assert_eq!(db_arities, vec![2, 3, 5, 7], "paper: 4 database relations");
+        assert_eq!(s.states.len(), 10, "paper: 10 state relations");
+        assert_eq!(
+            s.inputs.iter().filter(|i| !i.constant).count(),
+            6,
+            "paper: 6 input relations"
+        );
+        assert_eq!(s.actions.len(), 5, "paper: 5 action relations");
+        let consts = s.all_constants();
+        assert!(
+            (25..=31).contains(&consts.len()),
+            "paper: 29 constants; ours: {} ({consts:?})",
+            consts.len()
+        );
+    }
+
+    #[test]
+    fn spec_is_input_bounded() {
+        let compiled = wave_spec::CompiledSpec::compile(spec()).unwrap();
+        assert!(compiled.is_input_bounded(), "{:?}", compiled.ib_report);
+    }
+
+    #[test]
+    fn lsp_page_matches_the_paper() {
+        let s = spec();
+        let lsp = s.page("LSP").unwrap();
+        assert_eq!(lsp.option_rules.len(), 2);
+        assert!(lsp.inputs.contains(&"button".to_string()));
+        assert!(lsp.inputs.contains(&"laptopsearch".to_string()));
+        // the three buttons of Example 2.1
+        let buttons = lsp.option_rules.iter().find(|r| r.input == "button").unwrap();
+        let text = buttons.body.to_string();
+        for b in ["search", "view_cart", "logout"] {
+            assert!(text.contains(b), "{text}");
+        }
+        assert_eq!(lsp.target_rules.len(), 3);
+    }
+
+    #[test]
+    fn all_property_texts_parse() {
+        for p in properties() {
+            let parsed = wave_ltl::parse_property(&p.text);
+            assert!(parsed.is_ok(), "{}: {:?}", p.name, parsed.err());
+        }
+    }
+
+    #[test]
+    fn suite_covers_all_ten_types() {
+        let props = properties();
+        for t in PropType::ALL {
+            assert!(
+                props.iter().any(|p| p.ptype == t),
+                "no property of type {t:?}"
+            );
+        }
+        assert_eq!(props.len(), 17, "paper: 17 properties for E1");
+    }
+}

@@ -1,0 +1,163 @@
+//! E2 — the Motorcycle Grand Prix sports site (the paper's second
+//! experimental setup): 15 pages, 7 database relations, no state or action
+//! relations. Thirteen properties covering all ten property types, as the
+//! paper reports ("We verified 13 properties on this specification, again
+//! covering all types").
+
+use crate::suite::{AppSuite, PropCase, PropType};
+use wave_spec::{parse_spec, Spec};
+
+/// DSL source of the E2 specification.
+pub const E2_SOURCE: &str = include_str!("../specs/e2_motogp.wave");
+
+/// Parse the E2 specification.
+pub fn spec() -> Spec {
+    parse_spec(E2_SOURCE).expect("E2 spec parses")
+}
+
+/// The 13-property suite for E2.
+pub fn properties() -> Vec<PropCase> {
+    vec![
+        PropCase {
+            name: "Q1",
+            ptype: PropType::Guarantee,
+            holds: true,
+            text: "F @HP".into(),
+            comment: "The home page is eventually reached in all runs.",
+        },
+        PropCase {
+            name: "Q2",
+            ptype: PropType::Sequence,
+            holds: true,
+            text: r#"((@GP & clickbutton("circuits"))
+                     | (@GDP & (exists cid: pick_circuit(cid)))) B @CDP"#
+                .into(),
+            comment: "The paper's illustrated E2 property: if the circuit \
+                      detail page is reached, the grand prix page with the \
+                      circuits button, or the grand prix detail page with a \
+                      circuit pick, must have come first.",
+        },
+        PropCase {
+            name: "Q3",
+            ptype: PropType::Invariance,
+            holds: true,
+            text: "G (@HP -> X (@HP | @TLP | @PLP | @GP | @NLP | @SMP))".into(),
+            comment: "From home, only the five sections (or staying) follow.",
+        },
+        PropCase {
+            name: "Q4",
+            ptype: PropType::Response,
+            holds: false,
+            text: r#"clickbutton("teams") -> F @TDP"#.into(),
+            comment: "Listing the teams does not force viewing any detail.",
+        },
+        PropCase {
+            name: "Q5",
+            ptype: PropType::Correlation,
+            holds: true,
+            text: "(F @TDP) -> F (exists t: pick_team(t))".into(),
+            comment: "The team detail page is reachable only by picking a \
+                      team from the list.",
+        },
+        PropCase {
+            name: "Q6",
+            ptype: PropType::Correlation,
+            holds: false,
+            text: "(F @TLP) -> F @PLP".into(),
+            comment: "Browsing teams does not imply browsing pilots.",
+        },
+        PropCase {
+            name: "Q7",
+            ptype: PropType::Session,
+            holds: true,
+            text: "(G (exists x: clickbutton(x))) -> G (@NDP -> F @NLP)".into(),
+            comment: "If the user always clicks a link, every news detail \
+                      view returns to the news list (its only link).",
+        },
+        PropCase {
+            name: "Q8",
+            ptype: PropType::Session,
+            holds: false,
+            text: "(G (exists x: clickbutton(x))) -> F @RSP".into(),
+            comment: "Always clicking does not force visiting the results.",
+        },
+        PropCase {
+            name: "Q9",
+            ptype: PropType::Reachability,
+            holds: false,
+            text: "(G @HP) | (F @SMP)".into(),
+            comment: "Runs may leave home and never open the site map.",
+        },
+        PropCase {
+            name: "Q10",
+            ptype: PropType::Recurrence,
+            holds: false,
+            text: "G (F @HP)".into(),
+            comment: "Runs need not return home infinitely often.",
+        },
+        PropCase {
+            name: "Q11",
+            ptype: PropType::StrongNonProgress,
+            holds: false,
+            text: "F (G @NLP)".into(),
+            comment: "No run is forced to settle on the news list forever.",
+        },
+        PropCase {
+            name: "Q12",
+            ptype: PropType::WeakNonProgress,
+            holds: true,
+            text: r#"G (news("n1", "headline") -> X news("n1", "headline"))"#.into(),
+            comment: "The database is fixed during a run: a news fact never \
+                      disappears.",
+        },
+        PropCase {
+            name: "Q13",
+            ptype: PropType::Guarantee,
+            holds: false,
+            text: "F @GDP".into(),
+            comment: "Not every run opens a grand prix detail page.",
+        },
+    ]
+}
+
+/// The full E2 suite.
+pub fn suite() -> AppSuite {
+    AppSuite { name: "E2 MotoGP browsing", spec: spec(), properties: properties() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_the_papers_inventory() {
+        let s = spec();
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
+        assert_eq!(s.pages.len(), 15, "paper: 15 page schemas");
+        assert_eq!(s.database.len(), 7, "paper: 7 database relations");
+        assert!(s.states.is_empty(), "paper: no state relations");
+        assert!(s.actions.is_empty(), "paper: no action relations");
+    }
+
+    #[test]
+    fn spec_is_input_bounded() {
+        let compiled = wave_spec::CompiledSpec::compile(spec()).unwrap();
+        assert!(compiled.is_input_bounded(), "{:?}", compiled.ib_report);
+    }
+
+    #[test]
+    fn all_properties_parse_and_cover_all_types() {
+        let props = properties();
+        assert_eq!(props.len(), 13, "paper: 13 properties for E2");
+        for p in &props {
+            assert!(
+                wave_ltl::parse_property(&p.text).is_ok(),
+                "{} fails to parse",
+                p.name
+            );
+        }
+        for t in PropType::ALL {
+            assert!(props.iter().any(|p| p.ptype == t), "missing type {t:?}");
+        }
+    }
+}

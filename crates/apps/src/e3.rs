@@ -1,0 +1,184 @@
+//! E3 — an airline reservation site similar to part of the Expedia site
+//! (the paper's third experimental setup): 22 pages, 12 database tables
+//! with arities up to 10, 11 state tables with arities up to 5, one
+//! arity-1 action table. Fourteen properties covering all ten types, as
+//! the paper reports.
+
+use crate::suite::{AppSuite, PropCase, PropType};
+use wave_spec::{parse_spec, Spec};
+
+/// DSL source of the E3 specification.
+pub const E3_SOURCE: &str = include_str!("../specs/e3_airline.wave");
+
+/// Parse the E3 specification.
+pub fn spec() -> Spec {
+    parse_spec(E3_SOURCE).expect("E3 spec parses")
+}
+
+/// The 14-property suite for E3.
+pub fn properties() -> Vec<PropCase> {
+    vec![
+        PropCase {
+            name: "R1",
+            ptype: PropType::Guarantee,
+            holds: true,
+            text: "F @HP".into(),
+            comment: "The home page is eventually reached in all runs.",
+        },
+        PropCase {
+            name: "R2",
+            ptype: PropType::Sequence,
+            holds: true,
+            text: "forall f: (exists p: flightsel(f, p)) B booked(f)".into(),
+            comment: "A flight can only be booked after it was selected from \
+                      the flight list.",
+        },
+        PropCase {
+            name: "R3",
+            ptype: PropType::Sequence,
+            holds: true,
+            text: "(exists o, d, t: tripsearch(o, d, t)) B @FLP".into(),
+            comment: "The flight list can only follow a trip search.",
+        },
+        PropCase {
+            name: "R4",
+            ptype: PropType::Response,
+            holds: true,
+            text: r#"button("register") -> F @RGP"#.into(),
+            comment: "Registering at the start leads to the registration page.",
+        },
+        PropCase {
+            name: "R5",
+            ptype: PropType::Response,
+            holds: false,
+            text: r#"button("support") -> F @CP"#.into(),
+            comment: "Opening the support page does not imply logging in.",
+        },
+        PropCase {
+            name: "R6",
+            ptype: PropType::Session,
+            holds: true,
+            text: "(G (exists x: button(x))) -> G (@MIP -> F @CP)".into(),
+            comment: "If the user always clicks, the miles page (whose only \
+                      link is back) always returns to the customer page.",
+        },
+        PropCase {
+            name: "R7",
+            ptype: PropType::Session,
+            holds: false,
+            text: "(G (exists x: button(x))) -> F @BCP".into(),
+            comment: "Always clicking does not force completing a booking.",
+        },
+        PropCase {
+            name: "R8",
+            ptype: PropType::Correlation,
+            holds: true,
+            text: "forall f, p: (F paydone(f, p, c, n, a)) -> F flightpick(f, p)"
+                .into(),
+            comment: "Payment is recorded only for picked flights (c, n, a \
+                      universally closed by the prefix).",
+        },
+        PropCase {
+            name: "R9",
+            ptype: PropType::Correlation,
+            holds: false,
+            text: "forall f, p: (F flightpick(f, p)) -> F (exists c, n, a: paydone(f, p, c, n, a))"
+                .into(),
+            comment: "Picking a flight does not imply paying for it.",
+        },
+        PropCase {
+            name: "R10",
+            ptype: PropType::Reachability,
+            holds: false,
+            text: "(G @HP) | (F @BCP)".into(),
+            comment: "Runs may wander without ever completing a booking.",
+        },
+        PropCase {
+            name: "R11",
+            ptype: PropType::Recurrence,
+            holds: false,
+            text: "G (F @CP)".into(),
+            comment: "The customer page need not recur forever.",
+        },
+        PropCase {
+            name: "R12",
+            ptype: PropType::StrongNonProgress,
+            holds: false,
+            text: "F (G @EP)".into(),
+            comment: "No run is trapped on the error page forever.",
+        },
+        PropCase {
+            name: "R13",
+            ptype: PropType::WeakNonProgress,
+            holds: true,
+            text: "forall p: G (promoused(p) -> X promoused(p))".into(),
+            comment: "A promo code, once applied, stays applied.",
+        },
+        PropCase {
+            name: "R14",
+            ptype: PropType::Invariance,
+            holds: true,
+            text: "G (@PYP -> X (@PYP | @BCP | @CP))".into(),
+            comment: "From the payment page, only confirmation, cancel, or \
+                      staying put are possible.",
+        },
+    ]
+}
+
+/// The full E3 suite.
+pub fn suite() -> AppSuite {
+    AppSuite { name: "E3 airline reservation", spec: spec(), properties: properties() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_the_papers_inventory() {
+        let s = spec();
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
+        assert_eq!(s.pages.len(), 22, "paper: 22 pages");
+        assert_eq!(s.database.len(), 12, "paper: 12 database tables");
+        assert_eq!(
+            s.database.iter().map(|&(_, a)| a).max(),
+            Some(10),
+            "paper: arities up to 10"
+        );
+        assert_eq!(s.states.len(), 11, "paper: 11 state tables");
+        assert_eq!(
+            s.states.iter().map(|&(_, a)| a).max(),
+            Some(5),
+            "paper: state arities up to 5"
+        );
+        assert_eq!(s.actions, vec![("booked".to_string(), 1)], "paper: one arity-1 action");
+        let consts = s.all_constants();
+        assert!(
+            (22..=35).contains(&consts.len()),
+            "paper: 31 constants; ours: {} ({consts:?})",
+            consts.len()
+        );
+    }
+
+    #[test]
+    fn spec_is_input_bounded() {
+        let compiled = wave_spec::CompiledSpec::compile(spec()).unwrap();
+        assert!(compiled.is_input_bounded(), "{:?}", compiled.ib_report);
+    }
+
+    #[test]
+    fn all_properties_parse_and_cover_all_types() {
+        let props = properties();
+        assert_eq!(props.len(), 14, "paper: 14 properties for E3");
+        for p in &props {
+            assert!(
+                wave_ltl::parse_property(&p.text).is_ok(),
+                "{} fails to parse",
+                p.name
+            );
+        }
+        for t in PropType::ALL {
+            assert!(props.iter().any(|p| p.ptype == t), "missing type {t:?}");
+        }
+    }
+}

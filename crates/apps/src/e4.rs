@@ -1,0 +1,177 @@
+//! E4 — an online book shopping application similar to the Barnes & Noble
+//! site (the paper's fourth experimental setup, whose original was
+//! provided by the WebML project members): 35 pages, 22 database tables
+//! with arities up to 14, 7 state tables. The paper omits its detailed
+//! results "due to space limitations" and reports they were similar to
+//! the other setups; our suite covers all ten property types.
+
+use crate::suite::{AppSuite, PropCase, PropType};
+use wave_spec::{parse_spec, Spec};
+
+/// DSL source of the E4 specification.
+pub const E4_SOURCE: &str = include_str!("../specs/e4_books.wave");
+
+/// Parse the E4 specification.
+pub fn spec() -> Spec {
+    parse_spec(E4_SOURCE).expect("E4 spec parses")
+}
+
+/// The property suite for E4.
+pub fn properties() -> Vec<PropCase> {
+    vec![
+        PropCase {
+            name: "S1",
+            ptype: PropType::Guarantee,
+            holds: true,
+            text: "F @HP".into(),
+            comment: "The home page is eventually reached in all runs.",
+        },
+        PropCase {
+            name: "S2",
+            ptype: PropType::Sequence,
+            holds: true,
+            text: r#"forall b, p:
+                (@PGP & button("pay") & cart(b, p)) B confirmorder(b, p)"#
+                .into(),
+            comment: "An order is confirmed only when paying for a book in \
+                      the cart (the E4 analogue of E1's P5).",
+        },
+        PropCase {
+            name: "S3",
+            ptype: PropType::Sequence,
+            holds: true,
+            text: "forall b: (exists p: bookpick(b, p)) B wishadd(b)".into(),
+            comment: "A book enters the wishlist only after it was picked.",
+        },
+        PropCase {
+            name: "S4",
+            ptype: PropType::Response,
+            holds: true,
+            text: r#"button("browse") -> F @BRP"#.into(),
+            comment: "Browsing from the home page opens the catalogue.",
+        },
+        PropCase {
+            name: "S5",
+            ptype: PropType::Response,
+            holds: false,
+            text: r#"button("browse") -> F @OKP"#.into(),
+            comment: "Browsing does not force completing a purchase.",
+        },
+        PropCase {
+            name: "S6",
+            ptype: PropType::Correlation,
+            holds: true,
+            text: "forall b, p: (F cart(b, p)) -> F bookpick(b, p)".into(),
+            comment: "Books appear in the cart only after being picked.",
+        },
+        PropCase {
+            name: "S7",
+            ptype: PropType::Correlation,
+            holds: false,
+            text: "forall b, p: (F bookpick(b, p)) -> F cart(b, p)".into(),
+            comment: "Picking a book does not imply adding it to the cart.",
+        },
+        PropCase {
+            name: "S8",
+            ptype: PropType::Session,
+            holds: true,
+            text: "(G (exists x: button(x))) -> G (@ERP -> F @HP)".into(),
+            comment: "If the user always clicks, the error page (whose only \
+                      link is home) always leads back to the home page.",
+        },
+        PropCase {
+            name: "S9",
+            ptype: PropType::Session,
+            holds: false,
+            text: "(G (exists x: button(x))) -> F @ACP".into(),
+            comment: "Always clicking does not force a successful login.",
+        },
+        PropCase {
+            name: "S10",
+            ptype: PropType::Reachability,
+            holds: false,
+            text: "(G @HP) | (F @GFP)".into(),
+            comment: "Runs may leave home and never visit the gifts page.",
+        },
+        PropCase {
+            name: "S11",
+            ptype: PropType::Recurrence,
+            holds: false,
+            text: "G (F @BRP)".into(),
+            comment: "The catalogue need not recur in every run.",
+        },
+        PropCase {
+            name: "S12",
+            ptype: PropType::StrongNonProgress,
+            holds: false,
+            text: "F (G @ERP)".into(),
+            comment: "No run is trapped on the error page forever.",
+        },
+        PropCase {
+            name: "S13",
+            ptype: PropType::WeakNonProgress,
+            holds: true,
+            text: "forall c: G (couponused(c) -> X couponused(c))".into(),
+            comment: "A coupon, once applied, stays applied.",
+        },
+        PropCase {
+            name: "S14",
+            ptype: PropType::Invariance,
+            holds: true,
+            text: "G (@PGP -> X (@PGP | @OKP | @CTP))".into(),
+            comment: "From the payment page only confirmation, the cart, or \
+                      staying put are possible.",
+        },
+    ]
+}
+
+/// The full E4 suite.
+pub fn suite() -> AppSuite {
+    AppSuite { name: "E4 online bookstore", spec: spec(), properties: properties() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_the_papers_inventory() {
+        let s = spec();
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
+        assert_eq!(s.pages.len(), 35, "paper: 35 pages");
+        assert_eq!(s.database.len(), 22, "paper: 22 database tables");
+        assert_eq!(
+            s.database.iter().map(|&(_, a)| a).max(),
+            Some(14),
+            "paper: arities up to 14"
+        );
+        assert_eq!(s.states.len(), 7, "paper: 7 state tables");
+        let consts = s.all_constants();
+        assert!(
+            (20..=40).contains(&consts.len()),
+            "paper: 22 constants; ours: {} ({consts:?})",
+            consts.len()
+        );
+    }
+
+    #[test]
+    fn spec_is_input_bounded() {
+        let compiled = wave_spec::CompiledSpec::compile(spec()).unwrap();
+        assert!(compiled.is_input_bounded(), "{:?}", compiled.ib_report);
+    }
+
+    #[test]
+    fn all_properties_parse_and_cover_all_types() {
+        let props = properties();
+        for p in &props {
+            assert!(
+                wave_ltl::parse_property(&p.text).is_ok(),
+                "{} fails to parse",
+                p.name
+            );
+        }
+        for t in PropType::ALL {
+            assert!(props.iter().any(|p| p.ptype == t), "missing type {t:?}");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! `wave-apps`: the four benchmark web applications of the paper's
+//! experimental evaluation (Section 5), each with its property suite.
+//!
+//! * [`e1`] — online computer shopping (the running example; Dell-style),
+//! * [`e2`] — a Motorcycle Grand Prix sports site (browsing only),
+//! * [`e3`] — an airline reservation site (Expedia-style),
+//! * [`e4`] — an online bookstore (Barnes&Noble-style, WebML-provided).
+//!
+//! [`suite`] holds the shared property-case scaffolding and the paper's
+//! T1–T10 property-type taxonomy.
+
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod suite;
+
+pub use suite::{format_table, AppSuite, PropCase, PropType, SuiteRow};

@@ -1,0 +1,227 @@
+//! Common property-suite scaffolding for the four benchmark applications.
+//!
+//! Each experimental setup carries a list of [`PropCase`]s — a named
+//! LTL-FO property with its type (the paper's T1–T10 taxonomy) and its
+//! expected truth value — plus helpers to run the whole suite through the
+//! wave verifier and collect the paper's measurement columns.
+
+use std::time::Duration;
+use wave_core::{Verdict, Verifier, VerifyError, VerifyOptions};
+use wave_spec::Spec;
+
+/// The paper's property-type taxonomy (Section 5, "Classes of Properties").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PropType {
+    /// T1 — `p B q`.
+    Sequence,
+    /// T2 — `G p -> G q`.
+    Session,
+    /// T3 — `F p -> F q`.
+    Correlation,
+    /// T4 — `p -> F q`.
+    Response,
+    /// T5 — `G p | F q`.
+    Reachability,
+    /// T6 — `G (F p)` (progress / recurrence).
+    Recurrence,
+    /// T7 — `F (G p)`.
+    StrongNonProgress,
+    /// T8 — `G (p -> X p)`.
+    WeakNonProgress,
+    /// T9 — `F p`.
+    Guarantee,
+    /// T10 — `G p`.
+    Invariance,
+}
+
+impl PropType {
+    /// All ten types, in taxonomy order.
+    pub const ALL: [PropType; 10] = [
+        PropType::Sequence,
+        PropType::Session,
+        PropType::Correlation,
+        PropType::Response,
+        PropType::Reachability,
+        PropType::Recurrence,
+        PropType::StrongNonProgress,
+        PropType::WeakNonProgress,
+        PropType::Guarantee,
+        PropType::Invariance,
+    ];
+
+    /// The paper's abbreviation (T1–T10).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            PropType::Sequence => "T1",
+            PropType::Session => "T2",
+            PropType::Correlation => "T3",
+            PropType::Response => "T4",
+            PropType::Reachability => "T5",
+            PropType::Recurrence => "T6",
+            PropType::StrongNonProgress => "T7",
+            PropType::WeakNonProgress => "T8",
+            PropType::Guarantee => "T9",
+            PropType::Invariance => "T10",
+        }
+    }
+
+    /// Human name, as the paper's table lists it.
+    pub fn name(self) -> &'static str {
+        match self {
+            PropType::Sequence => "Sequence",
+            PropType::Session => "Session",
+            PropType::Correlation => "Correlation",
+            PropType::Response => "Response",
+            PropType::Reachability => "Reachability",
+            PropType::Recurrence => "Progress (recurrence)",
+            PropType::StrongNonProgress => "Strong non-progress",
+            PropType::WeakNonProgress => "Weak non-progress",
+            PropType::Guarantee => "Guarantee",
+            PropType::Invariance => "Invariance",
+        }
+    }
+}
+
+/// One property of a suite.
+#[derive(Clone, Debug)]
+pub struct PropCase {
+    /// Name in the paper's numbering (`P1` …).
+    pub name: &'static str,
+    pub ptype: PropType,
+    /// Expected verdict (the paper's `(true)` / `(false)` annotation).
+    pub holds: bool,
+    /// LTL-FO source text.
+    pub text: String,
+    /// What the property says and why it has that verdict.
+    pub comment: &'static str,
+}
+
+/// A benchmark application with its property suite.
+pub struct AppSuite {
+    pub name: &'static str,
+    pub spec: Spec,
+    pub properties: Vec<PropCase>,
+}
+
+/// Measured row for one property (the columns of the paper's tables).
+#[derive(Clone, Debug)]
+pub struct SuiteRow {
+    pub name: &'static str,
+    pub ptype: PropType,
+    pub expected: bool,
+    pub measured_holds: Option<bool>,
+    pub elapsed: Duration,
+    pub max_run_len: usize,
+    pub max_trie: usize,
+    pub configs: u64,
+}
+
+impl AppSuite {
+    /// Build a verifier for the suite's spec.
+    pub fn verifier(&self) -> Result<Verifier, VerifyError> {
+        Verifier::new(self.spec.clone())
+    }
+
+    /// Verify one property by name.
+    pub fn run_one(
+        &self,
+        verifier: &Verifier,
+        name: &str,
+    ) -> Result<SuiteRow, VerifyError> {
+        let case = self
+            .properties
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("no property {name}"));
+        Self::run_case(verifier, case)
+    }
+
+    /// Verify every property, producing the table rows.
+    pub fn run_all(&self, options: VerifyOptions) -> Result<Vec<SuiteRow>, VerifyError> {
+        let verifier = Verifier::with_options(self.spec.clone(), options)?;
+        self.properties
+            .iter()
+            .map(|case| Self::run_case(&verifier, case))
+            .collect()
+    }
+
+    fn run_case(verifier: &Verifier, case: &PropCase) -> Result<SuiteRow, VerifyError> {
+        let v = verifier.check_str(&case.text)?;
+        Ok(SuiteRow {
+            name: case.name,
+            ptype: case.ptype,
+            expected: case.holds,
+            measured_holds: match v.verdict {
+                Verdict::Holds => Some(true),
+                Verdict::Violated(_) => Some(false),
+                Verdict::Unknown(_) => None,
+            },
+            elapsed: v.stats.elapsed,
+            max_run_len: v.stats.max_run_len,
+            max_trie: v.stats.max_trie,
+            configs: v.stats.configs,
+        })
+    }
+}
+
+/// Render suite rows as the paper's results table.
+pub fn format_table(app: &str, rows: &[SuiteRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "Verification results for {app}");
+    let _ = writeln!(
+        out,
+        "{:<5} {:<5} {:<22} {:>9} {:>12} {:>10} {:>9}",
+        "Type", "Prop", "verdict (expected)", "time[s]", "max run len", "trie size", "configs"
+    );
+    for r in rows {
+        let verdict = match r.measured_holds {
+            Some(true) => "true",
+            Some(false) => "false",
+            None => "unknown",
+        };
+        let expected = if r.expected { "true" } else { "false" };
+        let _ = writeln!(
+            out,
+            "{:<5} {:<5} {:<22} {:>9.3} {:>12} {:>10} {:>9}",
+            r.ptype.abbrev(),
+            r.name,
+            format!("{verdict} ({expected})"),
+            r.elapsed.as_secs_f64(),
+            r.max_run_len,
+            r.max_trie,
+            r.configs,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_covers_ten_types_with_unique_abbreviations() {
+        let mut abbrevs: Vec<&str> = PropType::ALL.iter().map(|t| t.abbrev()).collect();
+        abbrevs.sort_unstable();
+        abbrevs.dedup();
+        assert_eq!(abbrevs.len(), 10);
+    }
+
+    #[test]
+    fn format_table_renders_rows() {
+        let rows = vec![SuiteRow {
+            name: "P1",
+            ptype: PropType::Guarantee,
+            expected: true,
+            measured_holds: Some(true),
+            elapsed: Duration::from_millis(20),
+            max_run_len: 1,
+            max_trie: 0,
+            configs: 42,
+        }];
+        let table = format_table("E1", &rows);
+        assert!(table.contains("P1"));
+        assert!(table.contains("true (true)"));
+    }
+}

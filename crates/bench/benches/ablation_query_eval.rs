@@ -1,0 +1,48 @@
+//! Ablation: compiled parameterized plans (the paper's prepared-statement
+//! architecture, Section 4) vs direct FO interpretation for every rule.
+//!
+//! Measured on E2 and on E1 with plans. The all-interpreted configuration
+//! is *intractable* on E1: direct evaluation of a rule with a k-variable
+//! head enumerates `|domain|^k` candidate rows per step (E1 has arity-5
+//! and arity-7 rule heads over a ~40-value domain), which is exactly why
+//! the paper compiles rule bodies to parameterized queries. The E2
+//! comparison quantifies the gap where both modes terminate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wave_apps::{e1, e2};
+use wave_core::Verifier;
+
+fn bench_query_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_query_eval");
+    group.sample_size(10);
+    for (app, spec, property, modes) in [
+        (
+            "e2_q2",
+            e2::spec(),
+            e2::properties()[1].text.clone(),
+            &[("plans", true), ("interp", false)][..],
+        ),
+        (
+            "e1_p13",
+            e1::spec(),
+            e1::properties()[12].text.clone(),
+            // interp omitted: |domain|^k candidate rows per rule evaluation
+            &[("plans", true)][..],
+        ),
+    ] {
+        for &(mode, use_plans) in modes {
+            let mut verifier = Verifier::new(spec.clone()).expect("compiles");
+            verifier.options_mut().use_plans = use_plans;
+            let text = property.clone();
+            group.bench_function(format!("{app}_{mode}"), |b| {
+                b.iter(|| {
+                    verifier.check_str(&text).expect("verifies");
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_eval);
+criterion_main!(benches);

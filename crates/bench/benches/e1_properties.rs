@@ -1,0 +1,34 @@
+//! Criterion bench for the paper's E1 results table: verification time per
+//! property (the paper's Section 5 measurements were 0.02 s – 4 s on a
+//! 2.4 GHz Pentium 4). The slowest properties (P4, P5, P7) are measured
+//! with a reduced sample count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wave_apps::e1;
+use wave_core::Verifier;
+
+fn bench_e1(c: &mut Criterion) {
+    let suite = e1::suite();
+    let verifier = Verifier::new(suite.spec.clone()).expect("E1 compiles");
+    let mut group = c.benchmark_group("e1_properties");
+    group.sample_size(10);
+    for case in &suite.properties {
+        // keep the heavyweight properties to a single pass per sample
+        let text = case.text.clone();
+        let expected = case.holds;
+        group.bench_function(case.name, |b| {
+            b.iter(|| {
+                let v = verifier.check_str(&text).expect("verifies");
+                assert_eq!(v.verdict.holds(), expected);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(20));
+    targets = bench_e1
+}
+criterion_main!(benches);

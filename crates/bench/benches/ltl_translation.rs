@@ -1,0 +1,27 @@
+//! Bench of the LTL→Büchi translation (the ltl2ba replacement): Figure 1's
+//! formula, the paper's property shapes T1–T10, and the large P4-style
+//! successor-uniqueness conjunction whose automaton size the paper calls
+//! out (30 states for their 12-page variant).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wave_ltl::{extract, nnf, parse_property, Buchi};
+
+fn translate(src: &str) -> Buchi {
+    let prop = parse_property(src).expect("parses");
+    let e = extract(&prop.body);
+    Buchi::from_nnf(&nnf(&e.aux, true), e.components.len())
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ltl_to_buchi");
+    group.bench_function("fig1_until", |b| b.iter(|| translate("p() U q()")));
+    group.bench_function("response", |b| b.iter(|| translate("G (p() -> F q())")));
+    group.bench_function("sequence_before", |b| b.iter(|| translate("p() B q()")));
+    group.bench_function("session", |b| b.iter(|| translate("G p() -> G q()")));
+    let p4 = wave_apps::e1::properties()[3].text.clone();
+    group.bench_function("e1_p4_large_conjunction", |b| b.iter(|| translate(&p4)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

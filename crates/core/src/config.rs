@@ -1,0 +1,210 @@
+//! Pseudoconfigurations: the partially specified configurations explored by
+//! the `ndfs-pseudo` search (Section 3.1 of the paper).
+//!
+//! A pseudoconfiguration `⟨D, V, I, P, S, A⟩` carries the current page,
+//! the database *extension* (the core is fixed per search and therefore
+//! not stored per configuration), the current and previous inputs, the
+//! state relations (ground tuples over `C` only) and the actions taken.
+//!
+//! Configurations are stored in canonical form (sorted tuple lists), which
+//! gives structural equality and a deterministic byte encoding for the
+//! visited-trie.
+
+use std::sync::Arc;
+use wave_relalg::{Instance, RelId, Tuple};
+use wave_spec::{CompiledSpec, PageId};
+
+/// A canonical list of `(relation, tuple)` facts.
+pub type Facts = Vec<(RelId, Tuple)>;
+
+/// Sort and deduplicate facts into canonical order.
+pub fn canonicalize(mut facts: Facts) -> Facts {
+    facts.sort_unstable();
+    facts.dedup();
+    facts
+}
+
+/// A pseudoconfiguration (the core is held by the enclosing search).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PseudoConfig {
+    pub page: PageId,
+    /// Extension tuples (database relations beyond the core).
+    pub ext: Facts,
+    /// Current input (at most one tuple per input relation).
+    pub input: Facts,
+    /// Previous input.
+    pub prev: Facts,
+    /// State tuples (ground over `C`).
+    pub state: Facts,
+    /// Action tuples emitted this step (ground over `C`).
+    pub actions: Facts,
+}
+
+impl PseudoConfig {
+    /// The start-of-run configuration shell for `page` (empty state, no
+    /// inputs yet): callers fill in `ext`, `input` and `actions`.
+    pub fn initial(page: PageId) -> Self {
+        PseudoConfig {
+            page,
+            ext: Vec::new(),
+            input: Vec::new(),
+            prev: Vec::new(),
+            state: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// Canonical byte encoding for trie keys. The encoding is injective:
+    /// each section is length-prefixed and tuples carry their relation id.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.page.0.to_le_bytes());
+        for facts in [&self.ext, &self.input, &self.prev, &self.state, &self.actions] {
+            out.extend_from_slice(&(facts.len() as u32).to_le_bytes());
+            for (rel, t) in facts.iter() {
+                out.extend_from_slice(&rel.0.to_le_bytes());
+                for v in t.values() {
+                    out.extend_from_slice(&v.0.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Materialize this configuration (plus the fixed `core`) into a fresh
+    /// working instance for rule evaluation. `base` must be an instance
+    /// holding exactly the core tuples (it is cloned, not mutated).
+    pub fn materialize(&self, spec: &CompiledSpec, base: &Instance) -> Instance {
+        let mut inst = base.clone();
+        for (rel, t) in self
+            .ext
+            .iter()
+            .chain(&self.input)
+            .chain(&self.prev)
+            .chain(&self.state)
+            .chain(&self.actions)
+        {
+            inst.insert(*rel, t.clone());
+        }
+        inst.insert(spec.page(self.page).marker, Tuple::from([]));
+        inst
+    }
+
+    /// Build the trie key for a search node `(automaton state, config)`.
+    pub fn trie_key(&self, auto_state: usize) -> Vec<u8> {
+        let mut key = Vec::with_capacity(64);
+        key.extend_from_slice(&(auto_state as u32).to_le_bytes());
+        self.encode(&mut key);
+        key
+    }
+}
+
+/// Build the base instance holding the core tuples only.
+pub fn core_instance(spec: &CompiledSpec, core: &Facts) -> Instance {
+    let mut inst = Instance::empty(Arc::clone(&spec.schema));
+    for (rel, t) in core {
+        inst.insert(*rel, t.clone());
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_relalg::Value;
+    use wave_spec::{parse_spec, CompiledSpec};
+
+    fn spec() -> CompiledSpec {
+        CompiledSpec::compile(
+            parse_spec(
+                r#"
+            spec s {
+              database { db(a, b); }
+              state { st(a); }
+              action { act(a); }
+              inputs { pick(x); }
+              home P;
+              page P {
+                inputs { pick }
+                options pick(x) <- exists y: db(x, y);
+                insert st(x) <- pick(x);
+                action act(x) <- pick(x);
+                target P <- true;
+              }
+            }
+        "#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn fact(spec: &CompiledSpec, rel: &str, vals: &[u32]) -> (RelId, Tuple) {
+        (
+            spec.schema.lookup(rel).unwrap(),
+            Tuple::from(vals.iter().map(|&v| Value(v)).collect::<Vec<_>>()),
+        )
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedups() {
+        let s = spec();
+        let facts = canonicalize(vec![
+            fact(&s, "db", &[2, 2]),
+            fact(&s, "db", &[1, 1]),
+            fact(&s, "db", &[2, 2]),
+        ]);
+        assert_eq!(facts.len(), 2);
+        assert!(facts[0].1 < facts[1].1);
+    }
+
+    #[test]
+    fn encoding_is_injective_across_sections() {
+        let s = spec();
+        // same fact in ext vs state must encode differently
+        let mut a = PseudoConfig::initial(PageId(0));
+        a.ext = vec![fact(&s, "db", &[1, 2])];
+        let mut b = PseudoConfig::initial(PageId(0));
+        b.state = vec![fact(&s, "db", &[1, 2])];
+        let (mut ka, mut kb) = (Vec::new(), Vec::new());
+        a.encode(&mut ka);
+        b.encode(&mut kb);
+        assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn encoding_differs_by_page_and_auto_state() {
+        let a = PseudoConfig::initial(PageId(0));
+        let b = PseudoConfig::initial(PageId(1));
+        assert_ne!(a.trie_key(0), b.trie_key(0));
+        assert_ne!(a.trie_key(0), a.trie_key(1));
+    }
+
+    #[test]
+    fn equal_configs_equal_keys() {
+        let s = spec();
+        let mut a = PseudoConfig::initial(PageId(0));
+        a.state = canonicalize(vec![fact(&s, "st", &[3]), fact(&s, "st", &[1])]);
+        let mut b = PseudoConfig::initial(PageId(0));
+        b.state = canonicalize(vec![fact(&s, "st", &[1]), fact(&s, "st", &[3])]);
+        assert_eq!(a, b);
+        assert_eq!(a.trie_key(5), b.trie_key(5));
+    }
+
+    #[test]
+    fn materialize_includes_core_config_and_marker() {
+        let s = spec();
+        let core = vec![fact(&s, "db", &[10, 11])];
+        let base = core_instance(&s, &core);
+        let mut c = PseudoConfig::initial(PageId(0));
+        c.ext = vec![fact(&s, "db", &[20, 21])];
+        c.state = vec![fact(&s, "st", &[10])];
+        let inst = c.materialize(&s, &base);
+        let db = s.schema.lookup("db").unwrap();
+        let st = s.schema.lookup("st").unwrap();
+        let marker = s.schema.lookup("page$P").unwrap();
+        assert_eq!(inst.rel(db).len(), 2);
+        assert_eq!(inst.rel(st).len(), 1);
+        assert!(!inst.rel(marker).is_empty());
+        // base untouched
+        assert_eq!(base.rel(db).len(), 1);
+    }
+}

@@ -1,0 +1,419 @@
+//! Verification-session domains: the constant set `C = C_W ∪ C_∃`, the
+//! per-page fresh-witness pools `C_V`, and the enumeration of assignments
+//! for the property's universally quantified variables.
+//!
+//! The paper's `ndfs-pseudo` "considers all choices for C_∃, ranging from a
+//! subset of C_W to a disjoint set of arbitrarily picked fresh constants".
+//! Enumerating all `(|C_W|+k)^k` functions is hopeless for properties like
+//! E1/P5 (seven variables); we apply the relevance reduction implied by the
+//! paper's own measurements: a variable only needs to take a *named*
+//! constant value when that constant is in the dataflow comparison set of
+//! some attribute the variable occupies (any other constant behaves exactly
+//! like a fresh value), and fresh values are canonicalized. Two modes:
+//!
+//! * [`ParamMode::DistinctFresh`] (default): each variable ranges over its
+//!   relevant constants plus one fresh value distinct from everything;
+//! * [`ParamMode::ExhaustiveEquality`]: additionally enumerates all
+//!   equality patterns among fresh-assigned variables (restricted-growth
+//!   set partitions) — the fully conservative mode.
+
+use std::collections::BTreeSet;
+use wave_fol::{Atom, Formula, Term};
+use wave_relalg::{SymbolTable, Value};
+use wave_spec::{CompiledPage, CompiledSpec, Dataflow, PageId};
+
+/// How `C_∃` assignments treat fresh values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamMode {
+    /// One fresh value per variable, all distinct.
+    DistinctFresh,
+    /// All equality patterns among fresh-assigned variables.
+    ExhaustiveEquality,
+}
+
+/// One choice of values for the property's universal variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// `(variable, value)` in declaration order.
+    pub values: Vec<(String, Value)>,
+}
+
+impl Assignment {
+    /// The substitution map sending each variable to a constant term whose
+    /// name is interned to the assigned value.
+    pub fn substitution(
+        &self,
+        symbols: &SymbolTable,
+    ) -> std::collections::HashMap<String, Term> {
+        self.values
+            .iter()
+            .map(|(var, val)| {
+                let name = match symbols.kind(*val) {
+                    wave_relalg::ValueKind::Constant(c) => c.clone(),
+                    other => panic!("assignment to non-constant value {other:?}"),
+                };
+                (var.clone(), Term::Const(name))
+            })
+            .collect()
+    }
+
+    /// The distinct values used (the paper's `C_∃`).
+    pub fn c_exists(&self) -> Vec<Value> {
+        let mut vs: Vec<Value> = self.values.iter().map(|&(_, v)| v).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+}
+
+/// Enumerate the candidate assignments for `vars`, given per-variable
+/// relevant constants and interned parameter values `params[i]` (fresh
+/// pseudo-constants `?0`, `?1`, …).
+pub fn assignments(
+    vars: &[String],
+    relevant: &[Vec<Value>],
+    params: &[Value],
+    mode: ParamMode,
+) -> Vec<Assignment> {
+    assert_eq!(vars.len(), relevant.len());
+    assert!(params.len() >= vars.len());
+    let mut out = Vec::new();
+    // choice per variable: Some(const value) or None (fresh)
+    let mut choice: Vec<Option<Value>> = vec![None; vars.len()];
+    fn rec(
+        i: usize,
+        vars: &[String],
+        relevant: &[Vec<Value>],
+        params: &[Value],
+        mode: ParamMode,
+        choice: &mut Vec<Option<Value>>,
+        out: &mut Vec<Assignment>,
+    ) {
+        if i == vars.len() {
+            // assign fresh classes to the None positions
+            let fresh_idx: Vec<usize> =
+                (0..vars.len()).filter(|&j| choice[j].is_none()).collect();
+            match mode {
+                ParamMode::DistinctFresh => {
+                    let mut values = Vec::with_capacity(vars.len());
+                    let mut next = 0;
+                    for (j, var) in vars.iter().enumerate() {
+                        let v = match choice[j] {
+                            Some(c) => c,
+                            None => {
+                                let v = params[next];
+                                next += 1;
+                                v
+                            }
+                        };
+                        values.push((var.clone(), v));
+                    }
+                    out.push(Assignment { values });
+                }
+                ParamMode::ExhaustiveEquality => {
+                    // restricted-growth strings over the fresh positions
+                    let k = fresh_idx.len();
+                    let mut rgs = vec![0usize; k];
+                    loop {
+                        let mut values = Vec::with_capacity(vars.len());
+                        let mut fi = 0;
+                        for (j, var) in vars.iter().enumerate() {
+                            let v = match choice[j] {
+                                Some(c) => c,
+                                None => {
+                                    let v = params[rgs[fi]];
+                                    fi += 1;
+                                    v
+                                }
+                            };
+                            values.push((var.clone(), v));
+                        }
+                        out.push(Assignment { values });
+                        // next restricted-growth string
+                        let mut pos = k;
+                        loop {
+                            if pos == 0 {
+                                return;
+                            }
+                            pos -= 1;
+                            let max_allowed =
+                                rgs[..pos].iter().copied().max().map_or(0, |m| m + 1);
+                            if rgs[pos] < max_allowed {
+                                rgs[pos] += 1;
+                                for r in rgs[pos + 1..].iter_mut() {
+                                    *r = 0;
+                                }
+                                break;
+                            }
+                        }
+                        if k == 0 {
+                            return;
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        for &c in &relevant[i] {
+            choice[i] = Some(c);
+            rec(i + 1, vars, relevant, params, mode, choice, out);
+        }
+        choice[i] = None;
+        rec(i + 1, vars, relevant, params, mode, choice, out);
+    }
+    rec(0, vars, relevant, params, mode, &mut choice, &mut out);
+    out
+}
+
+/// Relevant constants per property variable: constants in the comparison
+/// sets of the attributes the variable occupies, plus constants it is
+/// directly compared to in the property.
+pub fn relevant_constants(
+    vars: &[String],
+    components: &[Formula],
+    flow: &Dataflow,
+    symbols: &SymbolTable,
+) -> Vec<Vec<Value>> {
+    vars.iter()
+        .map(|v| {
+            let mut consts: BTreeSet<String> = BTreeSet::new();
+            for f in components {
+                // positions the variable occupies
+                f.visit_atoms(&mut |a: &Atom| {
+                    for (j, t) in a.terms.iter().enumerate() {
+                        if t.as_var() == Some(v) {
+                            consts.extend(flow.consts(&a.rel, j).map(str::to_owned));
+                        }
+                    }
+                });
+                // direct comparisons x = "c" / x != "c"
+                collect_direct(f, v, &mut consts);
+            }
+            consts
+                .iter()
+                .filter_map(|c| symbols.lookup_constant(c))
+                .collect()
+        })
+        .collect()
+}
+
+fn collect_direct(f: &Formula, var: &str, out: &mut BTreeSet<String>) {
+    match f {
+        Formula::Eq(a, b) | Formula::Ne(a, b) => match (a, b) {
+            (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) if x == var => {
+                out.insert(c.clone());
+            }
+            _ => {}
+        },
+        Formula::Not(x) => collect_direct(x, var, out),
+        Formula::And(xs) | Formula::Or(xs) => {
+            for x in xs {
+                collect_direct(x, var, out);
+            }
+        }
+        Formula::Implies(a, b) => {
+            collect_direct(a, var, out);
+            collect_direct(b, var, out);
+        }
+        Formula::Exists(_, x) | Formula::Forall(_, x) => collect_direct(x, var, out),
+        _ => {}
+    }
+}
+
+/// The fresh-witness pool `C_V` of one page: a value per option-rule
+/// variable (head and existential) and one per input constant.
+#[derive(Clone, Debug, Default)]
+pub struct PagePool {
+    /// `(rule index, variable) → value` for option-rule variables.
+    pub opt_vars: Vec<((usize, String), Value)>,
+    /// `input-constant relation → value`.
+    pub input_consts: Vec<(wave_relalg::RelId, Value)>,
+}
+
+impl PagePool {
+    /// All pool values.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.opt_vars
+            .iter()
+            .map(|&(_, v)| v)
+            .chain(self.input_consts.iter().map(|&(_, v)| v))
+    }
+
+    /// Value for an option-rule variable.
+    pub fn opt_var(&self, rule: usize, var: &str) -> Option<Value> {
+        self.opt_vars
+            .iter()
+            .find(|((r, v), _)| *r == rule && v == var)
+            .map(|&(_, v)| v)
+    }
+
+    /// Pool size (the paper's bound: total option-rule variables).
+    pub fn len(&self) -> usize {
+        self.opt_vars.len() + self.input_consts.len()
+    }
+
+    /// True when the page needs no fresh witnesses.
+    pub fn is_empty(&self) -> bool {
+        self.opt_vars.is_empty() && self.input_consts.is_empty()
+    }
+}
+
+/// Mint the `C_V` pools for every page (deterministic order).
+pub fn build_pools(spec: &CompiledSpec, symbols: &mut SymbolTable) -> Vec<PagePool> {
+    spec.pages
+        .iter()
+        .enumerate()
+        .map(|(pi, page)| build_page_pool(spec, PageId(pi as u32), page, symbols))
+        .collect()
+}
+
+fn build_page_pool(
+    spec: &CompiledSpec,
+    _id: PageId,
+    page: &CompiledPage,
+    symbols: &mut SymbolTable,
+) -> PagePool {
+    let mut pool = PagePool::default();
+    let mut ord = 0u32;
+    for (ri, rule) in page.option_rules.iter().enumerate() {
+        let mut vars: Vec<String> = rule.head_vars.clone();
+        for v in all_vars(&rule.body) {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        for v in vars {
+            pool.opt_vars.push(((ri, v), symbols.fresh(&page.name, ord)));
+            ord += 1;
+        }
+    }
+    for &input in &page.inputs {
+        if spec.schema.kind(input) == wave_relalg::RelKind::InputConstant {
+            pool.input_consts.push((input, symbols.fresh(&page.name, ord)));
+            ord += 1;
+        }
+    }
+    pool
+}
+
+/// All variables of a formula (free and bound), first-occurrence order.
+fn all_vars(f: &Formula) -> Vec<String> {
+    let mut out = Vec::new();
+    fn term(t: &Term, out: &mut Vec<String>) {
+        if let Term::Var(v) = t {
+            if !out.contains(v) {
+                out.push(v.clone());
+            }
+        }
+    }
+    fn walk(f: &Formula, out: &mut Vec<String>) {
+        match f {
+            Formula::Atom(a) => a.terms.iter().for_each(|t| term(t, out)),
+            Formula::Eq(a, b) | Formula::Ne(a, b) => {
+                term(a, out);
+                term(b, out);
+            }
+            Formula::Not(x) => walk(x, out),
+            Formula::And(xs) | Formula::Or(xs) => xs.iter().for_each(|x| walk(x, out)),
+            Formula::Implies(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Formula::Exists(vs, x) | Formula::Forall(vs, x) => {
+                for v in vs {
+                    if !out.contains(v) {
+                        out.push(v.clone());
+                    }
+                }
+                walk(x, out);
+            }
+            _ => {}
+        }
+    }
+    walk(f, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(n: u32) -> Vec<Value> {
+        (100..100 + n).map(Value).collect()
+    }
+
+    #[test]
+    fn distinct_fresh_counts() {
+        // two vars, no relevant constants → exactly one assignment
+        let vars = vec!["x".to_string(), "y".to_string()];
+        let a = assignments(&vars, &[vec![], vec![]], &vals(2), ParamMode::DistinctFresh);
+        assert_eq!(a.len(), 1);
+        assert_ne!(a[0].values[0].1, a[0].values[1].1, "fresh values distinct");
+    }
+
+    #[test]
+    fn constants_multiply_choices() {
+        let vars = vec!["x".to_string(), "y".to_string()];
+        let c1 = Value(1);
+        let c2 = Value(2);
+        let a = assignments(
+            &vars,
+            &[vec![c1, c2], vec![c1]],
+            &vals(2),
+            ParamMode::DistinctFresh,
+        );
+        // x ∈ {c1, c2, fresh} × y ∈ {c1, fresh} = 6
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn exhaustive_equality_enumerates_partitions() {
+        let vars: Vec<String> = (0..3).map(|i| format!("v{i}")).collect();
+        let a = assignments(
+            &vars,
+            &[vec![], vec![], vec![]],
+            &vals(3),
+            ParamMode::ExhaustiveEquality,
+        );
+        // Bell(3) = 5 partitions of three fresh variables
+        assert_eq!(a.len(), 5);
+        // all assignments distinct
+        let mut seen: Vec<Vec<Value>> = Vec::new();
+        for asg in &a {
+            let vs: Vec<Value> = asg.values.iter().map(|&(_, v)| v).collect();
+            assert!(!seen.contains(&vs), "duplicate {vs:?}");
+            seen.push(vs);
+        }
+    }
+
+    #[test]
+    fn exhaustive_equality_with_constants() {
+        let vars = vec!["x".to_string(), "y".to_string()];
+        let c = Value(7);
+        let a = assignments(
+            &vars,
+            &[vec![c], vec![]],
+            &vals(2),
+            ParamMode::ExhaustiveEquality,
+        );
+        // x=c: y fresh (1 partition) → 1; x fresh: y fresh with Bell(2)=2 → 2
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn c_exists_dedups() {
+        let a = Assignment {
+            values: vec![("x".into(), Value(5)), ("y".into(), Value(5))],
+        };
+        assert_eq!(a.c_exists(), vec![Value(5)]);
+    }
+
+    #[test]
+    fn zero_vars_single_empty_assignment() {
+        let a = assignments(&[], &[], &[], ParamMode::DistinctFresh);
+        assert_eq!(a.len(), 1);
+        assert!(a[0].values.is_empty());
+        let b = assignments(&[], &[], &[], ParamMode::ExhaustiveEquality);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! The paper's Section 4 bitmap layout: rank-based encoding of tuples into
+//! bit indices.
+//!
+//! "Consider relation `R(A1, …, Ak)` and let `n_i` be the number of
+//! constants assigned by our dataflow analysis to attribute `A_i`. Given an
+//! `R`-tuple `t = (c1, …, ck)`, let `r_i` be the rank of constant `c_i` in
+//! the list of constants assigned to `A_i` … The index `j` of the bitmap
+//! bit corresponding to `t` is computed as
+//! `j = r_k + n_k × (r_{k−1} + n_{k−1} × (… n_2 × r_1))`", and decoding
+//! inverts with `r_k = j mod n_k`, `r_{k−1} = (j div n_k) mod n_{k−1}`, ….
+//!
+//! The layout gives each relation a dense bit range; a whole database
+//! fragment (core or extension) is the concatenation of the per-relation
+//! bitmaps. Rank lookup uses a hash table per attribute and rank-to-value
+//! decoding indexes a vector, exactly as the paper describes.
+
+use std::collections::HashMap;
+use wave_relalg::{RelId, Tuple, Value};
+
+/// Bit layout for one relation: per-attribute value lists.
+#[derive(Debug, Clone)]
+pub struct RelLayout {
+    pub rel: RelId,
+    /// Per attribute: the ordered constant list the dataflow assigned.
+    columns: Vec<Vec<Value>>,
+    /// Per attribute: value → rank.
+    ranks: Vec<HashMap<Value, usize>>,
+}
+
+impl RelLayout {
+    /// Build a layout from per-attribute value lists.
+    pub fn new(rel: RelId, columns: Vec<Vec<Value>>) -> RelLayout {
+        let ranks = columns
+            .iter()
+            .map(|col| {
+                col.iter().enumerate().map(|(i, &v)| (v, i)).collect::<HashMap<_, _>>()
+            })
+            .collect();
+        RelLayout { rel, columns, ranks }
+    }
+
+    /// Number of representable tuples (`Π n_i`; 0 when any attribute has
+    /// an empty constant list — the Heuristic 1 "no tuples" case).
+    pub fn size(&self) -> u64 {
+        self.columns.iter().map(|c| c.len() as u64).product::<u64>()
+            * u64::from(!self.columns.iter().any(Vec::is_empty))
+    }
+
+    /// Encode a tuple into its bit index (`None` when some attribute value
+    /// is outside its constant list — the tuple is not representable).
+    pub fn encode(&self, t: &Tuple) -> Option<u64> {
+        if t.arity() != self.columns.len() {
+            return None;
+        }
+        // j = r_k + n_k (r_{k-1} + n_{k-1} ( … n_2 r_1 ))
+        let mut j = 0u64;
+        for (i, &v) in t.values().iter().enumerate() {
+            let rank = *self.ranks[i].get(&v)? as u64;
+            j = j * self.columns[i].len() as u64 + rank;
+        }
+        Some(j)
+    }
+
+    /// Decode a bit index back into the tuple.
+    pub fn decode(&self, mut j: u64) -> Option<Tuple> {
+        if j >= self.size() {
+            return None;
+        }
+        let mut values = vec![Value(0); self.columns.len()];
+        // r_k = j mod n_k; r_{k-1} = (j div n_k) mod n_{k-1}; …
+        for i in (0..self.columns.len()).rev() {
+            let n = self.columns[i].len() as u64;
+            let rank = (j % n) as usize;
+            j /= n;
+            values[i] = self.columns[i][rank];
+        }
+        Some(Tuple::from(values))
+    }
+
+    /// Iterate every representable tuple in bit-index order.
+    pub fn tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.size()).map(|j| self.decode(j).expect("j < size"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> RelLayout {
+        RelLayout::new(
+            RelId(0),
+            vec![
+                vec![Value(10), Value(11)],          // n_1 = 2
+                vec![Value(20), Value(21), Value(22)], // n_2 = 3
+            ],
+        )
+    }
+
+    #[test]
+    fn size_is_product_of_column_counts() {
+        assert_eq!(layout().size(), 6);
+    }
+
+    #[test]
+    fn empty_column_means_no_tuples() {
+        let l = RelLayout::new(RelId(0), vec![vec![Value(1)], vec![]]);
+        assert_eq!(l.size(), 0);
+        assert!(l.decode(0).is_none());
+    }
+
+    #[test]
+    fn encode_decode_round_trip_exhaustively() {
+        let l = layout();
+        for j in 0..l.size() {
+            let t = l.decode(j).expect("in range");
+            assert_eq!(l.encode(&t), Some(j), "round trip for index {j}");
+        }
+    }
+
+    #[test]
+    fn paper_index_formula() {
+        // j = r_2 + n_2 * r_1 for arity 2
+        let l = layout();
+        let t = Tuple::from([Value(11), Value(20)]); // ranks (1, 0)
+        assert_eq!(l.encode(&t), Some(0 + 3 * 1));
+        let t = Tuple::from([Value(10), Value(22)]); // ranks (0, 2)
+        assert_eq!(l.encode(&t), Some(2 + 3 * 0));
+    }
+
+    #[test]
+    fn foreign_values_are_unrepresentable() {
+        let l = layout();
+        assert_eq!(l.encode(&Tuple::from([Value(99), Value(20)])), None);
+        assert_eq!(l.encode(&Tuple::from([Value(10)])), None, "wrong arity");
+        assert!(l.decode(6).is_none(), "index out of range");
+    }
+
+    #[test]
+    fn tuples_enumerates_in_index_order() {
+        let l = layout();
+        let all: Vec<Tuple> = l.tuples().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], Tuple::from([Value(10), Value(20)]));
+        assert_eq!(all[5], Tuple::from([Value(11), Value(22)]));
+        // strictly increasing encodings
+        for (j, t) in all.iter().enumerate() {
+            assert_eq!(l.encode(t), Some(j as u64));
+        }
+    }
+
+    #[test]
+    fn nullary_layout_has_exactly_one_tuple() {
+        let l = RelLayout::new(RelId(3), vec![]);
+        assert_eq!(l.size(), 1);
+        assert_eq!(l.decode(0), Some(Tuple::from([])));
+        assert_eq!(l.encode(&Tuple::from([])), Some(0));
+    }
+}

@@ -1,0 +1,58 @@
+//! `wave-core`: the wave verifier — the primary contribution of the paper
+//! "A Verifier for Interactive, Data-driven Web Applications" (SIGMOD'05),
+//! reimplemented in Rust.
+//!
+//! The verifier checks LTL-FO properties of web application specifications
+//! by a nested depth-first search over *pseudoruns*: sequences of partially
+//! specified configurations built lazily from a pruned database core and
+//! per-page extensions. See DESIGN.md at the repository root for the
+//! architecture and the mapping to the paper's sections.
+//!
+//! Entry point: [`Verifier`].
+//!
+//! ```
+//! use wave_core::Verifier;
+//! use wave_spec::parse_spec;
+//!
+//! let spec = parse_spec(r#"
+//!     spec pingpong {
+//!       inputs { button(x); }
+//!       home A;
+//!       page A {
+//!         inputs { button }
+//!         options button(x) <- x = "go";
+//!         target B <- button("go");
+//!       }
+//!       page B { target A <- true; }
+//!     }
+//! "#).unwrap();
+//! let verifier = Verifier::new(spec).unwrap();
+//! // from A the site can only move to B or stay on A
+//! let v = verifier.check_str("G (@A -> X (@A | @B))").unwrap();
+//! assert!(v.verdict.holds());
+//! ```
+
+pub mod config;
+pub mod domain;
+pub mod layout;
+pub mod ndfs;
+pub mod replay;
+pub mod succ;
+pub mod trie;
+pub mod universe;
+pub mod verifier;
+pub mod visibility;
+
+pub use config::{canonicalize, core_instance, Facts, PseudoConfig};
+pub use domain::{assignments, build_pools, Assignment, PagePool, ParamMode};
+pub use layout::RelLayout;
+pub use ndfs::{Budget, CounterExample, SearchStats, TraceStep};
+pub use replay::{replay, ReplayError};
+pub use succ::{SearchCtx, SuccError};
+pub use trie::{Phase, VisitTrie};
+pub use universe::{
+    core_universe, extension_universe, ExtensionPruning, Universe, UniverseOverflow,
+    MAX_BLOCKS, MAX_UNIVERSE,
+};
+pub use verifier::{Stats, Verdict, Verification, Verifier, VerifyError, VerifyOptions};
+pub use visibility::Visibility;

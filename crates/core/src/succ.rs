@@ -1,0 +1,366 @@
+//! Successor computation for pseudoconfigurations — the paper's `succP`
+//! procedure plus the construction of the start pseudoconfigurations.
+//!
+//! Given `Cs = ⟨Ds, Vs, Is, Ps, Ss, As⟩`:
+//!
+//! 1. the target page `Vt` is the unique page whose target condition holds
+//!    on `Cs` (zero or several true conditions ⇒ "no transition occurs",
+//!    modeled as staying on `Vs`),
+//! 2. the new state `St` applies the insert/delete rules (insert/delete
+//!    conflicts are no-ops) and keeps only tuples over `C`,
+//! 3. `Pt := Is` (the input becomes the previous input),
+//! 4. for every extension in `ext(Vt)` (Heuristic-2 pruned): compute the
+//!    input options by running `Vt`'s option rules, and for every input
+//!    choice compute the actions (kept over `C`) — yielding one successor
+//!    pseudoconfiguration per (extension, input choice).
+
+use crate::config::{canonicalize, Facts, PseudoConfig};
+use crate::domain::PagePool;
+use crate::universe::{extension_universe, ExtensionPruning, UniverseOverflow};
+use crate::visibility::Visibility;
+use std::collections::BTreeSet;
+use wave_fol::{answers, eval, prev_shadow_name, Bindings, EvalCtx, EvalError, SchemaResolver};
+use wave_relalg::{Instance, Params, Relation, RelKind, Tuple, Value};
+use wave_spec::{CompiledRule, CompiledSpec, Dataflow, PageId, RuleExec, TargetExec};
+
+/// Errors during successor computation.
+#[derive(Debug)]
+pub enum SuccError {
+    Overflow(UniverseOverflow),
+    Eval(EvalError),
+    Exec(wave_relalg::ExecError),
+}
+
+impl std::fmt::Display for SuccError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuccError::Overflow(e) => write!(f, "{e}"),
+            SuccError::Eval(e) => write!(f, "rule evaluation failed: {e}"),
+            SuccError::Exec(e) => write!(f, "plan execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SuccError {}
+
+impl From<UniverseOverflow> for SuccError {
+    fn from(e: UniverseOverflow) -> Self {
+        SuccError::Overflow(e)
+    }
+}
+
+impl From<EvalError> for SuccError {
+    fn from(e: EvalError) -> Self {
+        SuccError::Eval(e)
+    }
+}
+
+impl From<wave_relalg::ExecError> for SuccError {
+    fn from(e: wave_relalg::ExecError) -> Self {
+        SuccError::Exec(e)
+    }
+}
+
+/// Everything fixed during one core's search.
+pub struct SearchCtx<'a> {
+    pub spec: &'a CompiledSpec,
+    /// Session symbol table (spec symbols + pools + property params).
+    pub symbols: &'a wave_relalg::SymbolTable,
+    pub pools: &'a [PagePool],
+    pub flow: &'a Dataflow,
+    /// The constant set `C = C_W ∪ property constants ∪ C_∃`,
+    /// sorted (membership tests binary-search it).
+    pub c_values: Vec<Value>,
+    /// Instance holding exactly the core tuples.
+    pub base: Instance,
+    pub pruning: ExtensionPruning,
+    pub heuristic2: bool,
+    /// When false, every rule is interpreted (ablation baseline).
+    pub use_plans: bool,
+    /// Observability of prev inputs / states / actions (relevance pruning).
+    pub visibility: Visibility,
+}
+
+impl SearchCtx<'_> {
+    /// Quantification domain at an instance: active domain ∪ `C`.
+    fn domain(&self, inst: &Instance) -> Vec<Value> {
+        let mut dom = inst.active_domain();
+        dom.extend_from_slice(&self.c_values);
+        dom.sort_unstable();
+        dom.dedup();
+        dom
+    }
+
+    /// Run one rule, returning its derived head tuples.
+    fn run_rule(
+        &self,
+        rule: &CompiledRule,
+        inst: &Instance,
+        params: &Params,
+        page_name: &str,
+        domain: &[Value],
+    ) -> Result<Vec<Tuple>, SuccError> {
+        if self.use_plans {
+            if let RuleExec::Plan(q) = &rule.exec {
+                let rel = q.run(inst, params)?;
+                return Ok(rel.iter().cloned().collect());
+            }
+        }
+        let ctx = EvalCtx {
+            instance: inst,
+            symbols: self.symbols,
+            current_page: Some(page_name),
+            domain,
+        };
+        let rows = answers(&rule.body, &rule.head_vars, &ctx, &SchemaResolver(&self.spec.schema))?;
+        Ok(rows.into_iter().map(Tuple::from).collect())
+    }
+
+    /// Evaluate a target condition (a sentence).
+    fn target_holds(
+        &self,
+        t: &wave_spec::CompiledTarget,
+        inst: &Instance,
+        params: &Params,
+        page_name: &str,
+        domain: &[Value],
+    ) -> Result<bool, SuccError> {
+        if self.use_plans {
+            if let TargetExec::Plan(q) = &t.exec {
+                return Ok(q.run_bool(inst, params)?);
+            }
+        }
+        let ctx = EvalCtx {
+            instance: inst,
+            symbols: self.symbols,
+            current_page: Some(page_name),
+            domain,
+        };
+        Ok(eval(&t.condition, &ctx, &SchemaResolver(&self.spec.schema), &mut Bindings::new())?)
+    }
+
+    /// Is every value of the tuple in `C`? (States and actions keep only
+    /// ground tuples over `C`.)
+    fn over_c(&self, t: &Tuple) -> bool {
+        t.values()
+            .iter()
+            .all(|v| self.c_values.binary_search(v).is_ok())
+    }
+
+    /// The start pseudoconfigurations over the context's core: home page,
+    /// empty state and previous input, every extension and input choice.
+    pub fn initial_configs(&self) -> Result<Vec<PseudoConfig>, SuccError> {
+        self.expand_page(self.spec.home, Vec::new(), Vec::new())
+    }
+
+    /// The paper's `succP`.
+    pub fn successors(&self, cfg: &PseudoConfig) -> Result<Vec<PseudoConfig>, SuccError> {
+        let inst = cfg.materialize(self.spec, &self.base);
+        let params = self.spec.bind_params(&inst);
+        let page = self.spec.page(cfg.page);
+        let domain = self.domain(&inst);
+
+        // 1) target page
+        let mut fired: Vec<PageId> = Vec::new();
+        for t in &page.target_rules {
+            if self.target_holds(t, &inst, &params, &page.name, &domain)? {
+                fired.push(t.target);
+            }
+        }
+        fired.dedup();
+        let vt = match fired.as_slice() {
+            [one] => *one,
+            _ => cfg.page, // zero or several: no transition occurs
+        };
+
+        // 2) state update with insert/delete conflict = no-op, over C only
+        let mut state: BTreeSet<(wave_relalg::RelId, Tuple)> =
+            cfg.state.iter().cloned().collect();
+        let mut inserts: BTreeSet<(wave_relalg::RelId, Tuple)> = BTreeSet::new();
+        let mut deletes: BTreeSet<(wave_relalg::RelId, Tuple)> = BTreeSet::new();
+        for rule in &page.state_rules {
+            if !self.visibility.state_observable(rule.head) {
+                continue; // write-only state: nothing can read it
+            }
+            let tuples = self.run_rule(rule, &inst, &params, &page.name, &domain)?;
+            let sink = if rule.insert { &mut inserts } else { &mut deletes };
+            for t in tuples {
+                if self.over_c(&t) || !rule.insert {
+                    sink.insert((rule.head, t));
+                }
+            }
+        }
+        for f in inserts.iter() {
+            if !deletes.contains(f) {
+                state.insert(f.clone());
+            }
+        }
+        for f in deletes.iter() {
+            if !inserts.contains(f) {
+                state.remove(f);
+            }
+        }
+        let st: Facts = state.into_iter().collect();
+
+        // 3) previous input: current input re-keyed to the shadow
+        // relations, keeping only shadows observable at the target page
+        // (unobservable previous inputs would pointlessly multiply the
+        // visited configurations)
+        let prev: Facts = cfg
+            .input
+            .iter()
+            .filter_map(|(rel, t)| {
+                let shadow = self
+                    .spec
+                    .schema
+                    .lookup(&prev_shadow_name(self.spec.schema.name(*rel)))
+                    .expect("shadows declared for every input");
+                self.visibility
+                    .prev_observable(vt, shadow)
+                    .then(|| (shadow, t.clone()))
+            })
+            .collect();
+
+        // 4) extensions × options × input choices
+        self.expand_page(vt, canonicalize(prev), st)
+    }
+
+    /// Enumerate the configurations entering `page` with the given previous
+    /// input and state: every Heuristic-2 extension, every input choice,
+    /// with actions computed per choice.
+    fn expand_page(
+        &self,
+        page_id: PageId,
+        prev: Facts,
+        state: Facts,
+    ) -> Result<Vec<PseudoConfig>, SuccError> {
+        let page = self.spec.page(page_id);
+        let pool = &self.pools[page_id.index()];
+        let universe = extension_universe(
+            self.spec,
+            self.flow,
+            self.symbols,
+            &self.c_values,
+            page_id,
+            pool,
+            &prev,
+            self.pruning,
+            self.heuristic2,
+        )?;
+        let mut result = Vec::new();
+        for ext in universe.variants() {
+            let shell = PseudoConfig {
+                page: page_id,
+                ext,
+                input: Vec::new(),
+                prev: prev.clone(),
+                state: state.clone(),
+                actions: Vec::new(),
+            };
+            let inst = shell.materialize(self.spec, &self.base);
+            let params = self.spec.bind_params(&inst);
+            let domain = self.domain(&inst);
+
+            // options per input relation; choice lists per input
+            let mut choice_lists: Vec<(wave_relalg::RelId, Vec<Option<Tuple>>)> = Vec::new();
+            for &input in &page.inputs {
+                let mut opts: Vec<Option<Tuple>> = vec![None];
+                match self.spec.schema.kind(input) {
+                    RelKind::Input => {
+                        let mut seen = Relation::empty(self.spec.schema.arity(input));
+                        for rule in &page.option_rules {
+                            if rule.head != input {
+                                continue;
+                            }
+                            for t in
+                                self.run_rule(rule, &inst, &params, &page.name, &domain)?
+                            {
+                                if seen.insert(t.clone()) {
+                                    opts.push(Some(t));
+                                }
+                            }
+                        }
+                    }
+                    RelKind::InputConstant => {
+                        // text input: the page's fresh witness plus the
+                        // constants the field is compared against
+                        let mut vals: BTreeSet<Value> = pool
+                            .input_consts
+                            .iter()
+                            .filter(|(r, _)| *r == input)
+                            .map(|&(_, v)| v)
+                            .collect();
+                        let name = self.spec.schema.name(input);
+                        vals.extend(
+                            self.flow
+                                .consts(name, 0)
+                                .filter_map(|c| self.symbols.lookup_constant(c))
+                                .filter(|v| self.c_values.contains(v)),
+                        );
+                        opts.extend(vals.into_iter().map(|v| Some(Tuple::from([v]))));
+                    }
+                    _ => unreachable!("page inputs are input relations"),
+                }
+                choice_lists.push((input, opts));
+            }
+
+            // cartesian product of choices
+            let mut idx = vec![0usize; choice_lists.len()];
+            loop {
+                let input: Facts = canonicalize(
+                    choice_lists
+                        .iter()
+                        .zip(&idx)
+                        .filter_map(|((rel, opts), &i)| {
+                            opts[i].clone().map(|t| (*rel, t))
+                        })
+                        .collect(),
+                );
+                let mut cfg = shell.clone();
+                cfg.input = input;
+                // actions for this choice, kept over C — only worth
+                // materializing when the page has property-visible actions
+                let visible_actions: Vec<&CompiledRule> = page
+                    .action_rules
+                    .iter()
+                    .filter(|r| self.visibility.action_observable(r.head))
+                    .collect();
+                if !visible_actions.is_empty() {
+                    let inst2 = cfg.materialize(self.spec, &self.base);
+                    let params2 = self.spec.bind_params(&inst2);
+                    let domain2 = self.domain(&inst2);
+                    let mut actions: BTreeSet<(wave_relalg::RelId, Tuple)> =
+                        BTreeSet::new();
+                    for rule in visible_actions {
+                        for t in
+                            self.run_rule(rule, &inst2, &params2, &page.name, &domain2)?
+                        {
+                            if self.over_c(&t) {
+                                actions.insert((rule.head, t));
+                            }
+                        }
+                    }
+                    cfg.actions = actions.into_iter().collect();
+                }
+                result.push(cfg);
+
+                // odometer
+                let mut pos = choice_lists.len();
+                let mut done = true;
+                while pos > 0 {
+                    pos -= 1;
+                    idx[pos] += 1;
+                    if idx[pos] < choice_lists[pos].1.len() {
+                        done = false;
+                        break;
+                    }
+                    idx[pos] = 0;
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        Ok(result)
+    }
+}

@@ -1,0 +1,202 @@
+//! Trie of visited pseudoconfigurations.
+//!
+//! Section 4 of the paper: "The visited configurations are then stored in a
+//! trie data structure which allows updates and membership tests in time
+//! linear in the size of the bitmap." Keys here are the canonical byte
+//! encodings of `(automaton state, pseudoconfiguration)` pairs; each key
+//! carries two marks — the `0` (stick) and `1` (candy) flags of the nested
+//! depth-first search.
+//!
+//! The trie reports the statistics the paper's experiments table records:
+//! the number of keys resident (its "Max. trie size" column).
+
+/// A byte-trie with two boolean marks per key.
+#[derive(Debug)]
+pub struct VisitTrie {
+    nodes: Vec<Node>,
+    keys: usize,
+    max_keys: usize,
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    /// Sorted (byte, child index) pairs — keys are short, branching is low.
+    children: Vec<(u8, u32)>,
+    /// Bit 0: stick-visited; bit 1: candy-visited; bit 2: key present.
+    marks: u8,
+}
+
+/// Which search phase marked the key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// The outer search (flag `0` in the paper's pseudocode).
+    Stick,
+    /// The nested search (flag `1`).
+    Candy,
+}
+
+impl Phase {
+    fn mask(self) -> u8 {
+        match self {
+            Phase::Stick => 0b01,
+            Phase::Candy => 0b10,
+        }
+    }
+}
+
+impl Default for VisitTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VisitTrie {
+    /// Empty trie.
+    pub fn new() -> Self {
+        VisitTrie { nodes: vec![Node::default()], keys: 0, max_keys: 0 }
+    }
+
+    /// Remove all keys but remember the historical maximum.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(Node::default());
+        self.keys = 0;
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.keys
+    }
+
+    /// True when no key is stored.
+    pub fn is_empty(&self) -> bool {
+        self.keys == 0
+    }
+
+    /// Largest number of keys ever resident (across `clear`s).
+    pub fn max_len(&self) -> usize {
+        self.max_keys
+    }
+
+    /// Number of trie nodes (memory diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn descend(&mut self, key: &[u8]) -> usize {
+        let mut cur = 0usize;
+        for &b in key {
+            cur = match self.nodes[cur].children.binary_search_by_key(&b, |&(c, _)| c) {
+                Ok(i) => self.nodes[cur].children[i].1 as usize,
+                Err(i) => {
+                    let next = self.nodes.len();
+                    self.nodes.push(Node::default());
+                    self.nodes[cur].children.insert(i, (b, next as u32));
+                    next
+                }
+            };
+        }
+        cur
+    }
+
+    /// Mark `key` as visited in `phase`. Returns `true` if it was already
+    /// marked for that phase (i.e. the search can prune).
+    pub fn mark(&mut self, key: &[u8], phase: Phase) -> bool {
+        let node = self.descend(key);
+        let n = &mut self.nodes[node];
+        let was_key = n.marks & 0b100 != 0;
+        let was_marked = n.marks & phase.mask() != 0;
+        n.marks |= 0b100 | phase.mask();
+        if !was_key {
+            self.keys += 1;
+            self.max_keys = self.max_keys.max(self.keys);
+        }
+        was_marked
+    }
+
+    /// Is `key` marked for `phase`?
+    pub fn is_marked(&self, key: &[u8], phase: Phase) -> bool {
+        let mut cur = 0usize;
+        for &b in key {
+            match self.nodes[cur].children.binary_search_by_key(&b, |&(c, _)| c) {
+                Ok(i) => cur = self.nodes[cur].children[i].1 as usize,
+                Err(_) => return false,
+            }
+        }
+        self.nodes[cur].marks & phase.mask() != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_keys_are_unmarked() {
+        let t = VisitTrie::new();
+        assert!(!t.is_marked(b"abc", Phase::Stick));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn mark_reports_prior_state() {
+        let mut t = VisitTrie::new();
+        assert!(!t.mark(b"abc", Phase::Stick));
+        assert!(t.mark(b"abc", Phase::Stick));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn phases_are_independent() {
+        let mut t = VisitTrie::new();
+        t.mark(b"k", Phase::Stick);
+        assert!(!t.is_marked(b"k", Phase::Candy));
+        assert!(!t.mark(b"k", Phase::Candy));
+        assert!(t.is_marked(b"k", Phase::Candy));
+        assert_eq!(t.len(), 1, "same key, both phases: one key");
+    }
+
+    #[test]
+    fn prefix_keys_are_distinct() {
+        let mut t = VisitTrie::new();
+        t.mark(b"ab", Phase::Stick);
+        assert!(!t.is_marked(b"a", Phase::Stick));
+        assert!(!t.is_marked(b"abc", Phase::Stick));
+        t.mark(b"a", Phase::Stick);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_key_is_a_valid_key() {
+        let mut t = VisitTrie::new();
+        assert!(!t.mark(b"", Phase::Candy));
+        assert!(t.is_marked(b"", Phase::Candy));
+    }
+
+    #[test]
+    fn clear_resets_but_max_persists() {
+        let mut t = VisitTrie::new();
+        for i in 0..10u8 {
+            t.mark(&[i], Phase::Stick);
+        }
+        assert_eq!(t.max_len(), 10);
+        t.clear();
+        assert_eq!(t.len(), 0);
+        t.mark(b"x", Phase::Stick);
+        assert_eq!(t.max_len(), 10, "historic max survives clear");
+    }
+
+    #[test]
+    fn many_keys_round_trip() {
+        let mut t = VisitTrie::new();
+        let keys: Vec<Vec<u8>> = (0..500u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        for k in &keys {
+            assert!(!t.mark(k, Phase::Stick));
+        }
+        for k in &keys {
+            assert!(t.is_marked(k, Phase::Stick));
+            assert!(!t.is_marked(k, Phase::Candy));
+        }
+        assert_eq!(t.len(), 500);
+    }
+}

@@ -1,0 +1,738 @@
+//! Tuple universes and bitmap enumeration for database cores and
+//! extensions (Sections 3.2 and 4 of the paper).
+//!
+//! A *universe* is the list of candidate tuples a core (or a page's
+//! extension) may draw from. Subsets are enumerated with the paper's
+//! bitmap-counter scheme: treat the candidate list as bit positions,
+//! start from the all-zero bitmap and increment until all-ones — thereby
+//! generating *only* the instances allowed by the pruning heuristics,
+//! directly, without post-filtering.
+//!
+//! * **Heuristic 1 (cores)** — a core tuple's attribute may only hold a
+//!   constant from its dataflow comparison set (restricted to `C`);
+//!   attributes compared to nothing admit no tuples at all.
+//! * **Heuristic 2 (extensions)** — an extension tuple at page `V` may
+//!   additionally hold values of input attributes it is compared to at `V`
+//!   (the concrete previous-input values, and the page's fresh witnesses
+//!   for current-input comparisons), plus — beyond the paper's two-sentence
+//!   formulation — the *option-support* witnesses: tuples instantiating an
+//!   option rule's body atoms with the rule's `C_V` values, without which
+//!   pages reachable only through option choices would become unreachable
+//!   in pseudoruns (see DESIGN.md).
+
+use crate::config::{canonicalize, Facts};
+use crate::domain::PagePool;
+use std::collections::BTreeSet;
+use std::fmt;
+use wave_fol::{Atom, Term};
+use wave_relalg::{RelId, RelKind, Tuple, Value};
+use wave_spec::{CompiledSpec, Dataflow, PageId};
+
+/// Enumeration guard for *subset-enumerated* universes (cores and strict
+/// extension candidates): beyond this many candidate tuples the `2^n`
+/// enumeration is intractable, and the verifier reports an error instead
+/// of silently truncating (soundness first).
+pub const MAX_UNIVERSE: usize = 14;
+
+/// Guard for per-option-rule witness blocks, which multiply the extension
+/// count linearly (one-of-n choice), not exponentially.
+pub const MAX_BLOCKS: usize = 64;
+
+/// How extensions are pruned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExtensionPruning {
+    /// Exactly the paper's formulation: only attributes compared to
+    /// constants or input attributes admit values. (Reproduces the
+    /// Example 3.7 count of one extension at page LSP.)
+    PaperStrict,
+    /// The paper's formulation plus option-support witness tuples
+    /// (default; preserves reachability through option choices).
+    OptionSupport,
+}
+
+/// Universe-size overflow error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UniverseOverflow {
+    pub what: &'static str,
+    pub size: usize,
+}
+
+impl fmt::Display for UniverseOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} universe has {} candidate tuples (limits: {} subset-enumerated, \
+             {} per witness rule); the specification/property pair is outside \
+             wave's practical fragment",
+            self.what, self.size, MAX_UNIVERSE, MAX_BLOCKS
+        )
+    }
+}
+
+impl std::error::Error for UniverseOverflow {}
+
+/// A candidate-tuple list with bitmap subset enumeration.
+#[derive(Clone, Debug, Default)]
+pub struct Universe {
+    /// Candidate facts in canonical order.
+    pub candidates: Facts,
+}
+
+impl Universe {
+    /// Number of candidate tuples.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// True when only the empty subset exists.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Number of subsets (`2^len`), as the paper counts cores/extensions.
+    pub fn subset_count(&self) -> u64 {
+        1u64 << self.candidates.len().min(63)
+    }
+
+    /// Enumerate all subsets via the bitmap counter.
+    pub fn subsets(&self) -> SubsetIter<'_> {
+        SubsetIter { universe: self, next: Some(0) }
+    }
+
+    /// Decode one bitmap into its facts.
+    pub fn decode(&self, bitmap: u64) -> Facts {
+        self.candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bitmap >> i & 1 == 1)
+            .map(|(_, f)| f.clone())
+            .collect()
+    }
+}
+
+/// Iterator over subsets in bitmap-counter order (all-zero to all-one).
+pub struct SubsetIter<'a> {
+    universe: &'a Universe,
+    next: Option<u64>,
+}
+
+impl Iterator for SubsetIter<'_> {
+    type Item = Facts;
+
+    fn next(&mut self) -> Option<Facts> {
+        let bitmap = self.next?;
+        let facts = self.universe.decode(bitmap);
+        let last = self.universe.subset_count() - 1;
+        self.next = if bitmap == last { None } else { Some(bitmap + 1) };
+        Some(facts)
+    }
+}
+
+/// Build the Heuristic-1 core universe: for every database relation, the
+/// product of per-attribute comparison-constant sets (restricted to `C`).
+/// With `heuristic1 = false` the universe is `C^arity` per relation —
+/// usually overflowing, exactly as the paper's Example 3.4 illustrates.
+pub fn core_universe(
+    spec: &CompiledSpec,
+    flow: &Dataflow,
+    symbols: &wave_relalg::SymbolTable,
+    c_values: &[Value],
+    heuristic1: bool,
+) -> Result<Universe, UniverseOverflow> {
+    let mut candidates: Facts = Vec::new();
+    for rel in spec.schema.rels() {
+        if spec.schema.kind(rel) != RelKind::Database
+            || spec.schema.name(rel).starts_with("page$")
+        {
+            continue;
+        }
+        let arity = spec.schema.arity(rel);
+        let name = spec.schema.name(rel);
+        let domains: Vec<Vec<Value>> = (0..arity)
+            .map(|col| {
+                if heuristic1 {
+                    flow.consts(name, col)
+                        .filter_map(|c| symbols.lookup_constant(c))
+                        .filter(|v| c_values.contains(v))
+                        .collect()
+                } else {
+                    c_values.to_vec()
+                }
+            })
+            .collect();
+        push_product(rel, &domains, &mut candidates, "core")?;
+    }
+    Ok(Universe { candidates: canonicalize(candidates) })
+}
+
+/// The extension space at a page: independent strict-Heuristic-2
+/// candidate tuples (bitmap-enumerated subsets) plus, per option rule, a
+/// list of alternative *witness blocks* — joint instantiations of the
+/// rule's database atoms, one of which (or none) is included per
+/// extension. Blocks keep the enumeration linear in the number of
+/// instantiations instead of exponential in the number of witness tuples.
+#[derive(Clone, Debug, Default)]
+pub struct ExtUniverse {
+    /// Independent candidates (the paper's strict Heuristic 2).
+    pub strict: Universe,
+    /// Per option rule: alternative joint witness blocks.
+    pub blocks: Vec<Vec<Facts>>,
+}
+
+impl ExtUniverse {
+    /// Number of extensions enumerated.
+    pub fn variant_count(&self) -> u64 {
+        let mut n = self.strict.subset_count();
+        for b in &self.blocks {
+            n = n.saturating_mul(1 + b.len() as u64);
+        }
+        n
+    }
+
+    /// Enumerate every extension (strict subset × one-or-none block per
+    /// rule), canonicalized.
+    pub fn variants(&self) -> Vec<Facts> {
+        let mut out: Vec<Facts> = self.strict.subsets().collect();
+        for blocks in &self.blocks {
+            if blocks.is_empty() {
+                continue;
+            }
+            let base = std::mem::take(&mut out);
+            for facts in &base {
+                out.push(facts.clone());
+                for b in blocks {
+                    let mut merged = facts.clone();
+                    merged.extend(b.iter().cloned());
+                    out.push(canonicalize(merged));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Build the Heuristic-2 extension universe for transitions *into* `page`,
+/// given the concrete previous-input facts.
+#[allow(clippy::too_many_arguments)] // the paper's ext(V) genuinely takes this context
+pub fn extension_universe(
+    spec: &CompiledSpec,
+    flow: &Dataflow,
+    symbols: &wave_relalg::SymbolTable,
+    c_values: &[Value],
+    page: PageId,
+    pool: &PagePool,
+    prev_input: &Facts,
+    pruning: ExtensionPruning,
+    heuristic2: bool,
+) -> Result<ExtUniverse, UniverseOverflow> {
+    let page_name = &spec.page(page).name;
+    let mut candidates: Facts = Vec::new();
+    // previous-input facts are keyed by the `prev$` shadow relations
+    let prev_value = |rel_name: &str, col: usize| -> Option<Value> {
+        let id = spec.schema.lookup(&wave_fol::prev_shadow_name(rel_name))?;
+        prev_input
+            .iter()
+            .find(|(r, _)| *r == id)
+            .map(|(_, t)| t.get(col))
+    };
+    for rel in spec.schema.rels() {
+        if spec.schema.kind(rel) != RelKind::Database
+            || spec.schema.name(rel).starts_with("page$")
+        {
+            continue;
+        }
+        let arity = spec.schema.arity(rel);
+        let name = spec.schema.name(rel).to_owned();
+        if !heuristic2 {
+            // no pruning: every attribute ranges over C plus the page pool
+            let mut dom: Vec<Value> = c_values.to_vec();
+            dom.extend(pool.values());
+            let domains: Vec<Vec<Value>> = (0..arity).map(|_| dom.clone()).collect();
+            push_product(rel, &domains, &mut candidates, "extension")?;
+            continue;
+        }
+        let domains: Vec<Vec<Value>> = (0..arity)
+            .map(|col| {
+                let mut dom: BTreeSet<Value> = flow
+                    .consts(&name, col)
+                    .filter_map(|c| symbols.lookup_constant(c))
+                    .filter(|v| c_values.contains(v))
+                    .collect();
+                for (src_rel, src_col, prev) in flow.input_sources(page_name, &name, col) {
+                    let Some(src_id) = spec.schema.lookup(src_rel) else { continue };
+                    if !spec.schema.kind(src_id).is_input() {
+                        continue; // variable sharing with non-input atoms is not an input comparison
+                    }
+                    if *prev {
+                        // the concrete previous-input value, if any
+                        dom.extend(prev_value(src_rel, *src_col));
+                    } else {
+                        // values the current input may take at that column:
+                        // pool witnesses feeding it plus its own comparison
+                        // constants
+                        dom.extend(
+                            flow.consts(src_rel, *src_col)
+                                .filter_map(|c| symbols.lookup_constant(c))
+                                .filter(|v| c_values.contains(v)),
+                        );
+                        if spec.schema.kind(src_id) == RelKind::InputConstant {
+                            dom.extend(
+                                pool.input_consts
+                                    .iter()
+                                    .filter(|(r, _)| *r == src_id)
+                                    .map(|&(_, v)| v),
+                            );
+                        } else {
+                            // option-rule head variables at that input column
+                            for (ri, rule) in
+                                spec.page(page).option_rules.iter().enumerate()
+                            {
+                                if rule.head == src_id {
+                                    if let Some(hv) = rule.head_vars.get(*src_col) {
+                                        dom.extend(pool.opt_var(ri, hv));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                dom.into_iter().collect::<Vec<Value>>()
+            })
+            .collect();
+        push_product(rel, &domains, &mut candidates, "extension")?;
+    }
+    let mut blocks = if pruning == ExtensionPruning::OptionSupport {
+        option_support(spec, flow, symbols, c_values, page, pool)?
+    } else {
+        Vec::new()
+    };
+    // Tuples entirely over C belong to the *core*, which is fixed for the
+    // whole run; letting them float in per-step extensions would make the
+    // database appear to change between configurations (the paper's
+    // extensions carry only tuples involving the fresh C_V values).
+    let over_c = |t: &Tuple| t.values().iter().all(|v| c_values.contains(v));
+    candidates.retain(|(_, t)| !over_c(t));
+    for rule_blocks in &mut blocks {
+        for facts in rule_blocks.iter_mut() {
+            facts.retain(|(_, t)| !over_c(t));
+        }
+        rule_blocks.retain(|facts| !facts.is_empty());
+        rule_blocks.sort_unstable();
+        rule_blocks.dedup();
+    }
+    blocks.retain(|b| !b.is_empty());
+    Ok(ExtUniverse { strict: Universe { candidates: canonicalize(candidates) }, blocks })
+}
+
+/// Option-support witness blocks: for each option rule of the page, the
+/// joint instantiations of its database atoms under assignments sending
+/// each rule variable to its `C_V` witness — head variables may instead
+/// take a constant the corresponding input column is compared to (per the
+/// dataflow's copy propagation, this covers properties and rules that
+/// compare the chosen option value to a named constant). Without these
+/// witnesses, pages reachable only through option choices would be
+/// unreachable in pseudoruns (see DESIGN.md).
+fn option_support(
+    spec: &CompiledSpec,
+    flow: &Dataflow,
+    symbols: &wave_relalg::SymbolTable,
+    c_values: &[Value],
+    page: PageId,
+    pool: &PagePool,
+) -> Result<Vec<Vec<Facts>>, UniverseOverflow> {
+    let mut out: Vec<Vec<Facts>> = Vec::new();
+    for (ri, rule) in spec.page(page).option_rules.iter().enumerate() {
+        let input_name = spec.schema.name(rule.head).to_owned();
+        let mut atoms: Vec<Atom> = Vec::new();
+        rule.body.visit_atoms(&mut |a: &Atom| {
+            if let Some(rel) = spec.schema.lookup(&a.rel) {
+                if spec.schema.kind(rel) == RelKind::Database {
+                    atoms.push(a.clone());
+                }
+            }
+        });
+        if atoms.is_empty() {
+            continue;
+        }
+        // variable domains: fresh witness, plus input-column constants for
+        // head variables, plus constants the variable is equated to inside
+        // the rule body (e.g. `… & status = "ordered"` — without the named
+        // value the witness could never satisfy the rule)
+        let mut vars: Vec<String> = Vec::new();
+        for a in &atoms {
+            for t in &a.terms {
+                if let Term::Var(v) = t {
+                    if !vars.contains(v) {
+                        vars.push(v.clone());
+                    }
+                }
+            }
+        }
+        let eq_consts = equality_constants(&rule.body);
+        let domains: Vec<Vec<Value>> = vars
+            .iter()
+            .map(|v| {
+                let mut dom: BTreeSet<Value> = pool.opt_var(ri, v).into_iter().collect();
+                if let Some(head_col) = rule.head_vars.iter().position(|hv| hv == v) {
+                    dom.extend(
+                        flow.consts(&input_name, head_col)
+                            .filter_map(|c| symbols.lookup_constant(c))
+                            .filter(|val| c_values.contains(val)),
+                    );
+                }
+                if let Some(cs) = eq_consts.get(v) {
+                    dom.extend(
+                        cs.iter()
+                            .filter_map(|c| symbols.lookup_constant(c))
+                            .filter(|val| c_values.contains(val)),
+                    );
+                }
+                dom.into_iter().collect()
+            })
+            .collect();
+        let total: usize = domains.iter().map(Vec::len).product();
+        if total > MAX_BLOCKS {
+            return Err(UniverseOverflow { what: "option-witness", size: total });
+        }
+        if domains.iter().any(Vec::is_empty) {
+            continue;
+        }
+        // enumerate assignments (odometer) and instantiate the atoms
+        let mut blocks: Vec<Facts> = Vec::new();
+        let mut idx = vec![0usize; vars.len()];
+        loop {
+            let value_of = |v: &str| -> Value {
+                let i = vars.iter().position(|x| x == v).expect("collected");
+                domains[i][idx[i]]
+            };
+            let mut facts: Facts = Vec::new();
+            let mut ok = true;
+            for a in &atoms {
+                let rel = spec.schema.lookup(&a.rel).expect("checked");
+                let mut vals = Vec::with_capacity(a.terms.len());
+                for t in &a.terms {
+                    match t {
+                        Term::Var(v) => vals.push(value_of(v)),
+                        Term::Const(c) => match symbols.lookup_constant(c) {
+                            Some(val) => vals.push(val),
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        },
+                        Term::Field { .. } => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    break;
+                }
+                facts.push((rel, Tuple::from(vals)));
+            }
+            if ok {
+                let facts = canonicalize(facts);
+                if !blocks.contains(&facts) {
+                    blocks.push(facts);
+                }
+            }
+            // odometer
+            let mut pos = vars.len();
+            let mut done = true;
+            while pos > 0 {
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < domains[pos].len() {
+                    done = false;
+                    break;
+                }
+                idx[pos] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+        if !blocks.is_empty() {
+            out.push(blocks);
+        }
+    }
+    Ok(out)
+}
+
+/// Constants each variable is (transitively) equated or compared to by the
+/// equality atoms of a formula — a small union-find over variable names.
+fn equality_constants(
+    f: &wave_fol::Formula,
+) -> std::collections::BTreeMap<String, BTreeSet<String>> {
+    use wave_fol::Formula as F;
+    let mut pairs: Vec<(String, String)> = Vec::new(); // var ~ var
+    let mut direct: Vec<(String, String)> = Vec::new(); // var ~ const
+    fn walk(f: &wave_fol::Formula, pairs: &mut Vec<(String, String)>, direct: &mut Vec<(String, String)>) {
+        use wave_fol::Formula as F;
+        match f {
+            F::Eq(a, b) | F::Ne(a, b) => match (a, b) {
+                (Term::Var(x), Term::Var(y)) => pairs.push((x.clone(), y.clone())),
+                (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => {
+                    direct.push((x.clone(), c.clone()))
+                }
+                _ => {}
+            },
+            F::Not(x) => walk(x, pairs, direct),
+            F::And(xs) | F::Or(xs) => xs.iter().for_each(|x| walk(x, pairs, direct)),
+            F::Implies(a, b) => {
+                walk(a, pairs, direct);
+                walk(b, pairs, direct);
+            }
+            F::Exists(_, x) | F::Forall(_, x) => walk(x, pairs, direct),
+            _ => {}
+        }
+    }
+    walk(f, &mut pairs, &mut direct);
+    let _ = F::True; // anchor the import
+    // transitive closure by iterating until stable (formulas are tiny)
+    let mut out: std::collections::BTreeMap<String, BTreeSet<String>> =
+        std::collections::BTreeMap::new();
+    for (v, c) in &direct {
+        out.entry(v.clone()).or_default().insert(c.clone());
+    }
+    loop {
+        let mut changed = false;
+        for (x, y) in &pairs {
+            let xs = out.get(x).cloned().unwrap_or_default();
+            let ys = out.get(y).cloned().unwrap_or_default();
+            let union: BTreeSet<String> = xs.union(&ys).cloned().collect();
+            if union.len() > xs.len() {
+                out.insert(x.clone(), union.clone());
+                changed = true;
+            }
+            if union.len() > ys.len() {
+                out.insert(y.clone(), union);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    out
+}
+
+/// Append the cartesian product of per-column domains as candidate tuples.
+/// An empty domain in any column admits no tuples (the Heuristic-1 effect:
+/// "there are no tuples to consider for the cores of these tables").
+fn push_product(
+    rel: RelId,
+    domains: &[Vec<Value>],
+    out: &mut Facts,
+    what: &'static str,
+) -> Result<(), UniverseOverflow> {
+    if domains.iter().any(Vec::is_empty) {
+        return Ok(());
+    }
+    let total: usize = domains.iter().map(Vec::len).product();
+    if out.len() + total > MAX_UNIVERSE {
+        return Err(UniverseOverflow { what, size: out.len() + total });
+    }
+    let mut current = vec![0usize; domains.len()];
+    loop {
+        let tuple: Vec<Value> =
+            current.iter().zip(domains).map(|(&i, d)| d[i]).collect();
+        out.push((rel, Tuple::from(tuple)));
+        // odometer increment
+        let mut pos = domains.len();
+        loop {
+            if pos == 0 {
+                return Ok(());
+            }
+            pos -= 1;
+            current[pos] += 1;
+            if current[pos] < domains[pos].len() {
+                break;
+            }
+            current[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::build_pools;
+    use wave_spec::{analyze, parse_spec, CompiledSpec};
+
+    fn lsp() -> CompiledSpec {
+        CompiledSpec::compile(
+            parse_spec(
+                r#"
+            spec shop {
+              database { user(name, passwd); criteria(cat, attr, value); }
+              state    { userchoice(r, h, d); }
+              inputs   { button(x); laptopsearch(r, h, d); }
+              home LSP;
+              page LSP {
+                inputs { button, laptopsearch }
+                options button(x) <- x = "search" | x = "view_cart" | x = "logout";
+                options laptopsearch(r, h, d) <-
+                    criteria("laptop", "ram", r) & criteria("laptop", "hdd", h)
+                  & criteria("laptop", "display", d);
+                insert userchoice(r, h, d) <- laptopsearch(r, h, d) & button("search");
+                target HP  <- button("logout");
+                target PIP <- exists r, h, d: laptopsearch(r, h, d) & button("search");
+                target CC  <- button("view_cart");
+              }
+              page HP  { target HP <- true; }
+              page PIP { target PIP <- true; }
+              page CC  { target CC <- true; }
+            }
+        "#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn heuristic1_leaves_empty_core_universe_for_lsp() {
+        // Example 3.5 shape: criteria's third attribute and both user
+        // attributes are compared to no constant → no core candidates
+        let spec = lsp();
+        let flow = analyze(&spec.spec, &[]);
+        let u = core_universe(&spec, &flow, &spec.symbols, &spec.constants, true).unwrap();
+        assert_eq!(u.len(), 0, "{:?}", u.candidates);
+        assert_eq!(u.subset_count(), 1, "only the empty core");
+    }
+
+    #[test]
+    fn without_heuristic1_core_universe_overflows() {
+        let spec = lsp();
+        let flow = analyze(&spec.spec, &[]);
+        let err = core_universe(&spec, &flow, &spec.symbols, &spec.constants, false).unwrap_err();
+        // |C| = 6 constants → 6^2 + 6^3 = 252 candidates ≫ limit
+        assert!(err.size > MAX_UNIVERSE);
+    }
+
+    #[test]
+    fn paper_strict_extension_is_empty_at_lsp() {
+        // Example 3.7: Heuristic 2 leaves only the empty extension
+        let spec = lsp();
+        let flow = analyze(&spec.spec, &[]);
+        let mut symbols = spec.symbols.clone();
+        let pools = build_pools(&spec, &mut symbols);
+        let page = spec.page_id("LSP").unwrap();
+        let u = extension_universe(
+            &spec,
+            &flow,
+            &symbols,
+            &spec.constants,
+            page,
+            &pools[page.index()],
+            &Vec::new(),
+            ExtensionPruning::PaperStrict,
+            true,
+        )
+        .unwrap();
+        assert_eq!(u.variant_count(), 1, "{:?}", u.strict.candidates);
+    }
+
+    #[test]
+    fn option_support_adds_witness_tuples_at_lsp() {
+        let spec = lsp();
+        let flow = analyze(&spec.spec, &[]);
+        let mut symbols = spec.symbols.clone();
+        let pools = build_pools(&spec, &mut symbols);
+        let page = spec.page_id("LSP").unwrap();
+        let u = extension_universe(
+            &spec,
+            &flow,
+            &symbols,
+            &spec.constants,
+            page,
+            &pools[page.index()],
+            &Vec::new(),
+            ExtensionPruning::OptionSupport,
+            true,
+        )
+        .unwrap();
+        // strict part is empty; the laptopsearch option rule contributes a
+        // single joint witness block of three criteria tuples
+        assert!(u.strict.is_empty(), "{:?}", u.strict.candidates);
+        assert_eq!(u.blocks.len(), 1);
+        assert_eq!(u.blocks[0].len(), 1);
+        assert_eq!(u.blocks[0][0].len(), 3);
+        assert_eq!(u.variant_count(), 2, "empty extension or the full witness block");
+        let criteria = spec.schema.lookup("criteria").unwrap();
+        assert!(u.blocks[0][0].iter().all(|(r, _)| *r == criteria));
+    }
+
+    #[test]
+    fn subsets_enumerate_bitmap_counter_order() {
+        let spec = lsp();
+        let criteria = spec.schema.lookup("criteria").unwrap();
+        let u = Universe {
+            candidates: vec![
+                (criteria, Tuple::from([Value(1), Value(2), Value(3)])),
+                (criteria, Tuple::from([Value(4), Value(5), Value(6)])),
+            ],
+        };
+        let all: Vec<Facts> = u.subsets().collect();
+        assert_eq!(all.len(), 4);
+        assert!(all[0].is_empty(), "first subset is the all-zero bitmap");
+        assert_eq!(all[3].len(), 2, "last subset is the all-one bitmap");
+    }
+
+    #[test]
+    fn extension_universe_uses_prev_input_values() {
+        // state rule at HP' comparing db column to previous input value
+        let spec = CompiledSpec::compile(
+            parse_spec(
+                r#"
+            spec s {
+              database { stock(item); }
+              state { held(item); }
+              inputs { pick(x); }
+              home A;
+              page A {
+                inputs { pick }
+                options pick(x) <- exists y: stock(y) & x = y;
+                target B <- exists x: pick(x);
+                target A <- true;
+              }
+              page B {
+                insert held(x) <- prev pick(x) & stock(x);
+                target A <- true;
+              }
+            }
+        "#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let flow = analyze(&spec.spec, &[]);
+        let mut symbols = spec.symbols.clone();
+        let pools = build_pools(&spec, &mut symbols);
+        let b = spec.page_id("B").unwrap();
+        let pick = spec.schema.lookup("prev$pick").unwrap();
+        let prev: Facts = vec![(pick, Tuple::from([Value(77)]))];
+        let u = extension_universe(
+            &spec,
+            &flow,
+            &symbols,
+            &spec.constants,
+            b,
+            &pools[b.index()],
+            &prev,
+            ExtensionPruning::OptionSupport,
+            true,
+        )
+        .unwrap();
+        let stock = spec.schema.lookup("stock").unwrap();
+        assert!(
+            u.strict.candidates.contains(&(stock, Tuple::from([Value(77)]))),
+            "stock must be able to hold the previously picked value: {:?}",
+            u.strict.candidates
+        );
+    }
+}

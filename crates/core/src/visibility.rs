@@ -1,0 +1,263 @@
+//! Relevance analysis for configuration components.
+//!
+//! The paper's heuristics "rely on a dataflow analysis to prune the partial
+//! configurations with tuples that are irrelevant to the rules and
+//! property". Beyond the core/extension pruning, three further components
+//! of a pseudoconfiguration can be dropped without changing any observable
+//! behaviour, collapsing otherwise-distinct configurations in the visited
+//! trie:
+//!
+//! * **previous inputs** an input relation's `prev` shadow matters at page
+//!   `V` only if some rule of `V` (or the property) mentions `prev R` —
+//!   otherwise the successor's previous-input component is unobservable
+//!   and can be cleared;
+//! * **write-only states** — a state relation read by no rule body and
+//!   absent from the property never influences anything; its insert/delete
+//!   rules need not even run;
+//! * **silent actions** — an action relation the property does not mention
+//!   is pure output; its tuples need not be computed or stored.
+//!
+//! All three are observational-equivalence reductions: the pruned
+//! component affects neither rule evaluation nor the property's FO
+//! components, so every pruned pseudorun represents the same set of
+//! genuine runs.
+
+use std::collections::BTreeSet;
+use wave_fol::Formula;
+use wave_relalg::RelId;
+use wave_spec::CompiledSpec;
+
+/// Which configuration components are observable, per page and globally.
+#[derive(Debug, Clone)]
+pub struct Visibility {
+    /// Per page: input relations whose `prev` shadow is observable there
+    /// (stored as the *shadow* relation ids).
+    prev_visible: Vec<BTreeSet<RelId>>,
+    /// State relations read by some rule body or the property.
+    state_visible: BTreeSet<RelId>,
+    /// Action relations the property mentions.
+    action_visible: BTreeSet<RelId>,
+}
+
+impl Visibility {
+    /// Compute visibility from the compiled spec and the property's
+    /// (instantiation-independent) FO components.
+    pub fn compute(spec: &CompiledSpec, components: &[Formula]) -> Visibility {
+        // relations (name, prev) mentioned by the property
+        let mut prop_rels: BTreeSet<(String, bool)> = BTreeSet::new();
+        for f in components {
+            for (rel, prev) in wave_fol::relations(f) {
+                prop_rels.insert((rel, prev));
+            }
+        }
+        let prop_prev: BTreeSet<&str> = prop_rels
+            .iter()
+            .filter(|(_, prev)| *prev)
+            .map(|(rel, _)| rel.as_str())
+            .collect();
+
+        // per page: prev mentions in any rule body of that page
+        let mut prev_visible = Vec::with_capacity(spec.pages.len());
+        for page in &spec.pages {
+            let mut seen: BTreeSet<RelId> = BTreeSet::new();
+            let add_prev = |f: &Formula, seen: &mut BTreeSet<RelId>| {
+                for (rel, prev) in wave_fol::relations(f) {
+                    if prev {
+                        if let Some(id) =
+                            spec.schema.lookup(&wave_fol::prev_shadow_name(&rel))
+                        {
+                            seen.insert(id);
+                        }
+                    }
+                }
+            };
+            for r in page
+                .option_rules
+                .iter()
+                .chain(&page.state_rules)
+                .chain(&page.action_rules)
+            {
+                add_prev(&r.body, &mut seen);
+            }
+            for t in &page.target_rules {
+                add_prev(&t.condition, &mut seen);
+            }
+            // the property observes prev inputs at every page
+            for rel in &prop_prev {
+                if let Some(id) = spec.schema.lookup(&wave_fol::prev_shadow_name(rel)) {
+                    seen.insert(id);
+                }
+            }
+            prev_visible.push(seen);
+        }
+
+        // states read anywhere (rule bodies across all pages) or in property
+        let mut state_visible: BTreeSet<RelId> = BTreeSet::new();
+        let add_states = |f: &Formula, out: &mut BTreeSet<RelId>| {
+            for (rel, _) in wave_fol::relations(f) {
+                if let Some(id) = spec.schema.lookup(&rel) {
+                    if spec.schema.kind(id) == wave_relalg::RelKind::State {
+                        out.insert(id);
+                    }
+                }
+            }
+        };
+        for page in &spec.pages {
+            for r in page
+                .option_rules
+                .iter()
+                .chain(&page.state_rules)
+                .chain(&page.action_rules)
+            {
+                add_states(&r.body, &mut state_visible);
+            }
+            for t in &page.target_rules {
+                add_states(&t.condition, &mut state_visible);
+            }
+        }
+        for f in components {
+            add_states(f, &mut state_visible);
+        }
+
+        // actions mentioned by the property
+        let mut action_visible: BTreeSet<RelId> = BTreeSet::new();
+        for (rel, _) in prop_rels {
+            if let Some(id) = spec.schema.lookup(&rel) {
+                if spec.schema.kind(id) == wave_relalg::RelKind::Action {
+                    action_visible.insert(id);
+                }
+            }
+        }
+
+        Visibility { prev_visible, state_visible, action_visible }
+    }
+
+    /// Everything visible (used when reductions are disabled).
+    pub fn full(spec: &CompiledSpec) -> Visibility {
+        let shadows: BTreeSet<RelId> = spec
+            .schema
+            .rels()
+            .filter(|&r| spec.schema.name(r).starts_with("prev$"))
+            .collect();
+        Visibility {
+            prev_visible: vec![shadows; spec.pages.len()],
+            state_visible: spec
+                .schema
+                .rels()
+                .filter(|&r| spec.schema.kind(r) == wave_relalg::RelKind::State)
+                .collect(),
+            action_visible: spec
+                .schema
+                .rels()
+                .filter(|&r| spec.schema.kind(r) == wave_relalg::RelKind::Action)
+                .collect(),
+        }
+    }
+
+    /// Is the prev shadow `shadow` observable at `page`?
+    pub fn prev_observable(&self, page: wave_spec::PageId, shadow: RelId) -> bool {
+        self.prev_visible[page.index()].contains(&shadow)
+    }
+
+    /// Is the state relation observable anywhere?
+    pub fn state_observable(&self, state: RelId) -> bool {
+        self.state_visible.contains(&state)
+    }
+
+    /// Is the action relation observable (i.e. in the property)?
+    pub fn action_observable(&self, action: RelId) -> bool {
+        self.action_visible.contains(&action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_spec::{parse_spec, CompiledSpec};
+
+    fn spec() -> CompiledSpec {
+        CompiledSpec::compile(
+            parse_spec(
+                r#"
+            spec s {
+              database { db(a); }
+              state { readstate(a); writeonly(a); }
+              action { act(a); silent(a); }
+              inputs { pick(x); go(x); }
+              home P;
+              page P {
+                inputs { pick, go }
+                options pick(x) <- db(x);
+                options go(x) <- x = "on";
+                insert readstate(x) <- pick(x);
+                insert writeonly(x) <- pick(x);
+                target Q <- exists x: pick(x);
+              }
+              page Q {
+                inputs { go }
+                options go(x) <- x = "on";
+                action act(x) <- exists y: prev pick(y) & x = y & readstate(x);
+                action silent(x) <- readstate(x) & go("on");
+                target P <- go("on");
+              }
+            }
+        "#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prev_visibility_is_page_local() {
+        let s = spec();
+        let vis = Visibility::compute(&s, &[]);
+        let shadow = s.schema.lookup("prev$pick").unwrap();
+        let p = s.page_id("P").unwrap();
+        let q = s.page_id("Q").unwrap();
+        assert!(!vis.prev_observable(p, shadow), "P never reads prev pick");
+        assert!(vis.prev_observable(q, shadow), "Q's action rule reads prev pick");
+    }
+
+    #[test]
+    fn property_makes_prev_visible_everywhere() {
+        let s = spec();
+        let prop = wave_fol::parse_formula(r#"prev go("on")"#).unwrap();
+        let vis = Visibility::compute(&s, &[prop]);
+        let shadow = s.schema.lookup("prev$go").unwrap();
+        for page in ["P", "Q"] {
+            assert!(vis.prev_observable(s.page_id(page).unwrap(), shadow));
+        }
+    }
+
+    #[test]
+    fn write_only_states_are_invisible() {
+        let s = spec();
+        let vis = Visibility::compute(&s, &[]);
+        assert!(vis.state_observable(s.schema.lookup("readstate").unwrap()));
+        assert!(!vis.state_observable(s.schema.lookup("writeonly").unwrap()));
+        // mentioning it in the property flips visibility
+        let prop = wave_fol::parse_formula(r#"writeonly("on")"#).unwrap();
+        let vis2 = Visibility::compute(&s, &[prop]);
+        assert!(vis2.state_observable(s.schema.lookup("writeonly").unwrap()));
+    }
+
+    #[test]
+    fn only_property_actions_are_visible() {
+        let s = spec();
+        let prop = wave_fol::parse_formula(r#"act("on")"#).unwrap();
+        let vis = Visibility::compute(&s, &[prop]);
+        assert!(vis.action_observable(s.schema.lookup("act").unwrap()));
+        assert!(!vis.action_observable(s.schema.lookup("silent").unwrap()));
+    }
+
+    #[test]
+    fn full_visibility_sees_everything() {
+        let s = spec();
+        let vis = Visibility::full(&s);
+        assert!(vis.state_observable(s.schema.lookup("writeonly").unwrap()));
+        assert!(vis.action_observable(s.schema.lookup("silent").unwrap()));
+        let shadow = s.schema.lookup("prev$go").unwrap();
+        assert!(vis.prev_observable(s.page_id("P").unwrap(), shadow));
+    }
+}

@@ -1,0 +1,484 @@
+//! Static analyses over formulas: free variables, constants, relation
+//! usage, and the *input-boundedness* check that gates completeness of the
+//! verifier (Section 2.1 of the paper).
+//!
+//! Input-boundedness requires every quantification to be guarded by an
+//! input atom:
+//!
+//! * `exists x̄: (R(…) & φ)` where `R` is a current/previous input relation
+//!   whose atom contains all of `x̄`, and no `x ∈ x̄` occurs in a state or
+//!   action atom of `φ`;
+//! * `forall x̄: (R(…) -> φ)` with the same conditions.
+//!
+//! Input *option* rules obey a different restriction (only existential
+//! quantifiers, ground state atoms); that check lives here too since it is
+//! purely formula-shaped.
+
+use crate::ast::{Atom, Formula, Term};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Relation-kind oracle the checks need: given a relation name, what kind
+/// of relation is it? Implemented by `wave-spec`'s compiled specification;
+/// tests use closures.
+pub trait RelKinds {
+    /// True if `rel` is an input relation or input constant.
+    fn is_input(&self, rel: &str) -> bool;
+    /// True if `rel` is a state relation.
+    fn is_state(&self, rel: &str) -> bool;
+    /// True if `rel` is an action relation.
+    fn is_action(&self, rel: &str) -> bool;
+}
+
+impl<F1, F2, F3> RelKinds for (F1, F2, F3)
+where
+    F1: Fn(&str) -> bool,
+    F2: Fn(&str) -> bool,
+    F3: Fn(&str) -> bool,
+{
+    fn is_input(&self, rel: &str) -> bool {
+        (self.0)(rel)
+    }
+    fn is_state(&self, rel: &str) -> bool {
+        (self.1)(rel)
+    }
+    fn is_action(&self, rel: &str) -> bool {
+        (self.2)(rel)
+    }
+}
+
+/// Free variables of a formula, in first-occurrence order.
+pub fn free_vars(f: &Formula) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    collect_free(f, &mut HashSet::new(), &mut out, &mut seen);
+    out
+}
+
+fn collect_free(
+    f: &Formula,
+    bound: &mut HashSet<String>,
+    out: &mut Vec<String>,
+    seen: &mut HashSet<String>,
+) {
+    let term = |t: &Term, bound: &HashSet<String>, out: &mut Vec<String>, seen: &mut HashSet<String>| {
+        if let Term::Var(v) = t {
+            if !bound.contains(v) && seen.insert(v.clone()) {
+                out.push(v.clone());
+            }
+        }
+    };
+    match f {
+        Formula::True | Formula::False | Formula::Page(_) | Formula::InputEmpty { .. } => {}
+        Formula::Atom(a) => {
+            for t in &a.terms {
+                term(t, bound, out, seen);
+            }
+        }
+        Formula::Eq(a, b) | Formula::Ne(a, b) => {
+            term(a, bound, out, seen);
+            term(b, bound, out, seen);
+        }
+        Formula::Not(x) => collect_free(x, bound, out, seen),
+        Formula::And(xs) | Formula::Or(xs) => {
+            for x in xs {
+                collect_free(x, bound, out, seen);
+            }
+        }
+        Formula::Implies(a, b) => {
+            collect_free(a, bound, out, seen);
+            collect_free(b, bound, out, seen);
+        }
+        Formula::Exists(vs, x) | Formula::Forall(vs, x) => {
+            let newly: Vec<String> =
+                vs.iter().filter(|v| bound.insert((*v).clone())).cloned().collect();
+            collect_free(x, bound, out, seen);
+            for v in newly {
+                bound.remove(&v);
+            }
+        }
+    }
+}
+
+/// All named constants mentioned by the formula, in first-occurrence order.
+pub fn constants(f: &Formula) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    walk_terms(f, &mut |t| {
+        if let Term::Const(c) = t {
+            if seen.insert(c.clone()) {
+                out.push(c.clone());
+            }
+        }
+    });
+    out
+}
+
+/// All relation names mentioned (with their prev flag), first occurrence
+/// order.
+pub fn relations(f: &Formula) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    f.visit_atoms(&mut |a: &Atom| {
+        let key = (a.rel.clone(), a.prev);
+        if seen.insert(key.clone()) {
+            out.push(key);
+        }
+    });
+    out
+}
+
+fn walk_terms(f: &Formula, visit: &mut impl FnMut(&Term)) {
+    match f {
+        Formula::Atom(a) => {
+            for t in &a.terms {
+                visit(t);
+            }
+        }
+        Formula::Eq(a, b) | Formula::Ne(a, b) => {
+            visit(a);
+            visit(b);
+        }
+        Formula::Not(x) => walk_terms(x, visit),
+        Formula::And(xs) | Formula::Or(xs) => {
+            for x in xs {
+                walk_terms(x, visit);
+            }
+        }
+        Formula::Implies(a, b) => {
+            walk_terms(a, visit);
+            walk_terms(b, visit);
+        }
+        Formula::Exists(_, x) | Formula::Forall(_, x) => walk_terms(x, visit),
+        _ => {}
+    }
+}
+
+/// Why a formula fails the input-boundedness test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IbViolation {
+    /// An `exists` whose body is not guarded by a positive input atom
+    /// covering all quantified variables.
+    UnguardedExists { vars: Vec<String> },
+    /// A `forall` whose body is not an implication guarded by an input atom
+    /// covering all quantified variables.
+    UnguardedForall { vars: Vec<String> },
+    /// A quantified variable occurs in a state or action atom.
+    QuantifiedVarInStateOrAction { var: String, rel: String },
+}
+
+impl fmt::Display for IbViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IbViolation::UnguardedExists { vars } => {
+                write!(f, "existential over {:?} is not guarded by an input atom", vars)
+            }
+            IbViolation::UnguardedForall { vars } => {
+                write!(f, "universal over {:?} is not guarded by an input atom", vars)
+            }
+            IbViolation::QuantifiedVarInStateOrAction { var, rel } => {
+                write!(f, "quantified variable {var} occurs in state/action atom {rel}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IbViolation {}
+
+/// Check the input-boundedness restriction on a formula (Section 2.1).
+///
+/// Guard shapes accepted:
+/// * `exists x̄: G & φ` (or just `exists x̄: G`) with `G` a positive input
+///   atom containing every `x ∈ x̄`;
+/// * `forall x̄: G -> φ` with the same guard condition.
+///
+/// Additionally, no quantified variable may appear inside a state or action
+/// atom anywhere under its binder.
+pub fn check_input_bounded(f: &Formula, kinds: &impl RelKinds) -> Result<(), IbViolation> {
+    match f {
+        Formula::Exists(vars, body) => {
+            let (guard, rest) = split_guard_conj(body);
+            let guard = guard.filter(|g| covers(g, vars, kinds));
+            match guard {
+                Some(_) => {
+                    check_no_state_action(vars, body, kinds)?;
+                    for r in rest {
+                        check_input_bounded(r, kinds)?;
+                    }
+                    Ok(())
+                }
+                None => Err(IbViolation::UnguardedExists { vars: vars.clone() }),
+            }
+        }
+        Formula::Forall(vars, body) => match body.as_ref() {
+            Formula::Implies(lhs, rhs) => {
+                if let Formula::Atom(g) = lhs.as_ref() {
+                    if covers(g, vars, kinds) {
+                        check_no_state_action(vars, body, kinds)?;
+                        return check_input_bounded(rhs, kinds);
+                    }
+                }
+                Err(IbViolation::UnguardedForall { vars: vars.clone() })
+            }
+            _ => Err(IbViolation::UnguardedForall { vars: vars.clone() }),
+        },
+        Formula::Not(x) => check_input_bounded(x, kinds),
+        Formula::And(xs) | Formula::Or(xs) => {
+            xs.iter().try_for_each(|x| check_input_bounded(x, kinds))
+        }
+        Formula::Implies(a, b) => {
+            check_input_bounded(a, kinds)?;
+            check_input_bounded(b, kinds)
+        }
+        _ => Ok(()),
+    }
+}
+
+/// If the body is `G & φ1 & …` (or just `G`) return the first positive
+/// input-compatible atom as guard candidate plus the remaining conjuncts.
+fn split_guard_conj(body: &Formula) -> (Option<&Atom>, Vec<&Formula>) {
+    match body {
+        Formula::Atom(a) => (Some(a), vec![]),
+        Formula::And(xs) => {
+            for (i, x) in xs.iter().enumerate() {
+                if let Formula::Atom(a) = x {
+                    let rest: Vec<&Formula> =
+                        xs.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, f)| f).collect();
+                    return (Some(a), rest);
+                }
+            }
+            (None, xs.iter().collect())
+        }
+        other => (None, vec![other]),
+    }
+}
+
+/// Does atom `a` guard all of `vars`? It must be an input atom (current or
+/// previous) containing each quantified variable.
+fn covers(a: &Atom, vars: &[String], kinds: &impl RelKinds) -> bool {
+    if !kinds.is_input(&a.rel) {
+        return false;
+    }
+    vars.iter().all(|v| a.terms.iter().any(|t| t.as_var() == Some(v)))
+}
+
+fn check_no_state_action(
+    vars: &[String],
+    body: &Formula,
+    kinds: &impl RelKinds,
+) -> Result<(), IbViolation> {
+    let mut violation = None;
+    body.visit_atoms(&mut |a: &Atom| {
+        if violation.is_some() {
+            return;
+        }
+        if kinds.is_state(&a.rel) || kinds.is_action(&a.rel) {
+            for t in &a.terms {
+                if let Term::Var(v) = t {
+                    if vars.contains(v) {
+                        violation = Some(IbViolation::QuantifiedVarInStateOrAction {
+                            var: v.clone(),
+                            rel: a.rel.clone(),
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+    });
+    match violation {
+        Some(v) => Err(v),
+        None => Ok(()),
+    }
+}
+
+/// Why a formula is not a legal input-option rule body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OptionRuleViolation {
+    /// Universal quantifier present.
+    UniversalQuantifier,
+    /// A state atom contains a variable (option rules require ground state
+    /// atoms).
+    StateAtomWithVariable { rel: String },
+    /// Option rules may not read the *current* input (it has not been
+    /// chosen yet); only previous input is visible.
+    CurrentInputAtom { rel: String },
+}
+
+impl fmt::Display for OptionRuleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionRuleViolation::UniversalQuantifier => {
+                write!(f, "option rules may use only existential quantification")
+            }
+            OptionRuleViolation::StateAtomWithVariable { rel } => {
+                write!(f, "state atom {rel} in option rule contains a variable")
+            }
+            OptionRuleViolation::CurrentInputAtom { rel } => {
+                write!(f, "option rule reads current input {rel}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptionRuleViolation {}
+
+/// Check the input-option rule restriction: existential quantification
+/// only, ground state atoms, and no reference to the current input.
+pub fn check_option_rule(
+    f: &Formula,
+    kinds: &impl RelKinds,
+) -> Result<(), OptionRuleViolation> {
+    // universal quantifiers anywhere are disallowed (note: `Implies`/`Not`
+    // are allowed; the "existential only" restriction in the paper is about
+    // quantifiers)
+    fn no_forall(f: &Formula) -> bool {
+        match f {
+            Formula::Forall(_, _) => false,
+            Formula::Not(x) => no_forall(x),
+            Formula::And(xs) | Formula::Or(xs) => xs.iter().all(no_forall),
+            Formula::Implies(a, b) => no_forall(a) && no_forall(b),
+            Formula::Exists(_, x) => no_forall(x),
+            _ => true,
+        }
+    }
+    if !no_forall(f) {
+        return Err(OptionRuleViolation::UniversalQuantifier);
+    }
+    let mut violation = None;
+    f.visit_atoms(&mut |a: &Atom| {
+        if violation.is_some() {
+            return;
+        }
+        if kinds.is_state(&a.rel) && a.terms.iter().any(|t| matches!(t, Term::Var(_))) {
+            violation = Some(OptionRuleViolation::StateAtomWithVariable { rel: a.rel.clone() });
+        } else if kinds.is_input(&a.rel) && !a.prev {
+            violation = Some(OptionRuleViolation::CurrentInputAtom { rel: a.rel.clone() });
+        }
+    });
+    match violation {
+        Some(v) => Err(v),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn kinds() -> impl RelKinds {
+        (
+            |r: &str| r.starts_with("in_") || r == "pay" || r == "button" || r == "laptopsearch",
+            |r: &str| r.starts_with("st_") || r == "cart" || r == "userchoice",
+            |r: &str| r.starts_with("act_") || r == "conf" || r == "ship",
+        )
+    }
+
+    #[test]
+    fn free_vars_in_order() {
+        let f = parse_formula("r(x, y) & exists z: s(z, x)").unwrap();
+        assert_eq!(free_vars(&f), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn constants_collected() {
+        let f = parse_formula(r#"r(x, "a") & x = "b" | @HP"#).unwrap();
+        assert_eq!(constants(&f), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn paper_payment_formula_is_input_bounded() {
+        // ∀x,y (pay(x,y) → price(x,y)) with pay an input relation
+        let f = parse_formula("forall x, y: pay(x, y) -> price(x, y)").unwrap();
+        assert!(check_input_bounded(&f, &kinds()).is_ok());
+    }
+
+    #[test]
+    fn unguarded_forall_rejected() {
+        // price is a database relation, not input
+        let f = parse_formula("forall x, y: price(x, y) -> pay(x, y)").unwrap();
+        assert_eq!(
+            check_input_bounded(&f, &kinds()),
+            Err(IbViolation::UnguardedForall { vars: vec!["x".into(), "y".into()] })
+        );
+    }
+
+    #[test]
+    fn guarded_exists_accepted() {
+        let f = parse_formula(r#"exists r, h, d: laptopsearch(r, h, d) & button("search")"#)
+            .unwrap();
+        assert!(check_input_bounded(&f, &kinds()).is_ok());
+    }
+
+    #[test]
+    fn exists_guard_must_cover_all_vars() {
+        let f = parse_formula("exists x, y: pay(x, x) & db(y)").unwrap();
+        assert!(matches!(
+            check_input_bounded(&f, &kinds()),
+            Err(IbViolation::UnguardedExists { .. })
+        ));
+    }
+
+    #[test]
+    fn quantified_var_in_state_atom_rejected() {
+        let f = parse_formula("exists x: pay(x, y) & cart(x, z)").unwrap();
+        assert_eq!(
+            check_input_bounded(&f, &kinds()),
+            Err(IbViolation::QuantifiedVarInStateOrAction {
+                var: "x".into(),
+                rel: "cart".into()
+            })
+        );
+    }
+
+    #[test]
+    fn ground_state_atoms_fine_under_quantifier() {
+        let f = parse_formula(r#"exists x: pay(x, y) & cart("item1", "100")"#).unwrap();
+        assert!(check_input_bounded(&f, &kinds()).is_ok());
+    }
+
+    #[test]
+    fn option_rule_rejects_forall() {
+        let f = parse_formula("forall x: pay(x, x) -> db(x)").unwrap();
+        assert_eq!(
+            check_option_rule(&f, &kinds()),
+            Err(OptionRuleViolation::UniversalQuantifier)
+        );
+    }
+
+    #[test]
+    fn option_rule_rejects_state_vars_and_current_input() {
+        let f = parse_formula("cart(x, y)").unwrap();
+        assert!(matches!(
+            check_option_rule(&f, &kinds()),
+            Err(OptionRuleViolation::StateAtomWithVariable { .. })
+        ));
+        let g = parse_formula(r#"button("search")"#).unwrap();
+        assert!(matches!(
+            check_option_rule(&g, &kinds()),
+            Err(OptionRuleViolation::CurrentInputAtom { .. })
+        ));
+        let h = parse_formula(r#"prev button("search") & cart("a", "b")"#).unwrap();
+        assert!(check_option_rule(&h, &kinds()).is_ok());
+    }
+
+    #[test]
+    fn lsp_option_rule_is_legal() {
+        let f = parse_formula(
+            r#"criteria("laptop", "ram", r) & criteria("laptop", "hdd", h)
+               & criteria("laptop", "display", d)"#,
+        )
+        .unwrap();
+        assert!(check_option_rule(&f, &kinds()).is_ok());
+    }
+
+    #[test]
+    fn relations_lists_prev_separately() {
+        let f = parse_formula("button(x) & prev button(y)").unwrap();
+        assert_eq!(
+            relations(&f),
+            vec![("button".to_string(), false), ("button".to_string(), true)]
+        );
+    }
+}

@@ -1,0 +1,343 @@
+//! First-order formula AST.
+//!
+//! This is the surface representation produced by the parser and consumed
+//! by the analyses, the rewriter, the evaluator and the plan compiler.
+//! Relations and constants are referenced *by name*; resolution against a
+//! concrete [`wave_relalg::Schema`] happens at evaluation/compilation time
+//! so that one formula can be validated early and reused across contexts.
+
+use std::fmt;
+
+/// A term: a variable, a named constant, or (after the Section 4 input
+/// rewrite) a component of the current/previous input tuple.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A first-order variable.
+    Var(String),
+    /// A named constant (interned to a `Value` at evaluation time).
+    Const(String),
+    /// Component `col` of the unique tuple currently held by input
+    /// relation `rel` (`prev` selects the previous step's input). Produced
+    /// only by the input-quantifier elimination rewrite; never written by
+    /// users.
+    Field { rel: String, col: usize, prev: bool },
+}
+
+impl Term {
+    /// The variable name, if this term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c:?}"),
+            Term::Field { rel, col, prev } => {
+                if *prev {
+                    write!(f, "prev {rel}#{col}")
+                } else {
+                    write!(f, "{rel}#{col}")
+                }
+            }
+        }
+    }
+}
+
+/// A relational atom `R(t1, …, tk)`. `prev` marks references to the
+/// previous step's input (only meaningful for input relations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    pub rel: String,
+    pub prev: bool,
+    pub terms: Vec<Term>,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.prev {
+            write!(f, "prev ")?;
+        }
+        write!(f, "{}(", self.rel)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A first-order formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    True,
+    False,
+    /// Relational atom.
+    Atom(Atom),
+    /// "The current page is `name`" — usable in properties; compiled to a
+    /// nullary page-marker relation.
+    Page(String),
+    /// Equality of terms.
+    Eq(Term, Term),
+    /// Disequality of terms.
+    Ne(Term, Term),
+    /// "Input relation `rel` holds no tuple this step" (`prev` for the
+    /// previous step). Produced by the input rewrite (the paper's
+    /// `emptyI` flag).
+    InputEmpty { rel: String, prev: bool },
+    Not(Box<Formula>),
+    And(Vec<Formula>),
+    Or(Vec<Formula>),
+    Implies(Box<Formula>, Box<Formula>),
+    Exists(Vec<String>, Box<Formula>),
+    Forall(Vec<String>, Box<Formula>),
+}
+
+impl Formula {
+    /// Conjunction that flattens nested `And`s and drops `True`.
+    pub fn and(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(mut inner) => out.append(&mut inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction that flattens nested `Or`s and drops `False`.
+    pub fn or(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(mut inner) => out.append(&mut inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Logical negation with trivial simplifications.
+    #[allow(clippy::should_implement_trait)] // associated constructor, not an operator
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Visit every atom (including those under negation/quantifiers).
+    pub fn visit_atoms<'a>(&'a self, f: &mut impl FnMut(&'a Atom)) {
+        match self {
+            Formula::Atom(a) => f(a),
+            Formula::Not(x) => x.visit_atoms(f),
+            Formula::And(xs) | Formula::Or(xs) => {
+                for x in xs {
+                    x.visit_atoms(f);
+                }
+            }
+            Formula::Implies(a, b) => {
+                a.visit_atoms(f);
+                b.visit_atoms(f);
+            }
+            Formula::Exists(_, x) | Formula::Forall(_, x) => x.visit_atoms(f),
+            _ => {}
+        }
+    }
+
+    /// Substitute variables by terms (capture is the caller's problem:
+    /// the rewriter only substitutes freshly eliminated quantified
+    /// variables by ground `Field` terms, so capture cannot occur there).
+    pub fn substitute(&self, map: &std::collections::HashMap<String, Term>) -> Formula {
+        let sub_term = |t: &Term| -> Term {
+            if let Term::Var(v) = t {
+                if let Some(replacement) = map.get(v) {
+                    return replacement.clone();
+                }
+            }
+            t.clone()
+        };
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(a) => Formula::Atom(Atom {
+                rel: a.rel.clone(),
+                prev: a.prev,
+                terms: a.terms.iter().map(sub_term).collect(),
+            }),
+            Formula::Page(p) => Formula::Page(p.clone()),
+            Formula::Eq(a, b) => Formula::Eq(sub_term(a), sub_term(b)),
+            Formula::Ne(a, b) => Formula::Ne(sub_term(a), sub_term(b)),
+            Formula::InputEmpty { rel, prev } => {
+                Formula::InputEmpty { rel: rel.clone(), prev: *prev }
+            }
+            Formula::Not(x) => Formula::Not(Box::new(x.substitute(map))),
+            Formula::And(xs) => Formula::And(xs.iter().map(|x| x.substitute(map)).collect()),
+            Formula::Or(xs) => Formula::Or(xs.iter().map(|x| x.substitute(map)).collect()),
+            Formula::Implies(a, b) => Formula::Implies(
+                Box::new(a.substitute(map)),
+                Box::new(b.substitute(map)),
+            ),
+            Formula::Exists(vs, x) => {
+                let inner_map: std::collections::HashMap<_, _> = map
+                    .iter()
+                    .filter(|(k, _)| !vs.contains(k))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                Formula::Exists(vs.clone(), Box::new(x.substitute(&inner_map)))
+            }
+            Formula::Forall(vs, x) => {
+                let inner_map: std::collections::HashMap<_, _> = map
+                    .iter()
+                    .filter(|(k, _)| !vs.contains(k))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                Formula::Forall(vs.clone(), Box::new(x.substitute(&inner_map)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Page(p) => write!(f, "@{p}"),
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Ne(a, b) => write!(f, "{a} != {b}"),
+            Formula::InputEmpty { rel, prev } => {
+                write!(f, "empty({}{rel})", if *prev { "prev " } else { "" })
+            }
+            Formula::Not(x) => write!(f, "!({x})"),
+            Formula::And(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} -> {b})"),
+            // quantifiers scope maximally right in the grammar, so the
+            // printer parenthesizes them to keep printing/parsing inverse
+            Formula::Exists(vs, x) => write!(f, "(exists {}: ({x}))", vs.join(", ")),
+            Formula::Forall(vs, x) => write!(f, "(forall {}: ({x}))", vs.join(", ")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn atom(rel: &str, terms: &[Term]) -> Formula {
+        Formula::Atom(Atom { rel: rel.into(), prev: false, terms: terms.to_vec() })
+    }
+
+    #[test]
+    fn and_flattens_and_short_circuits() {
+        let a = atom("r", &[Term::Var("x".into())]);
+        let nested = Formula::and([
+            a.clone(),
+            Formula::True,
+            Formula::And(vec![a.clone(), a.clone()]),
+        ]);
+        assert!(matches!(&nested, Formula::And(xs) if xs.len() == 3));
+        assert_eq!(Formula::and([Formula::False, a.clone()]), Formula::False);
+        assert_eq!(Formula::and([]), Formula::True);
+        assert_eq!(Formula::and([a.clone()]), a);
+    }
+
+    #[test]
+    fn or_flattens_and_short_circuits() {
+        let a = atom("r", &[]);
+        assert_eq!(Formula::or([Formula::True, a.clone()]), Formula::True);
+        assert_eq!(Formula::or([]), Formula::False);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let a = atom("r", &[]);
+        assert_eq!(Formula::not(Formula::not(a.clone())), a);
+    }
+
+    #[test]
+    fn substitute_respects_binders() {
+        let f = Formula::Exists(
+            vec!["x".into()],
+            Box::new(Formula::Eq(Term::Var("x".into()), Term::Var("y".into()))),
+        );
+        let mut map = HashMap::new();
+        map.insert("x".to_string(), Term::Const("a".into()));
+        map.insert("y".to_string(), Term::Const("b".into()));
+        let g = f.substitute(&map);
+        // bound x untouched, free y replaced
+        assert_eq!(
+            g,
+            Formula::Exists(
+                vec!["x".into()],
+                Box::new(Formula::Eq(Term::Var("x".into()), Term::Const("b".into()))),
+            )
+        );
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let f = Formula::Implies(
+            Box::new(atom("pay", &[Term::Var("x".into()), Term::Var("y".into())])),
+            Box::new(atom("price", &[Term::Var("x".into()), Term::Var("y".into())])),
+        );
+        assert_eq!(format!("{f}"), "(pay(x, y) -> price(x, y))");
+    }
+
+    #[test]
+    fn visit_atoms_reaches_all() {
+        let f = Formula::Forall(
+            vec!["x".into()],
+            Box::new(Formula::Implies(
+                Box::new(atom("a", &[])),
+                Box::new(Formula::Not(Box::new(atom("b", &[])))),
+            )),
+        );
+        let mut names = Vec::new();
+        f.visit_atoms(&mut |a| names.push(a.rel.clone()));
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

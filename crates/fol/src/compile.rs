@@ -1,0 +1,779 @@
+//! Compilation of (safe-range) FO formulas to relational-algebra plans.
+//!
+//! This is the analogue of the paper's FO→SQL translation: rule bodies are
+//! compiled once into parameterized plans ([`wave_relalg::Plan`]) and then
+//! re-executed with fresh parameter bindings at every step of the search.
+//! Input-tuple components ([`Term::Field`]) and empty-input flags become
+//! parameter slots, allocated through a [`SlotMap`] shared by all plans of
+//! a specification, so one binding pass per step serves every rule.
+//!
+//! The compiler handles the *safe-range* fragment: every free variable must
+//! be ranged by a positive atom (or pinned by an equality to a ground
+//! term), negation must be guarded, and disjuncts must share their free
+//! variables. Input-bounded rule bodies always land in this fragment after
+//! the [`crate::rewrite`] pass. Formulas outside the fragment are rejected
+//! with [`CompileError::Unsafe`] and the caller falls back to the direct
+//! evaluator — the same soundness-preserving division of labour the paper
+//! describes for its SQL translation.
+//!
+//! ### Empty-input caveat
+//!
+//! When an input relation is empty, its field parameters are bound to a
+//! sentinel value that occurs in no relation. Formulas produced by the
+//! rewrite always test the empty flag *before* touching fields, so plans
+//! never observe the sentinel in a semantically relevant position. (This
+//! mirrors the paper's `emptyI` flag in the generated SQL.)
+
+use crate::ast::{Atom, Formula, Term};
+use crate::eval::prev_shadow_name;
+use std::collections::HashMap;
+use std::fmt;
+use wave_relalg::{Plan, Pred, RelId, Scalar, Schema, SymbolTable};
+
+/// Allocation of parameter slots for input-tuple fields and empty flags.
+/// Shared across all compiled rules of a spec so the verifier performs one
+/// binding pass per step.
+#[derive(Debug, Default, Clone)]
+pub struct SlotMap {
+    fields: HashMap<(String, usize, bool), usize>,
+    empties: HashMap<(String, bool), usize>,
+    next: usize,
+}
+
+impl SlotMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Slot carrying component `col` of input relation `rel`.
+    pub fn field_slot(&mut self, rel: &str, col: usize, prev: bool) -> usize {
+        let next = &mut self.next;
+        *self
+            .fields
+            .entry((rel.to_owned(), col, prev))
+            .or_insert_with(|| {
+                let s = *next;
+                *next += 1;
+                s
+            })
+    }
+
+    /// Slot carrying the empty-flag of input relation `rel`.
+    pub fn empty_slot(&mut self, rel: &str, prev: bool) -> usize {
+        let next = &mut self.next;
+        *self
+            .empties
+            .entry((rel.to_owned(), prev))
+            .or_insert_with(|| {
+                let s = *next;
+                *next += 1;
+                s
+            })
+    }
+
+    /// Total number of slots allocated.
+    pub fn len(&self) -> usize {
+        self.next
+    }
+
+    /// True when no slots were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.next == 0
+    }
+
+    /// Iterate `((rel, col, prev), slot)` field allocations.
+    pub fn fields(&self) -> impl Iterator<Item = (&(String, usize, bool), usize)> {
+        self.fields.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterate `((rel, prev), slot)` empty-flag allocations.
+    pub fn empties(&self) -> impl Iterator<Item = (&(String, bool), usize)> {
+        self.empties.iter().map(|(k, &v)| (k, v))
+    }
+}
+
+/// Why a formula could not be compiled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// Formula is outside the safe-range fragment; the message names the
+    /// offending construct. Callers fall back to direct evaluation.
+    Unsafe(String),
+    UnknownRelation { rel: String, prev: bool },
+    UnknownConstant(String),
+    ArityMismatch { rel: String, expected: usize, got: usize },
+    /// A requested head variable is not free in the body.
+    MissingHeadVar(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Unsafe(m) => write!(f, "formula outside safe-range fragment: {m}"),
+            CompileError::UnknownRelation { rel, prev } => {
+                write!(f, "unknown relation {}{rel}", if *prev { "prev " } else { "" })
+            }
+            CompileError::UnknownConstant(c) => write!(f, "unknown constant {c:?}"),
+            CompileError::ArityMismatch { rel, expected, got } => {
+                write!(f, "atom {rel} has {got} terms, relation has arity {expected}")
+            }
+            CompileError::MissingHeadVar(v) => {
+                write!(f, "head variable {v} is not free in the rule body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compilation context.
+pub struct CompileCtx<'a> {
+    pub schema: &'a Schema,
+    pub symbols: &'a SymbolTable,
+    pub slots: &'a mut SlotMap,
+}
+
+impl CompileCtx<'_> {
+    fn resolve(&self, rel: &str, prev: bool) -> Result<RelId, CompileError> {
+        let name = if prev { prev_shadow_name(rel) } else { rel.to_owned() };
+        self.schema
+            .lookup(&name)
+            .ok_or_else(|| CompileError::UnknownRelation { rel: rel.to_owned(), prev })
+    }
+
+    /// Conventional name of the nullary page-marker relation for `page`.
+    pub fn page_marker_name(page: &str) -> String {
+        format!("page${page}")
+    }
+
+    fn ground_scalar(&mut self, t: &Term) -> Result<Option<Scalar>, CompileError> {
+        Ok(match t {
+            Term::Const(c) => Some(Scalar::Const(
+                self.symbols
+                    .lookup_constant(c)
+                    .ok_or_else(|| CompileError::UnknownConstant(c.clone()))?,
+            )),
+            Term::Field { rel, col, prev } => {
+                Some(Scalar::Param(self.slots.field_slot(rel, *col, *prev)))
+            }
+            Term::Var(_) => None,
+        })
+    }
+}
+
+/// A compiled formula: a plan producing the satisfying assignments of
+/// `cols` (one output column per free variable, in `cols` order).
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    pub plan: Plan,
+    pub cols: Vec<String>,
+}
+
+fn unit() -> Plan {
+    Plan::Values { width: 0, rows: vec![vec![]] }
+}
+
+fn empty_unit() -> Plan {
+    Plan::Values { width: 0, rows: vec![] }
+}
+
+/// Compile a formula into a plan over its free variables.
+pub fn compile(f: &Formula, ctx: &mut CompileCtx<'_>) -> Result<Compiled, CompileError> {
+    match f {
+        Formula::True => Ok(Compiled { plan: unit(), cols: vec![] }),
+        Formula::False => Ok(Compiled { plan: empty_unit(), cols: vec![] }),
+        Formula::Page(p) => {
+            let marker = CompileCtx::page_marker_name(p);
+            let id = ctx.schema.lookup(&marker).ok_or_else(|| {
+                CompileError::UnknownRelation { rel: marker.clone(), prev: false }
+            })?;
+            Ok(Compiled { plan: Plan::Scan(id), cols: vec![] })
+        }
+        Formula::InputEmpty { rel, prev } => {
+            let slot = ctx.slots.empty_slot(rel, *prev);
+            Ok(Compiled {
+                plan: Plan::Select { input: Box::new(unit()), pred: Pred::EmptyFlag(slot) },
+                cols: vec![],
+            })
+        }
+        Formula::Atom(a) => compile_atom(a, ctx),
+        Formula::Eq(a, b) => {
+            let sa = ctx.ground_scalar(a)?;
+            let sb = ctx.ground_scalar(b)?;
+            match (sa, sb, a, b) {
+                (Some(x), Some(y), _, _) => Ok(Compiled {
+                    plan: Plan::Select { input: Box::new(unit()), pred: Pred::Eq(x, y) },
+                    cols: vec![],
+                }),
+                (Some(x), None, _, Term::Var(v)) | (None, Some(x), Term::Var(v), _) => {
+                    // x = v pins the variable: a one-row relation
+                    Ok(Compiled {
+                        plan: Plan::Values { width: 1, rows: vec![vec![x]] },
+                        cols: vec![v.clone()],
+                    })
+                }
+                _ => Err(CompileError::Unsafe(format!("unranged equality {f}"))),
+            }
+        }
+        Formula::Ne(a, b) => {
+            let sa = ctx.ground_scalar(a)?;
+            let sb = ctx.ground_scalar(b)?;
+            match (sa, sb) {
+                (Some(x), Some(y)) => Ok(Compiled {
+                    plan: Plan::Select { input: Box::new(unit()), pred: Pred::Ne(x, y) },
+                    cols: vec![],
+                }),
+                _ => Err(CompileError::Unsafe(format!("unranged disequality {f}"))),
+            }
+        }
+        Formula::Not(x) => match x.as_ref() {
+            // push negation through the boolean structure so that open
+            // subformulas end up under guarded or closed negations
+            Formula::And(xs) => {
+                compile_or(&xs.iter().cloned().map(Formula::not).collect::<Vec<_>>(), ctx)
+            }
+            Formula::Or(xs) => {
+                compile_and(&xs.iter().cloned().map(Formula::not).collect::<Vec<_>>(), ctx)
+            }
+            Formula::Implies(a, b) => {
+                compile_and(&[(**a).clone(), Formula::not((**b).clone())], ctx)
+            }
+            Formula::Not(y) => compile(y, ctx),
+            Formula::Eq(a, b) => compile(&Formula::Ne(a.clone(), b.clone()), ctx),
+            Formula::Ne(a, b) => compile(&Formula::Eq(a.clone(), b.clone()), ctx),
+            Formula::Forall(vars, body) => compile(
+                &Formula::Exists(vars.clone(), Box::new(Formula::not((**body).clone()))),
+                ctx,
+            ),
+            // atoms, exists, page tests, flags: complement only when closed
+            _ => {
+                let inner = compile(x, ctx)?;
+                if !inner.cols.is_empty() {
+                    return Err(CompileError::Unsafe(format!(
+                        "negation over open formula {x}"
+                    )));
+                }
+                Ok(Compiled {
+                    plan: Plan::Difference(Box::new(unit()), Box::new(inner.plan)),
+                    cols: vec![],
+                })
+            }
+        },
+        Formula::And(xs) => compile_and(xs, ctx),
+        Formula::Or(xs) => compile_or(xs, ctx),
+        Formula::Implies(a, b) => {
+            // a → b  ≡  ¬a ∨ b (compilable only when both sides are closed
+            // or share free variables appropriately; compile_or enforces it)
+            compile_or(&[Formula::not((**a).clone()), (**b).clone()], ctx)
+        }
+        Formula::Exists(vars, body) => {
+            let inner = compile(body, ctx)?;
+            let keep: Vec<usize> = inner
+                .cols
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !vars.contains(c))
+                .map(|(i, _)| i)
+                .collect();
+            let cols: Vec<String> = keep.iter().map(|&i| inner.cols[i].clone()).collect();
+            Ok(Compiled {
+                plan: Plan::Project {
+                    input: Box::new(inner.plan),
+                    cols: keep.into_iter().map(Scalar::Col).collect(),
+                },
+                cols,
+            })
+        }
+        Formula::Forall(vars, body) => {
+            // ∀x̄ φ ≡ ¬∃x̄ ¬φ — compiles only when the result is closed
+            let exists = Formula::Exists(
+                vars.clone(),
+                Box::new(Formula::not((**body).clone())),
+            );
+            let inner = compile(&exists, ctx)?;
+            if !inner.cols.is_empty() {
+                return Err(CompileError::Unsafe(format!(
+                    "universal over open formula {body}"
+                )));
+            }
+            Ok(Compiled {
+                plan: Plan::Difference(Box::new(unit()), Box::new(inner.plan)),
+                cols: vec![],
+            })
+        }
+    }
+}
+
+fn compile_atom(a: &Atom, ctx: &mut CompileCtx<'_>) -> Result<Compiled, CompileError> {
+    let id = ctx.resolve(&a.rel, a.prev)?;
+    let arity = ctx.schema.arity(id);
+    if arity != a.terms.len() {
+        return Err(CompileError::ArityMismatch {
+            rel: a.rel.clone(),
+            expected: arity,
+            got: a.terms.len(),
+        });
+    }
+    let mut preds = Vec::new();
+    let mut cols: Vec<String> = Vec::new();
+    let mut keep: Vec<usize> = Vec::new();
+    let mut first_pos: HashMap<&str, usize> = HashMap::new();
+    for (j, t) in a.terms.iter().enumerate() {
+        match t {
+            Term::Var(v) => match first_pos.get(v.as_str()) {
+                Some(&fst) => preds.push(Pred::Eq(Scalar::Col(j), Scalar::Col(fst))),
+                None => {
+                    first_pos.insert(v, j);
+                    cols.push(v.clone());
+                    keep.push(j);
+                }
+            },
+            other => {
+                let s = ctx
+                    .ground_scalar(other)?
+                    .expect("non-var terms are always ground");
+                preds.push(Pred::Eq(Scalar::Col(j), s));
+            }
+        }
+    }
+    let mut plan = Plan::Scan(id);
+    if !preds.is_empty() {
+        plan = Plan::Select { input: Box::new(plan), pred: Pred::And(preds) };
+    }
+    plan = Plan::Project {
+        input: Box::new(plan),
+        cols: keep.into_iter().map(Scalar::Col).collect(),
+    };
+    Ok(Compiled { plan, cols })
+}
+
+/// Fold a conjunction: ranging conjuncts join into the accumulated plan,
+/// constraints (comparisons, guarded negation, empty flags) become
+/// selections/anti-joins once their variables are covered.
+fn compile_and(xs: &[Formula], ctx: &mut CompileCtx<'_>) -> Result<Compiled, CompileError> {
+    let mut acc = Compiled { plan: unit(), cols: vec![] };
+    let mut pending: Vec<&Formula> = xs.iter().collect();
+    while !pending.is_empty() {
+        // pass 1: integrate any constraint whose variables are covered
+        let mut integrated = None;
+        for (i, f) in pending.iter().enumerate() {
+            if let Some(next) = try_constraint(f, &acc, ctx)? {
+                acc = next;
+                integrated = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = integrated {
+            pending.remove(i);
+            continue;
+        }
+        // pass 2: join in the first independently compilable conjunct
+        let mut joined = None;
+        for (i, f) in pending.iter().enumerate() {
+            match compile(f, ctx) {
+                Ok(c) => {
+                    acc = join(acc, c);
+                    joined = Some(i);
+                    break;
+                }
+                Err(CompileError::Unsafe(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        match joined {
+            Some(i) => {
+                pending.remove(i);
+            }
+            None => {
+                return Err(CompileError::Unsafe(format!(
+                    "conjunct {} cannot be ranged",
+                    pending[0]
+                )))
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// If `f` is a constraint applicable to `acc` (all its variables already in
+/// `acc.cols`, or an extending equality), return the updated plan.
+fn try_constraint(
+    f: &Formula,
+    acc: &Compiled,
+    ctx: &mut CompileCtx<'_>,
+) -> Result<Option<Compiled>, CompileError> {
+    let col_of = |v: &str| acc.cols.iter().position(|c| c == v);
+    let scalar_of = |t: &Term, ctx: &mut CompileCtx<'_>| -> Result<Option<Scalar>, CompileError> {
+        match t {
+            Term::Var(v) => Ok(col_of(v).map(Scalar::Col)),
+            other => ctx.ground_scalar(other),
+        }
+    };
+    match f {
+        Formula::Eq(a, b) => {
+            let sa = scalar_of(a, ctx)?;
+            let sb = scalar_of(b, ctx)?;
+            match (sa, sb, a, b) {
+                (Some(x), Some(y), _, _) => Ok(Some(select(acc.clone(), Pred::Eq(x, y)))),
+                // extending equality: v := covered scalar
+                (Some(x), None, _, Term::Var(v)) | (None, Some(x), Term::Var(v), _) => {
+                    let mut cols: Vec<Scalar> =
+                        (0..acc.cols.len()).map(Scalar::Col).collect();
+                    cols.push(x);
+                    let mut names = acc.cols.clone();
+                    names.push(v.clone());
+                    Ok(Some(Compiled {
+                        plan: Plan::Project { input: Box::new(acc.plan.clone()), cols },
+                        cols: names,
+                    }))
+                }
+                _ => Ok(None),
+            }
+        }
+        Formula::Ne(a, b) => {
+            let sa = scalar_of(a, ctx)?;
+            let sb = scalar_of(b, ctx)?;
+            match (sa, sb) {
+                (Some(x), Some(y)) => Ok(Some(select(acc.clone(), Pred::Ne(x, y)))),
+                _ => Ok(None),
+            }
+        }
+        Formula::InputEmpty { rel, prev } => {
+            let slot = ctx.slots.empty_slot(rel, *prev);
+            Ok(Some(select(acc.clone(), Pred::EmptyFlag(slot))))
+        }
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::InputEmpty { rel, prev } => {
+                let slot = ctx.slots.empty_slot(rel, *prev);
+                Ok(Some(select(
+                    acc.clone(),
+                    Pred::Not(Box::new(Pred::EmptyFlag(slot))),
+                )))
+            }
+            Formula::Eq(a, b) => try_constraint(&Formula::Ne(a.clone(), b.clone()), acc, ctx),
+            Formula::Ne(a, b) => try_constraint(&Formula::Eq(a.clone(), b.clone()), acc, ctx),
+            body => {
+                // guarded negation: fv(body) ⊆ acc.cols → anti-join
+                let fv = crate::analysis::free_vars(body);
+                if !fv.iter().all(|v| col_of(v).is_some()) {
+                    return Ok(None);
+                }
+                let neg = match compile(body, ctx) {
+                    Ok(c) => c,
+                    Err(CompileError::Unsafe(_)) => return Ok(None),
+                    Err(e) => return Err(e),
+                };
+                let on: Vec<(usize, usize)> = neg
+                    .cols
+                    .iter()
+                    .enumerate()
+                    .map(|(j, v)| (col_of(v).expect("fv checked"), j))
+                    .collect();
+                Ok(Some(Compiled {
+                    plan: Plan::AntiJoin {
+                        left: Box::new(acc.plan.clone()),
+                        right: Box::new(neg.plan),
+                        on,
+                    },
+                    cols: acc.cols.clone(),
+                }))
+            }
+        },
+        _ => Ok(None),
+    }
+}
+
+fn select(acc: Compiled, pred: Pred) -> Compiled {
+    Compiled {
+        plan: Plan::Select { input: Box::new(acc.plan), pred },
+        cols: acc.cols,
+    }
+}
+
+/// Natural join of two compiled results on shared variable names.
+fn join(left: Compiled, right: Compiled) -> Compiled {
+    let lw = left.cols.len();
+    let mut preds = Vec::new();
+    let mut keep: Vec<usize> = (0..lw).collect();
+    let mut cols = left.cols.clone();
+    for (j, v) in right.cols.iter().enumerate() {
+        match left.cols.iter().position(|c| c == v) {
+            Some(i) => preds.push(Pred::Eq(Scalar::Col(i), Scalar::Col(lw + j))),
+            None => {
+                keep.push(lw + j);
+                cols.push(v.clone());
+            }
+        }
+    }
+    let mut plan = Plan::Product(Box::new(left.plan), Box::new(right.plan));
+    if !preds.is_empty() {
+        plan = Plan::Select { input: Box::new(plan), pred: Pred::And(preds) };
+    }
+    let plan = Plan::Project {
+        input: Box::new(plan),
+        cols: keep.into_iter().map(Scalar::Col).collect(),
+    };
+    Compiled { plan, cols }
+}
+
+/// Disjunction: all disjuncts must produce the same variable set.
+fn compile_or(xs: &[Formula], ctx: &mut CompileCtx<'_>) -> Result<Compiled, CompileError> {
+    let mut parts: Vec<Compiled> = Vec::with_capacity(xs.len());
+    for x in xs {
+        parts.push(compile(x, ctx)?);
+    }
+    let Some(first) = parts.first() else {
+        return Ok(Compiled { plan: empty_unit(), cols: vec![] });
+    };
+    let target = first.cols.clone();
+    let mut plan: Option<Plan> = None;
+    for p in parts {
+        let mut sorted_a = p.cols.clone();
+        let mut sorted_b = target.clone();
+        sorted_a.sort();
+        sorted_b.sort();
+        if sorted_a != sorted_b {
+            return Err(CompileError::Unsafe(format!(
+                "disjuncts bind different variables: {:?} vs {:?}",
+                p.cols, target
+            )));
+        }
+        // align column order with the target
+        let cols: Vec<Scalar> = target
+            .iter()
+            .map(|v| {
+                Scalar::Col(p.cols.iter().position(|c| c == v).expect("same var set"))
+            })
+            .collect();
+        let aligned = Plan::Project { input: Box::new(p.plan), cols };
+        plan = Some(match plan {
+            None => aligned,
+            Some(acc) => Plan::Union(Box::new(acc), Box::new(aligned)),
+        });
+    }
+    Ok(Compiled { plan: plan.expect("nonempty disjunct list"), cols: target })
+}
+
+/// Compile a rule body as a query with a fixed head-variable order.
+pub fn compile_query(
+    body: &Formula,
+    head: &[String],
+    ctx: &mut CompileCtx<'_>,
+) -> Result<Compiled, CompileError> {
+    let inner = compile(body, ctx)?;
+    let cols: Vec<Scalar> = head
+        .iter()
+        .map(|v| {
+            inner
+                .cols
+                .iter()
+                .position(|c| c == v)
+                .map(Scalar::Col)
+                .ok_or_else(|| CompileError::MissingHeadVar(v.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Compiled {
+        plan: Plan::Project { input: Box::new(inner.plan), cols },
+        cols: head.to_vec(),
+    })
+}
+
+/// Compile a sentence as a boolean query (width-0 plan; non-empty = true).
+pub fn compile_bool(f: &Formula, ctx: &mut CompileCtx<'_>) -> Result<Plan, CompileError> {
+    let c = compile(f, ctx)?;
+    if c.cols.is_empty() {
+        Ok(c.plan)
+    } else {
+        // open formula as boolean: true iff some assignment satisfies it
+        Ok(Plan::Project { input: Box::new(c.plan), cols: vec![] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+    use std::sync::Arc;
+    use wave_relalg::{execute, Instance, Params, RelKind, Tuple, Value};
+
+    struct Fx {
+        schema: Arc<Schema>,
+        symbols: SymbolTable,
+        instance: Instance,
+    }
+
+    fn fx() -> Fx {
+        let mut schema = Schema::new();
+        schema.declare("price", 2, RelKind::Database).unwrap();
+        schema.declare("stock", 1, RelKind::Database).unwrap();
+        schema.declare("cart", 2, RelKind::State).unwrap();
+        schema.declare("page$HP", 0, RelKind::Database).unwrap();
+        let schema = Arc::new(schema);
+        let mut symbols = SymbolTable::new();
+        let i1 = symbols.constant("item1");
+        let i2 = symbols.constant("item2");
+        let a100 = symbols.constant("100");
+        let a200 = symbols.constant("200");
+        let mut instance = Instance::empty(Arc::clone(&schema));
+        let price = schema.lookup("price").unwrap();
+        let stock = schema.lookup("stock").unwrap();
+        instance.insert(price, Tuple::from([i1, a100]));
+        instance.insert(price, Tuple::from([i2, a200]));
+        instance.insert(stock, Tuple::from([i1]));
+        Fx { schema, symbols, instance }
+    }
+
+    fn run(fxt: &Fx, src: &str, head: &[&str]) -> Vec<Vec<Value>> {
+        let f = parse_formula(src).unwrap();
+        let mut slots = SlotMap::new();
+        let mut ctx =
+            CompileCtx { schema: &fxt.schema, symbols: &fxt.symbols, slots: &mut slots };
+        let head: Vec<String> = head.iter().map(|s| s.to_string()).collect();
+        let q = compile_query(&f, &head, &mut ctx).unwrap();
+        q.plan.validate(&fxt.schema).unwrap();
+        let rel = execute(&q.plan, &fxt.instance, &Params::none()).unwrap();
+        rel.iter().map(|t| t.values().to_vec()).collect()
+    }
+
+    fn run_bool(fxt: &Fx, src: &str) -> bool {
+        let f = parse_formula(src).unwrap();
+        let mut slots = SlotMap::new();
+        let mut ctx =
+            CompileCtx { schema: &fxt.schema, symbols: &fxt.symbols, slots: &mut slots };
+        let p = compile_bool(&f, &mut ctx).unwrap();
+        !execute(&p, &fxt.instance, &Params::none()).unwrap().is_empty()
+    }
+
+    #[test]
+    fn atom_with_constants_selects() {
+        let f = fx();
+        let rows = run(&f, r#"price(x, "100")"#, &["x"]);
+        let i1 = f.symbols.lookup_constant("item1").unwrap();
+        assert_eq!(rows, vec![vec![i1]]);
+    }
+
+    #[test]
+    fn conjunction_joins_on_shared_vars() {
+        let f = fx();
+        let rows = run(&f, "price(x, y) & stock(x)", &["x", "y"]);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn guarded_negation_antijoins() {
+        let f = fx();
+        let rows = run(&f, "price(x, y) & !stock(x)", &["x"]);
+        let i2 = f.symbols.lookup_constant("item2").unwrap();
+        assert_eq!(rows, vec![vec![i2]]);
+    }
+
+    #[test]
+    fn disjunction_unions_same_vars() {
+        let f = fx();
+        let rows = run(&f, r#"price(x, "100") | price(x, "200")"#, &["x"]);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn exists_projects_out() {
+        let f = fx();
+        let rows = run(&f, "exists y: price(x, y)", &["x"]);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn pinned_variable_equality() {
+        let f = fx();
+        let rows = run(&f, r#"x = "item1" & stock(x)"#, &["x"]);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn ground_sentences() {
+        let f = fx();
+        assert!(run_bool(&f, r#"price("item1", "100")"#));
+        assert!(!run_bool(&f, r#"price("item1", "200")"#));
+        assert!(run_bool(&f, r#"!price("item1", "200")"#));
+        assert!(run_bool(&f, r#"exists x: stock(x)"#));
+        assert!(run_bool(&f, r#"forall x: stock(x) -> price(x, "100")"#));
+    }
+
+    #[test]
+    fn page_markers_compile_to_scans() {
+        let f = fx();
+        assert!(!run_bool(&f, "@HP"), "marker relation empty → not on HP");
+        let mut f2 = fx();
+        let hp = f2.schema.lookup("page$HP").unwrap();
+        f2.instance.insert(hp, Tuple::from([]));
+        assert!(run_bool(&f2, "@HP"));
+    }
+
+    #[test]
+    fn unranged_variables_are_unsafe() {
+        let f = fx();
+        let form = parse_formula("x = y").unwrap();
+        let mut slots = SlotMap::new();
+        let mut ctx =
+            CompileCtx { schema: &f.schema, symbols: &f.symbols, slots: &mut slots };
+        assert!(matches!(compile(&form, &mut ctx), Err(CompileError::Unsafe(_))));
+        let form2 = parse_formula("!price(x, y)").unwrap();
+        assert!(matches!(compile(&form2, &mut ctx), Err(CompileError::Unsafe(_))));
+    }
+
+    #[test]
+    fn missing_head_var_detected() {
+        let f = fx();
+        let form = parse_formula("stock(x)").unwrap();
+        let mut slots = SlotMap::new();
+        let mut ctx =
+            CompileCtx { schema: &f.schema, symbols: &f.symbols, slots: &mut slots };
+        assert_eq!(
+            compile_query(&form, &["z".to_string()], &mut ctx).unwrap_err(),
+            CompileError::MissingHeadVar("z".into())
+        );
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let mut f = fx();
+        let price = f.schema.lookup("price").unwrap();
+        let i1 = f.symbols.lookup_constant("item1").unwrap();
+        f.instance.insert(price, Tuple::from([i1, i1]));
+        let rows = run(&f, "price(x, x)", &["x"]);
+        assert_eq!(rows, vec![vec![i1]]);
+    }
+
+    #[test]
+    fn field_terms_allocate_slots_and_bind() {
+        let f = fx();
+        // rewritten form of: exists x,y: pay(x,y) & price(x,y)
+        let form = Formula::And(vec![
+            Formula::not(Formula::InputEmpty { rel: "pay".into(), prev: false }),
+            Formula::Atom(crate::ast::Atom {
+                rel: "price".into(),
+                prev: false,
+                terms: vec![
+                    Term::Field { rel: "pay".into(), col: 0, prev: false },
+                    Term::Field { rel: "pay".into(), col: 1, prev: false },
+                ],
+            }),
+        ]);
+        let mut slots = SlotMap::new();
+        let plan = {
+            let mut ctx =
+                CompileCtx { schema: &f.schema, symbols: &f.symbols, slots: &mut slots };
+            compile_bool(&form, &mut ctx).unwrap()
+        };
+        assert_eq!(slots.len(), 3, "two fields + one empty flag");
+        let mut params = Params::with_slots(slots.len());
+        let empty_slot = slots.empties().next().unwrap().1;
+        for (&(_, col, _), slot) in slots.fields() {
+            let name = if col == 0 { "item1" } else { "100" };
+            params.bind(slot, f.symbols.lookup_constant(name).unwrap());
+        }
+        params.set_empty(empty_slot, false);
+        assert!(!execute(&plan, &f.instance, &params).unwrap().is_empty());
+        params.set_empty(empty_slot, true);
+        assert!(execute(&plan, &f.instance, &params).unwrap().is_empty());
+    }
+}

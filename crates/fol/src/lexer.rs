@@ -1,0 +1,348 @@
+//! Shared lexer for the FO formula language, the LTL-FO property language
+//! and the specification DSL.
+//!
+//! One token type serves all three grammars: `wave-ltl` and `wave-spec`
+//! reuse this lexer so the surface syntaxes stay consistent (same
+//! identifiers, string constants, comments and operators everywhere).
+
+use std::fmt;
+
+/// A lexical token with its source position (byte offset) for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`forall`, `page`, relation names, variables…).
+    Ident(String),
+    /// Quoted string constant, `"laptop"`.
+    Str(String),
+    /// `@` page-reference sigil.
+    At,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Colon,
+    Eq,
+    /// `!=`
+    Ne,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `->`
+    Arrow,
+    /// `<-` (rule definition)
+    LArrow,
+    /// `[]` (LTL globally)
+    Box_,
+    /// `<>` (LTL finally)
+    Diamond,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier {s:?}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::At => write!(f, "'@'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Semi => write!(f, "';'"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::Ne => write!(f, "'!='"),
+            TokenKind::Bang => write!(f, "'!'"),
+            TokenKind::Amp => write!(f, "'&'"),
+            TokenKind::Pipe => write!(f, "'|'"),
+            TokenKind::Arrow => write!(f, "'->'"),
+            TokenKind::LArrow => write!(f, "'<-'"),
+            TokenKind::Box_ => write!(f, "'[]'"),
+            TokenKind::Diamond => write!(f, "'<>'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexing error with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src`. Line comments start with `#` or `//` and run to the end
+/// of the line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                pos: start,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), pos: start });
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, pos: i });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, pos: i });
+                i += 1;
+            }
+            b'{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, pos: i });
+                i += 1;
+            }
+            b'}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, pos: i });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, pos: i });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token { kind: TokenKind::Semi, pos: i });
+                i += 1;
+            }
+            b':' => {
+                tokens.push(Token { kind: TokenKind::Colon, pos: i });
+                i += 1;
+            }
+            b'@' => {
+                tokens.push(Token { kind: TokenKind::At, pos: i });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, pos: i });
+                i += 1;
+            }
+            b'&' => {
+                tokens.push(Token { kind: TokenKind::Amp, pos: i });
+                i += 1;
+            }
+            b'|' => {
+                tokens.push(Token { kind: TokenKind::Pipe, pos: i });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, pos: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Bang, pos: i });
+                    i += 1;
+                }
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Arrow, pos: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { pos: i, message: "expected '->'".into() });
+                }
+            }
+            b'[' => {
+                if bytes.get(i + 1) == Some(&b']') {
+                    tokens.push(Token { kind: TokenKind::Box_, pos: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { pos: i, message: "expected '[]'".into() });
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'>') => {
+                    tokens.push(Token { kind: TokenKind::Diamond, pos: i });
+                    i += 2;
+                }
+                Some(&b'-') => {
+                    tokens.push(Token { kind: TokenKind::LArrow, pos: i });
+                    i += 2;
+                }
+                _ => return Err(LexError { pos: i, message: "expected '<>' or '<-'".into() }),
+            },
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let ident = src[start..i].to_string();
+                tokens.push(Token { kind: TokenKind::Ident(ident), pos: start });
+            }
+            b if b.is_ascii_digit() => {
+                // bare numbers are identifiers too (e.g. page names like "404");
+                // data values are always quoted strings.
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, pos: bytes.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_formula_tokens() {
+        let ks = kinds(r#"forall x: pay(x, "usd") -> price(x)"#);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("forall".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("pay".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::Comma,
+                TokenKind::Str("usd".into()),
+                TokenKind::RParen,
+                TokenKind::Arrow,
+                TokenKind::Ident("price".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_ltl_sugar() {
+        let ks = kinds("[] <> @HP");
+        assert_eq!(
+            ks,
+            vec![TokenKind::Box_, TokenKind::Diamond, TokenKind::At,
+                 TokenKind::Ident("HP".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a # trailing\n// whole line\nb");
+        assert_eq!(
+            ks,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn ne_vs_bang() {
+        assert_eq!(
+            kinds("!x != y"),
+            vec![
+                TokenKind::Bang,
+                TokenKind::Ident("x".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn rule_arrow() {
+        assert_eq!(
+            kinds("S(x) <- r(x)"),
+            vec![
+                TokenKind::Ident("S".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::LArrow,
+                TokenKind::Ident("r".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_char_reports_position() {
+        let err = lex("ab $").unwrap_err();
+        assert_eq!(err.pos, 3);
+    }
+}

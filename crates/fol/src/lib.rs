@@ -1,0 +1,29 @@
+//! `wave-fol`: the first-order logic layer of the wave verifier.
+//!
+//! Provides the formula [`ast`], the shared [`lexer`] and formula
+//! [`parser`], the static [`analysis`] passes (free variables,
+//! input-boundedness — the restriction under which verification is
+//! complete), the Section-4 input-quantifier elimination [`rewrite`], the
+//! reference [`mod@eval`]uator, and the safe-range FO→plan [`mod@compile`]r that
+//! produces the parameterized prepared plans the verifier executes at every
+//! search step.
+
+pub mod analysis;
+pub mod ast;
+pub mod compile;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod rewrite;
+
+pub use analysis::{
+    check_input_bounded, check_option_rule, constants, free_vars, relations, IbViolation,
+    OptionRuleViolation, RelKinds,
+};
+pub use ast::{Atom, Formula, Term};
+pub use compile::{compile, compile_bool, compile_query, CompileCtx, CompileError, Compiled, SlotMap};
+pub use eval::{
+    answers, eval, prev_shadow_name, Bindings, EvalCtx, EvalError, RelResolver, SchemaResolver,
+};
+pub use parser::{parse_formula, ParseError, Parser};
+pub use rewrite::eliminate_input_quantifiers;

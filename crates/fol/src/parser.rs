@@ -1,0 +1,417 @@
+//! Recursive-descent parser for first-order formulas.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! formula    := quantified
+//! quantified := ('forall' | 'exists') vars ':' quantified | implication
+//! implication:= disjunction ('->' implication)?
+//! disjunction:= conjunction ('|' conjunction)*
+//! conjunction:= unary ('&' unary)*
+//! unary      := '!' unary | primary
+//! primary    := 'true' | 'false' | '(' formula ')'
+//!             | '@' IDENT                          (current page test)
+//!             | 'prev'? IDENT '(' terms ')'        (relational atom)
+//!             | term ('=' | '!=') term             (comparison)
+//! term       := IDENT | STRING
+//! vars       := IDENT (',' IDENT)*
+//! ```
+
+use crate::ast::{Atom, Formula, Term};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use std::fmt;
+
+/// Parse error with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { pos: e.pos, message: e.message }
+    }
+}
+
+/// Token-stream parser. `wave-spec` builds on this type to parse full
+/// specifications, so the cursor operations are public.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Parser over an already-lexed token stream.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    /// Lex and wrap `src`.
+    pub fn from_source(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser::new(lex(src)?))
+    }
+
+    /// Current token.
+    pub fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    /// Current token kind.
+    pub fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    /// Look ahead `n` tokens.
+    pub fn peek_ahead(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    /// Advance and return the consumed token.
+    pub fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Error at the current position.
+    pub fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { pos: self.peek().pos, message: message.into() }
+    }
+
+    /// Consume a specific token kind or fail.
+    pub fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.peek_kind() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek_kind())))
+        }
+    }
+
+    /// Consume an identifier or fail.
+    pub fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    /// If the current token is the identifier `word`, consume it.
+    pub fn eat_keyword(&mut self, word: &str) -> bool {
+        if matches!(self.peek_kind(), TokenKind::Ident(s) if s == word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if the current token is the identifier `word`.
+    pub fn at_keyword(&self, word: &str) -> bool {
+        matches!(self.peek_kind(), TokenKind::Ident(s) if s == word)
+    }
+
+    /// True at end of input.
+    pub fn at_eof(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Eof)
+    }
+
+    /// Parse a full formula.
+    pub fn parse_formula(&mut self) -> Result<Formula, ParseError> {
+        self.quantified()
+    }
+
+    fn quantified(&mut self) -> Result<Formula, ParseError> {
+        for (kw, is_forall) in [("forall", true), ("exists", false)] {
+            if self.at_keyword(kw) {
+                self.bump();
+                let vars = self.var_list()?;
+                self.expect(&TokenKind::Colon)?;
+                let body = self.quantified()?;
+                return Ok(if is_forall {
+                    Formula::Forall(vars, Box::new(body))
+                } else {
+                    Formula::Exists(vars, Box::new(body))
+                });
+            }
+        }
+        self.implication()
+    }
+
+    /// Parse `x, y, z` — a nonempty comma-separated variable list.
+    pub fn var_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut vars = vec![self.expect_ident()?];
+        while self.peek_kind() == &TokenKind::Comma {
+            self.bump();
+            vars.push(self.expect_ident()?);
+        }
+        Ok(vars)
+    }
+
+    fn implication(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.disjunction()?;
+        if self.peek_kind() == &TokenKind::Arrow {
+            self.bump();
+            let rhs = self.implication()?;
+            Ok(Formula::Implies(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.conjunction()?];
+        while self.peek_kind() == &TokenKind::Pipe {
+            self.bump();
+            parts.push(self.conjunction()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("len 1") } else { Formula::Or(parts) })
+    }
+
+    fn conjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        while self.peek_kind() == &TokenKind::Amp {
+            self.bump();
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("len 1") } else { Formula::And(parts) })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        if self.peek_kind() == &TokenKind::Bang {
+            self.bump();
+            let inner = self.unary()?;
+            return Ok(Formula::Not(Box::new(inner)));
+        }
+        // quantifiers may start mid-conjunction; they scope maximally right
+        if self.at_keyword("forall") || self.at_keyword("exists") {
+            return self.quantified();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::LParen => {
+                self.bump();
+                // nested quantifiers are allowed inside parentheses
+                let f = self.quantified()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(f)
+            }
+            TokenKind::At => {
+                self.bump();
+                let name = self.expect_ident()?;
+                Ok(Formula::Page(name))
+            }
+            TokenKind::Ident(word) if word == "true" => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            TokenKind::Ident(word) if word == "false" => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            TokenKind::Ident(word) if word == "prev" => {
+                self.bump();
+                let rel = self.expect_ident()?;
+                let terms = self.term_tuple()?;
+                Ok(Formula::Atom(Atom { rel, prev: true, terms }))
+            }
+            TokenKind::Ident(name) => {
+                // atom `name(...)` or comparison `name = term`
+                if self.peek_ahead(1) == &TokenKind::LParen {
+                    self.bump();
+                    let terms = self.term_tuple()?;
+                    Ok(Formula::Atom(Atom { rel: name, prev: false, terms }))
+                } else {
+                    let lhs = self.term()?;
+                    self.comparison(lhs)
+                }
+            }
+            TokenKind::Str(_) => {
+                let lhs = self.term()?;
+                self.comparison(lhs)
+            }
+            other => Err(self.error(format!("expected formula, found {other}"))),
+        }
+    }
+
+    fn comparison(&mut self, lhs: Term) -> Result<Formula, ParseError> {
+        match self.peek_kind() {
+            TokenKind::Eq => {
+                self.bump();
+                let rhs = self.term()?;
+                Ok(Formula::Eq(lhs, rhs))
+            }
+            TokenKind::Ne => {
+                self.bump();
+                let rhs = self.term()?;
+                Ok(Formula::Ne(lhs, rhs))
+            }
+            other => Err(self.error(format!("expected '=' or '!=', found {other}"))),
+        }
+    }
+
+    /// Parse `( term, term, … )` (possibly empty).
+    pub fn term_tuple(&mut self) -> Result<Vec<Term>, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut terms = Vec::new();
+        if self.peek_kind() != &TokenKind::RParen {
+            terms.push(self.term()?);
+            while self.peek_kind() == &TokenKind::Comma {
+                self.bump();
+                terms.push(self.term()?);
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(terms)
+    }
+
+    /// Parse a term: identifier (variable) or string (constant).
+    pub fn term(&mut self) -> Result<Term, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(v) => {
+                self.bump();
+                Ok(Term::Var(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Term::Const(s))
+            }
+            other => Err(self.error(format!("expected term, found {other}"))),
+        }
+    }
+}
+
+/// Parse a standalone formula from text, requiring all input be consumed.
+pub fn parse_formula(src: &str) -> Result<Formula, ParseError> {
+    let mut p = Parser::from_source(src)?;
+    let f = p.parse_formula()?;
+    if !p.at_eof() {
+        return Err(p.error(format!("trailing input: {}", p.peek_kind())));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_payment_formula() {
+        // ∀x∀y [pay(x,y) → price(x,y)]
+        let f = parse_formula(r#"forall x, y: pay(x, y) -> price(x, y)"#).unwrap();
+        match f {
+            Formula::Forall(vars, body) => {
+                assert_eq!(vars, vec!["x", "y"]);
+                assert!(matches!(*body, Formula::Implies(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let f = parse_formula("a() | b() & c()").unwrap();
+        match f {
+            Formula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Formula::And(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let f = parse_formula("a() -> b() -> c()").unwrap();
+        match f {
+            Formula::Implies(_, rhs) => assert!(matches!(*rhs, Formula::Implies(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_lsp_option_rule_body() {
+        let f = parse_formula(
+            r#"criteria("laptop", "ram", r) & criteria("laptop", "hdd", h)
+               & criteria("laptop", "display", d)"#,
+        )
+        .unwrap();
+        assert!(matches!(f, Formula::And(ref xs) if xs.len() == 3));
+    }
+
+    #[test]
+    fn parses_prev_atoms_and_page_tests() {
+        let f = parse_formula(r#"prev button("search") & @LSP"#).unwrap();
+        match f {
+            Formula::And(xs) => {
+                assert!(matches!(&xs[0], Formula::Atom(a) if a.prev && a.rel == "button"));
+                assert!(matches!(&xs[1], Formula::Page(p) if p == "LSP"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_comparisons() {
+        let f = parse_formula(r#"x = "search" | x != y"#).unwrap();
+        assert!(matches!(f, Formula::Or(ref xs) if xs.len() == 2));
+    }
+
+    #[test]
+    fn nullary_atoms() {
+        let f = parse_formula("logged_in()").unwrap();
+        assert!(matches!(f, Formula::Atom(a) if a.terms.is_empty()));
+    }
+
+    #[test]
+    fn quantifier_scopes_to_the_right() {
+        let f = parse_formula("exists x: r(x) & s(x)").unwrap();
+        match f {
+            Formula::Exists(_, body) => assert!(matches!(*body, Formula::And(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        assert!(parse_formula("a() b()").is_err());
+    }
+
+    #[test]
+    fn error_positions_point_at_problem() {
+        let err = parse_formula("a() & ").unwrap_err();
+        assert_eq!(err.pos, 6);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let texts = [
+            r#"forall x, y: pay(x, y) -> price(x, y)"#,
+            r#"exists r, h, d: laptopsearch(r, h, d) & button("search")"#,
+            r#"!(a() & (b() | c()))"#,
+            r#"x != "cancel""#,
+        ];
+        for t in texts {
+            let f1 = parse_formula(t).unwrap();
+            let f2 = parse_formula(&f1.to_string()).unwrap();
+            assert_eq!(f1, f2, "round-trip failed for {t}");
+        }
+    }
+}

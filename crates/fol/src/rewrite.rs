@@ -1,0 +1,319 @@
+//! Input-bounded quantifier elimination (Section 4 of the paper).
+//!
+//! At any step of a run, each input relation `I` holds *at most one* tuple
+//! `t`. This licenses the rewrite
+//!
+//! ```text
+//! ∀x̄ (I(x̄,ȳ) → φ)   ⟹   emptyI ∨ (match constraints → φ[x̄ ↦ t-fields])
+//! ∃x̄ (I(x̄,ȳ) ∧ φ)   ⟹   ¬emptyI ∧ match constraints ∧ φ[x̄ ↦ t-fields]
+//! ```
+//!
+//! where `t-fields` are [`Term::Field`] references to the components of the
+//! unique input tuple and *match constraints* equate non-quantified
+//! positions of the guard atom to the corresponding fields. The paper
+//! applies this to obtain unnested, parameterized SQL; we apply it to
+//! obtain quantifier-free formulas whose plan compilation needs no joins
+//! against input tables (the fields become parameter slots bound once per
+//! step).
+//!
+//! The rewrite also normalizes *non-guard* input atoms `I(t̄)` (those whose
+//! terms are all ground in context) into conjunctions of field equalities,
+//! eliminating every input-table access from the compiled plan.
+
+use crate::ast::{Atom, Formula, Term};
+use std::collections::HashMap;
+
+/// Oracle telling the rewriter which relation names are input relations
+/// (current or previous input both qualify — both are singletons).
+pub trait InputRels {
+    /// True if `rel` is an input relation or input constant.
+    fn is_input(&self, rel: &str) -> bool;
+}
+
+impl<F: Fn(&str) -> bool> InputRels for F {
+    fn is_input(&self, rel: &str) -> bool {
+        self(rel)
+    }
+}
+
+/// Rewrite a formula, eliminating all input-guarded quantifiers and
+/// replacing input atoms with field-equality constraints guarded by
+/// `¬emptyI`. Quantifiers that are not input-guarded are left untouched
+/// (the compiler or evaluator deals with them).
+pub fn eliminate_input_quantifiers(f: &Formula, inputs: &impl InputRels) -> Formula {
+    match f {
+        Formula::Exists(vars, body) => {
+            if let Some((guard, rest)) = find_guard(body, vars, inputs) {
+                let (constraints, subst) = guard_bindings(guard, vars);
+                let rest = rest
+                    .into_iter()
+                    .map(|r| eliminate_input_quantifiers(&r.substitute(&subst), inputs));
+                let not_empty = Formula::not(Formula::InputEmpty {
+                    rel: guard.rel.clone(),
+                    prev: guard.prev,
+                });
+                Formula::and(
+                    std::iter::once(not_empty)
+                        .chain(constraints)
+                        .chain(rest),
+                )
+            } else {
+                Formula::Exists(
+                    vars.clone(),
+                    Box::new(eliminate_input_quantifiers(body, inputs)),
+                )
+            }
+        }
+        Formula::Forall(vars, body) => {
+            if let Formula::Implies(lhs, rhs) = body.as_ref() {
+                if let Formula::Atom(guard) = lhs.as_ref() {
+                    if inputs.is_input(&guard.rel) && covers(guard, vars) {
+                        let (constraints, subst) = guard_bindings(guard, vars);
+                        let rhs =
+                            eliminate_input_quantifiers(&rhs.substitute(&subst), inputs);
+                        let empty = Formula::InputEmpty {
+                            rel: guard.rel.clone(),
+                            prev: guard.prev,
+                        };
+                        // emptyI ∨ (match → φ)
+                        return Formula::or([
+                            empty,
+                            Formula::Implies(
+                                Box::new(Formula::and(constraints)),
+                                Box::new(rhs),
+                            ),
+                        ]);
+                    }
+                }
+            }
+            Formula::Forall(
+                vars.clone(),
+                Box::new(eliminate_input_quantifiers(body, inputs)),
+            )
+        }
+        // ground input atoms (all terms context-ground) become field tests
+        Formula::Atom(a) if inputs.is_input(&a.rel) => ground_input_atom(a),
+        Formula::Not(x) => Formula::not(eliminate_input_quantifiers(x, inputs)),
+        Formula::And(xs) => {
+            Formula::and(xs.iter().map(|x| eliminate_input_quantifiers(x, inputs)))
+        }
+        Formula::Or(xs) => {
+            Formula::or(xs.iter().map(|x| eliminate_input_quantifiers(x, inputs)))
+        }
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(eliminate_input_quantifiers(a, inputs)),
+            Box::new(eliminate_input_quantifiers(b, inputs)),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Turn an input atom into `¬emptyI ∧ ⋀_j (field_j = term_j)`.
+///
+/// Sound because `I` holds at most one tuple: `I(t̄)` holds iff the unique
+/// tuple exists and component-wise equals `t̄`. Terms that are variables
+/// bound *outside* this atom stay as variables and become ordinary
+/// equality constraints.
+fn ground_input_atom(a: &Atom) -> Formula {
+    let not_empty =
+        Formula::not(Formula::InputEmpty { rel: a.rel.clone(), prev: a.prev });
+    let eqs = a.terms.iter().enumerate().map(|(j, t)| {
+        Formula::Eq(
+            Term::Field { rel: a.rel.clone(), col: j, prev: a.prev },
+            t.clone(),
+        )
+    });
+    Formula::and(std::iter::once(not_empty).chain(eqs))
+}
+
+/// Find a positive input atom in the conjunctive body that covers all
+/// quantified vars; return it with the remaining conjuncts.
+fn find_guard<'a>(
+    body: &'a Formula,
+    vars: &[String],
+    inputs: &impl InputRels,
+) -> Option<(&'a Atom, Vec<&'a Formula>)> {
+    match body {
+        Formula::Atom(a) if inputs.is_input(&a.rel) && covers(a, vars) => {
+            Some((a, vec![]))
+        }
+        Formula::And(xs) => {
+            for (i, x) in xs.iter().enumerate() {
+                if let Formula::Atom(a) = x {
+                    if inputs.is_input(&a.rel) && covers(a, vars) {
+                        let rest = xs
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| *j != i)
+                            .map(|(_, f)| f)
+                            .collect();
+                        return Some((a, rest));
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn covers(a: &Atom, vars: &[String]) -> bool {
+    vars.iter().all(|v| a.terms.iter().any(|t| t.as_var() == Some(v)))
+}
+
+/// For guard atom `I(t1,…,tk)` and quantified vars `x̄`: produce
+/// * match constraints `field_j = t_j` for positions whose term is not a
+///   (first occurrence of a) quantified variable,
+/// * the substitution `x ↦ field_{first position of x}`.
+///
+/// Repeated quantified variables (e.g. `I(x, x)`) yield a field-equality
+/// constraint between the two positions.
+fn guard_bindings(
+    guard: &Atom,
+    vars: &[String],
+) -> (Vec<Formula>, HashMap<String, Term>) {
+    let mut constraints = Vec::new();
+    let mut subst: HashMap<String, Term> = HashMap::new();
+    for (j, t) in guard.terms.iter().enumerate() {
+        let field = Term::Field { rel: guard.rel.clone(), col: j, prev: guard.prev };
+        match t {
+            Term::Var(v) if vars.contains(v) => {
+                if let Some(first) = subst.get(v) {
+                    constraints.push(Formula::Eq(field, first.clone()));
+                } else {
+                    subst.insert(v.clone(), field);
+                }
+            }
+            other => constraints.push(Formula::Eq(field, other.clone())),
+        }
+    }
+    (constraints, subst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn inputs() -> impl InputRels {
+        |r: &str| r == "pay" || r == "button" || r == "laptopsearch"
+    }
+
+    fn rewrite(src: &str) -> Formula {
+        eliminate_input_quantifiers(&parse_formula(src).unwrap(), &inputs())
+    }
+
+    #[test]
+    fn universal_guard_becomes_empty_or_implication() {
+        let g = rewrite("forall x, y: pay(x, y) -> price(x, y)");
+        // emptyI ∨ (true → price(field0, field1)) — no quantifiers remain
+        let text = g.to_string();
+        assert!(text.contains("empty(pay)"), "got {text}");
+        assert!(text.contains("pay#0"), "got {text}");
+        assert!(!text.contains("forall"), "got {text}");
+    }
+
+    #[test]
+    fn existential_guard_becomes_nonempty_and_body() {
+        let g = rewrite(r#"exists r, h, d: laptopsearch(r, h, d) & db(r, h, d)"#);
+        let text = g.to_string();
+        assert!(text.contains("!(empty(laptopsearch))"), "got {text}");
+        assert!(text.contains("db(laptopsearch#0, laptopsearch#1, laptopsearch#2)"), "got {text}");
+        assert!(!text.contains("exists"), "got {text}");
+    }
+
+    #[test]
+    fn ground_input_atom_becomes_field_equalities() {
+        let g = rewrite(r#"button("search")"#);
+        assert_eq!(g.to_string(), r#"(!(empty(button)) & button#0 = "search")"#);
+    }
+
+    #[test]
+    fn prev_flag_propagates() {
+        let g = rewrite(r#"prev button("search")"#);
+        assert_eq!(
+            g.to_string(),
+            r#"(!(empty(prev button)) & prev button#0 = "search")"#
+        );
+    }
+
+    #[test]
+    fn repeated_quantified_variable_emits_field_equality() {
+        let g = rewrite("exists x: pay(x, x)");
+        let text = g.to_string();
+        assert!(text.contains("pay#1 = pay#0"), "got {text}");
+    }
+
+    #[test]
+    fn mixed_positions_constrain_non_quantified_terms() {
+        // y is free: guard position 1 must equal y
+        let g = rewrite("exists x: pay(x, y) & price(x, y)");
+        let text = g.to_string();
+        assert!(text.contains("pay#1 = y"), "got {text}");
+        assert!(text.contains("price(pay#0, y)"), "got {text}");
+    }
+
+    #[test]
+    fn non_input_quantifiers_are_preserved() {
+        let g = rewrite("exists x: db(x)");
+        assert_eq!(g.to_string(), "(exists x: (db(x)))");
+    }
+
+    #[test]
+    fn nested_quantifiers_are_both_eliminated() {
+        let g = rewrite(
+            r#"forall x: button(x) -> (exists y: pay(y, y) & price(y, x))"#,
+        );
+        let text = g.to_string();
+        assert!(!text.contains("forall") && !text.contains("exists"), "got {text}");
+        assert!(text.contains("price(pay#0, button#0)"), "got {text}");
+    }
+
+    /// Semantic check: the rewrite agrees with direct evaluation on a
+    /// singleton-input instance.
+    #[test]
+    fn rewrite_preserves_semantics_on_singletons() {
+        use crate::eval::{eval, Bindings, EvalCtx, SchemaResolver};
+        use std::sync::Arc;
+        use wave_relalg::{Instance, RelKind, Schema, SymbolTable, Tuple};
+
+        let mut schema = Schema::new();
+        schema.declare("price", 2, RelKind::Database).unwrap();
+        schema.declare("pay", 2, RelKind::Input).unwrap();
+        let schema = Arc::new(schema);
+        let mut symbols = SymbolTable::new();
+        let i1 = symbols.constant("item1");
+        let a100 = symbols.constant("100");
+        let a200 = symbols.constant("200");
+        let price = schema.lookup("price").unwrap();
+        let pay = schema.lookup("pay").unwrap();
+
+        let original = parse_formula("forall x, y: pay(x, y) -> price(x, y)").unwrap();
+        let rewritten = eliminate_input_quantifiers(&original, &inputs());
+
+        // three scenarios: empty input, correct payment, wrong payment
+        let scenarios: Vec<(Option<(wave_relalg::Value, wave_relalg::Value)>, bool)> = vec![
+            (None, true),
+            (Some((i1, a100)), true),
+            (Some((i1, a200)), false),
+        ];
+        for (input, expected) in scenarios {
+            let mut inst = Instance::empty(Arc::clone(&schema));
+            inst.insert(price, Tuple::from([i1, a100]));
+            if let Some((a, b)) = input {
+                inst.insert(pay, Tuple::from([a, b]));
+            }
+            let ctx = EvalCtx {
+                instance: &inst,
+                symbols: &symbols,
+                current_page: None,
+                domain: &[i1, a100, a200],
+            };
+            let r = SchemaResolver(&schema);
+            let v1 = eval(&original, &ctx, &r, &mut Bindings::new()).unwrap();
+            let v2 = eval(&rewritten, &ctx, &r, &mut Bindings::new()).unwrap();
+            assert_eq!(v1, expected, "original semantics for {input:?}");
+            assert_eq!(v2, expected, "rewritten semantics for {input:?}");
+        }
+    }
+}

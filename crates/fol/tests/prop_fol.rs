@@ -1,0 +1,236 @@
+//! Property-based cross-validation: the FO→plan compiler against the
+//! direct evaluator on randomly generated safe-range formulas and random
+//! instances — the two implementations of the logic must agree everywhere.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wave_fol::{
+    answers, compile_query, eval, Bindings, CompileCtx, EvalCtx, Formula, SchemaResolver,
+    SlotMap, Term,
+};
+use wave_relalg::{execute, Instance, Params, RelKind, Schema, SymbolTable, Tuple, Value};
+
+/// The test schema: r(a, b), s(a), q(a, b).
+fn schema() -> Arc<Schema> {
+    let mut s = Schema::new();
+    s.declare("r", 2, RelKind::Database).unwrap();
+    s.declare("s", 1, RelKind::Database).unwrap();
+    s.declare("q", 2, RelKind::Database).unwrap();
+    Arc::new(s)
+}
+
+const CONSTS: [&str; 4] = ["c0", "c1", "c2", "c3"];
+
+fn symbols() -> SymbolTable {
+    let mut t = SymbolTable::new();
+    for c in CONSTS {
+        t.constant(c);
+    }
+    t
+}
+
+/// Random instance over the four constants.
+fn instance_strategy() -> impl Strategy<Value = (Vec<(u32, u32)>, Vec<u32>, Vec<(u32, u32)>)> {
+    (
+        prop::collection::vec((0u32..4, 0u32..4), 0..8),
+        prop::collection::vec(0u32..4, 0..5),
+        prop::collection::vec((0u32..4, 0u32..4), 0..8),
+    )
+}
+
+fn build_instance(
+    schema: &Arc<Schema>,
+    (r, s, q): &(Vec<(u32, u32)>, Vec<u32>, Vec<(u32, u32)>),
+) -> Instance {
+    let mut inst = Instance::empty(Arc::clone(schema));
+    let rid = schema.lookup("r").unwrap();
+    let sid = schema.lookup("s").unwrap();
+    let qid = schema.lookup("q").unwrap();
+    for &(a, b) in r {
+        inst.insert(rid, Tuple::from([Value(a), Value(b)]));
+    }
+    for &a in s {
+        inst.insert(sid, Tuple::from([Value(a)]));
+    }
+    for &(a, b) in q {
+        inst.insert(qid, Tuple::from([Value(a), Value(b)]));
+    }
+    inst
+}
+
+/// Random safe-range formulas over free variables x, y: conjunctions of
+/// positive atoms ranging both variables, with optional negated atoms,
+/// comparisons, and an existential layer.
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let var = |v: &str| Term::Var(v.to_string());
+    let konst = (0usize..4).prop_map(|i| Term::Const(CONSTS[i].to_string()));
+
+    let ranger = prop_oneof![
+        Just(Formula::Atom(wave_fol::Atom {
+            rel: "r".into(),
+            prev: false,
+            terms: vec![var("x"), var("y")],
+        })),
+        Just(Formula::Atom(wave_fol::Atom {
+            rel: "q".into(),
+            prev: false,
+            terms: vec![var("x"), var("y")],
+        })),
+        Just(Formula::Atom(wave_fol::Atom {
+            rel: "q".into(),
+            prev: false,
+            terms: vec![var("y"), var("x")],
+        })),
+    ];
+    let constraint = prop_oneof![
+        konst.clone().prop_map(move |c| Formula::Eq(Term::Var("x".into()), c)),
+        konst.clone().prop_map(move |c| Formula::Ne(Term::Var("y".into()), c)),
+        Just(Formula::Ne(Term::Var("x".into()), Term::Var("y".into()))),
+        Just(Formula::not(Formula::Atom(wave_fol::Atom {
+            rel: "s".into(),
+            prev: false,
+            terms: vec![Term::Var("x".into())],
+        }))),
+        Just(Formula::Atom(wave_fol::Atom {
+            rel: "s".into(),
+            prev: false,
+            terms: vec![Term::Var("y".into())],
+        })),
+    ];
+    (ranger, prop::collection::vec(constraint, 0..3)).prop_map(|(r, cs)| {
+        Formula::and(std::iter::once(r).chain(cs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The compiled plan and the direct evaluator produce the same answer
+    /// sets for the free variables.
+    #[test]
+    fn compiled_plans_agree_with_evaluator(
+        raw in instance_strategy(),
+        f in formula_strategy(),
+    ) {
+        let schema = schema();
+        let syms = symbols();
+        let inst = build_instance(&schema, &raw);
+        let head = vec!["x".to_string(), "y".to_string()];
+
+        let mut slots = SlotMap::new();
+        let compiled = {
+            let mut ctx = CompileCtx { schema: &schema, symbols: &syms, slots: &mut slots };
+            compile_query(&f, &head, &mut ctx).expect("safe-range formula compiles")
+        };
+        let plan_rows = execute(&compiled.plan, &inst, &Params::none()).unwrap();
+
+        let domain: Vec<Value> = (0..4).map(Value).collect();
+        let ctx = EvalCtx {
+            instance: &inst,
+            symbols: &syms,
+            current_page: None,
+            domain: &domain,
+        };
+        let eval_rows =
+            answers(&f, &head, &ctx, &SchemaResolver(&schema)).expect("evaluates");
+
+        let mut a: Vec<Vec<Value>> =
+            plan_rows.iter().map(|t| t.values().to_vec()).collect();
+        let mut b = eval_rows;
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b, "formula: {}", f);
+    }
+
+    /// Existential closure: the compiled boolean agrees with the evaluator
+    /// on the sentence ∃x ∃y φ.
+    #[test]
+    fn compiled_bool_agrees(raw in instance_strategy(), f in formula_strategy()) {
+        let schema = schema();
+        let syms = symbols();
+        let inst = build_instance(&schema, &raw);
+        let sentence = Formula::Exists(
+            vec!["x".into(), "y".into()],
+            Box::new(f),
+        );
+        let mut slots = SlotMap::new();
+        let plan = {
+            let mut ctx = CompileCtx { schema: &schema, symbols: &syms, slots: &mut slots };
+            wave_fol::compile_bool(&sentence, &mut ctx).expect("compiles")
+        };
+        let by_plan = !execute(&plan, &inst, &Params::none()).unwrap().is_empty();
+        let domain: Vec<Value> = (0..4).map(Value).collect();
+        let ctx = EvalCtx {
+            instance: &inst,
+            symbols: &syms,
+            current_page: None,
+            domain: &domain,
+        };
+        let by_eval =
+            eval(&sentence, &ctx, &SchemaResolver(&schema), &mut Bindings::new()).unwrap();
+        prop_assert_eq!(by_plan, by_eval, "sentence: {}", sentence);
+    }
+
+    /// The input-quantifier rewrite preserves semantics on singleton-input
+    /// instances (the invariant that licenses it).
+    #[test]
+    fn input_rewrite_preserves_semantics(
+        raw in instance_strategy(),
+        inp in prop::option::of((0u32..4, 0u32..4)),
+        c1 in 0usize..4,
+        c2 in 0usize..4,
+    ) {
+        let mut schema = Schema::new();
+        schema.declare("r", 2, RelKind::Database).unwrap();
+        schema.declare("s", 1, RelKind::Database).unwrap();
+        schema.declare("q", 2, RelKind::Database).unwrap();
+        schema.declare("inp", 2, RelKind::Input).unwrap();
+        let schema = Arc::new(schema);
+        let syms = symbols();
+        let mut inst = build_instance_alt(&schema, &raw);
+        if let Some((a, b)) = inp {
+            let iid = schema.lookup("inp").unwrap();
+            inst.insert(iid, Tuple::from([Value(a), Value(b)]));
+        }
+        // ∀v,w (inp(v,w) → r(v,w) ∨ v = c1) ∧ (∃v,w inp(v,w) ∧ q(v,w) ∨ w = c2)
+        let src = format!(
+            r#"(forall v, w: inp(v, w) -> (r(v, w) | v = "{}"))
+               & ((exists v, w: inp(v, w) & (q(v, w) | w = "{}")) | s("{}"))"#,
+            CONSTS[c1], CONSTS[c2], CONSTS[c1],
+        );
+        let f = wave_fol::parse_formula(&src).unwrap();
+        let rewritten =
+            wave_fol::eliminate_input_quantifiers(&f, &|r: &str| r == "inp");
+        let domain: Vec<Value> = (0..4).map(Value).collect();
+        let ctx = EvalCtx {
+            instance: &inst,
+            symbols: &syms,
+            current_page: None,
+            domain: &domain,
+        };
+        let resolver = SchemaResolver(&schema);
+        let v1 = eval(&f, &ctx, &resolver, &mut Bindings::new()).unwrap();
+        let v2 = eval(&rewritten, &ctx, &resolver, &mut Bindings::new()).unwrap();
+        prop_assert_eq!(v1, v2, "original: {} rewritten: {}", f, rewritten);
+    }
+}
+
+fn build_instance_alt(
+    schema: &Arc<Schema>,
+    raw: &(Vec<(u32, u32)>, Vec<u32>, Vec<(u32, u32)>),
+) -> Instance {
+    let mut inst = Instance::empty(Arc::clone(schema));
+    let rid = schema.lookup("r").unwrap();
+    let sid = schema.lookup("s").unwrap();
+    let qid = schema.lookup("q").unwrap();
+    for &(a, b) in &raw.0 {
+        inst.insert(rid, Tuple::from([Value(a), Value(b)]));
+    }
+    for &a in &raw.1 {
+        inst.insert(sid, Tuple::from([Value(a)]));
+    }
+    for &(a, b) in &raw.2 {
+        inst.insert(qid, Tuple::from([Value(a), Value(b)]));
+    }
+    inst
+}

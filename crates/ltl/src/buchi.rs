@@ -1,0 +1,758 @@
+//! LTL → Büchi automaton translation.
+//!
+//! The paper uses the external `ltl2ba` tool, which implements the
+//! on-the-fly tableau construction of Gerth–Peled–Vardi–Wolper (GPVW,
+//! PSTV'95) — the same algorithm implemented here from scratch:
+//!
+//! 1. expand the NNF formula into a graph of tableau nodes (a generalized
+//!    Büchi automaton with one acceptance set per `U`-subformula),
+//! 2. degeneralize with the standard counter construction,
+//! 3. simplify: drop states that cannot contribute an accepting run, then
+//!    merge bisimilar states.
+//!
+//! The simplification step reproduces the small automata `ltl2ba` emits;
+//! in particular `P1 U P2` yields the two-state automaton of the paper's
+//! Figure 1.
+
+use crate::props::Nnf;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A transition guard: a conjunction of literals over propositions,
+/// encoded as bitmasks (must-be-true, must-be-false). At most 64
+/// propositions per property — far beyond anything the paper's properties
+/// need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label {
+    pub pos: u64,
+    pub neg: u64,
+}
+
+impl Label {
+    /// The unconstrained guard (`true`).
+    pub const TRUE: Label = Label { pos: 0, neg: 0 };
+
+    /// Does the truth assignment `assign` (bit `i` = proposition `i`)
+    /// satisfy this guard?
+    #[inline]
+    pub fn satisfies(&self, assign: u64) -> bool {
+        (assign & self.pos) == self.pos && (assign & self.neg) == 0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pos == 0 && self.neg == 0 {
+            return write!(f, "true");
+        }
+        let mut first = true;
+        for i in 0..64 {
+            if self.pos >> i & 1 == 1 {
+                if !first {
+                    write!(f, " & ")?;
+                }
+                write!(f, "P{i}")?;
+                first = false;
+            }
+            if self.neg >> i & 1 == 1 {
+                if !first {
+                    write!(f, " & ")?;
+                }
+                write!(f, "!P{i}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A Büchi automaton over proposition assignments.
+#[derive(Clone, Debug)]
+pub struct Buchi {
+    /// Number of propositions the guards range over.
+    pub nprops: usize,
+    /// Initial state index.
+    pub initial: usize,
+    /// Per-state acceptance flag.
+    pub accepting: Vec<bool>,
+    /// Per-state outgoing transitions.
+    pub trans: Vec<Vec<(Label, usize)>>,
+}
+
+// ---------------------------------------------------------------------
+// GPVW tableau nodes
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Node {
+    incoming: BTreeSet<usize>,
+    new: BTreeSet<Nnf>,
+    old: BTreeSet<Nnf>,
+    next: BTreeSet<Nnf>,
+}
+
+struct Tableau {
+    /// Finished nodes keyed by id (dense). Id 0 is the virtual init node.
+    nodes: Vec<Node>,
+}
+
+const INIT: usize = 0;
+
+impl Tableau {
+    fn build(phi: &Nnf) -> Tableau {
+        let mut t = Tableau {
+            nodes: vec![Node {
+                incoming: BTreeSet::new(),
+                new: BTreeSet::new(),
+                old: BTreeSet::new(),
+                next: BTreeSet::new(),
+            }],
+        };
+        let start = Node {
+            incoming: BTreeSet::from([INIT]),
+            new: BTreeSet::from([phi.clone()]),
+            old: BTreeSet::new(),
+            next: BTreeSet::new(),
+        };
+        t.expand(start);
+        t
+    }
+
+    fn expand(&mut self, mut node: Node) {
+        let Some(eta) = node.new.iter().next().cloned() else {
+            // node fully processed: merge with an existing node or add
+            for nd in self.nodes.iter_mut().skip(1) {
+                if nd.old == node.old && nd.next == node.next {
+                    nd.incoming.extend(node.incoming.iter().copied());
+                    return;
+                }
+            }
+            let id = self.nodes.len();
+            let next = node.next.clone();
+            self.nodes.push(node);
+            let succ = Node {
+                incoming: BTreeSet::from([id]),
+                new: next,
+                old: BTreeSet::new(),
+                next: BTreeSet::new(),
+            };
+            self.expand(succ);
+            return;
+        };
+        node.new.remove(&eta);
+        match &eta {
+            Nnf::False => { /* contradiction: drop the node */ }
+            Nnf::True => self.expand(node),
+            Nnf::Lit { id, positive } => {
+                let negated = Nnf::Lit { id: *id, positive: !positive };
+                if node.old.contains(&negated) {
+                    return; // contradiction
+                }
+                node.old.insert(eta);
+                self.expand(node);
+            }
+            Nnf::And(a, b) => {
+                node.old.insert(eta.clone());
+                for part in [a.as_ref(), b.as_ref()] {
+                    if !node.old.contains(part) {
+                        node.new.insert(part.clone());
+                    }
+                }
+                self.expand(node);
+            }
+            Nnf::X(x) => {
+                node.old.insert(eta.clone());
+                node.next.insert((**x).clone());
+                self.expand(node);
+            }
+            Nnf::Or(a, b) => {
+                let mut n1 = node.clone();
+                n1.old.insert(eta.clone());
+                if !n1.old.contains(a.as_ref()) {
+                    n1.new.insert((**a).clone());
+                }
+                let mut n2 = node;
+                n2.old.insert(eta.clone());
+                if !n2.old.contains(b.as_ref()) {
+                    n2.new.insert((**b).clone());
+                }
+                self.expand(n1);
+                self.expand(n2);
+            }
+            Nnf::U(a, b) => {
+                // μ U ψ ≡ ψ ∨ (μ ∧ X(μ U ψ))
+                let mut n1 = node.clone();
+                n1.old.insert(eta.clone());
+                if !n1.old.contains(a.as_ref()) {
+                    n1.new.insert((**a).clone());
+                }
+                n1.next.insert(eta.clone());
+                let mut n2 = node;
+                n2.old.insert(eta.clone());
+                if !n2.old.contains(b.as_ref()) {
+                    n2.new.insert((**b).clone());
+                }
+                self.expand(n1);
+                self.expand(n2);
+            }
+            Nnf::R(a, b) => {
+                // μ R ψ ≡ (μ ∧ ψ) ∨ (ψ ∧ X(μ R ψ))
+                let mut n1 = node.clone();
+                n1.old.insert(eta.clone());
+                if !n1.old.contains(b.as_ref()) {
+                    n1.new.insert((**b).clone());
+                }
+                n1.next.insert(eta.clone());
+                let mut n2 = node;
+                n2.old.insert(eta.clone());
+                for part in [a.as_ref(), b.as_ref()] {
+                    if !n2.old.contains(part) {
+                        n2.new.insert(part.clone());
+                    }
+                }
+                self.expand(n1);
+                self.expand(n2);
+            }
+        }
+    }
+}
+
+/// Collect the `U`-subformulas of the formula (the acceptance sets of the
+/// generalized automaton).
+fn until_subformulas(f: &Nnf, out: &mut Vec<Nnf>) {
+    match f {
+        Nnf::U(a, b) => {
+            if !out.contains(f) {
+                out.push(f.clone());
+            }
+            until_subformulas(a, out);
+            until_subformulas(b, out);
+        }
+        Nnf::R(a, b) => {
+            until_subformulas(a, out);
+            until_subformulas(b, out);
+        }
+        Nnf::And(a, b) | Nnf::Or(a, b) => {
+            until_subformulas(a, out);
+            until_subformulas(b, out);
+        }
+        Nnf::X(x) => until_subformulas(x, out),
+        _ => {}
+    }
+}
+
+fn label_of(old: &BTreeSet<Nnf>) -> Label {
+    let mut pos = 0u64;
+    let mut neg = 0u64;
+    for f in old {
+        if let Nnf::Lit { id, positive } = f {
+            assert!(*id < 64, "at most 64 propositions supported");
+            if *positive {
+                pos |= 1 << id;
+            } else {
+                neg |= 1 << id;
+            }
+        }
+    }
+    Label { pos, neg }
+}
+
+impl Buchi {
+    /// Translate an NNF propositional LTL formula into a Büchi automaton
+    /// accepting exactly the infinite words satisfying it.
+    pub fn from_nnf(phi: &Nnf, nprops: usize) -> Buchi {
+        let tableau = Tableau::build(phi);
+        let n = tableau.nodes.len();
+
+        // acceptance sets: one per U-subformula
+        let mut untils = Vec::new();
+        until_subformulas(phi, &mut untils);
+        let k = untils.len().max(1);
+        let in_fset = |state: usize, fi: usize| -> bool {
+            if untils.is_empty() {
+                return true; // single trivial set containing every state
+            }
+            let Nnf::U(_, psi) = &untils[fi] else { unreachable!() };
+            let old = &tableau.nodes[state].old;
+            // `true` is discharged without being recorded in Old, so a
+            // satisfied `μ U true` must count as fulfilled here
+            matches!(psi.as_ref(), Nnf::True)
+                || old.contains(psi)
+                || !old.contains(&untils[fi])
+        };
+
+        // GBA edges: src → dst when src ∈ incoming(dst); guard = label(dst)
+        let mut gba_edges: Vec<Vec<(Label, usize)>> = vec![Vec::new(); n];
+        for (dst, node) in tableau.nodes.iter().enumerate().skip(1) {
+            let lbl = label_of(&node.old);
+            for &src in &node.incoming {
+                gba_edges[src].push((lbl, dst));
+            }
+        }
+
+        // degeneralize: states (q, i) — counter i advances when the source
+        // state belongs to acceptance set i; accepting = F_0 × {0}
+        let id = |q: usize, i: usize| q * k + i;
+        let mut trans: Vec<Vec<(Label, usize)>> = vec![Vec::new(); n * k];
+        let mut accepting = vec![false; n * k];
+        for q in 0..n {
+            for i in 0..k {
+                // the virtual init node has no incoming edges, so marking it
+                // non-accepting never changes the language but lets the
+                // bisimulation merge fold it into its successor states
+                if i == 0 && q != INIT && in_fset(q, 0) {
+                    accepting[id(q, i)] = true;
+                }
+                let j = if in_fset(q, i) { (i + 1) % k } else { i };
+                for &(lbl, dst) in &gba_edges[q] {
+                    trans[id(q, i)].push((lbl, id(dst, j)));
+                }
+            }
+        }
+        // note on acceptance: state (q, 0) with q ∈ F_0 is accepting; a run
+        // hits such states infinitely often iff it cycles through all F_i.
+        let mut b = Buchi { nprops, initial: id(INIT, 0), accepting, trans };
+        b.simplify();
+        b
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Total number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.trans.iter().map(Vec::len).sum()
+    }
+
+    /// Successor states of `s` enabled under `assign`.
+    pub fn successors<'a>(
+        &'a self,
+        s: usize,
+        assign: u64,
+    ) -> impl Iterator<Item = usize> + 'a {
+        self.trans[s]
+            .iter()
+            .filter(move |(lbl, _)| lbl.satisfies(assign))
+            .map(|&(_, t)| t)
+    }
+
+    /// Simplify: dedup transitions, drop useless states (those that cannot
+    /// reach an accepting cycle), merge bisimilar states.
+    fn simplify(&mut self) {
+        self.dedup_transitions();
+        self.prune_useless();
+        self.merge_bisimilar();
+        self.prune_useless();
+    }
+
+    fn dedup_transitions(&mut self) {
+        for ts in &mut self.trans {
+            ts.sort_unstable();
+            ts.dedup();
+        }
+    }
+
+    /// Keep only states reachable from the initial state that can reach an
+    /// accepting cycle (otherwise they can never contribute a run).
+    fn prune_useless(&mut self) {
+        let n = self.trans.len();
+        // forward reachability
+        let mut reach = vec![false; n];
+        let mut stack = vec![self.initial];
+        reach[self.initial] = true;
+        while let Some(s) = stack.pop() {
+            for &(_, t) in &self.trans[s] {
+                if !reach[t] {
+                    reach[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        // states on an accepting cycle: accepting s that can reach itself
+        let mut on_cycle = vec![false; n];
+        for s in 0..n {
+            if !reach[s] || !self.accepting[s] {
+                continue;
+            }
+            // DFS from successors of s looking for s
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> =
+                self.trans[s].iter().map(|&(_, t)| t).collect();
+            let mut found = false;
+            while let Some(t) = stack.pop() {
+                if t == s {
+                    found = true;
+                    break;
+                }
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.extend(self.trans[t].iter().map(|&(_, u)| u));
+                }
+            }
+            on_cycle[s] = found;
+        }
+        // backward closure: states that can reach an accepting cycle
+        let mut useful = on_cycle.clone();
+        loop {
+            let mut changed = false;
+            for s in 0..n {
+                if reach[s] && !useful[s]
+                    && self.trans[s].iter().any(|&(_, t)| useful[t]) {
+                        useful[s] = true;
+                        changed = true;
+                    }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // the initial state must survive even if the language is empty
+        useful[self.initial] = true;
+        let keep: Vec<usize> = (0..n).filter(|&s| reach[s] && useful[s]).collect();
+        let mut remap = vec![usize::MAX; n];
+        for (new, &old) in keep.iter().enumerate() {
+            remap[old] = new;
+        }
+        let mut trans = Vec::with_capacity(keep.len());
+        let mut accepting = Vec::with_capacity(keep.len());
+        for &old in &keep {
+            let ts: Vec<(Label, usize)> = self.trans[old]
+                .iter()
+                .filter(|&&(_, t)| remap[t] != usize::MAX)
+                .map(|&(l, t)| (l, remap[t]))
+                .collect();
+            trans.push(ts);
+            accepting.push(self.accepting[old]);
+        }
+        self.initial = remap[self.initial];
+        self.trans = trans;
+        self.accepting = accepting;
+    }
+
+    /// Merge states with identical behaviour (strong bisimulation quotient:
+    /// same acceptance flag and same labeled transitions up to classes).
+    fn merge_bisimilar(&mut self) {
+        let n = self.trans.len();
+        let mut class: Vec<usize> = self.accepting.iter().map(|&a| a as usize).collect();
+        loop {
+            let mut sig_map: HashMap<(usize, Vec<(Label, usize)>), usize> = HashMap::new();
+            let mut next_class = vec![0usize; n];
+            for s in 0..n {
+                let mut sig: Vec<(Label, usize)> =
+                    self.trans[s].iter().map(|&(l, t)| (l, class[t])).collect();
+                sig.sort_unstable();
+                sig.dedup();
+                let key = (class[s], sig);
+                let next_id = sig_map.len();
+                let c = *sig_map.entry(key).or_insert(next_id);
+                next_class[s] = c;
+            }
+            if next_class == class {
+                break;
+            }
+            class = next_class;
+        }
+        let num_classes = class.iter().copied().max().map_or(0, |m| m + 1);
+        if num_classes == n {
+            return;
+        }
+        let mut trans: Vec<Vec<(Label, usize)>> = vec![Vec::new(); num_classes];
+        let mut accepting = vec![false; num_classes];
+        for s in 0..n {
+            let c = class[s];
+            accepting[c] = self.accepting[s];
+            for &(l, t) in &self.trans[s] {
+                trans[c].push((l, class[t]));
+            }
+        }
+        for ts in &mut trans {
+            ts.sort_unstable();
+            ts.dedup();
+        }
+        self.initial = class[self.initial];
+        self.trans = trans;
+        self.accepting = accepting;
+    }
+
+    /// Test acceptance of the ultimately periodic word `prefix · cycle^ω`
+    /// (each element a proposition assignment). Used as the test oracle
+    /// against [`Nnf::eval_lasso`].
+    pub fn accepts_lasso(&self, prefix: &[u64], cycle: &[u64]) -> bool {
+        assert!(!cycle.is_empty());
+        let plen = prefix.len();
+        let total = plen + cycle.len();
+        let word = |i: usize| if i < plen { prefix[i] } else { cycle[i - plen] };
+        let succ_pos = |i: usize| if i + 1 < total { i + 1 } else { plen };
+        let nid = |s: usize, i: usize| s * total + i;
+        // product reachability from (initial, 0)
+        let mut reach = vec![false; self.trans.len() * total];
+        let mut stack = vec![(self.initial, 0usize)];
+        reach[nid(self.initial, 0)] = true;
+        while let Some((s, i)) = stack.pop() {
+            for t in self.successors(s, word(i)) {
+                let j = succ_pos(i);
+                if !reach[nid(t, j)] {
+                    reach[nid(t, j)] = true;
+                    stack.push((t, j));
+                }
+            }
+        }
+        // accepting product node in the cycle region that can reach itself
+        for s in 0..self.trans.len() {
+            if !self.accepting[s] {
+                continue;
+            }
+            for i in plen..total {
+                if !reach[nid(s, i)] {
+                    continue;
+                }
+                let mut seen = vec![false; self.trans.len() * total];
+                let mut stack: Vec<(usize, usize)> = self
+                    .successors(s, word(i))
+                    .map(|t| (t, succ_pos(i)))
+                    .collect();
+                while let Some((t, j)) = stack.pop() {
+                    if (t, j) == (s, i) {
+                        return true;
+                    }
+                    if !seen[nid(t, j)] {
+                        seen[nid(t, j)] = true;
+                        stack.extend(self.successors(t, word(j)).map(|u| (u, succ_pos(j))));
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Buchi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Buchi automaton: {} states, {} transitions, initial s{}",
+            self.num_states(),
+            self.num_transitions(),
+            self.initial
+        )?;
+        for (s, ts) in self.trans.iter().enumerate() {
+            writeln!(
+                f,
+                "  s{s}{}{}:",
+                if self.accepting[s] { " [accept]" } else { "" },
+                if s == self.initial { " [init]" } else { "" },
+            )?;
+            for (l, t) in ts {
+                writeln!(f, "    --[{l}]--> s{t}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{extract, nnf};
+
+    fn automaton(src: &str) -> (Buchi, usize) {
+        let prop = crate::parser::parse_property(src).unwrap();
+        let e = extract(&prop.body);
+        let n = nnf(&e.aux, false);
+        let nprops = e.components.len();
+        (Buchi::from_nnf(&n, nprops), nprops)
+    }
+
+    /// Figure 1 of the paper: the automaton for `P1 U P2` has two states —
+    /// a start state looping on P1 with a P2-edge to an accepting state
+    /// that loops on true.
+    #[test]
+    fn fig1_buchi_for_until() {
+        let (b, _) = automaton("p1() U p2()");
+        assert_eq!(b.num_states(), 2, "\n{b}");
+        let acc: Vec<usize> =
+            (0..2).filter(|&s| b.accepting[s]).collect();
+        assert_eq!(acc.len(), 1);
+        let acc = acc[0];
+        let start = b.initial;
+        assert_ne!(start, acc);
+        // accepting state loops unconditionally
+        assert!(b.trans[acc].iter().any(|&(l, t)| t == acc && l == Label::TRUE), "\n{b}");
+        // start loops on P1 and advances on P2
+        assert!(b
+            .trans[start]
+            .iter()
+            .any(|&(l, t)| t == start && l.satisfies(0b01) && !l.satisfies(0b00)));
+        assert!(b
+            .trans[start]
+            .iter()
+            .any(|&(l, t)| t == acc && l.satisfies(0b10)));
+    }
+
+    #[test]
+    fn until_acceptance_on_words() {
+        let (b, _) = automaton("p1() U p2()");
+        // p1 p1 p2 (then anything) → accepted
+        assert!(b.accepts_lasso(&[0b01, 0b01, 0b10], &[0b00]));
+        // p1 forever → rejected
+        assert!(!b.accepts_lasso(&[], &[0b01]));
+        // immediate p2 → accepted
+        assert!(b.accepts_lasso(&[], &[0b10]));
+        // gap before p2 → rejected
+        assert!(!b.accepts_lasso(&[0b00], &[0b10]));
+    }
+
+    #[test]
+    fn globally_automaton() {
+        let (b, _) = automaton("G p()");
+        assert!(b.accepts_lasso(&[], &[0b1]));
+        assert!(!b.accepts_lasso(&[0b1, 0b1], &[0b0]));
+    }
+
+    #[test]
+    fn finally_automaton() {
+        let (b, _) = automaton("F p()");
+        assert!(b.accepts_lasso(&[0b0, 0b0], &[0b1, 0b0]));
+        assert!(!b.accepts_lasso(&[], &[0b0]));
+    }
+
+    #[test]
+    fn response_automaton() {
+        let (b, _) = automaton("G (p() -> F q())");
+        // every p followed by q
+        assert!(b.accepts_lasso(&[], &[0b01, 0b10]));
+        // p never answered
+        assert!(!b.accepts_lasso(&[0b01], &[0b00]));
+        // no p at all
+        assert!(b.accepts_lasso(&[], &[0b00]));
+    }
+
+    #[test]
+    fn next_automaton() {
+        let (b, _) = automaton("X p()");
+        assert!(b.accepts_lasso(&[0b0], &[0b1]));
+        assert!(!b.accepts_lasso(&[0b1], &[0b0]));
+    }
+
+    #[test]
+    fn before_is_non_strict() {
+        let (b, _) = automaton("p() B q()");
+        // q never happens
+        assert!(b.accepts_lasso(&[], &[0b00]));
+        // p strictly before q
+        assert!(b.accepts_lasso(&[0b01, 0b10], &[0b00]));
+        // q first
+        assert!(!b.accepts_lasso(&[0b10], &[0b00]));
+        // simultaneous first occurrence counts (the paper's P5 relies on it)
+        assert!(b.accepts_lasso(&[0b11], &[0b00]));
+    }
+
+    #[test]
+    fn empty_language_formula() {
+        // `false` has an empty language; the initial state must survive
+        // simplification so the verifier can still start a (failing) search
+        let (b, _) = automaton("false");
+        assert!(b.initial < b.num_states());
+        assert!(!b.accepts_lasso(&[], &[0b0]));
+        assert!(!b.accepts_lasso(&[], &[0b1]));
+    }
+
+    /// Cross-validate the automaton against direct lasso semantics on an
+    /// exhaustive set of small words, for a battery of formulas covering
+    /// all operators and the paper's property shapes T1–T10.
+    #[test]
+    fn automata_match_semantics_exhaustively() {
+        let formulas = [
+            "p() U q()",
+            "p() R q()",
+            "p() B q()",
+            "G p()",
+            "F p()",
+            "X p()",
+            "G (p() -> F q())",      // response
+            "F p() -> F q()",        // correlation
+            "G p() -> G q()",        // session
+            "G (F p())",             // recurrence
+            "F (G p())",             // strong non-progress
+            "G (p() -> X p())",      // weak non-progress
+            "G p() | F q()",         // reachability-ish
+            "!(p() U q())",
+            "(p() U q()) U p()",
+            "X X p()",
+            "G (p() & q()) | F (p() & !q())",
+        ];
+        for src in formulas {
+            let prop = crate::parser::parse_property(src).unwrap();
+            let e = extract(&prop.body);
+            let f = nnf(&e.aux, false);
+            let b = Buchi::from_nnf(&f, e.components.len());
+            // all lasso words with prefix ≤ 2 and cycle ≤ 2 over 2 props
+            for plen in 0..=2usize {
+                for clen in 1..=2usize {
+                    let mut shape = vec![0u64; plen + clen];
+                    exhaustive(&mut shape, 0, &mut |word: &[u64]| {
+                        let (pre, cyc) = word.split_at(plen);
+                        let expect = f.eval_lasso(pre, cyc);
+                        let got = b.accepts_lasso(pre, cyc);
+                        assert_eq!(
+                            expect, got,
+                            "formula {src}, word {pre:?} ({cyc:?})^ω\n{b}"
+                        );
+                    });
+                }
+            }
+        }
+        fn exhaustive(word: &mut Vec<u64>, i: usize, check: &mut impl FnMut(&[u64])) {
+            if i == word.len() {
+                check(word);
+                return;
+            }
+            for v in 0..4u64 {
+                word[i] = v;
+                exhaustive(word, i + 1, check);
+            }
+        }
+    }
+}
+
+impl Buchi {
+    /// Graphviz DOT rendering of the automaton (for papers, debugging, and
+    /// the `wave automaton` CLI).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph buchi {\n  rankdir=LR;\n");
+        let _ = writeln!(out, "  init [shape=point];");
+        for s in 0..self.num_states() {
+            let shape = if self.accepting[s] { "doublecircle" } else { "circle" };
+            let _ = writeln!(out, "  s{s} [shape={shape}];");
+        }
+        let _ = writeln!(out, "  init -> s{};", self.initial);
+        for (s, ts) in self.trans.iter().enumerate() {
+            for (l, t) in ts {
+                let _ = writeln!(out, "  s{s} -> s{t} [label=\"{l}\"];");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use crate::props::{extract, nnf};
+
+    #[test]
+    fn dot_export_is_well_formed() {
+        let prop = crate::parser::parse_property("p() U q()").unwrap();
+        let e = extract(&prop.body);
+        let b = Buchi::from_nnf(&nnf(&e.aux, false), e.components.len());
+        let dot = b.to_dot();
+        assert!(dot.starts_with("digraph buchi {"), "{dot}");
+        assert!(dot.contains("doublecircle"), "accepting state styled: {dot}");
+        assert!(dot.contains("init -> s"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'), "{dot}");
+    }
+}

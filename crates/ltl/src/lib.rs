@@ -1,0 +1,17 @@
+//! `wave-ltl`: LTL-FO properties and the LTL→Büchi translation.
+//!
+//! Implements steps 1 and 2 of the paper's verification roadmap:
+//! the property [`ast`] and [`parser`], the extraction of maximal FO
+//! components into propositional symbols ([`props`], producing `φ_aux`),
+//! and the from-scratch GPVW tableau construction of Büchi automata
+//! ([`buchi`]) that replaces the external `ltl2ba` tool the paper used.
+
+pub mod ast;
+pub mod buchi;
+pub mod parser;
+pub mod props;
+
+pub use ast::{Ltl, Property};
+pub use buchi::{Buchi, Label};
+pub use parser::{parse_ltl, parse_property};
+pub use props::{extract, nnf, Extraction, Nnf, PropLtl};

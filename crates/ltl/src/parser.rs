@@ -1,0 +1,320 @@
+//! Parser for LTL-FO properties.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! property   := ('forall' vars ':')? ltl
+//! ltl        := ltl_or ('->' ltl)?
+//! ltl_or     := ltl_and ('|' ltl_and)*
+//! ltl_and    := ltl_until ('&' ltl_until)*
+//! ltl_until  := ltl_unary (('U'|'R'|'B') ltl_until)?      (right assoc)
+//! ltl_unary  := ('X'|'F'|'G'|'[]'|'<>'|'!') ltl_unary | ltl_prim
+//! ltl_prim   := '(' ltl ')' | 'true' | 'false' | '@' IDENT
+//!             | ('exists'|'forall') vars ':' FO-formula   (pure FO body)
+//!             | 'prev'? IDENT '(' terms ')' | term ('='|'!=') term
+//! ```
+//!
+//! The single-letter identifiers `X F G U R B` are reserved temporal
+//! operators inside properties; relations used in properties must avoid
+//! those names. Quantifier bodies are pure FO (temporal operators may not
+//! occur under a quantifier — that is exactly the LTL-FO restriction).
+
+use crate::ast::{Ltl, Property};
+use wave_fol::ast::{Atom, Formula};
+use wave_fol::lexer::TokenKind;
+use wave_fol::parser::{ParseError, Parser};
+
+/// Parse a property from text. The outer `forall` (if any) becomes the
+/// property's universal prefix; FO components are grouped maximally.
+pub fn parse_property(src: &str) -> Result<Property, ParseError> {
+    let mut p = Parser::from_source(src)?;
+    // An initial `forall` is the property-level quantifier prefix…
+    // unless it is immediately re-used as an FO quantifier, which we cannot
+    // distinguish; the paper's convention is that the outermost universal
+    // quantification belongs to the property, so we adopt it.
+    let univ_vars = if p.at_keyword("forall") {
+        p.bump();
+        let vars = p.var_list()?;
+        p.expect(&TokenKind::Colon)?;
+        vars
+    } else {
+        Vec::new()
+    };
+    let body = parse_ltl(&mut p)?;
+    if !p.at_eof() {
+        return Err(p.error(format!("trailing input: {}", p.peek_kind())));
+    }
+    let body = body.group_fo();
+    // "The remaining free variables in the resulting formula are
+    // universally quantified at the very end" (Section 2.1): close over
+    // any component free variable the prefix did not list.
+    let mut univ_vars = univ_vars;
+    collect_component_free_vars(&body, &mut univ_vars);
+    Ok(Property { univ_vars, body })
+}
+
+fn collect_component_free_vars(l: &Ltl, vars: &mut Vec<String>) {
+    match l {
+        Ltl::Fo(f) => {
+            for v in wave_fol::free_vars(f) {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        Ltl::Not(x) | Ltl::X(x) | Ltl::F(x) | Ltl::G(x) => {
+            collect_component_free_vars(x, vars)
+        }
+        Ltl::And(a, b)
+        | Ltl::Or(a, b)
+        | Ltl::Implies(a, b)
+        | Ltl::U(a, b)
+        | Ltl::R(a, b)
+        | Ltl::B(a, b) => {
+            collect_component_free_vars(a, vars);
+            collect_component_free_vars(b, vars);
+        }
+    }
+}
+
+/// Parse an LTL body (no property prefix) from the parser's position.
+pub fn parse_ltl(p: &mut Parser) -> Result<Ltl, ParseError> {
+    implication(p)
+}
+
+fn implication(p: &mut Parser) -> Result<Ltl, ParseError> {
+    let lhs = disjunction(p)?;
+    if p.peek_kind() == &TokenKind::Arrow {
+        p.bump();
+        let rhs = implication(p)?;
+        Ok(Ltl::Implies(Box::new(lhs), Box::new(rhs)))
+    } else {
+        Ok(lhs)
+    }
+}
+
+fn disjunction(p: &mut Parser) -> Result<Ltl, ParseError> {
+    let mut acc = conjunction(p)?;
+    while p.peek_kind() == &TokenKind::Pipe {
+        p.bump();
+        let rhs = conjunction(p)?;
+        acc = Ltl::Or(Box::new(acc), Box::new(rhs));
+    }
+    Ok(acc)
+}
+
+fn conjunction(p: &mut Parser) -> Result<Ltl, ParseError> {
+    let mut acc = until(p)?;
+    while p.peek_kind() == &TokenKind::Amp {
+        p.bump();
+        let rhs = until(p)?;
+        acc = Ltl::And(Box::new(acc), Box::new(rhs));
+    }
+    Ok(acc)
+}
+
+fn until(p: &mut Parser) -> Result<Ltl, ParseError> {
+    let lhs = unary(p)?;
+    for (kw, ctor) in [
+        ("U", Ltl::U as fn(Box<Ltl>, Box<Ltl>) -> Ltl),
+        ("R", Ltl::R as fn(Box<Ltl>, Box<Ltl>) -> Ltl),
+        ("B", Ltl::B as fn(Box<Ltl>, Box<Ltl>) -> Ltl),
+    ] {
+        if p.at_keyword(kw) {
+            p.bump();
+            let rhs = until(p)?;
+            return Ok(ctor(Box::new(lhs), Box::new(rhs)));
+        }
+    }
+    Ok(lhs)
+}
+
+fn unary(p: &mut Parser) -> Result<Ltl, ParseError> {
+    match p.peek_kind().clone() {
+        TokenKind::Bang => {
+            p.bump();
+            Ok(Ltl::Not(Box::new(unary(p)?)))
+        }
+        TokenKind::Box_ => {
+            p.bump();
+            Ok(Ltl::G(Box::new(unary(p)?)))
+        }
+        TokenKind::Diamond => {
+            p.bump();
+            Ok(Ltl::F(Box::new(unary(p)?)))
+        }
+        TokenKind::Ident(w) if w == "X" => {
+            p.bump();
+            Ok(Ltl::X(Box::new(unary(p)?)))
+        }
+        TokenKind::Ident(w) if w == "F" => {
+            p.bump();
+            Ok(Ltl::F(Box::new(unary(p)?)))
+        }
+        TokenKind::Ident(w) if w == "G" => {
+            p.bump();
+            Ok(Ltl::G(Box::new(unary(p)?)))
+        }
+        _ => primary(p),
+    }
+}
+
+fn primary(p: &mut Parser) -> Result<Ltl, ParseError> {
+    match p.peek_kind().clone() {
+        TokenKind::LParen => {
+            p.bump();
+            let inner = parse_ltl(p)?;
+            p.expect(&TokenKind::RParen)?;
+            Ok(inner)
+        }
+        TokenKind::At => {
+            p.bump();
+            let page = p.expect_ident()?;
+            Ok(Ltl::Fo(Formula::Page(page)))
+        }
+        TokenKind::Ident(w) if w == "true" => {
+            p.bump();
+            Ok(Ltl::Fo(Formula::True))
+        }
+        TokenKind::Ident(w) if w == "false" => {
+            p.bump();
+            Ok(Ltl::Fo(Formula::False))
+        }
+        TokenKind::Ident(w) if w == "exists" || w == "forall" => {
+            // quantified FO component: the body is pure FO
+            Ok(Ltl::Fo(p.parse_formula()?))
+        }
+        TokenKind::Ident(w) if w == "prev" => {
+            p.bump();
+            let rel = p.expect_ident()?;
+            let terms = p.term_tuple()?;
+            Ok(Ltl::Fo(Formula::Atom(Atom { rel, prev: true, terms })))
+        }
+        TokenKind::Ident(name) => {
+            if p.peek_ahead(1) == &TokenKind::LParen {
+                p.bump();
+                let terms = p.term_tuple()?;
+                Ok(Ltl::Fo(Formula::Atom(Atom { rel: name, prev: false, terms })))
+            } else {
+                let lhs = p.term()?;
+                comparison(p, lhs)
+            }
+        }
+        TokenKind::Str(_) => {
+            let lhs = p.term()?;
+            comparison(p, lhs)
+        }
+        other => Err(p.error(format!("expected LTL formula, found {other}"))),
+    }
+}
+
+fn comparison(p: &mut Parser, lhs: wave_fol::Term) -> Result<Ltl, ParseError> {
+    match p.peek_kind() {
+        TokenKind::Eq => {
+            p.bump();
+            let rhs = p.term()?;
+            Ok(Ltl::Fo(Formula::Eq(lhs, rhs)))
+        }
+        TokenKind::Ne => {
+            p.bump();
+            let rhs = p.term()?;
+            Ok(Ltl::Fo(Formula::Ne(lhs, rhs)))
+        }
+        other => Err(p.error(format!("expected '=' or '!=', found {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_shipment_property() {
+        // (†) ∀x∀y∀id [(pay(id,x,y) ∧ price(x,y)) B ship(id,x)]
+        let prop = parse_property(
+            "forall x, y, id: (pay(id, x, y) & price(x, y)) B ship(id, x)",
+        )
+        .unwrap();
+        assert_eq!(prop.univ_vars, vec!["x", "y", "id"]);
+        match prop.body {
+            Ltl::B(lhs, rhs) => {
+                assert!(matches!(*lhs, Ltl::Fo(Formula::And(_))));
+                assert!(matches!(*rhs, Ltl::Fo(Formula::Atom(_))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn until_is_right_associative() {
+        let prop = parse_property("a() U b() U c()").unwrap();
+        match prop.body {
+            Ltl::U(_, rhs) => assert!(matches!(*rhs, Ltl::U(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sugar_box_and_diamond() {
+        let prop = parse_property("[] <> @HP").unwrap();
+        match prop.body {
+            Ltl::G(inner) => assert!(matches!(*inner, Ltl::F(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporal_ops_by_letter() {
+        let prop = parse_property("G (a() -> X b())").unwrap();
+        match prop.body {
+            Ltl::G(inner) => match *inner {
+                Ltl::Implies(_, rhs) => assert!(matches!(*rhs, Ltl::X(_))),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantified_fo_component_stays_fo() {
+        // P9-style: G(@EP -> ∃x clicklink(x)) → …
+        let prop =
+            parse_property("G (@EP -> (exists x: clicklink(x))) -> G F @HP").unwrap();
+        match prop.body {
+            Ltl::Implies(lhs, _) => match *lhs {
+                Ltl::G(inner) => {
+                    // @EP -> exists… is temporal-free → collapsed to one FO leaf
+                    assert!(matches!(*inner, Ltl::Fo(Formula::Implies(_, _))));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fo_grouping_is_maximal() {
+        let prop = parse_property("(a() & b()) U c()").unwrap();
+        match prop.body {
+            Ltl::U(lhs, _) => assert!(matches!(*lhs, Ltl::Fo(Formula::And(_)))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn property_equality_example_three_one() {
+        // Property (1) of the paper, transliterated into our syntax.
+        let src = r#"forall pid, category, name, ram, hdd, display, price:
+            (@UPP & button("submit") & cart(pid, price)
+             & products(pid, category, name, ram, hdd, display, price))
+            B conf(pid, category, name, ram, hdd, display, price)"#;
+        let prop = parse_property(src).unwrap();
+        assert_eq!(prop.univ_vars.len(), 7);
+        assert!(matches!(prop.body, Ltl::B(_, _)));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_property("a() b()").is_err());
+    }
+}

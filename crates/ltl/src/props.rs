@@ -1,0 +1,402 @@
+//! FO-component extraction and propositional normal forms.
+//!
+//! Step 1 of the paper's verification roadmap: replace each maximal FO
+//! component of the (negated) property with a fresh propositional symbol,
+//! obtaining the plain LTL formula `φ_aux` that the Büchi construction
+//! consumes. At search time the verifier evaluates the FO components on the
+//! current pseudoconfiguration to obtain a truth assignment for these
+//! propositions.
+
+use crate::ast::Ltl;
+use std::fmt;
+use wave_fol::Formula;
+
+/// A propositional LTL formula (general form, before NNF).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PropLtl {
+    True,
+    False,
+    Prop(usize),
+    Not(Box<PropLtl>),
+    And(Box<PropLtl>, Box<PropLtl>),
+    Or(Box<PropLtl>, Box<PropLtl>),
+    X(Box<PropLtl>),
+    U(Box<PropLtl>, Box<PropLtl>),
+    R(Box<PropLtl>, Box<PropLtl>),
+}
+
+impl fmt::Display for PropLtl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropLtl::True => write!(f, "true"),
+            PropLtl::False => write!(f, "false"),
+            PropLtl::Prop(id) => write!(f, "P{id}"),
+            PropLtl::Not(x) => write!(f, "!({x})"),
+            PropLtl::And(a, b) => write!(f, "({a} & {b})"),
+            PropLtl::Or(a, b) => write!(f, "({a} | {b})"),
+            PropLtl::X(x) => write!(f, "X({x})"),
+            PropLtl::U(a, b) => write!(f, "({a} U {b})"),
+            PropLtl::R(a, b) => write!(f, "({a} R {b})"),
+        }
+    }
+}
+
+/// Extraction result: `φ_aux` plus the table mapping each proposition id to
+/// its FO component.
+#[derive(Clone, Debug)]
+pub struct Extraction {
+    pub aux: PropLtl,
+    pub components: Vec<Formula>,
+}
+
+/// Replace the FO leaves of a grouped LTL body with propositions.
+/// Syntactically identical components share a proposition.
+pub fn extract(body: &Ltl) -> Extraction {
+    let mut components: Vec<Formula> = Vec::new();
+    let aux = go(body, &mut components);
+    Extraction { aux, components }
+}
+
+fn go(l: &Ltl, components: &mut Vec<Formula>) -> PropLtl {
+    match l {
+        Ltl::Fo(Formula::True) => PropLtl::True,
+        Ltl::Fo(Formula::False) => PropLtl::False,
+        Ltl::Fo(f) => {
+            let id = components.iter().position(|g| g == f).unwrap_or_else(|| {
+                components.push(f.clone());
+                components.len() - 1
+            });
+            PropLtl::Prop(id)
+        }
+        Ltl::Not(x) => PropLtl::Not(Box::new(go(x, components))),
+        Ltl::And(a, b) => {
+            PropLtl::And(Box::new(go(a, components)), Box::new(go(b, components)))
+        }
+        Ltl::Or(a, b) => {
+            PropLtl::Or(Box::new(go(a, components)), Box::new(go(b, components)))
+        }
+        Ltl::Implies(a, b) => PropLtl::Or(
+            Box::new(PropLtl::Not(Box::new(go(a, components)))),
+            Box::new(go(b, components)),
+        ),
+        Ltl::X(x) => PropLtl::X(Box::new(go(x, components))),
+        // F p ≡ true U p; G p ≡ false R p
+        Ltl::F(x) => {
+            PropLtl::U(Box::new(PropLtl::True), Box::new(go(x, components)))
+        }
+        Ltl::G(x) => {
+            PropLtl::R(Box::new(PropLtl::False), Box::new(go(x, components)))
+        }
+        Ltl::U(a, b) => {
+            PropLtl::U(Box::new(go(a, components)), Box::new(go(b, components)))
+        }
+        Ltl::R(a, b) => {
+            PropLtl::R(Box::new(go(a, components)), Box::new(go(b, components)))
+        }
+        // p B q ≡ ¬(¬p U (q ∧ ¬p)) ≡ p R (¬q ∨ p): q may not become true
+        // before p has held, but the first occurrences may coincide
+        Ltl::B(a, b) => {
+            let pa = go(a, components);
+            let pb = go(b, components);
+            PropLtl::R(
+                Box::new(pa.clone()),
+                Box::new(PropLtl::Or(
+                    Box::new(PropLtl::Not(Box::new(pb))),
+                    Box::new(pa),
+                )),
+            )
+        }
+    }
+}
+
+/// Negation-normal-form propositional LTL: negation only on propositions.
+/// This is the input language of the GPVW tableau construction.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Nnf {
+    True,
+    False,
+    /// Literal: proposition `id`, positive when `positive`.
+    Lit { id: usize, positive: bool },
+    And(Box<Nnf>, Box<Nnf>),
+    Or(Box<Nnf>, Box<Nnf>),
+    X(Box<Nnf>),
+    U(Box<Nnf>, Box<Nnf>),
+    R(Box<Nnf>, Box<Nnf>),
+}
+
+/// Convert to NNF, optionally negating (`neg = true` computes `¬φ` in NNF).
+pub fn nnf(f: &PropLtl, neg: bool) -> Nnf {
+    match f {
+        PropLtl::True => {
+            if neg {
+                Nnf::False
+            } else {
+                Nnf::True
+            }
+        }
+        PropLtl::False => {
+            if neg {
+                Nnf::True
+            } else {
+                Nnf::False
+            }
+        }
+        PropLtl::Prop(id) => Nnf::Lit { id: *id, positive: !neg },
+        PropLtl::Not(x) => nnf(x, !neg),
+        PropLtl::And(a, b) => {
+            if neg {
+                Nnf::Or(Box::new(nnf(a, true)), Box::new(nnf(b, true)))
+            } else {
+                Nnf::And(Box::new(nnf(a, false)), Box::new(nnf(b, false)))
+            }
+        }
+        PropLtl::Or(a, b) => {
+            if neg {
+                Nnf::And(Box::new(nnf(a, true)), Box::new(nnf(b, true)))
+            } else {
+                Nnf::Or(Box::new(nnf(a, false)), Box::new(nnf(b, false)))
+            }
+        }
+        PropLtl::X(x) => Nnf::X(Box::new(nnf(x, neg))),
+        PropLtl::U(a, b) => {
+            if neg {
+                Nnf::R(Box::new(nnf(a, true)), Box::new(nnf(b, true)))
+            } else {
+                Nnf::U(Box::new(nnf(a, false)), Box::new(nnf(b, false)))
+            }
+        }
+        PropLtl::R(a, b) => {
+            if neg {
+                Nnf::U(Box::new(nnf(a, true)), Box::new(nnf(b, true)))
+            } else {
+                Nnf::R(Box::new(nnf(a, false)), Box::new(nnf(b, false)))
+            }
+        }
+    }
+}
+
+impl Nnf {
+    /// Evaluate on an ultimately periodic word `prefix · cycle^ω`, where
+    /// each position is a truth assignment bitmask (bit `i` = proposition
+    /// `i`). Used as the reference semantics in tests: the Büchi automaton
+    /// must accept exactly the lasso words satisfying the formula.
+    pub fn eval_lasso(&self, prefix: &[u64], cycle: &[u64]) -> bool {
+        assert!(!cycle.is_empty(), "cycle must be nonempty");
+        let n = prefix.len() + cycle.len();
+        let succ = |i: usize| if i + 1 < n { i + 1 } else { prefix.len() };
+        // iterate to fixpoint: least for U, greatest for R — 2n rounds of
+        // backward evaluation over the lasso positions suffice
+        fn value(f: &Nnf, i: usize, word: &dyn Fn(usize) -> u64, succ: &dyn Fn(usize) -> usize, fuel: usize) -> bool {
+            match f {
+                Nnf::True => true,
+                Nnf::False => false,
+                Nnf::Lit { id, positive } => {
+                    let bit = (word(i) >> id) & 1 == 1;
+                    bit == *positive
+                }
+                Nnf::And(a, b) => {
+                    value(a, i, word, succ, fuel) && value(b, i, word, succ, fuel)
+                }
+                Nnf::Or(a, b) => {
+                    value(a, i, word, succ, fuel) || value(b, i, word, succ, fuel)
+                }
+                Nnf::X(x) => value(x, succ(i), word, succ, fuel),
+                Nnf::U(a, b) => {
+                    // unfold at most `fuel` steps; on a lasso of n positions,
+                    // fuel = 2n covers every reachable position twice
+                    let mut j = i;
+                    for _ in 0..fuel {
+                        if value(b, j, word, succ, fuel) {
+                            return true;
+                        }
+                        if !value(a, j, word, succ, fuel) {
+                            return false;
+                        }
+                        j = succ(j);
+                    }
+                    false
+                }
+                Nnf::R(a, b) => {
+                    // a R b ≡ ¬(¬a U ¬b): b holds until (and including) a
+                    let mut j = i;
+                    for _ in 0..fuel {
+                        if !value(b, j, word, succ, fuel) {
+                            return false;
+                        }
+                        if value(a, j, word, succ, fuel) {
+                            return true;
+                        }
+                        j = succ(j);
+                    }
+                    true
+                }
+            }
+        }
+        let word = |i: usize| {
+            if i < prefix.len() {
+                prefix[i]
+            } else {
+                cycle[i - prefix.len()]
+            }
+        };
+        value(self, 0, &word, &succ, 2 * n + 2)
+    }
+
+    /// All proposition ids mentioned.
+    pub fn props(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        fn walk(f: &Nnf, out: &mut Vec<usize>) {
+            match f {
+                Nnf::Lit { id, .. }
+                    if !out.contains(id) => {
+                        out.push(*id);
+                    }
+                Nnf::And(a, b) | Nnf::Or(a, b) | Nnf::U(a, b) | Nnf::R(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Nnf::X(x) => walk(x, out),
+                _ => {}
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Nnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Nnf::True => write!(f, "true"),
+            Nnf::False => write!(f, "false"),
+            Nnf::Lit { id, positive } => {
+                write!(f, "{}P{id}", if *positive { "" } else { "!" })
+            }
+            Nnf::And(a, b) => write!(f, "({a} & {b})"),
+            Nnf::Or(a, b) => write!(f, "({a} | {b})"),
+            Nnf::X(x) => write!(f, "X({x})"),
+            Nnf::U(a, b) => write!(f, "({a} U {b})"),
+            Nnf::R(a, b) => write!(f, "({a} R {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_property;
+
+    fn extract_src(src: &str) -> Extraction {
+        extract(&parse_property(src).unwrap().body)
+    }
+
+    #[test]
+    fn shared_components_get_one_proposition() {
+        let e = extract_src("a() U (a() & b())");
+        // components: a(), a() & b() — grouped maximally, so LHS a() is one
+        // component and (a() & b()) is another (both temporal-free leaves)
+        assert_eq!(e.components.len(), 2);
+    }
+
+    #[test]
+    fn identical_leaves_dedup() {
+        let e = extract_src("F a() & G a()");
+        assert_eq!(e.components.len(), 1);
+    }
+
+    #[test]
+    fn before_desugars_to_release() {
+        let e = extract_src("p() B q()");
+        match e.aux {
+            PropLtl::R(lhs, rhs) => {
+                assert_eq!(*lhs, PropLtl::Prop(0));
+                // ¬q ∨ p
+                assert_eq!(
+                    *rhs,
+                    PropLtl::Or(
+                        Box::new(PropLtl::Not(Box::new(PropLtl::Prop(1)))),
+                        Box::new(PropLtl::Prop(0))
+                    )
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_pushes_negations_to_literals() {
+        let e = extract_src("!(p() U q())");
+        let n = nnf(&e.aux, false);
+        assert_eq!(
+            n,
+            Nnf::R(
+                Box::new(Nnf::Lit { id: 0, positive: false }),
+                Box::new(Nnf::Lit { id: 1, positive: false })
+            )
+        );
+    }
+
+    #[test]
+    fn nnf_negation_of_formula() {
+        let e = extract_src("p() U q()");
+        let n = nnf(&e.aux, true);
+        assert!(matches!(n, Nnf::R(_, _)));
+    }
+
+    #[test]
+    fn lasso_semantics_until() {
+        // p U q with p={bit0}, q={bit1}
+        let f = Nnf::U(
+            Box::new(Nnf::Lit { id: 0, positive: true }),
+            Box::new(Nnf::Lit { id: 1, positive: true }),
+        );
+        // word: p p q ...(q forever) → holds
+        assert!(f.eval_lasso(&[0b01, 0b01], &[0b10]));
+        // word: p forever, no q → fails
+        assert!(!f.eval_lasso(&[], &[0b01]));
+        // word: ¬p then q → fails at step 0? no: q at position 1, p at 0 → need p until q
+        assert!(f.eval_lasso(&[0b01], &[0b10]));
+        assert!(!f.eval_lasso(&[0b00, 0b10], &[0b00]), "p fails before q");
+    }
+
+    #[test]
+    fn lasso_semantics_release_and_globally() {
+        // G p ≡ false R p
+        let g = Nnf::R(
+            Box::new(Nnf::False),
+            Box::new(Nnf::Lit { id: 0, positive: true }),
+        );
+        assert!(g.eval_lasso(&[0b1], &[0b1]));
+        assert!(!g.eval_lasso(&[0b1], &[0b1, 0b0]));
+    }
+
+    #[test]
+    fn lasso_semantics_before() {
+        // p B q ≡ p R (¬q ∨ p): q may not precede p, coincidence allowed
+        let p = || Box::new(Nnf::Lit { id: 0, positive: true });
+        let b = Nnf::R(
+            p(),
+            Box::new(Nnf::Or(
+                Box::new(Nnf::Lit { id: 1, positive: false }),
+                p(),
+            )),
+        );
+        // q never → true
+        assert!(b.eval_lasso(&[], &[0b00]));
+        // p at 0, q at 1 → true
+        assert!(b.eval_lasso(&[0b01, 0b10], &[0b00]));
+        // q at 0 before any p → false
+        assert!(!b.eval_lasso(&[0b10], &[0b00]));
+        // p and q simultaneously at their first occurrence → true
+        assert!(b.eval_lasso(&[0b11], &[0b00]));
+    }
+
+    #[test]
+    fn x_semantics_on_lasso() {
+        let f = Nnf::X(Box::new(Nnf::Lit { id: 0, positive: true }));
+        assert!(f.eval_lasso(&[0b0], &[0b1]));
+        assert!(!f.eval_lasso(&[0b1], &[0b0]));
+        // wrap-around: single-state cycle is its own successor
+        assert!(f.eval_lasso(&[], &[0b1]));
+    }
+}

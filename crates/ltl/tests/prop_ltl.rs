@@ -1,0 +1,74 @@
+//! Property-based validation of the LTL→Büchi translation: on randomly
+//! generated propositional formulas and random lasso words, the automaton
+//! must accept exactly the words the direct lasso semantics satisfies.
+
+use proptest::prelude::*;
+use wave_ltl::{Buchi, Nnf};
+
+/// Random NNF formulas over two propositions, depth-bounded.
+fn nnf_strategy() -> impl Strategy<Value = Nnf> {
+    let leaf = prop_oneof![
+        Just(Nnf::True),
+        Just(Nnf::False),
+        (0usize..2, any::<bool>()).prop_map(|(id, positive)| Nnf::Lit { id, positive }),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Nnf::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Nnf::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Nnf::X(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Nnf::U(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Nnf::R(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Language equivalence on random lasso words.
+    #[test]
+    fn automaton_matches_lasso_semantics(
+        f in nnf_strategy(),
+        prefix in prop::collection::vec(0u64..4, 0..3),
+        cycle in prop::collection::vec(0u64..4, 1..3),
+    ) {
+        let b = Buchi::from_nnf(&f, 2);
+        let expected = f.eval_lasso(&prefix, &cycle);
+        let got = b.accepts_lasso(&prefix, &cycle);
+        prop_assert_eq!(expected, got, "formula {} word {:?}({:?})^w", f, prefix, cycle);
+    }
+
+    /// The automaton of φ and of ¬φ partition every lasso word.
+    #[test]
+    fn formula_and_negation_partition(
+        f in nnf_strategy(),
+        prefix in prop::collection::vec(0u64..4, 0..2),
+        cycle in prop::collection::vec(0u64..4, 1..3),
+    ) {
+        let pos = Buchi::from_nnf(&f, 2);
+        let neg_formula = negate(&f);
+        let neg = Buchi::from_nnf(&neg_formula, 2);
+        let a = pos.accepts_lasso(&prefix, &cycle);
+        let b = neg.accepts_lasso(&prefix, &cycle);
+        prop_assert!(a ^ b, "φ and ¬φ must decide every word exactly once: {}", f);
+    }
+}
+
+/// NNF negation (dualize everything).
+fn negate(f: &Nnf) -> Nnf {
+    match f {
+        Nnf::True => Nnf::False,
+        Nnf::False => Nnf::True,
+        Nnf::Lit { id, positive } => Nnf::Lit { id: *id, positive: !positive },
+        Nnf::And(a, b) => Nnf::Or(Box::new(negate(a)), Box::new(negate(b))),
+        Nnf::Or(a, b) => Nnf::And(Box::new(negate(a)), Box::new(negate(b))),
+        Nnf::X(a) => Nnf::X(Box::new(negate(a))),
+        Nnf::U(a, b) => Nnf::R(Box::new(negate(a)), Box::new(negate(b))),
+        Nnf::R(a, b) => Nnf::U(Box::new(negate(a)), Box::new(negate(b))),
+    }
+}

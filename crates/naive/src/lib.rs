@@ -1,0 +1,690 @@
+//! `wave-naive`: the "first cut" explicit-state verifier of Section 3.
+//!
+//! The paper's first decidable-but-impractical algorithm: enumerate every
+//! database over a bounded domain, and for each one model-check the
+//! *genuine* runs with a nested depth-first search — essentially what one
+//! gets by encoding the problem for SPIN, whose Promela model the paper
+//! reports timing out "even for the simplest properties".
+//!
+//! This crate exists for two purposes:
+//!
+//! * the **SPIN-comparison experiment**: demonstrating the doubly
+//!   exponential explosion that the pseudorun search plus heuristics avoid
+//!   (`wave-bench --naive`),
+//! * a **test oracle**: on miniature specifications with a small explicit
+//!   domain, its verdicts cross-validate the wave verifier's.
+
+use std::time::{Duration, Instant};
+use wave_fol::{answers, eval, Bindings, EvalCtx, Formula, SchemaResolver};
+use wave_ltl::{extract, nnf, parse_property, Buchi, Property};
+use wave_relalg::{Instance, RelKind, Tuple, Value};
+use wave_spec::{CompiledSpec, PageId, Spec};
+
+/// Options for the explicit-state search.
+#[derive(Clone, Debug)]
+pub struct NaiveOptions {
+    /// Number of fresh domain values (beyond the spec/property constants)
+    /// the databases are built over.
+    pub fresh_values: usize,
+    /// Per-relation cap on enumerated tuples: relations whose tuple
+    /// universe exceeds this abort the run (the explosion the paper
+    /// describes).
+    pub max_tuples_per_relation: usize,
+    /// Stop after this many explored configurations.
+    pub max_steps: Option<u64>,
+    /// Wall-clock budget.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for NaiveOptions {
+    fn default() -> Self {
+        NaiveOptions {
+            fresh_values: 2,
+            max_tuples_per_relation: 16,
+            max_steps: Some(1_000_000),
+            time_limit: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Outcome of the explicit-state search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NaiveVerdict {
+    /// No violating run over any database within the bounded domain.
+    HoldsBounded,
+    /// A violating genuine run was found.
+    Violated,
+    /// The budget was exhausted (the common case — that is the point).
+    Exhausted,
+    /// The tuple universe itself was too large to enumerate.
+    Explosion { relation: String, tuples: u64 },
+}
+
+/// Search statistics.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveStats {
+    pub elapsed: Duration,
+    pub databases: u64,
+    pub configs: u64,
+}
+
+/// Errors before the search can even start.
+#[derive(Debug)]
+pub enum NaiveError {
+    Spec(wave_spec::CompileSpecError),
+    Property(wave_fol::ParseError),
+    Eval(wave_fol::EvalError),
+}
+
+impl std::fmt::Display for NaiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NaiveError::Spec(e) => write!(f, "{e}"),
+            NaiveError::Property(e) => write!(f, "property: {e}"),
+            NaiveError::Eval(e) => write!(f, "evaluation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NaiveError {}
+
+/// A genuine-run configuration: everything but the (fixed) database.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Config {
+    page: PageId,
+    input: Vec<(wave_relalg::RelId, Tuple)>,
+    prev: Vec<(wave_relalg::RelId, Tuple)>,
+    state: Vec<(wave_relalg::RelId, Tuple)>,
+    actions: Vec<(wave_relalg::RelId, Tuple)>,
+}
+
+/// The explicit-state verifier.
+pub struct NaiveVerifier {
+    spec: CompiledSpec,
+    options: NaiveOptions,
+}
+
+struct Search<'a> {
+    spec: &'a CompiledSpec,
+    symbols: &'a wave_relalg::SymbolTable,
+    buchi: &'a Buchi,
+    components: &'a [Formula],
+    db: &'a Instance,
+    domain: &'a [Value],
+    visited: std::collections::HashSet<(usize, Config, bool)>,
+    stats: &'a mut NaiveStats,
+    deadline: Option<Instant>,
+    max_steps: Option<u64>,
+    exhausted: bool,
+    found: bool,
+}
+
+impl NaiveVerifier {
+    /// Compile the spec for explicit-state checking.
+    pub fn new(spec: Spec, options: NaiveOptions) -> Result<NaiveVerifier, NaiveError> {
+        Ok(NaiveVerifier {
+            spec: CompiledSpec::compile(spec).map_err(NaiveError::Spec)?,
+            options,
+        })
+    }
+
+    /// Check a property over all databases within the bounded domain.
+    pub fn check_str(&self, property: &str) -> Result<(NaiveVerdict, NaiveStats), NaiveError> {
+        let prop = parse_property(property).map_err(NaiveError::Property)?;
+        self.check(&prop)
+    }
+
+    /// Check a parsed property. The search runs on a dedicated thread with
+    /// a large stack: the nested DFS recurses once per run step.
+    pub fn check(&self, property: &Property) -> Result<(NaiveVerdict, NaiveStats), NaiveError> {
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("wave-naive-search".into())
+                .stack_size(512 << 20)
+                .spawn_scoped(scope, || self.check_inner(property))
+                .expect("spawn search thread")
+                .join()
+                .expect("search thread panicked")
+        })
+    }
+
+    fn check_inner(
+        &self,
+        property: &Property,
+    ) -> Result<(NaiveVerdict, NaiveStats), NaiveError> {
+        let start = Instant::now();
+        let deadline = self.options.time_limit.map(|d| start + d);
+        let spec = &self.spec;
+        let mut stats = NaiveStats::default();
+
+        let body = property.body.group_fo();
+        let extraction = extract(&body);
+        let negated = nnf(&extraction.aux, true);
+        let buchi = Buchi::from_nnf(&negated, extraction.components.len());
+
+        // domain: all constants (spec + property) plus fresh values,
+        // interned as named constants so substitution round-trips
+        let mut symbols = spec.symbols.clone();
+        let mut domain: Vec<Value> = spec.constants.clone();
+        for f in &extraction.components {
+            for c in wave_fol::constants(f) {
+                let v = symbols.constant(&c);
+                if !domain.contains(&v) {
+                    domain.push(v);
+                }
+            }
+        }
+        for i in 0..self.options.fresh_values {
+            domain.push(symbols.constant(&format!("$fresh{i}")));
+        }
+
+        // brute-force assignments for the property's universal variables
+        let mut assignment_sets: Vec<Vec<(String, Value)>> = vec![vec![]];
+        for var in &property.univ_vars {
+            assignment_sets = assignment_sets
+                .into_iter()
+                .flat_map(|a| {
+                    domain.iter().map(move |&v| {
+                        let mut b = a.clone();
+                        b.push((var.clone(), v));
+                        b
+                    })
+                })
+                .collect::<Vec<_>>();
+        }
+
+        // the database tuple universe: domain^arity per database relation
+        let db_rels: Vec<_> = spec
+            .schema
+            .rels()
+            .filter(|&r| {
+                spec.schema.kind(r) == RelKind::Database
+                    && !spec.schema.name(r).starts_with("page$")
+            })
+            .collect();
+        let mut universe: Vec<(wave_relalg::RelId, Tuple)> = Vec::new();
+        for &rel in &db_rels {
+            let arity = spec.schema.arity(rel) as u32;
+            let count = (domain.len() as u64).saturating_pow(arity);
+            if count > self.options.max_tuples_per_relation as u64 {
+                stats.elapsed = start.elapsed();
+                return Ok((
+                    NaiveVerdict::Explosion {
+                        relation: spec.schema.name(rel).to_owned(),
+                        tuples: count,
+                    },
+                    stats,
+                ));
+            }
+            let mut idx = vec![0usize; arity as usize];
+            loop {
+                universe.push((
+                    rel,
+                    Tuple::from(idx.iter().map(|&i| domain[i]).collect::<Vec<_>>()),
+                ));
+                let mut pos = arity as usize;
+                let mut done = true;
+                while pos > 0 {
+                    pos -= 1;
+                    idx[pos] += 1;
+                    if idx[pos] < domain.len() {
+                        done = false;
+                        break;
+                    }
+                    idx[pos] = 0;
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+
+        // enumerate all databases (bitmap counter over the tuple universe)
+        let bits = universe.len();
+        if bits > 24 {
+            stats.elapsed = start.elapsed();
+            return Ok((
+                NaiveVerdict::Explosion {
+                    relation: "(all database relations)".into(),
+                    tuples: 1u64 << bits.min(63),
+                },
+                stats,
+            ));
+        }
+        for asg in &assignment_sets {
+            let subst: std::collections::HashMap<String, wave_fol::Term> = asg
+                .iter()
+                .map(|(var, val)| {
+                    let name = match symbols.kind(*val) {
+                        wave_relalg::ValueKind::Constant(c) => c.clone(),
+                        other => other.display(),
+                    };
+                    (var.clone(), wave_fol::Term::Const(name))
+                })
+                .collect();
+            let components: Vec<Formula> =
+                extraction.components.iter().map(|f| f.substitute(&subst)).collect();
+            for bitmap in 0u64..(1u64 << bits) {
+                stats.databases += 1;
+                let mut db = Instance::empty(std::sync::Arc::clone(&spec.schema));
+                for (i, (rel, t)) in universe.iter().enumerate() {
+                    if bitmap >> i & 1 == 1 {
+                        db.insert(*rel, t.clone());
+                    }
+                }
+                let mut search = Search {
+                    spec,
+                    symbols: &symbols,
+                    buchi: &buchi,
+                    components: &components,
+                    db: &db,
+                    domain: &domain,
+                    visited: std::collections::HashSet::new(),
+                    stats: &mut stats,
+                    deadline,
+                    max_steps: self.options.max_steps,
+                    exhausted: false,
+                    found: false,
+                };
+                let violated = search.run().map_err(NaiveError::Eval)?;
+                let exhausted = search.exhausted;
+                if violated {
+                    stats.elapsed = start.elapsed();
+                    return Ok((NaiveVerdict::Violated, stats));
+                }
+                if exhausted {
+                    stats.elapsed = start.elapsed();
+                    return Ok((NaiveVerdict::Exhausted, stats));
+                }
+            }
+        }
+        stats.elapsed = start.elapsed();
+        Ok((NaiveVerdict::HoldsBounded, stats))
+    }
+}
+
+impl Search<'_> {
+    fn run(&mut self) -> Result<bool, wave_fol::EvalError> {
+        let starts = self.expand_page(self.spec.home, Vec::new(), Vec::new())?;
+        self.stats.configs += starts.len() as u64;
+        for c0 in starts {
+            if !self.visited.insert((self.buchi.initial, c0.clone(), false)) {
+                continue;
+            }
+            self.stick(self.buchi.initial, &c0, None)?;
+            if self.found || self.exhausted {
+                break;
+            }
+        }
+        Ok(self.found)
+    }
+
+    fn out_of_budget(&mut self) -> bool {
+        if let Some(max) = self.max_steps {
+            if self.stats.configs > max {
+                self.exhausted = true;
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if self.stats.configs.is_multiple_of(512) && Instant::now() > deadline {
+                self.exhausted = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// One procedure serves as both `stick` (base = None) and `candy`.
+    fn stick(
+        &mut self,
+        s: usize,
+        cfg: &Config,
+        base: Option<&(usize, Config)>,
+    ) -> Result<(), wave_fol::EvalError> {
+        if self.out_of_budget() || self.found {
+            return Ok(());
+        }
+        let assign = self.assignment(cfg)?;
+        let succs = self.successors(cfg)?;
+        self.stats.configs += succs.len() as u64;
+        let targets: Vec<usize> = self.buchi.successors(s, assign).collect();
+        for t in targets {
+            for ct in &succs {
+                if self.found || self.exhausted {
+                    return Ok(());
+                }
+                match base {
+                    None => {
+                        if self.visited.insert((t, ct.clone(), false)) {
+                            self.stick(t, ct, None)?;
+                        }
+                        if self.buchi.accepting[t]
+                            && self.visited.insert((t, ct.clone(), true))
+                        {
+                            let b = (t, ct.clone());
+                            self.stick(t, ct, Some(&b))?;
+                        }
+                    }
+                    Some(b) => {
+                        if (t, ct) == (b.0, &b.1) {
+                            self.found = true;
+                            return Ok(());
+                        }
+                        if self.visited.insert((t, ct.clone(), true)) {
+                            self.stick(t, ct, Some(b))?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn materialize(&self, cfg: &Config) -> Instance {
+        let mut inst = self.db.clone();
+        for (rel, t) in cfg
+            .input
+            .iter()
+            .chain(&cfg.prev)
+            .chain(&cfg.state)
+            .chain(&cfg.actions)
+        {
+            inst.insert(*rel, t.clone());
+        }
+        inst.insert(self.spec.page(cfg.page).marker, Tuple::from([]));
+        inst
+    }
+
+    fn assignment(&self, cfg: &Config) -> Result<u64, wave_fol::EvalError> {
+        let inst = self.materialize(cfg);
+        let page_name = &self.spec.page(cfg.page).name;
+        let ctx = EvalCtx {
+            instance: &inst,
+            symbols: self.symbols,
+            current_page: Some(page_name),
+            domain: self.domain,
+        };
+        let resolver = SchemaResolver(&self.spec.schema);
+        let mut assign = 0u64;
+        for (i, f) in self.components.iter().enumerate() {
+            if eval(f, &ctx, &resolver, &mut Bindings::new())? {
+                assign |= 1 << i;
+            }
+        }
+        Ok(assign)
+    }
+
+    fn successors(&self, cfg: &Config) -> Result<Vec<Config>, wave_fol::EvalError> {
+        let inst = self.materialize(cfg);
+        let page = self.spec.page(cfg.page);
+        let page_name = &page.name;
+        let ctx = EvalCtx {
+            instance: &inst,
+            symbols: self.symbols,
+            current_page: Some(page_name),
+            domain: self.domain,
+        };
+        let resolver = SchemaResolver(&self.spec.schema);
+
+        // target page
+        let mut fired = Vec::new();
+        for t in &page.target_rules {
+            if eval(&t.condition, &ctx, &resolver, &mut Bindings::new())? {
+                fired.push(t.target);
+            }
+        }
+        fired.dedup();
+        let vt = match fired.as_slice() {
+            [one] => *one,
+            _ => cfg.page,
+        };
+
+        // state update (genuine runs keep every tuple — no C-filtering)
+        let mut state: std::collections::BTreeSet<(wave_relalg::RelId, Tuple)> =
+            cfg.state.iter().cloned().collect();
+        let mut inserts = std::collections::BTreeSet::new();
+        let mut deletes = std::collections::BTreeSet::new();
+        for rule in &page.state_rules {
+            let rows = answers(&rule.body, &rule.head_vars, &ctx, &resolver)?;
+            let sink = if rule.insert { &mut inserts } else { &mut deletes };
+            for row in rows {
+                sink.insert((rule.head, Tuple::from(row)));
+            }
+        }
+        for f in &inserts {
+            if !deletes.contains(f) {
+                state.insert(f.clone());
+            }
+        }
+        for f in &deletes {
+            if !inserts.contains(f) {
+                state.remove(f);
+            }
+        }
+
+        let prev: Vec<(wave_relalg::RelId, Tuple)> = cfg
+            .input
+            .iter()
+            .map(|(rel, t)| {
+                let shadow = self
+                    .spec
+                    .schema
+                    .lookup(&wave_fol::prev_shadow_name(self.spec.schema.name(*rel)))
+                    .expect("shadow declared");
+                (shadow, t.clone())
+            })
+            .collect();
+        self.expand_page(vt, prev, state.into_iter().collect())
+    }
+
+    fn expand_page(
+        &self,
+        page_id: PageId,
+        prev: Vec<(wave_relalg::RelId, Tuple)>,
+        state: Vec<(wave_relalg::RelId, Tuple)>,
+    ) -> Result<Vec<Config>, wave_fol::EvalError> {
+        let page = self.spec.page(page_id);
+        let shell = Config {
+            page: page_id,
+            input: Vec::new(),
+            prev,
+            state,
+            actions: Vec::new(),
+        };
+        let inst = self.materialize(&shell);
+        let page_name = &page.name;
+        let ctx = EvalCtx {
+            instance: &inst,
+            symbols: self.symbols,
+            current_page: Some(page_name),
+            domain: self.domain,
+        };
+        let resolver = SchemaResolver(&self.spec.schema);
+
+        // options per input
+        let mut choice_lists: Vec<Vec<Option<(wave_relalg::RelId, Tuple)>>> = Vec::new();
+        for &input in &page.inputs {
+            let mut choices: Vec<Option<(wave_relalg::RelId, Tuple)>> = vec![None];
+            match self.spec.schema.kind(input) {
+                RelKind::Input => {
+                    let mut seen = std::collections::BTreeSet::new();
+                    for rule in &page.option_rules {
+                        if rule.head != input {
+                            continue;
+                        }
+                        for row in answers(&rule.body, &rule.head_vars, &ctx, &resolver)? {
+                            let t = Tuple::from(row);
+                            if seen.insert(t.clone()) {
+                                choices.push(Some((input, t)));
+                            }
+                        }
+                    }
+                }
+                RelKind::InputConstant => {
+                    // text input: any domain value
+                    for &v in self.domain {
+                        choices.push(Some((input, Tuple::from([v]))));
+                    }
+                }
+                _ => unreachable!("page inputs are input relations"),
+            }
+            choice_lists.push(choices);
+        }
+
+        // cartesian product over input choices
+        let mut result = Vec::new();
+        let mut idx = vec![0usize; choice_lists.len()];
+        loop {
+            let mut cfg = shell.clone();
+            cfg.input = choice_lists
+                .iter()
+                .zip(&idx)
+                .filter_map(|(cs, &i)| cs[i].clone())
+                .collect();
+            cfg.input.sort_unstable();
+            // actions under this choice
+            let inst2 = self.materialize(&cfg);
+            let ctx2 = EvalCtx {
+                instance: &inst2,
+                symbols: self.symbols,
+                current_page: Some(page_name),
+                domain: self.domain,
+            };
+            let mut actions = std::collections::BTreeSet::new();
+            for rule in &page.action_rules {
+                for row in answers(&rule.body, &rule.head_vars, &ctx2, &resolver)? {
+                    actions.insert((rule.head, Tuple::from(row)));
+                }
+            }
+            cfg.actions = actions.into_iter().collect();
+            result.push(cfg);
+
+            let mut pos = choice_lists.len();
+            let mut done = true;
+            while pos > 0 {
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < choice_lists[pos].len() {
+                    done = false;
+                    break;
+                }
+                idx[pos] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_spec::parse_spec;
+
+    fn pingpong() -> Spec {
+        parse_spec(
+            r#"
+            spec pingpong {
+              inputs { button(x); }
+              home A;
+              page A {
+                inputs { button }
+                options button(x) <- x = "go";
+                target B <- button("go");
+              }
+              page B { target A <- true; }
+            }
+        "#,
+        )
+        .unwrap()
+    }
+
+    fn opts() -> NaiveOptions {
+        NaiveOptions { fresh_values: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn holds_on_pingpong_invariant() {
+        let v = NaiveVerifier::new(pingpong(), opts()).unwrap();
+        let (verdict, _) = v.check_str("G (@A -> X (@A | @B))").unwrap();
+        assert_eq!(verdict, NaiveVerdict::HoldsBounded);
+    }
+
+    #[test]
+    fn finds_violation_of_forced_progress() {
+        let v = NaiveVerifier::new(pingpong(), opts()).unwrap();
+        let (verdict, _) = v.check_str("F @B").unwrap();
+        assert_eq!(verdict, NaiveVerdict::Violated);
+    }
+
+    #[test]
+    fn detects_reachability() {
+        let v = NaiveVerifier::new(pingpong(), opts()).unwrap();
+        let (verdict, _) = v.check_str("G !@B").unwrap();
+        assert_eq!(verdict, NaiveVerdict::Violated);
+    }
+
+    #[test]
+    fn explodes_on_wide_relations() {
+        let spec = parse_spec(
+            r#"
+            spec wide {
+              database { big(a, b, c, d, e); }
+              inputs { go(); }
+              home P;
+              page P {
+                inputs { go }
+                options go() <- true;
+                target P <- true;
+              }
+            }
+        "#,
+        )
+        .unwrap();
+        let v = NaiveVerifier::new(spec, NaiveOptions::default()).unwrap();
+        let (verdict, _) = v.check_str("G @P").unwrap();
+        assert!(matches!(verdict, NaiveVerdict::Explosion { .. }), "{verdict:?}");
+    }
+
+    #[test]
+    fn data_aware_verdicts_match_wave_on_login() {
+        let src = r#"
+            spec login {
+              database { user(n, p); }
+              state { logged(u); }
+              inputs { button(x); constant uname; constant pass; }
+              home HP;
+              page HP {
+                inputs { button, uname, pass }
+                options button(x) <- x = "login";
+                insert logged(u) <- uname(u) & (exists q: pass(q) & user(u, q))
+                                    & button("login");
+                target CP <- exists u: uname(u) & (exists q: pass(q) & user(u, q))
+                             & button("login");
+              }
+              page CP {
+                inputs { button }
+                options button(x) <- x = "logout";
+                target HP <- button("logout");
+              }
+            }
+        "#;
+        let spec = parse_spec(src).unwrap();
+        let v = NaiveVerifier::new(
+            spec,
+            NaiveOptions {
+                fresh_values: 1,
+                max_tuples_per_relation: 16,
+                max_steps: Some(2_000_000),
+                time_limit: Some(Duration::from_secs(60)),
+            },
+        )
+        .unwrap();
+        // CP is reachable (requires synthesizing a matching user tuple)
+        let (verdict, stats) = v.check_str("G !@CP").unwrap();
+        assert_eq!(verdict, NaiveVerdict::Violated, "{stats:?}");
+    }
+}

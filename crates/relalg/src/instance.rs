@@ -1,0 +1,169 @@
+//! Database instances: an assignment of a [`Relation`] to every relation of
+//! a [`Schema`].
+//!
+//! Instances here play the role that HSQLDB tables play in the paper's
+//! implementation: the per-step working database that the rule queries run
+//! over. They are cheap to clone (the verifier snapshots and restores them
+//! constantly during the nested depth-first search) and have canonical
+//! equality.
+
+use crate::schema::{RelId, Schema};
+use crate::tuple::{Relation, Tuple};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// An instance over some schema. Relations are indexed by [`RelId`] in
+/// declaration order; a shared reference to the schema travels with the
+/// instance so arity checks stay possible everywhere.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    schema: Arc<Schema>,
+    rels: Vec<Relation>,
+}
+
+impl Instance {
+    /// All-empty instance over `schema`.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        let rels = schema.rels().map(|r| Relation::empty(schema.arity(r))).collect();
+        Instance { schema, rels }
+    }
+
+    /// The schema this instance conforms to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Relation contents.
+    pub fn rel(&self, id: RelId) -> &Relation {
+        &self.rels[id.index()]
+    }
+
+    /// Replace a relation wholesale (arity-checked).
+    pub fn set_rel(&mut self, id: RelId, rel: Relation) {
+        assert_eq!(
+            rel.arity(),
+            self.schema.arity(id),
+            "relation {} arity mismatch",
+            self.schema.name(id)
+        );
+        self.rels[id.index()] = rel;
+    }
+
+    /// Insert one tuple.
+    pub fn insert(&mut self, id: RelId, t: Tuple) -> bool {
+        assert_eq!(t.arity(), self.schema.arity(id));
+        self.rels[id.index()].insert(t)
+    }
+
+    /// Remove one tuple.
+    pub fn remove(&mut self, id: RelId, t: &Tuple) -> bool {
+        self.rels[id.index()].remove(t)
+    }
+
+    /// Empty out a relation.
+    pub fn clear(&mut self, id: RelId) {
+        let arity = self.schema.arity(id);
+        self.rels[id.index()] = Relation::empty(arity);
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.rels.iter().map(Relation::len).sum()
+    }
+
+    /// The active domain: every value occurring in any tuple.
+    pub fn active_domain(&self) -> Vec<Value> {
+        let mut vals: Vec<Value> = self
+            .rels
+            .iter()
+            .flat_map(|r| r.iter().flat_map(|t| t.values().iter().copied()))
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    /// Merge another instance into this one (set union per relation).
+    /// Both must share the same schema object.
+    pub fn union_in_place(&mut self, other: &Instance) {
+        assert!(Arc::ptr_eq(&self.schema, &other.schema), "schema mismatch");
+        for id in self.schema.rels() {
+            if !other.rel(id).is_empty() {
+                let merged = self.rels[id.index()].union(other.rel(id));
+                self.rels[id.index()] = merged;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelKind;
+
+    fn schema() -> Arc<Schema> {
+        let mut s = Schema::new();
+        s.declare("user", 2, RelKind::Database).unwrap();
+        s.declare("cart", 1, RelKind::State).unwrap();
+        Arc::new(s)
+    }
+
+    fn tup(vals: &[u32]) -> Tuple {
+        Tuple::from(vals.iter().map(|&v| Value(v)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn empty_instance_has_no_tuples() {
+        let inst = Instance::empty(schema());
+        assert_eq!(inst.total_tuples(), 0);
+        assert!(inst.active_domain().is_empty());
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let s = schema();
+        let user = s.lookup("user").unwrap();
+        let mut inst = Instance::empty(s);
+        assert!(inst.insert(user, tup(&[1, 2])));
+        assert!(!inst.insert(user, tup(&[1, 2])));
+        assert!(inst.rel(user).contains(&tup(&[1, 2])));
+        assert_eq!(inst.total_tuples(), 1);
+        assert_eq!(inst.active_domain(), vec![Value(1), Value(2)]);
+    }
+
+    #[test]
+    fn union_in_place_merges() {
+        let s = schema();
+        let user = s.lookup("user").unwrap();
+        let cart = s.lookup("cart").unwrap();
+        let mut a = Instance::empty(Arc::clone(&s));
+        a.insert(user, tup(&[1, 2]));
+        let mut b = Instance::empty(Arc::clone(&s));
+        b.insert(user, tup(&[3, 4]));
+        b.insert(cart, tup(&[9]));
+        a.union_in_place(&b);
+        assert_eq!(a.rel(user).len(), 2);
+        assert_eq!(a.rel(cart).len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_relation() {
+        let s = schema();
+        let cart = s.lookup("cart").unwrap();
+        let mut inst = Instance::empty(s);
+        inst.insert(cart, tup(&[7]));
+        inst.clear(cart);
+        assert!(inst.rel(cart).is_empty());
+    }
+
+    #[test]
+    fn instances_with_same_content_are_equal() {
+        let s = schema();
+        let user = s.lookup("user").unwrap();
+        let mut a = Instance::empty(Arc::clone(&s));
+        let mut b = Instance::empty(Arc::clone(&s));
+        a.insert(user, tup(&[1, 2]));
+        b.insert(user, tup(&[1, 2]));
+        assert_eq!(a, b);
+    }
+}

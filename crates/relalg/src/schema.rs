@@ -1,0 +1,190 @@
+//! Relation and database schemas.
+//!
+//! The verifier manipulates five kinds of relations with different
+//! lifecycles: database relations (fixed during a run), state relations
+//! (updated each step), input relations (≤1 tuple chosen per step by the
+//! user), action relations (recomputed each step), and previous-input
+//! relations (the previous step's inputs, still visible to rules). The
+//! schema records the kind so rule validation and the dataflow analysis can
+//! treat each correctly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The lifecycle kind of a relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RelKind {
+    /// Underlying database relation: fixed during a run.
+    Database,
+    /// State relation: persists across steps, updated by insert/delete rules.
+    State,
+    /// Input relation: holds at most one tuple, the user's current choice.
+    Input,
+    /// Input constant: a nullary-keyed single value provided as text input.
+    /// Modeled as an arity-1 input relation holding at most one tuple.
+    InputConstant,
+    /// Action relation: recomputed from scratch each step.
+    Action,
+}
+
+impl RelKind {
+    /// True for the two input flavors.
+    pub fn is_input(self) -> bool {
+        matches!(self, RelKind::Input | RelKind::InputConstant)
+    }
+}
+
+/// Identifier of a relation inside a [`Schema`]. Indexes are dense, so
+/// instances can store relations in a flat vector.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// Raw index into schema-ordered storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Declaration of one relation: name, arity, kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelDecl {
+    pub name: String,
+    pub arity: usize,
+    pub kind: RelKind,
+}
+
+/// A database schema: an ordered list of relation declarations with
+/// name-based lookup. Relation order is the declaration order, which the
+/// bitmap codecs rely on for determinism.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    decls: Vec<RelDecl>,
+    by_name: HashMap<String, RelId>,
+}
+
+/// Error produced when declaring a relation whose name is already taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateRelation(pub String);
+
+impl fmt::Display for DuplicateRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "relation {:?} declared twice", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateRelation {}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a relation. Names are unique across all kinds.
+    pub fn declare(
+        &mut self,
+        name: &str,
+        arity: usize,
+        kind: RelKind,
+    ) -> Result<RelId, DuplicateRelation> {
+        if self.by_name.contains_key(name) {
+            return Err(DuplicateRelation(name.to_owned()));
+        }
+        let id = RelId(self.decls.len() as u32);
+        self.decls.push(RelDecl { name: name.to_owned(), arity, kind });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Find a relation by name.
+    pub fn lookup(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Declaration of a relation.
+    pub fn decl(&self, id: RelId) -> &RelDecl {
+        &self.decls[id.index()]
+    }
+
+    /// Relation name.
+    pub fn name(&self, id: RelId) -> &str {
+        &self.decls[id.index()].name
+    }
+
+    /// Relation arity.
+    pub fn arity(&self, id: RelId) -> usize {
+        self.decls[id.index()].arity
+    }
+
+    /// Relation kind.
+    pub fn kind(&self, id: RelId) -> RelKind {
+        self.decls[id.index()].kind
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// True when nothing is declared.
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// All relation ids in declaration order.
+    pub fn rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.decls.len() as u32).map(RelId)
+    }
+
+    /// All relations of a given kind, in declaration order.
+    pub fn rels_of_kind(&self, kind: RelKind) -> impl Iterator<Item = RelId> + '_ {
+        self.rels().filter(move |&r| self.kind(r) == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut s = Schema::new();
+        let user = s.declare("user", 2, RelKind::Database).unwrap();
+        let cart = s.declare("cart", 2, RelKind::State).unwrap();
+        assert_eq!(s.lookup("user"), Some(user));
+        assert_eq!(s.lookup("cart"), Some(cart));
+        assert_eq!(s.lookup("ghost"), None);
+        assert_eq!(s.arity(user), 2);
+        assert_eq!(s.kind(cart), RelKind::State);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut s = Schema::new();
+        s.declare("r", 1, RelKind::Database).unwrap();
+        let err = s.declare("r", 2, RelKind::State).unwrap_err();
+        assert_eq!(err, DuplicateRelation("r".into()));
+    }
+
+    #[test]
+    fn kind_filtering() {
+        let mut s = Schema::new();
+        s.declare("db1", 1, RelKind::Database).unwrap();
+        s.declare("in1", 1, RelKind::Input).unwrap();
+        s.declare("db2", 1, RelKind::Database).unwrap();
+        s.declare("name", 1, RelKind::InputConstant).unwrap();
+        let dbs: Vec<_> = s.rels_of_kind(RelKind::Database).collect();
+        assert_eq!(dbs.len(), 2);
+        assert!(s.kind(s.lookup("in1").unwrap()).is_input());
+        assert!(s.kind(s.lookup("name").unwrap()).is_input());
+        assert!(!s.kind(s.lookup("db1").unwrap()).is_input());
+    }
+}

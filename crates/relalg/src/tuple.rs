@@ -1,0 +1,259 @@
+//! Tuples and relations (finite sets of same-arity tuples).
+//!
+//! Relations are stored as sorted, deduplicated vectors of tuples. In the
+//! verifier workload every relation instance is tiny (a handful of tuples),
+//! so a sorted vector beats hash sets on both memory and iteration cost and
+//! gives a canonical representation for free — important because relation
+//! contents participate in the visited-configuration encoding.
+
+use crate::value::Value;
+use std::fmt;
+
+/// An immutable tuple of interned values.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// Arity of the tuple.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Value at column `i` (panics when out of range — arity errors are
+    /// programming bugs caught by schema validation upstream).
+    pub fn get(&self, i: usize) -> Value {
+        self.0[i]
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v.into_boxed_slice())
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(v: [Value; N]) -> Self {
+        Tuple(Box::new(v))
+    }
+}
+
+/// A relation instance: a canonical (sorted, deduplicated) set of tuples,
+/// all of the same arity.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation { arity, tuples: Vec::new() }
+    }
+
+    /// Build from an iterator of tuples; deduplicates and sorts.
+    ///
+    /// Panics if tuples disagree on arity (schema violations are bugs).
+    pub fn from_tuples(arity: usize, iter: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut tuples: Vec<Tuple> = iter.into_iter().collect();
+        for t in &tuples {
+            assert_eq!(t.arity(), arity, "tuple arity mismatch");
+        }
+        tuples.sort_unstable();
+        tuples.dedup();
+        Relation { arity, tuples }
+    }
+
+    /// Relation arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test (binary search over the canonical order).
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.binary_search(t).is_ok()
+    }
+
+    /// Insert a tuple, keeping canonical order. Returns true if inserted.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(t.arity(), self.arity, "tuple arity mismatch");
+        match self.tuples.binary_search(&t) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.tuples.insert(pos, t);
+                true
+            }
+        }
+    }
+
+    /// Remove a tuple. Returns true if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        match self.tuples.binary_search(t) {
+            Ok(pos) => {
+                self.tuples.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterate tuples in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// The single tuple of a singleton relation, if any.
+    pub fn only(&self) -> Option<&Tuple> {
+        if self.tuples.len() == 1 {
+            self.tuples.first()
+        } else {
+            None
+        }
+    }
+
+    /// Set union with another relation of the same arity.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity);
+        Relation::from_tuples(self.arity, self.iter().chain(other.iter()).cloned())
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity);
+        Relation::from_tuples(
+            self.arity,
+            self.iter().filter(|t| !other.contains(t)).cloned(),
+        )
+    }
+
+    /// Every distinct value appearing anywhere in the relation.
+    pub fn active_domain(&self) -> Vec<Value> {
+        let mut vals: Vec<Value> = self
+            .tuples
+            .iter()
+            .flat_map(|t| t.values().iter().copied())
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.tuples.iter()).finish()
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    /// Collect tuples into a relation; arity is taken from the first tuple
+    /// (empty iterators produce an arity-0 relation).
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        let tuples: Vec<Tuple> = iter.into_iter().collect();
+        let arity = tuples.first().map_or(0, Tuple::arity);
+        Relation::from_tuples(arity, tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[u32]) -> Tuple {
+        Tuple::from(vals.iter().map(|&v| Value(v)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn from_tuples_dedups_and_sorts() {
+        let r = Relation::from_tuples(2, vec![t(&[2, 1]), t(&[1, 2]), t(&[2, 1])]);
+        assert_eq!(r.len(), 2);
+        let collected: Vec<_> = r.iter().cloned().collect();
+        assert_eq!(collected, vec![t(&[1, 2]), t(&[2, 1])]);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut r = Relation::empty(1);
+        assert!(r.insert(t(&[5])));
+        assert!(!r.insert(t(&[5])), "duplicate insert is a no-op");
+        assert!(r.contains(&t(&[5])));
+        assert!(r.remove(&t(&[5])));
+        assert!(!r.remove(&t(&[5])));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = Relation::from_tuples(1, vec![t(&[1]), t(&[2])]);
+        let b = Relation::from_tuples(1, vec![t(&[2]), t(&[3])]);
+        assert_eq!(a.union(&b).len(), 3);
+        let d = a.difference(&b);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&t(&[1])));
+    }
+
+    #[test]
+    fn only_identifies_singletons() {
+        let mut r = Relation::empty(2);
+        assert!(r.only().is_none());
+        r.insert(t(&[1, 2]));
+        assert_eq!(r.only(), Some(&t(&[1, 2])));
+        r.insert(t(&[3, 4]));
+        assert!(r.only().is_none());
+    }
+
+    #[test]
+    fn active_domain_is_sorted_and_deduped() {
+        let r = Relation::from_tuples(2, vec![t(&[3, 1]), t(&[1, 2])]);
+        let dom = r.active_domain();
+        assert_eq!(dom, vec![Value(1), Value(2), Value(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::empty(2);
+        r.insert(t(&[1]));
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let a = Relation::from_tuples(1, vec![t(&[1]), t(&[2])]);
+        let b = Relation::from_tuples(1, vec![t(&[2]), t(&[1])]);
+        assert_eq!(a, b, "insertion order must not affect equality");
+    }
+}

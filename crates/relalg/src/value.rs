@@ -1,0 +1,193 @@
+//! Interned values and the symbol table shared by a verification session.
+//!
+//! Every data value that can appear in a tuple — a constant from the
+//! specification or property, a per-page fresh witness value, or a parameter
+//! standing for an existentially quantified property variable — is interned
+//! into a [`SymbolTable`] and handled as a compact [`Value`] id afterwards.
+//! Tuples, relations and bitmap codecs all work over these ids, so equality
+//! is an integer compare and hashing is cheap.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned data value. The id is an index into the owning
+/// [`SymbolTable`]; two `Value`s from the same table are equal iff they
+/// denote the same value.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// Raw index, usable for bitmap ranks and vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// How a value came to exist. Names are kept for display and debugging;
+/// the verifier's algorithms only care about the distinction between
+/// specification constants, fresh per-page witnesses, and property
+/// parameters when enumerating domains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValueKind {
+    /// A named constant appearing in the specification or property text.
+    Constant(String),
+    /// A fresh witness value from some page's input pool `C_V`.
+    /// Fields: page name, ordinal within the pool.
+    Fresh(String, u32),
+    /// A parameter standing for an outer universally quantified property
+    /// variable (an element of `C_∃` when chosen fresh).
+    Param(String),
+}
+
+impl ValueKind {
+    /// Display name for error messages and counterexample printing.
+    pub fn display(&self) -> String {
+        match self {
+            ValueKind::Constant(s) => format!("{s:?}"),
+            ValueKind::Fresh(page, i) => format!("~{page}.{i}"),
+            ValueKind::Param(x) => format!("?{x}"),
+        }
+    }
+}
+
+/// Interner mapping named constants (and generated values) to [`Value`] ids.
+///
+/// A `SymbolTable` is created per verification session: the specification's
+/// constants are interned first (so their ids form a dense prefix), then the
+/// property's constants, then fresh pools and parameters as needed.
+#[derive(Default, Debug, Clone)]
+pub struct SymbolTable {
+    kinds: Vec<ValueKind>,
+    constants: HashMap<String, Value>,
+}
+
+impl SymbolTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a named constant, returning its id. Idempotent: interning the
+    /// same name twice yields the same [`Value`].
+    pub fn constant(&mut self, name: &str) -> Value {
+        if let Some(&v) = self.constants.get(name) {
+            return v;
+        }
+        let v = Value(self.kinds.len() as u32);
+        self.kinds.push(ValueKind::Constant(name.to_owned()));
+        self.constants.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Look up a named constant without interning it.
+    pub fn lookup_constant(&self, name: &str) -> Option<Value> {
+        self.constants.get(name).copied()
+    }
+
+    /// Mint a fresh witness value belonging to `page`'s input pool.
+    /// Fresh values are never equal to any other value.
+    pub fn fresh(&mut self, page: &str, ordinal: u32) -> Value {
+        let v = Value(self.kinds.len() as u32);
+        self.kinds.push(ValueKind::Fresh(page.to_owned(), ordinal));
+        v
+    }
+
+    /// Mint a parameter value for property variable `var`.
+    pub fn param(&mut self, var: &str) -> Value {
+        let v = Value(self.kinds.len() as u32);
+        self.kinds.push(ValueKind::Param(var.to_owned()));
+        v
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True if no values have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The kind (and name) of a value.
+    pub fn kind(&self, v: Value) -> &ValueKind {
+        &self.kinds[v.index()]
+    }
+
+    /// Human-readable rendering of a value.
+    pub fn display(&self, v: Value) -> String {
+        self.kinds[v.index()].display()
+    }
+
+    /// All values currently interned, in id order.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.kinds.len() as u32).map(Value)
+    }
+
+    /// All named constants, in interning order.
+    pub fn constants(&self) -> impl Iterator<Item = (Value, &str)> + '_ {
+        self.kinds.iter().enumerate().filter_map(|(i, k)| match k {
+            ValueKind::Constant(s) => Some((Value(i as u32), s.as_str())),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.constant("laptop");
+        let b = t.constant("laptop");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_values() {
+        let mut t = SymbolTable::new();
+        let a = t.constant("ram");
+        let b = t.constant("hdd");
+        assert_ne!(a, b);
+        assert_eq!(t.lookup_constant("ram"), Some(a));
+        assert_eq!(t.lookup_constant("display"), None);
+    }
+
+    #[test]
+    fn fresh_values_are_never_shared() {
+        let mut t = SymbolTable::new();
+        let a = t.fresh("LSP", 0);
+        let b = t.fresh("LSP", 0);
+        assert_ne!(a, b, "fresh values must be unique even with equal labels");
+    }
+
+    #[test]
+    fn display_disambiguates_kinds() {
+        let mut t = SymbolTable::new();
+        let c = t.constant("search");
+        let f = t.fresh("LSP", 2);
+        let p = t.param("pid");
+        assert_eq!(t.display(c), "\"search\"");
+        assert_eq!(t.display(f), "~LSP.2");
+        assert_eq!(t.display(p), "?pid");
+    }
+
+    #[test]
+    fn values_iterates_in_id_order() {
+        let mut t = SymbolTable::new();
+        t.constant("a");
+        t.constant("b");
+        let ids: Vec<u32> = t.values().map(|v| v.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

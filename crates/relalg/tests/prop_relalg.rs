@@ -1,0 +1,131 @@
+//! Property-based tests for the relational substrate: canonical-form
+//! invariants of `Relation`, algebraic laws of the set operations, and
+//! plan-executor correctness against a straightforward model.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wave_relalg::{
+    execute, Instance, Params, Plan, Pred, RelKind, Relation, Scalar, Schema, Tuple, Value,
+};
+
+fn tuples(arity: usize, max_val: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0..max_val, arity), 0..12)
+}
+
+fn rel_of(arity: usize, raw: &[Vec<u32>]) -> Relation {
+    Relation::from_tuples(
+        arity,
+        raw.iter()
+            .map(|t| Tuple::from(t.iter().map(|&v| Value(v)).collect::<Vec<_>>())),
+    )
+}
+
+proptest! {
+    /// Canonical form: construction order never affects equality.
+    #[test]
+    fn relation_equality_is_order_independent(mut raw in tuples(2, 6)) {
+        let a = rel_of(2, &raw);
+        raw.reverse();
+        let b = rel_of(2, &raw);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Union is commutative and difference is its partial inverse.
+    #[test]
+    fn union_difference_laws(xs in tuples(2, 5), ys in tuples(2, 5)) {
+        let a = rel_of(2, &xs);
+        let b = rel_of(2, &ys);
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        // a \ b keeps exactly the a-tuples not in b
+        let d = a.difference(&b);
+        for t in d.iter() {
+            prop_assert!(a.contains(t) && !b.contains(t));
+        }
+        // |a ∪ b| = |a\b| + |b\a| + |a ∩ b|, with a ∩ b = a \ (a\b)
+        let u = a.union(&b);
+        let inter = a.difference(&a.difference(&b));
+        prop_assert_eq!(
+            u.len(),
+            a.difference(&b).len() + b.difference(&a).len() + inter.len()
+        );
+    }
+
+    /// Select distributes: selecting twice equals selecting a conjunction.
+    #[test]
+    fn select_conjunction(raw in tuples(2, 6), c1 in 0u32..6, c2 in 0u32..6) {
+        let mut schema = Schema::new();
+        schema.declare("r", 2, RelKind::Database).unwrap();
+        let schema = Arc::new(schema);
+        let r = schema.lookup("r").unwrap();
+        let mut inst = Instance::empty(Arc::clone(&schema));
+        inst.set_rel(r, rel_of(2, &raw));
+        let p1 = Pred::Eq(Scalar::Col(0), Scalar::Const(Value(c1)));
+        let p2 = Pred::Ne(Scalar::Col(1), Scalar::Const(Value(c2)));
+        let nested = Plan::Select {
+            input: Box::new(Plan::Select { input: Box::new(Plan::Scan(r)), pred: p1.clone() }),
+            pred: p2.clone(),
+        };
+        let conj = Plan::Select {
+            input: Box::new(Plan::Scan(r)),
+            pred: Pred::And(vec![p1, p2]),
+        };
+        let a = execute(&nested, &inst, &Params::none()).unwrap();
+        let b = execute(&conj, &inst, &Params::none()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Semi-join plus anti-join partition the left side.
+    #[test]
+    fn semi_anti_partition(xs in tuples(2, 5), ys in tuples(1, 5)) {
+        let mut schema = Schema::new();
+        schema.declare("l", 2, RelKind::Database).unwrap();
+        schema.declare("m", 1, RelKind::Database).unwrap();
+        let schema = Arc::new(schema);
+        let l = schema.lookup("l").unwrap();
+        let m = schema.lookup("m").unwrap();
+        let mut inst = Instance::empty(Arc::clone(&schema));
+        inst.set_rel(l, rel_of(2, &xs));
+        inst.set_rel(m, rel_of(1, &ys));
+        let semi = Plan::SemiJoin {
+            left: Box::new(Plan::Scan(l)),
+            right: Box::new(Plan::Scan(m)),
+            on: vec![(0, 0)],
+        };
+        let anti = Plan::AntiJoin {
+            left: Box::new(Plan::Scan(l)),
+            right: Box::new(Plan::Scan(m)),
+            on: vec![(0, 0)],
+        };
+        let s = execute(&semi, &inst, &Params::none()).unwrap();
+        let a = execute(&anti, &inst, &Params::none()).unwrap();
+        prop_assert_eq!(s.len() + a.len(), inst.rel(l).len());
+        prop_assert!(s.iter().all(|t| !a.contains(t)));
+        prop_assert_eq!(s.union(&a), inst.rel(l).clone());
+    }
+
+    /// Projection then projection composes.
+    #[test]
+    fn projection_composes(raw in tuples(3, 6)) {
+        let mut schema = Schema::new();
+        schema.declare("r", 3, RelKind::Database).unwrap();
+        let schema = Arc::new(schema);
+        let r = schema.lookup("r").unwrap();
+        let mut inst = Instance::empty(Arc::clone(&schema));
+        inst.set_rel(r, rel_of(3, &raw));
+        let two_step = Plan::Project {
+            input: Box::new(Plan::Project {
+                input: Box::new(Plan::Scan(r)),
+                cols: vec![Scalar::Col(2), Scalar::Col(0)],
+            }),
+            cols: vec![Scalar::Col(1)],
+        };
+        let one_step = Plan::Project {
+            input: Box::new(Plan::Scan(r)),
+            cols: vec![Scalar::Col(0)],
+        };
+        prop_assert_eq!(
+            execute(&two_step, &inst, &Params::none()).unwrap(),
+            execute(&one_step, &inst, &Params::none()).unwrap()
+        );
+    }
+}

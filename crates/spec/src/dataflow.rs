@@ -1,0 +1,546 @@
+//! Dataflow analysis for potential comparisons (Section 3.2 of the paper).
+//!
+//! The analysis over-approximates, for every relation attribute, the set of
+//! constants it may ever be compared against during any run — explicitly
+//! (a constant occurring in that position of some atom), implicitly through
+//! equality transitivity (`x = c` derivable from the equality atoms of a
+//! rule or property), or implicitly through *copying* (the attribute's
+//! value flows into a state/action/input column that is itself compared,
+//! recursively).
+//!
+//! Its output drives both heuristics:
+//!
+//! * **Heuristic 1 (core pruning)** — a database core tuple is worth
+//!   considering only if every attribute holds a constant from that
+//!   attribute's comparison set;
+//! * **Heuristic 2 (extension pruning)** — an extension tuple at page `V`
+//!   may additionally hold, per attribute, values of *input* positions the
+//!   attribute is compared to by `V`'s rules or the property, and the
+//!   page-local fresh witnesses (`C_V`) for option-rule variables occurring
+//!   at that attribute.
+//!
+//! The analysis is a linear number of fixpoint passes over the rules, as
+//! the paper describes ("a recursive function which runs in linear time in
+//! the size of the property and specification").
+
+use crate::model::Spec;
+use std::collections::{BTreeMap, BTreeSet};
+use wave_fol::{Atom, Formula, Term};
+
+/// A relation attribute.
+pub type Pos = (String, usize);
+
+/// A source of input values an attribute is compared against:
+/// `(input relation, column, prev?)`.
+pub type InputSrc = (String, usize, bool);
+
+/// Identifier of an option-rule variable: `(page, rule index, var name)` —
+/// kept fully qualified so distinct rules get distinct fresh witnesses.
+pub type OptVar = (String, usize, String);
+
+/// Result of the analysis.
+#[derive(Debug, Default, Clone)]
+pub struct Dataflow {
+    /// Constants each attribute may be compared to (global).
+    consts: BTreeMap<Pos, BTreeSet<String>>,
+    /// Per page: input positions each attribute is compared to.
+    input_srcs: BTreeMap<String, BTreeMap<Pos, BTreeSet<InputSrc>>>,
+    /// Per page: option-rule variables occurring at each attribute.
+    opt_vars: BTreeMap<String, BTreeMap<Pos, BTreeSet<OptVar>>>,
+}
+
+impl Dataflow {
+    /// Constants attribute `(rel, col)` may be compared to.
+    pub fn consts(&self, rel: &str, col: usize) -> impl Iterator<Item = &str> {
+        self.consts
+            .get(&(rel.to_owned(), col))
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
+    /// Number of comparison constants for an attribute.
+    pub fn const_count(&self, rel: &str, col: usize) -> usize {
+        self.consts.get(&(rel.to_owned(), col)).map_or(0, BTreeSet::len)
+    }
+
+    /// Input positions attribute `(rel, col)` is compared to at `page`.
+    pub fn input_sources(
+        &self,
+        page: &str,
+        rel: &str,
+        col: usize,
+    ) -> impl Iterator<Item = &InputSrc> {
+        self.input_srcs
+            .get(page)
+            .and_then(|m| m.get(&(rel.to_owned(), col)))
+            .into_iter()
+            .flatten()
+    }
+
+    /// Option-rule variables occurring at attribute `(rel, col)` at `page`.
+    pub fn option_vars(
+        &self,
+        page: &str,
+        rel: &str,
+        col: usize,
+    ) -> impl Iterator<Item = &OptVar> {
+        self.opt_vars
+            .get(page)
+            .and_then(|m| m.get(&(rel.to_owned(), col)))
+            .into_iter()
+            .flatten()
+    }
+}
+
+/// A rule-shaped unit for the analysis: optional head (relation + vars) and
+/// a body, attributed to a page (`None` = global, i.e. the property).
+struct Unit<'a> {
+    page: Option<&'a str>,
+    head: Option<(&'a str, &'a [String])>,
+    body: &'a Formula,
+}
+
+/// Run the analysis over a specification plus extra global formulas (the
+/// property's instantiated FO components).
+pub fn analyze(spec: &Spec, property_components: &[Formula]) -> Dataflow {
+    let mut units: Vec<Unit<'_>> = Vec::new();
+    for p in &spec.pages {
+        for r in &p.option_rules {
+            units.push(Unit {
+                page: Some(&p.name),
+                head: Some((&r.input, &r.head)),
+                body: &r.body,
+            });
+        }
+        for r in &p.state_rules {
+            // deletions compare but do not make new values observable; for
+            // the comparison over-approximation they are treated like
+            // insertions (sound: more comparisons, never fewer)
+            units.push(Unit {
+                page: Some(&p.name),
+                head: Some((&r.state, &r.head)),
+                body: &r.body,
+            });
+        }
+        for r in &p.action_rules {
+            units.push(Unit {
+                page: Some(&p.name),
+                head: Some((&r.action, &r.head)),
+                body: &r.body,
+            });
+        }
+        for r in &p.target_rules {
+            units.push(Unit { page: Some(&p.name), head: None, body: &r.condition });
+        }
+    }
+    for f in property_components {
+        units.push(Unit { page: None, head: None, body: f });
+    }
+
+    let mut flow = Dataflow::default();
+    // per-unit var classes and their atom occurrences, reused across passes
+    let digests: Vec<UnitDigest> = units.iter().map(|u| digest(u)).collect();
+
+    // 1) direct constants
+    for d in &digests {
+        for (pos, cs) in &d.direct_consts {
+            flow.consts.entry(pos.clone()).or_default().extend(cs.iter().cloned());
+        }
+    }
+
+    // 2) copy-propagation fixpoint: cmp(src) ⊇ cmp(headrel, col) whenever
+    // src feeds the head column
+    loop {
+        let mut changed = false;
+        for d in &digests {
+            for (src, dst) in &d.copies {
+                let dst_consts: Vec<String> = flow
+                    .consts
+                    .get(dst)
+                    .map(|s| s.iter().cloned().collect())
+                    .unwrap_or_default();
+                if dst_consts.is_empty() {
+                    continue;
+                }
+                let entry = flow.consts.entry(src.clone()).or_default();
+                for c in dst_consts {
+                    changed |= entry.insert(c);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 3) per-page input comparisons and option-variable occurrences
+    let all_pages: Vec<&str> = spec.pages.iter().map(|p| p.name.as_str()).collect();
+    for (u, d) in units.iter().zip(&digests) {
+        let pages: Vec<&str> = match u.page {
+            Some(p) => vec![p],
+            // property comparisons apply at every page where the input is
+            // available (current input) — conservatively, at every page
+            None => all_pages.clone(),
+        };
+        for page in pages {
+            let m = flow.input_srcs.entry(page.to_owned()).or_default();
+            for (pos, srcs) in &d.input_links {
+                m.entry(pos.clone()).or_default().extend(srcs.iter().cloned());
+            }
+        }
+    }
+    for p in &spec.pages {
+        let m = flow.opt_vars.entry(p.name.clone()).or_default();
+        for (idx, r) in p.option_rules.iter().enumerate() {
+            let mut occ: BTreeMap<Pos, BTreeSet<String>> = BTreeMap::new();
+            collect_var_positions(&r.body, &mut occ, spec);
+            for (pos, vars) in occ {
+                for v in vars {
+                    m.entry(pos.clone()).or_default().insert((
+                        p.name.clone(),
+                        idx,
+                        v,
+                    ));
+                }
+            }
+        }
+    }
+    flow
+}
+
+/// Pre-digested facts about one rule/property body.
+struct UnitDigest {
+    /// positions with directly (or equality-transitively) compared consts
+    direct_consts: BTreeMap<Pos, BTreeSet<String>>,
+    /// copy edges (source position, head position)
+    copies: Vec<(Pos, Pos)>,
+    /// positions compared to input positions (via shared variables)
+    input_links: BTreeMap<Pos, BTreeSet<InputSrc>>,
+}
+
+/// Union-find over variable names.
+#[derive(Default)]
+struct Classes {
+    parent: BTreeMap<String, String>,
+}
+
+impl Classes {
+    fn find(&mut self, x: &str) -> String {
+        let p = match self.parent.get(x) {
+            None => {
+                self.parent.insert(x.to_owned(), x.to_owned());
+                return x.to_owned();
+            }
+            Some(p) => p.clone(),
+        };
+        if p == x {
+            return p;
+        }
+        let root = self.find(&p);
+        self.parent.insert(x.to_owned(), root.clone());
+        root
+    }
+
+    fn union(&mut self, a: &str, b: &str) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+fn digest(u: &Unit<'_>) -> UnitDigest {
+    // pass A: equality classes and per-class constants
+    let mut classes = Classes::default();
+    let mut class_consts: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    collect_equalities(u.body, &mut classes, &mut class_consts);
+
+    // pass B: atom occurrences — (position, term) pairs
+    let mut occurrences: Vec<(Pos, bool, Term)> = Vec::new(); // (pos, is_prev, term)
+    u.body.visit_atoms(&mut |a: &Atom| {
+        for (j, t) in a.terms.iter().enumerate() {
+            occurrences.push(((a.rel.clone(), j), a.prev, t.clone()));
+        }
+    });
+
+    let mut direct_consts: BTreeMap<Pos, BTreeSet<String>> = BTreeMap::new();
+    for (pos, _, t) in &occurrences {
+        match t {
+            Term::Const(c) => {
+                direct_consts.entry(pos.clone()).or_default().insert(c.clone());
+            }
+            Term::Var(v) => {
+                let root = classes.find(v);
+                if let Some(cs) = class_consts.get(&root) {
+                    direct_consts.entry(pos.clone()).or_default().extend(cs.iter().cloned());
+                }
+            }
+            Term::Field { .. } => {}
+        }
+    }
+
+    // head columns are directly compared to the constants their head
+    // variable is (transitively) equated to in the body — e.g. an option
+    // rule `Options_R(s) ← … & s = "ordered"` compares R's column to
+    // "ordered"
+    if let Some((head_rel, head_vars)) = u.head {
+        for (b, hv) in head_vars.iter().enumerate() {
+            let hroot = classes.find(hv);
+            if let Some(cs) = class_consts.get(&hroot) {
+                direct_consts
+                    .entry((head_rel.to_owned(), b))
+                    .or_default()
+                    .extend(cs.iter().cloned());
+            }
+        }
+    }
+
+    // pass C: copy edges — every position holding a head variable (or a
+    // variable equal to it) feeds the corresponding head column
+    let mut copies = Vec::new();
+    if let Some((head_rel, head_vars)) = u.head {
+        for (b, hv) in head_vars.iter().enumerate() {
+            let hroot = classes.find(hv);
+            for (pos, _, t) in &occurrences {
+                if pos.0 == head_rel {
+                    continue; // self-feed adds nothing
+                }
+                if let Term::Var(v) = t {
+                    if classes.find(v) == hroot {
+                        copies.push((pos.clone(), (head_rel.to_owned(), b)));
+                    }
+                }
+            }
+        }
+    }
+
+    // pass D: input links — variables shared between an input position and
+    // any other position create an input comparison for the latter
+    let mut input_links: BTreeMap<Pos, BTreeSet<InputSrc>> = BTreeMap::new();
+    let mut var_input_srcs: BTreeMap<String, BTreeSet<InputSrc>> = BTreeMap::new();
+    for (pos, prev, t) in &occurrences {
+        if let Term::Var(v) = t {
+            // an occurrence at an *input-looking* relation is recognized by
+            // name downstream; here we record all candidates and let the
+            // consumer filter by kind (the digest has no schema access)
+            var_input_srcs
+                .entry(classes.find(v))
+                .or_default()
+                .insert((pos.0.clone(), pos.1, *prev));
+        }
+    }
+    for (pos, _, t) in &occurrences {
+        if let Term::Var(v) = t {
+            if let Some(srcs) = var_input_srcs.get(&classes.find(v)) {
+                for s in srcs {
+                    if s.0 != pos.0 || s.1 != pos.1 {
+                        input_links.entry(pos.clone()).or_default().insert(s.clone());
+                    }
+                }
+            }
+        }
+    }
+    // head columns inherit the input sources of their head variable: in
+    // `S(x̄) ← φ`, column B of S is compared to every input position that
+    // binds x̄[B] in φ
+    if let Some((head_rel, head_vars)) = u.head {
+        for (b, hv) in head_vars.iter().enumerate() {
+            if let Some(srcs) = var_input_srcs.get(&classes.find(hv)) {
+                input_links
+                    .entry((head_rel.to_owned(), b))
+                    .or_default()
+                    .extend(srcs.iter().cloned());
+            }
+        }
+    }
+
+    UnitDigest { direct_consts, copies, input_links }
+}
+
+fn collect_equalities(
+    f: &Formula,
+    classes: &mut Classes,
+    class_consts: &mut BTreeMap<String, BTreeSet<String>>,
+) {
+    match f {
+        Formula::Eq(a, b) | Formula::Ne(a, b) => match (a, b) {
+            (Term::Var(x), Term::Var(y)) => {
+                // record before union so constants merge afterwards
+                classes.union(x, y);
+                let rx = classes.find(x);
+                let merged: BTreeSet<String> = class_consts
+                    .remove(&classes.find(y))
+                    .into_iter()
+                    .flatten()
+                    .chain(class_consts.remove(&rx).into_iter().flatten())
+                    .collect();
+                if !merged.is_empty() {
+                    class_consts.insert(rx, merged);
+                }
+            }
+            (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => {
+                let r = classes.find(x);
+                class_consts.entry(r).or_default().insert(c.clone());
+            }
+            _ => {}
+        },
+        Formula::Not(x) => collect_equalities(x, classes, class_consts),
+        Formula::And(xs) | Formula::Or(xs) => {
+            for x in xs {
+                collect_equalities(x, classes, class_consts);
+            }
+        }
+        Formula::Implies(a, b) => {
+            collect_equalities(a, classes, class_consts);
+            collect_equalities(b, classes, class_consts);
+        }
+        Formula::Exists(_, x) | Formula::Forall(_, x) => {
+            collect_equalities(x, classes, class_consts)
+        }
+        _ => {}
+    }
+}
+
+/// Positions of variables in database atoms (for option-variable pools).
+fn collect_var_positions(
+    f: &Formula,
+    out: &mut BTreeMap<Pos, BTreeSet<String>>,
+    spec: &Spec,
+) {
+    let is_db = |rel: &str| spec.database.iter().any(|(n, _)| n == rel);
+    f.visit_atoms(&mut |a: &Atom| {
+        if !is_db(&a.rel) {
+            return;
+        }
+        for (j, t) in a.terms.iter().enumerate() {
+            if let Term::Var(v) = t {
+                out.entry((a.rel.clone(), j)).or_default().insert(v.clone());
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_spec;
+    use wave_fol::parse_formula;
+
+    fn lsp_spec() -> Spec {
+        parse_spec(
+            r#"
+            spec shop {
+              database { user(name, passwd); criteria(cat, attr, value); }
+              state    { userchoice(r, h, d); }
+              inputs   { button(x); laptopsearch(r, h, d); }
+              home LSP;
+              page LSP {
+                inputs { button, laptopsearch }
+                options button(x) <- x = "search" | x = "view_cart" | x = "logout";
+                options laptopsearch(r, h, d) <-
+                    criteria("laptop", "ram", r) & criteria("laptop", "hdd", h)
+                  & criteria("laptop", "display", d);
+                insert userchoice(r, h, d) <- laptopsearch(r, h, d) & button("search");
+                target HP  <- button("logout");
+                target PIP <- exists r, h, d: laptopsearch(r, h, d) & button("search");
+                target CC  <- button("view_cart");
+              }
+              page HP  { target HP <- true; }
+              page PIP { target PIP <- true; }
+              page CC  { target CC <- true; }
+            }
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn explicit_comparisons_found() {
+        // Example 3.6: criteria's first two attributes are compared to
+        // "laptop" / "ram","hdd","display"; the third to nothing
+        let flow = analyze(&lsp_spec(), &[]);
+        let c0: Vec<&str> = flow.consts("criteria", 0).collect();
+        assert_eq!(c0, vec!["laptop"]);
+        let c1: Vec<&str> = flow.consts("criteria", 1).collect();
+        assert_eq!(c1, vec!["display", "hdd", "ram"]);
+        assert_eq!(flow.const_count("criteria", 2), 0);
+    }
+
+    #[test]
+    fn implicit_comparison_via_state_copy() {
+        // Example 3.6 continued: a property atom userchoice("1GB","60GB","21in")
+        // propagates those constants back into criteria's third attribute
+        // through laptopsearch (option head) and userchoice (state head).
+        let prop = parse_formula(r#"userchoice("1GB", "60GB", "21in")"#).unwrap();
+        let flow = analyze(&lsp_spec(), &[prop]);
+        let c2: Vec<&str> = flow.consts("criteria", 2).collect();
+        assert_eq!(c2, vec!["1GB", "21in", "60GB"], "copied comparisons must flow back");
+    }
+
+    #[test]
+    fn equality_transitivity() {
+        let spec = parse_spec(
+            r#"
+            spec s {
+              database { db(a); }
+              inputs { pick(x); }
+              home P;
+              page P {
+                inputs { pick }
+                options pick(x) <- exists y: db(y) & x = y & y = "c";
+                target P <- true;
+              }
+            }
+        "#,
+        )
+        .unwrap();
+        let flow = analyze(&spec, &[]);
+        let c: Vec<&str> = flow.consts("db", 0).collect();
+        assert_eq!(c, vec!["c"], "x = y = \"c\" must reach db's column");
+    }
+
+    #[test]
+    fn input_sources_are_page_local() {
+        let flow = analyze(&lsp_spec(), &[]);
+        // userchoice's columns are compared to laptopsearch's inputs on LSP
+        let srcs: Vec<&InputSrc> = flow.input_sources("LSP", "userchoice", 0).collect();
+        assert!(
+            srcs.contains(&&("laptopsearch".to_string(), 0, false)),
+            "{srcs:?}"
+        );
+        // …but not on HP, which has no such rule
+        assert_eq!(flow.input_sources("HP", "userchoice", 0).count(), 0);
+    }
+
+    #[test]
+    fn property_comparisons_apply_globally() {
+        let prop = parse_formula("forall x: button(x) -> criteria(x, x, x)").unwrap();
+        let flow = analyze(&lsp_spec(), &[prop]);
+        for page in ["LSP", "HP", "PIP", "CC"] {
+            let srcs: Vec<&InputSrc> = flow.input_sources(page, "criteria", 0).collect();
+            assert!(
+                srcs.contains(&&("button".to_string(), 0, false)),
+                "page {page}: {srcs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn option_vars_locate_fresh_witness_columns() {
+        let flow = analyze(&lsp_spec(), &[]);
+        let vars: Vec<&OptVar> = flow.option_vars("LSP", "criteria", 2).collect();
+        let names: Vec<&str> = vars.iter().map(|(_, _, v)| v.as_str()).collect();
+        assert_eq!(names, vec!["d", "h", "r"]);
+        // the constant columns of criteria carry no option variables
+        assert_eq!(flow.option_vars("LSP", "criteria", 0).count(), 0);
+    }
+
+    #[test]
+    fn example_3_5_shape_untouched_attributes_have_empty_sets() {
+        // user's attributes are compared to no constants in the LSP spec
+        let flow = analyze(&lsp_spec(), &[]);
+        assert_eq!(flow.const_count("user", 0), 0);
+        assert_eq!(flow.const_count("user", 1), 0);
+    }
+}

@@ -1,0 +1,440 @@
+//! Text DSL for web application specifications.
+//!
+//! The format is a transliteration of the paper's page-schema notation
+//! (compare Example 2.1's page `LSP`):
+//!
+//! ```text
+//! spec shop {
+//!   database { user(name, passwd); criteria(cat, attr, value); }
+//!   state    { userchoice(r, h, d); }
+//!   action   { conf(pid); }
+//!   inputs   { button(x); laptopsearch(r, h, d); constant uname; }
+//!   home HP;
+//!
+//!   page LSP {
+//!     inputs { button, laptopsearch }
+//!     options button(x) <- x = "search" | x = "view_cart" | x = "logout";
+//!     options laptopsearch(r, h, d) <-
+//!         criteria("laptop", "ram", r) & criteria("laptop", "hdd", h)
+//!       & criteria("laptop", "display", d);
+//!     insert userchoice(r, h, d) <- laptopsearch(r, h, d) & button("search");
+//!     target HP  <- button("logout");
+//!     target PIP <- exists r, h, d: laptopsearch(r, h, d) & button("search");
+//!   }
+//! }
+//! ```
+//!
+//! Attribute names in declarations are documentation; only the arity is
+//! semantic. `delete S(x̄) <- φ` writes a deletion rule; `action A(x̄) <- φ`
+//! an action rule.
+
+use crate::model::{ActionRule, InputDecl, OptionRule, PageSchema, Spec, StateRule, TargetRule};
+use wave_fol::lexer::TokenKind;
+use wave_fol::parser::{ParseError, Parser};
+
+/// Parse a specification from DSL text.
+pub fn parse_spec(src: &str) -> Result<Spec, ParseError> {
+    let mut p = Parser::from_source(src)?;
+    let mut spec = Spec::default();
+    expect_keyword(&mut p, "spec")?;
+    spec.name = p.expect_ident()?;
+    p.expect(&TokenKind::LBrace)?;
+    while p.peek_kind() != &TokenKind::RBrace {
+        if p.eat_keyword("database") {
+            parse_decl_block(&mut p, &mut spec.database)?;
+        } else if p.eat_keyword("state") {
+            parse_decl_block(&mut p, &mut spec.states)?;
+        } else if p.eat_keyword("action") {
+            parse_decl_block(&mut p, &mut spec.actions)?;
+        } else if p.eat_keyword("inputs") {
+            parse_inputs_block(&mut p, &mut spec.inputs)?;
+        } else if p.eat_keyword("home") {
+            spec.home = p.expect_ident()?;
+            p.expect(&TokenKind::Semi)?;
+        } else if p.eat_keyword("page") {
+            spec.pages.push(parse_page(&mut p)?);
+        } else {
+            return Err(p.error(format!(
+                "expected a spec section, found {}",
+                p.peek_kind()
+            )));
+        }
+    }
+    p.expect(&TokenKind::RBrace)?;
+    if !p.at_eof() {
+        return Err(p.error(format!("trailing input: {}", p.peek_kind())));
+    }
+    Ok(spec)
+}
+
+fn expect_keyword(p: &mut Parser, word: &str) -> Result<(), ParseError> {
+    if p.eat_keyword(word) {
+        Ok(())
+    } else {
+        Err(p.error(format!("expected keyword {word:?}, found {}", p.peek_kind())))
+    }
+}
+
+/// `{ name(attr, …); name(attr, …); }` — declarations with arity from the
+/// attribute count.
+fn parse_decl_block(
+    p: &mut Parser,
+    out: &mut Vec<(String, usize)>,
+) -> Result<(), ParseError> {
+    p.expect(&TokenKind::LBrace)?;
+    while p.peek_kind() != &TokenKind::RBrace {
+        let name = p.expect_ident()?;
+        p.expect(&TokenKind::LParen)?;
+        let mut arity = 0;
+        if p.peek_kind() != &TokenKind::RParen {
+            p.expect_ident()?;
+            arity += 1;
+            while p.peek_kind() == &TokenKind::Comma {
+                p.bump();
+                p.expect_ident()?;
+                arity += 1;
+            }
+        }
+        p.expect(&TokenKind::RParen)?;
+        p.expect(&TokenKind::Semi)?;
+        out.push((name, arity));
+    }
+    p.expect(&TokenKind::RBrace)?;
+    Ok(())
+}
+
+/// `{ button(x); laptopsearch(r,h,d); constant uname; }`
+fn parse_inputs_block(p: &mut Parser, out: &mut Vec<InputDecl>) -> Result<(), ParseError> {
+    p.expect(&TokenKind::LBrace)?;
+    while p.peek_kind() != &TokenKind::RBrace {
+        if p.eat_keyword("constant") {
+            let name = p.expect_ident()?;
+            p.expect(&TokenKind::Semi)?;
+            out.push(InputDecl { name, arity: 1, constant: true });
+        } else {
+            let name = p.expect_ident()?;
+            p.expect(&TokenKind::LParen)?;
+            let mut arity = 0;
+            if p.peek_kind() != &TokenKind::RParen {
+                p.expect_ident()?;
+                arity += 1;
+                while p.peek_kind() == &TokenKind::Comma {
+                    p.bump();
+                    p.expect_ident()?;
+                    arity += 1;
+                }
+            }
+            p.expect(&TokenKind::RParen)?;
+            p.expect(&TokenKind::Semi)?;
+            out.push(InputDecl { name, arity, constant: false });
+        }
+    }
+    p.expect(&TokenKind::RBrace)?;
+    Ok(())
+}
+
+fn parse_page(p: &mut Parser) -> Result<PageSchema, ParseError> {
+    let mut page = PageSchema { name: p.expect_ident()?, ..Default::default() };
+    p.expect(&TokenKind::LBrace)?;
+    while p.peek_kind() != &TokenKind::RBrace {
+        if p.at_keyword("inputs") {
+            p.bump();
+            p.expect(&TokenKind::LBrace)?;
+            if p.peek_kind() != &TokenKind::RBrace {
+                page.inputs.push(p.expect_ident()?);
+                while p.peek_kind() == &TokenKind::Comma {
+                    p.bump();
+                    page.inputs.push(p.expect_ident()?);
+                }
+            }
+            p.expect(&TokenKind::RBrace)?;
+        } else if p.eat_keyword("options") {
+            let input = p.expect_ident()?;
+            let head = parse_head_vars(p)?;
+            p.expect(&TokenKind::LArrow)?;
+            let body = p.parse_formula()?;
+            p.expect(&TokenKind::Semi)?;
+            page.option_rules.push(OptionRule { input, head, body });
+        } else if p.at_keyword("insert") || p.at_keyword("delete") {
+            let insert = p.eat_keyword("insert") || {
+                p.bump();
+                false
+            };
+            let state = p.expect_ident()?;
+            let head = parse_head_vars(p)?;
+            p.expect(&TokenKind::LArrow)?;
+            let body = p.parse_formula()?;
+            p.expect(&TokenKind::Semi)?;
+            page.state_rules.push(StateRule { state, insert, head, body });
+        } else if p.eat_keyword("action") {
+            let action = p.expect_ident()?;
+            let head = parse_head_vars(p)?;
+            p.expect(&TokenKind::LArrow)?;
+            let body = p.parse_formula()?;
+            p.expect(&TokenKind::Semi)?;
+            page.action_rules.push(ActionRule { action, head, body });
+        } else if p.eat_keyword("target") {
+            let target = p.expect_ident()?;
+            p.expect(&TokenKind::LArrow)?;
+            let condition = p.parse_formula()?;
+            p.expect(&TokenKind::Semi)?;
+            page.target_rules.push(TargetRule { target, condition });
+        } else {
+            return Err(p.error(format!(
+                "expected a page section, found {}",
+                p.peek_kind()
+            )));
+        }
+    }
+    p.expect(&TokenKind::RBrace)?;
+    Ok(page)
+}
+
+/// `(x, y, z)` or `()` — the head variable list of a rule.
+fn parse_head_vars(p: &mut Parser) -> Result<Vec<String>, ParseError> {
+    p.expect(&TokenKind::LParen)?;
+    let mut vars = Vec::new();
+    if p.peek_kind() != &TokenKind::RParen {
+        vars.push(p.expect_ident()?);
+        while p.peek_kind() == &TokenKind::Comma {
+            p.bump();
+            vars.push(p.expect_ident()?);
+        }
+    }
+    p.expect(&TokenKind::RParen)?;
+    Ok(vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LSP_SPEC: &str = r#"
+        # the laptop-search fragment of the paper's running example
+        spec shop {
+          database { user(name, passwd); criteria(cat, attr, value); }
+          state    { userchoice(r, h, d); }
+          inputs   { button(x); laptopsearch(r, h, d); }
+          home LSP;
+
+          page LSP {
+            inputs { button, laptopsearch }
+            options button(x) <- x = "search" | x = "view_cart" | x = "logout";
+            options laptopsearch(r, h, d) <-
+                criteria("laptop", "ram", r) & criteria("laptop", "hdd", h)
+              & criteria("laptop", "display", d);
+            insert userchoice(r, h, d) <- laptopsearch(r, h, d) & button("search");
+            target HP  <- button("logout");
+            target PIP <- exists r, h, d: laptopsearch(r, h, d) & button("search");
+            target CC  <- button("view_cart");
+          }
+          page HP  { target HP <- true; }
+          page PIP { target PIP <- true; }
+          page CC  { target CC <- true; }
+        }
+    "#;
+
+    #[test]
+    fn parses_the_lsp_page_from_the_paper() {
+        let spec = parse_spec(LSP_SPEC).unwrap();
+        assert_eq!(spec.name, "shop");
+        assert_eq!(spec.home, "LSP");
+        assert_eq!(spec.database.len(), 2);
+        assert_eq!(spec.database[1], ("criteria".to_string(), 3));
+        let lsp = spec.page("LSP").unwrap();
+        assert_eq!(lsp.inputs, vec!["button", "laptopsearch"]);
+        assert_eq!(lsp.option_rules.len(), 2);
+        assert_eq!(lsp.state_rules.len(), 1);
+        assert_eq!(lsp.target_rules.len(), 3);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn delete_rules_parse() {
+        let src = r#"
+            spec s {
+              state { cart(x); }
+              inputs { button(x); }
+              home P;
+              page P {
+                inputs { button }
+                options button(x) <- x = "clear";
+                delete cart(x) <- cart(x) & button("clear");
+              }
+            }
+        "#;
+        // note: cart(x) in a delete-rule body is fine — x is a head variable
+        let spec = parse_spec(src).unwrap();
+        let rule = &spec.pages[0].state_rules[0];
+        assert!(!rule.insert);
+        assert_eq!(rule.state, "cart");
+    }
+
+    #[test]
+    fn constants_inputs_parse() {
+        let src = r#"
+            spec s {
+              database { user(n, p); }
+              inputs { constant uname; constant pass; }
+              home P;
+              page P {
+                inputs { uname, pass }
+                target P <- exists u: uname(u) & exists q: pass(q) & user(u, q);
+              }
+            }
+        "#;
+        let spec = parse_spec(src).unwrap();
+        assert!(spec.inputs.iter().all(|i| i.constant && i.arity == 1));
+        assert!(spec.validate().is_ok(), "{:?}", spec.validate());
+    }
+
+    #[test]
+    fn nullary_relations_and_heads() {
+        let src = r#"
+            spec s {
+              state { flag(); }
+              inputs { go(); }
+              home P;
+              page P {
+                inputs { go }
+                options go() <- true;
+                insert flag() <- go();
+                target P <- true;
+              }
+            }
+        "#;
+        let spec = parse_spec(src).unwrap();
+        assert_eq!(spec.states[0], ("flag".to_string(), 0));
+        assert!(spec.validate().is_ok(), "{:?}", spec.validate());
+    }
+
+    #[test]
+    fn helpful_error_on_bad_section() {
+        let err = parse_spec("spec s { bogus }").unwrap_err();
+        assert!(err.message.contains("expected a spec section"), "{err}");
+    }
+
+    #[test]
+    fn error_position_is_meaningful() {
+        let err = parse_spec("spec s { home }").unwrap_err();
+        assert!(err.message.contains("identifier"), "{err}");
+    }
+}
+
+/// Render a specification back to DSL text. `parse_spec(&print_spec(&s))`
+/// reconstructs an equal specification (round-trip tested).
+pub fn print_spec(spec: &Spec) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "spec {} {{", spec.name);
+    let block = |out: &mut String, keyword: &str, rels: &[(String, usize)]| {
+        if rels.is_empty() {
+            return;
+        }
+        let _ = writeln!(out, "  {keyword} {{");
+        for (name, arity) in rels {
+            let attrs: Vec<String> = (0..*arity).map(|i| format!("a{i}")).collect();
+            let _ = writeln!(out, "    {name}({});", attrs.join(", "));
+        }
+        let _ = writeln!(out, "  }}");
+    };
+    block(&mut out, "database", &spec.database);
+    block(&mut out, "state", &spec.states);
+    block(&mut out, "action", &spec.actions);
+    if !spec.inputs.is_empty() {
+        let _ = writeln!(out, "  inputs {{");
+        for i in &spec.inputs {
+            if i.constant {
+                let _ = writeln!(out, "    constant {};", i.name);
+            } else {
+                let attrs: Vec<String> = (0..i.arity).map(|j| format!("a{j}")).collect();
+                let _ = writeln!(out, "    {}({});", i.name, attrs.join(", "));
+            }
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "  home {};", spec.home);
+    for p in &spec.pages {
+        let _ = writeln!(out, "  page {} {{", p.name);
+        if !p.inputs.is_empty() {
+            let _ = writeln!(out, "    inputs {{ {} }}", p.inputs.join(", "));
+        }
+        for r in &p.option_rules {
+            let _ = writeln!(
+                out,
+                "    options {}({}) <- {};",
+                r.input,
+                r.head.join(", "),
+                r.body
+            );
+        }
+        for r in &p.state_rules {
+            let _ = writeln!(
+                out,
+                "    {} {}({}) <- {};",
+                if r.insert { "insert" } else { "delete" },
+                r.state,
+                r.head.join(", "),
+                r.body
+            );
+        }
+        for r in &p.action_rules {
+            let _ = writeln!(
+                out,
+                "    action {}({}) <- {};",
+                r.action,
+                r.head.join(", "),
+                r.body
+            );
+        }
+        for r in &p.target_rules {
+            let _ = writeln!(out, "    target {} <- {};", r.target, r.condition);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod printer_tests {
+    use super::*;
+
+    /// Structural equality modulo attribute names (which the printer
+    /// regenerates).
+    fn assert_round_trips(src: &str) {
+        let original = parse_spec(src).unwrap();
+        let printed = print_spec(&original);
+        let reparsed = parse_spec(&printed)
+            .unwrap_or_else(|e| panic!("printed spec does not reparse: {e}\n{printed}"));
+        assert_eq!(original.name, reparsed.name);
+        assert_eq!(original.home, reparsed.home);
+        assert_eq!(original.database, reparsed.database);
+        assert_eq!(original.states, reparsed.states);
+        assert_eq!(original.actions, reparsed.actions);
+        assert_eq!(original.inputs, reparsed.inputs);
+        assert_eq!(original.pages, reparsed.pages);
+    }
+
+    #[test]
+    fn the_four_benchmark_specs_round_trip() {
+        // the printer must reproduce every construct the apps use
+        for src in [
+            include_str!("../../apps/specs/e1_shop.wave"),
+            include_str!("../../apps/specs/e2_motogp.wave"),
+            include_str!("../../apps/specs/e3_airline.wave"),
+            include_str!("../../apps/specs/e4_books.wave"),
+        ] {
+            assert_round_trips(src);
+        }
+    }
+
+    #[test]
+    fn printing_is_idempotent() {
+        let src = include_str!("../../apps/specs/e2_motogp.wave");
+        let spec = parse_spec(src).unwrap();
+        let once = print_spec(&spec);
+        let twice = print_spec(&parse_spec(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,618 @@
+//! The web application specification model (Section 2.1 of the paper).
+//!
+//! A [`Spec`] declares a database schema, a state schema, action relations,
+//! an input schema (option-list relations and text-input constants), and a
+//! set of [`PageSchema`]s — one of which is the home page. Each page carries
+//! its input option rules, state insert/delete rules, action rules and
+//! target rules, all with FO bodies.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use wave_fol::{free_vars, Formula};
+
+/// Declaration of an input: either an option-list relation (the user picks
+/// at most one tuple among the options each step) or a text-input constant
+/// (modeled as an arity-1 relation holding at most one value).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InputDecl {
+    pub name: String,
+    pub arity: usize,
+    /// True for text-input constants (arity is forced to 1).
+    pub constant: bool,
+}
+
+/// `Options_R(x̄) ← φ` — the options generated for input relation `input`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptionRule {
+    pub input: String,
+    pub head: Vec<String>,
+    pub body: Formula,
+}
+
+/// `S(x̄) ← φ` (insert) or `¬S(x̄) ← φ` (delete).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateRule {
+    pub state: String,
+    pub insert: bool,
+    pub head: Vec<String>,
+    pub body: Formula,
+}
+
+/// `A(x̄) ← φ` — action tuples emitted this step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActionRule {
+    pub action: String,
+    pub head: Vec<String>,
+    pub body: Formula,
+}
+
+/// `V ← φ` — transition to page `target` when `φ` holds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TargetRule {
+    pub target: String,
+    pub condition: Formula,
+}
+
+/// One web page schema.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PageSchema {
+    pub name: String,
+    /// Names of the inputs (relations and constants) available on the page.
+    pub inputs: Vec<String>,
+    pub option_rules: Vec<OptionRule>,
+    pub state_rules: Vec<StateRule>,
+    pub action_rules: Vec<ActionRule>,
+    pub target_rules: Vec<TargetRule>,
+}
+
+/// A full web application specification.
+#[derive(Clone, Debug, Default)]
+pub struct Spec {
+    pub name: String,
+    /// Database relations (name, arity) — fixed during a run.
+    pub database: Vec<(String, usize)>,
+    /// State relations (name, arity) — updated each step.
+    pub states: Vec<(String, usize)>,
+    /// Action relations (name, arity) — recomputed each step.
+    pub actions: Vec<(String, usize)>,
+    /// Input schema shared by all pages.
+    pub inputs: Vec<InputDecl>,
+    pub pages: Vec<PageSchema>,
+    /// Name of the home page.
+    pub home: String,
+}
+
+/// A structural error in a specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    DuplicateRelation(String),
+    DuplicatePage(String),
+    MissingHomePage(String),
+    UnknownTarget { page: String, target: String },
+    UnknownRelation { page: String, rel: String },
+    UnknownInput { page: String, input: String },
+    ArityMismatch { page: String, rel: String, expected: usize, got: usize },
+    /// Rule head variable missing from the body's free variables.
+    UnboundHeadVar { page: String, rel: String, var: String },
+    /// Body has free variables beyond the rule head.
+    StrayFreeVar { page: String, rel: String, var: String },
+    /// Option rule declared for something that is not an input relation of
+    /// the page.
+    OptionForNonInput { page: String, input: String },
+    /// Input constants take their value from the user, not from a rule.
+    OptionForConstant { page: String, input: String },
+    /// A state/action rule head must be a state/action relation.
+    WrongRuleKind { page: String, rel: String, expected: &'static str },
+    /// Target condition has free variables.
+    OpenTargetCondition { page: String, target: String, var: String },
+    /// `prev` used on a non-input relation.
+    PrevOnNonInput { page: String, rel: String },
+    /// Unknown page referenced by a `@page` test.
+    UnknownPageRef { page: String, reference: String },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::DuplicateRelation(n) => write!(f, "relation {n:?} declared twice"),
+            SpecError::DuplicatePage(n) => write!(f, "page {n:?} declared twice"),
+            SpecError::MissingHomePage(n) => write!(f, "home page {n:?} is not declared"),
+            SpecError::UnknownTarget { page, target } => {
+                write!(f, "page {page}: target rule references unknown page {target:?}")
+            }
+            SpecError::UnknownRelation { page, rel } => {
+                write!(f, "page {page}: unknown relation {rel:?}")
+            }
+            SpecError::UnknownInput { page, input } => {
+                write!(f, "page {page}: unknown input {input:?}")
+            }
+            SpecError::ArityMismatch { page, rel, expected, got } => {
+                write!(f, "page {page}: {rel} used with arity {got}, declared {expected}")
+            }
+            SpecError::UnboundHeadVar { page, rel, var } => {
+                write!(f, "page {page}: rule for {rel} has head variable {var} not bound by the body")
+            }
+            SpecError::StrayFreeVar { page, rel, var } => {
+                write!(f, "page {page}: rule for {rel} has stray free variable {var}")
+            }
+            SpecError::OptionForNonInput { page, input } => {
+                write!(f, "page {page}: option rule for {input:?}, which is not an input relation of the page")
+            }
+            SpecError::OptionForConstant { page, input } => {
+                write!(f, "page {page}: option rule for input constant {input:?}")
+            }
+            SpecError::WrongRuleKind { page, rel, expected } => {
+                write!(f, "page {page}: {rel:?} is not {expected}")
+            }
+            SpecError::OpenTargetCondition { page, target, var } => {
+                write!(f, "page {page}: target condition for {target} has free variable {var}")
+            }
+            SpecError::PrevOnNonInput { page, rel } => {
+                write!(f, "page {page}: `prev` applied to non-input relation {rel}")
+            }
+            SpecError::UnknownPageRef { page, reference } => {
+                write!(f, "page {page}: @-reference to unknown page {reference:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl Spec {
+    /// Look up a page schema by name.
+    pub fn page(&self, name: &str) -> Option<&PageSchema> {
+        self.pages.iter().find(|p| p.name == name)
+    }
+
+    /// Look up an input declaration by name.
+    pub fn input(&self, name: &str) -> Option<&InputDecl> {
+        self.inputs.iter().find(|i| i.name == name)
+    }
+
+    /// Arity of any declared relation (db/state/action/input).
+    pub fn arity_of(&self, name: &str) -> Option<usize> {
+        self.database
+            .iter()
+            .chain(self.states.iter())
+            .chain(self.actions.iter())
+            .find(|(n, _)| n == name)
+            .map(|&(_, a)| a)
+            .or_else(|| self.input(name).map(|i| i.arity))
+    }
+
+    /// All constants mentioned anywhere in the specification, in
+    /// deterministic first-occurrence order (this is the paper's `C_W`).
+    pub fn all_constants(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut add = |f: &Formula| {
+            for c in wave_fol::constants(f) {
+                if seen.insert(c.clone()) {
+                    out.push(c);
+                }
+            }
+        };
+        for p in &self.pages {
+            for r in &p.option_rules {
+                add(&r.body);
+            }
+            for r in &p.state_rules {
+                add(&r.body);
+            }
+            for r in &p.action_rules {
+                add(&r.body);
+            }
+            for r in &p.target_rules {
+                add(&r.condition);
+            }
+        }
+        out
+    }
+
+    /// Validate structure: name uniqueness, arity agreement, rule shapes,
+    /// head/body variable agreement, targets exist. Returns all errors.
+    pub fn validate(&self) -> Result<(), Vec<SpecError>> {
+        let mut errs = Vec::new();
+        let mut names: HashMap<&str, usize> = HashMap::new();
+        let mut kinds: HashMap<&str, &'static str> = HashMap::new();
+        for (n, a) in &self.database {
+            if names.insert(n, *a).is_some() {
+                errs.push(SpecError::DuplicateRelation(n.clone()));
+            }
+            kinds.insert(n, "database");
+        }
+        for (n, a) in &self.states {
+            if names.insert(n, *a).is_some() {
+                errs.push(SpecError::DuplicateRelation(n.clone()));
+            }
+            kinds.insert(n, "state");
+        }
+        for (n, a) in &self.actions {
+            if names.insert(n, *a).is_some() {
+                errs.push(SpecError::DuplicateRelation(n.clone()));
+            }
+            kinds.insert(n, "action");
+        }
+        for i in &self.inputs {
+            if names.insert(&i.name, i.arity).is_some() {
+                errs.push(SpecError::DuplicateRelation(i.name.clone()));
+            }
+            kinds.insert(&i.name, "input");
+        }
+        let mut page_names = HashSet::new();
+        for p in &self.pages {
+            if !page_names.insert(p.name.as_str()) {
+                errs.push(SpecError::DuplicatePage(p.name.clone()));
+            }
+        }
+        if !page_names.contains(self.home.as_str()) {
+            errs.push(SpecError::MissingHomePage(self.home.clone()));
+        }
+
+        for p in &self.pages {
+            for inp in &p.inputs {
+                if self.input(inp).is_none() {
+                    errs.push(SpecError::UnknownInput {
+                        page: p.name.clone(),
+                        input: inp.clone(),
+                    });
+                }
+            }
+            for r in &p.option_rules {
+                match self.input(&r.input) {
+                    None => errs.push(SpecError::OptionForNonInput {
+                        page: p.name.clone(),
+                        input: r.input.clone(),
+                    }),
+                    Some(decl) if decl.constant => errs.push(SpecError::OptionForConstant {
+                        page: p.name.clone(),
+                        input: r.input.clone(),
+                    }),
+                    Some(decl) => {
+                        if decl.arity != r.head.len() {
+                            errs.push(SpecError::ArityMismatch {
+                                page: p.name.clone(),
+                                rel: r.input.clone(),
+                                expected: decl.arity,
+                                got: r.head.len(),
+                            });
+                        }
+                        if !p.inputs.contains(&r.input) {
+                            errs.push(SpecError::OptionForNonInput {
+                                page: p.name.clone(),
+                                input: r.input.clone(),
+                            });
+                        }
+                    }
+                }
+                self.check_rule_vars(p, &r.input, &r.head, &r.body, &mut errs);
+                self.check_formula(p, &r.body, &names, &kinds, &page_names, &mut errs);
+            }
+            for r in &p.state_rules {
+                if kinds.get(r.state.as_str()) != Some(&"state") {
+                    errs.push(SpecError::WrongRuleKind {
+                        page: p.name.clone(),
+                        rel: r.state.clone(),
+                        expected: "a state relation",
+                    });
+                } else if names[r.state.as_str()] != r.head.len() {
+                    errs.push(SpecError::ArityMismatch {
+                        page: p.name.clone(),
+                        rel: r.state.clone(),
+                        expected: names[r.state.as_str()],
+                        got: r.head.len(),
+                    });
+                }
+                self.check_rule_vars(p, &r.state, &r.head, &r.body, &mut errs);
+                self.check_formula(p, &r.body, &names, &kinds, &page_names, &mut errs);
+            }
+            for r in &p.action_rules {
+                if kinds.get(r.action.as_str()) != Some(&"action") {
+                    errs.push(SpecError::WrongRuleKind {
+                        page: p.name.clone(),
+                        rel: r.action.clone(),
+                        expected: "an action relation",
+                    });
+                } else if names[r.action.as_str()] != r.head.len() {
+                    errs.push(SpecError::ArityMismatch {
+                        page: p.name.clone(),
+                        rel: r.action.clone(),
+                        expected: names[r.action.as_str()],
+                        got: r.head.len(),
+                    });
+                }
+                self.check_rule_vars(p, &r.action, &r.head, &r.body, &mut errs);
+                self.check_formula(p, &r.body, &names, &kinds, &page_names, &mut errs);
+            }
+            for r in &p.target_rules {
+                if !page_names.contains(r.target.as_str()) {
+                    errs.push(SpecError::UnknownTarget {
+                        page: p.name.clone(),
+                        target: r.target.clone(),
+                    });
+                }
+                if let Some(v) = free_vars(&r.condition).first() {
+                    errs.push(SpecError::OpenTargetCondition {
+                        page: p.name.clone(),
+                        target: r.target.clone(),
+                        var: v.clone(),
+                    });
+                }
+                self.check_formula(p, &r.condition, &names, &kinds, &page_names, &mut errs);
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    fn check_rule_vars(
+        &self,
+        page: &PageSchema,
+        rel: &str,
+        head: &[String],
+        body: &Formula,
+        errs: &mut Vec<SpecError>,
+    ) {
+        let fv = free_vars(body);
+        for v in head {
+            if !fv.contains(v) {
+                errs.push(SpecError::UnboundHeadVar {
+                    page: page.name.clone(),
+                    rel: rel.to_owned(),
+                    var: v.clone(),
+                });
+            }
+        }
+        for v in &fv {
+            if !head.contains(v) {
+                errs.push(SpecError::StrayFreeVar {
+                    page: page.name.clone(),
+                    rel: rel.to_owned(),
+                    var: v.clone(),
+                });
+            }
+        }
+    }
+
+    fn check_formula(
+        &self,
+        page: &PageSchema,
+        body: &Formula,
+        names: &HashMap<&str, usize>,
+        kinds: &HashMap<&str, &'static str>,
+        page_names: &HashSet<&str>,
+        errs: &mut Vec<SpecError>,
+    ) {
+        body.visit_atoms(&mut |a| {
+            match names.get(a.rel.as_str()) {
+                None => errs.push(SpecError::UnknownRelation {
+                    page: page.name.clone(),
+                    rel: a.rel.clone(),
+                }),
+                Some(&arity) => {
+                    if arity != a.terms.len() {
+                        errs.push(SpecError::ArityMismatch {
+                            page: page.name.clone(),
+                            rel: a.rel.clone(),
+                            expected: arity,
+                            got: a.terms.len(),
+                        });
+                    }
+                    if a.prev && kinds.get(a.rel.as_str()) != Some(&"input") {
+                        errs.push(SpecError::PrevOnNonInput {
+                            page: page.name.clone(),
+                            rel: a.rel.clone(),
+                        });
+                    }
+                }
+            }
+        });
+        check_page_refs(body, page, page_names, errs);
+    }
+}
+
+fn check_page_refs(
+    f: &Formula,
+    page: &PageSchema,
+    page_names: &HashSet<&str>,
+    errs: &mut Vec<SpecError>,
+) {
+    match f {
+        Formula::Page(p)
+            if !page_names.contains(p.as_str()) => {
+                errs.push(SpecError::UnknownPageRef {
+                    page: page.name.clone(),
+                    reference: p.clone(),
+                });
+            }
+        Formula::Not(x) => check_page_refs(x, page, page_names, errs),
+        Formula::And(xs) | Formula::Or(xs) => {
+            for x in xs {
+                check_page_refs(x, page, page_names, errs);
+            }
+        }
+        Formula::Implies(a, b) => {
+            check_page_refs(a, page, page_names, errs);
+            check_page_refs(b, page, page_names, errs);
+        }
+        Formula::Exists(_, x) | Formula::Forall(_, x) => {
+            check_page_refs(x, page, page_names, errs)
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_fol::parse_formula;
+
+    /// A miniature two-page login application, used across the test suite.
+    pub fn tiny_spec() -> Spec {
+        Spec {
+            name: "tiny".into(),
+            database: vec![("user".into(), 2)],
+            states: vec![("logged".into(), 1)],
+            actions: vec![("greet".into(), 1)],
+            inputs: vec![
+                InputDecl { name: "button".into(), arity: 1, constant: false },
+                InputDecl { name: "uname".into(), arity: 1, constant: true },
+                InputDecl { name: "pass".into(), arity: 1, constant: true },
+            ],
+            pages: vec![
+                PageSchema {
+                    name: "HP".into(),
+                    inputs: vec!["button".into(), "uname".into(), "pass".into()],
+                    option_rules: vec![OptionRule {
+                        input: "button".into(),
+                        head: vec!["x".into()],
+                        body: parse_formula(r#"x = "login""#).unwrap(),
+                    }],
+                    state_rules: vec![StateRule {
+                        state: "logged".into(),
+                        insert: true,
+                        head: vec!["u".into()],
+                        body: parse_formula(
+                            r#"exists p: pass(p) & uname(u) & user(u, p) & button("login")"#,
+                        )
+                        .unwrap(),
+                    }],
+                    action_rules: vec![],
+                    target_rules: vec![TargetRule {
+                        target: "CP".into(),
+                        condition: parse_formula(
+                            r#"exists u: uname(u) & exists p: pass(p) & user(u, p)"#,
+                        )
+                        .unwrap(),
+                    }],
+                },
+                PageSchema {
+                    name: "CP".into(),
+                    inputs: vec!["button".into()],
+                    option_rules: vec![OptionRule {
+                        input: "button".into(),
+                        head: vec!["x".into()],
+                        body: parse_formula(r#"x = "logout""#).unwrap(),
+                    }],
+                    state_rules: vec![],
+                    action_rules: vec![ActionRule {
+                        action: "greet".into(),
+                        head: vec!["u".into()],
+                        body: parse_formula(r#"logged(u) & exists b: button(b)"#).unwrap(),
+                    }],
+                    target_rules: vec![TargetRule {
+                        target: "HP".into(),
+                        condition: parse_formula(r#"button("logout")"#).unwrap(),
+                    }],
+                },
+            ],
+            home: "HP".into(),
+        }
+    }
+
+    #[test]
+    fn tiny_spec_validates() {
+        let errs = tiny_spec().validate();
+        assert!(errs.is_ok(), "{errs:?}");
+    }
+
+    #[test]
+    fn all_constants_collected_in_order() {
+        assert_eq!(tiny_spec().all_constants(), vec!["login", "logout"]);
+    }
+
+    #[test]
+    fn missing_home_page_detected() {
+        let mut s = tiny_spec();
+        s.home = "NOPE".into();
+        let errs = s.validate().unwrap_err();
+        assert!(errs.contains(&SpecError::MissingHomePage("NOPE".into())));
+    }
+
+    #[test]
+    fn unknown_target_detected() {
+        let mut s = tiny_spec();
+        s.pages[0].target_rules.push(TargetRule {
+            target: "GHOST".into(),
+            condition: Formula::True,
+        });
+        let errs = s.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::UnknownTarget { target, .. } if target == "GHOST")));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut s = tiny_spec();
+        s.pages[0].state_rules[0].body =
+            parse_formula(r#"user(u) & uname(u)"#).unwrap();
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, SpecError::ArityMismatch { rel, .. } if rel == "user")));
+    }
+
+    #[test]
+    fn unbound_head_var_detected() {
+        let mut s = tiny_spec();
+        s.pages[0].state_rules[0].head = vec!["zz".into()];
+        let errs = s.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::UnboundHeadVar { var, .. } if var == "zz")));
+    }
+
+    #[test]
+    fn open_target_condition_detected() {
+        let mut s = tiny_spec();
+        s.pages[0].target_rules[0].condition = parse_formula("user(x, y)").unwrap();
+        let errs = s.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::OpenTargetCondition { .. })));
+    }
+
+    #[test]
+    fn option_rule_for_constant_rejected() {
+        let mut s = tiny_spec();
+        s.pages[0].option_rules.push(OptionRule {
+            input: "uname".into(),
+            head: vec!["x".into()],
+            body: parse_formula(r#"x = "a""#).unwrap(),
+        });
+        let errs = s.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::OptionForConstant { .. })));
+    }
+
+    #[test]
+    fn prev_on_non_input_rejected() {
+        let mut s = tiny_spec();
+        s.pages[0].target_rules[0].condition =
+            parse_formula(r#"prev user("a", "b")"#).unwrap();
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, SpecError::PrevOnNonInput { .. })));
+    }
+
+    #[test]
+    fn unknown_page_ref_rejected() {
+        let mut s = tiny_spec();
+        s.pages[0].target_rules[0].condition = parse_formula("@GHOST").unwrap();
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, SpecError::UnknownPageRef { .. })));
+    }
+
+    #[test]
+    fn arity_of_covers_all_kinds() {
+        let s = tiny_spec();
+        assert_eq!(s.arity_of("user"), Some(2));
+        assert_eq!(s.arity_of("logged"), Some(1));
+        assert_eq!(s.arity_of("greet"), Some(1));
+        assert_eq!(s.arity_of("button"), Some(1));
+        assert_eq!(s.arity_of("ghost"), None);
+    }
+}

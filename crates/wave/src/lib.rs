@@ -1,0 +1,54 @@
+//! # wave — a verifier for interactive, data-driven web applications
+//!
+//! A from-scratch Rust implementation of the system described in
+//! "A Verifier for Interactive, Data-driven Web Applications" (SIGMOD
+//! 2005): sound and complete verification of LTL-FO temporal properties
+//! for input-bounded, database-driven web application specifications,
+//! via a nested depth-first search over pseudoruns with dataflow-based
+//! core/extension pruning.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`spec`] — specification model, DSL parser, dataflow analysis,
+//! * [`fol`] — first-order formulas, input-boundedness, evaluation,
+//! * [`ltl`] — LTL-FO properties, GPVW Büchi construction,
+//! * [`core`] — the verifier itself ([`Verifier`]),
+//! * [`naive`] — the explicit-state baseline (the paper's "first cut"),
+//! * [`apps`] — the four benchmark applications E1–E4,
+//! * [`relalg`] — the in-memory relational engine substrate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wave::{parse_spec, Verifier};
+//!
+//! let spec = parse_spec(r#"
+//!     spec hello {
+//!       inputs { button(x); }
+//!       home A;
+//!       page A {
+//!         inputs { button }
+//!         options button(x) <- x = "go";
+//!         target B <- button("go");
+//!       }
+//!       page B { target A <- true; }
+//!     }
+//! "#).unwrap();
+//! let verifier = Verifier::new(spec).unwrap();
+//! assert!(verifier.check_str("G (@B -> X @A)").unwrap().verdict.holds());
+//! ```
+
+pub use wave_apps as apps;
+pub use wave_core as core;
+pub use wave_fol as fol;
+pub use wave_ltl as ltl;
+pub use wave_naive as naive;
+pub use wave_relalg as relalg;
+pub use wave_spec as spec;
+
+pub use wave_core::{
+    CounterExample, Stats, Verdict, Verification, Verifier, VerifyError, VerifyOptions,
+};
+pub use wave_ltl::{parse_property, Property};
+pub use wave_naive::{NaiveOptions, NaiveVerdict, NaiveVerifier};
+pub use wave_spec::{parse_spec, Spec};

@@ -1,0 +1,317 @@
+//! `wave` — command-line verifier for interactive, data-driven web
+//! applications.
+//!
+//! ```text
+//! wave check <spec.wave> --property "<LTL-FO>" [options]
+//!     verify one property; prints the verdict, statistics, and (for
+//!     violations) the counterexample pseudorun
+//!
+//! wave validate <spec.wave>
+//!     parse + validate the specification, report the input-boundedness
+//!     verdict and the page/relation inventory
+//!
+//! wave automaton --property "<LTL-FO>"
+//!     print the Büchi automaton for the negated property
+//!
+//! options for `check`:
+//!     --property <text>        the LTL-FO property (required)
+//!     --max-steps <n>          configuration budget
+//!     --time-limit <seconds>   wall-clock budget
+//!     --no-heuristic1          disable core pruning
+//!     --no-heuristic2          disable extension pruning
+//!     --paper-strict           strict Heuristic 2 (no option witnesses)
+//!     --exhaustive-equality    all C_∃ equality patterns
+//!     --interpret              direct FO evaluation (no compiled plans)
+//!     --no-replay              skip counterexample re-validation
+//!     --quiet                  verdict only
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+use wave::core::{ExtensionPruning, ParamMode};
+use wave::{parse_property, parse_spec, Verdict, Verifier, VerifyOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("automaton") => cmd_automaton(&args[1..]),
+        Some("fmt") => cmd_fmt(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{}", USAGE);
+            ExitCode::from(2)
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n");
+            eprint!("{}", USAGE);
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+wave — a verifier for interactive, data-driven web applications
+
+usage:
+  wave check <spec.wave> --property \"<LTL-FO>\" [options]
+  wave validate <spec.wave>
+  wave automaton --property \"<LTL-FO>\"
+  wave fmt <spec.wave>
+
+check options:
+  --max-steps <n>         configuration budget
+  --time-limit <seconds>  wall-clock budget
+  --no-heuristic1         disable core pruning (Heuristic 1)
+  --no-heuristic2         disable extension pruning (Heuristic 2)
+  --paper-strict          strict Heuristic 2 (no option-support witnesses)
+  --exhaustive-equality   enumerate all C_∃ equality patterns
+  --interpret             evaluate rules directly (no compiled plans)
+  --no-replay             skip counterexample re-validation
+  --quiet                 print the verdict only
+
+exit codes: 0 property holds · 1 property violated · 2 usage/spec error
+            3 budget exhausted
+";
+
+/// Pull `--flag value` out of an argument list.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+/// Pull a boolean `--flag` out of an argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn load_spec(path: &str) -> Result<wave::Spec, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let spec = parse_spec(&src).map_err(|e| format!("{path}: {e}"))?;
+    if let Err(errs) = spec.validate() {
+        let mut msg = format!("{path}: specification is invalid:\n");
+        for e in errs {
+            msg.push_str(&format!("  - {e}\n"));
+        }
+        return Err(msg);
+    }
+    Ok(spec)
+}
+
+fn cmd_check(rest: &[String]) -> ExitCode {
+    let mut args = rest.to_vec();
+    let property_text = match take_value(&mut args, "--property") {
+        Some(p) => p,
+        None => {
+            eprintln!("check needs --property \"<LTL-FO>\"");
+            return ExitCode::from(2);
+        }
+    };
+    let mut options = VerifyOptions::default();
+    if let Some(n) = take_value(&mut args, "--max-steps") {
+        options.max_steps = n.parse().ok();
+    }
+    if let Some(secs) = take_value(&mut args, "--time-limit") {
+        options.time_limit = secs.parse().ok().map(Duration::from_secs_f64);
+    }
+    if take_flag(&mut args, "--no-heuristic1") {
+        options.heuristic1 = false;
+    }
+    if take_flag(&mut args, "--no-heuristic2") {
+        options.heuristic2 = false;
+    }
+    if take_flag(&mut args, "--paper-strict") {
+        options.pruning = ExtensionPruning::PaperStrict;
+    }
+    if take_flag(&mut args, "--exhaustive-equality") {
+        options.param_mode = ParamMode::ExhaustiveEquality;
+    }
+    if take_flag(&mut args, "--interpret") {
+        options.use_plans = false;
+    }
+    let no_replay = take_flag(&mut args, "--no-replay");
+    let quiet = take_flag(&mut args, "--quiet");
+    let [path] = args.as_slice() else {
+        eprintln!("check needs exactly one spec file, got {args:?}");
+        return ExitCode::from(2);
+    };
+
+    let spec = match load_spec(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let property = match parse_property(&property_text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("property: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let verifier = match Verifier::with_options(spec, options) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let v = match verifier.check(&property) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("verification failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match &v.verdict {
+        Verdict::Holds => {
+            if quiet {
+                println!("holds");
+            } else {
+                println!(
+                    "property HOLDS{} — {:?}, max run length {}, trie size {}, \
+                     {} configurations",
+                    if v.complete { " (complete verification)" } else { " (no counterexample found; incomplete fragment)" },
+                    v.stats.elapsed,
+                    v.stats.max_run_len,
+                    v.stats.max_trie,
+                    v.stats.configs,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Verdict::Violated(ce) => {
+            if !no_replay {
+                if let Err(e) = verifier.validate_counterexample(&property, ce) {
+                    eprintln!("internal error: counterexample failed replay: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            if quiet {
+                println!("violated");
+            } else {
+                println!(
+                    "property VIOLATED — counterexample with {} steps \
+                     (cycle from step {}), found in {:?}:",
+                    ce.steps.len(),
+                    ce.cycle_start,
+                    v.stats.elapsed,
+                );
+                print!("{}", verifier.render_counterexample(ce));
+            }
+            ExitCode::from(1)
+        }
+        Verdict::Unknown(b) => {
+            println!("UNKNOWN — budget exhausted ({b:?})");
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn cmd_validate(rest: &[String]) -> ExitCode {
+    let [path] = rest else {
+        eprintln!("validate needs exactly one spec file");
+        return ExitCode::from(2);
+    };
+    let spec = match load_spec(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let compiled = match wave::spec::CompiledSpec::compile(spec) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let s = &compiled.spec;
+    println!("specification {:?} is valid", s.name);
+    println!(
+        "  {} pages (home: {}), {} database / {} state / {} action relations, \
+         {} inputs, {} constants",
+        s.pages.len(),
+        s.home,
+        s.database.len(),
+        s.states.len(),
+        s.actions.len(),
+        s.inputs.len(),
+        s.all_constants().len(),
+    );
+    let (plans, interp) = compiled.plan_coverage();
+    println!("  {plans} rules compiled to parameterized plans, {interp} interpreted");
+    if compiled.is_input_bounded() {
+        println!("  input-bounded: complete verification available");
+    } else {
+        println!("  NOT input-bounded — wave will run as a sound incomplete verifier:");
+        for r in &compiled.ib_report {
+            match r {
+                wave::spec::IbReport::Rule { page, rel, violation } => {
+                    println!("    - page {page}, rule for {rel}: {violation}")
+                }
+                wave::spec::IbReport::OptionRule { page, input, violation } => {
+                    println!("    - page {page}, options for {input}: {violation}")
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_fmt(rest: &[String]) -> ExitCode {
+    let [path] = rest else {
+        eprintln!("fmt needs exactly one spec file");
+        return ExitCode::from(2);
+    };
+    match load_spec(path) {
+        Ok(spec) => {
+            print!("{}", wave::spec::print_spec(&spec));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_automaton(rest: &[String]) -> ExitCode {
+    let mut args = rest.to_vec();
+    let Some(text) = take_value(&mut args, "--property") else {
+        eprintln!("automaton needs --property \"<LTL-FO>\"");
+        return ExitCode::from(2);
+    };
+    let property = match parse_property(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("property: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let extraction = wave::ltl::extract(&property.body.group_fo());
+    println!("FO components:");
+    for (i, f) in extraction.components.iter().enumerate() {
+        println!("  P{i} := {f}");
+    }
+    let negated = wave::ltl::nnf(&extraction.aux, true);
+    let buchi = wave::ltl::Buchi::from_nnf(&negated, extraction.components.len());
+    println!("Buchi automaton for the NEGATED property (what the NDFS hunts):");
+    print!("{buchi}");
+    ExitCode::SUCCESS
+}

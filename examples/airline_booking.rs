@@ -1,0 +1,28 @@
+//! Verify booking-flow properties of the E3 airline-reservation
+//! application: a flight can only be booked after it was selected, and
+//! payment implies a matching flight pick — data-aware checks beyond
+//! propositional abstraction.
+//!
+//! Run with `cargo run --release -p wave --example airline_booking`.
+
+use wave::apps::e3;
+use wave::Verifier;
+
+fn main() {
+    let suite = e3::suite();
+    let verifier = Verifier::new(suite.spec.clone()).expect("E3 compiles");
+
+    for name in ["R2", "R8", "R9"] {
+        let case = suite.properties.iter().find(|p| p.name == name).unwrap();
+        println!("{name} ({}): {}", case.ptype.name(), case.comment);
+        let v = verifier.check_str(&case.text).expect("verification runs");
+        println!(
+            "  => holds: {} (expected {}), {:?}, trie {}\n",
+            v.verdict.holds(),
+            case.holds,
+            v.stats.elapsed,
+            v.stats.max_trie
+        );
+        assert_eq!(v.verdict.holds(), case.holds, "verdict must match the suite");
+    }
+}

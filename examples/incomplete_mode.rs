@@ -1,0 +1,51 @@
+//! Incomplete-mode verification: when a specification or property falls
+//! outside the input-bounded fragment, wave still runs — soundly but
+//! without the completeness guarantee — exactly as the paper describes
+//! for software-verification practice. Budgets turn it into a bounded
+//! checker.
+//!
+//! Run with `cargo run --release -p wave --example incomplete_mode`.
+
+use std::time::Duration;
+use wave::{parse_spec, Verdict, Verifier, VerifyOptions};
+
+fn main() {
+    // the target condition quantifies over a *database* relation — not
+    // input-bounded (the verifier reports it and drops the completeness
+    // claim)
+    let spec = parse_spec(
+        r#"
+        spec outside_fragment {
+          database { stock(item); }
+          state { seen(item); }
+          inputs { pick(x); }
+          home P;
+          page P {
+            inputs { pick }
+            options pick(x) <- stock(x);
+            insert seen(x) <- pick(x);
+            target Q <- forall i: seen(i) -> stock(i);
+          }
+          page Q { target P <- true; }
+        }
+    "#,
+    )
+    .expect("parses");
+
+    let mut options = VerifyOptions::default();
+    options.max_steps = Some(50_000);
+    options.time_limit = Some(Duration::from_secs(10));
+    let verifier = Verifier::with_options(spec, options).expect("compiles");
+
+    let v = verifier.check_str("G (@Q -> X @P)").expect("runs");
+    println!("complete verification available: {}", v.complete);
+    match &v.verdict {
+        Verdict::Holds => println!(
+            "no counterexample found within the budget \
+             (sound 'holds', not a completeness proof)"
+        ),
+        Verdict::Violated(_) => println!("counterexample found — conclusive either way"),
+        Verdict::Unknown(b) => println!("budget exhausted first: {b:?}"),
+    }
+    assert!(!v.complete, "the spec is outside the input-bounded fragment");
+}

@@ -1,0 +1,65 @@
+//! Quickstart: specify a two-page web application inline, verify three
+//! temporal properties, and print a counterexample for one that fails.
+//!
+//! Run with `cargo run --release -p wave --example quickstart`.
+
+use wave::{parse_spec, Verdict, Verifier};
+
+fn main() {
+    // A miniature site: the home page lets a user log in (checked against
+    // the `user` database table); the account page lets them log out.
+    let spec = parse_spec(
+        r#"
+        spec quickstart {
+          database { user(name, passwd); }
+          state { loggedin(); }
+          inputs { button(x); constant uname; constant passwd; }
+          home HP;
+
+          page HP {
+            inputs { button, uname, passwd }
+            options button(x) <- x = "login";
+            insert loggedin() <-
+                (exists u: uname(u) & (exists p: passwd(p) & user(u, p)))
+                & button("login");
+            target ACC <- (exists u: uname(u) & (exists p: passwd(p) & user(u, p)))
+                          & button("login");
+          }
+
+          page ACC {
+            inputs { button }
+            options button(x) <- x = "logout";
+            delete loggedin() <- loggedin() & button("logout");
+            target HP <- button("logout");
+          }
+        }
+    "#,
+    )
+    .expect("spec parses and validates");
+
+    let verifier = Verifier::new(spec).expect("spec compiles");
+
+    // 1. a soundness property that holds: the account page implies login
+    let v = verifier
+        .check_str("G (@ACC -> loggedin())")
+        .expect("verification runs");
+    println!("G (@ACC -> loggedin())        => holds: {}", v.verdict.holds());
+    assert!(v.verdict.holds());
+    assert!(v.complete, "spec and property are input-bounded: verdict is conclusive");
+
+    // 2. a liveness property that fails: not every run logs in
+    let v = verifier.check_str("F @ACC").expect("verification runs");
+    println!("F @ACC                        => holds: {}", v.verdict.holds());
+
+    // 3. print the counterexample pseudorun the verifier found
+    if let Verdict::Violated(ce) = &v.verdict {
+        println!("\ncounterexample (a run that never logs in):");
+        print!("{}", verifier.render_counterexample(ce));
+    }
+
+    // 4. statistics, as the paper's experiments report them
+    println!(
+        "\nstats: {:?} elapsed, max run length {}, max trie size {}",
+        v.stats.elapsed, v.stats.max_run_len, v.stats.max_trie
+    );
+}

@@ -1,0 +1,120 @@
+//! End-to-end CLI test: drives the `wave` binary as a user would —
+//! validating specs, checking properties, reading exit codes and output.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn wave_bin() -> PathBuf {
+    // integration tests live next to the binary under target/<profile>/
+    let mut p = std::env::current_exe().expect("test binary path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push(format!("wave{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn spec_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../apps/specs").join(name)
+}
+
+#[test]
+fn validate_reports_inventory_and_input_boundedness() {
+    let out = Command::new(wave_bin())
+        .args(["validate", spec_path("e2_motogp.wave").to_str().unwrap()])
+        .output()
+        .expect("wave runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("15 pages"), "{text}");
+    assert!(text.contains("input-bounded: complete verification available"), "{text}");
+}
+
+#[test]
+fn check_holds_exits_zero() {
+    let out = Command::new(wave_bin())
+        .args([
+            "check",
+            spec_path("e2_motogp.wave").to_str().unwrap(),
+            "--property",
+            "F @HP",
+        ])
+        .output()
+        .expect("wave runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("HOLDS"));
+}
+
+#[test]
+fn check_violated_exits_one_with_counterexample() {
+    let out = Command::new(wave_bin())
+        .args([
+            "check",
+            spec_path("e2_motogp.wave").to_str().unwrap(),
+            "--property",
+            "F @GDP",
+        ])
+        .output()
+        .expect("wave runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("VIOLATED"), "{text}");
+    assert!(text.contains("cycle repeats"), "{text}");
+}
+
+#[test]
+fn budget_exhaustion_exits_three() {
+    let out = Command::new(wave_bin())
+        .args([
+            "check",
+            spec_path("e1_shop.wave").to_str().unwrap(),
+            "--property",
+            "G (@HP -> X (@HP | @CP | @EP | @RP | @HLP | @ABP))",
+            "--max-steps",
+            "10",
+        ])
+        .output()
+        .expect("wave runs");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    for args in [
+        vec!["check", "/nonexistent.wave", "--property", "F @HP"],
+        vec!["check"],
+        vec!["frobnicate"],
+    ] {
+        let out = Command::new(wave_bin()).args(&args).output().expect("runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+    }
+}
+
+#[test]
+fn automaton_prints_components_and_states() {
+    let out = Command::new(wave_bin())
+        .args(["automaton", "--property", "p() U q()"])
+        .output()
+        .expect("wave runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("P0 := p()"), "{text}");
+    assert!(text.contains("Buchi automaton"), "{text}");
+}
+
+#[test]
+fn fmt_output_reparses() {
+    let out = Command::new(wave_bin())
+        .args(["fmt", spec_path("e2_motogp.wave").to_str().unwrap()])
+        .output()
+        .expect("wave runs");
+    assert!(out.status.success(), "{out:?}");
+    // the printed spec must itself validate
+    let dir = std::env::temp_dir().join(format!("wave-fmt-{}.wave", std::process::id()));
+    std::fs::write(&dir, &out.stdout).unwrap();
+    let out2 = Command::new(wave_bin())
+        .args(["validate", dir.to_str().unwrap()])
+        .output()
+        .expect("wave runs");
+    std::fs::remove_file(&dir).ok();
+    assert!(out2.status.success(), "{out2:?}");
+}

@@ -1,0 +1,154 @@
+//! End-to-end DSL test: parse a specification from text, verify properties
+//! through the public API, inspect the counterexample, and check error
+//! reporting for malformed inputs — the full user journey.
+
+use wave::{parse_spec, Verdict, Verifier};
+
+const SRC: &str = r#"
+    # a tiny order-processing workflow
+    spec orders {
+      database { catalog(item, price); }
+      state { basket(item, price); paidfor(item, price); }
+      action { receipt(item, price); }
+      inputs { choose(item, price); button(x); }
+      home SHOP;
+
+      page SHOP {
+        inputs { choose, button }
+        options button(x) <- x = "add" | x = "pay";
+        options choose(i, p) <- catalog(i, p);
+        insert basket(i, p) <- choose(i, p) & button("add");
+        target PAY <- button("pay");
+      }
+
+      page PAY {
+        inputs { choose, button }
+        options button(x) <- x = "confirm" | x = "back";
+        options choose(i, p) <- catalog(i, p);
+        insert paidfor(i, p) <- choose(i, p) & basket(i, p) & button("confirm");
+        action receipt(i, p) <- choose(i, p) & basket(i, p) & button("confirm");
+        target SHOP <- button("back") | button("confirm");
+      }
+    }
+"#;
+
+#[test]
+fn the_workflow_verifies() {
+    let spec = parse_spec(SRC).expect("parses");
+    assert!(spec.validate().is_ok());
+    let verifier = Verifier::new(spec).expect("compiles");
+
+    // receipts only for basket items, in the catalog price — holds
+    let v = verifier
+        .check_str("forall i, p: G (receipt(i, p) -> basket(i, p))")
+        .expect("runs");
+    assert!(v.verdict.holds(), "{v:?}");
+    assert!(v.complete);
+
+    // payment implies the item was added strictly before (add happens on
+    // SHOP, confirm on PAY — different steps) — holds
+    let v = verifier
+        .check_str("forall i, p: basket(i, p) B paidfor(i, p)")
+        .expect("runs");
+    assert!(v.verdict.holds(), "{v:?}");
+
+    // "every run pays for something" — refuted with a lasso counterexample
+    let v = verifier
+        .check_str("F (exists i, p: choose(i, p))")
+        .expect("runs");
+    let Verdict::Violated(ce) = &v.verdict else {
+        panic!("expected a violation, got {:?}", v.verdict)
+    };
+    assert!(ce.cycle_start < ce.steps.len());
+    let rendered = verifier.render_counterexample(ce);
+    assert!(rendered.contains("page SHOP"), "{rendered}");
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    let err = parse_spec("spec broken { home X }").unwrap_err();
+    assert!(err.pos > 0);
+    assert!(!err.message.is_empty());
+}
+
+#[test]
+fn validation_errors_are_collected() {
+    let spec = parse_spec(
+        r#"
+        spec invalid {
+          inputs { b(x); }
+          home NOPE;
+          page P {
+            inputs { b }
+            options b(x) <- x = "k";
+            target GHOST <- true;
+          }
+        }
+    "#,
+    )
+    .expect("syntactically fine");
+    let errs = spec.validate().unwrap_err();
+    assert!(errs.len() >= 2, "missing home page AND unknown target: {errs:?}");
+}
+
+#[test]
+fn property_parse_errors_are_reported() {
+    let spec = parse_spec(SRC).unwrap();
+    let verifier = Verifier::new(spec).unwrap();
+    assert!(verifier.check_str("G (").is_err());
+}
+
+#[test]
+fn non_input_bounded_spec_still_verifies_incompletely() {
+    let spec = parse_spec(
+        r#"
+        spec outside {
+          database { d(a); }
+          state { s(a); }
+          inputs { pick(x); }
+          home P;
+          page P {
+            inputs { pick }
+            options pick(x) <- d(x);
+            insert s(x) <- pick(x);
+            target Q <- forall v: s(v) -> d(v);
+          }
+          page Q { target P <- true; }
+        }
+    "#,
+    )
+    .unwrap();
+    let verifier = Verifier::new(spec).unwrap();
+    let v = verifier.check_str("G (@Q -> X @P)").expect("runs");
+    assert!(!v.complete, "universal over a database relation is not input-bounded");
+    assert!(v.verdict.holds(), "{v:?}");
+}
+
+#[test]
+fn universe_overflow_is_a_typed_error_not_a_wrong_answer() {
+    // a property whose parameters flood every column of a wide relation:
+    // with Heuristic 1 disabled, the core universe exceeds the enumeration
+    // cap and wave must refuse rather than silently truncate
+    let spec = parse_spec(
+        r#"
+        spec wide {
+          database { w(a, b, c); }
+          inputs { pick(x); }
+          home P;
+          page P {
+            inputs { pick }
+            options pick(x) <- exists b, c: w(x, b, c);
+            target P <- true;
+          }
+        }
+    "#,
+    )
+    .unwrap();
+    let mut verifier = Verifier::new(spec).unwrap();
+    verifier.options_mut().heuristic1 = false;
+    let err = verifier
+        .check_str(r#"forall x, y, z: G !w(x, y, z)"#)
+        .unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("universe"), "{text}");
+}

@@ -1,0 +1,66 @@
+//! Integration test: the complete E1 property suite (the paper's main
+//! results table). Every verdict must match the paper's `(true)`/`(false)`
+//! annotations, and every verification must be *complete* (the spec and
+//! all properties are input-bounded).
+//!
+//! The slowest properties (P4, P5, P7 — large automata or seven-parameter
+//! prefixes) run behind `--ignored` in debug builds; CI runs the suite in
+//! release via `cargo test --release -- --include-ignored`.
+
+use wave::apps::e1;
+use wave::Verifier;
+
+fn check(name: &str) {
+    let suite = e1::suite();
+    let case = suite.properties.iter().find(|p| p.name == name).unwrap();
+    let verifier = Verifier::new(suite.spec.clone()).expect("E1 compiles");
+    let v = verifier.check_str(&case.text).expect("verification runs");
+    assert_eq!(
+        v.verdict.holds(),
+        case.holds,
+        "{name} expected {} — {}",
+        case.holds,
+        case.comment
+    );
+    assert!(v.complete, "{name}: E1 and its properties are input-bounded");
+}
+
+macro_rules! prop_test {
+    ($($test:ident => $name:literal),* $(,)?) => {
+        $( #[test] fn $test() { check($name); } )*
+    };
+    (ignored: $($test:ident => $name:literal),* $(,)?) => {
+        $( #[test] #[ignore = "slow: run with --release -- --include-ignored"]
+           fn $test() { check($name); } )*
+    };
+}
+
+prop_test! {
+    e1_p1_home_eventually_reached => "P1",
+    e1_p2_register_leads_to_rp => "P2",
+    e1_p3_help_does_not_force_login => "P3",
+    e1_p6_not_trapped_home => "P6",
+    e1_p8_not_every_run_logs_in => "P8",
+    e1_p9_error_page_session => "P9",
+    e1_p10_helpseen_monotone => "P10",
+    e1_p11_clicking_does_not_force_login => "P11",
+    e1_p12_cart_implies_pick => "P12",
+    e1_p13_pick_does_not_imply_cart => "P13",
+    e1_p14_cancel_without_ship => "P14",
+    e1_p15_not_trapped_on_error => "P15",
+    e1_p16_home_need_not_recur => "P16",
+    e1_p17_reachability_fails => "P17",
+}
+
+prop_test! {
+    ignored:
+    e1_p4_successor_uniqueness => "P4",
+    e1_p5_payment_before_confirmation => "P5",
+    e1_p7_order_status_before_cancel => "P7",
+}
+
+#[test]
+fn e1_all_properties_are_input_bounded_with_the_spec() {
+    let compiled = wave::spec::CompiledSpec::compile(e1::spec()).unwrap();
+    assert!(compiled.is_input_bounded(), "{:?}", compiled.ib_report);
+}
