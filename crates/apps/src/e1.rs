@@ -125,8 +125,7 @@ pub fn properties() -> Vec<PropCase> {
             name: "P12",
             ptype: PropType::Correlation,
             holds: true,
-            text: "forall pid, price: (F cart(pid, price)) -> F pick(pid, price)"
-                .into(),
+            text: "forall pid, price: (F cart(pid, price)) -> F pick(pid, price)".into(),
             comment: "The paper's P12: a product ends up in the cart only if \
                       the user picked it from the product list.",
         },
@@ -134,8 +133,7 @@ pub fn properties() -> Vec<PropCase> {
             name: "P13",
             ptype: PropType::Correlation,
             holds: false,
-            text: "forall pid, price: (F pick(pid, price)) -> F cart(pid, price)"
-                .into(),
+            text: "forall pid, price: (F pick(pid, price)) -> F cart(pid, price)".into(),
             comment: "Picking a product does not imply adding it to the cart.",
         },
         PropCase {
@@ -233,11 +231,7 @@ mod tests {
         db_arities.sort_unstable();
         assert_eq!(db_arities, vec![2, 3, 5, 7], "paper: 4 database relations");
         assert_eq!(s.states.len(), 10, "paper: 10 state relations");
-        assert_eq!(
-            s.inputs.iter().filter(|i| !i.constant).count(),
-            6,
-            "paper: 6 input relations"
-        );
+        assert_eq!(s.inputs.iter().filter(|i| !i.constant).count(), 6, "paper: 6 input relations");
         assert_eq!(s.actions.len(), 5, "paper: 5 action relations");
         let consts = s.all_constants();
         assert!(
@@ -281,10 +275,7 @@ mod tests {
     fn suite_covers_all_ten_types() {
         let props = properties();
         for t in PropType::ALL {
-            assert!(
-                props.iter().any(|p| p.ptype == t),
-                "no property of type {t:?}"
-            );
+            assert!(props.iter().any(|p| p.ptype == t), "no property of type {t:?}");
         }
         assert_eq!(props.len(), 17, "paper: 17 properties for E1");
     }

@@ -150,11 +150,7 @@ mod tests {
         let props = properties();
         assert_eq!(props.len(), 13, "paper: 13 properties for E2");
         for p in &props {
-            assert!(
-                wave_ltl::parse_property(&p.text).is_ok(),
-                "{} fails to parse",
-                p.name
-            );
+            assert!(wave_ltl::parse_property(&p.text).is_ok(), "{} fails to parse", p.name);
         }
         for t in PropType::ALL {
             assert!(props.iter().any(|p| p.ptype == t), "missing type {t:?}");

@@ -73,8 +73,7 @@ pub fn properties() -> Vec<PropCase> {
             name: "R8",
             ptype: PropType::Correlation,
             holds: true,
-            text: "forall f, p: (F paydone(f, p, c, n, a)) -> F flightpick(f, p)"
-                .into(),
+            text: "forall f, p: (F paydone(f, p, c, n, a)) -> F flightpick(f, p)".into(),
             comment: "Payment is recorded only for picked flights (c, n, a \
                       universally closed by the prefix).",
         },
@@ -140,17 +139,9 @@ mod tests {
         assert!(s.validate().is_ok(), "{:?}", s.validate());
         assert_eq!(s.pages.len(), 22, "paper: 22 pages");
         assert_eq!(s.database.len(), 12, "paper: 12 database tables");
-        assert_eq!(
-            s.database.iter().map(|&(_, a)| a).max(),
-            Some(10),
-            "paper: arities up to 10"
-        );
+        assert_eq!(s.database.iter().map(|&(_, a)| a).max(), Some(10), "paper: arities up to 10");
         assert_eq!(s.states.len(), 11, "paper: 11 state tables");
-        assert_eq!(
-            s.states.iter().map(|&(_, a)| a).max(),
-            Some(5),
-            "paper: state arities up to 5"
-        );
+        assert_eq!(s.states.iter().map(|&(_, a)| a).max(), Some(5), "paper: state arities up to 5");
         assert_eq!(s.actions, vec![("booked".to_string(), 1)], "paper: one arity-1 action");
         let consts = s.all_constants();
         assert!(
@@ -171,11 +162,7 @@ mod tests {
         let props = properties();
         assert_eq!(props.len(), 14, "paper: 14 properties for E3");
         for p in &props {
-            assert!(
-                wave_ltl::parse_property(&p.text).is_ok(),
-                "{} fails to parse",
-                p.name
-            );
+            assert!(wave_ltl::parse_property(&p.text).is_ok(), "{} fails to parse", p.name);
         }
         for t in PropType::ALL {
             assert!(props.iter().any(|p| p.ptype == t), "missing type {t:?}");

@@ -140,11 +140,7 @@ mod tests {
         assert!(s.validate().is_ok(), "{:?}", s.validate());
         assert_eq!(s.pages.len(), 35, "paper: 35 pages");
         assert_eq!(s.database.len(), 22, "paper: 22 database tables");
-        assert_eq!(
-            s.database.iter().map(|&(_, a)| a).max(),
-            Some(14),
-            "paper: arities up to 14"
-        );
+        assert_eq!(s.database.iter().map(|&(_, a)| a).max(), Some(14), "paper: arities up to 14");
         assert_eq!(s.states.len(), 7, "paper: 7 state tables");
         let consts = s.all_constants();
         assert!(
@@ -164,11 +160,7 @@ mod tests {
     fn all_properties_parse_and_cover_all_types() {
         let props = properties();
         for p in &props {
-            assert!(
-                wave_ltl::parse_property(&p.text).is_ok(),
-                "{} fails to parse",
-                p.name
-            );
+            assert!(wave_ltl::parse_property(&p.text).is_ok(), "{} fails to parse", p.name);
         }
         for t in PropType::ALL {
             assert!(props.iter().any(|p| p.ptype == t), "missing type {t:?}");

@@ -123,11 +123,7 @@ impl AppSuite {
     }
 
     /// Verify one property by name.
-    pub fn run_one(
-        &self,
-        verifier: &Verifier,
-        name: &str,
-    ) -> Result<SuiteRow, VerifyError> {
+    pub fn run_one(&self, verifier: &Verifier, name: &str) -> Result<SuiteRow, VerifyError> {
         let case = self
             .properties
             .iter()
@@ -139,10 +135,7 @@ impl AppSuite {
     /// Verify every property, producing the table rows.
     pub fn run_all(&self, options: VerifyOptions) -> Result<Vec<SuiteRow>, VerifyError> {
         let verifier = Verifier::with_options(self.spec.clone(), options)?;
-        self.properties
-            .iter()
-            .map(|case| Self::run_case(&verifier, case))
-            .collect()
+        self.properties.iter().map(|case| Self::run_case(&verifier, case)).collect()
     }
 
     fn run_case(verifier: &Verifier, case: &PropCase) -> Result<SuiteRow, VerifyError> {

@@ -31,8 +31,7 @@ fn cores(schema: &Arc<Schema>, n: usize) -> Vec<Instance> {
             let arity = schema.arity(rel);
             for i in 0..6u32 {
                 if mask >> i & 1 == 1 {
-                    let tuple: Vec<Value> =
-                        (0..arity).map(|c| Value(i * 16 + c as u32)).collect();
+                    let tuple: Vec<Value> = (0..arity).map(|c| Value(i * 16 + c as u32)).collect();
                     inst.insert(rel, Tuple::from(tuple));
                 }
             }

@@ -1,0 +1,51 @@
+//! Criterion bench for the `wave-svc` work scheduler: sequential
+//! verification vs. the worker pool on the E1 properties whose checks
+//! decompose into several work units (P5 spans two database cores, P7
+//! four — the core-range splitter turns those into parallel items).
+//!
+//! Speedup requires real hardware parallelism: on a single-CPU machine
+//! (or a 1-core container) the pool degenerates to sequential order and
+//! the numbers only measure scheduling overhead. P5's two cores weigh
+//! ~2.6 s and ~3.1 s, so with ≥2 CPUs the `jobs=2` row lands near the
+//! heavier core instead of near their sum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wave_apps::e1;
+use wave_core::Verifier;
+use wave_ltl::parse_property;
+use wave_svc::{check_parallel, ParallelOptions};
+
+fn bench_parallel(c: &mut Criterion) {
+    let suite = e1::suite();
+    let verifier = Verifier::new(suite.spec.clone()).expect("E1 compiles");
+    let mut group = c.benchmark_group("parallel_speedup");
+    group.sample_size(10);
+    for name in ["P5", "P7"] {
+        let case = suite.properties.iter().find(|p| p.name == name).unwrap();
+        let prop = parse_property(&case.text).expect("property parses");
+        let expected = case.holds;
+        group.bench_function(format!("{name}/sequential"), |b| {
+            b.iter(|| {
+                let v = verifier.check(&prop).expect("verifies");
+                assert_eq!(v.verdict.holds(), expected);
+            })
+        });
+        for jobs in [2, 4] {
+            let popts = ParallelOptions { jobs, split_units: true };
+            group.bench_function(format!("{name}/jobs={jobs}"), |b| {
+                b.iter(|| {
+                    let v = check_parallel(&verifier, &prop, &popts).expect("verifies");
+                    assert_eq!(v.verdict.holds(), expected);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(30));
+    targets = bench_parallel
+}
+criterion_main!(benches);

@@ -15,9 +15,7 @@
 
 use std::time::Duration;
 use wave_apps::{e1, e2, e3, e4, format_table, AppSuite, SuiteRow};
-use wave_core::{
-    build_pools, core_universe, extension_universe, ExtensionPruning, VerifyOptions,
-};
+use wave_core::{build_pools, core_universe, extension_universe, ExtensionPruning, VerifyOptions};
 use wave_ltl::{extract, nnf, parse_property, Buchi};
 use wave_naive::{NaiveOptions, NaiveVerifier};
 use wave_spec::{analyze, CompiledSpec};
@@ -73,10 +71,8 @@ fn run_suite(suite: AppSuite) {
         Ok(rows) => {
             print!("{}", format_table(suite.name, &rows));
             summarize(&rows);
-            let wrong: Vec<&SuiteRow> = rows
-                .iter()
-                .filter(|r| r.measured_holds != Some(r.expected))
-                .collect();
+            let wrong: Vec<&SuiteRow> =
+                rows.iter().filter(|r| r.measured_holds != Some(r.expected)).collect();
             if wrong.is_empty() {
                 println!("all verdicts match the expected truth values\n");
             } else {
@@ -115,12 +111,7 @@ fn counts() {
     // Example 3.4's arithmetic: without Heuristic 1, a database over the
     // |C| constants admits Σ |C|^arity candidate tuples, i.e. 2^Σ cores.
     let c = spec.constants.len();
-    let exponent: u128 = spec
-        .spec
-        .database
-        .iter()
-        .map(|&(_, a)| (c as u128).pow(a as u32))
-        .sum();
+    let exponent: u128 = spec.spec.database.iter().map(|&(_, a)| (c as u128).pow(a as u32)).sum();
     println!(
         "without Heuristic 1: |C| = {c} constants, sum |C|^arity = {exponent} \
          candidate tuples -> 2^{exponent} cores"

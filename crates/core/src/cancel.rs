@@ -1,0 +1,84 @@
+//! Cooperative cancellation for verification searches.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag threaded through the search
+//! budget checks ([`crate::ndfs::Ndfs`] probes it once per expansion). The
+//! parallel scheduler in `wave-svc` hands every work unit a *child* of a
+//! shared token so that the first counterexample can cancel all sibling
+//! units at once, while a unit-local cancel (work proven redundant by an
+//! earlier-ordered unit) does not disturb the rest of the check.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Clone, Debug, Default)]
+struct Inner {
+    flag: Arc<AtomicBool>,
+    parent: Option<Box<CancelToken>>,
+}
+
+/// A cooperative cancellation flag, optionally chained to a parent token.
+/// Cancelling a token cancels everything derived from it via [`child`];
+/// cancelling a child leaves the parent (and its other children) running.
+///
+/// [`child`]: CancelToken::child
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Inner);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that is cancelled when either it or `self` is cancelled.
+    pub fn child(&self) -> CancelToken {
+        CancelToken(Inner {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Box::new(self.clone())),
+        })
+    }
+
+    /// Raise the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.flag.store(true, Ordering::Release);
+    }
+
+    /// True once this token or any ancestor has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        if self.0.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match &self.0.parent {
+            Some(p) => p.is_cancelled(),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_sticky_and_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn parent_cancel_reaches_children_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let a = parent.child();
+        let b = parent.child();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled(), "sibling must be unaffected");
+        assert!(!parent.is_cancelled(), "child cancel must not leak upward");
+        parent.cancel();
+        assert!(b.is_cancelled(), "parent cancel reaches every child");
+    }
+}

@@ -41,10 +41,7 @@ pub struct Assignment {
 impl Assignment {
     /// The substitution map sending each variable to a constant term whose
     /// name is interned to the assigned value.
-    pub fn substitution(
-        &self,
-        symbols: &SymbolTable,
-    ) -> std::collections::HashMap<String, Term> {
+    pub fn substitution(&self, symbols: &SymbolTable) -> std::collections::HashMap<String, Term> {
         self.values
             .iter()
             .map(|(var, val)| {
@@ -91,8 +88,7 @@ pub fn assignments(
     ) {
         if i == vars.len() {
             // assign fresh classes to the None positions
-            let fresh_idx: Vec<usize> =
-                (0..vars.len()).filter(|&j| choice[j].is_none()).collect();
+            let fresh_idx: Vec<usize> = (0..vars.len()).filter(|&j| choice[j].is_none()).collect();
             match mode {
                 ParamMode::DistinctFresh => {
                     let mut values = Vec::with_capacity(vars.len());
@@ -136,8 +132,7 @@ pub fn assignments(
                                 return;
                             }
                             pos -= 1;
-                            let max_allowed =
-                                rgs[..pos].iter().copied().max().map_or(0, |m| m + 1);
+                            let max_allowed = rgs[..pos].iter().copied().max().map_or(0, |m| m + 1);
                             if rgs[pos] < max_allowed {
                                 rgs[pos] += 1;
                                 for r in rgs[pos + 1..].iter_mut() {
@@ -189,10 +184,7 @@ pub fn relevant_constants(
                 // direct comparisons x = "c" / x != "c"
                 collect_direct(f, v, &mut consts);
             }
-            consts
-                .iter()
-                .filter_map(|c| symbols.lookup_constant(c))
-                .collect()
+            consts.iter().filter_map(|c| symbols.lookup_constant(c)).collect()
         })
         .collect()
 }
@@ -233,18 +225,12 @@ pub struct PagePool {
 impl PagePool {
     /// All pool values.
     pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
-        self.opt_vars
-            .iter()
-            .map(|&(_, v)| v)
-            .chain(self.input_consts.iter().map(|&(_, v)| v))
+        self.opt_vars.iter().map(|&(_, v)| v).chain(self.input_consts.iter().map(|&(_, v)| v))
     }
 
     /// Value for an option-rule variable.
     pub fn opt_var(&self, rule: usize, var: &str) -> Option<Value> {
-        self.opt_vars
-            .iter()
-            .find(|((r, v), _)| *r == rule && v == var)
-            .map(|&(_, v)| v)
+        self.opt_vars.iter().find(|((r, v), _)| *r == rule && v == var).map(|&(_, v)| v)
     }
 
     /// Pool size (the paper's bound: total option-rule variables).
@@ -356,12 +342,7 @@ mod tests {
         let vars = vec!["x".to_string(), "y".to_string()];
         let c1 = Value(1);
         let c2 = Value(2);
-        let a = assignments(
-            &vars,
-            &[vec![c1, c2], vec![c1]],
-            &vals(2),
-            ParamMode::DistinctFresh,
-        );
+        let a = assignments(&vars, &[vec![c1, c2], vec![c1]], &vals(2), ParamMode::DistinctFresh);
         // x ∈ {c1, c2, fresh} × y ∈ {c1, fresh} = 6
         assert_eq!(a.len(), 6);
     }
@@ -369,12 +350,8 @@ mod tests {
     #[test]
     fn exhaustive_equality_enumerates_partitions() {
         let vars: Vec<String> = (0..3).map(|i| format!("v{i}")).collect();
-        let a = assignments(
-            &vars,
-            &[vec![], vec![], vec![]],
-            &vals(3),
-            ParamMode::ExhaustiveEquality,
-        );
+        let a =
+            assignments(&vars, &[vec![], vec![], vec![]], &vals(3), ParamMode::ExhaustiveEquality);
         // Bell(3) = 5 partitions of three fresh variables
         assert_eq!(a.len(), 5);
         // all assignments distinct
@@ -390,21 +367,14 @@ mod tests {
     fn exhaustive_equality_with_constants() {
         let vars = vec!["x".to_string(), "y".to_string()];
         let c = Value(7);
-        let a = assignments(
-            &vars,
-            &[vec![c], vec![]],
-            &vals(2),
-            ParamMode::ExhaustiveEquality,
-        );
+        let a = assignments(&vars, &[vec![c], vec![]], &vals(2), ParamMode::ExhaustiveEquality);
         // x=c: y fresh (1 partition) → 1; x fresh: y fresh with Bell(2)=2 → 2
         assert_eq!(a.len(), 3);
     }
 
     #[test]
     fn c_exists_dedups() {
-        let a = Assignment {
-            values: vec![("x".into(), Value(5)), ("y".into(), Value(5))],
-        };
+        let a = Assignment { values: vec![("x".into(), Value(5)), ("y".into(), Value(5))] };
         assert_eq!(a.c_exists(), vec![Value(5)]);
     }
 

@@ -32,9 +32,7 @@ impl RelLayout {
     pub fn new(rel: RelId, columns: Vec<Vec<Value>>) -> RelLayout {
         let ranks = columns
             .iter()
-            .map(|col| {
-                col.iter().enumerate().map(|(i, &v)| (v, i)).collect::<HashMap<_, _>>()
-            })
+            .map(|col| col.iter().enumerate().map(|(i, &v)| (v, i)).collect::<HashMap<_, _>>())
             .collect();
         RelLayout { rel, columns, ranks }
     }
@@ -91,7 +89,7 @@ mod tests {
         RelLayout::new(
             RelId(0),
             vec![
-                vec![Value(10), Value(11)],          // n_1 = 2
+                vec![Value(10), Value(11)],            // n_1 = 2
                 vec![Value(20), Value(21), Value(22)], // n_2 = 3
             ],
         )
@@ -119,6 +117,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op, clippy::erasing_op)] // spell out the formula
     fn paper_index_formula() {
         // j = r_2 + n_2 * r_1 for arity 2
         let l = layout();

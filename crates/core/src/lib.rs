@@ -32,6 +32,7 @@
 //! assert!(v.verdict.holds());
 //! ```
 
+pub mod cancel;
 pub mod config;
 pub mod domain;
 pub mod layout;
@@ -43,16 +44,19 @@ pub mod universe;
 pub mod verifier;
 pub mod visibility;
 
+pub use cancel::CancelToken;
 pub use config::{canonicalize, core_instance, Facts, PseudoConfig};
 pub use domain::{assignments, build_pools, Assignment, PagePool, ParamMode};
 pub use layout::RelLayout;
-pub use ndfs::{Budget, CounterExample, SearchStats, TraceStep};
+pub use ndfs::{Budget, CounterExample, SearchLimits, SearchResult, SearchStats, TraceStep};
 pub use replay::{replay, ReplayError};
 pub use succ::{SearchCtx, SuccError};
 pub use trie::{Phase, VisitTrie};
 pub use universe::{
-    core_universe, extension_universe, ExtensionPruning, Universe, UniverseOverflow,
-    MAX_BLOCKS, MAX_UNIVERSE,
+    core_universe, extension_universe, ExtensionPruning, Universe, UniverseOverflow, MAX_BLOCKS,
+    MAX_UNIVERSE,
 };
-pub use verifier::{Stats, Verdict, Verification, Verifier, VerifyError, VerifyOptions};
+pub use verifier::{
+    PreparedCheck, Stats, UnitOutcome, Verdict, Verification, Verifier, VerifyError, VerifyOptions,
+};
 pub use visibility::Visibility;

@@ -122,10 +122,7 @@ pub fn replay(
             if !succs.contains(&next.config) {
                 return Err(ReplayError::NotASuccessor { step: i + 1 });
             }
-            if !buchi
-                .successors(step.auto_state, step.assignment)
-                .any(|t| t == next.auto_state)
-            {
+            if !buchi.successors(step.auto_state, step.assignment).any(|t| t == next.auto_state) {
                 return Err(ReplayError::NoAutomatonTransition { step: i + 1 });
             }
         }
@@ -136,19 +133,14 @@ pub fn replay(
     let back = &ce.steps[ce.cycle_start];
     let succs = ctx.successors(&last.config)?;
     let closes = succs.contains(&back.config)
-        && buchi
-            .successors(last.auto_state, last.assignment)
-            .any(|t| t == back.auto_state);
+        && buchi.successors(last.auto_state, last.assignment).any(|t| t == back.auto_state);
     if !closes {
         return Err(ReplayError::CycleDoesNotClose);
     }
 
     // the cycle must visit an accepting state (it is the candy phase, whose
     // base — the first cycle step — is accepting by construction)
-    if !ce.steps[ce.cycle_start..]
-        .iter()
-        .any(|s| buchi.accepting[s.auto_state])
-    {
+    if !ce.steps[ce.cycle_start..].iter().any(|s| buchi.accepting[s.auto_state]) {
         return Err(ReplayError::CycleNotAccepting);
     }
     Ok(())

@@ -20,7 +20,7 @@ use crate::universe::{extension_universe, ExtensionPruning, UniverseOverflow};
 use crate::visibility::Visibility;
 use std::collections::BTreeSet;
 use wave_fol::{answers, eval, prev_shadow_name, Bindings, EvalCtx, EvalError, SchemaResolver};
-use wave_relalg::{Instance, Params, Relation, RelKind, Tuple, Value};
+use wave_relalg::{Instance, Params, RelKind, Relation, Tuple, Value};
 use wave_spec::{CompiledRule, CompiledSpec, Dataflow, PageId, RuleExec, TargetExec};
 
 /// Errors during successor computation.
@@ -142,9 +142,7 @@ impl SearchCtx<'_> {
     /// Is every value of the tuple in `C`? (States and actions keep only
     /// ground tuples over `C`.)
     fn over_c(&self, t: &Tuple) -> bool {
-        t.values()
-            .iter()
-            .all(|v| self.c_values.binary_search(v).is_ok())
+        t.values().iter().all(|v| self.c_values.binary_search(v).is_ok())
     }
 
     /// The start pseudoconfigurations over the context's core: home page,
@@ -174,8 +172,7 @@ impl SearchCtx<'_> {
         };
 
         // 2) state update with insert/delete conflict = no-op, over C only
-        let mut state: BTreeSet<(wave_relalg::RelId, Tuple)> =
-            cfg.state.iter().cloned().collect();
+        let mut state: BTreeSet<(wave_relalg::RelId, Tuple)> = cfg.state.iter().cloned().collect();
         let mut inserts: BTreeSet<(wave_relalg::RelId, Tuple)> = BTreeSet::new();
         let mut deletes: BTreeSet<(wave_relalg::RelId, Tuple)> = BTreeSet::new();
         for rule in &page.state_rules {
@@ -215,9 +212,7 @@ impl SearchCtx<'_> {
                     .schema
                     .lookup(&prev_shadow_name(self.spec.schema.name(*rel)))
                     .expect("shadows declared for every input");
-                self.visibility
-                    .prev_observable(vt, shadow)
-                    .then(|| (shadow, t.clone()))
+                self.visibility.prev_observable(vt, shadow).then(|| (shadow, t.clone()))
             })
             .collect();
 
@@ -272,9 +267,7 @@ impl SearchCtx<'_> {
                             if rule.head != input {
                                 continue;
                             }
-                            for t in
-                                self.run_rule(rule, &inst, &params, &page.name, &domain)?
-                            {
+                            for t in self.run_rule(rule, &inst, &params, &page.name, &domain)? {
                                 if seen.insert(t.clone()) {
                                     opts.push(Some(t));
                                 }
@@ -311,9 +304,7 @@ impl SearchCtx<'_> {
                     choice_lists
                         .iter()
                         .zip(&idx)
-                        .filter_map(|((rel, opts), &i)| {
-                            opts[i].clone().map(|t| (*rel, t))
-                        })
+                        .filter_map(|((rel, opts), &i)| opts[i].clone().map(|t| (*rel, t)))
                         .collect(),
                 );
                 let mut cfg = shell.clone();
@@ -329,12 +320,9 @@ impl SearchCtx<'_> {
                     let inst2 = cfg.materialize(self.spec, &self.base);
                     let params2 = self.spec.bind_params(&inst2);
                     let domain2 = self.domain(&inst2);
-                    let mut actions: BTreeSet<(wave_relalg::RelId, Tuple)> =
-                        BTreeSet::new();
+                    let mut actions: BTreeSet<(wave_relalg::RelId, Tuple)> = BTreeSet::new();
                     for rule in visible_actions {
-                        for t in
-                            self.run_rule(rule, &inst2, &params2, &page.name, &domain2)?
-                        {
+                        for t in self.run_rule(rule, &inst2, &params2, &page.name, &domain2)? {
                             if self.over_c(&t) {
                                 actions.insert((rule.head, t));
                             }

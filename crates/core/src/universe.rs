@@ -141,8 +141,7 @@ pub fn core_universe(
 ) -> Result<Universe, UniverseOverflow> {
     let mut candidates: Facts = Vec::new();
     for rel in spec.schema.rels() {
-        if spec.schema.kind(rel) != RelKind::Database
-            || spec.schema.name(rel).starts_with("page$")
+        if spec.schema.kind(rel) != RelKind::Database || spec.schema.name(rel).starts_with("page$")
         {
             continue;
         }
@@ -232,14 +231,10 @@ pub fn extension_universe(
     // previous-input facts are keyed by the `prev$` shadow relations
     let prev_value = |rel_name: &str, col: usize| -> Option<Value> {
         let id = spec.schema.lookup(&wave_fol::prev_shadow_name(rel_name))?;
-        prev_input
-            .iter()
-            .find(|(r, _)| *r == id)
-            .map(|(_, t)| t.get(col))
+        prev_input.iter().find(|(r, _)| *r == id).map(|(_, t)| t.get(col))
     };
     for rel in spec.schema.rels() {
-        if spec.schema.kind(rel) != RelKind::Database
-            || spec.schema.name(rel).starts_with("page$")
+        if spec.schema.kind(rel) != RelKind::Database || spec.schema.name(rel).starts_with("page$")
         {
             continue;
         }
@@ -286,9 +281,7 @@ pub fn extension_universe(
                             );
                         } else {
                             // option-rule head variables at that input column
-                            for (ri, rule) in
-                                spec.page(page).option_rules.iter().enumerate()
-                            {
+                            for (ri, rule) in spec.page(page).option_rules.iter().enumerate() {
                                 if rule.head == src_id {
                                     if let Some(hv) = rule.head_vars.get(*src_col) {
                                         dom.extend(pool.opt_var(ri, hv));
@@ -470,7 +463,11 @@ fn equality_constants(
     use wave_fol::Formula as F;
     let mut pairs: Vec<(String, String)> = Vec::new(); // var ~ var
     let mut direct: Vec<(String, String)> = Vec::new(); // var ~ const
-    fn walk(f: &wave_fol::Formula, pairs: &mut Vec<(String, String)>, direct: &mut Vec<(String, String)>) {
+    fn walk(
+        f: &wave_fol::Formula,
+        pairs: &mut Vec<(String, String)>,
+        direct: &mut Vec<(String, String)>,
+    ) {
         use wave_fol::Formula as F;
         match f {
             F::Eq(a, b) | F::Ne(a, b) => match (a, b) {
@@ -492,7 +489,7 @@ fn equality_constants(
     }
     walk(f, &mut pairs, &mut direct);
     let _ = F::True; // anchor the import
-    // transitive closure by iterating until stable (formulas are tiny)
+                     // transitive closure by iterating until stable (formulas are tiny)
     let mut out: std::collections::BTreeMap<String, BTreeSet<String>> =
         std::collections::BTreeMap::new();
     for (v, c) in &direct {
@@ -538,8 +535,7 @@ fn push_product(
     }
     let mut current = vec![0usize; domains.len()];
     loop {
-        let tuple: Vec<Value> =
-            current.iter().zip(domains).map(|(&i, d)| d[i]).collect();
+        let tuple: Vec<Value> = current.iter().zip(domains).map(|(&i, d)| d[i]).collect();
         out.push((rel, Tuple::from(tuple)));
         // odometer increment
         let mut pos = domains.len();

@@ -16,18 +16,20 @@
 //! verification — when both the specification and the property are
 //! input-bounded, and a sound "no counterexample found" verdict otherwise.
 
+use crate::cancel::CancelToken;
 use crate::config::core_instance;
 use crate::domain::{assignments, build_pools, relevant_constants, Assignment, ParamMode};
-use crate::ndfs::{Budget, CounterExample, Ndfs, SearchResult};
+use crate::ndfs::{Budget, CounterExample, Ndfs, SearchLimits, SearchResult};
 use crate::succ::{SearchCtx, SuccError};
 use crate::trie::VisitTrie;
 use crate::universe::{core_universe, ExtensionPruning, UniverseOverflow};
 use crate::visibility::Visibility;
+use std::ops::Range;
 use std::time::{Duration, Instant};
 use wave_fol::{check_input_bounded, constants as fo_constants, Formula};
 use wave_ltl::{extract, nnf, parse_property, Buchi, Property};
-use wave_relalg::Value;
-use wave_spec::{analyze, CompiledSpec, CompileSpecError, Spec};
+use wave_relalg::{SymbolTable, Value};
+use wave_spec::{analyze, CompileSpecError, CompiledSpec, Dataflow, Spec};
 
 /// Verifier configuration.
 #[derive(Clone, Debug)]
@@ -48,6 +50,10 @@ pub struct VerifyOptions {
     /// Use compiled prepared plans (`true`) or the FO interpreter for
     /// every rule (`false`; the query-evaluation ablation baseline).
     pub use_plans: bool,
+    /// Cooperative cancellation: when the token is raised mid-search the
+    /// check stops with [`Verdict::Unknown`]`(`[`Budget::Cancelled`]`)`.
+    /// Not part of the verification semantics (result caches ignore it).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for VerifyOptions {
@@ -60,6 +66,7 @@ impl Default for VerifyOptions {
             max_steps: None,
             time_limit: None,
             use_plans: true,
+            cancel: None,
         }
     }
 }
@@ -78,6 +85,22 @@ pub struct Stats {
     pub cores: u64,
     /// `C_∃` assignments considered.
     pub assignments: u64,
+}
+
+impl Stats {
+    /// Fold another measurement into this one: counters add, maxima take
+    /// the max. `elapsed` adds too, so under the parallel scheduler the
+    /// merged value is the total search time across workers — which can
+    /// exceed wall-clock; schedulers overwrite it with the measured
+    /// wall-clock duration after merging.
+    pub fn merge(&mut self, other: &Stats) {
+        self.elapsed += other.elapsed;
+        self.max_run_len = self.max_run_len.max(other.max_run_len);
+        self.max_trie = self.max_trie.max(other.max_trie);
+        self.configs += other.configs;
+        self.cores += other.cores;
+        self.assignments += other.assignments;
+    }
 }
 
 /// Verdict of a verification.
@@ -177,6 +200,11 @@ impl Verifier {
         &self.spec
     }
 
+    /// Options (read-only; schedulers derive per-unit budgets from them).
+    pub fn options(&self) -> &VerifyOptions {
+        &self.options
+    }
+
     /// Options (mutable, so harnesses can toggle heuristics between runs).
     pub fn options_mut(&mut self) -> &mut VerifyOptions {
         &mut self.options
@@ -208,6 +236,46 @@ impl Verifier {
     fn check_inner(&self, property: &Property) -> Result<Verification, VerifyError> {
         let start = Instant::now();
         let deadline = self.options.time_limit.map(|d| start + d);
+        let prepared = self.prepare(property)?;
+
+        let mut stats = Stats::default();
+        let mut verdict = Verdict::Holds;
+        for unit in 0..prepared.num_units() {
+            let limits = SearchLimits {
+                // the step budget spans the whole check: each unit gets
+                // whatever the previous units left over
+                max_steps: self.options.max_steps.map(|m| m.saturating_sub(stats.configs)),
+                deadline,
+                time_limit: self.options.time_limit,
+                cancel: self.options.cancel.clone(),
+            };
+            let outcome = prepared.run_unit(unit, None, &limits)?;
+            stats.merge(&outcome.stats);
+            match outcome.result {
+                SearchResult::Clean => {}
+                SearchResult::Violation(ce) => {
+                    verdict = Verdict::Violated(ce);
+                    break;
+                }
+                SearchResult::Exhausted(b) => {
+                    verdict = Verdict::Unknown(b);
+                    break;
+                }
+            }
+        }
+
+        stats.elapsed = start.elapsed();
+        Ok(Verification { verdict, stats, complete: prepared.complete })
+    }
+
+    /// Compile `property` against the spec and decompose the check into
+    /// independent work units (one per `C_∃` assignment). [`Verifier::check`]
+    /// runs the units in order on one thread; the `wave-svc` scheduler
+    /// distributes them (and core sub-ranges of large units) over a worker
+    /// pool. Either way each unit's search is deterministic, so any
+    /// schedule that respects unit order when reducing outcomes yields the
+    /// sequential verdict.
+    pub fn prepare(&self, property: &Property) -> Result<PreparedCheck<'_>, VerifyError> {
         let spec = &self.spec;
 
         // step 1: φ_aux and the automaton for the NEGATED property
@@ -221,10 +289,8 @@ impl Verifier {
 
         // completeness: spec and property both input-bounded
         let kinds = spec.kinds();
-        let property_ib = extraction
-            .components
-            .iter()
-            .all(|f| check_input_bounded(f, &kinds).is_ok());
+        let property_ib =
+            extraction.components.iter().all(|f| check_input_bounded(f, &kinds).is_ok());
         let complete = spec.is_input_bounded() && property_ib;
 
         // session symbols: spec constants + property constants + params + pools
@@ -238,9 +304,8 @@ impl Verifier {
                 }
             }
         }
-        let params: Vec<Value> = (0..property.univ_vars.len())
-            .map(|i| symbols.constant(&format!("?{i}")))
-            .collect();
+        let params: Vec<Value> =
+            (0..property.univ_vars.len()).map(|i| symbols.constant(&format!("?{i}"))).collect();
         let pools = build_pools(spec, &mut symbols);
 
         // step 2: C_∃ assignments (relevance-reduced)
@@ -254,66 +319,17 @@ impl Verifier {
         // depend on the parameter instantiation, so compute once
         let visibility = Visibility::compute(spec, &extraction.components);
 
-        let mut stats = Stats::default();
-        let mut trie = VisitTrie::new();
-        let mut verdict = Verdict::Holds;
-
-        'outer: for assignment in &all_assignments {
-            stats.assignments += 1;
-            let (ctx_c_values, components, flow) =
-                self.instantiate(assignment, &c_values, &extraction.components, &symbols);
-
-            // step 3: Heuristic-1 cores
-            let cores = core_universe(spec, &flow, &symbols, &ctx_c_values, self.options.heuristic1)
-                .map_err(VerifyError::Overflow)?;
-            for core in cores.subsets() {
-                stats.cores += 1;
-                trie.clear();
-                let mut sorted_c = ctx_c_values.clone();
-                sorted_c.sort_unstable();
-                let ctx = SearchCtx {
-                    spec,
-                    symbols: &symbols,
-                    pools: &pools,
-                    flow: &flow,
-                    c_values: sorted_c,
-                    base: core_instance(spec, &core),
-                    pruning: self.options.pruning,
-                    heuristic2: self.options.heuristic2,
-                    use_plans: self.options.use_plans,
-                    visibility: visibility.clone(),
-                };
-                let engine = Ndfs::new(
-                    &ctx,
-                    &buchi,
-                    &components,
-                    &mut trie,
-                    self.options.max_steps.map(|m| m.saturating_sub(stats.configs)),
-                    deadline,
-                );
-                let (result, search_stats) = engine.run()?;
-                stats.max_run_len = stats.max_run_len.max(search_stats.max_run_len);
-                stats.configs += search_stats.configs;
-                stats.max_trie = stats.max_trie.max(trie.max_len());
-                match result {
-                    SearchResult::Clean => {}
-                    SearchResult::Violation(mut ce) => {
-                        stats.max_run_len = ce.steps.len().max(stats.max_run_len);
-                        ce.core = core.clone();
-                        ce.assignment = assignment.values.clone();
-                        verdict = Verdict::Violated(ce);
-                        break 'outer;
-                    }
-                    SearchResult::Exhausted(b) => {
-                        verdict = Verdict::Unknown(b);
-                        break 'outer;
-                    }
-                }
-            }
-        }
-
-        stats.elapsed = start.elapsed();
-        Ok(Verification { verdict, stats, complete })
+        Ok(PreparedCheck {
+            verifier: self,
+            buchi,
+            components: extraction.components,
+            symbols,
+            base_c_values: c_values,
+            pools,
+            assignments: all_assignments,
+            visibility,
+            complete,
+        })
     }
 
     /// Instantiate the property components under one assignment and run the
@@ -326,8 +342,7 @@ impl Verifier {
         symbols: &wave_relalg::SymbolTable,
     ) -> (Vec<Value>, Vec<Formula>, wave_spec::Dataflow) {
         let subst = assignment.substitution(symbols);
-        let instantiated: Vec<Formula> =
-            components.iter().map(|f| f.substitute(&subst)).collect();
+        let instantiated: Vec<Formula> = components.iter().map(|f| f.substitute(&subst)).collect();
         let mut c_values = base_c.to_vec();
         for v in assignment.c_exists() {
             if !c_values.contains(&v) {
@@ -428,6 +443,163 @@ impl Verifier {
         }
         let _ = writeln!(out, "  (cycle repeats from step {})", ce.cycle_start);
         out
+    }
+}
+
+/// One property compiled against one spec, decomposed into independent
+/// work units. Unit `i` is the search over all Heuristic-1 cores of the
+/// `i`-th `C_∃` assignment; [`PreparedCheck::run_unit`] can further
+/// restrict a unit to a sub-range of its cores, so a scheduler can split
+/// a large unit across workers. All fields are immutable shared state —
+/// the type is `Sync` and units may run concurrently on scoped threads.
+pub struct PreparedCheck<'v> {
+    verifier: &'v Verifier,
+    buchi: Buchi,
+    /// Uninstantiated FO components of the property.
+    components: Vec<Formula>,
+    symbols: SymbolTable,
+    /// `C_W` plus the property's own constants (before `C_∃`).
+    base_c_values: Vec<Value>,
+    pools: Vec<crate::domain::PagePool>,
+    assignments: Vec<Assignment>,
+    visibility: Visibility,
+    /// Both spec and property are input-bounded (Theorem 3.3 / 3.8).
+    pub complete: bool,
+}
+
+/// What one work unit produced: the search outcome over the scanned
+/// cores, plus that unit's share of the measurement columns.
+#[derive(Clone, Debug)]
+pub struct UnitOutcome {
+    pub result: SearchResult,
+    pub stats: Stats,
+}
+
+impl PreparedCheck<'_> {
+    /// Number of independent work units (`C_∃` assignments).
+    pub fn num_units(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The `C_∃` assignment a unit instantiates.
+    pub fn assignment(&self, unit: usize) -> &Assignment {
+        &self.assignments[unit]
+    }
+
+    /// Number of database cores unit `unit` scans (for split decisions).
+    pub fn core_count(&self, unit: usize) -> Result<u64, VerifyError> {
+        let (ctx_c_values, _, flow) = self.instantiate(unit);
+        let cores = core_universe(
+            &self.verifier.spec,
+            &flow,
+            &self.symbols,
+            &ctx_c_values,
+            self.verifier.options.heuristic1,
+        )
+        .map_err(VerifyError::Overflow)?;
+        Ok(cores.subset_count())
+    }
+
+    fn instantiate(&self, unit: usize) -> (Vec<Value>, Vec<Formula>, Dataflow) {
+        self.verifier.instantiate(
+            &self.assignments[unit],
+            &self.base_c_values,
+            &self.components,
+            &self.symbols,
+        )
+    }
+
+    /// Run one work unit: scan the cores of assignment `unit` (all of
+    /// them, or the bitmap-counter sub-range `cores`) in deterministic
+    /// order, stopping at the first violation or budget exhaustion.
+    ///
+    /// The scan is a pure function of `(unit, cores)` and the verifier
+    /// options — two runs over the same range produce byte-identical
+    /// outcomes, which is what lets a parallel schedule reproduce the
+    /// sequential verdict exactly.
+    pub fn run_unit(
+        &self,
+        unit: usize,
+        cores: Option<Range<u64>>,
+        limits: &SearchLimits,
+    ) -> Result<UnitOutcome, VerifyError> {
+        let start = Instant::now();
+        let spec = &self.verifier.spec;
+        let options = &self.verifier.options;
+        let assignment = &self.assignments[unit];
+        let (ctx_c_values, components, flow) = self.instantiate(unit);
+
+        // step 3: Heuristic-1 cores
+        let universe = core_universe(spec, &flow, &self.symbols, &ctx_c_values, options.heuristic1)
+            .map_err(VerifyError::Overflow)?;
+        let range = match cores {
+            Some(r) => r.start.min(universe.subset_count())..r.end.min(universe.subset_count()),
+            None => 0..universe.subset_count(),
+        };
+
+        let mut sorted_c = ctx_c_values.clone();
+        sorted_c.sort_unstable();
+        // when a unit is split into core ranges, the range starting at
+        // bitmap 0 owns the unit's entry in the assignment count, so the
+        // chunked merge still counts each C_∃ assignment once
+        let mut stats = Stats { assignments: u64::from(range.start == 0), ..Stats::default() };
+        let mut trie = VisitTrie::new();
+        let mut result = SearchResult::Clean;
+
+        for bitmap in range {
+            if limits.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                result = SearchResult::Exhausted(Budget::Cancelled);
+                break;
+            }
+            let core = universe.decode(bitmap);
+            stats.cores += 1;
+            trie.clear();
+            let ctx = SearchCtx {
+                spec,
+                symbols: &self.symbols,
+                pools: &self.pools,
+                flow: &flow,
+                c_values: sorted_c.clone(),
+                base: core_instance(spec, &core),
+                pruning: options.pruning,
+                heuristic2: options.heuristic2,
+                use_plans: options.use_plans,
+                visibility: self.visibility.clone(),
+            };
+            let engine = Ndfs::new(
+                &ctx,
+                &self.buchi,
+                &components,
+                &mut trie,
+                SearchLimits {
+                    max_steps: limits.max_steps.map(|m| m.saturating_sub(stats.configs)),
+                    deadline: limits.deadline,
+                    time_limit: limits.time_limit,
+                    cancel: limits.cancel.clone(),
+                },
+            );
+            let (search_result, search_stats) = engine.run()?;
+            stats.max_run_len = stats.max_run_len.max(search_stats.max_run_len);
+            stats.configs += search_stats.configs;
+            stats.max_trie = stats.max_trie.max(trie.max_len());
+            match search_result {
+                SearchResult::Clean => {}
+                SearchResult::Violation(mut ce) => {
+                    stats.max_run_len = ce.steps.len().max(stats.max_run_len);
+                    ce.core = core;
+                    ce.assignment = assignment.values.clone();
+                    result = SearchResult::Violation(ce);
+                    break;
+                }
+                SearchResult::Exhausted(b) => {
+                    result = SearchResult::Exhausted(b);
+                    break;
+                }
+            }
+        }
+
+        stats.elapsed = start.elapsed();
+        Ok(UnitOutcome { result, stats })
     }
 }
 
@@ -607,11 +779,7 @@ mod tests {
             let mut verifier = login();
             verifier.options_mut().use_plans = false;
             let interp = verifier.check_str(property).unwrap();
-            assert_eq!(
-                with_plans.verdict.holds(),
-                interp.verdict.holds(),
-                "{property}"
-            );
+            assert_eq!(with_plans.verdict.holds(), interp.verdict.holds(), "{property}");
         }
     }
 
@@ -644,9 +812,7 @@ mod tests {
     #[test]
     fn non_input_bounded_property_marks_incomplete() {
         // quantifier over a database relation
-        let v = login()
-            .check_str("G (forall u, q: user(u, q) -> logged(u)) | true")
-            .unwrap();
+        let v = login().check_str("G (forall u, q: user(u, q) -> logged(u)) | true").unwrap();
         assert!(!v.complete);
         assert!(v.verdict.holds(), "trivially true property");
     }
@@ -686,9 +852,7 @@ mod replay_tests {
         for text in ["G !@B", "F @B", "forall x: G !seen(x)"] {
             let prop = parse_property(text).unwrap();
             let v = verifier.check(&prop).unwrap();
-            let Verdict::Violated(ce) = &v.verdict else {
-                panic!("{text}: expected a violation")
-            };
+            let Verdict::Violated(ce) = &v.verdict else { panic!("{text}: expected a violation") };
             verifier
                 .validate_counterexample(&prop, ce)
                 .unwrap_or_else(|e| panic!("{text}: replay failed: {e}"));

@@ -50,11 +50,8 @@ impl Visibility {
                 prop_rels.insert((rel, prev));
             }
         }
-        let prop_prev: BTreeSet<&str> = prop_rels
-            .iter()
-            .filter(|(_, prev)| *prev)
-            .map(|(rel, _)| rel.as_str())
-            .collect();
+        let prop_prev: BTreeSet<&str> =
+            prop_rels.iter().filter(|(_, prev)| *prev).map(|(rel, _)| rel.as_str()).collect();
 
         // per page: prev mentions in any rule body of that page
         let mut prev_visible = Vec::with_capacity(spec.pages.len());
@@ -63,20 +60,13 @@ impl Visibility {
             let add_prev = |f: &Formula, seen: &mut BTreeSet<RelId>| {
                 for (rel, prev) in wave_fol::relations(f) {
                     if prev {
-                        if let Some(id) =
-                            spec.schema.lookup(&wave_fol::prev_shadow_name(&rel))
-                        {
+                        if let Some(id) = spec.schema.lookup(&wave_fol::prev_shadow_name(&rel)) {
                             seen.insert(id);
                         }
                     }
                 }
             };
-            for r in page
-                .option_rules
-                .iter()
-                .chain(&page.state_rules)
-                .chain(&page.action_rules)
-            {
+            for r in page.option_rules.iter().chain(&page.state_rules).chain(&page.action_rules) {
                 add_prev(&r.body, &mut seen);
             }
             for t in &page.target_rules {
@@ -103,12 +93,7 @@ impl Visibility {
             }
         };
         for page in &spec.pages {
-            for r in page
-                .option_rules
-                .iter()
-                .chain(&page.state_rules)
-                .chain(&page.action_rules)
-            {
+            for r in page.option_rules.iter().chain(&page.state_rules).chain(&page.action_rules) {
                 add_states(&r.body, &mut state_visible);
             }
             for t in &page.target_rules {
@@ -134,11 +119,8 @@ impl Visibility {
 
     /// Everything visible (used when reductions are disabled).
     pub fn full(spec: &CompiledSpec) -> Visibility {
-        let shadows: BTreeSet<RelId> = spec
-            .schema
-            .rels()
-            .filter(|&r| spec.schema.name(r).starts_with("prev$"))
-            .collect();
+        let shadows: BTreeSet<RelId> =
+            spec.schema.rels().filter(|&r| spec.schema.name(r).starts_with("prev$")).collect();
         Visibility {
             prev_visible: vec![shadows; spec.pages.len()],
             state_visible: spec

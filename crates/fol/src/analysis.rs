@@ -61,13 +61,14 @@ fn collect_free(
     out: &mut Vec<String>,
     seen: &mut HashSet<String>,
 ) {
-    let term = |t: &Term, bound: &HashSet<String>, out: &mut Vec<String>, seen: &mut HashSet<String>| {
-        if let Term::Var(v) = t {
-            if !bound.contains(v) && seen.insert(v.clone()) {
-                out.push(v.clone());
+    let term =
+        |t: &Term, bound: &HashSet<String>, out: &mut Vec<String>, seen: &mut HashSet<String>| {
+            if let Term::Var(v) = t {
+                if !bound.contains(v) && seen.insert(v.clone()) {
+                    out.push(v.clone());
+                }
             }
-        }
-    };
+        };
     match f {
         Formula::True | Formula::False | Formula::Page(_) | Formula::InputEmpty { .. } => {}
         Formula::Atom(a) => {
@@ -325,10 +326,7 @@ impl std::error::Error for OptionRuleViolation {}
 
 /// Check the input-option rule restriction: existential quantification
 /// only, ground state atoms, and no reference to the current input.
-pub fn check_option_rule(
-    f: &Formula,
-    kinds: &impl RelKinds,
-) -> Result<(), OptionRuleViolation> {
+pub fn check_option_rule(f: &Formula, kinds: &impl RelKinds) -> Result<(), OptionRuleViolation> {
     // universal quantifiers anywhere are disallowed (note: `Implies`/`Not`
     // are allowed; the "existential only" restriction in the paper is about
     // quantifiers)
@@ -406,8 +404,8 @@ mod tests {
 
     #[test]
     fn guarded_exists_accepted() {
-        let f = parse_formula(r#"exists r, h, d: laptopsearch(r, h, d) & button("search")"#)
-            .unwrap();
+        let f =
+            parse_formula(r#"exists r, h, d: laptopsearch(r, h, d) & button("search")"#).unwrap();
         assert!(check_input_bounded(&f, &kinds()).is_ok());
     }
 
@@ -425,10 +423,7 @@ mod tests {
         let f = parse_formula("exists x: pay(x, y) & cart(x, z)").unwrap();
         assert_eq!(
             check_input_bounded(&f, &kinds()),
-            Err(IbViolation::QuantifiedVarInStateOrAction {
-                var: "x".into(),
-                rel: "cart".into()
-            })
+            Err(IbViolation::QuantifiedVarInStateOrAction { var: "x".into(), rel: "cart".into() })
         );
     }
 
@@ -441,10 +436,7 @@ mod tests {
     #[test]
     fn option_rule_rejects_forall() {
         let f = parse_formula("forall x: pay(x, x) -> db(x)").unwrap();
-        assert_eq!(
-            check_option_rule(&f, &kinds()),
-            Err(OptionRuleViolation::UniversalQuantifier)
-        );
+        assert_eq!(check_option_rule(&f, &kinds()), Err(OptionRuleViolation::UniversalQuantifier));
     }
 
     #[test]

@@ -91,7 +91,10 @@ pub enum Formula {
     /// "Input relation `rel` holds no tuple this step" (`prev` for the
     /// previous step). Produced by the input rewrite (the paper's
     /// `emptyI` flag).
-    InputEmpty { rel: String, prev: bool },
+    InputEmpty {
+        rel: String,
+        prev: bool,
+    },
     Not(Box<Formula>),
     And(Vec<Formula>),
     Or(Vec<Formula>),
@@ -196,10 +199,9 @@ impl Formula {
             Formula::Not(x) => Formula::Not(Box::new(x.substitute(map))),
             Formula::And(xs) => Formula::And(xs.iter().map(|x| x.substitute(map)).collect()),
             Formula::Or(xs) => Formula::Or(xs.iter().map(|x| x.substitute(map)).collect()),
-            Formula::Implies(a, b) => Formula::Implies(
-                Box::new(a.substitute(map)),
-                Box::new(b.substitute(map)),
-            ),
+            Formula::Implies(a, b) => {
+                Formula::Implies(Box::new(a.substitute(map)), Box::new(b.substitute(map)))
+            }
             Formula::Exists(vs, x) => {
                 let inner_map: std::collections::HashMap<_, _> = map
                     .iter()
@@ -274,11 +276,8 @@ mod tests {
     #[test]
     fn and_flattens_and_short_circuits() {
         let a = atom("r", &[Term::Var("x".into())]);
-        let nested = Formula::and([
-            a.clone(),
-            Formula::True,
-            Formula::And(vec![a.clone(), a.clone()]),
-        ]);
+        let nested =
+            Formula::and([a.clone(), Formula::True, Formula::And(vec![a.clone(), a.clone()])]);
         assert!(matches!(&nested, Formula::And(xs) if xs.len() == 3));
         assert_eq!(Formula::and([Formula::False, a.clone()]), Formula::False);
         assert_eq!(Formula::and([]), Formula::True);

@@ -49,27 +49,21 @@ impl SlotMap {
     /// Slot carrying component `col` of input relation `rel`.
     pub fn field_slot(&mut self, rel: &str, col: usize, prev: bool) -> usize {
         let next = &mut self.next;
-        *self
-            .fields
-            .entry((rel.to_owned(), col, prev))
-            .or_insert_with(|| {
-                let s = *next;
-                *next += 1;
-                s
-            })
+        *self.fields.entry((rel.to_owned(), col, prev)).or_insert_with(|| {
+            let s = *next;
+            *next += 1;
+            s
+        })
     }
 
     /// Slot carrying the empty-flag of input relation `rel`.
     pub fn empty_slot(&mut self, rel: &str, prev: bool) -> usize {
         let next = &mut self.next;
-        *self
-            .empties
-            .entry((rel.to_owned(), prev))
-            .or_insert_with(|| {
-                let s = *next;
-                *next += 1;
-                s
-            })
+        *self.empties.entry((rel.to_owned(), prev)).or_insert_with(|| {
+            let s = *next;
+            *next += 1;
+            s
+        })
     }
 
     /// Total number of slots allocated.
@@ -99,9 +93,16 @@ pub enum CompileError {
     /// Formula is outside the safe-range fragment; the message names the
     /// offending construct. Callers fall back to direct evaluation.
     Unsafe(String),
-    UnknownRelation { rel: String, prev: bool },
+    UnknownRelation {
+        rel: String,
+        prev: bool,
+    },
     UnknownConstant(String),
-    ArityMismatch { rel: String, expected: usize, got: usize },
+    ArityMismatch {
+        rel: String,
+        expected: usize,
+        got: usize,
+    },
     /// A requested head variable is not free in the body.
     MissingHeadVar(String),
 }
@@ -184,8 +185,9 @@ pub fn compile(f: &Formula, ctx: &mut CompileCtx<'_>) -> Result<Compiled, Compil
         Formula::False => Ok(Compiled { plan: empty_unit(), cols: vec![] }),
         Formula::Page(p) => {
             let marker = CompileCtx::page_marker_name(p);
-            let id = ctx.schema.lookup(&marker).ok_or_else(|| {
-                CompileError::UnknownRelation { rel: marker.clone(), prev: false }
+            let id = ctx.schema.lookup(&marker).ok_or_else(|| CompileError::UnknownRelation {
+                rel: marker.clone(),
+                prev: false,
             })?;
             Ok(Compiled { plan: Plan::Scan(id), cols: vec![] })
         }
@@ -249,9 +251,7 @@ pub fn compile(f: &Formula, ctx: &mut CompileCtx<'_>) -> Result<Compiled, Compil
             _ => {
                 let inner = compile(x, ctx)?;
                 if !inner.cols.is_empty() {
-                    return Err(CompileError::Unsafe(format!(
-                        "negation over open formula {x}"
-                    )));
+                    return Err(CompileError::Unsafe(format!("negation over open formula {x}")));
                 }
                 Ok(Compiled {
                     plan: Plan::Difference(Box::new(unit()), Box::new(inner.plan)),
@@ -286,15 +286,10 @@ pub fn compile(f: &Formula, ctx: &mut CompileCtx<'_>) -> Result<Compiled, Compil
         }
         Formula::Forall(vars, body) => {
             // ∀x̄ φ ≡ ¬∃x̄ ¬φ — compiles only when the result is closed
-            let exists = Formula::Exists(
-                vars.clone(),
-                Box::new(Formula::not((**body).clone())),
-            );
+            let exists = Formula::Exists(vars.clone(), Box::new(Formula::not((**body).clone())));
             let inner = compile(&exists, ctx)?;
             if !inner.cols.is_empty() {
-                return Err(CompileError::Unsafe(format!(
-                    "universal over open formula {body}"
-                )));
+                return Err(CompileError::Unsafe(format!("universal over open formula {body}")));
             }
             Ok(Compiled {
                 plan: Plan::Difference(Box::new(unit()), Box::new(inner.plan)),
@@ -329,9 +324,7 @@ fn compile_atom(a: &Atom, ctx: &mut CompileCtx<'_>) -> Result<Compiled, CompileE
                 }
             },
             other => {
-                let s = ctx
-                    .ground_scalar(other)?
-                    .expect("non-var terms are always ground");
+                let s = ctx.ground_scalar(other)?.expect("non-var terms are always ground");
                 preds.push(Pred::Eq(Scalar::Col(j), s));
             }
         }
@@ -340,10 +333,8 @@ fn compile_atom(a: &Atom, ctx: &mut CompileCtx<'_>) -> Result<Compiled, CompileE
     if !preds.is_empty() {
         plan = Plan::Select { input: Box::new(plan), pred: Pred::And(preds) };
     }
-    plan = Plan::Project {
-        input: Box::new(plan),
-        cols: keep.into_iter().map(Scalar::Col).collect(),
-    };
+    plan =
+        Plan::Project { input: Box::new(plan), cols: keep.into_iter().map(Scalar::Col).collect() };
     Ok(Compiled { plan, cols })
 }
 
@@ -417,8 +408,7 @@ fn try_constraint(
                 (Some(x), Some(y), _, _) => Ok(Some(select(acc.clone(), Pred::Eq(x, y)))),
                 // extending equality: v := covered scalar
                 (Some(x), None, _, Term::Var(v)) | (None, Some(x), Term::Var(v), _) => {
-                    let mut cols: Vec<Scalar> =
-                        (0..acc.cols.len()).map(Scalar::Col).collect();
+                    let mut cols: Vec<Scalar> = (0..acc.cols.len()).map(Scalar::Col).collect();
                     cols.push(x);
                     let mut names = acc.cols.clone();
                     names.push(v.clone());
@@ -445,10 +435,7 @@ fn try_constraint(
         Formula::Not(inner) => match inner.as_ref() {
             Formula::InputEmpty { rel, prev } => {
                 let slot = ctx.slots.empty_slot(rel, *prev);
-                Ok(Some(select(
-                    acc.clone(),
-                    Pred::Not(Box::new(Pred::EmptyFlag(slot))),
-                )))
+                Ok(Some(select(acc.clone(), Pred::Not(Box::new(Pred::EmptyFlag(slot))))))
             }
             Formula::Eq(a, b) => try_constraint(&Formula::Ne(a.clone(), b.clone()), acc, ctx),
             Formula::Ne(a, b) => try_constraint(&Formula::Eq(a.clone(), b.clone()), acc, ctx),
@@ -484,10 +471,7 @@ fn try_constraint(
 }
 
 fn select(acc: Compiled, pred: Pred) -> Compiled {
-    Compiled {
-        plan: Plan::Select { input: Box::new(acc.plan), pred },
-        cols: acc.cols,
-    }
+    Compiled { plan: Plan::Select { input: Box::new(acc.plan), pred }, cols: acc.cols }
 }
 
 /// Natural join of two compiled results on shared variable names.
@@ -509,10 +493,8 @@ fn join(left: Compiled, right: Compiled) -> Compiled {
     if !preds.is_empty() {
         plan = Plan::Select { input: Box::new(plan), pred: Pred::And(preds) };
     }
-    let plan = Plan::Project {
-        input: Box::new(plan),
-        cols: keep.into_iter().map(Scalar::Col).collect(),
-    };
+    let plan =
+        Plan::Project { input: Box::new(plan), cols: keep.into_iter().map(Scalar::Col).collect() };
     Compiled { plan, cols }
 }
 
@@ -541,9 +523,7 @@ fn compile_or(xs: &[Formula], ctx: &mut CompileCtx<'_>) -> Result<Compiled, Comp
         // align column order with the target
         let cols: Vec<Scalar> = target
             .iter()
-            .map(|v| {
-                Scalar::Col(p.cols.iter().position(|c| c == v).expect("same var set"))
-            })
+            .map(|v| Scalar::Col(p.cols.iter().position(|c| c == v).expect("same var set")))
             .collect();
         let aligned = Plan::Project { input: Box::new(p.plan), cols };
         plan = Some(match plan {
@@ -572,10 +552,7 @@ pub fn compile_query(
                 .ok_or_else(|| CompileError::MissingHeadVar(v.clone()))
         })
         .collect::<Result<_, _>>()?;
-    Ok(Compiled {
-        plan: Plan::Project { input: Box::new(inner.plan), cols },
-        cols: head.to_vec(),
-    })
+    Ok(Compiled { plan: Plan::Project { input: Box::new(inner.plan), cols }, cols: head.to_vec() })
 }
 
 /// Compile a sentence as a boolean query (width-0 plan; non-empty = true).
@@ -626,8 +603,7 @@ mod tests {
     fn run(fxt: &Fx, src: &str, head: &[&str]) -> Vec<Vec<Value>> {
         let f = parse_formula(src).unwrap();
         let mut slots = SlotMap::new();
-        let mut ctx =
-            CompileCtx { schema: &fxt.schema, symbols: &fxt.symbols, slots: &mut slots };
+        let mut ctx = CompileCtx { schema: &fxt.schema, symbols: &fxt.symbols, slots: &mut slots };
         let head: Vec<String> = head.iter().map(|s| s.to_string()).collect();
         let q = compile_query(&f, &head, &mut ctx).unwrap();
         q.plan.validate(&fxt.schema).unwrap();
@@ -638,8 +614,7 @@ mod tests {
     fn run_bool(fxt: &Fx, src: &str) -> bool {
         let f = parse_formula(src).unwrap();
         let mut slots = SlotMap::new();
-        let mut ctx =
-            CompileCtx { schema: &fxt.schema, symbols: &fxt.symbols, slots: &mut slots };
+        let mut ctx = CompileCtx { schema: &fxt.schema, symbols: &fxt.symbols, slots: &mut slots };
         let p = compile_bool(&f, &mut ctx).unwrap();
         !execute(&p, &fxt.instance, &Params::none()).unwrap().is_empty()
     }
@@ -713,8 +688,7 @@ mod tests {
         let f = fx();
         let form = parse_formula("x = y").unwrap();
         let mut slots = SlotMap::new();
-        let mut ctx =
-            CompileCtx { schema: &f.schema, symbols: &f.symbols, slots: &mut slots };
+        let mut ctx = CompileCtx { schema: &f.schema, symbols: &f.symbols, slots: &mut slots };
         assert!(matches!(compile(&form, &mut ctx), Err(CompileError::Unsafe(_))));
         let form2 = parse_formula("!price(x, y)").unwrap();
         assert!(matches!(compile(&form2, &mut ctx), Err(CompileError::Unsafe(_))));
@@ -725,8 +699,7 @@ mod tests {
         let f = fx();
         let form = parse_formula("stock(x)").unwrap();
         let mut slots = SlotMap::new();
-        let mut ctx =
-            CompileCtx { schema: &f.schema, symbols: &f.symbols, slots: &mut slots };
+        let mut ctx = CompileCtx { schema: &f.schema, symbols: &f.symbols, slots: &mut slots };
         assert_eq!(
             compile_query(&form, &["z".to_string()], &mut ctx).unwrap_err(),
             CompileError::MissingHeadVar("z".into())
@@ -760,8 +733,7 @@ mod tests {
         ]);
         let mut slots = SlotMap::new();
         let plan = {
-            let mut ctx =
-                CompileCtx { schema: &f.schema, symbols: &f.symbols, slots: &mut slots };
+            let mut ctx = CompileCtx { schema: &f.schema, symbols: &f.symbols, slots: &mut slots };
             compile_bool(&form, &mut ctx).unwrap()
         };
         assert_eq!(slots.len(), 3, "two fields + one empty flag");

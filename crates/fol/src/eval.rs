@@ -123,10 +123,7 @@ fn eval_term(
     env: &Bindings,
 ) -> Result<Option<Value>, EvalError> {
     match term {
-        Term::Var(v) => env
-            .get(v)
-            .map(Some)
-            .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
+        Term::Var(v) => env.get(v).map(Some).ok_or_else(|| EvalError::UnboundVariable(v.clone())),
         Term::Const(c) => ctx
             .symbols
             .lookup_constant(c)
@@ -180,17 +177,11 @@ pub fn eval(
             Ok(rel.contains(&Tuple::from(vals)))
         }
         Formula::Eq(a, b) => {
-            let (va, vb) = (
-                eval_term(a, ctx, resolver, env)?,
-                eval_term(b, ctx, resolver, env)?,
-            );
+            let (va, vb) = (eval_term(a, ctx, resolver, env)?, eval_term(b, ctx, resolver, env)?);
             Ok(matches!((va, vb), (Some(x), Some(y)) if x == y))
         }
         Formula::Ne(a, b) => {
-            let (va, vb) = (
-                eval_term(a, ctx, resolver, env)?,
-                eval_term(b, ctx, resolver, env)?,
-            );
+            let (va, vb) = (eval_term(a, ctx, resolver, env)?, eval_term(b, ctx, resolver, env)?);
             Ok(matches!((va, vb), (Some(x), Some(y)) if x != y))
         }
         Formula::Not(x) => Ok(!eval(x, ctx, resolver, env)?),
@@ -210,9 +201,7 @@ pub fn eval(
             }
             Ok(false)
         }
-        Formula::Implies(a, b) => {
-            Ok(!eval(a, ctx, resolver, env)? || eval(b, ctx, resolver, env)?)
-        }
+        Formula::Implies(a, b) => Ok(!eval(a, ctx, resolver, env)? || eval(b, ctx, resolver, env)?),
         Formula::Exists(vars, body) => quantify(vars, body, ctx, resolver, env, false),
         Formula::Forall(vars, body) => quantify(vars, body, ctx, resolver, env, true),
     }
@@ -385,8 +374,7 @@ mod tests {
             current_page: None,
             domain: &fx.domain,
         };
-        let err =
-            eval(&f, &ctx, &SchemaResolver(&fx.schema), &mut Bindings::new()).unwrap_err();
+        let err = eval(&f, &ctx, &SchemaResolver(&fx.schema), &mut Bindings::new()).unwrap_err();
         assert!(matches!(err, EvalError::UnknownConstant(_)));
     }
 
@@ -442,8 +430,8 @@ mod tests {
             current_page: None,
             domain: &fx.domain,
         };
-        let out = answers(&f, &["x".into(), "y".into()], &ctx, &SchemaResolver(&fx.schema))
-            .unwrap();
+        let out =
+            answers(&f, &["x".into(), "y".into()], &ctx, &SchemaResolver(&fx.schema)).unwrap();
         assert_eq!(out.len(), 2);
     }
 

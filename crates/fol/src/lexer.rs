@@ -218,9 +218,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             },
             b if b.is_ascii_alphabetic() || b == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let ident = src[start..i].to_string();
@@ -233,10 +231,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
                     i += 1;
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Ident(src[start..i].to_string()),
-                    pos: start,
-                });
+                tokens
+                    .push(Token { kind: TokenKind::Ident(src[start..i].to_string()), pos: start });
             }
             other => {
                 return Err(LexError {
@@ -288,8 +284,13 @@ mod tests {
         let ks = kinds("[] <> @HP");
         assert_eq!(
             ks,
-            vec![TokenKind::Box_, TokenKind::Diamond, TokenKind::At,
-                 TokenKind::Ident("HP".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Box_,
+                TokenKind::Diamond,
+                TokenKind::At,
+                TokenKind::Ident("HP".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -21,7 +21,9 @@ pub use analysis::{
     OptionRuleViolation, RelKinds,
 };
 pub use ast::{Atom, Formula, Term};
-pub use compile::{compile, compile_bool, compile_query, CompileCtx, CompileError, Compiled, SlotMap};
+pub use compile::{
+    compile, compile_bool, compile_query, CompileCtx, CompileError, Compiled, SlotMap,
+};
 pub use eval::{
     answers, eval, prev_shadow_name, Bindings, EvalCtx, EvalError, RelResolver, SchemaResolver,
 };

@@ -48,20 +48,11 @@ pub fn eliminate_input_quantifiers(f: &Formula, inputs: &impl InputRels) -> Form
                 let rest = rest
                     .into_iter()
                     .map(|r| eliminate_input_quantifiers(&r.substitute(&subst), inputs));
-                let not_empty = Formula::not(Formula::InputEmpty {
-                    rel: guard.rel.clone(),
-                    prev: guard.prev,
-                });
-                Formula::and(
-                    std::iter::once(not_empty)
-                        .chain(constraints)
-                        .chain(rest),
-                )
+                let not_empty =
+                    Formula::not(Formula::InputEmpty { rel: guard.rel.clone(), prev: guard.prev });
+                Formula::and(std::iter::once(not_empty).chain(constraints).chain(rest))
             } else {
-                Formula::Exists(
-                    vars.clone(),
-                    Box::new(eliminate_input_quantifiers(body, inputs)),
-                )
+                Formula::Exists(vars.clone(), Box::new(eliminate_input_quantifiers(body, inputs)))
             }
         }
         Formula::Forall(vars, body) => {
@@ -69,37 +60,24 @@ pub fn eliminate_input_quantifiers(f: &Formula, inputs: &impl InputRels) -> Form
                 if let Formula::Atom(guard) = lhs.as_ref() {
                     if inputs.is_input(&guard.rel) && covers(guard, vars) {
                         let (constraints, subst) = guard_bindings(guard, vars);
-                        let rhs =
-                            eliminate_input_quantifiers(&rhs.substitute(&subst), inputs);
-                        let empty = Formula::InputEmpty {
-                            rel: guard.rel.clone(),
-                            prev: guard.prev,
-                        };
+                        let rhs = eliminate_input_quantifiers(&rhs.substitute(&subst), inputs);
+                        let empty =
+                            Formula::InputEmpty { rel: guard.rel.clone(), prev: guard.prev };
                         // emptyI ∨ (match → φ)
                         return Formula::or([
                             empty,
-                            Formula::Implies(
-                                Box::new(Formula::and(constraints)),
-                                Box::new(rhs),
-                            ),
+                            Formula::Implies(Box::new(Formula::and(constraints)), Box::new(rhs)),
                         ]);
                     }
                 }
             }
-            Formula::Forall(
-                vars.clone(),
-                Box::new(eliminate_input_quantifiers(body, inputs)),
-            )
+            Formula::Forall(vars.clone(), Box::new(eliminate_input_quantifiers(body, inputs)))
         }
         // ground input atoms (all terms context-ground) become field tests
         Formula::Atom(a) if inputs.is_input(&a.rel) => ground_input_atom(a),
         Formula::Not(x) => Formula::not(eliminate_input_quantifiers(x, inputs)),
-        Formula::And(xs) => {
-            Formula::and(xs.iter().map(|x| eliminate_input_quantifiers(x, inputs)))
-        }
-        Formula::Or(xs) => {
-            Formula::or(xs.iter().map(|x| eliminate_input_quantifiers(x, inputs)))
-        }
+        Formula::And(xs) => Formula::and(xs.iter().map(|x| eliminate_input_quantifiers(x, inputs))),
+        Formula::Or(xs) => Formula::or(xs.iter().map(|x| eliminate_input_quantifiers(x, inputs))),
         Formula::Implies(a, b) => Formula::Implies(
             Box::new(eliminate_input_quantifiers(a, inputs)),
             Box::new(eliminate_input_quantifiers(b, inputs)),
@@ -115,13 +93,9 @@ pub fn eliminate_input_quantifiers(f: &Formula, inputs: &impl InputRels) -> Form
 /// bound *outside* this atom stay as variables and become ordinary
 /// equality constraints.
 fn ground_input_atom(a: &Atom) -> Formula {
-    let not_empty =
-        Formula::not(Formula::InputEmpty { rel: a.rel.clone(), prev: a.prev });
+    let not_empty = Formula::not(Formula::InputEmpty { rel: a.rel.clone(), prev: a.prev });
     let eqs = a.terms.iter().enumerate().map(|(j, t)| {
-        Formula::Eq(
-            Term::Field { rel: a.rel.clone(), col: j, prev: a.prev },
-            t.clone(),
-        )
+        Formula::Eq(Term::Field { rel: a.rel.clone(), col: j, prev: a.prev }, t.clone())
     });
     Formula::and(std::iter::once(not_empty).chain(eqs))
 }
@@ -134,9 +108,7 @@ fn find_guard<'a>(
     inputs: &impl InputRels,
 ) -> Option<(&'a Atom, Vec<&'a Formula>)> {
     match body {
-        Formula::Atom(a) if inputs.is_input(&a.rel) && covers(a, vars) => {
-            Some((a, vec![]))
-        }
+        Formula::Atom(a) if inputs.is_input(&a.rel) && covers(a, vars) => Some((a, vec![])),
         Formula::And(xs) => {
             for (i, x) in xs.iter().enumerate() {
                 if let Formula::Atom(a) = x {
@@ -168,10 +140,7 @@ fn covers(a: &Atom, vars: &[String]) -> bool {
 ///
 /// Repeated quantified variables (e.g. `I(x, x)`) yield a field-equality
 /// constraint between the two positions.
-fn guard_bindings(
-    guard: &Atom,
-    vars: &[String],
-) -> (Vec<Formula>, HashMap<String, Term>) {
+fn guard_bindings(guard: &Atom, vars: &[String]) -> (Vec<Formula>, HashMap<String, Term>) {
     let mut constraints = Vec::new();
     let mut subst: HashMap<String, Term> = HashMap::new();
     for (j, t) in guard.terms.iter().enumerate() {
@@ -231,10 +200,7 @@ mod tests {
     #[test]
     fn prev_flag_propagates() {
         let g = rewrite(r#"prev button("search")"#);
-        assert_eq!(
-            g.to_string(),
-            r#"(!(empty(prev button)) & prev button#0 = "search")"#
-        );
+        assert_eq!(g.to_string(), r#"(!(empty(prev button)) & prev button#0 = "search")"#);
     }
 
     #[test]
@@ -261,9 +227,7 @@ mod tests {
 
     #[test]
     fn nested_quantifiers_are_both_eliminated() {
-        let g = rewrite(
-            r#"forall x: button(x) -> (exists y: pay(y, y) & price(y, x))"#,
-        );
+        let g = rewrite(r#"forall x: button(x) -> (exists y: pay(y, y) & price(y, x))"#);
         let text = g.to_string();
         assert!(!text.contains("forall") && !text.contains("exists"), "got {text}");
         assert!(text.contains("price(pay#0, button#0)"), "got {text}");
@@ -292,11 +256,8 @@ mod tests {
         let rewritten = eliminate_input_quantifiers(&original, &inputs());
 
         // three scenarios: empty input, correct payment, wrong payment
-        let scenarios: Vec<(Option<(wave_relalg::Value, wave_relalg::Value)>, bool)> = vec![
-            (None, true),
-            (Some((i1, a100)), true),
-            (Some((i1, a200)), false),
-        ];
+        let scenarios: Vec<(Option<(wave_relalg::Value, wave_relalg::Value)>, bool)> =
+            vec![(None, true), (Some((i1, a100)), true), (Some((i1, a200)), false)];
         for (input, expected) in scenarios {
             let mut inst = Instance::empty(Arc::clone(&schema));
             inst.insert(price, Tuple::from([i1, a100]));

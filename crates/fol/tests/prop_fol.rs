@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use wave_fol::{
-    answers, compile_query, eval, Bindings, CompileCtx, EvalCtx, Formula, SchemaResolver,
-    SlotMap, Term,
+    answers, compile_query, eval, Bindings, CompileCtx, EvalCtx, Formula, SchemaResolver, SlotMap,
+    Term,
 };
 use wave_relalg::{execute, Instance, Params, RelKind, Schema, SymbolTable, Tuple, Value};
 
@@ -29,8 +29,11 @@ fn symbols() -> SymbolTable {
     t
 }
 
+/// Raw tuples for the three relations `r`, `s`, `q`.
+type RawInstance = (Vec<(u32, u32)>, Vec<u32>, Vec<(u32, u32)>);
+
 /// Random instance over the four constants.
-fn instance_strategy() -> impl Strategy<Value = (Vec<(u32, u32)>, Vec<u32>, Vec<(u32, u32)>)> {
+fn instance_strategy() -> impl Strategy<Value = RawInstance> {
     (
         prop::collection::vec((0u32..4, 0u32..4), 0..8),
         prop::collection::vec(0u32..4, 0..5),
@@ -38,10 +41,7 @@ fn instance_strategy() -> impl Strategy<Value = (Vec<(u32, u32)>, Vec<u32>, Vec<
     )
 }
 
-fn build_instance(
-    schema: &Arc<Schema>,
-    (r, s, q): &(Vec<(u32, u32)>, Vec<u32>, Vec<(u32, u32)>),
-) -> Instance {
+fn build_instance(schema: &Arc<Schema>, (r, s, q): &RawInstance) -> Instance {
     let mut inst = Instance::empty(Arc::clone(schema));
     let rid = schema.lookup("r").unwrap();
     let sid = schema.lookup("s").unwrap();
@@ -97,9 +97,8 @@ fn formula_strategy() -> impl Strategy<Value = Formula> {
             terms: vec![Term::Var("y".into())],
         })),
     ];
-    (ranger, prop::collection::vec(constraint, 0..3)).prop_map(|(r, cs)| {
-        Formula::and(std::iter::once(r).chain(cs))
-    })
+    (ranger, prop::collection::vec(constraint, 0..3))
+        .prop_map(|(r, cs)| Formula::and(std::iter::once(r).chain(cs)))
 }
 
 proptest! {
@@ -215,10 +214,7 @@ proptest! {
     }
 }
 
-fn build_instance_alt(
-    schema: &Arc<Schema>,
-    raw: &(Vec<(u32, u32)>, Vec<u32>, Vec<(u32, u32)>),
-) -> Instance {
+fn build_instance_alt(schema: &Arc<Schema>, raw: &RawInstance) -> Instance {
     let mut inst = Instance::empty(Arc::clone(schema));
     let rid = schema.lookup("r").unwrap();
     let sid = schema.lookup("s").unwrap();

@@ -81,9 +81,7 @@ impl Ltl {
             Ltl::Not(x) => Ltl::Not(Box::new(x.group_fo())),
             Ltl::And(a, b) => Ltl::And(Box::new(a.group_fo()), Box::new(b.group_fo())),
             Ltl::Or(a, b) => Ltl::Or(Box::new(a.group_fo()), Box::new(b.group_fo())),
-            Ltl::Implies(a, b) => {
-                Ltl::Implies(Box::new(a.group_fo()), Box::new(b.group_fo()))
-            }
+            Ltl::Implies(a, b) => Ltl::Implies(Box::new(a.group_fo()), Box::new(b.group_fo())),
             Ltl::X(x) => Ltl::X(Box::new(x.group_fo())),
             Ltl::F(x) => Ltl::F(Box::new(x.group_fo())),
             Ltl::G(x) => Ltl::G(Box::new(x.group_fo())),

@@ -276,9 +276,7 @@ impl Buchi {
             let old = &tableau.nodes[state].old;
             // `true` is discharged without being recorded in Old, so a
             // satisfied `μ U true` must count as fulfilled here
-            matches!(psi.as_ref(), Nnf::True)
-                || old.contains(psi)
-                || !old.contains(&untils[fi])
+            matches!(psi.as_ref(), Nnf::True) || old.contains(psi) || !old.contains(&untils[fi])
         };
 
         // GBA edges: src → dst when src ∈ incoming(dst); guard = label(dst)
@@ -327,15 +325,8 @@ impl Buchi {
     }
 
     /// Successor states of `s` enabled under `assign`.
-    pub fn successors<'a>(
-        &'a self,
-        s: usize,
-        assign: u64,
-    ) -> impl Iterator<Item = usize> + 'a {
-        self.trans[s]
-            .iter()
-            .filter(move |(lbl, _)| lbl.satisfies(assign))
-            .map(|&(_, t)| t)
+    pub fn successors<'a>(&'a self, s: usize, assign: u64) -> impl Iterator<Item = usize> + 'a {
+        self.trans[s].iter().filter(move |(lbl, _)| lbl.satisfies(assign)).map(|&(_, t)| t)
     }
 
     /// Simplify: dedup transitions, drop useless states (those that cannot
@@ -378,8 +369,7 @@ impl Buchi {
             }
             // DFS from successors of s looking for s
             let mut seen = vec![false; n];
-            let mut stack: Vec<usize> =
-                self.trans[s].iter().map(|&(_, t)| t).collect();
+            let mut stack: Vec<usize> = self.trans[s].iter().map(|&(_, t)| t).collect();
             let mut found = false;
             while let Some(t) = stack.pop() {
                 if t == s {
@@ -398,11 +388,10 @@ impl Buchi {
         loop {
             let mut changed = false;
             for s in 0..n {
-                if reach[s] && !useful[s]
-                    && self.trans[s].iter().any(|&(_, t)| useful[t]) {
-                        useful[s] = true;
-                        changed = true;
-                    }
+                if reach[s] && !useful[s] && self.trans[s].iter().any(|&(_, t)| useful[t]) {
+                    useful[s] = true;
+                    changed = true;
+                }
             }
             if !changed {
                 break;
@@ -509,10 +498,8 @@ impl Buchi {
                     continue;
                 }
                 let mut seen = vec![false; self.trans.len() * total];
-                let mut stack: Vec<(usize, usize)> = self
-                    .successors(s, word(i))
-                    .map(|t| (t, succ_pos(i)))
-                    .collect();
+                let mut stack: Vec<(usize, usize)> =
+                    self.successors(s, word(i)).map(|t| (t, succ_pos(i))).collect();
                 while let Some((t, j)) = stack.pop() {
                     if (t, j) == (s, i) {
                         return true;
@@ -572,8 +559,7 @@ mod tests {
     fn fig1_buchi_for_until() {
         let (b, _) = automaton("p1() U p2()");
         assert_eq!(b.num_states(), 2, "\n{b}");
-        let acc: Vec<usize> =
-            (0..2).filter(|&s| b.accepting[s]).collect();
+        let acc: Vec<usize> = (0..2).filter(|&s| b.accepting[s]).collect();
         assert_eq!(acc.len(), 1);
         let acc = acc[0];
         let start = b.initial;
@@ -581,14 +567,10 @@ mod tests {
         // accepting state loops unconditionally
         assert!(b.trans[acc].iter().any(|&(l, t)| t == acc && l == Label::TRUE), "\n{b}");
         // start loops on P1 and advances on P2
-        assert!(b
-            .trans[start]
+        assert!(b.trans[start]
             .iter()
             .any(|&(l, t)| t == start && l.satisfies(0b01) && !l.satisfies(0b00)));
-        assert!(b
-            .trans[start]
-            .iter()
-            .any(|&(l, t)| t == acc && l.satisfies(0b10)));
+        assert!(b.trans[start].iter().any(|&(l, t)| t == acc && l.satisfies(0b10)));
     }
 
     #[test]
@@ -671,13 +653,13 @@ mod tests {
             "G p()",
             "F p()",
             "X p()",
-            "G (p() -> F q())",      // response
-            "F p() -> F q()",        // correlation
-            "G p() -> G q()",        // session
-            "G (F p())",             // recurrence
-            "F (G p())",             // strong non-progress
-            "G (p() -> X p())",      // weak non-progress
-            "G p() | F q()",         // reachability-ish
+            "G (p() -> F q())", // response
+            "F p() -> F q()",   // correlation
+            "G p() -> G q()",   // session
+            "G (F p())",        // recurrence
+            "F (G p())",        // strong non-progress
+            "G (p() -> X p())", // weak non-progress
+            "G p() | F q()",    // reachability-ish
             "!(p() U q())",
             "(p() U q()) U p()",
             "X X p()",
@@ -696,10 +678,7 @@ mod tests {
                         let (pre, cyc) = word.split_at(plen);
                         let expect = f.eval_lasso(pre, cyc);
                         let got = b.accepts_lasso(pre, cyc);
-                        assert_eq!(
-                            expect, got,
-                            "formula {src}, word {pre:?} ({cyc:?})^ω\n{b}"
-                        );
+                        assert_eq!(expect, got, "formula {src}, word {pre:?} ({cyc:?})^ω\n{b}");
                     });
                 }
             }

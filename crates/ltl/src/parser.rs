@@ -62,9 +62,7 @@ fn collect_component_free_vars(l: &Ltl, vars: &mut Vec<String>) {
                 }
             }
         }
-        Ltl::Not(x) | Ltl::X(x) | Ltl::F(x) | Ltl::G(x) => {
-            collect_component_free_vars(x, vars)
-        }
+        Ltl::Not(x) | Ltl::X(x) | Ltl::F(x) | Ltl::G(x) => collect_component_free_vars(x, vars),
         Ltl::And(a, b)
         | Ltl::Or(a, b)
         | Ltl::Implies(a, b)
@@ -231,10 +229,8 @@ mod tests {
     #[test]
     fn parses_the_paper_shipment_property() {
         // (†) ∀x∀y∀id [(pay(id,x,y) ∧ price(x,y)) B ship(id,x)]
-        let prop = parse_property(
-            "forall x, y, id: (pay(id, x, y) & price(x, y)) B ship(id, x)",
-        )
-        .unwrap();
+        let prop =
+            parse_property("forall x, y, id: (pay(id, x, y) & price(x, y)) B ship(id, x)").unwrap();
         assert_eq!(prop.univ_vars, vec!["x", "y", "id"]);
         match prop.body {
             Ltl::B(lhs, rhs) => {
@@ -278,8 +274,7 @@ mod tests {
     #[test]
     fn quantified_fo_component_stays_fo() {
         // P9-style: G(@EP -> ∃x clicklink(x)) → …
-        let prop =
-            parse_property("G (@EP -> (exists x: clicklink(x))) -> G F @HP").unwrap();
+        let prop = parse_property("G (@EP -> (exists x: clicklink(x))) -> G F @HP").unwrap();
         match prop.body {
             Ltl::Implies(lhs, _) => match *lhs {
                 Ltl::G(inner) => {

@@ -69,30 +69,18 @@ fn go(l: &Ltl, components: &mut Vec<Formula>) -> PropLtl {
             PropLtl::Prop(id)
         }
         Ltl::Not(x) => PropLtl::Not(Box::new(go(x, components))),
-        Ltl::And(a, b) => {
-            PropLtl::And(Box::new(go(a, components)), Box::new(go(b, components)))
-        }
-        Ltl::Or(a, b) => {
-            PropLtl::Or(Box::new(go(a, components)), Box::new(go(b, components)))
-        }
+        Ltl::And(a, b) => PropLtl::And(Box::new(go(a, components)), Box::new(go(b, components))),
+        Ltl::Or(a, b) => PropLtl::Or(Box::new(go(a, components)), Box::new(go(b, components))),
         Ltl::Implies(a, b) => PropLtl::Or(
             Box::new(PropLtl::Not(Box::new(go(a, components)))),
             Box::new(go(b, components)),
         ),
         Ltl::X(x) => PropLtl::X(Box::new(go(x, components))),
         // F p ≡ true U p; G p ≡ false R p
-        Ltl::F(x) => {
-            PropLtl::U(Box::new(PropLtl::True), Box::new(go(x, components)))
-        }
-        Ltl::G(x) => {
-            PropLtl::R(Box::new(PropLtl::False), Box::new(go(x, components)))
-        }
-        Ltl::U(a, b) => {
-            PropLtl::U(Box::new(go(a, components)), Box::new(go(b, components)))
-        }
-        Ltl::R(a, b) => {
-            PropLtl::R(Box::new(go(a, components)), Box::new(go(b, components)))
-        }
+        Ltl::F(x) => PropLtl::U(Box::new(PropLtl::True), Box::new(go(x, components))),
+        Ltl::G(x) => PropLtl::R(Box::new(PropLtl::False), Box::new(go(x, components))),
+        Ltl::U(a, b) => PropLtl::U(Box::new(go(a, components)), Box::new(go(b, components))),
+        Ltl::R(a, b) => PropLtl::R(Box::new(go(a, components)), Box::new(go(b, components))),
         // p B q ≡ ¬(¬p U (q ∧ ¬p)) ≡ p R (¬q ∨ p): q may not become true
         // before p has held, but the first occurrences may coincide
         Ltl::B(a, b) => {
@@ -100,10 +88,7 @@ fn go(l: &Ltl, components: &mut Vec<Formula>) -> PropLtl {
             let pb = go(b, components);
             PropLtl::R(
                 Box::new(pa.clone()),
-                Box::new(PropLtl::Or(
-                    Box::new(PropLtl::Not(Box::new(pb))),
-                    Box::new(pa),
-                )),
+                Box::new(PropLtl::Or(Box::new(PropLtl::Not(Box::new(pb))), Box::new(pa))),
             )
         }
     }
@@ -116,7 +101,10 @@ pub enum Nnf {
     True,
     False,
     /// Literal: proposition `id`, positive when `positive`.
-    Lit { id: usize, positive: bool },
+    Lit {
+        id: usize,
+        positive: bool,
+    },
     And(Box<Nnf>, Box<Nnf>),
     Or(Box<Nnf>, Box<Nnf>),
     X(Box<Nnf>),
@@ -186,7 +174,13 @@ impl Nnf {
         let succ = |i: usize| if i + 1 < n { i + 1 } else { prefix.len() };
         // iterate to fixpoint: least for U, greatest for R — 2n rounds of
         // backward evaluation over the lasso positions suffice
-        fn value(f: &Nnf, i: usize, word: &dyn Fn(usize) -> u64, succ: &dyn Fn(usize) -> usize, fuel: usize) -> bool {
+        fn value(
+            f: &Nnf,
+            i: usize,
+            word: &dyn Fn(usize) -> u64,
+            succ: &dyn Fn(usize) -> usize,
+            fuel: usize,
+        ) -> bool {
             match f {
                 Nnf::True => true,
                 Nnf::False => false,
@@ -194,12 +188,8 @@ impl Nnf {
                     let bit = (word(i) >> id) & 1 == 1;
                     bit == *positive
                 }
-                Nnf::And(a, b) => {
-                    value(a, i, word, succ, fuel) && value(b, i, word, succ, fuel)
-                }
-                Nnf::Or(a, b) => {
-                    value(a, i, word, succ, fuel) || value(b, i, word, succ, fuel)
-                }
+                Nnf::And(a, b) => value(a, i, word, succ, fuel) && value(b, i, word, succ, fuel),
+                Nnf::Or(a, b) => value(a, i, word, succ, fuel) || value(b, i, word, succ, fuel),
                 Nnf::X(x) => value(x, succ(i), word, succ, fuel),
                 Nnf::U(a, b) => {
                     // unfold at most `fuel` steps; on a lasso of n positions,
@@ -247,10 +237,9 @@ impl Nnf {
         let mut out = Vec::new();
         fn walk(f: &Nnf, out: &mut Vec<usize>) {
             match f {
-                Nnf::Lit { id, .. }
-                    if !out.contains(id) => {
-                        out.push(*id);
-                    }
+                Nnf::Lit { id, .. } if !out.contains(id) => {
+                    out.push(*id);
+                }
                 Nnf::And(a, b) | Nnf::Or(a, b) | Nnf::U(a, b) | Nnf::R(a, b) => {
                     walk(a, out);
                     walk(b, out);
@@ -362,10 +351,7 @@ mod tests {
     #[test]
     fn lasso_semantics_release_and_globally() {
         // G p ≡ false R p
-        let g = Nnf::R(
-            Box::new(Nnf::False),
-            Box::new(Nnf::Lit { id: 0, positive: true }),
-        );
+        let g = Nnf::R(Box::new(Nnf::False), Box::new(Nnf::Lit { id: 0, positive: true }));
         assert!(g.eval_lasso(&[0b1], &[0b1]));
         assert!(!g.eval_lasso(&[0b1], &[0b1, 0b0]));
     }
@@ -374,13 +360,7 @@ mod tests {
     fn lasso_semantics_before() {
         // p B q ≡ p R (¬q ∨ p): q may not precede p, coincidence allowed
         let p = || Box::new(Nnf::Lit { id: 0, positive: true });
-        let b = Nnf::R(
-            p(),
-            Box::new(Nnf::Or(
-                Box::new(Nnf::Lit { id: 1, positive: false }),
-                p(),
-            )),
-        );
+        let b = Nnf::R(p(), Box::new(Nnf::Or(Box::new(Nnf::Lit { id: 1, positive: false }), p())));
         // q never → true
         assert!(b.eval_lasso(&[], &[0b00]));
         // p at 0, q at 1 → true

@@ -14,15 +14,11 @@ fn nnf_strategy() -> impl Strategy<Value = Nnf> {
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Nnf::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Nnf::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Nnf::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Nnf::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Nnf::X(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Nnf::U(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Nnf::R(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Nnf::U(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Nnf::R(Box::new(a), Box::new(b))),
         ]
     })
 }

@@ -122,10 +122,7 @@ struct Search<'a> {
 impl NaiveVerifier {
     /// Compile the spec for explicit-state checking.
     pub fn new(spec: Spec, options: NaiveOptions) -> Result<NaiveVerifier, NaiveError> {
-        Ok(NaiveVerifier {
-            spec: CompiledSpec::compile(spec).map_err(NaiveError::Spec)?,
-            options,
-        })
+        Ok(NaiveVerifier { spec: CompiledSpec::compile(spec).map_err(NaiveError::Spec)?, options })
     }
 
     /// Check a property over all databases within the bounded domain.
@@ -148,10 +145,7 @@ impl NaiveVerifier {
         })
     }
 
-    fn check_inner(
-        &self,
-        property: &Property,
-    ) -> Result<(NaiveVerdict, NaiveStats), NaiveError> {
+    fn check_inner(&self, property: &Property) -> Result<(NaiveVerdict, NaiveStats), NaiveError> {
         let start = Instant::now();
         let deadline = self.options.time_limit.map(|d| start + d);
         let spec = &self.spec;
@@ -218,10 +212,8 @@ impl NaiveVerifier {
             }
             let mut idx = vec![0usize; arity as usize];
             loop {
-                universe.push((
-                    rel,
-                    Tuple::from(idx.iter().map(|&i| domain[i]).collect::<Vec<_>>()),
-                ));
+                universe
+                    .push((rel, Tuple::from(idx.iter().map(|&i| domain[i]).collect::<Vec<_>>())));
                 let mut pos = arity as usize;
                 let mut done = true;
                 while pos > 0 {
@@ -359,9 +351,7 @@ impl Search<'_> {
                         if self.visited.insert((t, ct.clone(), false)) {
                             self.stick(t, ct, None)?;
                         }
-                        if self.buchi.accepting[t]
-                            && self.visited.insert((t, ct.clone(), true))
-                        {
+                        if self.buchi.accepting[t] && self.visited.insert((t, ct.clone(), true)) {
                             let b = (t, ct.clone());
                             self.stick(t, ct, Some(&b))?;
                         }
@@ -383,13 +373,7 @@ impl Search<'_> {
 
     fn materialize(&self, cfg: &Config) -> Instance {
         let mut inst = self.db.clone();
-        for (rel, t) in cfg
-            .input
-            .iter()
-            .chain(&cfg.prev)
-            .chain(&cfg.state)
-            .chain(&cfg.actions)
-        {
+        for (rel, t) in cfg.input.iter().chain(&cfg.prev).chain(&cfg.state).chain(&cfg.actions) {
             inst.insert(*rel, t.clone());
         }
         inst.insert(self.spec.page(cfg.page).marker, Tuple::from([]));
@@ -485,13 +469,7 @@ impl Search<'_> {
         state: Vec<(wave_relalg::RelId, Tuple)>,
     ) -> Result<Vec<Config>, wave_fol::EvalError> {
         let page = self.spec.page(page_id);
-        let shell = Config {
-            page: page_id,
-            input: Vec::new(),
-            prev,
-            state,
-            actions: Vec::new(),
-        };
+        let shell = Config { page: page_id, input: Vec::new(), prev, state, actions: Vec::new() };
         let inst = self.materialize(&shell);
         let page_name = &page.name;
         let ctx = EvalCtx {
@@ -537,11 +515,8 @@ impl Search<'_> {
         let mut idx = vec![0usize; choice_lists.len()];
         loop {
             let mut cfg = shell.clone();
-            cfg.input = choice_lists
-                .iter()
-                .zip(&idx)
-                .filter_map(|(cs, &i)| cs[i].clone())
-                .collect();
+            cfg.input =
+                choice_lists.iter().zip(&idx).filter_map(|(cs, &i)| cs[i].clone()).collect();
             cfg.input.sort_unstable();
             // actions under this choice
             let inst2 = self.materialize(&cfg);

@@ -110,11 +110,7 @@ impl DiskEngine {
             &*Box::new(0u8) as *const u8 as usize
         ));
         let file = std::fs::File::create(&path)?;
-        Ok(DiskEngine {
-            inst: Instance::empty(schema),
-            log: std::io::BufWriter::new(file),
-            path,
-        })
+        Ok(DiskEngine { inst: Instance::empty(schema), log: std::io::BufWriter::new(file), path })
     }
 
     fn log_record(&mut self, op: u8, rel: RelId, t: &Tuple) {

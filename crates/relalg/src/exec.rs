@@ -47,11 +47,7 @@ impl Params {
     }
 
     fn value(&self, i: usize) -> Result<Value, ExecError> {
-        self.values
-            .get(i)
-            .copied()
-            .flatten()
-            .ok_or(ExecError::UnboundParam(i))
+        self.values.get(i).copied().flatten().ok_or(ExecError::UnboundParam(i))
     }
 
     fn empty(&self, i: usize) -> bool {
@@ -162,19 +158,13 @@ pub fn execute(plan: &Plan, inst: &Instance, params: &Params) -> Result<Relation
             }
             Relation::from_tuples(lrel.arity() + rrel.arity(), out)
         }
-        Plan::Union(l, r) => {
-            execute(l, inst, params)?.union(&execute(r, inst, params)?)
-        }
-        Plan::Difference(l, r) => {
-            execute(l, inst, params)?.difference(&execute(r, inst, params)?)
-        }
+        Plan::Union(l, r) => execute(l, inst, params)?.union(&execute(r, inst, params)?),
+        Plan::Difference(l, r) => execute(l, inst, params)?.difference(&execute(r, inst, params)?),
         Plan::SemiJoin { left, right, on } => {
             let lrel = execute(left, inst, params)?;
             let rrel = execute(right, inst, params)?;
             let matches = |lt: &Tuple| {
-                rrel.iter().any(|rt| {
-                    on.iter().all(|&(lc, rc)| lt.get(lc) == rt.get(rc))
-                })
+                rrel.iter().any(|rt| on.iter().all(|&(lc, rc)| lt.get(lc) == rt.get(rc)))
             };
             Relation::from_tuples(
                 lrel.arity(),
@@ -185,9 +175,7 @@ pub fn execute(plan: &Plan, inst: &Instance, params: &Params) -> Result<Relation
             let lrel = execute(left, inst, params)?;
             let rrel = execute(right, inst, params)?;
             let matches = |lt: &Tuple| {
-                rrel.iter().any(|rt| {
-                    on.iter().all(|&(lc, rc)| lt.get(lc) == rt.get(rc))
-                })
+                rrel.iter().any(|rt| on.iter().all(|&(lc, rc)| lt.get(lc) == rt.get(rc)))
             };
             Relation::from_tuples(
                 lrel.arity(),

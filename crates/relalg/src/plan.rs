@@ -98,9 +98,7 @@ impl std::error::Error for PlanError {}
 impl Pred {
     fn validate(&self, width: usize) -> Result<(), PlanError> {
         let check = |s: &Scalar| match *s {
-            Scalar::Col(c) if c >= width => {
-                Err(PlanError::ColumnOutOfRange { col: c, width })
-            }
+            Scalar::Col(c) if c >= width => Err(PlanError::ColumnOutOfRange { col: c, width }),
             _ => Ok(()),
         };
         match self {
@@ -138,10 +136,7 @@ impl Plan {
             Plan::Values { width, rows } => {
                 for row in rows {
                     if row.len() != *width {
-                        return Err(PlanError::BadValuesRow {
-                            expected: *width,
-                            got: row.len(),
-                        });
+                        return Err(PlanError::BadValuesRow { expected: *width, got: row.len() });
                     }
                     if row.iter().any(|s| matches!(s, Scalar::Col(_))) {
                         return Err(PlanError::ColumnInValues);
@@ -208,9 +203,9 @@ impl Plan {
                 Plan::Project { input, cols } => {
                     walk(input).max(cols.iter().filter_map(scal).max())
                 }
-                Plan::Product(l, r)
-                | Plan::Union(l, r)
-                | Plan::Difference(l, r) => walk(l).max(walk(r)),
+                Plan::Product(l, r) | Plan::Union(l, r) | Plan::Difference(l, r) => {
+                    walk(l).max(walk(r))
+                }
                 Plan::SemiJoin { left, right, .. } | Plan::AntiJoin { left, right, .. } => {
                     walk(left).max(walk(right))
                 }
@@ -248,10 +243,7 @@ mod tests {
             cols: vec![Scalar::Col(1), Scalar::Col(0), Scalar::Const(Value(7))],
         };
         assert_eq!(good.validate(&s), Ok(3));
-        let bad = Plan::Project {
-            input: Box::new(Plan::Scan(r)),
-            cols: vec![Scalar::Col(2)],
-        };
+        let bad = Plan::Project { input: Box::new(Plan::Scan(r)), cols: vec![Scalar::Col(2)] };
         assert!(matches!(bad.validate(&s), Err(PlanError::ColumnOutOfRange { .. })));
     }
 
@@ -270,10 +262,7 @@ mod tests {
         let r = s.lookup("r").unwrap();
         let p = Plan::Select {
             input: Box::new(Plan::Scan(r)),
-            pred: Pred::And(vec![
-                Pred::Eq(Scalar::Col(0), Scalar::Param(3)),
-                Pred::EmptyFlag(5),
-            ]),
+            pred: Pred::And(vec![Pred::Eq(Scalar::Col(0), Scalar::Param(3)), Pred::EmptyFlag(5)]),
         };
         assert_eq!(p.param_count(), 6);
         assert_eq!(Plan::Scan(r).param_count(), 0);

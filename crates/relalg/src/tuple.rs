@@ -154,19 +154,13 @@ impl Relation {
     /// Set difference (`self \ other`).
     pub fn difference(&self, other: &Relation) -> Relation {
         assert_eq!(self.arity, other.arity);
-        Relation::from_tuples(
-            self.arity,
-            self.iter().filter(|t| !other.contains(t)).cloned(),
-        )
+        Relation::from_tuples(self.arity, self.iter().filter(|t| !other.contains(t)).cloned())
     }
 
     /// Every distinct value appearing anywhere in the relation.
     pub fn active_domain(&self) -> Vec<Value> {
-        let mut vals: Vec<Value> = self
-            .tuples
-            .iter()
-            .flat_map(|t| t.values().iter().copied())
-            .collect();
+        let mut vals: Vec<Value> =
+            self.tuples.iter().flat_map(|t| t.values().iter().copied()).collect();
         vals.sort_unstable();
         vals.dedup();
         vals

@@ -15,8 +15,7 @@ fn tuples(arity: usize, max_val: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
 fn rel_of(arity: usize, raw: &[Vec<u32>]) -> Relation {
     Relation::from_tuples(
         arity,
-        raw.iter()
-            .map(|t| Tuple::from(t.iter().map(|&v| Value(v)).collect::<Vec<_>>())),
+        raw.iter().map(|t| Tuple::from(t.iter().map(|&v| Value(v)).collect::<Vec<_>>())),
     )
 }
 

@@ -18,8 +18,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use wave_fol::{
     check_input_bounded, check_option_rule, compile_bool, compile_query,
-    eliminate_input_quantifiers, prev_shadow_name, CompileCtx, CompileError, Formula,
-    IbViolation, OptionRuleViolation, RelKinds, SlotMap,
+    eliminate_input_quantifiers, prev_shadow_name, CompileCtx, CompileError, Formula, IbViolation,
+    OptionRuleViolation, RelKinds, SlotMap,
 };
 use wave_relalg::{Instance, Params, PreparedQuery, RelId, RelKind, Schema, SymbolTable, Value};
 
@@ -162,12 +162,8 @@ impl CompiledSpec {
         }
         let mut markers = HashMap::new();
         for p in &spec.pages {
-            let id = declare(
-                &mut schema,
-                &CompileCtx::page_marker_name(&p.name),
-                0,
-                RelKind::Database,
-            );
+            let id =
+                declare(&mut schema, &CompileCtx::page_marker_name(&p.name), 0, RelKind::Database);
             markers.insert(p.name.clone(), id);
         }
         let schema = Arc::new(schema);
@@ -197,36 +193,30 @@ impl CompiledSpec {
         let mut slots = SlotMap::new();
         let mut pages = Vec::with_capacity(spec.pages.len());
         for p in &spec.pages {
-            let inputs: Vec<RelId> = p
-                .inputs
-                .iter()
-                .map(|n| schema.lookup(n).expect("validated"))
-                .collect();
-            let mut compile_rule = |head: &str,
-                                    head_vars: &[String],
-                                    body: &Formula,
-                                    insert: bool|
-             -> CompiledRule {
-                let rewritten = eliminate_input_quantifiers(body, &|r: &str| kinds.is_input(r));
-                let exec = {
-                    let mut ctx =
-                        CompileCtx { schema: &schema, symbols: &symbols, slots: &mut slots };
-                    match compile_query(&rewritten, head_vars, &mut ctx) {
-                        Ok(c) => match PreparedQuery::prepare(&schema, c.plan) {
-                            Ok(q) => RuleExec::Plan(q),
+            let inputs: Vec<RelId> =
+                p.inputs.iter().map(|n| schema.lookup(n).expect("validated")).collect();
+            let mut compile_rule =
+                |head: &str, head_vars: &[String], body: &Formula, insert: bool| -> CompiledRule {
+                    let rewritten = eliminate_input_quantifiers(body, &|r: &str| kinds.is_input(r));
+                    let exec = {
+                        let mut ctx =
+                            CompileCtx { schema: &schema, symbols: &symbols, slots: &mut slots };
+                        match compile_query(&rewritten, head_vars, &mut ctx) {
+                            Ok(c) => match PreparedQuery::prepare(&schema, c.plan) {
+                                Ok(q) => RuleExec::Plan(q),
+                                Err(_) => RuleExec::Interp,
+                            },
                             Err(_) => RuleExec::Interp,
-                        },
-                        Err(_) => RuleExec::Interp,
+                        }
+                    };
+                    CompiledRule {
+                        head: schema.lookup(head).expect("validated"),
+                        head_vars: head_vars.to_vec(),
+                        body: body.clone(),
+                        exec,
+                        insert,
                     }
                 };
-                CompiledRule {
-                    head: schema.lookup(head).expect("validated"),
-                    head_vars: head_vars.to_vec(),
-                    body: body.clone(),
-                    exec,
-                    insert,
-                }
-            };
             let option_rules: Vec<CompiledRule> = p
                 .option_rules
                 .iter()
@@ -283,11 +273,8 @@ impl CompiledSpec {
                     let rewritten =
                         eliminate_input_quantifiers(&r.condition, &|x: &str| kinds.is_input(x));
                     let exec = {
-                        let mut ctx = CompileCtx {
-                            schema: &schema,
-                            symbols: &symbols,
-                            slots: &mut slots,
-                        };
+                        let mut ctx =
+                            CompileCtx { schema: &schema, symbols: &symbols, slots: &mut slots };
                         match compile_bool(&rewritten, &mut ctx) {
                             Ok(plan) => match PreparedQuery::prepare(&schema, plan) {
                                 Ok(q) => TargetExec::Plan(q),
@@ -335,10 +322,7 @@ impl CompiledSpec {
 
     /// Page id by name.
     pub fn page_id(&self, name: &str) -> Option<PageId> {
-        self.pages
-            .iter()
-            .position(|p| p.name == name)
-            .map(|i| PageId(i as u32))
+        self.pages.iter().position(|p| p.name == name).map(|i| PageId(i as u32))
     }
 
     /// Page data.
@@ -378,12 +362,7 @@ impl CompiledSpec {
         let mut plans = 0;
         let mut interp = 0;
         for p in &self.pages {
-            for r in p
-                .option_rules
-                .iter()
-                .chain(&p.state_rules)
-                .chain(&p.action_rules)
-            {
+            for r in p.option_rules.iter().chain(&p.state_rules).chain(&p.action_rules) {
                 match r.exec {
                     RuleExec::Plan(_) => plans += 1,
                     RuleExec::Interp => interp += 1,
@@ -463,8 +442,7 @@ mod tests {
     #[test]
     fn constants_interned_in_order() {
         let c = CompiledSpec::compile(tiny()).unwrap();
-        let names: Vec<String> =
-            c.constants.iter().map(|&v| c.symbols.display(v)).collect();
+        let names: Vec<String> = c.constants.iter().map(|&v| c.symbols.display(v)).collect();
         assert_eq!(names, vec!["\"login\"", "\"logout\""]);
     }
 

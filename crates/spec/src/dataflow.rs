@@ -70,25 +70,12 @@ impl Dataflow {
         rel: &str,
         col: usize,
     ) -> impl Iterator<Item = &InputSrc> {
-        self.input_srcs
-            .get(page)
-            .and_then(|m| m.get(&(rel.to_owned(), col)))
-            .into_iter()
-            .flatten()
+        self.input_srcs.get(page).and_then(|m| m.get(&(rel.to_owned(), col))).into_iter().flatten()
     }
 
     /// Option-rule variables occurring at attribute `(rel, col)` at `page`.
-    pub fn option_vars(
-        &self,
-        page: &str,
-        rel: &str,
-        col: usize,
-    ) -> impl Iterator<Item = &OptVar> {
-        self.opt_vars
-            .get(page)
-            .and_then(|m| m.get(&(rel.to_owned(), col)))
-            .into_iter()
-            .flatten()
+    pub fn option_vars(&self, page: &str, rel: &str, col: usize) -> impl Iterator<Item = &OptVar> {
+        self.opt_vars.get(page).and_then(|m| m.get(&(rel.to_owned(), col))).into_iter().flatten()
     }
 }
 
@@ -154,11 +141,8 @@ pub fn analyze(spec: &Spec, property_components: &[Formula]) -> Dataflow {
         let mut changed = false;
         for d in &digests {
             for (src, dst) in &d.copies {
-                let dst_consts: Vec<String> = flow
-                    .consts
-                    .get(dst)
-                    .map(|s| s.iter().cloned().collect())
-                    .unwrap_or_default();
+                let dst_consts: Vec<String> =
+                    flow.consts.get(dst).map(|s| s.iter().cloned().collect()).unwrap_or_default();
                 if dst_consts.is_empty() {
                     continue;
                 }
@@ -196,11 +180,7 @@ pub fn analyze(spec: &Spec, property_components: &[Formula]) -> Dataflow {
             collect_var_positions(&r.body, &mut occ, spec);
             for (pos, vars) in occ {
                 for v in vars {
-                    m.entry(pos.clone()).or_default().insert((
-                        p.name.clone(),
-                        idx,
-                        v,
-                    ));
+                    m.entry(pos.clone()).or_default().insert((p.name.clone(), idx, v));
                 }
             }
         }
@@ -324,10 +304,11 @@ fn digest(u: &Unit<'_>) -> UnitDigest {
             // an occurrence at an *input-looking* relation is recognized by
             // name downstream; here we record all candidates and let the
             // consumer filter by kind (the digest has no schema access)
-            var_input_srcs
-                .entry(classes.find(v))
-                .or_default()
-                .insert((pos.0.clone(), pos.1, *prev));
+            var_input_srcs.entry(classes.find(v)).or_default().insert((
+                pos.0.clone(),
+                pos.1,
+                *prev,
+            ));
         }
     }
     for (pos, _, t) in &occurrences {
@@ -403,11 +384,7 @@ fn collect_equalities(
 }
 
 /// Positions of variables in database atoms (for option-variable pools).
-fn collect_var_positions(
-    f: &Formula,
-    out: &mut BTreeMap<Pos, BTreeSet<String>>,
-    spec: &Spec,
-) {
+fn collect_var_positions(f: &Formula, out: &mut BTreeMap<Pos, BTreeSet<String>>, spec: &Spec) {
     let is_db = |rel: &str| spec.database.iter().any(|(n, _)| n == rel);
     f.visit_atoms(&mut |a: &Atom| {
         if !is_db(&a.rel) {
@@ -505,10 +482,7 @@ mod tests {
         let flow = analyze(&lsp_spec(), &[]);
         // userchoice's columns are compared to laptopsearch's inputs on LSP
         let srcs: Vec<&InputSrc> = flow.input_sources("LSP", "userchoice", 0).collect();
-        assert!(
-            srcs.contains(&&("laptopsearch".to_string(), 0, false)),
-            "{srcs:?}"
-        );
+        assert!(srcs.contains(&&("laptopsearch".to_string(), 0, false)), "{srcs:?}");
         // …but not on HP, which has no such rule
         assert_eq!(flow.input_sources("HP", "userchoice", 0).count(), 0);
     }
@@ -519,10 +493,7 @@ mod tests {
         let flow = analyze(&lsp_spec(), &[prop]);
         for page in ["LSP", "HP", "PIP", "CC"] {
             let srcs: Vec<&InputSrc> = flow.input_sources(page, "criteria", 0).collect();
-            assert!(
-                srcs.contains(&&("button".to_string(), 0, false)),
-                "page {page}: {srcs:?}"
-            );
+            assert!(srcs.contains(&&("button".to_string(), 0, false)), "page {page}: {srcs:?}");
         }
     }
 

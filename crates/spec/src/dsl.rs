@@ -54,10 +54,7 @@ pub fn parse_spec(src: &str) -> Result<Spec, ParseError> {
         } else if p.eat_keyword("page") {
             spec.pages.push(parse_page(&mut p)?);
         } else {
-            return Err(p.error(format!(
-                "expected a spec section, found {}",
-                p.peek_kind()
-            )));
+            return Err(p.error(format!("expected a spec section, found {}", p.peek_kind())));
         }
     }
     p.expect(&TokenKind::RBrace)?;
@@ -77,10 +74,7 @@ fn expect_keyword(p: &mut Parser, word: &str) -> Result<(), ParseError> {
 
 /// `{ name(attr, …); name(attr, …); }` — declarations with arity from the
 /// attribute count.
-fn parse_decl_block(
-    p: &mut Parser,
-    out: &mut Vec<(String, usize)>,
-) -> Result<(), ParseError> {
+fn parse_decl_block(p: &mut Parser, out: &mut Vec<(String, usize)>) -> Result<(), ParseError> {
     p.expect(&TokenKind::LBrace)?;
     while p.peek_kind() != &TokenKind::RBrace {
         let name = p.expect_ident()?;
@@ -180,10 +174,7 @@ fn parse_page(p: &mut Parser) -> Result<PageSchema, ParseError> {
             p.expect(&TokenKind::Semi)?;
             page.target_rules.push(TargetRule { target, condition });
         } else {
-            return Err(p.error(format!(
-                "expected a page section, found {}",
-                p.peek_kind()
-            )));
+            return Err(p.error(format!("expected a page section, found {}", p.peek_kind())));
         }
     }
     p.expect(&TokenKind::RBrace)?;
@@ -360,13 +351,7 @@ pub fn print_spec(spec: &Spec) -> String {
             let _ = writeln!(out, "    inputs {{ {} }}", p.inputs.join(", "));
         }
         for r in &p.option_rules {
-            let _ = writeln!(
-                out,
-                "    options {}({}) <- {};",
-                r.input,
-                r.head.join(", "),
-                r.body
-            );
+            let _ = writeln!(out, "    options {}({}) <- {};", r.input, r.head.join(", "), r.body);
         }
         for r in &p.state_rules {
             let _ = writeln!(
@@ -379,13 +364,7 @@ pub fn print_spec(spec: &Spec) -> String {
             );
         }
         for r in &p.action_rules {
-            let _ = writeln!(
-                out,
-                "    action {}({}) <- {};",
-                r.action,
-                r.head.join(", "),
-                r.body
-            );
+            let _ = writeln!(out, "    action {}({}) <- {};", r.action, r.head.join(", "), r.body);
         }
         for r in &p.target_rules {
             let _ = writeln!(out, "    target {} <- {};", r.target, r.condition);

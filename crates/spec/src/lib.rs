@@ -13,7 +13,7 @@ pub mod dsl;
 pub mod model;
 
 pub use compiled::{
-    spec_kinds, CompiledPage, CompiledRule, CompiledSpec, CompiledTarget, CompileSpecError,
+    spec_kinds, CompileSpecError, CompiledPage, CompiledRule, CompiledSpec, CompiledTarget,
     IbReport, PageId, RuleExec, TargetExec,
 };
 pub use dataflow::{analyze, Dataflow, InputSrc, OptVar, Pos};

@@ -88,27 +88,69 @@ pub enum SpecError {
     DuplicateRelation(String),
     DuplicatePage(String),
     MissingHomePage(String),
-    UnknownTarget { page: String, target: String },
-    UnknownRelation { page: String, rel: String },
-    UnknownInput { page: String, input: String },
-    ArityMismatch { page: String, rel: String, expected: usize, got: usize },
+    UnknownTarget {
+        page: String,
+        target: String,
+    },
+    UnknownRelation {
+        page: String,
+        rel: String,
+    },
+    UnknownInput {
+        page: String,
+        input: String,
+    },
+    ArityMismatch {
+        page: String,
+        rel: String,
+        expected: usize,
+        got: usize,
+    },
     /// Rule head variable missing from the body's free variables.
-    UnboundHeadVar { page: String, rel: String, var: String },
+    UnboundHeadVar {
+        page: String,
+        rel: String,
+        var: String,
+    },
     /// Body has free variables beyond the rule head.
-    StrayFreeVar { page: String, rel: String, var: String },
+    StrayFreeVar {
+        page: String,
+        rel: String,
+        var: String,
+    },
     /// Option rule declared for something that is not an input relation of
     /// the page.
-    OptionForNonInput { page: String, input: String },
+    OptionForNonInput {
+        page: String,
+        input: String,
+    },
     /// Input constants take their value from the user, not from a rule.
-    OptionForConstant { page: String, input: String },
+    OptionForConstant {
+        page: String,
+        input: String,
+    },
     /// A state/action rule head must be a state/action relation.
-    WrongRuleKind { page: String, rel: String, expected: &'static str },
+    WrongRuleKind {
+        page: String,
+        rel: String,
+        expected: &'static str,
+    },
     /// Target condition has free variables.
-    OpenTargetCondition { page: String, target: String, var: String },
+    OpenTargetCondition {
+        page: String,
+        target: String,
+        var: String,
+    },
     /// `prev` used on a non-input relation.
-    PrevOnNonInput { page: String, rel: String },
+    PrevOnNonInput {
+        page: String,
+        rel: String,
+    },
     /// Unknown page referenced by a `@page` test.
-    UnknownPageRef { page: String, reference: String },
+    UnknownPageRef {
+        page: String,
+        reference: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -130,7 +172,10 @@ impl fmt::Display for SpecError {
                 write!(f, "page {page}: {rel} used with arity {got}, declared {expected}")
             }
             SpecError::UnboundHeadVar { page, rel, var } => {
-                write!(f, "page {page}: rule for {rel} has head variable {var} not bound by the body")
+                write!(
+                    f,
+                    "page {page}: rule for {rel} has head variable {var} not bound by the body"
+                )
             }
             SpecError::StrayFreeVar { page, rel, var } => {
                 write!(f, "page {page}: rule for {rel} has stray free variable {var}")
@@ -253,10 +298,7 @@ impl Spec {
         for p in &self.pages {
             for inp in &p.inputs {
                 if self.input(inp).is_none() {
-                    errs.push(SpecError::UnknownInput {
-                        page: p.name.clone(),
-                        input: inp.clone(),
-                    });
+                    errs.push(SpecError::UnknownInput { page: p.name.clone(), input: inp.clone() });
                 }
             }
             for r in &p.option_rules {
@@ -387,27 +429,23 @@ impl Spec {
         page_names: &HashSet<&str>,
         errs: &mut Vec<SpecError>,
     ) {
-        body.visit_atoms(&mut |a| {
-            match names.get(a.rel.as_str()) {
-                None => errs.push(SpecError::UnknownRelation {
-                    page: page.name.clone(),
-                    rel: a.rel.clone(),
-                }),
-                Some(&arity) => {
-                    if arity != a.terms.len() {
-                        errs.push(SpecError::ArityMismatch {
-                            page: page.name.clone(),
-                            rel: a.rel.clone(),
-                            expected: arity,
-                            got: a.terms.len(),
-                        });
-                    }
-                    if a.prev && kinds.get(a.rel.as_str()) != Some(&"input") {
-                        errs.push(SpecError::PrevOnNonInput {
-                            page: page.name.clone(),
-                            rel: a.rel.clone(),
-                        });
-                    }
+        body.visit_atoms(&mut |a| match names.get(a.rel.as_str()) {
+            None => errs
+                .push(SpecError::UnknownRelation { page: page.name.clone(), rel: a.rel.clone() }),
+            Some(&arity) => {
+                if arity != a.terms.len() {
+                    errs.push(SpecError::ArityMismatch {
+                        page: page.name.clone(),
+                        rel: a.rel.clone(),
+                        expected: arity,
+                        got: a.terms.len(),
+                    });
+                }
+                if a.prev && kinds.get(a.rel.as_str()) != Some(&"input") {
+                    errs.push(SpecError::PrevOnNonInput {
+                        page: page.name.clone(),
+                        rel: a.rel.clone(),
+                    });
                 }
             }
         });
@@ -422,13 +460,9 @@ fn check_page_refs(
     errs: &mut Vec<SpecError>,
 ) {
     match f {
-        Formula::Page(p)
-            if !page_names.contains(p.as_str()) => {
-                errs.push(SpecError::UnknownPageRef {
-                    page: page.name.clone(),
-                    reference: p.clone(),
-                });
-            }
+        Formula::Page(p) if !page_names.contains(p.as_str()) => {
+            errs.push(SpecError::UnknownPageRef { page: page.name.clone(), reference: p.clone() });
+        }
         Formula::Not(x) => check_page_refs(x, page, page_names, errs),
         Formula::And(xs) | Formula::Or(xs) => {
             for x in xs {
@@ -439,9 +473,7 @@ fn check_page_refs(
             check_page_refs(a, page, page_names, errs);
             check_page_refs(b, page, page_names, errs);
         }
-        Formula::Exists(_, x) | Formula::Forall(_, x) => {
-            check_page_refs(x, page, page_names, errs)
-        }
+        Formula::Exists(_, x) | Formula::Forall(_, x) => check_page_refs(x, page, page_names, errs),
         _ => {}
     }
 }
@@ -536,10 +568,9 @@ mod tests {
     #[test]
     fn unknown_target_detected() {
         let mut s = tiny_spec();
-        s.pages[0].target_rules.push(TargetRule {
-            target: "GHOST".into(),
-            condition: Formula::True,
-        });
+        s.pages[0]
+            .target_rules
+            .push(TargetRule { target: "GHOST".into(), condition: Formula::True });
         let errs = s.validate().unwrap_err();
         assert!(errs
             .iter()
@@ -549,10 +580,11 @@ mod tests {
     #[test]
     fn arity_mismatch_detected() {
         let mut s = tiny_spec();
-        s.pages[0].state_rules[0].body =
-            parse_formula(r#"user(u) & uname(u)"#).unwrap();
+        s.pages[0].state_rules[0].body = parse_formula(r#"user(u) & uname(u)"#).unwrap();
         let errs = s.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, SpecError::ArityMismatch { rel, .. } if rel == "user")));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::ArityMismatch { rel, .. } if rel == "user")));
     }
 
     #[test]
@@ -570,9 +602,7 @@ mod tests {
         let mut s = tiny_spec();
         s.pages[0].target_rules[0].condition = parse_formula("user(x, y)").unwrap();
         let errs = s.validate().unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, SpecError::OpenTargetCondition { .. })));
+        assert!(errs.iter().any(|e| matches!(e, SpecError::OpenTargetCondition { .. })));
     }
 
     #[test]
@@ -584,16 +614,13 @@ mod tests {
             body: parse_formula(r#"x = "a""#).unwrap(),
         });
         let errs = s.validate().unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, SpecError::OptionForConstant { .. })));
+        assert!(errs.iter().any(|e| matches!(e, SpecError::OptionForConstant { .. })));
     }
 
     #[test]
     fn prev_on_non_input_rejected() {
         let mut s = tiny_spec();
-        s.pages[0].target_rules[0].condition =
-            parse_formula(r#"prev user("a", "b")"#).unwrap();
+        s.pages[0].target_rules[0].condition = parse_formula(r#"prev user("a", "b")"#).unwrap();
         let errs = s.validate().unwrap_err();
         assert!(errs.iter().any(|e| matches!(e, SpecError::PrevOnNonInput { .. })));
     }

@@ -1,0 +1,86 @@
+//! The JSON-lines batch front-end (`wave batch <jobs.jsonl>`).
+//!
+//! Input: one JSON job object per line (blank lines and `#` comment
+//! lines are skipped). Each job produces one output record per verified
+//! property — a whole-suite job expands to one record per property — in
+//! input order. Malformed lines become `error` records; the batch keeps
+//! going.
+
+use crate::json::{self, Json};
+use crate::service::{JobRecord, VerifyService};
+
+/// Run every job in `input` (the jobs.jsonl contents), in order.
+pub fn run_batch(svc: &VerifyService, input: &str) -> Vec<JobRecord> {
+    let mut records = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let default_name = format!("job-{}", lineno + 1);
+        match json::parse(line) {
+            Ok(request) => records.extend(svc.run_request(&request, &default_name)),
+            Err(e) => {
+                records.push(JobRecord::error(&default_name, format!("line {}: {e}", lineno + 1)))
+            }
+        }
+    }
+    records
+}
+
+/// Render records as JSON lines (the batch output format).
+pub fn render_records(records: &[JobRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Summary line: `ok` is false when any record is an error or a verdict
+/// mismatch would be reported by exit status (the CLI maps this).
+pub fn summary(records: &[JobRecord]) -> Json {
+    let count = |v: &str| records.iter().filter(|r| r.verdict == v).count();
+    Json::obj([
+        ("jobs", Json::from(records.len())),
+        ("holds", Json::from(count("holds"))),
+        ("violated", Json::from(count("violated"))),
+        ("unknown", Json::from(count("unknown"))),
+        ("errors", Json::from(count("error"))),
+        ("cached", Json::from(records.iter().filter(|r| r.cached).count())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    #[test]
+    fn batch_runs_lines_in_order_and_survives_bad_ones() {
+        let svc = VerifyService::new(ServiceConfig { jobs: 2, ..Default::default() }).unwrap();
+        let spec = r#"spec m { inputs { b(x); } home A; page A { inputs { b } options b(x) <- x = \"g\"; target B <- b(\"g\"); } page B { target A <- true; } }"#;
+        let input = format!(
+            "# a comment\n\
+             {{\"spec\":\"{spec}\",\"property\":\"G (@B -> X @A)\",\"name\":\"first\"}}\n\
+             \n\
+             not json\n\
+             {{\"spec\":\"{spec}\",\"property\":\"G !@B\",\"name\":\"second\"}}\n"
+        );
+        let records = run_batch(&svc, &input);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].name, "first");
+        assert_eq!(records[0].verdict, "holds");
+        assert_eq!(records[1].verdict, "error");
+        assert!(records[1].error.as_deref().unwrap().contains("line 4"));
+        assert_eq!(records[2].name, "second");
+        assert_eq!(records[2].verdict, "violated");
+
+        let rendered = render_records(&records);
+        assert_eq!(rendered.lines().count(), 3);
+        let s = summary(&records);
+        assert_eq!(s.get("jobs").unwrap().as_u64(), Some(3));
+        assert_eq!(s.get("errors").unwrap().as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,271 @@
+//! The verification result cache.
+//!
+//! Results are keyed by a fingerprint of the *canonical* specification
+//! text (as `wave fmt` prints it, so formatting differences don't miss),
+//! the property source text, and the semantically relevant
+//! [`VerifyOptions`] fields (the cancellation token is excluded — it is
+//! scheduling state, not semantics).
+//!
+//! The cache stores the verdict summary, not the counterexample trace: a
+//! cached `violated` hit reports the lasso shape (step count and cycle
+//! start) but cannot be replayed. Re-run with the cache disabled to
+//! regenerate the full trace. Cache hits report zeroed search counters
+//! (`Stats.cores == 0`), which is how callers can tell a hit from a
+//! fresh run.
+
+use crate::json::{self, Json};
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+use wave_core::{Budget, Verdict, Verification, VerifyOptions};
+
+/// Compute the cache key: 128 hex-encoded bits of FNV-1a over the three
+/// fingerprint components, NUL-separated.
+pub fn fingerprint(spec_text: &str, property: &str, options: &VerifyOptions) -> String {
+    let opts = format!(
+        "h1={} h2={} pruning={:?} param={:?} max_steps={:?} time_limit={:?} plans={}",
+        options.heuristic1,
+        options.heuristic2,
+        options.pruning,
+        options.param_mode,
+        options.max_steps,
+        options.time_limit,
+        options.use_plans,
+    );
+    let mut bytes = Vec::with_capacity(spec_text.len() + property.len() + opts.len() + 2);
+    bytes.extend_from_slice(spec_text.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(property.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(opts.as_bytes());
+    // two FNV-1a passes with distinct offset bases; the second also folds
+    // in the position, so the halves are independent enough for a cache
+    let h1 = fnv1a(&bytes, 0xcbf29ce484222325);
+    let h2 = fnv1a_pos(&bytes, 0x6c62272e07bb0142);
+    format!("{h1:016x}{h2:016x}")
+}
+
+fn fnv1a(bytes: &[u8], offset: u64) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn fnv1a_pos(bytes: &[u8], offset: u64) -> u64 {
+    let mut h = offset;
+    for (i, &b) in bytes.iter().enumerate() {
+        h ^= (b as u64) ^ ((i as u64) << 8);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A cacheable verdict summary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CachedVerdict {
+    Holds,
+    /// Lasso shape of the counterexample (the trace itself is not kept).
+    Violated {
+        steps: usize,
+        cycle_start: usize,
+    },
+    Unknown {
+        budget: String,
+    },
+}
+
+/// What the cache stores per key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedResult {
+    pub verdict: CachedVerdict,
+    pub complete: bool,
+    /// Wall-clock of the original run, reported for reference.
+    pub elapsed: Duration,
+}
+
+impl CachedResult {
+    /// Summarize a verification for caching. `None` for cancelled runs:
+    /// cancellation is scheduling state, not a reproducible verdict.
+    pub fn from_verification(v: &Verification) -> Option<CachedResult> {
+        let verdict = match &v.verdict {
+            Verdict::Holds => CachedVerdict::Holds,
+            Verdict::Violated(ce) => {
+                CachedVerdict::Violated { steps: ce.steps.len(), cycle_start: ce.cycle_start }
+            }
+            Verdict::Unknown(Budget::Cancelled) => return None,
+            Verdict::Unknown(Budget::Steps(n)) => {
+                CachedVerdict::Unknown { budget: format!("steps:{n}") }
+            }
+            Verdict::Unknown(Budget::Time(d)) => {
+                CachedVerdict::Unknown { budget: format!("time:{}", d.as_secs_f64()) }
+            }
+        };
+        Some(CachedResult { verdict, complete: v.complete, elapsed: v.stats.elapsed })
+    }
+
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![];
+        match &self.verdict {
+            CachedVerdict::Holds => pairs.push(("verdict", Json::from("holds"))),
+            CachedVerdict::Violated { steps, cycle_start } => {
+                pairs.push(("verdict", Json::from("violated")));
+                pairs.push(("steps", Json::from(*steps)));
+                pairs.push(("cycle_start", Json::from(*cycle_start)));
+            }
+            CachedVerdict::Unknown { budget } => {
+                pairs.push(("verdict", Json::from("unknown")));
+                pairs.push(("budget", Json::from(budget.clone())));
+            }
+        }
+        pairs.push(("complete", Json::from(self.complete)));
+        pairs.push(("elapsed_s", Json::from(self.elapsed.as_secs_f64())));
+        Json::obj(pairs)
+    }
+
+    fn from_json(v: &Json) -> Option<CachedResult> {
+        let verdict = match v.get("verdict")?.as_str()? {
+            "holds" => CachedVerdict::Holds,
+            "violated" => CachedVerdict::Violated {
+                steps: v.get("steps")?.as_u64()? as usize,
+                cycle_start: v.get("cycle_start")?.as_u64()? as usize,
+            },
+            "unknown" => CachedVerdict::Unknown { budget: v.get("budget")?.as_str()?.to_string() },
+            _ => return None,
+        };
+        Some(CachedResult {
+            verdict,
+            complete: v.get("complete")?.as_bool()?,
+            elapsed: Duration::from_secs_f64(v.get("elapsed_s")?.as_f64()?.max(0.0)),
+        })
+    }
+}
+
+/// In-memory result cache with an optional on-disk mirror (one
+/// `<fingerprint>.json` file per entry).
+pub struct ResultCache {
+    mem: Mutex<HashMap<String, CachedResult>>,
+    dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    pub fn in_memory() -> ResultCache {
+        ResultCache { mem: Mutex::new(HashMap::new()), dir: None }
+    }
+
+    /// Cache backed by `dir` (created if missing).
+    pub fn with_dir(dir: PathBuf) -> io::Result<ResultCache> {
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache { mem: Mutex::new(HashMap::new()), dir: Some(dir) })
+    }
+
+    pub fn get(&self, key: &str) -> Option<CachedResult> {
+        if let Some(hit) = self.mem.lock().unwrap().get(key) {
+            return Some(hit.clone());
+        }
+        let dir = self.dir.as_ref()?;
+        let text = std::fs::read_to_string(dir.join(format!("{key}.json"))).ok()?;
+        let result = CachedResult::from_json(&json::parse(&text).ok()?)?;
+        self.mem.lock().unwrap().insert(key.to_string(), result.clone());
+        Some(result)
+    }
+
+    /// Insert into memory and (best-effort) onto disk.
+    pub fn put(&self, key: &str, result: &CachedResult) {
+        self.mem.lock().unwrap().insert(key.to_string(), result.clone());
+        if let Some(dir) = &self.dir {
+            let path = dir.join(format!("{key}.json"));
+            let tmp = dir.join(format!("{key}.json.tmp"));
+            let body = format!("{}\n", result.to_json());
+            // atomic publish so concurrent readers never see a torn file
+            if std::fs::write(&tmp, body).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.mem.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.mem.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options() -> VerifyOptions {
+        VerifyOptions::default()
+    }
+
+    #[test]
+    fn fingerprint_separates_inputs() {
+        let a = fingerprint("spec a {}", "G p", &options());
+        let b = fingerprint("spec b {}", "G p", &options());
+        let c = fingerprint("spec a {}", "F p", &options());
+        let mut opts = options();
+        opts.heuristic1 = false;
+        let d = fingerprint("spec a {}", "G p", &opts);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a, fingerprint("spec a {}", "G p", &options()));
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn cancel_token_does_not_affect_fingerprint() {
+        let mut opts = options();
+        opts.cancel = Some(wave_core::CancelToken::new());
+        assert_eq!(fingerprint("s", "p", &options()), fingerprint("s", "p", &opts));
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let cache = ResultCache::in_memory();
+        let result = CachedResult {
+            verdict: CachedVerdict::Violated { steps: 7, cycle_start: 2 },
+            complete: true,
+            elapsed: Duration::from_millis(120),
+        };
+        assert!(cache.get("k").is_none());
+        cache.put("k", &result);
+        assert_eq!(cache.get("k"), Some(result));
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("wave-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let result = CachedResult {
+            verdict: CachedVerdict::Unknown { budget: "steps:100".to_string() },
+            complete: false,
+            elapsed: Duration::from_secs(1),
+        };
+        {
+            let cache = ResultCache::with_dir(dir.clone()).unwrap();
+            cache.put("deadbeef", &result);
+        }
+        // a fresh cache instance reads it back from disk
+        let cache = ResultCache::with_dir(dir.clone()).unwrap();
+        assert_eq!(cache.get("deadbeef"), Some(result));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_runs_are_not_cacheable() {
+        let v = Verification {
+            verdict: Verdict::Unknown(Budget::Cancelled),
+            stats: Default::default(),
+            complete: true,
+        };
+        assert!(CachedResult::from_verification(&v).is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! `wave-svc`: the concurrent verification service.
+//!
+//! Turns the [`wave_core`] verifier into a service:
+//!
+//! * [`scheduler`] — a work scheduler that decomposes one check into
+//!   independent units (per `C_∃` assignment, and per core-range within
+//!   large assignments) and runs them on a `std::thread` worker pool,
+//!   with cooperative cancellation so the first counterexample cancels
+//!   its siblings. Verdicts are byte-identical to sequential runs (see
+//!   the module docs for the determinism argument).
+//! * [`service`] — suites and single checks as JSON jobs and records.
+//! * [`cache`] — an in-memory + optional on-disk result cache keyed by
+//!   a fingerprint of (canonical spec, property text, options).
+//! * [`batch`] — the `wave batch <jobs.jsonl>` front-end.
+//! * [`server`] — the `wave serve` line-JSON TCP front-end.
+//! * [`json`] — the dependency-free JSON model they all share.
+
+pub mod batch;
+pub mod cache;
+pub mod json;
+pub mod scheduler;
+pub mod server;
+pub mod service;
+
+pub use batch::{render_records, run_batch, summary};
+pub use cache::{fingerprint, CachedResult, CachedVerdict, ResultCache};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use scheduler::{check_parallel, run_prepared, ParallelOptions};
+pub use server::{Server, ServerConfig};
+pub use service::{lookup_suite, parse_options, JobRecord, ServiceConfig, VerifyService};

@@ -1,0 +1,353 @@
+//! The work scheduler: runs prepared checks as independent work units on
+//! a `std::thread` worker pool.
+//!
+//! A check decomposes into one unit per `C_∃` assignment
+//! ([`PreparedCheck::num_units`]); when that yields less parallelism than
+//! the pool width, large units are further split into bitmap-counter
+//! core ranges. Each unit search is a pure function of `(unit, range)`
+//! and the verifier options, which gives the scheduler a simple
+//! determinism argument:
+//!
+//! * every item gets its own [`CancelToken`] (chained to the caller's,
+//!   so external cancellation still reaches every worker),
+//! * the first *decisive* (non-clean) outcome at ordinal `k` cancels only
+//!   items with ordinal `> k` of the same check — items the sequential
+//!   loop would never have reached,
+//! * the reducer takes the lowest-ordinal decisive outcome, which is
+//!   exactly the outcome the sequential scan stops at.
+//!
+//! Verdicts are therefore byte-identical to [`Verifier::check`] for
+//! unbudgeted runs. (With a step or wall-clock budget the sequential
+//! loop threads *leftover* budget from unit to unit, which a parallel
+//! schedule cannot reproduce; each parallel unit gets the full budget,
+//! so budgeted verdicts may differ — only in which `Unknown` they
+//! report, never between `Holds` and `Violated`.) Stats counters are
+//! deterministic for clean runs; under early cancellation the amount of
+//! sibling work already done depends on timing.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use wave_core::{
+    Budget, CancelToken, PreparedCheck, SearchLimits, SearchResult, Stats, UnitOutcome, Verdict,
+    Verification, Verifier, VerifyError, VerifyOptions,
+};
+use wave_ltl::Property;
+
+/// Scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct ParallelOptions {
+    /// Worker threads.
+    pub jobs: usize,
+    /// Split large units into core sub-ranges when there are fewer units
+    /// than workers.
+    pub split_units: bool,
+}
+
+impl ParallelOptions {
+    pub fn with_jobs(jobs: usize) -> ParallelOptions {
+        ParallelOptions { jobs: jobs.max(1), ..ParallelOptions::default() }
+    }
+}
+
+impl Default for ParallelOptions {
+    fn default() -> ParallelOptions {
+        let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        ParallelOptions { jobs, split_units: true }
+    }
+}
+
+/// One schedulable piece of work: a core range of one unit of one check.
+struct Item {
+    check: usize,
+    /// Position in the check's sequential scan order.
+    ordinal: usize,
+    unit: usize,
+    cores: Option<Range<u64>>,
+}
+
+struct CheckState {
+    /// Per-ordinal outcome slots, filled as items complete.
+    outcomes: Vec<Option<Result<UnitOutcome, VerifyError>>>,
+    /// Lowest ordinal with a decisive (non-clean) outcome.
+    best: usize,
+    /// Items not yet recorded; when it reaches zero the check is done.
+    remaining: usize,
+    /// Wall-clock time (from scheduler start) at which the check finished.
+    done_at: Option<Duration>,
+}
+
+/// Check one property on a worker pool. Spawns the pool even for a
+/// single-unit check (the NDFS needs the big stack anyway).
+pub fn check_parallel(
+    verifier: &Verifier,
+    property: &Property,
+    popts: &ParallelOptions,
+) -> Result<Verification, VerifyError> {
+    let prepared = verifier.prepare(property)?;
+    run_prepared(verifier.options(), std::slice::from_ref(&prepared), popts)
+        .pop()
+        .expect("one check in, one verification out")
+}
+
+/// Run several prepared checks (typically a property suite over one spec)
+/// concurrently, returning one [`Verification`] per check, in order.
+pub fn run_prepared(
+    options: &VerifyOptions,
+    checks: &[PreparedCheck<'_>],
+    popts: &ParallelOptions,
+) -> Vec<Result<Verification, VerifyError>> {
+    let start = Instant::now();
+    let deadline = options.time_limit.map(|d| start + d);
+    let jobs = popts.jobs.max(1);
+
+    // Decompose: one item per unit, plus core-range splits when the plain
+    // unit count leaves workers idle.
+    let total_units: usize = checks.iter().map(|c| c.num_units()).sum();
+    let split_into = if popts.split_units && total_units < 2 * jobs && total_units > 0 {
+        (2 * jobs).div_ceil(total_units)
+    } else {
+        1
+    };
+    let mut items = Vec::new();
+    let mut tokens: Vec<Vec<CancelToken>> = Vec::with_capacity(checks.len());
+    for (ci, check) in checks.iter().enumerate() {
+        let mut ordinal = 0;
+        let mut check_tokens = Vec::new();
+        let mut push = |unit: usize, cores: Option<Range<u64>>, ordinal: &mut usize| {
+            items.push(Item { check: ci, ordinal: *ordinal, unit, cores });
+            check_tokens.push(match &options.cancel {
+                Some(parent) => parent.child(),
+                None => CancelToken::new(),
+            });
+            *ordinal += 1;
+        };
+        for unit in 0..check.num_units() {
+            // core_count probes the universe; on overflow fall back to an
+            // unsplit unit, which reports the same error when it runs
+            let cores = if split_into > 1 { check.core_count(unit).unwrap_or(1) } else { 1 };
+            let chunks = (split_into as u64).min(cores).max(1);
+            if chunks == 1 {
+                push(unit, None, &mut ordinal);
+            } else {
+                let size = cores.div_ceil(chunks);
+                let mut lo = 0;
+                while lo < cores {
+                    let hi = (lo + size).min(cores);
+                    push(unit, Some(lo..hi), &mut ordinal);
+                    lo = hi;
+                }
+            }
+        }
+        tokens.push(check_tokens);
+    }
+
+    let states = Mutex::new(
+        checks
+            .iter()
+            .enumerate()
+            .map(|(ci, _)| {
+                let n = tokens[ci].len();
+                CheckState {
+                    outcomes: (0..n).map(|_| None).collect(),
+                    best: usize::MAX,
+                    remaining: n,
+                    done_at: if n == 0 { Some(start.elapsed()) } else { None },
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    let cursor = AtomicUsize::new(0);
+
+    let record = |item: &Item, outcome: Result<UnitOutcome, VerifyError>| {
+        let mut states = states.lock().unwrap();
+        let state = &mut states[item.check];
+        let decisive = !matches!(&outcome, Ok(UnitOutcome { result: SearchResult::Clean, .. }));
+        state.outcomes[item.ordinal] = Some(outcome);
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            state.done_at = Some(start.elapsed());
+        }
+        if decisive && item.ordinal < state.best {
+            state.best = item.ordinal;
+            // cancel exactly the items the sequential scan would not reach
+            for token in &tokens[item.check][item.ordinal + 1..] {
+                token.cancel();
+            }
+        }
+    };
+
+    let worker = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(item) = items.get(i) else { break };
+        let skip = {
+            let states = states.lock().unwrap();
+            states[item.check].best < item.ordinal
+        };
+        if skip {
+            // a lower ordinal already decided this check; charge nothing
+            let outcome = UnitOutcome {
+                result: SearchResult::Exhausted(Budget::Cancelled),
+                stats: Stats::default(),
+            };
+            record(item, Ok(outcome));
+            continue;
+        }
+        let limits = SearchLimits {
+            // full budget per unit; see the module docs on budgeted runs
+            max_steps: options.max_steps,
+            deadline,
+            time_limit: options.time_limit,
+            cancel: Some(tokens[item.check][item.ordinal].clone()),
+        };
+        let outcome = checks[item.check].run_unit(item.unit, item.cores.clone(), &limits);
+        record(item, outcome);
+    };
+
+    std::thread::scope(|scope| {
+        let threads = jobs.min(items.len());
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wave-worker-{t}"))
+                    // the nested DFS recurses once per pseudorun step
+                    .stack_size(512 << 20)
+                    .spawn_scoped(scope, worker)
+                    .expect("spawn worker thread"),
+            );
+        }
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+    });
+
+    // Reduce each check in ordinal order.
+    let states = states.into_inner().unwrap();
+    checks
+        .iter()
+        .zip(states)
+        .map(|(check, state)| {
+            let mut stats = Stats::default();
+            let mut verdict = Verdict::Holds;
+            for (ordinal, slot) in state.outcomes.into_iter().enumerate() {
+                let outcome = slot.expect("all items recorded");
+                match outcome {
+                    Ok(o) => {
+                        stats.merge(&o.stats);
+                        if ordinal == state.best {
+                            verdict = match o.result {
+                                SearchResult::Clean => unreachable!("best is decisive"),
+                                SearchResult::Violation(ce) => Verdict::Violated(ce),
+                                SearchResult::Exhausted(b) => Verdict::Unknown(b),
+                            };
+                        }
+                    }
+                    Err(e) => {
+                        if ordinal == state.best {
+                            return Err(e);
+                        }
+                        // a non-best error was pre-empted by an earlier
+                        // decisive outcome, as in the sequential scan
+                    }
+                }
+            }
+            stats.elapsed = state.done_at.unwrap_or_else(|| start.elapsed());
+            Ok(Verification { verdict, stats, complete: check.complete })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_ltl::parse_property;
+    use wave_spec::parse_spec;
+
+    fn shop() -> Verifier {
+        // two universal variables over a relevant constant set gives the
+        // check several C_∃ assignment units
+        Verifier::new(
+            parse_spec(
+                r#"
+            spec minishop {
+              database { stock(item); }
+              state { cart(item); }
+              inputs { pick(x); button(x); }
+              home A;
+              page A {
+                inputs { pick, button }
+                options button(x) <- x = "add";
+                options pick(x) <- stock(x);
+                insert cart(x) <- pick(x) & button("add");
+                target B <- (exists x: pick(x)) & button("add");
+              }
+              page B { target A <- true; }
+            }
+        "#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_verdicts() {
+        let verifier = shop();
+        let popts = ParallelOptions { jobs: 4, split_units: true };
+        for text in [
+            "forall x: G (cart(x) -> F cart(x))",
+            "forall x: G !cart(x)",
+            "G !@B",
+            "G (@A -> X (@A | @B))",
+        ] {
+            let prop = parse_property(text).unwrap();
+            let seq = verifier.check(&prop).unwrap();
+            let par = check_parallel(&verifier, &prop, &popts).unwrap();
+            assert_eq!(format!("{:?}", seq.verdict), format!("{:?}", par.verdict), "{text}");
+        }
+    }
+
+    #[test]
+    fn clean_runs_have_deterministic_counters() {
+        let verifier = shop();
+        let prop = parse_property("forall x: G (cart(x) -> F cart(x))").unwrap();
+        let seq = verifier.check(&prop).unwrap();
+        for jobs in [1, 2, 4] {
+            let par =
+                check_parallel(&verifier, &prop, &ParallelOptions { jobs, split_units: true })
+                    .unwrap();
+            assert!(par.verdict.holds());
+            assert_eq!(seq.stats.cores, par.stats.cores, "jobs={jobs}");
+            assert_eq!(seq.stats.configs, par.stats.configs, "jobs={jobs}");
+            assert_eq!(seq.stats.assignments, par.stats.assignments, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_check_reports_cancelled() {
+        let mut verifier = shop();
+        let token = CancelToken::new();
+        token.cancel();
+        verifier.options_mut().cancel = Some(token);
+        let prop = parse_property("G !@B").unwrap();
+        let v = check_parallel(&verifier, &prop, &ParallelOptions::with_jobs(2)).unwrap();
+        assert!(matches!(v.verdict, Verdict::Unknown(Budget::Cancelled)), "{:?}", v.verdict);
+    }
+
+    #[test]
+    fn run_prepared_handles_many_properties() {
+        let verifier = shop();
+        let texts = ["G !@B", "forall x: G !cart(x)", "G (@B -> X @A)"];
+        let props: Vec<_> = texts.iter().map(|t| parse_property(t).unwrap()).collect();
+        let checks: Vec<_> = props.iter().map(|p| verifier.prepare(p).unwrap()).collect();
+        let results = run_prepared(verifier.options(), &checks, &ParallelOptions::with_jobs(4));
+        assert_eq!(results.len(), 3);
+        for (text, (prop, result)) in texts.iter().zip(props.iter().zip(results)) {
+            let seq = verifier.check(prop).unwrap();
+            let par = result.unwrap();
+            assert_eq!(format!("{:?}", seq.verdict), format!("{:?}", par.verdict), "{text}");
+        }
+    }
+}

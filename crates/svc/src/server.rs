@@ -1,0 +1,243 @@
+//! The TCP front-end (`wave serve`): a line-JSON verification server
+//! hand-rolled over `std::net::TcpListener`.
+//!
+//! Protocol: the client sends one JSON object per line and receives one
+//! JSON response line per request, in order.
+//!
+//! * `{"cmd":"ping"}` → `{"ok":true,"pong":true}`
+//! * `{"cmd":"shutdown"}` → `{"ok":true,"bye":true}`, then the server
+//!   stops accepting and `run` returns once in-flight handlers finish,
+//! * any job object (see [`crate::service`]) →
+//!   `{"ok":true,"results":[…one record per property…]}`,
+//! * anything else → `{"ok":false,"error":"…"}`.
+//!
+//! The accept loop is bounded: at most `max_connections` handler threads
+//! run at once, further clients queue in the OS backlog. Each connection
+//! gets a read timeout so an idle client cannot pin a handler slot.
+
+use crate::json::{self, Json};
+use crate::service::VerifyService;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks an ephemeral
+    /// port; read it back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads per verification job.
+    pub jobs: usize,
+    /// Concurrent connection handlers (the accept-queue bound).
+    pub max_connections: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    pub use_cache: bool,
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            jobs: crate::scheduler::ParallelOptions::default().jobs,
+            max_connections: 16,
+            read_timeout: Duration::from_secs(30),
+            use_cache: true,
+            cache_dir: None,
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    svc: Arc<VerifyService>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listener and build the service (cache directory included).
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let svc = Arc::new(VerifyService::new(crate::service::ServiceConfig {
+            jobs: config.jobs,
+            use_cache: config.use_cache,
+            cache_dir: config.cache_dir.clone(),
+        })?);
+        Ok(Server { listener, svc, config, shutdown: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept and serve until a `shutdown` request arrives.
+    pub fn run(self) -> io::Result<()> {
+        let local = self.local_addr()?;
+        // (active handler count, all-idle signal): the bounded queue
+        let slots = Arc::new((Mutex::new(0usize), Condvar::new()));
+        loop {
+            // wait for a free handler slot before accepting
+            {
+                let (count, cv) = &*slots;
+                let mut active = count.lock().unwrap();
+                while *active >= self.config.max_connections {
+                    active = cv.wait(active).unwrap();
+                }
+                *active += 1;
+            }
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(_) => {
+                    // transient accept errors (e.g. ECONNABORTED) are not fatal
+                    release(&slots);
+                    if self.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            if self.shutdown.load(Ordering::Acquire) {
+                release(&slots);
+                break;
+            }
+            let svc = Arc::clone(&self.svc);
+            let shutdown = Arc::clone(&self.shutdown);
+            let timeout = self.config.read_timeout;
+            let slots_for_handler = Arc::clone(&slots);
+            std::thread::Builder::new()
+                .name("wave-serve-conn".to_string())
+                .spawn(move || {
+                    let _ = handle_connection(stream, &svc, &shutdown, timeout, local);
+                    release(&slots_for_handler);
+                })
+                .expect("spawn connection handler");
+        }
+        // drain: wait until every in-flight handler released its slot
+        let (count, cv) = &*slots;
+        let mut active = count.lock().unwrap();
+        while *active > 0 {
+            active = cv.wait(active).unwrap();
+        }
+        Ok(())
+    }
+}
+
+fn release(slots: &Arc<(Mutex<usize>, Condvar)>) {
+    let (count, cv) = &**slots;
+    *count.lock().unwrap() -= 1;
+    cv.notify_all();
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    svc: &VerifyService,
+    shutdown: &AtomicBool,
+    timeout: Duration,
+    local: SocketAddr,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?; // timeout or disconnect ends the session
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (response, stop) = process(svc, line);
+        writer.write_all(format!("{response}\n").as_bytes())?;
+        writer.flush()?;
+        if stop {
+            shutdown.store(true, Ordering::Release);
+            // poke the accept loop so it observes the flag
+            let _ = TcpStream::connect(local);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Handle one request line; the flag is true for `shutdown`.
+fn process(svc: &VerifyService, line: &str) -> (Json, bool) {
+    let request = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                Json::obj([("ok", Json::from(false)), ("error", Json::from(e.to_string()))]),
+                false,
+            )
+        }
+    };
+    match request.get("cmd").and_then(Json::as_str) {
+        Some("ping") => (Json::obj([("ok", Json::from(true)), ("pong", Json::from(true))]), false),
+        Some("shutdown") => {
+            (Json::obj([("ok", Json::from(true)), ("bye", Json::from(true))]), true)
+        }
+        Some(other) => (
+            Json::obj([
+                ("ok", Json::from(false)),
+                ("error", Json::from(format!("unknown command {other:?}"))),
+            ]),
+            false,
+        ),
+        None => {
+            let records = svc.run_request(&request, "job");
+            let results: Vec<Json> = records.iter().map(|r| r.to_json()).collect();
+            (Json::obj([("ok", Json::from(true)), ("results", Json::Arr(results))]), false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(stream: &mut TcpStream, line: &str) -> Json {
+        stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        json::parse(response.trim()).unwrap()
+    }
+
+    #[test]
+    fn serves_ping_job_and_shutdown() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 2,
+            read_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let pong = send(&mut client, r#"{"cmd":"ping"}"#);
+        assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+
+        let job = r#"{"spec":"spec m { inputs { b(x); } home A; page A { inputs { b } options b(x) <- x = \"g\"; target B <- b(\"g\"); } page B { target A <- true; } }","property":"G (@B -> X @A)"}"#;
+        let reply = send(&mut client, job);
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        let results = reply.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("verdict").and_then(Json::as_str), Some("holds"));
+
+        let garbage = send(&mut client, "not json");
+        assert_eq!(garbage.get("ok").and_then(Json::as_bool), Some(false));
+
+        let bye = send(&mut client, r#"{"cmd":"shutdown"}"#);
+        assert_eq!(bye.get("bye").and_then(Json::as_bool), Some(true));
+        drop(client);
+        handle.join().unwrap().unwrap();
+    }
+}

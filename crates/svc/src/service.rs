@@ -1,0 +1,487 @@
+//! The verification service: job descriptions in, result records out.
+//!
+//! A *job* names a specification (inline text, a `.wave` file path, or
+//! one of the built-in benchmark suites E1–E4) plus a property — or a
+//! whole suite, which expands to one record per property. The service
+//! runs each job on the [`crate::scheduler`] worker pool, consults the
+//! [`crate::cache`] first, and renders records as JSON objects shared by
+//! `wave batch`, `wave serve`, and `wave check --json`.
+
+use crate::cache::{fingerprint, CachedResult, CachedVerdict, ResultCache};
+use crate::json::Json;
+use crate::scheduler::{self, ParallelOptions};
+use std::io;
+use std::path::PathBuf;
+use wave_apps::AppSuite;
+use wave_core::{Budget, Stats, Verdict, Verification, Verifier, VerifyOptions};
+use wave_ltl::parse_property;
+use wave_spec::{parse_spec, print_spec, Spec};
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads per job.
+    pub jobs: usize,
+    /// Consult/populate the result cache.
+    pub use_cache: bool,
+    /// On-disk cache directory (memory-only when `None`).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig { jobs: ParallelOptions::default().jobs, use_cache: true, cache_dir: None }
+    }
+}
+
+/// One result record (one property of one job).
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    pub name: String,
+    /// `holds`, `violated`, `unknown`, or `error`.
+    pub verdict: String,
+    pub error: Option<String>,
+    pub complete: bool,
+    /// Served from the result cache (search counters are zero).
+    pub cached: bool,
+    /// Exhausted budget (`steps:N`, `time:S`, `cancelled`) when unknown.
+    pub budget: Option<String>,
+    /// Counterexample lasso shape when violated.
+    pub ce: Option<(usize, usize)>,
+    pub stats: Stats,
+}
+
+impl JobRecord {
+    pub fn error(name: &str, message: impl std::fmt::Display) -> JobRecord {
+        JobRecord {
+            name: name.to_string(),
+            verdict: "error".to_string(),
+            error: Some(message.to_string()),
+            complete: false,
+            cached: false,
+            budget: None,
+            ce: None,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Record for a fresh verification.
+    pub fn from_verification(name: &str, v: &Verification) -> JobRecord {
+        let (verdict, budget, ce) = match &v.verdict {
+            Verdict::Holds => ("holds", None, None),
+            Verdict::Violated(ce) => ("violated", None, Some((ce.steps.len(), ce.cycle_start))),
+            Verdict::Unknown(b) => {
+                let budget = match b {
+                    Budget::Steps(n) => format!("steps:{n}"),
+                    Budget::Time(d) => format!("time:{}", d.as_secs_f64()),
+                    Budget::Cancelled => "cancelled".to_string(),
+                };
+                ("unknown", Some(budget), None)
+            }
+        };
+        JobRecord {
+            name: name.to_string(),
+            verdict: verdict.to_string(),
+            error: None,
+            complete: v.complete,
+            cached: false,
+            budget,
+            ce,
+            stats: v.stats.clone(),
+        }
+    }
+
+    /// Record for a cache hit: verdict fields match the original run,
+    /// search counters are zero (`stats.cores == 0` marks the hit).
+    pub fn from_cached(name: &str, hit: &CachedResult) -> JobRecord {
+        let (verdict, budget, ce) = match &hit.verdict {
+            CachedVerdict::Holds => ("holds", None, None),
+            CachedVerdict::Violated { steps, cycle_start } => {
+                ("violated", None, Some((*steps, *cycle_start)))
+            }
+            CachedVerdict::Unknown { budget } => ("unknown", Some(budget.clone()), None),
+        };
+        JobRecord {
+            name: name.to_string(),
+            verdict: verdict.to_string(),
+            error: None,
+            complete: hit.complete,
+            cached: true,
+            budget,
+            ce,
+            stats: Stats::default(),
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", Json::from(self.name.clone())),
+            ("verdict", Json::from(self.verdict.clone())),
+        ];
+        if let Some(e) = &self.error {
+            pairs.push(("error", Json::from(e.clone())));
+        }
+        if let Some(b) = &self.budget {
+            pairs.push(("budget", Json::from(b.clone())));
+        }
+        if let Some((steps, cycle_start)) = self.ce {
+            pairs.push(("ce_steps", Json::from(steps)));
+            pairs.push(("ce_cycle_start", Json::from(cycle_start)));
+        }
+        pairs.push(("complete", Json::from(self.complete)));
+        pairs.push(("cached", Json::from(self.cached)));
+        pairs.push((
+            "stats",
+            Json::obj([
+                ("elapsed_ms", Json::from(self.stats.elapsed.as_secs_f64() * 1e3)),
+                ("configs", Json::from(self.stats.configs)),
+                ("cores", Json::from(self.stats.cores)),
+                ("assignments", Json::from(self.stats.assignments)),
+                ("max_run_len", Json::from(self.stats.max_run_len)),
+                ("max_trie", Json::from(self.stats.max_trie)),
+            ]),
+        ));
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+/// The verification service.
+pub struct VerifyService {
+    popts: ParallelOptions,
+    cache: Option<ResultCache>,
+}
+
+impl VerifyService {
+    pub fn new(config: ServiceConfig) -> io::Result<VerifyService> {
+        let cache = if !config.use_cache {
+            None
+        } else {
+            Some(match config.cache_dir {
+                Some(dir) => ResultCache::with_dir(dir)?,
+                None => ResultCache::in_memory(),
+            })
+        };
+        Ok(VerifyService { popts: ParallelOptions::with_jobs(config.jobs), cache })
+    }
+
+    /// Run one JSON job request, producing one record per property (a
+    /// whole-suite job expands). Failures become `error` records, never
+    /// panics or `Err` — batch processing continues past bad jobs.
+    pub fn run_request(&self, request: &Json, default_name: &str) -> Vec<JobRecord> {
+        match self.dispatch(request, default_name) {
+            Ok(records) => records,
+            Err(message) => vec![JobRecord::error(default_name, message)],
+        }
+    }
+
+    fn dispatch(&self, request: &Json, default_name: &str) -> Result<Vec<JobRecord>, String> {
+        if !matches!(request, Json::Obj(_)) {
+            return Err("job must be a JSON object".to_string());
+        }
+        validate_keys(request)?;
+        let options = parse_options(request.get("options"))?;
+        let property = request
+            .get("property")
+            .map(|p| p.as_str().map(str::to_string).ok_or("\"property\" must be a string"));
+        let property = match property {
+            Some(p) => Some(p?),
+            None => None,
+        };
+
+        if let Some(suite_name) = request.get("suite") {
+            let suite_name = suite_name.as_str().ok_or("\"suite\" must be a string")?;
+            let suite = lookup_suite(suite_name)
+                .ok_or_else(|| format!("unknown suite {suite_name:?} (have E1–E4)"))?;
+            return Ok(self.run_suite(&suite, property.as_deref(), options));
+        }
+
+        let (spec_text, origin) = if let Some(inline) = request.get("spec") {
+            let text = inline.as_str().ok_or("\"spec\" must be a string")?;
+            (text.to_string(), "inline spec".to_string())
+        } else if let Some(path) = request.get("spec_path") {
+            let path = path.as_str().ok_or("\"spec_path\" must be a string")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            (text, path.to_string())
+        } else {
+            return Err("job needs \"suite\", \"spec\", or \"spec_path\"".to_string());
+        };
+        let property = property.ok_or("jobs with \"spec\"/\"spec_path\" need a \"property\"")?;
+        let name = match request.get("name") {
+            Some(n) => n.as_str().ok_or("\"name\" must be a string")?.to_string(),
+            None => default_name.to_string(),
+        };
+        let spec = parse_spec(&spec_text).map_err(|e| format!("{origin}: {e}"))?;
+        Ok(vec![self.check_one(&name, spec, &property, options)])
+    }
+
+    /// Verify one (spec, property) pair, cache-aware.
+    pub fn check_one(
+        &self,
+        name: &str,
+        spec: Spec,
+        property: &str,
+        options: VerifyOptions,
+    ) -> JobRecord {
+        let canonical = print_spec(&spec);
+        let key = fingerprint(&canonical, property, &options);
+        if let Some(hit) = self.cache.as_ref().and_then(|c| c.get(&key)) {
+            return JobRecord::from_cached(name, &hit);
+        }
+        let verifier = match Verifier::with_options(spec, options) {
+            Ok(v) => v,
+            Err(e) => return JobRecord::error(name, e),
+        };
+        let prop = match parse_property(property) {
+            Ok(p) => p,
+            Err(e) => return JobRecord::error(name, format!("property: {e}")),
+        };
+        match scheduler::check_parallel(&verifier, &prop, &self.popts) {
+            Ok(v) => {
+                self.store(&key, &v);
+                JobRecord::from_verification(name, &v)
+            }
+            Err(e) => JobRecord::error(name, e),
+        }
+    }
+
+    /// Verify a benchmark suite (or one of its properties), running all
+    /// uncached properties concurrently on one worker pool.
+    pub fn run_suite(
+        &self,
+        suite: &AppSuite,
+        only: Option<&str>,
+        options: VerifyOptions,
+    ) -> Vec<JobRecord> {
+        let cases: Vec<_> =
+            suite.properties.iter().filter(|c| only.is_none_or(|p| c.name == p)).collect();
+        if cases.is_empty() {
+            let which = only.unwrap_or("<any>");
+            return vec![JobRecord::error(
+                &format!("{}/{which}", suite.name),
+                format!("suite {} has no property {which:?}", suite.name),
+            )];
+        }
+        let canonical = print_spec(&suite.spec);
+        let mut records: Vec<Option<JobRecord>> = vec![None; cases.len()];
+        let mut fresh: Vec<(usize, String)> = Vec::new(); // (case index, key)
+        for (i, case) in cases.iter().enumerate() {
+            let name = format!("{}/{}", suite.name, case.name);
+            let key = fingerprint(&canonical, &case.text, &options);
+            if let Some(hit) = self.cache.as_ref().and_then(|c| c.get(&key)) {
+                records[i] = Some(JobRecord::from_cached(&name, &hit));
+            } else {
+                fresh.push((i, key));
+            }
+        }
+
+        if !fresh.is_empty() {
+            let verifier = match Verifier::with_options(suite.spec.clone(), options) {
+                Ok(v) => v,
+                Err(e) => {
+                    // the spec failed to compile: every fresh case fails
+                    for (i, _) in &fresh {
+                        let name = format!("{}/{}", suite.name, cases[*i].name);
+                        records[*i] = Some(JobRecord::error(&name, &e));
+                    }
+                    return records.into_iter().map(|r| r.unwrap()).collect();
+                }
+            };
+            // parse + prepare each property; parse failures become error
+            // records and drop out of the scheduled set
+            let mut scheduled: Vec<(usize, String)> = Vec::new();
+            let mut prepared = Vec::new();
+            for (i, key) in fresh {
+                let name = format!("{}/{}", suite.name, cases[i].name);
+                match parse_property(&cases[i].text)
+                    .map_err(|e| format!("property: {e}"))
+                    .and_then(|p| verifier.prepare(&p).map_err(|e| e.to_string()))
+                {
+                    Ok(p) => {
+                        scheduled.push((i, key));
+                        prepared.push(p);
+                    }
+                    Err(e) => records[i] = Some(JobRecord::error(&name, e)),
+                }
+            }
+            let results = scheduler::run_prepared(verifier.options(), &prepared, &self.popts);
+            for ((i, key), result) in scheduled.into_iter().zip(results) {
+                let name = format!("{}/{}", suite.name, cases[i].name);
+                records[i] = Some(match result {
+                    Ok(v) => {
+                        self.store(&key, &v);
+                        JobRecord::from_verification(&name, &v)
+                    }
+                    Err(e) => JobRecord::error(&name, e),
+                });
+            }
+        }
+        records.into_iter().map(|r| r.unwrap()).collect()
+    }
+
+    fn store(&self, key: &str, v: &Verification) {
+        if let (Some(cache), Some(result)) =
+            (self.cache.as_ref(), CachedResult::from_verification(v))
+        {
+            cache.put(key, &result);
+        }
+    }
+}
+
+/// The built-in benchmark suites, by case-insensitive name.
+pub fn lookup_suite(name: &str) -> Option<AppSuite> {
+    match name.to_ascii_uppercase().as_str() {
+        "E1" => Some(wave_apps::e1::suite()),
+        "E2" => Some(wave_apps::e2::suite()),
+        "E3" => Some(wave_apps::e3::suite()),
+        "E4" => Some(wave_apps::e4::suite()),
+        _ => None,
+    }
+}
+
+fn validate_keys(request: &Json) -> Result<(), String> {
+    const KNOWN: [&str; 6] = ["suite", "spec", "spec_path", "property", "name", "options"];
+    if let Json::Obj(pairs) = request {
+        for (k, _) in pairs {
+            if !KNOWN.contains(&k.as_str()) {
+                return Err(format!("unknown job field {k:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse the per-job `options` object over the defaults.
+pub fn parse_options(json: Option<&Json>) -> Result<VerifyOptions, String> {
+    let mut options = VerifyOptions::default();
+    let Some(json) = json else { return Ok(options) };
+    let Json::Obj(pairs) = json else {
+        return Err("\"options\" must be an object".to_string());
+    };
+    for (key, value) in pairs {
+        match key.as_str() {
+            "max_steps" => {
+                options.max_steps = Some(value.as_u64().ok_or("\"max_steps\" must be an integer")?);
+            }
+            "time_limit_s" => {
+                let secs = value.as_f64().ok_or("\"time_limit_s\" must be a number")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("\"time_limit_s\" must be positive".to_string());
+                }
+                options.time_limit = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "heuristic1" => {
+                options.heuristic1 = value.as_bool().ok_or("\"heuristic1\" must be a boolean")?;
+            }
+            "heuristic2" => {
+                options.heuristic2 = value.as_bool().ok_or("\"heuristic2\" must be a boolean")?;
+            }
+            "use_plans" => {
+                options.use_plans = value.as_bool().ok_or("\"use_plans\" must be a boolean")?;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn service() -> VerifyService {
+        VerifyService::new(ServiceConfig { jobs: 2, ..ServiceConfig::default() }).unwrap()
+    }
+
+    const MINI: &str = r#"
+        spec mini {
+          inputs { button(x); }
+          home A;
+          page A {
+            inputs { button }
+            options button(x) <- x = "go";
+            target B <- button("go");
+          }
+          page B { target A <- true; }
+        }
+    "#;
+
+    #[test]
+    fn inline_spec_job_verifies() {
+        let request =
+            Json::obj([("spec", Json::from(MINI)), ("property", Json::from("G (@B -> X @A)"))]);
+        let records = service().run_request(&request, "job-0");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].verdict, "holds");
+        assert!(records[0].complete);
+        assert!(!records[0].cached);
+    }
+
+    #[test]
+    fn second_run_hits_the_cache() {
+        let svc = service();
+        let request = Json::obj([("spec", Json::from(MINI)), ("property", Json::from("G !@B"))]);
+        let first = svc.run_request(&request, "a");
+        assert_eq!(first[0].verdict, "violated");
+        assert!(!first[0].cached);
+        let second = svc.run_request(&request, "b");
+        assert_eq!(second[0].verdict, "violated");
+        assert!(second[0].cached, "second run must be served from cache");
+        assert_eq!(second[0].stats.cores, 0, "cache hits do no search");
+        assert_eq!(second[0].ce, first[0].ce, "lasso shape survives the cache");
+    }
+
+    #[test]
+    fn bad_jobs_become_error_records() {
+        let svc = service();
+        for (request, needle) in [
+            (json::parse(r#"{"frobnicate":1}"#).unwrap(), "unknown job field"),
+            (json::parse(r#"{"suite":"E9"}"#).unwrap(), "unknown suite"),
+            (json::parse(r#"{"spec":"nonsense"}"#).unwrap(), "need a \"property\""),
+            (json::parse(r#"[1]"#).unwrap(), "must be a JSON object"),
+            (
+                json::parse(r#"{"spec":"spec x {}","property":"G p","options":{"bogus":1}}"#)
+                    .unwrap(),
+                "unknown option",
+            ),
+        ] {
+            let records = svc.run_request(&request, "j");
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].verdict, "error", "{request}");
+            assert!(
+                records[0].error.as_deref().unwrap().contains(needle),
+                "{:?} should mention {needle:?}",
+                records[0].error
+            );
+        }
+    }
+
+    #[test]
+    fn record_json_shape() {
+        let request = Json::obj([
+            ("spec", Json::from(MINI)),
+            ("property", Json::from("F @B")),
+            ("name", Json::from("demo")),
+        ]);
+        let record = &service().run_request(&request, "x")[0];
+        let json = record.to_json();
+        assert_eq!(json.get("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(json.get("verdict").unwrap().as_str(), Some("violated"));
+        assert!(json.get("ce_steps").unwrap().as_u64().is_some());
+        assert!(json.get("stats").unwrap().get("cores").unwrap().as_u64().unwrap() > 0);
+        // render + reparse round-trips
+        assert_eq!(json::parse(&json.to_string()).unwrap(), json);
+    }
+
+    #[test]
+    fn options_parse_and_reject() {
+        let opts = parse_options(Some(
+            &json::parse(r#"{"max_steps":50,"heuristic2":false,"time_limit_s":0.5}"#).unwrap(),
+        ))
+        .unwrap();
+        assert_eq!(opts.max_steps, Some(50));
+        assert!(!opts.heuristic2);
+        assert_eq!(opts.time_limit, Some(std::time::Duration::from_millis(500)));
+        assert!(parse_options(Some(&json::parse(r#"{"max_steps":-1}"#).unwrap())).is_err());
+    }
+}

@@ -47,7 +47,8 @@ pub use wave_relalg as relalg;
 pub use wave_spec as spec;
 
 pub use wave_core::{
-    CounterExample, Stats, Verdict, Verification, Verifier, VerifyError, VerifyOptions,
+    CancelToken, CounterExample, PreparedCheck, Stats, Verdict, Verification, Verifier,
+    VerifyError, VerifyOptions,
 };
 pub use wave_ltl::{parse_property, Property};
 pub use wave_naive::{NaiveOptions, NaiveVerdict, NaiveVerifier};

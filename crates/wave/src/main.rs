@@ -38,6 +38,8 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("automaton") => cmd_automaton(&args[1..]),
         Some("fmt") => cmd_fmt(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             ExitCode::from(2)
@@ -58,6 +60,9 @@ usage:
   wave validate <spec.wave>
   wave automaton --property \"<LTL-FO>\"
   wave fmt <spec.wave>
+  wave batch <jobs.jsonl> [--jobs <n>] [--cache-dir <dir>] [--no-cache]
+  wave serve --addr <host:port> [--jobs <n>] [--cache-dir <dir>] [--no-cache]
+             [--max-connections <n>] [--read-timeout <seconds>]
 
 check options:
   --max-steps <n>         configuration budget
@@ -67,11 +72,17 @@ check options:
   --paper-strict          strict Heuristic 2 (no option-support witnesses)
   --exhaustive-equality   enumerate all C_∃ equality patterns
   --interpret             evaluate rules directly (no compiled plans)
+  --jobs <n>              verify on an n-worker pool (wave-svc scheduler)
+  --json                  print one JSON result record (batch format)
   --no-replay             skip counterexample re-validation
   --quiet                 print the verdict only
 
+batch: one JSON job per input line, one JSON record per property on
+stdout; e.g. {\"suite\":\"E1\"}, {\"suite\":\"E1\",\"property\":\"P5\"}, or
+{\"spec_path\":\"shop.wave\",\"property\":\"G !@ERR\",\"options\":{\"max_steps\":5000}}
+
 exit codes: 0 property holds · 1 property violated · 2 usage/spec error
-            3 budget exhausted
+            3 budget exhausted   (batch: 0 all jobs ran · 2 some errored)
 ";
 
 /// Pull `--flag value` out of an argument list.
@@ -98,8 +109,7 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
 }
 
 fn load_spec(path: &str) -> Result<wave::Spec, String> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let spec = parse_spec(&src).map_err(|e| format!("{path}: {e}"))?;
     if let Err(errs) = spec.validate() {
         let mut msg = format!("{path}: specification is invalid:\n");
@@ -144,6 +154,17 @@ fn cmd_check(rest: &[String]) -> ExitCode {
     }
     let no_replay = take_flag(&mut args, "--no-replay");
     let quiet = take_flag(&mut args, "--quiet");
+    let json_out = take_flag(&mut args, "--json");
+    let jobs = match take_value(&mut args, "--jobs") {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("--jobs needs a positive integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let [path] = args.as_slice() else {
         eprintln!("check needs exactly one spec file, got {args:?}");
         return ExitCode::from(2);
@@ -170,13 +191,37 @@ fn cmd_check(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let v = match verifier.check(&property) {
+    let run = match jobs {
+        Some(n) => {
+            wave_svc::check_parallel(&verifier, &property, &wave_svc::ParallelOptions::with_jobs(n))
+        }
+        None => verifier.check(&property),
+    };
+    let v = match run {
         Ok(v) => v,
         Err(e) => {
             eprintln!("verification failed: {e}");
             return ExitCode::from(2);
         }
     };
+    if json_out {
+        // the same record format batch and serve emit
+        if let Verdict::Violated(ce) = &v.verdict {
+            if !no_replay {
+                if let Err(e) = verifier.validate_counterexample(&property, ce) {
+                    eprintln!("internal error: counterexample failed replay: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let record = wave_svc::JobRecord::from_verification(path, &v);
+        println!("{}", record.to_json());
+        return match &v.verdict {
+            Verdict::Holds => ExitCode::SUCCESS,
+            Verdict::Violated(_) => ExitCode::from(1),
+            Verdict::Unknown(_) => ExitCode::from(3),
+        };
+    }
     match &v.verdict {
         Verdict::Holds => {
             if quiet {
@@ -185,7 +230,11 @@ fn cmd_check(rest: &[String]) -> ExitCode {
                 println!(
                     "property HOLDS{} — {:?}, max run length {}, trie size {}, \
                      {} configurations",
-                    if v.complete { " (complete verification)" } else { " (no counterexample found; incomplete fragment)" },
+                    if v.complete {
+                        " (complete verification)"
+                    } else {
+                        " (no counterexample found; incomplete fragment)"
+                    },
                     v.stats.elapsed,
                     v.stats.max_run_len,
                     v.stats.max_trie,
@@ -286,6 +335,125 @@ fn cmd_fmt(rest: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Shared `--jobs/--cache-dir/--no-cache` parsing for batch and serve.
+fn service_config(args: &mut Vec<String>) -> Result<wave_svc::ServiceConfig, String> {
+    let mut config = wave_svc::ServiceConfig::default();
+    if let Some(n) = take_value(args, "--jobs") {
+        config.jobs = n
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n >= 1)
+            .ok_or_else(|| format!("--jobs needs a positive integer, got {n:?}"))?;
+    }
+    config.cache_dir = take_value(args, "--cache-dir").map(Into::into);
+    if take_flag(args, "--no-cache") {
+        config.use_cache = false;
+    }
+    Ok(config)
+}
+
+fn cmd_batch(rest: &[String]) -> ExitCode {
+    let mut args = rest.to_vec();
+    let config = match service_config(&mut args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let [path] = args.as_slice() else {
+        eprintln!("batch needs exactly one jobs.jsonl file, got {args:?}");
+        return ExitCode::from(2);
+    };
+    let input = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let svc = match wave_svc::VerifyService::new(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start service: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let records = wave_svc::run_batch(&svc, &input);
+    print!("{}", wave_svc::render_records(&records));
+    eprintln!("{}", wave_svc::summary(&records));
+    if records.iter().any(|r| r.verdict == "error") {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_serve(rest: &[String]) -> ExitCode {
+    let mut args = rest.to_vec();
+    let service = match service_config(&mut args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut config = wave_svc::ServerConfig {
+        jobs: service.jobs,
+        use_cache: service.use_cache,
+        cache_dir: service.cache_dir,
+        ..wave_svc::ServerConfig::default()
+    };
+    let Some(addr) = take_value(&mut args, "--addr") else {
+        eprintln!("serve needs --addr <host:port>");
+        return ExitCode::from(2);
+    };
+    config.addr = addr;
+    if let Some(n) = take_value(&mut args, "--max-connections") {
+        match n.parse::<usize>() {
+            Ok(n) if n >= 1 => config.max_connections = n,
+            _ => {
+                eprintln!("--max-connections needs a positive integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(secs) = take_value(&mut args, "--read-timeout") {
+        match secs.parse::<f64>() {
+            Ok(s) if s > 0.0 => config.read_timeout = Duration::from_secs_f64(s),
+            _ => {
+                eprintln!("--read-timeout needs a positive number of seconds");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !args.is_empty() {
+        eprintln!("serve: unexpected arguments {args:?}");
+        return ExitCode::from(2);
+    }
+    let server = match wave_svc::Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!("wave serve: listening on {addr}"),
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("server error: {e}");
             ExitCode::from(2)
         }
     }

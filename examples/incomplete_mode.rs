@@ -32,9 +32,11 @@ fn main() {
     )
     .expect("parses");
 
-    let mut options = VerifyOptions::default();
-    options.max_steps = Some(50_000);
-    options.time_limit = Some(Duration::from_secs(10));
+    let options = VerifyOptions {
+        max_steps: Some(50_000),
+        time_limit: Some(Duration::from_secs(10)),
+        ..Default::default()
+    };
     let verifier = Verifier::with_options(spec, options).expect("compiles");
 
     let v = verifier.check_str("G (@Q -> X @P)").expect("runs");

@@ -40,9 +40,7 @@ fn main() {
     let verifier = Verifier::new(spec).expect("spec compiles");
 
     // 1. a soundness property that holds: the account page implies login
-    let v = verifier
-        .check_str("G (@ACC -> loggedin())")
-        .expect("verification runs");
+    let v = verifier.check_str("G (@ACC -> loggedin())").expect("verification runs");
     println!("G (@ACC -> loggedin())        => holds: {}", v.verdict.holds());
     assert!(v.verdict.holds());
     assert!(v.complete, "spec and property are input-bounded: verdict is conclusive");

@@ -32,12 +32,7 @@ fn validate_reports_inventory_and_input_boundedness() {
 #[test]
 fn check_holds_exits_zero() {
     let out = Command::new(wave_bin())
-        .args([
-            "check",
-            spec_path("e2_motogp.wave").to_str().unwrap(),
-            "--property",
-            "F @HP",
-        ])
+        .args(["check", spec_path("e2_motogp.wave").to_str().unwrap(), "--property", "F @HP"])
         .output()
         .expect("wave runs");
     assert_eq!(out.status.code(), Some(0), "{out:?}");
@@ -47,12 +42,7 @@ fn check_holds_exits_zero() {
 #[test]
 fn check_violated_exits_one_with_counterexample() {
     let out = Command::new(wave_bin())
-        .args([
-            "check",
-            spec_path("e2_motogp.wave").to_str().unwrap(),
-            "--property",
-            "F @GDP",
-        ])
+        .args(["check", spec_path("e2_motogp.wave").to_str().unwrap(), "--property", "F @GDP"])
         .output()
         .expect("wave runs");
     assert_eq!(out.status.code(), Some(1), "{out:?}");
@@ -99,6 +89,113 @@ fn automaton_prints_components_and_states() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("P0 := p()"), "{text}");
     assert!(text.contains("Buchi automaton"), "{text}");
+}
+
+#[test]
+fn check_json_emits_record_and_keeps_exit_codes() {
+    // holds → exit 0
+    let out = Command::new(wave_bin())
+        .args([
+            "check",
+            spec_path("e2_motogp.wave").to_str().unwrap(),
+            "--property",
+            "F @HP",
+            "--json",
+            "--jobs",
+            "4",
+        ])
+        .output()
+        .expect("wave runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"verdict\":\"holds\""), "{text}");
+    assert!(text.contains("\"complete\":true"), "{text}");
+
+    // violated → exit 1, with the counterexample lasso shape
+    let out = Command::new(wave_bin())
+        .args([
+            "check",
+            spec_path("e2_motogp.wave").to_str().unwrap(),
+            "--property",
+            "F @GDP",
+            "--json",
+        ])
+        .output()
+        .expect("wave runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"verdict\":\"violated\""), "{text}");
+    assert!(text.contains("\"ce_steps\":"), "{text}");
+}
+
+#[test]
+fn batch_runs_jobs_and_reuses_the_disk_cache() {
+    let dir = std::env::temp_dir().join(format!("wave-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs = dir.join("jobs.jsonl");
+    std::fs::write(
+        &jobs,
+        format!(
+            "{{\"suite\":\"E1\",\"property\":\"P1\"}}\n\
+             {{\"spec_path\":{:?},\"property\":\"F @GDP\",\"name\":\"moto\"}}\n",
+            spec_path("e2_motogp.wave").to_str().unwrap()
+        ),
+    )
+    .unwrap();
+    let cache = dir.join("cache");
+    let run = || {
+        Command::new(wave_bin())
+            .args([
+                "batch",
+                jobs.to_str().unwrap(),
+                "--jobs",
+                "4",
+                "--cache-dir",
+                cache.to_str().unwrap(),
+            ])
+            .output()
+            .expect("wave runs")
+    };
+
+    let first = run();
+    assert_eq!(first.status.code(), Some(0), "{first:?}");
+    let lines: Vec<String> =
+        String::from_utf8_lossy(&first.stdout).lines().map(String::from).collect();
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    assert!(lines[0].contains("\"verdict\":\"holds\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"name\":\"moto\""), "{}", lines[1]);
+    assert!(lines[1].contains("\"verdict\":\"violated\""), "{}", lines[1]);
+    assert!(lines[0].contains("\"cached\":false"), "{}", lines[0]);
+
+    // a second process sees the on-disk cache: same verdicts, no search
+    let second = run();
+    assert_eq!(second.status.code(), Some(0), "{second:?}");
+    for line in String::from_utf8_lossy(&second.stdout).lines() {
+        assert!(line.contains("\"cached\":true"), "{line}");
+        assert!(line.contains("\"cores\":0"), "{line}");
+    }
+    let verdict = |out: &std::process::Output| -> Vec<String> {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .map(|l| l.split("\"verdict\":").nth(1).unwrap().split(',').next().unwrap().to_string())
+            .collect()
+    };
+    assert_eq!(verdict(&first), verdict(&second), "cached verdicts must not change");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_reports_errors_with_exit_two() {
+    let dir = std::env::temp_dir().join(format!("wave-batch-err-{}.jsonl", std::process::id()));
+    std::fs::write(&dir, "{\"suite\":\"E9\"}\n").unwrap();
+    let out = Command::new(wave_bin())
+        .args(["batch", dir.to_str().unwrap(), "--no-cache"])
+        .output()
+        .expect("wave runs");
+    std::fs::remove_file(&dir).ok();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"verdict\":\"error\""), "{out:?}");
 }
 
 #[test]

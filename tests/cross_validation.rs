@@ -66,10 +66,8 @@ fn naive_opts() -> NaiveOptions {
 }
 
 fn cross_check(spec: Spec, property: &str) {
-    let wave_verdict = Verifier::new(spec.clone())
-        .expect("compiles")
-        .check_str(property)
-        .expect("wave runs");
+    let wave_verdict =
+        Verifier::new(spec.clone()).expect("compiles").check_str(property).expect("wave runs");
     let (naive_verdict, _) = NaiveVerifier::new(spec, naive_opts())
         .expect("compiles")
         .check_str(property)
@@ -131,10 +129,6 @@ fn heuristics_off_agree_with_baseline_on_gate() {
             .expect("compiles")
             .check_str(property)
             .expect("naive runs");
-        assert_eq!(
-            v.verdict.holds(),
-            naive_verdict == NaiveVerdict::HoldsBounded,
-            "{property}"
-        );
+        assert_eq!(v.verdict.holds(), naive_verdict == NaiveVerdict::HoldsBounded, "{property}");
     }
 }

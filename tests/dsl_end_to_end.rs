@@ -39,23 +39,17 @@ fn the_workflow_verifies() {
     let verifier = Verifier::new(spec).expect("compiles");
 
     // receipts only for basket items, in the catalog price — holds
-    let v = verifier
-        .check_str("forall i, p: G (receipt(i, p) -> basket(i, p))")
-        .expect("runs");
+    let v = verifier.check_str("forall i, p: G (receipt(i, p) -> basket(i, p))").expect("runs");
     assert!(v.verdict.holds(), "{v:?}");
     assert!(v.complete);
 
     // payment implies the item was added strictly before (add happens on
     // SHOP, confirm on PAY — different steps) — holds
-    let v = verifier
-        .check_str("forall i, p: basket(i, p) B paidfor(i, p)")
-        .expect("runs");
+    let v = verifier.check_str("forall i, p: basket(i, p) B paidfor(i, p)").expect("runs");
     assert!(v.verdict.holds(), "{v:?}");
 
     // "every run pays for something" — refuted with a lasso counterexample
-    let v = verifier
-        .check_str("F (exists i, p: choose(i, p))")
-        .expect("runs");
+    let v = verifier.check_str("F (exists i, p: choose(i, p))").expect("runs");
     let Verdict::Violated(ce) = &v.verdict else {
         panic!("expected a violation, got {:?}", v.verdict)
     };
@@ -146,9 +140,7 @@ fn universe_overflow_is_a_typed_error_not_a_wrong_answer() {
     .unwrap();
     let mut verifier = Verifier::new(spec).unwrap();
     verifier.options_mut().heuristic1 = false;
-    let err = verifier
-        .check_str(r#"forall x, y, z: G !w(x, y, z)"#)
-        .unwrap_err();
+    let err = verifier.check_str(r#"forall x, y, z: G !w(x, y, z)"#).unwrap_err();
     let text = err.to_string();
     assert!(text.contains("universe"), "{text}");
 }

@@ -15,13 +15,7 @@ fn check(name: &str) {
     let case = suite.properties.iter().find(|p| p.name == name).unwrap();
     let verifier = Verifier::new(suite.spec.clone()).expect("E1 compiles");
     let v = verifier.check_str(&case.text).expect("verification runs");
-    assert_eq!(
-        v.verdict.holds(),
-        case.holds,
-        "{name} expected {} — {}",
-        case.holds,
-        case.comment
-    );
+    assert_eq!(v.verdict.holds(), case.holds, "{name} expected {} — {}", case.holds, case.comment);
     assert!(v.complete, "{name}: E1 and its properties are input-bounded");
 }
 

@@ -9,13 +9,7 @@ fn check(suite: &AppSuite, name: &str) {
     let case = suite.properties.iter().find(|p| p.name == name).unwrap();
     let verifier = Verifier::new(suite.spec.clone()).expect("spec compiles");
     let v = verifier.check_str(&case.text).expect("verification runs");
-    assert_eq!(
-        v.verdict.holds(),
-        case.holds,
-        "{name} expected {} — {}",
-        case.holds,
-        case.comment
-    );
+    assert_eq!(v.verdict.holds(), case.holds, "{name} expected {} — {}", case.holds, case.comment);
 }
 
 #[test]
@@ -24,13 +18,7 @@ fn e2_full_suite_runs_with_matching_verdicts() {
     let suite = e2::suite();
     let rows = suite.run_all(wave::VerifyOptions::default()).expect("suite runs");
     for r in &rows {
-        assert_eq!(
-            r.measured_holds,
-            Some(r.expected),
-            "{}: expected {}",
-            r.name,
-            r.expected
-        );
+        assert_eq!(r.measured_holds, Some(r.expected), "{}: expected {}", r.name, r.expected);
     }
     assert_eq!(rows.len(), 13);
 }
@@ -47,9 +35,7 @@ fn e3_fast_properties() {
 #[ignore = "slow: run with --release -- --include-ignored"]
 fn e3_remaining_properties() {
     let suite = e3::suite();
-    for name in [
-        "R2", "R3", "R6", "R7", "R8", "R9", "R11", "R13", "R14",
-    ] {
+    for name in ["R2", "R3", "R6", "R7", "R8", "R9", "R11", "R13", "R14"] {
         check(&suite, name);
     }
 }
@@ -66,20 +52,14 @@ fn e4_fast_properties() {
 #[ignore = "slow: run with --release -- --include-ignored"]
 fn e4_remaining_properties() {
     let suite = e4::suite();
-    for name in [
-        "S2", "S3", "S6", "S7", "S8", "S9", "S11", "S13", "S14",
-    ] {
+    for name in ["S2", "S3", "S6", "S7", "S8", "S9", "S11", "S13", "S14"] {
         check(&suite, name);
     }
 }
 
 #[test]
 fn all_four_specs_compile_input_bounded() {
-    for (name, spec) in [
-        ("E2", e2::spec()),
-        ("E3", e3::spec()),
-        ("E4", e4::spec()),
-    ] {
+    for (name, spec) in [("E2", e2::spec()), ("E3", e3::spec()), ("E4", e4::spec())] {
         let compiled = wave::spec::CompiledSpec::compile(spec).unwrap();
         assert!(compiled.is_input_bounded(), "{name}: {:?}", compiled.ib_report);
     }

@@ -31,12 +31,11 @@ fn e2_suite_is_stable_across_modes() {
         assert_eq!(case.holds, *holds, "{name}");
     }
 
-    let mut interp = VerifyOptions::default();
-    interp.use_plans = false;
+    let interp = VerifyOptions { use_plans: false, ..Default::default() };
     assert_eq!(baseline, verdicts_with(interp), "interpreted rules");
 
-    let mut exhaustive = VerifyOptions::default();
-    exhaustive.param_mode = ParamMode::ExhaustiveEquality;
+    let exhaustive =
+        VerifyOptions { param_mode: ParamMode::ExhaustiveEquality, ..Default::default() };
     assert_eq!(baseline, verdicts_with(exhaustive), "exhaustive C_∃ equality");
 }
 
@@ -47,8 +46,7 @@ fn e2_suite_is_stable_across_modes() {
 /// exact strict-mode verdicts so any change is conscious.
 #[test]
 fn e2_paper_strict_verdicts_are_documented() {
-    let mut strict = VerifyOptions::default();
-    strict.pruning = ExtensionPruning::PaperStrict;
+    let strict = VerifyOptions { pruning: ExtensionPruning::PaperStrict, ..Default::default() };
     let verdicts = verdicts_with(strict);
     for (name, holds) in &verdicts {
         match name.as_str() {

@@ -1,0 +1,107 @@
+//! Integration tests for the `wave-svc` verification service: the
+//! parallel suite runner must reproduce sequential verdicts on E1
+//! byte-for-byte, and counterexamples found under sibling cancellation
+//! must replay cleanly.
+
+use wave::apps::e1;
+use wave::{parse_property, parse_spec, Verdict, Verifier};
+use wave_svc::{run_prepared, ParallelOptions, ServiceConfig, VerifyService};
+
+/// The E1 properties that run quickly in debug builds (the P4/P5/P7
+/// exclusions mirror tests/integration_e1.rs).
+const FAST: [&str; 14] =
+    ["P1", "P2", "P3", "P6", "P8", "P9", "P10", "P11", "P12", "P13", "P14", "P15", "P16", "P17"];
+
+#[test]
+fn e1_parallel_suite_verdicts_match_sequential_exactly() {
+    let suite = e1::suite();
+    let verifier = Verifier::new(suite.spec.clone()).expect("E1 compiles");
+    let cases: Vec<_> = suite.properties.iter().filter(|c| FAST.contains(&c.name)).collect();
+    assert_eq!(cases.len(), FAST.len());
+
+    let props: Vec<_> =
+        cases.iter().map(|c| parse_property(&c.text).expect("property parses")).collect();
+    let prepared: Vec<_> =
+        props.iter().map(|p| verifier.prepare(p).expect("property prepares")).collect();
+    let parallel = run_prepared(
+        verifier.options(),
+        &prepared,
+        &ParallelOptions { jobs: 4, split_units: true },
+    );
+
+    for ((case, prop), result) in cases.iter().zip(&props).zip(parallel) {
+        let seq = verifier.check(prop).expect("sequential check runs");
+        let par = result.expect("parallel check runs");
+        // byte-identical verdicts: same variant, same counterexample
+        assert_eq!(
+            format!("{:?}", seq.verdict),
+            format!("{:?}", par.verdict),
+            "E1/{}: parallel verdict diverged",
+            case.name
+        );
+        assert_eq!(seq.verdict.holds(), case.holds, "E1/{}: wrong verdict", case.name);
+        assert_eq!(seq.complete, par.complete, "E1/{}", case.name);
+    }
+}
+
+#[test]
+fn counterexample_found_under_sibling_cancellation_replays() {
+    // the "promo" constant flows into cart, so the property gets several
+    // C_∃ assignments (units); the violating unit's win cancels siblings
+    // that are still mid-search
+    let spec = parse_spec(
+        r#"
+        spec cancelshop {
+          database { stock(item); }
+          state { cart(item); }
+          inputs { pick(x); button(x); }
+          home A;
+          page A {
+            inputs { pick, button }
+            options button(x) <- x = "add" | x = "promo";
+            options pick(x) <- stock(x);
+            insert cart(x) <- (pick(x) & button("add")) | (x = "promo" & button("promo"));
+            target B <- button("add") | button("promo");
+          }
+          page B { target A <- true; }
+        }
+    "#,
+    )
+    .unwrap();
+    let verifier = Verifier::new(spec).unwrap();
+    let prop = parse_property("forall x: G !cart(x)").unwrap();
+
+    let prepared = verifier.prepare(&prop).unwrap();
+    assert!(prepared.num_units() > 1, "the test needs a multi-unit check to exercise cancellation");
+
+    for jobs in [2, 4, 8] {
+        let popts = ParallelOptions { jobs, split_units: true };
+        let v = wave_svc::check_parallel(&verifier, &prop, &popts).unwrap();
+        let Verdict::Violated(ce) = &v.verdict else {
+            panic!("jobs={jobs}: expected a violation, got {:?}", v.verdict)
+        };
+        verifier
+            .validate_counterexample(&prop, ce)
+            .unwrap_or_else(|e| panic!("jobs={jobs}: counterexample failed replay: {e}"));
+        // and it is the same counterexample the sequential scan finds
+        let seq = verifier.check(&prop).unwrap();
+        assert_eq!(format!("{:?}", seq.verdict), format!("{:?}", v.verdict), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn suite_service_caches_between_runs() {
+    let svc = VerifyService::new(ServiceConfig { jobs: 4, ..Default::default() }).unwrap();
+    let suite = e1::suite();
+    let options = wave::VerifyOptions::default();
+    let first = svc.run_suite(&suite, Some("P1"), options.clone());
+    assert_eq!(first.len(), 1);
+    assert_eq!(first[0].verdict, "holds");
+    assert!(!first[0].cached);
+    assert!(first[0].stats.cores > 0);
+
+    let second = svc.run_suite(&suite, Some("P1"), options);
+    assert_eq!(second[0].verdict, "holds");
+    assert!(second[0].cached, "second run must hit the cache");
+    assert_eq!(second[0].stats.cores, 0, "cache hits do no search");
+}

@@ -1,0 +1,436 @@
+//! A minimal, deterministic stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `proptest` to this implementation. It covers exactly the API
+//! surface the workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, `prop_recursive`, and `boxed`,
+//! * strategies for integer ranges, tuples, [`Just`], [`any`],
+//!   `prop::collection::vec`, and `prop::option::of`,
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], and
+//!   [`prop_assert_eq!`] macros,
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! corpus: cases are generated from a fixed per-test seed (derived from
+//! the test name) so every run explores the same inputs — failures are
+//! reproducible by rerunning the test.
+
+use std::rc::Rc;
+
+/// Deterministic splitmix64 generator.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+pub mod test_runner {
+    use super::TestRng;
+
+    /// Per-test RNG: the seed is a hash of the test name, so each test
+    /// sees a stable but distinct input stream.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng::seeded(h)
+    }
+
+    /// Harness configuration (`cases` is the only knob the stub honors).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+
+    /// Depth-bounded recursive strategies: the stub expands the recursion
+    /// `depth` times, so generated trees are at most `depth` levels deep.
+    /// (`desired_size` and `expected_branch_size` are accepted for API
+    /// compatibility and ignored.)
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = recurse(strat).boxed();
+        }
+        strat
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                (lo + rng.below((hi - lo + 1) as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy producing arbitrary values of `T`.
+#[derive(Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Uniform choice between boxed alternatives (the `prop_oneof!` backend).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union(self.0.clone())
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// The `prop::` namespace used by `use proptest::prelude::*`.
+pub mod strategies {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Half-open length range, mirroring proptest's `SizeRange`
+        /// conversions (`usize` means "exactly that many").
+        #[derive(Clone)]
+        pub struct SizeRange {
+            start: usize,
+            end: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { start: n, end: n + 1 }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty length range");
+                SizeRange { start: r.start, end: r.end }
+            }
+        }
+
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: SizeRange,
+        }
+
+        /// Vectors whose length is drawn from `len` and whose elements
+        /// come from `element`.
+        pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, len: len.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start) as u64;
+                let n = self.len.start + rng.below(span) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        #[derive(Clone)]
+        pub struct OptionStrategy<S>(S);
+
+        /// `None` a quarter of the time, `Some` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($alt)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::core::stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} — {}",
+                ::core::stringify!($cond), ::std::format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                ::core::stringify!($left), ::core::stringify!($right), l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                ::core::stringify!($left), ::core::stringify!($right), l, r,
+                ::std::format!($($fmt)+)));
+        }
+    }};
+}
+
+/// The test-definition macro. Each contained `fn name(pat in strategy, …)
+/// { body }` becomes a `#[test]` that runs the body over `config.cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)* ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for(::core::stringify!($name));
+            for case in 0..config.cases {
+                let outcome: ::core::result::Result<(), ::std::string::String> = {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let mut case_fn = || { $body ::core::result::Result::Ok(()) };
+                    case_fn()
+                };
+                if let ::core::result::Result::Err(msg) = outcome {
+                    ::core::panic!(
+                        "proptest {} failed at case {}/{}:\n{}",
+                        ::core::stringify!($name), case, config.cases, msg);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ( ($cfg:expr) ) => {};
+}
+
+pub mod prelude {
+    pub use super::strategies as prop;
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestRng, Union,
+    };
+}
