@@ -1,0 +1,55 @@
+//! Ablation: the hash-consed pseudoconfiguration store. The interned
+//! backend keys visit sets, successor caches, and Büchi-product pairs by
+//! dense `u32` ids; the byte-key baseline re-encodes every configuration
+//! into an owned byte string per lookup (the pre-interning design).
+//!
+//! Measured on the visit-heaviest E1 property (P4, whose trie peaks above
+//! 80k entries) and an E3 property with a similar shape, full check per
+//! iteration so the comparison includes interning cost, not just lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wave_apps::{e1, e3, AppSuite};
+use wave_core::{StateStoreKind, Verifier, VerifyOptions};
+
+fn bench_suite_property(c: &mut Criterion, suite: &AppSuite, property: &str) {
+    let case = suite
+        .properties
+        .iter()
+        .find(|p| p.name == property)
+        .unwrap_or_else(|| panic!("{} has no property {property}", suite.name));
+    let mut group = c.benchmark_group("state_interning");
+    group.sample_size(10);
+    for (label, kind) in
+        [("interned", StateStoreKind::Interned), ("byte_keys", StateStoreKind::ByteKeys)]
+    {
+        let verifier = Verifier::with_options(
+            suite.spec.clone(),
+            VerifyOptions { state_store: kind, ..Default::default() },
+        )
+        .expect("suite compiles");
+        let text = case.text.clone();
+        let expected = case.holds;
+        group.bench_function(
+            format!("{}_{property}_{label}", suite.name.split(' ').next().unwrap()),
+            |b| {
+                b.iter(|| {
+                    let v = verifier.check_str(&text).expect("verifies");
+                    assert_eq!(v.verdict.holds(), expected);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_interning(c: &mut Criterion) {
+    bench_suite_property(c, &e1::suite(), "P4");
+    bench_suite_property(c, &e3::suite(), "R3");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(15));
+    targets = bench_interning
+}
+criterion_main!(benches);

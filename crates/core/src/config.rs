@@ -7,8 +7,13 @@
 //! state relations (ground tuples over `C` only) and the actions taken.
 //!
 //! Configurations are stored in canonical form (sorted tuple lists), which
-//! gives structural equality and a deterministic byte encoding for the
-//! visited-trie.
+//! gives structural equality and a deterministic byte encoding. Each fact
+//! section is held behind an `Arc`, so `succP` successors that leave a
+//! section unchanged (the common case: every successor of one expansion
+//! shares its previous-input and state sections) share it copy-on-write
+//! instead of deep-cloning — see [`crate::intern`] for the hash-consing
+//! layer that extends the sharing across equal (not just same-origin)
+//! sections.
 
 use std::sync::Arc;
 use wave_relalg::{Instance, RelId, Tuple};
@@ -24,20 +29,33 @@ pub fn canonicalize(mut facts: Facts) -> Facts {
     facts
 }
 
+/// A shared, canonical fact list (cheap to clone).
+pub type SharedFacts = Arc<Facts>;
+
+/// The shared empty fact list (`Vec::new` does not allocate, but the
+/// `Arc` control block does — share one for the very common empty case).
+pub fn no_facts() -> SharedFacts {
+    static EMPTY: std::sync::OnceLock<SharedFacts> = std::sync::OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
 /// A pseudoconfiguration (the core is held by the enclosing search).
+///
+/// Equality and hashing are structural (the `Arc`s dereference); clones
+/// share the fact sections.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct PseudoConfig {
     pub page: PageId,
     /// Extension tuples (database relations beyond the core).
-    pub ext: Facts,
+    pub ext: SharedFacts,
     /// Current input (at most one tuple per input relation).
-    pub input: Facts,
+    pub input: SharedFacts,
     /// Previous input.
-    pub prev: Facts,
+    pub prev: SharedFacts,
     /// State tuples (ground over `C`).
-    pub state: Facts,
+    pub state: SharedFacts,
     /// Action tuples emitted this step (ground over `C`).
-    pub actions: Facts,
+    pub actions: SharedFacts,
 }
 
 impl PseudoConfig {
@@ -46,19 +64,25 @@ impl PseudoConfig {
     pub fn initial(page: PageId) -> Self {
         PseudoConfig {
             page,
-            ext: Vec::new(),
-            input: Vec::new(),
-            prev: Vec::new(),
-            state: Vec::new(),
-            actions: Vec::new(),
+            ext: no_facts(),
+            input: no_facts(),
+            prev: no_facts(),
+            state: no_facts(),
+            actions: no_facts(),
         }
     }
 
-    /// Canonical byte encoding for trie keys. The encoding is injective:
-    /// each section is length-prefixed and tuples carry their relation id.
+    /// The five fact sections in encoding order.
+    pub fn sections(&self) -> [&SharedFacts; 5] {
+        [&self.ext, &self.input, &self.prev, &self.state, &self.actions]
+    }
+
+    /// Canonical byte encoding for byte-keyed visit sets. The encoding is
+    /// injective: each section is length-prefixed and tuples carry their
+    /// relation id.
     pub fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.page.0.to_le_bytes());
-        for facts in [&self.ext, &self.input, &self.prev, &self.state, &self.actions] {
+        for facts in self.sections() {
             out.extend_from_slice(&(facts.len() as u32).to_le_bytes());
             for (rel, t) in facts.iter() {
                 out.extend_from_slice(&rel.0.to_le_bytes());
@@ -77,10 +101,10 @@ impl PseudoConfig {
         for (rel, t) in self
             .ext
             .iter()
-            .chain(&self.input)
-            .chain(&self.prev)
-            .chain(&self.state)
-            .chain(&self.actions)
+            .chain(self.input.iter())
+            .chain(self.prev.iter())
+            .chain(self.state.iter())
+            .chain(self.actions.iter())
         {
             inst.insert(*rel, t.clone());
         }
@@ -88,7 +112,7 @@ impl PseudoConfig {
         inst
     }
 
-    /// Build the trie key for a search node `(automaton state, config)`.
+    /// Build the byte key for a search node `(automaton state, config)`.
     pub fn trie_key(&self, auto_state: usize) -> Vec<u8> {
         let mut key = Vec::with_capacity(64);
         key.extend_from_slice(&(auto_state as u32).to_le_bytes());
@@ -161,9 +185,9 @@ mod tests {
         let s = spec();
         // same fact in ext vs state must encode differently
         let mut a = PseudoConfig::initial(PageId(0));
-        a.ext = vec![fact(&s, "db", &[1, 2])];
+        a.ext = Arc::new(vec![fact(&s, "db", &[1, 2])]);
         let mut b = PseudoConfig::initial(PageId(0));
-        b.state = vec![fact(&s, "db", &[1, 2])];
+        b.state = Arc::new(vec![fact(&s, "db", &[1, 2])]);
         let (mut ka, mut kb) = (Vec::new(), Vec::new());
         a.encode(&mut ka);
         b.encode(&mut kb);
@@ -182,11 +206,20 @@ mod tests {
     fn equal_configs_equal_keys() {
         let s = spec();
         let mut a = PseudoConfig::initial(PageId(0));
-        a.state = canonicalize(vec![fact(&s, "st", &[3]), fact(&s, "st", &[1])]);
+        a.state = Arc::new(canonicalize(vec![fact(&s, "st", &[3]), fact(&s, "st", &[1])]));
         let mut b = PseudoConfig::initial(PageId(0));
-        b.state = canonicalize(vec![fact(&s, "st", &[1]), fact(&s, "st", &[3])]);
+        b.state = Arc::new(canonicalize(vec![fact(&s, "st", &[1]), fact(&s, "st", &[3])]));
         assert_eq!(a, b);
         assert_eq!(a.trie_key(5), b.trie_key(5));
+    }
+
+    #[test]
+    fn clones_share_sections() {
+        let s = spec();
+        let mut a = PseudoConfig::initial(PageId(0));
+        a.state = Arc::new(vec![fact(&s, "st", &[1])]);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.state, &b.state), "clone is copy-on-write");
     }
 
     #[test]
@@ -195,8 +228,8 @@ mod tests {
         let core = vec![fact(&s, "db", &[10, 11])];
         let base = core_instance(&s, &core);
         let mut c = PseudoConfig::initial(PageId(0));
-        c.ext = vec![fact(&s, "db", &[20, 21])];
-        c.state = vec![fact(&s, "st", &[10])];
+        c.ext = Arc::new(vec![fact(&s, "db", &[20, 21])]);
+        c.state = Arc::new(vec![fact(&s, "st", &[10])]);
         let inst = c.materialize(&s, &base);
         let db = s.schema.lookup("db").unwrap();
         let st = s.schema.lookup("st").unwrap();

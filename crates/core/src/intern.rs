@@ -1,0 +1,238 @@
+//! The hash-consing pseudoconfiguration store.
+//!
+//! The `ndfs-pseudo` search revisits the same configurations under many
+//! automaton states, and `succP` regenerates the same fact sections over
+//! and over (every successor of one expansion shares its state and
+//! previous-input sections; different expansions regenerate equal ones).
+//! The seed implementation paid for this twice: every visit re-serialized
+//! the full configuration to a byte key, and every stored configuration
+//! deep-cloned its facts.
+//!
+//! [`ConfigStore`] interns instead:
+//!
+//! * tuples hash-cons through a [`TupleInterner`], so equal tuples share
+//!   one allocation workspace-wide within the store,
+//! * canonical fact lists intern to a dense [`FactsId`] (`u32`), the
+//!   canonical `Arc<Facts>` is stored once,
+//! * a configuration interns to a dense [`ConfigId`] keyed by its
+//!   *parts* — `(page, ext id, input id, prev id, state id, actions id)`
+//!   — a 24-byte struct, so config-level lookups after the sections are
+//!   interned never re-hash tuple data.
+//!
+//! Interning is injective on canonical configurations (facts ids are
+//! content-unique, the parts key is content-unique), so `ConfigId`
+//! equality *is* configuration equality and the NDFS visit set, successor
+//! cache, and Büchi-product pairs can be keyed by `(u32, u32)` instead of
+//! owned byte vectors. Stores are per-work-unit and thread-local; ids
+//! from different stores are not comparable.
+
+use crate::config::{Facts, PseudoConfig, SharedFacts};
+use std::collections::HashMap;
+use std::sync::Arc;
+use wave_relalg::TupleInterner;
+use wave_spec::PageId;
+
+/// Dense id of an interned canonical fact list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactsId(pub u32);
+
+/// Dense id of an interned pseudoconfiguration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConfigId(pub u32);
+
+/// The parts key of an interned configuration: page + section ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct ConfigParts {
+    page: PageId,
+    ext: FactsId,
+    input: FactsId,
+    prev: FactsId,
+    state: FactsId,
+    actions: FactsId,
+}
+
+/// Interner statistics (fed into the search profiler).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Config interns that found an existing id.
+    pub config_hits: u64,
+    /// Configs stored for the first time.
+    pub config_misses: u64,
+    /// Facts-section interns that found an existing id.
+    pub facts_hits: u64,
+    /// Facts sections stored for the first time.
+    pub facts_misses: u64,
+}
+
+/// The hash-consing arena for pseudoconfigurations and their parts.
+#[derive(Debug, Default)]
+pub struct ConfigStore {
+    tuples: TupleInterner,
+    /// Canonical storage per `FactsId`.
+    facts: Vec<SharedFacts>,
+    facts_ids: HashMap<SharedFacts, FactsId>,
+    /// Canonical parts per `ConfigId` (configs rebuild from these).
+    configs: Vec<ConfigParts>,
+    config_ids: HashMap<ConfigParts, ConfigId>,
+    stats: InternStats,
+}
+
+impl ConfigStore {
+    pub fn new() -> ConfigStore {
+        ConfigStore::default()
+    }
+
+    /// Intern one canonical fact list. Equal lists get equal ids; the
+    /// first occurrence is stored with its tuples hash-consed.
+    pub fn intern_facts(&mut self, facts: &SharedFacts) -> FactsId {
+        if let Some(&id) = self.facts_ids.get(facts) {
+            self.stats.facts_hits += 1;
+            return id;
+        }
+        self.stats.facts_misses += 1;
+        // first sighting: share tuple storage through the interner
+        let canonical: SharedFacts = Arc::new(
+            facts.iter().map(|(rel, t)| (*rel, self.tuples.intern(t.clone()))).collect::<Facts>(),
+        );
+        let id = FactsId(u32::try_from(self.facts.len()).expect("facts arena overflow"));
+        self.facts.push(Arc::clone(&canonical));
+        self.facts_ids.insert(canonical, id);
+        id
+    }
+
+    /// Intern a configuration, returning its id. The sections are
+    /// interned first, so equal configurations — however they were
+    /// produced — map to the same id.
+    pub fn intern(&mut self, cfg: &PseudoConfig) -> ConfigId {
+        let parts = ConfigParts {
+            page: cfg.page,
+            ext: self.intern_facts(&cfg.ext),
+            input: self.intern_facts(&cfg.input),
+            prev: self.intern_facts(&cfg.prev),
+            state: self.intern_facts(&cfg.state),
+            actions: self.intern_facts(&cfg.actions),
+        };
+        if let Some(&id) = self.config_ids.get(&parts) {
+            self.stats.config_hits += 1;
+            return id;
+        }
+        self.stats.config_misses += 1;
+        let id = ConfigId(u32::try_from(self.configs.len()).expect("config arena overflow"));
+        self.configs.push(parts);
+        self.config_ids.insert(parts, id);
+        id
+    }
+
+    /// Rebuild the canonical configuration for `id` (six `Arc` bumps —
+    /// no fact data is copied).
+    pub fn config(&self, id: ConfigId) -> PseudoConfig {
+        let parts = &self.configs[id.0 as usize];
+        PseudoConfig {
+            page: parts.page,
+            ext: Arc::clone(&self.facts[parts.ext.0 as usize]),
+            input: Arc::clone(&self.facts[parts.input.0 as usize]),
+            prev: Arc::clone(&self.facts[parts.prev.0 as usize]),
+            state: Arc::clone(&self.facts[parts.state.0 as usize]),
+            actions: Arc::clone(&self.facts[parts.actions.0 as usize]),
+        }
+    }
+
+    /// Number of distinct configurations interned.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// True when no configuration has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Number of distinct fact sections interned.
+    pub fn facts_len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Interner hit/miss counters.
+    pub fn stats(&self) -> InternStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::no_facts;
+    use wave_relalg::{RelId, Tuple, Value};
+
+    fn facts(vals: &[u32]) -> SharedFacts {
+        Arc::new(vals.iter().map(|&v| (RelId(0), Tuple::from([Value(v)]))).collect::<Facts>())
+    }
+
+    fn cfg(page: u32, state: SharedFacts) -> PseudoConfig {
+        let mut c = PseudoConfig::initial(PageId(page));
+        c.state = state;
+        c
+    }
+
+    #[test]
+    fn equal_configs_same_id() {
+        let mut store = ConfigStore::new();
+        let a = store.intern(&cfg(0, facts(&[1, 2])));
+        let b = store.intern(&cfg(0, facts(&[1, 2])));
+        let c = store.intern(&cfg(0, facts(&[1, 3])));
+        let d = store.intern(&cfg(1, facts(&[1, 2])));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.stats().config_hits, 1);
+        assert_eq!(store.stats().config_misses, 3);
+    }
+
+    #[test]
+    fn sections_are_shared_across_configs() {
+        let mut store = ConfigStore::new();
+        let mut a = cfg(0, facts(&[7]));
+        a.prev = facts(&[9]);
+        let mut b = cfg(1, facts(&[7]));
+        b.prev = facts(&[9]);
+        store.intern(&a);
+        store.intern(&b);
+        // 2 distinct non-empty sections + the empty section
+        assert_eq!(store.facts_len(), 3);
+        let ra = store.config(ConfigId(0));
+        let rb = store.config(ConfigId(1));
+        assert!(Arc::ptr_eq(&ra.state, &rb.state), "equal sections hash-cons");
+        assert!(Arc::ptr_eq(&ra.prev, &rb.prev));
+    }
+
+    #[test]
+    fn rebuilt_configs_are_structurally_equal() {
+        let mut store = ConfigStore::new();
+        let original = cfg(2, facts(&[4, 5]));
+        let id = store.intern(&original);
+        assert_eq!(store.config(id), original);
+        // and interning the rebuild is a pure hit
+        let rebuilt = store.config(id);
+        assert_eq!(store.intern(&rebuilt), id);
+    }
+
+    #[test]
+    fn empty_sections_intern_once() {
+        let mut store = ConfigStore::new();
+        store.intern(&cfg(0, no_facts()));
+        store.intern(&cfg(1, no_facts()));
+        assert_eq!(store.facts_len(), 1, "one empty section for all five slots");
+    }
+
+    #[test]
+    fn section_position_still_distinguishes() {
+        // same fact list in ext vs state must produce different configs
+        let mut store = ConfigStore::new();
+        let mut a = PseudoConfig::initial(PageId(0));
+        a.ext = facts(&[1]);
+        let mut b = PseudoConfig::initial(PageId(0));
+        b.state = facts(&[1]);
+        assert_ne!(store.intern(&a), store.intern(&b));
+    }
+}

@@ -35,9 +35,12 @@
 pub mod cancel;
 pub mod config;
 pub mod domain;
+pub mod intern;
 pub mod layout;
 pub mod ndfs;
+pub mod profile;
 pub mod replay;
+pub mod store;
 pub mod succ;
 pub mod trie;
 pub mod universe;
@@ -45,13 +48,16 @@ pub mod verifier;
 pub mod visibility;
 
 pub use cancel::CancelToken;
-pub use config::{canonicalize, core_instance, Facts, PseudoConfig};
+pub use config::{canonicalize, core_instance, no_facts, Facts, PseudoConfig, SharedFacts};
 pub use domain::{assignments, build_pools, Assignment, PagePool, ParamMode};
+pub use intern::{ConfigId, ConfigStore, FactsId, InternStats};
 pub use layout::RelLayout;
 pub use ndfs::{Budget, CounterExample, SearchLimits, SearchResult, SearchStats, TraceStep};
+pub use profile::SearchProfile;
 pub use replay::{replay, ReplayError};
+pub use store::{ByteStore, InternedStore, StateStore, StateStoreKind};
 pub use succ::{SearchCtx, SuccError};
-pub use trie::{Phase, VisitTrie};
+pub use trie::{Phase, VisitTable, VisitTrie};
 pub use universe::{
     core_universe, extension_universe, ExtensionPruning, Universe, UniverseOverflow, MAX_BLOCKS,
     MAX_UNIVERSE,

@@ -1,0 +1,97 @@
+//! A lightweight search-phase profiler.
+//!
+//! The `ndfs-pseudo` search spends its time in a handful of phases —
+//! canonicalizing successor facts, interning configurations into the
+//! hash-consed store, running `succP`, evaluating the property's FO
+//! components, and probing the visited set. [`SearchProfile`] carries a
+//! nanosecond counter per phase plus interner hit/miss counts, so the
+//! cost split is visible in `SearchStats`, `wave check --json`, and the
+//! batch/server records without an external profiler.
+//!
+//! The counters are sampled with `Instant::now()` pairs around each
+//! phase; the phases are coarse enough (rule evaluation, full `succP`
+//! calls) that the sampling overhead is noise. `expand_ns` measures the
+//! whole `succP` call and therefore *includes* the canonicalization time
+//! reported separately in `canon_ns`.
+
+use std::time::Instant;
+
+/// Per-phase wall-time (nanoseconds) and interner counters for one
+/// search. Merging (`add`) sums every field.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchProfile {
+    /// Canonicalizing (sort + dedup) successor fact lists, inside `succP`.
+    pub canon_ns: u64,
+    /// Interning configurations into the store (or byte-encoding them,
+    /// under the byte-key baseline backend).
+    pub intern_ns: u64,
+    /// `succP` successor computation (includes `canon_ns`).
+    pub expand_ns: u64,
+    /// FO-component truth assignments.
+    pub eval_ns: u64,
+    /// Visited-set marks and membership tests.
+    pub visit_ns: u64,
+    /// Configurations that interned to an already-stored id.
+    pub intern_hits: u64,
+    /// Configurations stored for the first time.
+    pub intern_misses: u64,
+}
+
+impl SearchProfile {
+    /// Fold another profile into this one (all counters add).
+    pub fn add(&mut self, other: &SearchProfile) {
+        self.canon_ns += other.canon_ns;
+        self.intern_ns += other.intern_ns;
+        self.expand_ns += other.expand_ns;
+        self.eval_ns += other.eval_ns;
+        self.visit_ns += other.visit_ns;
+        self.intern_hits += other.intern_hits;
+        self.intern_misses += other.intern_misses;
+    }
+
+    /// True when every counter is zero (e.g. a cache-hit record).
+    pub fn is_zero(&self) -> bool {
+        *self == SearchProfile::default()
+    }
+
+    /// Time `f`, adding the elapsed nanoseconds to the slot `pick`
+    /// selects (e.g. `|p| &mut p.eval_ns`).
+    #[inline]
+    pub fn time<T>(
+        &mut self,
+        pick: impl FnOnce(&mut Self) -> &mut u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        *pick(self) += t0.elapsed().as_nanos() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates_into_the_picked_slot() {
+        let mut p = SearchProfile::default();
+        let v = p.time(|p| &mut p.eval_ns, || 42);
+        assert_eq!(v, 42);
+        p.time(|p| &mut p.canon_ns, || std::thread::sleep(std::time::Duration::from_micros(50)));
+        assert!(p.canon_ns >= 50_000, "{}", p.canon_ns);
+        assert_eq!(p.visit_ns, 0);
+    }
+
+    #[test]
+    fn add_sums_everything() {
+        let mut a = SearchProfile { canon_ns: 1, intern_hits: 2, ..Default::default() };
+        let b = SearchProfile { canon_ns: 10, intern_misses: 3, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.canon_ns, 11);
+        assert_eq!(a.intern_hits, 2);
+        assert_eq!(a.intern_misses, 3);
+        assert!(!a.is_zero());
+        assert!(SearchProfile::default().is_zero());
+    }
+}

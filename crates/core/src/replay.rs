@@ -97,8 +97,9 @@ pub fn replay(
         });
     }
 
-    // (1) start configuration
-    let starts = ctx.initial_configs()?;
+    // (1) start configuration (replay is not profiled — scratch profile)
+    let mut prof = crate::profile::SearchProfile::default();
+    let starts = ctx.initial_configs(&mut prof)?;
     if !starts.contains(&ce.steps[0].config) {
         return Err(ReplayError::NotAStartConfig);
     }
@@ -118,7 +119,7 @@ pub fn replay(
         }
         if i + 1 < ce.steps.len() {
             let next = &ce.steps[i + 1];
-            let succs = ctx.successors(&step.config)?;
+            let succs = ctx.successors(&step.config, &mut prof)?;
             if !succs.contains(&next.config) {
                 return Err(ReplayError::NotASuccessor { step: i + 1 });
             }
@@ -131,7 +132,7 @@ pub fn replay(
     // (4) the cycle closes: the last step can step back to cycle_start
     let last = ce.steps.last().expect("nonempty");
     let back = &ce.steps[ce.cycle_start];
-    let succs = ctx.successors(&last.config)?;
+    let succs = ctx.successors(&last.config, &mut prof)?;
     let closes = succs.contains(&back.config)
         && buchi.successors(last.auto_state, last.assignment).any(|t| t == back.auto_state);
     if !closes {

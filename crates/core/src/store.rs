@@ -1,0 +1,245 @@
+//! State-store backends for the nested depth-first search.
+//!
+//! The NDFS needs three things from its state representation: a
+//! config-level key for the successor cache, a `(config, automaton
+//! state)` pair key for the visited set, and mark/membership operations
+//! on that set. [`StateStore`] abstracts them so the search is generic
+//! over two implementations:
+//!
+//! * [`InternedStore`] — the hash-consed arena of [`crate::intern`]: a
+//!   configuration interns to a `u32` [`ConfigId`] once, pair keys are
+//!   packed `u64`s, and the visited set is the flat [`VisitTable`]. This
+//!   is the default.
+//! * [`ByteStore`] — the seed representation, kept as the measured
+//!   ablation baseline ([`VerifyOptions::state_store`],
+//!   `wave check --byte-keys`, and the `state_interning` bench): every
+//!   intern re-serializes the configuration to a canonical byte vector
+//!   and the visited set is the paper's byte [`VisitTrie`].
+//!
+//! Both backends return a *canonical* configuration from
+//! [`StateStore::intern`]; for the interned store this is the
+//! hash-consed copy whose sections are shared `Arc`s, so callers that
+//! retain it (path steps, successor caches) deduplicate storage for
+//! free. Verdicts and traversal order are independent of the backend;
+//! only speed and memory differ.
+//!
+//! [`VerifyOptions::state_store`]: crate::verifier::VerifyOptions
+
+use crate::config::PseudoConfig;
+use crate::intern::{ConfigId, ConfigStore};
+use crate::trie::{Phase, VisitTable, VisitTrie};
+use std::hash::Hash;
+
+/// Which state-store backend a search uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StateStoreKind {
+    /// Hash-consed interned ids (the fast path).
+    #[default]
+    Interned,
+    /// Canonical byte keys in a visit trie (the seed baseline).
+    ByteKeys,
+}
+
+/// The state representation one NDFS runs over. One store serves all
+/// cores of one work unit; [`StateStore::clear_visits`] resets the
+/// visited set between cores while keys stay valid for the store's
+/// lifetime.
+pub trait StateStore {
+    /// Config-level key (successor-cache key).
+    type CKey: Clone + Eq + Hash;
+    /// `(config, automaton state)` pair key (visited-set key).
+    type PKey: Clone + Eq;
+
+    /// Key a configuration, returning its canonical form alongside.
+    fn intern(&mut self, cfg: &PseudoConfig) -> (Self::CKey, PseudoConfig);
+    /// The pair key of `(config, automaton state)`.
+    fn pair(&self, ck: &Self::CKey, auto_state: usize) -> Self::PKey;
+    /// Mark a pair visited in `phase`; true when it already was.
+    fn mark(&mut self, pk: &Self::PKey, phase: Phase) -> bool;
+    /// Is a pair marked for `phase`?
+    fn is_marked(&self, pk: &Self::PKey, phase: Phase) -> bool;
+    /// Reset the visited set (between cores), keeping the historic max.
+    fn clear_visits(&mut self);
+    /// Maximum number of visited pairs ever resident (the paper's
+    /// "Max. trie size" column).
+    fn max_visited(&self) -> usize;
+    /// Interner (hits, misses) counters since construction.
+    fn intern_counters(&self) -> (u64, u64);
+}
+
+/// Hash-consed backend: [`ConfigStore`] arena + [`VisitTable`].
+#[derive(Debug, Default)]
+pub struct InternedStore {
+    store: ConfigStore,
+    visits: VisitTable,
+}
+
+impl InternedStore {
+    pub fn new() -> InternedStore {
+        InternedStore::default()
+    }
+
+    /// The underlying arena (diagnostics and tests).
+    pub fn arena(&self) -> &ConfigStore {
+        &self.store
+    }
+}
+
+impl StateStore for InternedStore {
+    type CKey = ConfigId;
+    type PKey = u64;
+
+    fn intern(&mut self, cfg: &PseudoConfig) -> (ConfigId, PseudoConfig) {
+        let id = self.store.intern(cfg);
+        (id, self.store.config(id))
+    }
+
+    fn pair(&self, ck: &ConfigId, auto_state: usize) -> u64 {
+        VisitTable::key(*ck, auto_state)
+    }
+
+    fn mark(&mut self, pk: &u64, phase: Phase) -> bool {
+        self.visits.mark(*pk, phase)
+    }
+
+    fn is_marked(&self, pk: &u64, phase: Phase) -> bool {
+        self.visits.is_marked(*pk, phase)
+    }
+
+    fn clear_visits(&mut self) {
+        self.visits.clear();
+    }
+
+    fn max_visited(&self) -> usize {
+        self.visits.max_len()
+    }
+
+    fn intern_counters(&self) -> (u64, u64) {
+        let s = self.store.stats();
+        (s.config_hits, s.config_misses)
+    }
+}
+
+/// Byte-key backend: canonical encodings + the paper's [`VisitTrie`].
+#[derive(Debug, Default)]
+pub struct ByteStore {
+    trie: VisitTrie,
+    hits: u64,
+    misses: u64,
+}
+
+impl ByteStore {
+    pub fn new() -> ByteStore {
+        ByteStore::default()
+    }
+}
+
+impl StateStore for ByteStore {
+    type CKey = Vec<u8>;
+    type PKey = Vec<u8>;
+
+    fn intern(&mut self, cfg: &PseudoConfig) -> (Vec<u8>, PseudoConfig) {
+        // every call serializes — exactly the cost profile of the seed
+        // implementation this backend exists to measure against
+        let mut key = Vec::with_capacity(64);
+        cfg.encode(&mut key);
+        self.misses += 1;
+        (key, cfg.clone())
+    }
+
+    fn pair(&self, ck: &Vec<u8>, auto_state: usize) -> Vec<u8> {
+        let mut key = Vec::with_capacity(4 + ck.len());
+        key.extend_from_slice(&(auto_state as u32).to_le_bytes());
+        key.extend_from_slice(ck);
+        key
+    }
+
+    fn mark(&mut self, pk: &Vec<u8>, phase: Phase) -> bool {
+        self.trie.mark(pk, phase)
+    }
+
+    fn is_marked(&self, pk: &Vec<u8>, phase: Phase) -> bool {
+        self.trie.is_marked(pk, phase)
+    }
+
+    fn clear_visits(&mut self) {
+        self.trie.clear();
+    }
+
+    fn max_visited(&self) -> usize {
+        self.trie.max_len()
+    }
+
+    fn intern_counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::no_facts;
+    use std::sync::Arc;
+    use wave_relalg::{RelId, Tuple, Value};
+    use wave_spec::PageId;
+
+    fn cfg(page: u32, vals: &[u32]) -> PseudoConfig {
+        let mut c = PseudoConfig::initial(PageId(page));
+        c.state =
+            Arc::new(vals.iter().map(|&v| (RelId(0), Tuple::from([Value(v)]))).collect::<Vec<_>>());
+        c
+    }
+
+    /// Both backends implement the same visited-set semantics.
+    fn exercise<S: StateStore>(mut s: S)
+    where
+        S::CKey: std::fmt::Debug,
+        S::PKey: std::fmt::Debug,
+    {
+        let (ka, ca) = s.intern(&cfg(0, &[1]));
+        let (kb, _) = s.intern(&cfg(0, &[2]));
+        assert_eq!(ca, cfg(0, &[1]), "canonical config is structurally equal");
+        let (ka2, _) = s.intern(&cfg(0, &[1]));
+        assert_eq!(ka, ka2, "equal configs key equally");
+        assert_ne!(ka, kb);
+
+        let pa0 = s.pair(&ka, 0);
+        let pa1 = s.pair(&ka, 1);
+        let pb0 = s.pair(&kb, 0);
+        assert_ne!(pa0, pa1);
+        assert_ne!(pa0, pb0);
+
+        assert!(!s.mark(&pa0, Phase::Stick));
+        assert!(s.mark(&pa0, Phase::Stick));
+        assert!(!s.is_marked(&pa0, Phase::Candy));
+        assert!(!s.mark(&pa1, Phase::Stick));
+        assert_eq!(s.max_visited(), 2);
+        s.clear_visits();
+        assert!(!s.is_marked(&pa0, Phase::Stick));
+        assert!(!s.mark(&pa0, Phase::Stick), "keys survive clear_visits");
+        assert_eq!(s.max_visited(), 2, "historic max survives clear");
+    }
+
+    #[test]
+    fn interned_store_semantics() {
+        exercise(InternedStore::new());
+    }
+
+    #[test]
+    fn byte_store_semantics() {
+        exercise(ByteStore::new());
+    }
+
+    #[test]
+    fn interned_store_dedups_storage() {
+        let mut s = InternedStore::new();
+        let (_, a) = s.intern(&cfg(0, &[5]));
+        let (_, b) = s.intern(&cfg(1, &[5]));
+        assert!(Arc::ptr_eq(&a.state, &b.state), "hash-consed sections share");
+        assert!(Arc::ptr_eq(&a.ext, &no_facts()) || a.ext.is_empty());
+        let (hits, misses) = s.intern_counters();
+        assert_eq!((hits, misses), (0, 2));
+        s.intern(&cfg(0, &[5]));
+        assert_eq!(s.intern_counters(), (1, 2));
+    }
+}

@@ -14,11 +14,13 @@
 //!    choice compute the actions (kept over `C`) — yielding one successor
 //!    pseudoconfiguration per (extension, input choice).
 
-use crate::config::{canonicalize, Facts, PseudoConfig};
+use crate::config::{canonicalize, no_facts, Facts, PseudoConfig, SharedFacts};
 use crate::domain::PagePool;
+use crate::profile::SearchProfile;
 use crate::universe::{extension_universe, ExtensionPruning, UniverseOverflow};
 use crate::visibility::Visibility;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use wave_fol::{answers, eval, prev_shadow_name, Bindings, EvalCtx, EvalError, SchemaResolver};
 use wave_relalg::{Instance, Params, RelKind, Relation, Tuple, Value};
 use wave_spec::{CompiledRule, CompiledSpec, Dataflow, PageId, RuleExec, TargetExec};
@@ -147,12 +149,21 @@ impl SearchCtx<'_> {
 
     /// The start pseudoconfigurations over the context's core: home page,
     /// empty state and previous input, every extension and input choice.
-    pub fn initial_configs(&self) -> Result<Vec<PseudoConfig>, SuccError> {
-        self.expand_page(self.spec.home, Vec::new(), Vec::new())
+    /// `prof` collects the canonicalization share of the work.
+    pub fn initial_configs(
+        &self,
+        prof: &mut SearchProfile,
+    ) -> Result<Vec<PseudoConfig>, SuccError> {
+        self.expand_page(self.spec.home, Vec::new(), Vec::new(), prof)
     }
 
-    /// The paper's `succP`.
-    pub fn successors(&self, cfg: &PseudoConfig) -> Result<Vec<PseudoConfig>, SuccError> {
+    /// The paper's `succP`. `prof` collects the canonicalization share of
+    /// the work (the caller times the whole call as `expand_ns`).
+    pub fn successors(
+        &self,
+        cfg: &PseudoConfig,
+        prof: &mut SearchProfile,
+    ) -> Result<Vec<PseudoConfig>, SuccError> {
         let inst = cfg.materialize(self.spec, &self.base);
         let params = self.spec.bind_params(&inst);
         let page = self.spec.page(cfg.page);
@@ -217,17 +228,20 @@ impl SearchCtx<'_> {
             .collect();
 
         // 4) extensions × options × input choices
-        self.expand_page(vt, canonicalize(prev), st)
+        let prev = prof.time(|p| &mut p.canon_ns, || canonicalize(prev));
+        self.expand_page(vt, prev, st, prof)
     }
 
     /// Enumerate the configurations entering `page` with the given previous
     /// input and state: every Heuristic-2 extension, every input choice,
-    /// with actions computed per choice.
+    /// with actions computed per choice. `prev` must already be canonical;
+    /// `state` is canonical by construction (it comes from a `BTreeSet`).
     fn expand_page(
         &self,
         page_id: PageId,
         prev: Facts,
         state: Facts,
+        prof: &mut SearchProfile,
     ) -> Result<Vec<PseudoConfig>, SuccError> {
         let page = self.spec.page(page_id);
         let pool = &self.pools[page_id.index()];
@@ -242,15 +256,19 @@ impl SearchCtx<'_> {
             self.pruning,
             self.heuristic2,
         )?;
+        // shared across every successor of this expansion: each variant
+        // clones the Arc, not the facts
+        let prev: SharedFacts = Arc::new(prev);
+        let state: SharedFacts = Arc::new(state);
         let mut result = Vec::new();
         for ext in universe.variants() {
             let shell = PseudoConfig {
                 page: page_id,
-                ext,
-                input: Vec::new(),
-                prev: prev.clone(),
-                state: state.clone(),
-                actions: Vec::new(),
+                ext: Arc::new(ext),
+                input: no_facts(),
+                prev: Arc::clone(&prev),
+                state: Arc::clone(&state),
+                actions: no_facts(),
             };
             let inst = shell.materialize(self.spec, &self.base);
             let params = self.spec.bind_params(&inst);
@@ -300,15 +318,20 @@ impl SearchCtx<'_> {
             // cartesian product of choices
             let mut idx = vec![0usize; choice_lists.len()];
             loop {
-                let input: Facts = canonicalize(
-                    choice_lists
-                        .iter()
-                        .zip(&idx)
-                        .filter_map(|((rel, opts), &i)| opts[i].clone().map(|t| (*rel, t)))
-                        .collect(),
+                let input: Facts = prof.time(
+                    |p| &mut p.canon_ns,
+                    || {
+                        canonicalize(
+                            choice_lists
+                                .iter()
+                                .zip(&idx)
+                                .filter_map(|((rel, opts), &i)| opts[i].clone().map(|t| (*rel, t)))
+                                .collect(),
+                        )
+                    },
                 );
                 let mut cfg = shell.clone();
-                cfg.input = input;
+                cfg.input = Arc::new(input);
                 // actions for this choice, kept over C — only worth
                 // materializing when the page has property-visible actions
                 let visible_actions: Vec<&CompiledRule> = page
@@ -328,7 +351,7 @@ impl SearchCtx<'_> {
                             }
                         }
                     }
-                    cfg.actions = actions.into_iter().collect();
+                    cfg.actions = Arc::new(actions.into_iter().collect());
                 }
                 result.push(cfg);
 

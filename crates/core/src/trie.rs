@@ -1,14 +1,23 @@
-//! Trie of visited pseudoconfigurations.
+//! Visited sets for the nested depth-first search.
 //!
-//! Section 4 of the paper: "The visited configurations are then stored in a
-//! trie data structure which allows updates and membership tests in time
-//! linear in the size of the bitmap." Keys here are the canonical byte
-//! encodings of `(automaton state, pseudoconfiguration)` pairs; each key
-//! carries two marks — the `0` (stick) and `1` (candy) flags of the nested
-//! depth-first search.
+//! Two implementations, one per state-store backend:
 //!
-//! The trie reports the statistics the paper's experiments table records:
-//! the number of keys resident (its "Max. trie size" column).
+//! * [`VisitTrie`] — the paper's data structure (Section 4: "The visited
+//!   configurations are then stored in a trie data structure which allows
+//!   updates and membership tests in time linear in the size of the
+//!   bitmap"). Keys are the canonical byte encodings of `(automaton
+//!   state, pseudoconfiguration)` pairs. Kept as the byte-key ablation
+//!   baseline.
+//! * [`VisitTable`] — the hash-consed replacement: once configurations
+//!   are interned (see [`crate::intern`]), a search node is just a
+//!   `(u32 config id, u32 automaton state)` pair, and the visited set is
+//!   a flat hash table over packed `u64` keys — no per-visit
+//!   serialization, no per-byte trie walk.
+//!
+//! Each key carries two marks — the `0` (stick) and `1` (candy) flags of
+//! the nested depth-first search — and both structures report the
+//! statistic the paper's experiments table records: the maximum number of
+//! keys resident (its "Max. trie size" column).
 
 /// A byte-trie with two boolean marks per key.
 #[derive(Debug)]
@@ -127,9 +136,105 @@ impl VisitTrie {
     }
 }
 
+/// A visited set over interned search nodes: `(config id, automaton
+/// state)` pairs packed into `u64` keys, two phase marks per key.
+///
+/// Mirrors the [`VisitTrie`] API (including the historical maximum
+/// surviving [`VisitTable::clear`]) so the two backends are
+/// interchangeable in the search and report the same "Max. trie size"
+/// statistic.
+#[derive(Debug, Default)]
+pub struct VisitTable {
+    marks: std::collections::HashMap<u64, u8>,
+    max_keys: usize,
+}
+
+impl VisitTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        VisitTable::default()
+    }
+
+    /// Pack a `(config id, automaton state)` search node into a key.
+    #[inline]
+    pub fn key(config: crate::intern::ConfigId, auto_state: usize) -> u64 {
+        (u64::from(config.0) << 32) | auto_state as u64
+    }
+
+    /// Remove all keys but remember the historical maximum.
+    pub fn clear(&mut self) {
+        self.marks.clear();
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// True when no key is stored.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// Largest number of keys ever resident (across `clear`s).
+    pub fn max_len(&self) -> usize {
+        self.max_keys
+    }
+
+    /// Mark `key` as visited in `phase`. Returns `true` if it was already
+    /// marked for that phase (i.e. the search can prune).
+    pub fn mark(&mut self, key: u64, phase: Phase) -> bool {
+        let slot = self.marks.entry(key).or_insert(0);
+        let was_marked = *slot & phase.mask() != 0;
+        *slot |= phase.mask();
+        self.max_keys = self.max_keys.max(self.marks.len());
+        was_marked
+    }
+
+    /// Is `key` marked for `phase`?
+    pub fn is_marked(&self, key: u64, phase: Phase) -> bool {
+        self.marks.get(&key).is_some_and(|m| m & phase.mask() != 0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::ConfigId;
+
+    #[test]
+    fn table_mark_reports_prior_state() {
+        let mut t = VisitTable::new();
+        let k = VisitTable::key(ConfigId(7), 3);
+        assert!(!t.mark(k, Phase::Stick));
+        assert!(t.mark(k, Phase::Stick));
+        assert!(!t.mark(k, Phase::Candy), "phases are independent");
+        assert!(t.is_marked(k, Phase::Candy));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn table_keys_separate_config_and_state() {
+        let a = VisitTable::key(ConfigId(1), 2);
+        let b = VisitTable::key(ConfigId(2), 1);
+        let c = VisitTable::key(ConfigId(1), 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn table_clear_resets_but_max_persists() {
+        let mut t = VisitTable::new();
+        for i in 0..10 {
+            t.mark(VisitTable::key(ConfigId(i), 0), Phase::Stick);
+        }
+        assert_eq!(t.max_len(), 10);
+        t.clear();
+        assert_eq!(t.len(), 0);
+        t.mark(VisitTable::key(ConfigId(0), 0), Phase::Stick);
+        assert_eq!(t.max_len(), 10, "historic max survives clear");
+    }
 
     #[test]
     fn fresh_keys_are_unmarked() {

@@ -20,8 +20,9 @@ use crate::cancel::CancelToken;
 use crate::config::core_instance;
 use crate::domain::{assignments, build_pools, relevant_constants, Assignment, ParamMode};
 use crate::ndfs::{Budget, CounterExample, Ndfs, SearchLimits, SearchResult};
+use crate::profile::SearchProfile;
+use crate::store::{ByteStore, InternedStore, StateStore, StateStoreKind};
 use crate::succ::{SearchCtx, SuccError};
-use crate::trie::VisitTrie;
 use crate::universe::{core_universe, ExtensionPruning, UniverseOverflow};
 use crate::visibility::Visibility;
 use std::ops::Range;
@@ -50,6 +51,11 @@ pub struct VerifyOptions {
     /// Use compiled prepared plans (`true`) or the FO interpreter for
     /// every rule (`false`; the query-evaluation ablation baseline).
     pub use_plans: bool,
+    /// State-store backend: hash-consed interned ids (default) or the
+    /// byte-key baseline. Semantics-neutral — verdicts, traces and search
+    /// statistics are identical; only speed and memory differ (result
+    /// caches must therefore ignore it, like `cancel`).
+    pub state_store: StateStoreKind,
     /// Cooperative cancellation: when the token is raised mid-search the
     /// check stops with [`Verdict::Unknown`]`(`[`Budget::Cancelled`]`)`.
     /// Not part of the verification semantics (result caches ignore it).
@@ -66,6 +72,7 @@ impl Default for VerifyOptions {
             max_steps: None,
             time_limit: None,
             use_plans: true,
+            state_store: StateStoreKind::Interned,
             cancel: None,
         }
     }
@@ -85,6 +92,8 @@ pub struct Stats {
     pub cores: u64,
     /// `C_∃` assignments considered.
     pub assignments: u64,
+    /// Per-phase wall-time and interner counters of the searches.
+    pub profile: SearchProfile,
 }
 
 impl Stats {
@@ -100,6 +109,7 @@ impl Stats {
         self.configs += other.configs;
         self.cores += other.cores;
         self.assignments += other.assignments;
+        self.profile.add(&other.profile);
     }
 }
 
@@ -523,6 +533,26 @@ impl PreparedCheck<'_> {
         cores: Option<Range<u64>>,
         limits: &SearchLimits,
     ) -> Result<UnitOutcome, VerifyError> {
+        match self.verifier.options.state_store {
+            StateStoreKind::Interned => {
+                self.run_unit_with(unit, cores, limits, &mut InternedStore::new())
+            }
+            StateStoreKind::ByteKeys => {
+                self.run_unit_with(unit, cores, limits, &mut ByteStore::new())
+            }
+        }
+    }
+
+    /// The core scan over an explicit state store (one store per unit:
+    /// the interned arena is shared by all its cores, the visited set is
+    /// cleared between cores).
+    fn run_unit_with<S: StateStore>(
+        &self,
+        unit: usize,
+        cores: Option<Range<u64>>,
+        limits: &SearchLimits,
+        store: &mut S,
+    ) -> Result<UnitOutcome, VerifyError> {
         let start = Instant::now();
         let spec = &self.verifier.spec;
         let options = &self.verifier.options;
@@ -543,7 +573,6 @@ impl PreparedCheck<'_> {
         // bitmap 0 owns the unit's entry in the assignment count, so the
         // chunked merge still counts each C_∃ assignment once
         let mut stats = Stats { assignments: u64::from(range.start == 0), ..Stats::default() };
-        let mut trie = VisitTrie::new();
         let mut result = SearchResult::Clean;
 
         for bitmap in range {
@@ -553,7 +582,7 @@ impl PreparedCheck<'_> {
             }
             let core = universe.decode(bitmap);
             stats.cores += 1;
-            trie.clear();
+            store.clear_visits();
             let ctx = SearchCtx {
                 spec,
                 symbols: &self.symbols,
@@ -570,7 +599,7 @@ impl PreparedCheck<'_> {
                 &ctx,
                 &self.buchi,
                 &components,
-                &mut trie,
+                store,
                 SearchLimits {
                     max_steps: limits.max_steps.map(|m| m.saturating_sub(stats.configs)),
                     deadline: limits.deadline,
@@ -581,7 +610,8 @@ impl PreparedCheck<'_> {
             let (search_result, search_stats) = engine.run()?;
             stats.max_run_len = stats.max_run_len.max(search_stats.max_run_len);
             stats.configs += search_stats.configs;
-            stats.max_trie = stats.max_trie.max(trie.max_len());
+            stats.max_trie = stats.max_trie.max(store.max_visited());
+            stats.profile.add(&search_stats.profile);
             match search_result {
                 SearchResult::Clean => {}
                 SearchResult::Violation(mut ce) => {
@@ -888,7 +918,7 @@ mod replay_tests {
         let mut bad = ce;
         let last = bad.steps.len() - 1;
         let seen = verifier.spec().schema.lookup("seen").unwrap();
-        bad.steps[last].config.state = crate::config::canonicalize(
+        bad.steps[last].config.state = std::sync::Arc::new(crate::config::canonicalize(
             bad.steps[last]
                 .config
                 .state
@@ -899,7 +929,7 @@ mod replay_tests {
                     wave_relalg::Tuple::from([wave_relalg::Value(9999)]),
                 )))
                 .collect(),
-        );
+        ));
         let result = verifier.validate_counterexample(&prop, &bad);
         assert!(result.is_err(), "tampered run must not replay");
     }

@@ -31,5 +31,5 @@ pub use instance::Instance;
 pub use plan::{Plan, PlanError, Pred, Scalar};
 pub use prepared::PreparedQuery;
 pub use schema::{RelDecl, RelId, RelKind, Schema};
-pub use tuple::{Relation, Tuple};
+pub use tuple::{Relation, Tuple, TupleInterner};
 pub use value::{SymbolTable, Value, ValueKind};

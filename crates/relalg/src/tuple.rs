@@ -5,17 +5,26 @@
 //! so a sorted vector beats hash sets on both memory and iteration cost and
 //! gives a canonical representation for free — important because relation
 //! contents participate in the visited-configuration encoding.
+//!
+//! Tuples are immutable and `Arc`-backed: cloning a tuple bumps a
+//! reference count instead of copying its values, so the search layers
+//! above (pseudoconfiguration stores, successor caches, counterexample
+//! traces) share tuple storage instead of deep-cloning it. The
+//! [`TupleInterner`] takes this one step further and hash-conses equal
+//! tuples to a single allocation.
 
 use crate::value::Value;
+use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
-/// An immutable tuple of interned values.
+/// An immutable tuple of interned values. Clones share the allocation.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Tuple(Box<[Value]>);
+pub struct Tuple(Arc<[Value]>);
 
 impl Tuple {
     /// Build a tuple from values.
-    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+    pub fn new(values: impl Into<Arc<[Value]>>) -> Self {
         Tuple(values.into())
     }
 
@@ -51,13 +60,49 @@ impl fmt::Debug for Tuple {
 
 impl From<Vec<Value>> for Tuple {
     fn from(v: Vec<Value>) -> Self {
-        Tuple(v.into_boxed_slice())
+        Tuple(v.into())
     }
 }
 
 impl<const N: usize> From<[Value; N]> for Tuple {
     fn from(v: [Value; N]) -> Self {
-        Tuple(Box::new(v))
+        Tuple(Arc::new(v))
+    }
+}
+
+/// A hash-consing store for tuples: equal tuples intern to one shared
+/// allocation, so equality checks above the interner are cheap (the
+/// `Arc` pointer comparison short-circuits) and duplicated tuples across
+/// facts, relations, and configurations cost one copy of their values.
+#[derive(Debug, Default)]
+pub struct TupleInterner {
+    set: HashSet<Tuple>,
+}
+
+impl TupleInterner {
+    pub fn new() -> TupleInterner {
+        TupleInterner::default()
+    }
+
+    /// The canonical copy of `t` (inserting it if new).
+    pub fn intern(&mut self, t: Tuple) -> Tuple {
+        match self.set.get(&t) {
+            Some(canonical) => canonical.clone(),
+            None => {
+                self.set.insert(t.clone());
+                t
+            }
+        }
+    }
+
+    /// Number of distinct tuples interned.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
     }
 }
 
@@ -242,6 +287,17 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut r = Relation::empty(2);
         r.insert(t(&[1]));
+    }
+
+    #[test]
+    fn interner_hash_conses() {
+        let mut interner = TupleInterner::new();
+        let a = interner.intern(t(&[1, 2]));
+        let b = interner.intern(t(&[1, 2]));
+        let c = interner.intern(t(&[3]));
+        assert!(Arc::ptr_eq(&a.0, &b.0), "equal tuples share one allocation");
+        assert!(!Arc::ptr_eq(&a.0, &c.0));
+        assert_eq!(interner.len(), 2);
     }
 
     #[test]

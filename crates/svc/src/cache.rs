@@ -16,13 +16,21 @@
 use crate::json::{self, Json};
 use std::collections::HashMap;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 use wave_core::{Budget, Verdict, Verification, VerifyOptions};
+
+/// Default bound on in-memory cache entries (see [`ResultCache`]).
+pub const DEFAULT_MEM_ENTRIES: usize = 256;
 
 /// Compute the cache key: 128 hex-encoded bits of FNV-1a over the three
 /// fingerprint components, NUL-separated.
+///
+/// Only *semantic* option fields participate: `cancel` (scheduling
+/// state) and `state_store` (a speed/memory knob — both backends produce
+/// identical verdicts, traces and statistics) are deliberately excluded,
+/// so runs under either backend share cache entries.
 pub fn fingerprint(spec_text: &str, property: &str, options: &VerifyOptions) -> String {
     let opts = format!(
         "h1={} h2={} pruning={:?} param={:?} max_steps={:?} time_limit={:?} plans={}",
@@ -145,38 +153,85 @@ impl CachedResult {
     }
 }
 
-/// In-memory result cache with an optional on-disk mirror (one
-/// `<fingerprint>.json` file per entry).
+/// The in-memory tier: an LRU-bounded map from fingerprint to result.
+///
+/// Recency is a monotone tick stamped on every get/put; eviction scans
+/// for the minimum tick. The scan is O(entries), which at the bounded
+/// sizes this cache runs at (hundreds) is cheaper than maintaining an
+/// ordered structure on every hit.
+struct MemCache {
+    entries: HashMap<String, (CachedResult, u64)>,
+    tick: u64,
+    /// Maximum resident entries; `0` means unbounded.
+    cap: usize,
+}
+
+impl MemCache {
+    fn touch(&mut self, key: &str) -> Option<CachedResult> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (result, stamp) = self.entries.get_mut(key)?;
+        *stamp = tick;
+        Some(result.clone())
+    }
+
+    fn insert(&mut self, key: &str, result: CachedResult) {
+        self.tick += 1;
+        self.entries.insert(key.to_string(), (result, self.tick));
+        if self.cap > 0 && self.entries.len() > self.cap {
+            if let Some(oldest) =
+                self.entries.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+    }
+}
+
+/// In-memory LRU result cache with an optional on-disk mirror (one
+/// `<fingerprint>.json` file per entry). Memory holds at most
+/// [`DEFAULT_MEM_ENTRIES`] entries (configurable; long-running `wave
+/// serve` processes stay bounded) — evicted entries are still served
+/// from disk when a directory is configured.
 pub struct ResultCache {
-    mem: Mutex<HashMap<String, CachedResult>>,
+    mem: Mutex<MemCache>,
     dir: Option<PathBuf>,
 }
 
 impl ResultCache {
     pub fn in_memory() -> ResultCache {
-        ResultCache { mem: Mutex::new(HashMap::new()), dir: None }
+        Self::bounded(DEFAULT_MEM_ENTRIES, None)
     }
 
     /// Cache backed by `dir` (created if missing).
     pub fn with_dir(dir: PathBuf) -> io::Result<ResultCache> {
         std::fs::create_dir_all(&dir)?;
-        Ok(ResultCache { mem: Mutex::new(HashMap::new()), dir: Some(dir) })
+        Ok(Self::bounded(DEFAULT_MEM_ENTRIES, Some(dir)))
+    }
+
+    /// Cache with an explicit in-memory entry bound (`0` = unbounded).
+    /// The directory, when given, must already exist.
+    pub fn bounded(mem_entries: usize, dir: Option<PathBuf>) -> ResultCache {
+        ResultCache {
+            mem: Mutex::new(MemCache { entries: HashMap::new(), tick: 0, cap: mem_entries }),
+            dir,
+        }
     }
 
     pub fn get(&self, key: &str) -> Option<CachedResult> {
-        if let Some(hit) = self.mem.lock().unwrap().get(key) {
-            return Some(hit.clone());
+        if let Some(hit) = self.mem.lock().unwrap().touch(key) {
+            return Some(hit);
         }
         let dir = self.dir.as_ref()?;
         let text = std::fs::read_to_string(dir.join(format!("{key}.json"))).ok()?;
         let result = CachedResult::from_json(&json::parse(&text).ok()?)?;
-        self.mem.lock().unwrap().insert(key.to_string(), result.clone());
+        self.mem.lock().unwrap().insert(key, result.clone());
         Some(result)
     }
 
     /// Insert into memory and (best-effort) onto disk.
     pub fn put(&self, key: &str, result: &CachedResult) {
-        self.mem.lock().unwrap().insert(key.to_string(), result.clone());
+        self.mem.lock().unwrap().insert(key, result.clone());
         if let Some(dir) = &self.dir {
             let path = dir.join(format!("{key}.json"));
             let tmp = dir.join(format!("{key}.json.tmp"));
@@ -189,12 +244,79 @@ impl ResultCache {
     }
 
     pub fn len(&self) -> usize {
-        self.mem.lock().unwrap().len()
+        self.mem.lock().unwrap().entries.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.mem.lock().unwrap().is_empty()
+        self.mem.lock().unwrap().entries.is_empty()
     }
+}
+
+/// What [`gc_dir`] removed and kept.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    pub removed: usize,
+    pub kept: usize,
+    pub bytes_freed: u64,
+    pub bytes_kept: u64,
+}
+
+/// Garbage-collect a cache directory: drop `.json` entries older than
+/// `max_age` (by modification time), then — if the survivors still
+/// exceed `max_bytes` — drop oldest-first until under the size cap.
+/// Leftover `.json.tmp` files from interrupted writes are always
+/// removed. Unreadable entries are skipped, not errors.
+pub fn gc_dir(
+    dir: &Path,
+    max_age: Option<Duration>,
+    max_bytes: Option<u64>,
+) -> io::Result<GcReport> {
+    let now = SystemTime::now();
+    // (modification time, size, path) per surviving entry
+    let mut entries: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+    let mut report = GcReport::default();
+    for entry in std::fs::read_dir(dir)? {
+        let Ok(entry) = entry else { continue };
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.ends_with(".json.tmp") {
+            let _ = std::fs::remove_file(&path);
+            continue;
+        }
+        if !name.ends_with(".json") {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        let mtime = meta.modified().unwrap_or(now);
+        let age = now.duration_since(mtime).unwrap_or(Duration::ZERO);
+        if max_age.is_some_and(|limit| age > limit) {
+            if std::fs::remove_file(&path).is_ok() {
+                report.removed += 1;
+                report.bytes_freed += meta.len();
+            }
+            continue;
+        }
+        entries.push((mtime, meta.len(), path));
+    }
+    if let Some(limit) = max_bytes {
+        let mut total: u64 = entries.iter().map(|(_, size, _)| size).sum();
+        entries.sort_by_key(|(mtime, _, _)| *mtime); // oldest first
+        let mut cut = 0;
+        while total > limit && cut < entries.len() {
+            let (_, size, path) = &entries[cut];
+            if std::fs::remove_file(path).is_ok() {
+                report.removed += 1;
+                report.bytes_freed += size;
+                total -= size;
+            }
+            cut += 1;
+        }
+        entries.drain(..cut);
+    }
+    report.kept = entries.len();
+    report.bytes_kept = entries.iter().map(|(_, size, _)| size).sum();
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -257,6 +379,88 @@ mod tests {
         let cache = ResultCache::with_dir(dir.clone()).unwrap();
         assert_eq!(cache.get("deadbeef"), Some(result));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn result(tag: usize) -> CachedResult {
+        CachedResult {
+            verdict: CachedVerdict::Violated { steps: tag, cycle_start: 0 },
+            complete: true,
+            elapsed: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ResultCache::bounded(2, None);
+        cache.put("a", &result(1));
+        cache.put("b", &result(2));
+        assert!(cache.get("a").is_some()); // refresh a: b is now oldest
+        cache.put("c", &result(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b").is_none(), "b was least recently used");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn zero_cap_means_unbounded() {
+        let cache = ResultCache::bounded(0, None);
+        for i in 0..500 {
+            cache.put(&format!("k{i}"), &result(i));
+        }
+        assert_eq!(cache.len(), 500);
+    }
+
+    #[test]
+    fn evicted_entries_are_reloaded_from_disk() {
+        let dir = std::env::temp_dir().join(format!("wave-cache-lru-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = ResultCache::bounded(1, Some(dir.clone()));
+        cache.put("aa", &result(1));
+        cache.put("bb", &result(2)); // evicts aa from memory
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get("aa"), Some(result(1)), "disk tier still serves it");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_by_size_drops_oldest_first_and_sweeps_tmp() {
+        let dir = std::env::temp_dir().join(format!("wave-cache-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let body = "x".repeat(100);
+        for (i, name) in ["old", "mid", "new"].iter().enumerate() {
+            let path = dir.join(format!("{name}.json"));
+            std::fs::write(&path, &body).unwrap();
+            // well-separated mtimes without sleeping
+            let t = std::time::SystemTime::now() - Duration::from_secs(300 - 100 * i as u64);
+            let f = std::fs::File::options().write(true).open(&path).unwrap();
+            f.set_modified(t).unwrap();
+        }
+        std::fs::write(dir.join("leftover.json.tmp"), "torn").unwrap();
+        // keep ≤ 250 bytes: the two newest 100-byte entries survive
+        let report = gc_dir(&dir, None, Some(250)).unwrap();
+        assert_eq!(report.removed, 1, "{report:?}");
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.bytes_kept, 200);
+        assert!(!dir.join("old.json").exists());
+        assert!(dir.join("mid.json").exists() && dir.join("new.json").exists());
+        assert!(!dir.join("leftover.json.tmp").exists(), "tmp files are swept");
+
+        // age-based pass: everything is older than a few seconds except
+        // nothing — cut at 150s, dropping "mid" (200s old), keeping "new"
+        let report = gc_dir(&dir, Some(Duration::from_secs(150)), None).unwrap();
+        assert_eq!(report.removed, 1, "{report:?}");
+        assert!(dir.join("new.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn state_store_backend_does_not_affect_fingerprint() {
+        let mut opts = options();
+        opts.state_store = wave_core::StateStoreKind::ByteKeys;
+        assert_eq!(fingerprint("s", "p", &options()), fingerprint("s", "p", &opts));
     }
 
     #[test]

@@ -65,6 +65,20 @@ struct Item {
     ordinal: usize,
     unit: usize,
     cores: Option<Range<u64>>,
+    /// Estimated cost: the number of database cores the item scans.
+    cost: u64,
+}
+
+/// The order workers pick items in: cheapest first (by core-count
+/// estimate), ties broken by `(check, ordinal)` so the order is
+/// deterministic. Runs the quick items before the long tails, so a
+/// property suite reports its easy verdicts early and the pool stays
+/// busy — while the *reduction* still happens in ordinal order, keeping
+/// verdicts identical to the sequential scan.
+fn execution_order(items: &[Item]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| (items[i].cost, items[i].check, items[i].ordinal));
+    order
 }
 
 struct CheckState {
@@ -115,8 +129,8 @@ pub fn run_prepared(
     for (ci, check) in checks.iter().enumerate() {
         let mut ordinal = 0;
         let mut check_tokens = Vec::new();
-        let mut push = |unit: usize, cores: Option<Range<u64>>, ordinal: &mut usize| {
-            items.push(Item { check: ci, ordinal: *ordinal, unit, cores });
+        let mut push = |unit: usize, cores: Option<Range<u64>>, cost: u64, ordinal: &mut usize| {
+            items.push(Item { check: ci, ordinal: *ordinal, unit, cores, cost });
             check_tokens.push(match &options.cancel {
                 Some(parent) => parent.child(),
                 None => CancelToken::new(),
@@ -124,24 +138,26 @@ pub fn run_prepared(
             *ordinal += 1;
         };
         for unit in 0..check.num_units() {
-            // core_count probes the universe; on overflow fall back to an
+            // core_count probes the universe (it also prices the item for
+            // the cheapest-first pick order); on overflow fall back to an
             // unsplit unit, which reports the same error when it runs
-            let cores = if split_into > 1 { check.core_count(unit).unwrap_or(1) } else { 1 };
-            let chunks = (split_into as u64).min(cores).max(1);
+            let cores = check.core_count(unit).unwrap_or(1);
+            let chunks = if split_into > 1 { (split_into as u64).min(cores).max(1) } else { 1 };
             if chunks == 1 {
-                push(unit, None, &mut ordinal);
+                push(unit, None, cores, &mut ordinal);
             } else {
                 let size = cores.div_ceil(chunks);
                 let mut lo = 0;
                 while lo < cores {
                     let hi = (lo + size).min(cores);
-                    push(unit, Some(lo..hi), &mut ordinal);
+                    push(unit, Some(lo..hi), hi - lo, &mut ordinal);
                     lo = hi;
                 }
             }
         }
         tokens.push(check_tokens);
     }
+    let order = execution_order(&items);
 
     let states = Mutex::new(
         checks
@@ -180,7 +196,8 @@ pub fn run_prepared(
 
     let worker = || loop {
         let i = cursor.fetch_add(1, Ordering::Relaxed);
-        let Some(item) = items.get(i) else { break };
+        let Some(&idx) = order.get(i) else { break };
+        let item = &items[idx];
         let skip = {
             let states = states.lock().unwrap();
             states[item.check].best < item.ordinal
@@ -290,6 +307,15 @@ mod tests {
             .unwrap(),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn execution_order_is_cheapest_first_and_deterministic() {
+        let item = |check, ordinal, cost| Item { check, ordinal, unit: ordinal, cores: None, cost };
+        let items = vec![item(0, 0, 9), item(0, 1, 1), item(1, 0, 1), item(1, 1, 4), item(0, 2, 1)];
+        // cost ascending; equal costs by (check, ordinal)
+        assert_eq!(execution_order(&items), vec![1, 4, 2, 3, 0]);
+        assert_eq!(execution_order(&[]), Vec::<usize>::new());
     }
 
     #[test]

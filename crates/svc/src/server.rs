@@ -38,6 +38,12 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     pub use_cache: bool,
     pub cache_dir: Option<PathBuf>,
+    /// In-memory result-cache entry bound (`0` = unbounded).
+    pub cache_mem_entries: usize,
+    /// Startup GC: drop disk cache entries older than this.
+    pub cache_gc_age: Option<Duration>,
+    /// Startup GC: shrink the disk cache below this many bytes.
+    pub cache_gc_bytes: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +55,9 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             use_cache: true,
             cache_dir: None,
+            cache_mem_entries: crate::cache::DEFAULT_MEM_ENTRIES,
+            cache_gc_age: None,
+            cache_gc_bytes: None,
         }
     }
 }
@@ -69,6 +78,9 @@ impl Server {
             jobs: config.jobs,
             use_cache: config.use_cache,
             cache_dir: config.cache_dir.clone(),
+            cache_mem_entries: config.cache_mem_entries,
+            cache_gc_age: config.cache_gc_age,
+            cache_gc_bytes: config.cache_gc_bytes,
         })?);
         Ok(Server { listener, svc, config, shutdown: Arc::new(AtomicBool::new(false)) })
     }

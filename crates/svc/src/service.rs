@@ -7,11 +7,12 @@
 //! [`crate::cache`] first, and renders records as JSON objects shared by
 //! `wave batch`, `wave serve`, and `wave check --json`.
 
-use crate::cache::{fingerprint, CachedResult, CachedVerdict, ResultCache};
+use crate::cache::{fingerprint, gc_dir, CachedResult, CachedVerdict, ResultCache};
 use crate::json::Json;
 use crate::scheduler::{self, ParallelOptions};
 use std::io;
 use std::path::PathBuf;
+use std::time::Duration;
 use wave_apps::AppSuite;
 use wave_core::{Budget, Stats, Verdict, Verification, Verifier, VerifyOptions};
 use wave_ltl::parse_property;
@@ -26,11 +27,25 @@ pub struct ServiceConfig {
     pub use_cache: bool,
     /// On-disk cache directory (memory-only when `None`).
     pub cache_dir: Option<PathBuf>,
+    /// In-memory cache entry bound (`0` = unbounded).
+    pub cache_mem_entries: usize,
+    /// Garbage-collect disk cache entries older than this at startup.
+    pub cache_gc_age: Option<Duration>,
+    /// Shrink the disk cache below this many bytes at startup
+    /// (oldest entries go first).
+    pub cache_gc_bytes: Option<u64>,
 }
 
 impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
-        ServiceConfig { jobs: ParallelOptions::default().jobs, use_cache: true, cache_dir: None }
+        ServiceConfig {
+            jobs: ParallelOptions::default().jobs,
+            use_cache: true,
+            cache_dir: None,
+            cache_mem_entries: crate::cache::DEFAULT_MEM_ENTRIES,
+            cache_gc_age: None,
+            cache_gc_bytes: None,
+        }
     }
 }
 
@@ -130,6 +145,8 @@ impl JobRecord {
         }
         pairs.push(("complete", Json::from(self.complete)));
         pairs.push(("cached", Json::from(self.cached)));
+        let profile = &self.stats.profile;
+        let ms = |ns: u64| Json::from(ns as f64 / 1e6);
         pairs.push((
             "stats",
             Json::obj([
@@ -139,6 +156,18 @@ impl JobRecord {
                 ("assignments", Json::from(self.stats.assignments)),
                 ("max_run_len", Json::from(self.stats.max_run_len)),
                 ("max_trie", Json::from(self.stats.max_trie)),
+                (
+                    "profile",
+                    Json::obj([
+                        ("canon_ms", ms(profile.canon_ns)),
+                        ("intern_ms", ms(profile.intern_ns)),
+                        ("expand_ms", ms(profile.expand_ns)),
+                        ("eval_ms", ms(profile.eval_ns)),
+                        ("visit_ms", ms(profile.visit_ns)),
+                        ("intern_hits", Json::from(profile.intern_hits)),
+                        ("intern_misses", Json::from(profile.intern_misses)),
+                    ]),
+                ),
             ]),
         ));
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -156,10 +185,16 @@ impl VerifyService {
         let cache = if !config.use_cache {
             None
         } else {
-            Some(match config.cache_dir {
-                Some(dir) => ResultCache::with_dir(dir)?,
-                None => ResultCache::in_memory(),
-            })
+            match config.cache_dir {
+                Some(dir) => {
+                    std::fs::create_dir_all(&dir)?;
+                    if config.cache_gc_age.is_some() || config.cache_gc_bytes.is_some() {
+                        gc_dir(&dir, config.cache_gc_age, config.cache_gc_bytes)?;
+                    }
+                    Some(ResultCache::bounded(config.cache_mem_entries, Some(dir)))
+                }
+                None => Some(ResultCache::bounded(config.cache_mem_entries, None)),
+            }
         };
         Ok(VerifyService { popts: ParallelOptions::with_jobs(config.jobs), cache })
     }
@@ -378,6 +413,17 @@ pub fn parse_options(json: Option<&Json>) -> Result<VerifyOptions, String> {
             "use_plans" => {
                 options.use_plans = value.as_bool().ok_or("\"use_plans\" must be a boolean")?;
             }
+            "state_store" => {
+                options.state_store = match value.as_str() {
+                    Some("interned") => wave_core::StateStoreKind::Interned,
+                    Some("byte_keys") => wave_core::StateStoreKind::ByteKeys,
+                    _ => {
+                        return Err(
+                            "\"state_store\" must be \"interned\" or \"byte_keys\"".to_string()
+                        )
+                    }
+                };
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -429,6 +475,53 @@ mod tests {
         assert!(second[0].cached, "second run must be served from cache");
         assert_eq!(second[0].stats.cores, 0, "cache hits do no search");
         assert_eq!(second[0].ce, first[0].ce, "lasso shape survives the cache");
+    }
+
+    #[test]
+    fn fresh_runs_report_profile_and_cache_hits_zero_it() {
+        let svc = service();
+        let request = Json::obj([("spec", Json::from(MINI)), ("property", Json::from("F @B"))]);
+        let fresh = &svc.run_request(&request, "a")[0];
+        assert!(!fresh.cached);
+        assert!(
+            fresh.stats.profile.intern_misses > 0,
+            "a real search interns configurations: {:?}",
+            fresh.stats.profile
+        );
+        let profile = fresh.to_json();
+        let profile = profile.get("stats").unwrap().get("profile").unwrap();
+        for field in ["canon_ms", "intern_ms", "expand_ms", "eval_ms", "visit_ms"] {
+            assert!(profile.get(field).unwrap().as_f64().is_some(), "{field} missing");
+        }
+
+        let hit = &svc.run_request(&request, "b")[0];
+        assert!(hit.cached);
+        assert!(hit.stats.profile.is_zero(), "cache hits do no search: {:?}", hit.stats.profile);
+        let json = hit.to_json();
+        let profile = json.get("stats").unwrap().get("profile").unwrap();
+        assert_eq!(profile.get("intern_misses").unwrap().as_u64(), Some(0));
+        assert_eq!(profile.get("expand_ms").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn state_store_option_parses_and_shares_cache_entries() {
+        let opts =
+            parse_options(Some(&json::parse(r#"{"state_store":"byte_keys"}"#).unwrap())).unwrap();
+        assert_eq!(opts.state_store, wave_core::StateStoreKind::ByteKeys);
+        assert!(parse_options(Some(&json::parse(r#"{"state_store":"x"}"#).unwrap())).is_err());
+
+        // a result computed under one backend is served to the other
+        let svc = service();
+        let request = Json::obj([("spec", Json::from(MINI)), ("property", Json::from("G !@B"))]);
+        let first = &svc.run_request(&request, "a")[0];
+        assert!(!first.cached);
+        let request = Json::obj([
+            ("spec", Json::from(MINI)),
+            ("property", Json::from("G !@B")),
+            ("options", json::parse(r#"{"state_store":"byte_keys"}"#).unwrap()),
+        ]);
+        let second = &svc.run_request(&request, "b")[0];
+        assert!(second.cached, "backends share cache entries");
     }
 
     #[test]

@@ -60,8 +60,8 @@ usage:
   wave validate <spec.wave>
   wave automaton --property \"<LTL-FO>\"
   wave fmt <spec.wave>
-  wave batch <jobs.jsonl> [--jobs <n>] [--cache-dir <dir>] [--no-cache]
-  wave serve --addr <host:port> [--jobs <n>] [--cache-dir <dir>] [--no-cache]
+  wave batch <jobs.jsonl> [--jobs <n>] [cache options]
+  wave serve --addr <host:port> [--jobs <n>] [cache options]
              [--max-connections <n>] [--read-timeout <seconds>]
 
 check options:
@@ -72,10 +72,18 @@ check options:
   --paper-strict          strict Heuristic 2 (no option-support witnesses)
   --exhaustive-equality   enumerate all C_∃ equality patterns
   --interpret             evaluate rules directly (no compiled plans)
+  --byte-keys             byte-keyed visit sets (interning ablation baseline)
   --jobs <n>              verify on an n-worker pool (wave-svc scheduler)
   --json                  print one JSON result record (batch format)
   --no-replay             skip counterexample re-validation
   --quiet                 print the verdict only
+
+cache options (batch and serve):
+  --cache-dir <dir>       on-disk result cache
+  --no-cache              disable the result cache
+  --cache-mem-entries <n> in-memory entry bound (default 256; 0 = unbounded)
+  --cache-gc-days <d>     startup GC: drop disk entries older than d days
+  --cache-gc-mb <m>       startup GC: shrink the disk cache below m MiB
 
 batch: one JSON job per input line, one JSON record per property on
 stdout; e.g. {\"suite\":\"E1\"}, {\"suite\":\"E1\",\"property\":\"P5\"}, or
@@ -151,6 +159,9 @@ fn cmd_check(rest: &[String]) -> ExitCode {
     }
     if take_flag(&mut args, "--interpret") {
         options.use_plans = false;
+    }
+    if take_flag(&mut args, "--byte-keys") {
+        options.state_store = wave::core::StateStoreKind::ByteKeys;
     }
     let no_replay = take_flag(&mut args, "--no-replay");
     let quiet = take_flag(&mut args, "--quiet");
@@ -340,7 +351,7 @@ fn cmd_fmt(rest: &[String]) -> ExitCode {
     }
 }
 
-/// Shared `--jobs/--cache-dir/--no-cache` parsing for batch and serve.
+/// Shared `--jobs/--cache-*` parsing for batch and serve.
 fn service_config(args: &mut Vec<String>) -> Result<wave_svc::ServiceConfig, String> {
     let mut config = wave_svc::ServiceConfig::default();
     if let Some(n) = take_value(args, "--jobs") {
@@ -353,6 +364,23 @@ fn service_config(args: &mut Vec<String>) -> Result<wave_svc::ServiceConfig, Str
     config.cache_dir = take_value(args, "--cache-dir").map(Into::into);
     if take_flag(args, "--no-cache") {
         config.use_cache = false;
+    }
+    if let Some(n) = take_value(args, "--cache-mem-entries") {
+        config.cache_mem_entries = n.parse().map_err(|_| {
+            format!("--cache-mem-entries needs an integer (0 = unbounded), got {n:?}")
+        })?;
+    }
+    if let Some(days) = take_value(args, "--cache-gc-days") {
+        let days: f64 =
+            days.parse().ok().filter(|d: &f64| d.is_finite() && *d >= 0.0).ok_or_else(|| {
+                format!("--cache-gc-days needs a non-negative number, got {days:?}")
+            })?;
+        config.cache_gc_age = Some(Duration::from_secs_f64(days * 86_400.0));
+    }
+    if let Some(mb) = take_value(args, "--cache-gc-mb") {
+        let mb: u64 =
+            mb.parse().map_err(|_| format!("--cache-gc-mb needs an integer, got {mb:?}"))?;
+        config.cache_gc_bytes = Some(mb.saturating_mul(1 << 20));
     }
     Ok(config)
 }
@@ -407,6 +435,9 @@ fn cmd_serve(rest: &[String]) -> ExitCode {
         jobs: service.jobs,
         use_cache: service.use_cache,
         cache_dir: service.cache_dir,
+        cache_mem_entries: service.cache_mem_entries,
+        cache_gc_age: service.cache_gc_age,
+        cache_gc_bytes: service.cache_gc_bytes,
         ..wave_svc::ServerConfig::default()
     };
     let Some(addr) = take_value(&mut args, "--addr") else {
