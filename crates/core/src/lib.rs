@@ -66,3 +66,8 @@ pub use verifier::{
     PreparedCheck, Stats, UnitOutcome, Verdict, Verification, Verifier, VerifyError, VerifyOptions,
 };
 pub use visibility::Visibility;
+// Re-exported so callers attaching a tracer don't need a direct wave-obs
+// dependency for the common types.
+pub use wave_obs::{
+    FlightRecorder, JsonlTracer, NoopTracer, SearchTracer, Tee, TraceEvent, TRACE_SCHEMA_VERSION,
+};

@@ -54,6 +54,28 @@ impl SearchProfile {
         *self == SearchProfile::default()
     }
 
+    /// Total profiled time: the sum of the *disjoint* phases. `canon_ns`
+    /// is excluded because `expand_ns` already includes it.
+    pub fn total_ns(&self) -> u64 {
+        self.intern_ns + self.expand_ns + self.eval_ns + self.visit_ns
+    }
+
+    /// Fraction of interns that hit an already-stored configuration, in
+    /// `[0, 1]`; `None` before any intern happened.
+    pub fn intern_hit_rate(&self) -> Option<f64> {
+        let total = self.intern_hits + self.intern_misses;
+        (total > 0).then(|| self.intern_hits as f64 / total as f64)
+    }
+
+    /// A phase's share of [`SearchProfile::total_ns`] as a percentage in
+    /// `[0, 100]`; `None` when nothing was profiled yet. `canon_ns` is a
+    /// sub-phase of `expand_ns`, so percentages of the four disjoint
+    /// phases sum to ~100 while `canon` reports its own overlapping share.
+    pub fn pct(&self, phase_ns: u64) -> Option<f64> {
+        let total = self.total_ns();
+        (total > 0).then(|| phase_ns as f64 * 100.0 / total as f64)
+    }
+
     /// Time `f`, adding the elapsed nanoseconds to the slot `pick`
     /// selects (e.g. `|p| &mut p.eval_ns`).
     #[inline]
@@ -81,6 +103,28 @@ mod tests {
         p.time(|p| &mut p.canon_ns, || std::thread::sleep(std::time::Duration::from_micros(50)));
         assert!(p.canon_ns >= 50_000, "{}", p.canon_ns);
         assert_eq!(p.visit_ns, 0);
+    }
+
+    #[test]
+    fn derived_rates_and_percentages() {
+        let p = SearchProfile::default();
+        assert_eq!(p.total_ns(), 0);
+        assert_eq!(p.intern_hit_rate(), None);
+        assert_eq!(p.pct(p.eval_ns), None);
+
+        let p = SearchProfile {
+            canon_ns: 5,
+            intern_ns: 10,
+            expand_ns: 50,
+            eval_ns: 30,
+            visit_ns: 10,
+            intern_hits: 3,
+            intern_misses: 1,
+        };
+        assert_eq!(p.total_ns(), 100, "canon is inside expand, not added again");
+        assert_eq!(p.intern_hit_rate(), Some(0.75));
+        assert_eq!(p.pct(p.expand_ns), Some(50.0));
+        assert_eq!(p.pct(p.canon_ns), Some(5.0));
     }
 
     #[test]

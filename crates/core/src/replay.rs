@@ -97,9 +97,11 @@ pub fn replay(
         });
     }
 
-    // (1) start configuration (replay is not profiled — scratch profile)
+    // (1) start configuration (replay is not profiled or traced —
+    // scratch profile, no-op tracer)
     let mut prof = crate::profile::SearchProfile::default();
-    let starts = ctx.initial_configs(&mut prof)?;
+    let mut tracer = wave_obs::NoopTracer;
+    let starts = ctx.initial_configs(&mut prof, &mut tracer)?;
     if !starts.contains(&ce.steps[0].config) {
         return Err(ReplayError::NotAStartConfig);
     }
@@ -119,7 +121,7 @@ pub fn replay(
         }
         if i + 1 < ce.steps.len() {
             let next = &ce.steps[i + 1];
-            let succs = ctx.successors(&step.config, &mut prof)?;
+            let succs = ctx.successors(&step.config, &mut prof, &mut tracer)?;
             if !succs.contains(&next.config) {
                 return Err(ReplayError::NotASuccessor { step: i + 1 });
             }
@@ -132,7 +134,7 @@ pub fn replay(
     // (4) the cycle closes: the last step can step back to cycle_start
     let last = ce.steps.last().expect("nonempty");
     let back = &ce.steps[ce.cycle_start];
-    let succs = ctx.successors(&last.config, &mut prof)?;
+    let succs = ctx.successors(&last.config, &mut prof, &mut tracer)?;
     let closes = succs.contains(&back.config)
         && buchi.successors(last.auto_state, last.assignment).any(|t| t == back.auto_state);
     if !closes {

@@ -22,6 +22,7 @@ use crate::visibility::Visibility;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use wave_fol::{answers, eval, prev_shadow_name, Bindings, EvalCtx, EvalError, SchemaResolver};
+use wave_obs::{SearchTracer, TraceEvent};
 use wave_relalg::{Instance, Params, RelKind, Relation, Tuple, Value};
 use wave_spec::{CompiledRule, CompiledSpec, Dataflow, PageId, RuleExec, TargetExec};
 
@@ -149,20 +150,23 @@ impl SearchCtx<'_> {
 
     /// The start pseudoconfigurations over the context's core: home page,
     /// empty state and previous input, every extension and input choice.
-    /// `prof` collects the canonicalization share of the work.
-    pub fn initial_configs(
+    /// `prof` collects the canonicalization share of the work; `tracer`
+    /// receives one [`TraceEvent::Options`] per extension.
+    pub fn initial_configs<T: SearchTracer>(
         &self,
         prof: &mut SearchProfile,
+        tracer: &mut T,
     ) -> Result<Vec<PseudoConfig>, SuccError> {
-        self.expand_page(self.spec.home, Vec::new(), Vec::new(), prof)
+        self.expand_page(self.spec.home, Vec::new(), Vec::new(), prof, tracer)
     }
 
     /// The paper's `succP`. `prof` collects the canonicalization share of
     /// the work (the caller times the whole call as `expand_ns`).
-    pub fn successors(
+    pub fn successors<T: SearchTracer>(
         &self,
         cfg: &PseudoConfig,
         prof: &mut SearchProfile,
+        tracer: &mut T,
     ) -> Result<Vec<PseudoConfig>, SuccError> {
         let inst = cfg.materialize(self.spec, &self.base);
         let params = self.spec.bind_params(&inst);
@@ -229,19 +233,20 @@ impl SearchCtx<'_> {
 
         // 4) extensions × options × input choices
         let prev = prof.time(|p| &mut p.canon_ns, || canonicalize(prev));
-        self.expand_page(vt, prev, st, prof)
+        self.expand_page(vt, prev, st, prof, tracer)
     }
 
     /// Enumerate the configurations entering `page` with the given previous
     /// input and state: every Heuristic-2 extension, every input choice,
     /// with actions computed per choice. `prev` must already be canonical;
     /// `state` is canonical by construction (it comes from a `BTreeSet`).
-    fn expand_page(
+    fn expand_page<T: SearchTracer>(
         &self,
         page_id: PageId,
         prev: Facts,
         state: Facts,
         prof: &mut SearchProfile,
+        tracer: &mut T,
     ) -> Result<Vec<PseudoConfig>, SuccError> {
         let page = self.spec.page(page_id);
         let pool = &self.pools[page_id.index()];
@@ -313,6 +318,17 @@ impl SearchCtx<'_> {
                     _ => unreachable!("page inputs are input relations"),
                 }
                 choice_lists.push((input, opts));
+            }
+
+            if T::ENABLED {
+                // the empty choice is an option too, so `choices` (the
+                // product of the per-input option counts) is exactly the
+                // number of successors this extension contributes
+                tracer.event(TraceEvent::Options {
+                    page: page_id.index() as u32,
+                    options: choice_lists.iter().map(|(_, o)| o.len() as u32 - 1).sum(),
+                    choices: choice_lists.iter().map(|(_, o)| o.len() as u64).product(),
+                });
             }
 
             // cartesian product of choices

@@ -29,6 +29,7 @@ use std::ops::Range;
 use std::time::{Duration, Instant};
 use wave_fol::{check_input_bounded, constants as fo_constants, Formula};
 use wave_ltl::{extract, nnf, parse_property, Buchi, Property};
+use wave_obs::{NoopTracer, SearchTracer, TraceEvent};
 use wave_relalg::{SymbolTable, Value};
 use wave_spec::{analyze, CompileSpecError, CompiledSpec, Dataflow, Spec};
 
@@ -232,18 +233,34 @@ impl Verifier {
     /// The nested DFS recurses once per pseudorun step, so the search runs
     /// on a dedicated thread with a large stack.
     pub fn check(&self, property: &Property) -> Result<Verification, VerifyError> {
+        self.check_traced(property, &mut NoopTracer)
+    }
+
+    /// [`Verifier::check`] with a [`SearchTracer`] receiving the search's
+    /// event stream. `check` itself delegates here with the no-op tracer,
+    /// which monomorphizes every emission site away — verdicts, lassos and
+    /// stats are identical either way.
+    pub fn check_traced<T: SearchTracer + Send>(
+        &self,
+        property: &Property,
+        tracer: &mut T,
+    ) -> Result<Verification, VerifyError> {
         std::thread::scope(|scope| {
             std::thread::Builder::new()
                 .name("wave-search".into())
                 .stack_size(512 << 20)
-                .spawn_scoped(scope, || self.check_inner(property))
+                .spawn_scoped(scope, || self.check_inner(property, tracer))
                 .expect("spawn search thread")
                 .join()
                 .expect("search thread panicked")
         })
     }
 
-    fn check_inner(&self, property: &Property) -> Result<Verification, VerifyError> {
+    fn check_inner<T: SearchTracer>(
+        &self,
+        property: &Property,
+        tracer: &mut T,
+    ) -> Result<Verification, VerifyError> {
         let start = Instant::now();
         let deadline = self.options.time_limit.map(|d| start + d);
         let prepared = self.prepare(property)?;
@@ -259,7 +276,7 @@ impl Verifier {
                 time_limit: self.options.time_limit,
                 cancel: self.options.cancel.clone(),
             };
-            let outcome = prepared.run_unit(unit, None, &limits)?;
+            let outcome = prepared.run_unit_traced(unit, None, &limits, tracer)?;
             stats.merge(&outcome.stats);
             match outcome.result {
                 SearchResult::Clean => {}
@@ -533,12 +550,25 @@ impl PreparedCheck<'_> {
         cores: Option<Range<u64>>,
         limits: &SearchLimits,
     ) -> Result<UnitOutcome, VerifyError> {
+        self.run_unit_traced(unit, cores, limits, &mut NoopTracer)
+    }
+
+    /// [`PreparedCheck::run_unit`] with a tracer attached. The no-op
+    /// tracer monomorphizes to the untraced scan, so `run_unit` (and the
+    /// parallel scheduler built on it) pays nothing for this hook.
+    pub fn run_unit_traced<T: SearchTracer>(
+        &self,
+        unit: usize,
+        cores: Option<Range<u64>>,
+        limits: &SearchLimits,
+        tracer: &mut T,
+    ) -> Result<UnitOutcome, VerifyError> {
         match self.verifier.options.state_store {
             StateStoreKind::Interned => {
-                self.run_unit_with(unit, cores, limits, &mut InternedStore::new())
+                self.run_unit_with(unit, cores, limits, &mut InternedStore::new(), tracer)
             }
             StateStoreKind::ByteKeys => {
-                self.run_unit_with(unit, cores, limits, &mut ByteStore::new())
+                self.run_unit_with(unit, cores, limits, &mut ByteStore::new(), tracer)
             }
         }
     }
@@ -546,12 +576,13 @@ impl PreparedCheck<'_> {
     /// The core scan over an explicit state store (one store per unit:
     /// the interned arena is shared by all its cores, the visited set is
     /// cleared between cores).
-    fn run_unit_with<S: StateStore>(
+    fn run_unit_with<S: StateStore, T: SearchTracer>(
         &self,
         unit: usize,
         cores: Option<Range<u64>>,
         limits: &SearchLimits,
         store: &mut S,
+        tracer: &mut T,
     ) -> Result<UnitOutcome, VerifyError> {
         let start = Instant::now();
         let spec = &self.verifier.spec;
@@ -582,6 +613,9 @@ impl PreparedCheck<'_> {
             }
             let core = universe.decode(bitmap);
             stats.cores += 1;
+            if T::ENABLED {
+                tracer.event(TraceEvent::Core { unit: unit as u32, core: bitmap });
+            }
             store.clear_visits();
             let ctx = SearchCtx {
                 spec,
@@ -600,6 +634,7 @@ impl PreparedCheck<'_> {
                 &self.buchi,
                 &components,
                 store,
+                &mut *tracer,
                 SearchLimits {
                     max_steps: limits.max_steps.map(|m| m.saturating_sub(stats.configs)),
                     deadline: limits.deadline,

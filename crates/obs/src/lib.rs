@@ -1,0 +1,28 @@
+//! `wave-obs`: observability primitives for the wave verifier.
+//!
+//! Two pillars, both dependency-free:
+//!
+//! * [`trace`] — structured search tracing: the [`SearchTracer`] trait
+//!   the NDFS engine is generic over, a versioned [`TraceEvent`] model,
+//!   a JSONL stream writer ([`JsonlTracer`]), and a bounded
+//!   [`FlightRecorder`] ring buffer for postmortems. The no-op tracer
+//!   ([`NoopTracer`]) monomorphizes to nothing: `SearchTracer::ENABLED`
+//!   is `false`, so every event-construction site compiles out and an
+//!   untraced search pays zero cost.
+//! * [`metrics`] — a lock-free metrics registry: atomic [`Counter`]s,
+//!   [`Gauge`]s and log-scale-bucketed [`Histogram`]s registered by
+//!   name, rendered as Prometheus text exposition ([`prom`]) and served
+//!   by a tiny hand-rolled HTTP listener ([`MetricsServer`]).
+//!
+//! The crate sits below `wave-core` in the dependency graph; events and
+//! metric values are plain integers so nothing verifier-shaped leaks in.
+
+pub mod metrics;
+pub mod prom;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricKind, MetricSnapshot, MetricsRegistry};
+pub use prom::{render_prometheus, MetricsServer};
+pub use trace::{
+    FlightRecorder, JsonlTracer, NoopTracer, SearchTracer, Tee, TraceEvent, TRACE_SCHEMA_VERSION,
+};

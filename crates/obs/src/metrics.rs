@@ -1,0 +1,380 @@
+//! Lock-free metrics registry.
+//!
+//! Three instrument kinds, all backed by plain atomics so the hot path
+//! (scheduler workers, connection handlers) never takes a lock:
+//!
+//! * [`Counter`] — monotonically increasing `u64`.
+//! * [`Gauge`] — signed instantaneous value (`i64`), inc/dec/set.
+//! * [`Histogram`] — fixed log₂-scale buckets over `u64` observations.
+//!   Bucket `i` (for `i < 64`) holds values `v` with
+//!   `bucket_index(v) == i`, i.e. upper bound `2^i - 1`; bucket 64 is
+//!   `+Inf`. No float math, no allocation, no configuration.
+//!
+//! Instruments are registered by name in a [`MetricsRegistry`] and
+//! handed out as `Arc`s; registering the same name (and kind) twice
+//! returns the same instrument, so independent subsystems can share a
+//! counter without coordination. [`MetricsRegistry::snapshot`] takes a
+//! point-in-time copy for rendering (JSON on the service socket,
+//! Prometheus text via [`crate::prom`]).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one per power-of-two magnitude of a
+/// `u64` (indices 0..=63) plus a `+Inf` bucket at index 64.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, in-flight work).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn set(&self, n: i64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The log₂ bucket index for an observation: 0 for 0, otherwise
+/// `floor(log2(v)) + 1`, so bucket `i` covers `[2^(i-1), 2^i - 1]` and
+/// the upper bound of bucket `i` is `2^i - 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `i`, or `None` for the `+Inf`
+/// bucket (index 64, which only `u64::MAX` reaches: `2^64 - 1`).
+#[inline]
+pub fn bucket_bound(i: usize) -> Option<u64> {
+    if i >= HISTOGRAM_BUCKETS - 1 {
+        None
+    } else {
+        Some((1u64 << i) - 1)
+    }
+}
+
+/// A fixed-bucket log-scale histogram of `u64` observations.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (not cumulative), indexed by [`bucket_index`].
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// The kind of a registered instrument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Instrument::Counter(_) => MetricKind::Counter,
+            Instrument::Gauge(_) => MetricKind::Gauge,
+            Instrument::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A point-in-time copy of one instrument's state.
+#[derive(Clone, Debug)]
+pub struct MetricSnapshot {
+    pub name: String,
+    pub help: String,
+    pub kind: MetricKind,
+    /// Counter value or gauge value (gauges are reported as `i64` cast
+    /// through this field's sign-carrying twin below).
+    pub value: u64,
+    /// Gauge value with sign; equals `value as i64` for counters.
+    pub gauge: i64,
+    /// Histogram state: (count, sum, per-bucket counts). Empty vec for
+    /// counters and gauges.
+    pub hist_count: u64,
+    pub hist_sum: u64,
+    pub hist_buckets: Vec<u64>,
+}
+
+/// A named collection of instruments. Registration takes a short lock;
+/// the instruments themselves are lock-free.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<(String, String, Instrument)>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries = self.entries.lock().unwrap();
+        f.debug_struct("MetricsRegistry").field("len", &entries.len()).finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register (or look up) a counter by name.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some((_, _, inst)) = entries.iter().find(|(n, _, _)| n == name) {
+            match inst {
+                Instrument::Counter(c) => return Arc::clone(c),
+                other => panic!("metric {name:?} already registered as {:?}", other.kind()),
+            }
+        }
+        let c = Arc::new(Counter::default());
+        entries.push((name.to_string(), help.to_string(), Instrument::Counter(Arc::clone(&c))));
+        c
+    }
+
+    /// Register (or look up) a gauge by name. Panics on kind mismatch.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some((_, _, inst)) = entries.iter().find(|(n, _, _)| n == name) {
+            match inst {
+                Instrument::Gauge(g) => return Arc::clone(g),
+                other => panic!("metric {name:?} already registered as {:?}", other.kind()),
+            }
+        }
+        let g = Arc::new(Gauge::default());
+        entries.push((name.to_string(), help.to_string(), Instrument::Gauge(Arc::clone(&g))));
+        g
+    }
+
+    /// Register (or look up) a histogram by name. Panics on kind mismatch.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some((_, _, inst)) = entries.iter().find(|(n, _, _)| n == name) {
+            match inst {
+                Instrument::Histogram(h) => return Arc::clone(h),
+                other => panic!("metric {name:?} already registered as {:?}", other.kind()),
+            }
+        }
+        let h = Arc::new(Histogram::default());
+        entries.push((name.to_string(), help.to_string(), Instrument::Histogram(Arc::clone(&h))));
+        h
+    }
+
+    /// A point-in-time copy of every instrument, in registration order.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .iter()
+            .map(|(name, help, inst)| {
+                let mut snap = MetricSnapshot {
+                    name: name.clone(),
+                    help: help.clone(),
+                    kind: inst.kind(),
+                    value: 0,
+                    gauge: 0,
+                    hist_count: 0,
+                    hist_sum: 0,
+                    hist_buckets: Vec::new(),
+                };
+                match inst {
+                    Instrument::Counter(c) => {
+                        snap.value = c.get();
+                        snap.gauge = snap.value as i64;
+                    }
+                    Instrument::Gauge(g) => {
+                        snap.gauge = g.get();
+                        snap.value = snap.gauge.max(0) as u64;
+                    }
+                    Instrument::Histogram(h) => {
+                        snap.hist_count = h.count();
+                        snap.hist_sum = h.sum();
+                        snap.hist_buckets = h.buckets().to_vec();
+                    }
+                }
+                snap
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64, "u64::MAX lands in the +Inf bucket");
+        assert_eq!(bucket_index(u64::MAX >> 1), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_are_pow2_minus_one() {
+        assert_eq!(bucket_bound(0), Some(0));
+        assert_eq!(bucket_bound(1), Some(1));
+        assert_eq!(bucket_bound(2), Some(3));
+        assert_eq!(bucket_bound(10), Some(1023));
+        assert_eq!(bucket_bound(63), Some(u64::MAX >> 1));
+        assert_eq!(bucket_bound(64), None, "last bucket is +Inf");
+        // Every value except u64::MAX fits under bound 63; consistency:
+        for i in 0..64 {
+            let b = bucket_bound(i).unwrap();
+            assert_eq!(bucket_index(b), i);
+            assert_eq!(
+                bucket_index(b.saturating_add(1)),
+                if b == u64::MAX >> 1 { 64 } else { i + 1 }
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_observe_zero_and_max() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX); // 0 + MAX
+        let b = h.buckets();
+        assert_eq!(b[0], 1, "zero lands in bucket 0");
+        assert_eq!(b[64], 1, "u64::MAX lands in +Inf bucket");
+        assert_eq!(b[1..64].iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::default();
+        g.inc();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), -1);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn registry_dedupes_by_name_and_snapshots_in_order() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("requests_total", "Requests");
+        let b = reg.counter("requests_total", "Requests");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same name returns the same counter");
+        let g = reg.gauge("inflight", "In-flight");
+        g.set(3);
+        let h = reg.histogram("latency_ns", "Latency");
+        h.observe(100);
+        let snaps = reg.snapshot();
+        let names: Vec<&str> = snaps.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["requests_total", "inflight", "latency_ns"]);
+        assert_eq!(snaps[0].value, 2);
+        assert_eq!(snaps[1].gauge, 3);
+        assert_eq!(snaps[2].hist_count, 1);
+        assert_eq!(snaps[2].hist_sum, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_panics_on_kind_mismatch() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("x", "");
+        let _ = reg.gauge("x", "");
+    }
+}

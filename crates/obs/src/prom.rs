@@ -1,0 +1,230 @@
+//! Prometheus text exposition for a [`MetricsRegistry`], plus a tiny
+//! hand-rolled HTTP listener serving it on `GET /metrics`.
+//!
+//! The renderer emits the version-0.0.4 text format: `# HELP` /
+//! `# TYPE` headers, plain samples for counters and gauges, and
+//! cumulative `_bucket{le="..."}` / `_sum` / `_count` series for
+//! histograms. To keep scrapes small, empty histogram buckets are
+//! elided except the mandatory `+Inf` bucket.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::metrics::{bucket_bound, MetricKind, MetricsRegistry};
+
+/// Render the registry's current state as Prometheus text exposition.
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for snap in registry.snapshot() {
+        let ty = match snap.kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        };
+        if !snap.help.is_empty() {
+            out.push_str(&format!("# HELP {} {}\n", snap.name, snap.help));
+        }
+        out.push_str(&format!("# TYPE {} {}\n", snap.name, ty));
+        match snap.kind {
+            MetricKind::Counter => {
+                out.push_str(&format!("{} {}\n", snap.name, snap.value));
+            }
+            MetricKind::Gauge => {
+                out.push_str(&format!("{} {}\n", snap.name, snap.gauge));
+            }
+            MetricKind::Histogram => {
+                let mut cumulative = 0u64;
+                for (i, count) in snap.hist_buckets.iter().enumerate() {
+                    cumulative += count;
+                    match bucket_bound(i) {
+                        Some(bound) => {
+                            if *count > 0 {
+                                out.push_str(&format!(
+                                    "{}_bucket{{le=\"{bound}\"}} {cumulative}\n",
+                                    snap.name
+                                ));
+                            }
+                        }
+                        None => {
+                            out.push_str(&format!(
+                                "{}_bucket{{le=\"+Inf\"}} {cumulative}\n",
+                                snap.name
+                            ));
+                        }
+                    }
+                }
+                out.push_str(&format!("{}_sum {}\n", snap.name, snap.hist_sum));
+                out.push_str(&format!("{}_count {}\n", snap.name, snap.hist_count));
+            }
+        }
+    }
+    out
+}
+
+/// A minimal HTTP/1.1 server exposing `GET /metrics` for Prometheus
+/// scrapes. One thread, sequential request handling — scrapes are rare
+/// and tiny, so this deliberately stays ~100 lines with no parser
+/// beyond the request line.
+pub struct MetricsServer {
+    listener: TcpListener,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl MetricsServer {
+    /// Bind the listener. `addr` is a `host:port` string; port 0 picks
+    /// a free port (see [`MetricsServer::local_addr`]).
+    pub fn bind(addr: &str, registry: Arc<MetricsRegistry>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(MetricsServer { listener, registry })
+    }
+
+    /// The bound address (useful when binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve scrapes forever on a background thread.
+    pub fn spawn(self) -> thread::JoinHandle<()> {
+        thread::Builder::new()
+            .name("wave-metrics".into())
+            .spawn(move || self.serve())
+            .expect("spawn metrics thread")
+    }
+
+    fn serve(self) {
+        for stream in self.listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            // A slow or stuck scraper must not wedge the metrics port.
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+            let _ = handle_scrape(stream, &self.registry);
+        }
+    }
+}
+
+fn handle_scrape(stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers until the blank line so keep-alive clients see a
+    // well-formed exchange; we always close after one response.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method == "GET" && (path == "/metrics" || path == "/") {
+        let body = render_prometheus(registry);
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else {
+        let body = "not found\n";
+        write!(
+            stream,
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn sample_registry() -> Arc<MetricsRegistry> {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("wave_requests_total", "Requests handled").add(5);
+        reg.gauge("wave_inflight", "In-flight checks").set(-2);
+        let h = reg.histogram("wave_latency_ns", "Check latency");
+        h.observe(0);
+        h.observe(3);
+        h.observe(3);
+        h.observe(u64::MAX);
+        reg
+    }
+
+    /// A tiny scrape-format parser: validates HELP/TYPE lines and
+    /// sample lines, returning (name-with-labels, value) pairs.
+    fn parse_exposition(text: &str) -> Vec<(String, f64)> {
+        let mut samples = Vec::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                let mut words = rest.split_whitespace();
+                let keyword = words.next().unwrap();
+                assert!(keyword == "HELP" || keyword == "TYPE", "bad comment: {line}");
+                assert!(words.next().is_some(), "missing metric name: {line}");
+                continue;
+            }
+            let (name, value) =
+                line.rsplit_once(' ').unwrap_or_else(|| panic!("bad sample: {line}"));
+            let value: f64 = value.parse().unwrap_or_else(|_| panic!("bad value: {line}"));
+            samples.push((name.to_string(), value));
+        }
+        samples
+    }
+
+    #[test]
+    fn renders_parseable_exposition() {
+        let reg = sample_registry();
+        let text = render_prometheus(&reg);
+        let samples = parse_exposition(&text);
+        let get = |n: &str| {
+            samples
+                .iter()
+                .find(|(name, _)| name == n)
+                .unwrap_or_else(|| panic!("missing {n} in:\n{text}"))
+                .1
+        };
+        assert_eq!(get("wave_requests_total"), 5.0);
+        assert_eq!(get("wave_inflight"), -2.0, "gauges keep their sign");
+        assert_eq!(get("wave_latency_ns_count"), 4.0);
+        // Buckets are cumulative: le="0" sees the zero, le="3" adds the
+        // two 3s, +Inf sees everything including u64::MAX.
+        assert_eq!(get("wave_latency_ns_bucket{le=\"0\"}"), 1.0);
+        assert_eq!(get("wave_latency_ns_bucket{le=\"3\"}"), 3.0);
+        assert_eq!(get("wave_latency_ns_bucket{le=\"+Inf\"}"), 4.0);
+        // Empty buckets are elided: no le="1" line (nothing observed at 1).
+        assert!(!text.contains("le=\"1\""), "{text}");
+    }
+
+    #[test]
+    fn http_listener_serves_metrics_and_404s() {
+        let reg = sample_registry();
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&reg)).unwrap();
+        let addr = server.local_addr().unwrap();
+        server.spawn();
+
+        let fetch = |path: &str| -> String {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            response
+        };
+
+        let ok = fetch("/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        let body = ok.split("\r\n\r\n").nth(1).unwrap();
+        assert!(!parse_exposition(body).is_empty());
+        assert!(body.contains("wave_requests_total 5"), "{body}");
+
+        let missing = fetch("/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    }
+}

@@ -1,0 +1,371 @@
+//! Structured search tracing.
+//!
+//! The NDFS engine emits [`TraceEvent`]s at its key decision points —
+//! interning, `succP` expansion, Büchi-product transitions, phase
+//! changes, accepting cycles, budget exhaustion — through a
+//! [`SearchTracer`] it is *generic* over. The default [`NoopTracer`]
+//! has `ENABLED = false`; every emission site is guarded by
+//! `if T::ENABLED`, so the untraced search monomorphizes to exactly the
+//! code it had before tracing existed (verified by the byte-identical
+//! verdict/stats test in the workspace integration suite).
+//!
+//! ## JSONL schema (version [`TRACE_SCHEMA_VERSION`])
+//!
+//! [`JsonlTracer`] streams one JSON object per line:
+//!
+//! ```text
+//! {"v":1,"ev":"<type>",<payload fields in fixed order>,"t_ns":<u64>}
+//! ```
+//!
+//! * `v` — schema version, always first. Consumers must reject lines
+//!   whose major version they do not know.
+//! * `ev` — event type tag, always second.
+//! * payload — the event's fields, in the order documented on each
+//!   [`TraceEvent`] variant. New fields may be *appended* within a
+//!   version; renaming, reordering or removing a field requires a
+//!   version bump (the golden-schema CI test pins this).
+//! * `t_ns` — nanoseconds since the tracer was created, always last.
+//!   Timing values (`t_ns`, `dur_ns`) vary run to run; everything else
+//!   is deterministic for a deterministic search.
+//!
+//! [`FlightRecorder`] keeps the last N events in a ring buffer instead
+//! of streaming them — cheap enough to leave on for long searches, and
+//! dumped on timeout/budget-exhaustion/panic for postmortems.
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+/// Version of the JSONL trace schema. Bumped on any incompatible field
+/// change; see the module docs for the compatibility rule.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// One structured search event. All payloads are plain integers (plus
+/// `&'static str` reasons), so events are `Copy` and cost nothing to
+/// construct when tracing is disabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A configuration was interned into the state store.
+    /// Fields: `hit` (already present in the arena).
+    Intern { hit: bool },
+    /// One Heuristic-2 extension was expanded inside `succP`: how many
+    /// input options the page offered and how many input-choice
+    /// combinations (= successor configurations) they generate.
+    /// Fields: `page`, `options`, `choices`.
+    Options { page: u32, options: u32, choices: u64 },
+    /// One `succP` call completed.
+    /// Fields: `depth` (pseudorun length at the expanded node), `succs`
+    /// (successor configurations generated), `dur_ns` (wall time).
+    Expand { depth: u32, succs: u32, dur_ns: u64 },
+    /// A Büchi-product transition was followed.
+    /// Fields: `from`, `to` (automaton states), `assign` (the truth
+    /// assignment bitmask of the FO components that enabled it).
+    Transition { from: u32, to: u32, assign: u64 },
+    /// The NDFS changed phase: `candy = false` starts an outer (stick)
+    /// search, `candy = true` launches the nested cycle search.
+    /// Fields: `candy`, `depth`.
+    Phase { candy: bool, depth: u32 },
+    /// One database core's search began.
+    /// Fields: `unit` (`C_∃` assignment ordinal), `core` (bitmap
+    /// counter within the unit's core universe).
+    Core { unit: u32, core: u64 },
+    /// An accepting lasso — a property-violating pseudorun — was found.
+    /// Fields: `len` (total steps), `cycle_start`.
+    Cycle { len: u32, cycle_start: u32 },
+    /// The search stopped early.
+    /// Fields: `reason` (`"steps"`, `"time"`, or `"cancelled"`).
+    Budget { reason: &'static str },
+}
+
+impl TraceEvent {
+    /// The `ev` tag of the JSONL encoding.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::Intern { .. } => "intern",
+            TraceEvent::Options { .. } => "options",
+            TraceEvent::Expand { .. } => "expand",
+            TraceEvent::Transition { .. } => "transition",
+            TraceEvent::Phase { .. } => "phase",
+            TraceEvent::Core { .. } => "core",
+            TraceEvent::Cycle { .. } => "cycle",
+            TraceEvent::Budget { .. } => "budget",
+        }
+    }
+
+    /// Render the schema-versioned JSONL line (no trailing newline).
+    /// Field order is part of the schema; see the module docs.
+    pub fn to_jsonl(&self, t_ns: u64) -> String {
+        let mut s = format!("{{\"v\":{},\"ev\":\"{}\"", TRACE_SCHEMA_VERSION, self.tag());
+        match *self {
+            TraceEvent::Intern { hit } => {
+                s.push_str(&format!(",\"hit\":{hit}"));
+            }
+            TraceEvent::Options { page, options, choices } => {
+                s.push_str(&format!(
+                    ",\"page\":{page},\"options\":{options},\"choices\":{choices}"
+                ));
+            }
+            TraceEvent::Expand { depth, succs, dur_ns } => {
+                s.push_str(&format!(",\"depth\":{depth},\"succs\":{succs},\"dur_ns\":{dur_ns}"));
+            }
+            TraceEvent::Transition { from, to, assign } => {
+                s.push_str(&format!(",\"from\":{from},\"to\":{to},\"assign\":{assign}"));
+            }
+            TraceEvent::Phase { candy, depth } => {
+                s.push_str(&format!(",\"candy\":{candy},\"depth\":{depth}"));
+            }
+            TraceEvent::Core { unit, core } => {
+                s.push_str(&format!(",\"unit\":{unit},\"core\":{core}"));
+            }
+            TraceEvent::Cycle { len, cycle_start } => {
+                s.push_str(&format!(",\"len\":{len},\"cycle_start\":{cycle_start}"));
+            }
+            TraceEvent::Budget { reason } => {
+                s.push_str(&format!(",\"reason\":\"{reason}\""));
+            }
+        }
+        s.push_str(&format!(",\"t_ns\":{t_ns}}}"));
+        s
+    }
+}
+
+/// A sink for search events. The engine is generic over this trait and
+/// guards every emission with `if T::ENABLED`, so implementations with
+/// `ENABLED = false` cost literally nothing.
+pub trait SearchTracer {
+    /// When `false`, emission sites (including event construction)
+    /// compile out entirely.
+    const ENABLED: bool = true;
+
+    /// Receive one event. Called only when [`SearchTracer::ENABLED`].
+    fn event(&mut self, event: TraceEvent);
+}
+
+/// The zero-cost default: no events, no code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTracer;
+
+impl SearchTracer for NoopTracer {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn event(&mut self, _event: TraceEvent) {}
+}
+
+/// Streams events as schema-versioned JSONL to any [`Write`] sink.
+/// Write errors are sticky: the first one is kept (see
+/// [`JsonlTracer::take_error`]) and later events are dropped.
+pub struct JsonlTracer<W: Write> {
+    sink: W,
+    start: Instant,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlTracer<W> {
+    pub fn new(sink: W) -> JsonlTracer<W> {
+        JsonlTracer { sink, start: Instant::now(), error: None }
+    }
+
+    /// Flush the sink and surface the first write error, if any.
+    pub fn finish(mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.sink.flush()
+    }
+
+    /// The first write error, if one occurred.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Recover the sink (e.g. a `Vec<u8>` buffer in tests).
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+impl<W: Write> SearchTracer for JsonlTracer<W> {
+    fn event(&mut self, event: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_jsonl(self.start.elapsed().as_nanos() as u64);
+        if let Err(e) =
+            self.sink.write_all(line.as_bytes()).and_then(|()| self.sink.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// A bounded ring buffer keeping the most recent events — the flight
+/// recorder. Left running alongside a search, it costs one copy per
+/// event and holds at most `capacity` of them; on timeout, budget
+/// exhaustion or panic the tail is dumped for a postmortem.
+pub struct FlightRecorder {
+    ring: Vec<(u64, TraceEvent)>,
+    /// Next write position; the ring has wrapped when `total > len`.
+    head: usize,
+    /// Events ever seen (so the dump can say how many were dropped).
+    total: u64,
+    capacity: usize,
+    start: Instant,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            ring: Vec::with_capacity(capacity),
+            head: 0,
+            total: 0,
+            capacity,
+            start: Instant::now(),
+        }
+    }
+
+    /// Events ever recorded (including ones the ring has dropped).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The retained events, oldest first, with their `t_ns` stamps.
+    pub fn events(&self) -> Vec<(u64, TraceEvent)> {
+        if self.ring.len() < self.capacity {
+            self.ring.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&self.ring[self.head..]);
+            out.extend_from_slice(&self.ring[..self.head]);
+            out
+        }
+    }
+
+    /// Render the tail as JSONL lines for a postmortem dump.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        let dropped = self.total - self.events().len() as u64;
+        if dropped > 0 {
+            out.push_str(&format!("… {dropped} earlier events dropped by the ring …\n"));
+        }
+        for (t_ns, event) in self.events() {
+            out.push_str(&event.to_jsonl(t_ns));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl SearchTracer for FlightRecorder {
+    fn event(&mut self, event: TraceEvent) {
+        let stamped = (self.start.elapsed().as_nanos() as u64, event);
+        if self.ring.len() < self.capacity {
+            self.ring.push(stamped);
+        } else {
+            self.ring[self.head] = stamped;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.total += 1;
+    }
+}
+
+/// Fan one event stream out to two tracers (e.g. a JSONL stream plus a
+/// flight recorder). Enabled when either side is.
+pub struct Tee<A: SearchTracer, B: SearchTracer>(pub A, pub B);
+
+impl<A: SearchTracer, B: SearchTracer> SearchTracer for Tee<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn event(&mut self, event: TraceEvent) {
+        if A::ENABLED {
+            self.0.event(event);
+        }
+        if B::ENABLED {
+            self.1.event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_are_versioned_and_ordered() {
+        let ev = TraceEvent::Expand { depth: 3, succs: 7, dur_ns: 125 };
+        assert_eq!(
+            ev.to_jsonl(42),
+            r#"{"v":1,"ev":"expand","depth":3,"succs":7,"dur_ns":125,"t_ns":42}"#
+        );
+        let ev = TraceEvent::Budget { reason: "steps" };
+        assert_eq!(ev.to_jsonl(1), r#"{"v":1,"ev":"budget","reason":"steps","t_ns":1}"#);
+        let ev = TraceEvent::Intern { hit: true };
+        assert!(ev.to_jsonl(0).starts_with(r#"{"v":1,"ev":"intern","hit":true"#));
+    }
+
+    #[test]
+    fn jsonl_tracer_streams_lines() {
+        let mut buf = Vec::new();
+        {
+            let mut t = JsonlTracer::new(&mut buf);
+            t.event(TraceEvent::Phase { candy: false, depth: 0 });
+            t.event(TraceEvent::Cycle { len: 4, cycle_start: 1 });
+            t.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"ev\":\"phase\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"cycle_start\":1"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn ring_buffer_wraps_keeping_the_newest() {
+        let mut rec = FlightRecorder::new(3);
+        assert_eq!(rec.events(), vec![]);
+        for depth in 0..5u32 {
+            rec.event(TraceEvent::Phase { candy: false, depth });
+        }
+        assert_eq!(rec.total(), 5);
+        let depths: Vec<u32> = rec
+            .events()
+            .iter()
+            .map(|(_, e)| match e {
+                TraceEvent::Phase { depth, .. } => *depth,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(depths, vec![2, 3, 4], "oldest events evicted, order preserved");
+        assert!(rec.dump().starts_with("… 2 earlier events dropped"), "{}", rec.dump());
+    }
+
+    #[test]
+    fn ring_capacity_one_and_exact_fit() {
+        let mut rec = FlightRecorder::new(0); // clamped to 1
+        rec.event(TraceEvent::Intern { hit: false });
+        rec.event(TraceEvent::Intern { hit: true });
+        assert_eq!(rec.events().len(), 1);
+        assert_eq!(rec.events()[0].1, TraceEvent::Intern { hit: true });
+
+        let mut rec = FlightRecorder::new(2);
+        rec.event(TraceEvent::Intern { hit: false });
+        rec.event(TraceEvent::Intern { hit: true });
+        assert_eq!(rec.events().len(), 2, "exact fit does not wrap");
+        assert_eq!(rec.total(), 2);
+        assert!(!rec.dump().contains("dropped"));
+    }
+
+    #[test]
+    fn noop_is_disabled_and_tee_combines() {
+        const { assert!(!NoopTracer::ENABLED) };
+        const { assert!(FlightRecorder::ENABLED) };
+        const { assert!(<Tee<NoopTracer, FlightRecorder>>::ENABLED) };
+        const { assert!(!<Tee<NoopTracer, NoopTracer>>::ENABLED) };
+        let mut tee = Tee(FlightRecorder::new(4), FlightRecorder::new(4));
+        tee.event(TraceEvent::Budget { reason: "time" });
+        assert_eq!(tee.0.total(), 1);
+        assert_eq!(tee.1.total(), 1);
+    }
+}

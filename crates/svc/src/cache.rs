@@ -9,17 +9,22 @@
 //! The cache stores the verdict summary, not the counterexample trace: a
 //! cached `violated` hit reports the lasso shape (step count and cycle
 //! start) but cannot be replayed. Re-run with the cache disabled to
-//! regenerate the full trace. Cache hits report zeroed search counters
-//! (`Stats.cores == 0`), which is how callers can tell a hit from a
-//! fresh run.
+//! regenerate the full trace. The original run's [`SearchProfile`] *is*
+//! kept (memory and disk tiers) and returned on hit; search counters
+//! stay zeroed (`Stats.cores == 0`), which is how callers tell a hit
+//! from a fresh run.
+//!
+//! When built [`ResultCache::with_metrics`], the cache counts hits,
+//! misses, and memory-tier evictions into the service metrics registry.
 
 use crate::json::{self, Json};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime};
-use wave_core::{Budget, Verdict, Verification, VerifyOptions};
+use wave_core::{Budget, SearchProfile, Verdict, Verification, VerifyOptions};
+use wave_obs::Counter;
 
 /// Default bound on in-memory cache entries (see [`ResultCache`]).
 pub const DEFAULT_MEM_ENTRIES: usize = 256;
@@ -94,6 +99,9 @@ pub struct CachedResult {
     pub complete: bool,
     /// Wall-clock of the original run, reported for reference.
     pub elapsed: Duration,
+    /// Per-phase profile of the original run, served back on hit (the
+    /// record's `profile_source` field says `"cached"` then).
+    pub profile: SearchProfile,
 }
 
 impl CachedResult {
@@ -113,7 +121,12 @@ impl CachedResult {
                 CachedVerdict::Unknown { budget: format!("time:{}", d.as_secs_f64()) }
             }
         };
-        Some(CachedResult { verdict, complete: v.complete, elapsed: v.stats.elapsed })
+        Some(CachedResult {
+            verdict,
+            complete: v.complete,
+            elapsed: v.stats.elapsed,
+            profile: v.stats.profile.clone(),
+        })
     }
 
     fn to_json(&self) -> Json {
@@ -132,6 +145,19 @@ impl CachedResult {
         }
         pairs.push(("complete", Json::from(self.complete)));
         pairs.push(("elapsed_s", Json::from(self.elapsed.as_secs_f64())));
+        let p = &self.profile;
+        pairs.push((
+            "profile",
+            Json::obj([
+                ("canon_ns", Json::from(p.canon_ns)),
+                ("intern_ns", Json::from(p.intern_ns)),
+                ("expand_ns", Json::from(p.expand_ns)),
+                ("eval_ns", Json::from(p.eval_ns)),
+                ("visit_ns", Json::from(p.visit_ns)),
+                ("intern_hits", Json::from(p.intern_hits)),
+                ("intern_misses", Json::from(p.intern_misses)),
+            ]),
+        ));
         Json::obj(pairs)
     }
 
@@ -145,10 +171,28 @@ impl CachedResult {
             "unknown" => CachedVerdict::Unknown { budget: v.get("budget")?.as_str()?.to_string() },
             _ => return None,
         };
+        // entries written before profiles were persisted have no
+        // "profile" object; they read back with a zeroed profile
+        let profile = v
+            .get("profile")
+            .map(|p| {
+                let ns = |field: &str| p.get(field).and_then(Json::as_u64).unwrap_or(0);
+                SearchProfile {
+                    canon_ns: ns("canon_ns"),
+                    intern_ns: ns("intern_ns"),
+                    expand_ns: ns("expand_ns"),
+                    eval_ns: ns("eval_ns"),
+                    visit_ns: ns("visit_ns"),
+                    intern_hits: ns("intern_hits"),
+                    intern_misses: ns("intern_misses"),
+                }
+            })
+            .unwrap_or_default();
         Some(CachedResult {
             verdict,
             complete: v.get("complete")?.as_bool()?,
             elapsed: Duration::from_secs_f64(v.get("elapsed_s")?.as_f64()?.max(0.0)),
+            profile,
         })
     }
 }
@@ -175,7 +219,8 @@ impl MemCache {
         Some(result.clone())
     }
 
-    fn insert(&mut self, key: &str, result: CachedResult) {
+    /// Insert, returning whether an LRU entry was evicted to make room.
+    fn insert(&mut self, key: &str, result: CachedResult) -> bool {
         self.tick += 1;
         self.entries.insert(key.to_string(), (result, self.tick));
         if self.cap > 0 && self.entries.len() > self.cap {
@@ -183,9 +228,20 @@ impl MemCache {
                 self.entries.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| k.clone())
             {
                 self.entries.remove(&oldest);
+                return true;
             }
         }
+        false
     }
+}
+
+/// Hit/miss/eviction counters the cache feeds (see
+/// [`crate::metrics::SvcMetrics`]).
+#[derive(Clone)]
+pub struct CacheMetrics {
+    pub hits: Arc<Counter>,
+    pub misses: Arc<Counter>,
+    pub evictions: Arc<Counter>,
 }
 
 /// In-memory LRU result cache with an optional on-disk mirror (one
@@ -196,6 +252,7 @@ impl MemCache {
 pub struct ResultCache {
     mem: Mutex<MemCache>,
     dir: Option<PathBuf>,
+    metrics: Option<CacheMetrics>,
 }
 
 impl ResultCache {
@@ -215,23 +272,51 @@ impl ResultCache {
         ResultCache {
             mem: Mutex::new(MemCache { entries: HashMap::new(), tick: 0, cap: mem_entries }),
             dir,
+            metrics: None,
         }
     }
 
+    /// Feed hit/miss/eviction counts into `metrics` from now on.
+    pub fn with_metrics(mut self, metrics: CacheMetrics) -> ResultCache {
+        self.metrics = Some(metrics);
+        self
+    }
+
     pub fn get(&self, key: &str) -> Option<CachedResult> {
+        let result = self.lookup(key);
+        if let Some(m) = &self.metrics {
+            if result.is_some() {
+                m.hits.inc();
+            } else {
+                m.misses.inc();
+            }
+        }
+        result
+    }
+
+    fn lookup(&self, key: &str) -> Option<CachedResult> {
         if let Some(hit) = self.mem.lock().unwrap().touch(key) {
             return Some(hit);
         }
         let dir = self.dir.as_ref()?;
         let text = std::fs::read_to_string(dir.join(format!("{key}.json"))).ok()?;
         let result = CachedResult::from_json(&json::parse(&text).ok()?)?;
-        self.mem.lock().unwrap().insert(key, result.clone());
+        self.insert_mem(key, result.clone());
         Some(result)
+    }
+
+    fn insert_mem(&self, key: &str, result: CachedResult) {
+        let evicted = self.mem.lock().unwrap().insert(key, result);
+        if evicted {
+            if let Some(m) = &self.metrics {
+                m.evictions.inc();
+            }
+        }
     }
 
     /// Insert into memory and (best-effort) onto disk.
     pub fn put(&self, key: &str, result: &CachedResult) {
-        self.mem.lock().unwrap().insert(key, result.clone());
+        self.insert_mem(key, result.clone());
         if let Some(dir) = &self.dir {
             let path = dir.join(format!("{key}.json"));
             let tmp = dir.join(format!("{key}.json.tmp"));
@@ -356,6 +441,7 @@ mod tests {
             verdict: CachedVerdict::Violated { steps: 7, cycle_start: 2 },
             complete: true,
             elapsed: Duration::from_millis(120),
+            profile: SearchProfile { expand_ns: 42, intern_misses: 3, ..Default::default() },
         };
         assert!(cache.get("k").is_none());
         cache.put("k", &result);
@@ -370,6 +456,15 @@ mod tests {
             verdict: CachedVerdict::Unknown { budget: "steps:100".to_string() },
             complete: false,
             elapsed: Duration::from_secs(1),
+            profile: SearchProfile {
+                canon_ns: 1,
+                intern_ns: 2,
+                expand_ns: 3,
+                eval_ns: 4,
+                visit_ns: 5,
+                intern_hits: 6,
+                intern_misses: 7,
+            },
         };
         {
             let cache = ResultCache::with_dir(dir.clone()).unwrap();
@@ -386,7 +481,34 @@ mod tests {
             verdict: CachedVerdict::Violated { steps: tag, cycle_start: 0 },
             complete: true,
             elapsed: Duration::from_millis(1),
+            profile: SearchProfile::default(),
         }
+    }
+
+    #[test]
+    fn records_without_a_profile_read_back_zeroed() {
+        // a disk entry written before profiles were persisted
+        let old = r#"{"verdict":"holds","complete":true,"elapsed_s":0.5}"#;
+        let parsed = CachedResult::from_json(&json::parse(old).unwrap()).unwrap();
+        assert_eq!(parsed.verdict, CachedVerdict::Holds);
+        assert!(parsed.profile.is_zero());
+    }
+
+    #[test]
+    fn metrics_count_hits_misses_and_evictions() {
+        let metrics = CacheMetrics {
+            hits: Arc::new(Counter::default()),
+            misses: Arc::new(Counter::default()),
+            evictions: Arc::new(Counter::default()),
+        };
+        let cache = ResultCache::bounded(1, None).with_metrics(metrics.clone());
+        assert!(cache.get("a").is_none());
+        cache.put("a", &result(1));
+        assert!(cache.get("a").is_some());
+        cache.put("b", &result(2)); // cap 1: evicts a
+        assert_eq!(metrics.hits.get(), 1);
+        assert_eq!(metrics.misses.get(), 1);
+        assert_eq!(metrics.evictions.get(), 1);
     }
 
     #[test]

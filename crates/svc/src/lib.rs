@@ -14,17 +14,22 @@
 //! * [`batch`] — the `wave batch <jobs.jsonl>` front-end.
 //! * [`server`] — the `wave serve` line-JSON TCP front-end.
 //! * [`json`] — the dependency-free JSON model they all share.
+//! * [`metrics`] — the service metrics bundle ([`SvcMetrics`]) backed by
+//!   a [`wave_obs::MetricsRegistry`], exposed over the socket
+//!   (`{"cmd":"metrics"}`) and an optional Prometheus listener.
 
 pub mod batch;
 pub mod cache;
 pub mod json;
+pub mod metrics;
 pub mod scheduler;
 pub mod server;
 pub mod service;
 
 pub use batch::{render_records, run_batch, summary};
-pub use cache::{fingerprint, CachedResult, CachedVerdict, ResultCache};
+pub use cache::{fingerprint, CacheMetrics, CachedResult, CachedVerdict, ResultCache};
 pub use json::{parse as parse_json, Json, JsonError};
+pub use metrics::SvcMetrics;
 pub use scheduler::{check_parallel, run_prepared, ParallelOptions};
 pub use server::{Server, ServerConfig};
 pub use service::{lookup_suite, parse_options, JobRecord, ServiceConfig, VerifyService};

@@ -1,0 +1,140 @@
+//! Service-level metrics: the typed handle bundle every svc subsystem
+//! shares.
+//!
+//! One [`SvcMetrics`] is created per service (or per `wave serve`
+//! process) and threaded by `Arc` into the scheduler, the result cache,
+//! and the TCP front-end. The instruments live in a
+//! [`wave_obs::MetricsRegistry`], so the same state renders two ways:
+//! line-JSON for the `{"cmd":"metrics"}` socket command
+//! ([`SvcMetrics::to_json`]) and Prometheus text exposition for the
+//! optional `--metrics-addr` scrape listener
+//! ([`wave_obs::render_prometheus`]).
+
+use crate::json::Json;
+use std::sync::Arc;
+use wave_obs::{Counter, Gauge, Histogram, MetricKind, MetricsRegistry};
+
+/// Typed handles into the service's metrics registry. Field order is
+/// registration order, which is also the exposition order.
+pub struct SvcMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Checks started (fresh runs, not cache hits).
+    pub checks_total: Arc<Counter>,
+    /// Checks currently running on the scheduler.
+    pub checks_inflight: Arc<Gauge>,
+    /// Result-cache lookups that were served from memory or disk.
+    pub cache_hits: Arc<Counter>,
+    /// Result-cache lookups that missed both tiers.
+    pub cache_misses: Arc<Counter>,
+    /// Entries evicted from the in-memory LRU tier.
+    pub cache_evictions: Arc<Counter>,
+    /// Work items waiting for a scheduler worker.
+    pub queue_depth: Arc<Gauge>,
+    /// Wall-time per scheduler work unit (one core-range scan), ns.
+    pub unit_latency_ns: Arc<Histogram>,
+    /// Open `wave serve` connections.
+    pub connections_active: Arc<Gauge>,
+    /// Request lines processed by the server.
+    pub requests_total: Arc<Counter>,
+}
+
+impl std::fmt::Debug for SvcMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SvcMetrics")
+            .field("checks_total", &self.checks_total.get())
+            .field("checks_inflight", &self.checks_inflight.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SvcMetrics {
+    pub fn new() -> Arc<SvcMetrics> {
+        let registry = Arc::new(MetricsRegistry::new());
+        Arc::new(SvcMetrics {
+            checks_total: registry
+                .counter("wave_checks_total", "Verification checks started (cache hits excluded)"),
+            checks_inflight: registry
+                .gauge("wave_checks_inflight", "Verification checks currently running"),
+            cache_hits: registry
+                .counter("wave_cache_hits_total", "Result cache hits (memory or disk tier)"),
+            cache_misses: registry.counter("wave_cache_misses_total", "Result cache misses"),
+            cache_evictions: registry
+                .counter("wave_cache_evictions_total", "Entries evicted from the memory tier"),
+            queue_depth: registry
+                .gauge("wave_scheduler_queue_depth", "Work items waiting for a scheduler worker"),
+            unit_latency_ns: registry
+                .histogram("wave_unit_latency_ns", "Scheduler work-unit wall time (ns)"),
+            connections_active: registry
+                .gauge("wave_connections_active", "Open wave serve connections"),
+            requests_total: registry
+                .counter("wave_requests_total", "Request lines processed by wave serve"),
+            registry,
+        })
+    }
+
+    /// The backing registry (for Prometheus exposition).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Snapshot as a JSON object: counters and gauges as numbers,
+    /// histograms as `{"count":…,"sum":…}` objects.
+    pub fn to_json(&self) -> Json {
+        let pairs = self
+            .registry
+            .snapshot()
+            .into_iter()
+            .map(|snap| {
+                let value = match snap.kind {
+                    MetricKind::Counter => Json::from(snap.value),
+                    MetricKind::Gauge => Json::from(snap.gauge as f64),
+                    MetricKind::Histogram => Json::obj([
+                        ("count", Json::from(snap.hist_count)),
+                        ("sum", Json::from(snap.hist_sum)),
+                    ]),
+                };
+                (snap.name, value)
+            })
+            .collect();
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_snapshot_has_every_instrument() {
+        let m = SvcMetrics::new();
+        m.checks_total.inc();
+        m.checks_inflight.set(2);
+        m.unit_latency_ns.observe(1_000);
+        let json = m.to_json();
+        assert_eq!(json.get("wave_checks_total").unwrap().as_u64(), Some(1));
+        assert_eq!(json.get("wave_checks_inflight").unwrap().as_f64(), Some(2.0));
+        let hist = json.get("wave_unit_latency_ns").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(hist.get("sum").unwrap().as_u64(), Some(1_000));
+        for name in [
+            "wave_cache_hits_total",
+            "wave_cache_misses_total",
+            "wave_cache_evictions_total",
+            "wave_scheduler_queue_depth",
+            "wave_connections_active",
+            "wave_requests_total",
+        ] {
+            assert!(json.get(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn prometheus_render_covers_the_registry() {
+        let m = SvcMetrics::new();
+        m.requests_total.add(7);
+        let text = wave_obs::render_prometheus(m.registry());
+        assert!(text.contains("# TYPE wave_requests_total counter"), "{text}");
+        assert!(text.contains("wave_requests_total 7"), "{text}");
+        assert!(text.contains("# TYPE wave_unit_latency_ns histogram"), "{text}");
+    }
+}

@@ -25,9 +25,10 @@
 //! deterministic for clean runs; under early cancellation the amount of
 //! sibling work already done depends on timing.
 
+use crate::metrics::SvcMetrics;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wave_core::{
     Budget, CancelToken, PreparedCheck, SearchLimits, SearchResult, Stats, UnitOutcome, Verdict,
@@ -43,6 +44,9 @@ pub struct ParallelOptions {
     /// Split large units into core sub-ranges when there are fewer units
     /// than workers.
     pub split_units: bool,
+    /// When set, the scheduler feeds its queue-depth gauge and per-unit
+    /// latency histogram (see [`SvcMetrics`]).
+    pub metrics: Option<Arc<SvcMetrics>>,
 }
 
 impl ParallelOptions {
@@ -54,7 +58,7 @@ impl ParallelOptions {
 impl Default for ParallelOptions {
     fn default() -> ParallelOptions {
         let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        ParallelOptions { jobs, split_units: true }
+        ParallelOptions { jobs, split_units: true, metrics: None }
     }
 }
 
@@ -158,6 +162,10 @@ pub fn run_prepared(
         tokens.push(check_tokens);
     }
     let order = execution_order(&items);
+    let metrics = popts.metrics.as_deref();
+    if let Some(m) = metrics {
+        m.queue_depth.add(items.len() as i64);
+    }
 
     let states = Mutex::new(
         checks
@@ -198,6 +206,10 @@ pub fn run_prepared(
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         let Some(&idx) = order.get(i) else { break };
         let item = &items[idx];
+        // picked up by a worker: no longer queued
+        if let Some(m) = metrics {
+            m.queue_depth.dec();
+        }
         let skip = {
             let states = states.lock().unwrap();
             states[item.check].best < item.ordinal
@@ -218,7 +230,11 @@ pub fn run_prepared(
             time_limit: options.time_limit,
             cancel: Some(tokens[item.check][item.ordinal].clone()),
         };
+        let t0 = Instant::now();
         let outcome = checks[item.check].run_unit(item.unit, item.cores.clone(), &limits);
+        if let Some(m) = metrics {
+            m.unit_latency_ns.observe(t0.elapsed().as_nanos() as u64);
+        }
         record(item, outcome);
     };
 
@@ -321,7 +337,7 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_verdicts() {
         let verifier = shop();
-        let popts = ParallelOptions { jobs: 4, split_units: true };
+        let popts = ParallelOptions { jobs: 4, ..ParallelOptions::default() };
         for text in [
             "forall x: G (cart(x) -> F cart(x))",
             "forall x: G !cart(x)",
@@ -342,7 +358,7 @@ mod tests {
         let seq = verifier.check(&prop).unwrap();
         for jobs in [1, 2, 4] {
             let par =
-                check_parallel(&verifier, &prop, &ParallelOptions { jobs, split_units: true })
+                check_parallel(&verifier, &prop, &ParallelOptions { jobs, ..Default::default() })
                     .unwrap();
             assert!(par.verdict.holds());
             assert_eq!(seq.stats.cores, par.stats.cores, "jobs={jobs}");
@@ -360,6 +376,20 @@ mod tests {
         let prop = parse_property("G !@B").unwrap();
         let v = check_parallel(&verifier, &prop, &ParallelOptions::with_jobs(2)).unwrap();
         assert!(matches!(v.verdict, Verdict::Unknown(Budget::Cancelled)), "{:?}", v.verdict);
+    }
+
+    #[test]
+    fn scheduler_feeds_metrics() {
+        let metrics = crate::metrics::SvcMetrics::new();
+        let verifier = shop();
+        let prop = parse_property("G (@B -> X @A)").unwrap();
+        let popts =
+            ParallelOptions { jobs: 2, metrics: Some(Arc::clone(&metrics)), ..Default::default() };
+        let v = check_parallel(&verifier, &prop, &popts).unwrap();
+        assert!(v.verdict.holds());
+        assert_eq!(metrics.queue_depth.get(), 0, "every queued item was picked up");
+        assert!(metrics.unit_latency_ns.count() > 0, "unit latencies were observed");
+        assert!(metrics.unit_latency_ns.sum() > 0, "unit latencies are nonzero wall time");
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! JSON response line per request, in order.
 //!
 //! * `{"cmd":"ping"}` → `{"ok":true,"pong":true}`
+//! * `{"cmd":"metrics"}` → `{"ok":true,"metrics":{…instrument name →
+//!   value…}}` (see [`crate::metrics::SvcMetrics::to_json`]),
 //! * `{"cmd":"shutdown"}` → `{"ok":true,"bye":true}`, then the server
 //!   stops accepting and `run` returns once in-flight handlers finish,
 //! * any job object (see [`crate::service`]) →
@@ -14,6 +16,10 @@
 //! The accept loop is bounded: at most `max_connections` handler threads
 //! run at once, further clients queue in the OS backlog. Each connection
 //! gets a read timeout so an idle client cannot pin a handler slot.
+//!
+//! With [`ServerConfig::metrics_addr`] set, a second listener serves the
+//! same metrics as Prometheus text exposition (`GET /metrics`) for
+//! scraping; see [`wave_obs::MetricsServer`].
 
 use crate::json::{self, Json};
 use crate::service::VerifyService;
@@ -44,6 +50,9 @@ pub struct ServerConfig {
     pub cache_gc_age: Option<Duration>,
     /// Startup GC: shrink the disk cache below this many bytes.
     pub cache_gc_bytes: Option<u64>,
+    /// Bind a Prometheus text-exposition listener here (e.g.
+    /// `127.0.0.1:9090`); `None` disables it.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +67,7 @@ impl Default for ServerConfig {
             cache_mem_entries: crate::cache::DEFAULT_MEM_ENTRIES,
             cache_gc_age: None,
             cache_gc_bytes: None,
+            metrics_addr: None,
         }
     }
 }
@@ -68,10 +78,13 @@ pub struct Server {
     svc: Arc<VerifyService>,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
+    metrics_listener: Option<wave_obs::MetricsServer>,
 }
 
 impl Server {
     /// Bind the listener and build the service (cache directory included).
+    /// When `metrics_addr` is set the Prometheus listener is bound here
+    /// too, so bind errors surface before the server starts.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let svc = Arc::new(VerifyService::new(crate::service::ServiceConfig {
@@ -82,7 +95,19 @@ impl Server {
             cache_gc_age: config.cache_gc_age,
             cache_gc_bytes: config.cache_gc_bytes,
         })?);
-        Ok(Server { listener, svc, config, shutdown: Arc::new(AtomicBool::new(false)) })
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => {
+                Some(wave_obs::MetricsServer::bind(addr, Arc::clone(svc.metrics().registry()))?)
+            }
+            None => None,
+        };
+        Ok(Server {
+            listener,
+            svc,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            metrics_listener,
+        })
     }
 
     /// The actually bound address (resolves port 0).
@@ -90,9 +115,18 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The bound Prometheus listener address, when `metrics_addr` was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener.as_ref().and_then(|m| m.local_addr().ok())
+    }
+
     /// Accept and serve until a `shutdown` request arrives.
-    pub fn run(self) -> io::Result<()> {
+    pub fn run(mut self) -> io::Result<()> {
         let local = self.local_addr()?;
+        if let Some(metrics) = self.metrics_listener.take() {
+            // scrape listener: detached; exits with the process
+            metrics.spawn();
+        }
         // (active handler count, all-idle signal): the bounded queue
         let slots = Arc::new((Mutex::new(0usize), Condvar::new()));
         loop {
@@ -156,6 +190,9 @@ fn handle_connection(
     local: SocketAddr,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(timeout))?;
+    svc.metrics().connections_active.inc();
+    // dec on every exit path, including `?` returns
+    let _guard = ConnectionGuard(svc);
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -164,6 +201,7 @@ fn handle_connection(
         if line.is_empty() {
             continue;
         }
+        svc.metrics().requests_total.inc();
         let (response, stop) = process(svc, line);
         writer.write_all(format!("{response}\n").as_bytes())?;
         writer.flush()?;
@@ -175,6 +213,14 @@ fn handle_connection(
         }
     }
     Ok(())
+}
+
+struct ConnectionGuard<'a>(&'a VerifyService);
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.metrics().connections_active.dec();
+    }
 }
 
 /// Handle one request line; the flag is true for `shutdown`.
@@ -190,6 +236,9 @@ fn process(svc: &VerifyService, line: &str) -> (Json, bool) {
     };
     match request.get("cmd").and_then(Json::as_str) {
         Some("ping") => (Json::obj([("ok", Json::from(true)), ("pong", Json::from(true))]), false),
+        Some("metrics") => {
+            (Json::obj([("ok", Json::from(true)), ("metrics", svc.metrics().to_json())]), false)
+        }
         Some("shutdown") => {
             (Json::obj([("ok", Json::from(true)), ("bye", Json::from(true))]), true)
         }
@@ -246,6 +295,13 @@ mod tests {
 
         let garbage = send(&mut client, "not json");
         assert_eq!(garbage.get("ok").and_then(Json::as_bool), Some(false));
+
+        let metrics = send(&mut client, r#"{"cmd":"metrics"}"#);
+        assert_eq!(metrics.get("ok").and_then(Json::as_bool), Some(true));
+        let metrics = metrics.get("metrics").unwrap();
+        assert_eq!(metrics.get("wave_checks_total").and_then(Json::as_u64), Some(1));
+        assert!(metrics.get("wave_requests_total").and_then(Json::as_u64).unwrap() >= 3);
+        assert_eq!(metrics.get("wave_connections_active").and_then(Json::as_f64), Some(1.0));
 
         let bye = send(&mut client, r#"{"cmd":"shutdown"}"#);
         assert_eq!(bye.get("bye").and_then(Json::as_bool), Some(true));

@@ -7,11 +7,13 @@
 //! [`crate::cache`] first, and renders records as JSON objects shared by
 //! `wave batch`, `wave serve`, and `wave check --json`.
 
-use crate::cache::{fingerprint, gc_dir, CachedResult, CachedVerdict, ResultCache};
+use crate::cache::{fingerprint, gc_dir, CacheMetrics, CachedResult, CachedVerdict, ResultCache};
 use crate::json::Json;
+use crate::metrics::SvcMetrics;
 use crate::scheduler::{self, ParallelOptions};
 use std::io;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 use wave_apps::AppSuite;
 use wave_core::{Budget, Stats, Verdict, Verification, Verifier, VerifyOptions};
@@ -107,7 +109,8 @@ impl JobRecord {
     }
 
     /// Record for a cache hit: verdict fields match the original run,
-    /// search counters are zero (`stats.cores == 0` marks the hit).
+    /// search counters are zero (`stats.cores == 0` marks the hit), but
+    /// the search profile is the one persisted from the original run.
     pub fn from_cached(name: &str, hit: &CachedResult) -> JobRecord {
         let (verdict, budget, ce) = match &hit.verdict {
             CachedVerdict::Holds => ("holds", None, None),
@@ -124,7 +127,7 @@ impl JobRecord {
             cached: true,
             budget,
             ce,
-            stats: Stats::default(),
+            stats: Stats { profile: hit.profile.clone(), ..Stats::default() },
         }
     }
 
@@ -145,8 +148,10 @@ impl JobRecord {
         }
         pairs.push(("complete", Json::from(self.complete)));
         pairs.push(("cached", Json::from(self.cached)));
+        pairs.push(("profile_source", Json::from(if self.cached { "cached" } else { "fresh" })));
         let profile = &self.stats.profile;
         let ms = |ns: u64| Json::from(ns as f64 / 1e6);
+        let opt = |v: Option<f64>| v.map(Json::from).unwrap_or(Json::Null);
         pairs.push((
             "stats",
             Json::obj([
@@ -166,6 +171,12 @@ impl JobRecord {
                         ("visit_ms", ms(profile.visit_ns)),
                         ("intern_hits", Json::from(profile.intern_hits)),
                         ("intern_misses", Json::from(profile.intern_misses)),
+                        ("intern_hit_rate", opt(profile.intern_hit_rate())),
+                        ("canon_pct", opt(profile.pct(profile.canon_ns))),
+                        ("intern_pct", opt(profile.pct(profile.intern_ns))),
+                        ("expand_pct", opt(profile.pct(profile.expand_ns))),
+                        ("eval_pct", opt(profile.pct(profile.eval_ns))),
+                        ("visit_pct", opt(profile.pct(profile.visit_ns))),
                     ]),
                 ),
             ]),
@@ -178,10 +189,17 @@ impl JobRecord {
 pub struct VerifyService {
     popts: ParallelOptions,
     cache: Option<ResultCache>,
+    metrics: Arc<SvcMetrics>,
 }
 
 impl VerifyService {
     pub fn new(config: ServiceConfig) -> io::Result<VerifyService> {
+        let metrics = SvcMetrics::new();
+        let cache_metrics = CacheMetrics {
+            hits: Arc::clone(&metrics.cache_hits),
+            misses: Arc::clone(&metrics.cache_misses),
+            evictions: Arc::clone(&metrics.cache_evictions),
+        };
         let cache = if !config.use_cache {
             None
         } else {
@@ -191,12 +209,25 @@ impl VerifyService {
                     if config.cache_gc_age.is_some() || config.cache_gc_bytes.is_some() {
                         gc_dir(&dir, config.cache_gc_age, config.cache_gc_bytes)?;
                     }
-                    Some(ResultCache::bounded(config.cache_mem_entries, Some(dir)))
+                    Some(
+                        ResultCache::bounded(config.cache_mem_entries, Some(dir))
+                            .with_metrics(cache_metrics),
+                    )
                 }
-                None => Some(ResultCache::bounded(config.cache_mem_entries, None)),
+                None => Some(
+                    ResultCache::bounded(config.cache_mem_entries, None)
+                        .with_metrics(cache_metrics),
+                ),
             }
         };
-        Ok(VerifyService { popts: ParallelOptions::with_jobs(config.jobs), cache })
+        let mut popts = ParallelOptions::with_jobs(config.jobs);
+        popts.metrics = Some(Arc::clone(&metrics));
+        Ok(VerifyService { popts, cache, metrics })
+    }
+
+    /// The service metrics bundle (shared with the scheduler and cache).
+    pub fn metrics(&self) -> &Arc<SvcMetrics> {
+        &self.metrics
     }
 
     /// Run one JSON job request, producing one record per property (a
@@ -270,7 +301,11 @@ impl VerifyService {
             Ok(p) => p,
             Err(e) => return JobRecord::error(name, format!("property: {e}")),
         };
-        match scheduler::check_parallel(&verifier, &prop, &self.popts) {
+        self.metrics.checks_total.inc();
+        self.metrics.checks_inflight.inc();
+        let result = scheduler::check_parallel(&verifier, &prop, &self.popts);
+        self.metrics.checks_inflight.dec();
+        match result {
             Ok(v) => {
                 self.store(&key, &v);
                 JobRecord::from_verification(name, &v)
@@ -338,7 +373,10 @@ impl VerifyService {
                     Err(e) => records[i] = Some(JobRecord::error(&name, e)),
                 }
             }
+            self.metrics.checks_total.add(prepared.len() as u64);
+            self.metrics.checks_inflight.add(prepared.len() as i64);
             let results = scheduler::run_prepared(verifier.options(), &prepared, &self.popts);
+            self.metrics.checks_inflight.add(-(prepared.len() as i64));
             for ((i, key), result) in scheduled.into_iter().zip(results) {
                 let name = format!("{}/{}", suite.name, cases[i].name);
                 records[i] = Some(match result {
@@ -478,7 +516,7 @@ mod tests {
     }
 
     #[test]
-    fn fresh_runs_report_profile_and_cache_hits_zero_it() {
+    fn cache_hits_return_the_original_profile() {
         let svc = service();
         let request = Json::obj([("spec", Json::from(MINI)), ("property", Json::from("F @B"))]);
         let fresh = &svc.run_request(&request, "a")[0];
@@ -488,19 +526,66 @@ mod tests {
             "a real search interns configurations: {:?}",
             fresh.stats.profile
         );
-        let profile = fresh.to_json();
-        let profile = profile.get("stats").unwrap().get("profile").unwrap();
+        let json = fresh.to_json();
+        assert_eq!(json.get("profile_source").unwrap().as_str(), Some("fresh"));
+        let profile = json.get("stats").unwrap().get("profile").unwrap();
         for field in ["canon_ms", "intern_ms", "expand_ms", "eval_ms", "visit_ms"] {
             assert!(profile.get(field).unwrap().as_f64().is_some(), "{field} missing");
         }
 
         let hit = &svc.run_request(&request, "b")[0];
         assert!(hit.cached);
-        assert!(hit.stats.profile.is_zero(), "cache hits do no search: {:?}", hit.stats.profile);
+        assert_eq!(
+            hit.stats.profile, fresh.stats.profile,
+            "cache hits report the profile persisted from the original run"
+        );
+        assert_eq!(hit.stats.cores, 0, "…but the hit itself does no search");
         let json = hit.to_json();
+        assert_eq!(json.get("profile_source").unwrap().as_str(), Some("cached"));
         let profile = json.get("stats").unwrap().get("profile").unwrap();
-        assert_eq!(profile.get("intern_misses").unwrap().as_u64(), Some(0));
-        assert_eq!(profile.get("expand_ms").unwrap().as_f64(), Some(0.0));
+        assert_eq!(
+            profile.get("intern_misses").unwrap().as_u64(),
+            Some(fresh.stats.profile.intern_misses)
+        );
+    }
+
+    #[test]
+    fn profile_json_derives_hit_rate_and_percentages() {
+        let svc = service();
+        let request = Json::obj([("spec", Json::from(MINI)), ("property", Json::from("F @B"))]);
+        let record = &svc.run_request(&request, "a")[0];
+        let json = record.to_json();
+        let profile = json.get("stats").unwrap().get("profile").unwrap();
+        let p = &record.stats.profile;
+        let rate = profile.get("intern_hit_rate").unwrap().as_f64().unwrap();
+        assert!((rate - p.intern_hit_rate().unwrap()).abs() < 1e-12);
+        let mut pct_sum = 0.0;
+        for field in ["intern_pct", "expand_pct", "eval_pct", "visit_pct"] {
+            pct_sum += profile.get(field).unwrap().as_f64().unwrap();
+        }
+        assert!((pct_sum - 100.0).abs() < 1e-6, "disjoint phases sum to 100%: {pct_sum}");
+
+        // a zeroed profile renders the derived fields as null
+        let empty = JobRecord::error("e", "boom").to_json();
+        let profile = empty.get("stats").unwrap().get("profile").unwrap();
+        assert_eq!(profile.get("intern_hit_rate"), Some(&Json::Null));
+        assert_eq!(profile.get("expand_pct"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn service_metrics_move_with_checks() {
+        let svc = service();
+        let request = Json::obj([("spec", Json::from(MINI)), ("property", Json::from("G !@B"))]);
+        svc.run_request(&request, "a");
+        let m = svc.metrics();
+        assert_eq!(m.checks_total.get(), 1);
+        assert_eq!(m.checks_inflight.get(), 0);
+        assert_eq!(m.cache_misses.get(), 1);
+        assert_eq!(m.cache_hits.get(), 0);
+        svc.run_request(&request, "b");
+        assert_eq!(m.checks_total.get(), 1, "cache hits start no check");
+        assert_eq!(m.cache_hits.get(), 1);
+        assert!(m.unit_latency_ns.count() > 0, "scheduler observed unit latencies");
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         Some("fmt") => cmd_fmt(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             ExitCode::from(2)
@@ -63,6 +64,8 @@ usage:
   wave batch <jobs.jsonl> [--jobs <n>] [cache options]
   wave serve --addr <host:port> [--jobs <n>] [cache options]
              [--max-connections <n>] [--read-timeout <seconds>]
+             [--metrics-addr <host:port>]
+  wave trace summarize <trace.jsonl> [--top <k>]
 
 check options:
   --max-steps <n>         configuration budget
@@ -75,6 +78,8 @@ check options:
   --byte-keys             byte-keyed visit sets (interning ablation baseline)
   --jobs <n>              verify on an n-worker pool (wave-svc scheduler)
   --json                  print one JSON result record (batch format)
+  --trace-out <file>      stream a JSONL search trace (sequential only;
+                          summarize it with `wave trace summarize`)
   --no-replay             skip counterexample re-validation
   --quiet                 print the verdict only
 
@@ -84,6 +89,9 @@ cache options (batch and serve):
   --cache-mem-entries <n> in-memory entry bound (default 256; 0 = unbounded)
   --cache-gc-days <d>     startup GC: drop disk entries older than d days
   --cache-gc-mb <m>       startup GC: shrink the disk cache below m MiB
+
+serve: --metrics-addr binds a Prometheus text-exposition listener
+(scrape GET /metrics); the socket itself answers {\"cmd\":\"metrics\"}
 
 batch: one JSON job per input line, one JSON record per property on
 stdout; e.g. {\"suite\":\"E1\"}, {\"suite\":\"E1\",\"property\":\"P5\"}, or
@@ -166,6 +174,7 @@ fn cmd_check(rest: &[String]) -> ExitCode {
     let no_replay = take_flag(&mut args, "--no-replay");
     let quiet = take_flag(&mut args, "--quiet");
     let json_out = take_flag(&mut args, "--json");
+    let trace_out = take_value(&mut args, "--trace-out");
     let jobs = match take_value(&mut args, "--jobs") {
         Some(n) => match n.parse::<usize>() {
             Ok(n) if n >= 1 => Some(n),
@@ -176,6 +185,10 @@ fn cmd_check(rest: &[String]) -> ExitCode {
         },
         None => None,
     };
+    if trace_out.is_some() && jobs.is_some() {
+        eprintln!("--trace-out traces the sequential search; it does not combine with --jobs");
+        return ExitCode::from(2);
+    }
     let [path] = args.as_slice() else {
         eprintln!("check needs exactly one spec file, got {args:?}");
         return ExitCode::from(2);
@@ -202,11 +215,13 @@ fn cmd_check(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let run = match jobs {
-        Some(n) => {
+    let run = match (&trace_out, jobs) {
+        (Some(out), _) => run_traced(&verifier, &property, out),
+        (None, Some(n)) => {
             wave_svc::check_parallel(&verifier, &property, &wave_svc::ParallelOptions::with_jobs(n))
+                .map_err(|e| e.to_string())
         }
-        None => verifier.check(&property),
+        (None, None) => verifier.check(&property).map_err(|e| e.to_string()),
     };
     let v = match run {
         Ok(v) => v,
@@ -280,6 +295,42 @@ fn cmd_check(rest: &[String]) -> ExitCode {
             ExitCode::from(3)
         }
     }
+}
+
+/// How many trailing events the `--trace-out` flight recorder keeps for
+/// the stderr dump on budget exhaustion or panic.
+const FLIGHT_RECORDER_CAPACITY: usize = 256;
+
+/// Run one check with a JSONL tracer streaming to `out` and a flight
+/// recorder watching the tail. The recorder is dumped to stderr when the
+/// search dies (panic) or gives up (budget exhausted) — the last events
+/// before the end are exactly what a bug report needs.
+fn run_traced(
+    verifier: &Verifier,
+    property: &wave::ltl::Property,
+    out: &str,
+) -> Result<wave::Verification, String> {
+    let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut tracer = wave::core::Tee(
+        wave::core::JsonlTracer::new(std::io::BufWriter::new(file)),
+        wave::core::FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+    );
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        verifier.check_traced(property, &mut tracer)
+    }));
+    let wave::core::Tee(jsonl, recorder) = tracer;
+    let v = match run {
+        Ok(result) => result.map_err(|e| e.to_string())?,
+        Err(panic) => {
+            eprintln!("search panicked; flight recorder tail:\n{}", recorder.dump());
+            std::panic::resume_unwind(panic);
+        }
+    };
+    jsonl.finish().map_err(|e| format!("write {out}: {e}"))?;
+    if let Verdict::Unknown(b) = &v.verdict {
+        eprintln!("budget exhausted ({b:?}); flight recorder tail:\n{}", recorder.dump());
+    }
+    Ok(v)
 }
 
 fn cmd_validate(rest: &[String]) -> ExitCode {
@@ -445,6 +496,7 @@ fn cmd_serve(rest: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
     config.addr = addr;
+    config.metrics_addr = take_value(&mut args, "--metrics-addr");
     if let Some(n) = take_value(&mut args, "--max-connections") {
         match n.parse::<usize>() {
             Ok(n) if n >= 1 => config.max_connections = n,
@@ -481,6 +533,9 @@ fn cmd_serve(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("wave serve: Prometheus metrics on http://{addr}/metrics");
+    }
     match server.run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -488,6 +543,114 @@ fn cmd_serve(rest: &[String]) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+fn cmd_trace(rest: &[String]) -> ExitCode {
+    match rest.first().map(String::as_str) {
+        Some("summarize") => cmd_trace_summarize(&rest[1..]),
+        _ => {
+            eprintln!("usage: wave trace summarize <trace.jsonl> [--top <k>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Summarize a `--trace-out` JSONL file: event counts, an expansion
+/// depth histogram, and the top-k most expensive expansions.
+fn cmd_trace_summarize(rest: &[String]) -> ExitCode {
+    let mut args = rest.to_vec();
+    let top_k = match take_value(&mut args, "--top") {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--top needs a positive integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => 5,
+    };
+    let [path] = args.as_slice() else {
+        eprintln!("trace summarize needs exactly one trace.jsonl file, got {args:?}");
+        return ExitCode::from(2);
+    };
+    let input = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut counts: Vec<(String, u64)> = Vec::new(); // first-seen order
+    let mut depths: Vec<u64> = Vec::new(); // depth -> expand count
+    let mut expansions: Vec<(u64, u64, u64, u64)> = Vec::new(); // (dur_ns, line, depth, succs)
+    let mut total = 0u64;
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let event = match wave_svc::parse_json(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}:{}: not a JSON event: {e}", lineno + 1);
+                return ExitCode::from(2);
+            }
+        };
+        let version = event.get("v").and_then(wave_svc::Json::as_u64);
+        if version != Some(u64::from(wave::core::TRACE_SCHEMA_VERSION)) {
+            eprintln!(
+                "{path}:{}: trace schema version {version:?}, this wave understands {}",
+                lineno + 1,
+                wave::core::TRACE_SCHEMA_VERSION
+            );
+            return ExitCode::from(2);
+        }
+        let Some(tag) = event.get("ev").and_then(wave_svc::Json::as_str) else {
+            eprintln!("{path}:{}: event without \"ev\" tag", lineno + 1);
+            return ExitCode::from(2);
+        };
+        total += 1;
+        match counts.iter_mut().find(|(t, _)| t == tag) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((tag.to_string(), 1)),
+        }
+        if tag == "expand" {
+            let depth = event.get("depth").and_then(wave_svc::Json::as_u64).unwrap_or(0);
+            let succs = event.get("succs").and_then(wave_svc::Json::as_u64).unwrap_or(0);
+            let dur = event.get("dur_ns").and_then(wave_svc::Json::as_u64).unwrap_or(0);
+            if depths.len() <= depth as usize {
+                depths.resize(depth as usize + 1, 0);
+            }
+            depths[depth as usize] += 1;
+            expansions.push((dur, lineno as u64 + 1, depth, succs));
+        }
+    }
+
+    println!("{total} events in {path}");
+    println!("event counts:");
+    for (tag, n) in &counts {
+        println!("  {tag:<12} {n}");
+    }
+    if !depths.is_empty() {
+        let widest = *depths.iter().max().unwrap();
+        println!("expansion depth histogram:");
+        for (depth, n) in depths.iter().enumerate() {
+            let bar = "#".repeat((n * 40 / widest.max(1)) as usize);
+            println!("  depth {depth:>4}: {n:>8} {bar}");
+        }
+    }
+    if !expansions.is_empty() {
+        expansions.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        println!("top {} expansions by duration:", top_k.min(expansions.len()));
+        for (dur, line, depth, succs) in expansions.iter().take(top_k) {
+            println!(
+                "  line {line:>6}: {:>10.3} ms, depth {depth}, {succs} successors",
+                *dur as f64 / 1e6
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_automaton(rest: &[String]) -> ExitCode {

@@ -168,12 +168,16 @@ fn batch_runs_jobs_and_reuses_the_disk_cache() {
     assert!(lines[1].contains("\"verdict\":\"violated\""), "{}", lines[1]);
     assert!(lines[0].contains("\"cached\":false"), "{}", lines[0]);
 
-    // a second process sees the on-disk cache: same verdicts, no search
+    assert!(lines[0].contains("\"profile_source\":\"fresh\""), "{}", lines[0]);
+
+    // a second process sees the on-disk cache: same verdicts, no search,
+    // but the profile persisted from the original run comes back
     let second = run();
     assert_eq!(second.status.code(), Some(0), "{second:?}");
     for line in String::from_utf8_lossy(&second.stdout).lines() {
         assert!(line.contains("\"cached\":true"), "{line}");
         assert!(line.contains("\"cores\":0"), "{line}");
+        assert!(line.contains("\"profile_source\":\"cached\""), "{line}");
     }
     let verdict = |out: &std::process::Output| -> Vec<String> {
         String::from_utf8_lossy(&out.stdout)
@@ -196,6 +200,62 @@ fn batch_reports_errors_with_exit_two() {
     std::fs::remove_file(&dir).ok();
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     assert!(String::from_utf8_lossy(&out.stdout).contains("\"verdict\":\"error\""), "{out:?}");
+}
+
+#[test]
+fn trace_out_round_trips_through_summarize() {
+    let dir = std::env::temp_dir().join(format!("wave-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.jsonl");
+
+    let out = Command::new(wave_bin())
+        .args([
+            "check",
+            spec_path("e2_motogp.wave").to_str().unwrap(),
+            "--property",
+            "F @HP",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("wave runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(!text.is_empty(), "trace file is empty");
+    for line in text.lines() {
+        assert!(line.starts_with("{\"v\":1,\"ev\":\""), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+
+    let out = Command::new(wave_bin())
+        .args(["trace", "summarize", trace.to_str().unwrap(), "--top", "3"])
+        .output()
+        .expect("wave runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let summary = String::from_utf8_lossy(&out.stdout);
+    assert!(summary.contains("event counts:"), "{summary}");
+    assert!(summary.contains("expand"), "{summary}");
+    assert!(summary.contains("expansion depth histogram:"), "{summary}");
+    assert!(summary.contains("top 3 expansions by duration:"), "{summary}");
+
+    // tracing only instruments the sequential search
+    let out = Command::new(wave_bin())
+        .args([
+            "check",
+            spec_path("e2_motogp.wave").to_str().unwrap(),
+            "--property",
+            "F @HP",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--jobs",
+            "2",
+        ])
+        .output()
+        .expect("wave runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

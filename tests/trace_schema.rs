@@ -1,0 +1,84 @@
+//! Golden-file pin of the JSONL trace schema (version 1).
+//!
+//! DESIGN.md's compatibility rule: within a schema version, fields may
+//! only be *appended* to an event; renaming, reordering, or removing a
+//! field requires bumping `TRACE_SCHEMA_VERSION`. This test turns every
+//! event shape a small E1 search emits into a skeleton — field names in
+//! emission order, values replaced by type placeholders (`N` number,
+//! `B` bool, `S` string) — and compares the sorted skeleton set against
+//! `tests/golden/trace_schema.golden`. If this test fails you have
+//! changed the wire format: either restore it, or bump the version and
+//! regenerate the golden file deliberately.
+
+use wave::apps::e1;
+use wave::core::{JsonlTracer, TRACE_SCHEMA_VERSION};
+use wave::{parse_property, Verifier, VerifyOptions};
+use wave_svc::{parse_json, Json};
+
+/// Reduce one trace line to its schema skeleton.
+fn skeleton(line: &str) -> String {
+    let json = parse_json(line).unwrap_or_else(|e| panic!("bad trace line {line:?}: {e}"));
+    let Json::Obj(pairs) = json else { panic!("trace line is not an object: {line}") };
+    assert_eq!(pairs.first().map(|(k, _)| k.as_str()), Some("v"), "v leads: {line}");
+    assert_eq!(pairs.get(1).map(|(k, _)| k.as_str()), Some("ev"), "ev is second: {line}");
+    assert_eq!(pairs.last().map(|(k, _)| k.as_str()), Some("t_ns"), "t_ns trails: {line}");
+    let fields: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| {
+            let value = match (k.as_str(), v) {
+                // version and tag are part of the schema, keep them
+                ("v", _) | ("ev", _) => v.to_string(),
+                (_, Json::Bool(_)) => "B".to_string(),
+                (_, Json::Str(_)) => "S".to_string(),
+                (_, Json::Num(_)) => "N".to_string(),
+                _ => panic!("unexpected value shape in {line}"),
+            };
+            format!("\"{k}\":{value}")
+        })
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+fn trace_of(verifier: &Verifier, property: &str) -> String {
+    let prop = parse_property(property).unwrap();
+    let mut tracer = JsonlTracer::new(Vec::new());
+    verifier.check_traced(&prop, &mut tracer).expect("check runs");
+    assert!(tracer.take_error().is_none());
+    String::from_utf8(tracer.into_inner()).unwrap()
+}
+
+#[test]
+fn trace_schema_matches_the_golden_file() {
+    assert_eq!(TRACE_SCHEMA_VERSION, 1, "version bump: regenerate the golden file");
+    let suite = e1::suite();
+    let verifier = Verifier::new(suite.spec.clone()).unwrap();
+    // three small runs that together emit every event type: a holding
+    // property, a violated one (cycle), and a budget-exhausted one
+    let mut lines = String::new();
+    lines.push_str(&trace_of(&verifier, &suite.properties[0].text)); // P1, holds
+    let p17 = suite.properties.iter().find(|c| c.name == "P17").unwrap();
+    lines.push_str(&trace_of(&verifier, &p17.text)); // violated: cycle event
+    let tight = Verifier::with_options(
+        suite.spec.clone(),
+        VerifyOptions { max_steps: Some(10), ..VerifyOptions::default() },
+    )
+    .unwrap();
+    lines.push_str(&trace_of(&tight, &suite.properties[0].text)); // budget event
+
+    let mut skeletons: Vec<String> = Vec::new();
+    for line in lines.lines().filter(|l| !l.trim().is_empty()) {
+        let s = skeleton(line);
+        if !skeletons.contains(&s) {
+            skeletons.push(s);
+        }
+    }
+    skeletons.sort();
+    let got = skeletons.join("\n") + "\n";
+    let golden = include_str!("golden/trace_schema.golden");
+    assert_eq!(
+        got, golden,
+        "trace schema drifted — fields may only be appended within a \
+         version; otherwise bump TRACE_SCHEMA_VERSION and regenerate \
+         tests/golden/trace_schema.golden"
+    );
+}
