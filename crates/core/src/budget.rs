@@ -1,0 +1,320 @@
+//! The shared search budget pool.
+//!
+//! A *budgeted* check gets exactly one [`BudgetPool`]: an atomic step
+//! counter (the `--max-steps` allowance) plus the wall-clock deadline
+//! derived from `--time-limit`. Every [`crate::ndfs::Ndfs`] search in the
+//! check — whether the cores run on one thread or across a worker pool —
+//! draws steps from the same pool through a [`StepLease`], so the total
+//! number of generated pseudoconfigurations the check may charge is the
+//! global limit, not a per-unit copy of it.
+//!
+//! # Lease-chunk protocol
+//!
+//! Charging the shared counter on every generated configuration would
+//! serialize the workers on one cache line, so a lease amortizes the
+//! atomic traffic: it draws `chunk` steps at a time (more when a single
+//! charge is larger) and charges its local allowance. Unspent allowance
+//! is refunded when the search ends, so after a search completes the
+//! pool's `spent` equals exactly the steps it charged.
+//!
+//! The chunk size is *semantics-neutral* for any single consumer: a
+//! charge fails if and only if the steps charged so far plus the new
+//! charge exceed what the pool had remaining when the lease started
+//! drawing — grants are `min(requested, remaining)`, so partial grants
+//! merely defer the same failure point. This is what makes
+//! `--budget-chunk` a tuning knob (excluded from result-cache
+//! fingerprints, like the state-store backend) rather than a semantic
+//! option, and it is the property the scheduler's deterministic
+//! settlement relies on (see `wave-svc`'s scheduler docs).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default steps drawn per lease refill (`--budget-chunk`).
+pub const DEFAULT_BUDGET_CHUNK: u64 = 1024;
+
+/// The shared budget of one check: an atomic step allowance and a
+/// wall-clock deadline, drawn on by every search of the check.
+#[derive(Debug)]
+pub struct BudgetPool {
+    /// Steps this pool may grant in total; `None` = unlimited (the pool
+    /// then only carries the deadline).
+    limit: Option<u64>,
+    /// The *configured* global step budget, reported in
+    /// [`crate::ndfs::Budget::Steps`] on exhaustion. Equal to `limit` for
+    /// a primary pool; a settlement re-run pool grants only the leftover
+    /// but still reports the global figure, so sequential and parallel
+    /// runs produce the same exhaustion report.
+    report_steps: u64,
+    /// Steps granted to leases and not refunded.
+    spent: AtomicU64,
+    deadline: Option<Instant>,
+    started: Instant,
+    chunk: u64,
+}
+
+impl BudgetPool {
+    /// Pool for a check starting at `started` under a step and/or time
+    /// budget; `None` when neither budget is set (unbudgeted checks pay
+    /// no atomic traffic at all).
+    pub fn new(
+        max_steps: Option<u64>,
+        time_limit: Option<Duration>,
+        chunk: u64,
+        started: Instant,
+    ) -> Option<Arc<BudgetPool>> {
+        if max_steps.is_none() && time_limit.is_none() {
+            return None;
+        }
+        Some(Arc::new(BudgetPool {
+            limit: max_steps,
+            report_steps: max_steps.unwrap_or(0),
+            spent: AtomicU64::new(0),
+            deadline: time_limit.map(|d| started + d),
+            started,
+            chunk: chunk.max(1),
+        }))
+    }
+
+    /// A fresh pool granting exactly `leftover` steps but sharing this
+    /// pool's deadline, start instant, chunk size and *reported* limit —
+    /// the scheduler's settlement pass uses it to replay an item under
+    /// the precise allowance the sequential scan would have had left.
+    pub fn for_rerun(&self, leftover: u64) -> Arc<BudgetPool> {
+        Arc::new(BudgetPool {
+            limit: Some(leftover),
+            report_steps: self.report_steps,
+            spent: AtomicU64::new(0),
+            deadline: self.deadline,
+            started: self.started,
+            chunk: self.chunk,
+        })
+    }
+
+    /// Grant up to `want` steps: the return value is
+    /// `min(want, remaining)` and is debited from the pool.
+    fn grant(&self, want: u64) -> u64 {
+        let Some(limit) = self.limit else { return want };
+        let mut spent = self.spent.load(Ordering::Relaxed);
+        loop {
+            let granted = want.min(limit.saturating_sub(spent));
+            if granted == 0 {
+                return 0;
+            }
+            match self.spent.compare_exchange_weak(
+                spent,
+                spent + granted,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return granted,
+                Err(actual) => spent = actual,
+            }
+        }
+    }
+
+    /// Return unspent granted steps to the pool.
+    fn refund(&self, steps: u64) {
+        if self.limit.is_some() && steps > 0 {
+            self.spent.fetch_sub(steps, Ordering::Relaxed);
+        }
+    }
+
+    /// Steps currently granted and not refunded. After every lease has
+    /// been released this equals the steps actually charged.
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// The configured step limit (`None` for a deadline-only pool).
+    pub fn step_limit(&self) -> Option<u64> {
+        self.limit
+    }
+
+    /// The step figure to report on exhaustion (the configured global
+    /// `--max-steps`, even on a settlement re-run pool).
+    pub fn report_steps(&self) -> u64 {
+        self.report_steps
+    }
+
+    /// Whether the shared wall-clock deadline has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() > d)
+    }
+
+    /// True when a deadline is configured at all.
+    pub fn has_deadline(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Wall-clock time since the check started — the figure reported in
+    /// [`crate::ndfs::Budget::Time`] on deadline exhaustion.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// One search's handle on the pool: a local allowance refilled in chunks.
+#[derive(Debug)]
+pub struct StepLease {
+    pool: Arc<BudgetPool>,
+    /// Steps granted but not yet charged.
+    available: u64,
+    /// Steps charged through this lease.
+    charged: u64,
+    /// Total steps granted to this lease (for profile accounting).
+    leased: u64,
+    /// Set once a charge failed; the pool is dry for this search.
+    dry: bool,
+}
+
+impl StepLease {
+    pub fn new(pool: Arc<BudgetPool>) -> StepLease {
+        StepLease { pool, available: 0, charged: 0, leased: 0, dry: false }
+    }
+
+    /// Charge `steps` against the pool, refilling the local allowance in
+    /// chunks as needed. Returns `false` when the pool cannot cover the
+    /// charge — the search is out of budget.
+    pub fn charge(&mut self, steps: u64) -> bool {
+        if self.dry {
+            return false;
+        }
+        if self.available < steps {
+            let shortfall = steps - self.available;
+            let got = self.pool.grant(shortfall.max(self.pool.chunk));
+            self.leased += got;
+            self.available += got;
+            if self.available < steps {
+                self.dry = true;
+                return false;
+            }
+        }
+        self.available -= steps;
+        self.charged += steps;
+        true
+    }
+
+    /// Steps charged so far.
+    pub fn charged(&self) -> u64 {
+        self.charged
+    }
+
+    /// The pool's reported global step limit (see
+    /// [`BudgetPool::report_steps`]).
+    pub fn report_steps(&self) -> u64 {
+        self.pool.report_steps()
+    }
+
+    /// Release the lease: refund the unspent allowance and report
+    /// `(leased, refunded)` for profile accounting.
+    pub fn release(self) -> (u64, u64) {
+        self.pool.refund(self.available);
+        (self.leased, self.available)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(limit: u64, chunk: u64) -> Arc<BudgetPool> {
+        BudgetPool::new(Some(limit), None, chunk, Instant::now()).unwrap()
+    }
+
+    #[test]
+    fn unbudgeted_checks_get_no_pool() {
+        assert!(BudgetPool::new(None, None, 8, Instant::now()).is_none());
+        assert!(BudgetPool::new(Some(1), None, 8, Instant::now()).is_some());
+        assert!(BudgetPool::new(None, Some(Duration::from_secs(1)), 8, Instant::now()).is_some());
+    }
+
+    #[test]
+    fn charges_are_exact_up_to_the_limit() {
+        let p = pool(10, 4);
+        let mut lease = StepLease::new(Arc::clone(&p));
+        assert!(lease.charge(3));
+        assert!(lease.charge(7)); // exactly 10 total
+        assert!(!lease.charge(1), "the 11th step must fail");
+        let (leased, refunded) = lease.release();
+        assert_eq!(leased - refunded, 10);
+        assert_eq!(p.spent(), 10);
+    }
+
+    #[test]
+    fn exhaustion_point_is_chunk_independent() {
+        // a single consumer fails at the same cumulative charge no matter
+        // the chunk size — the property the settlement pass relies on
+        for chunk in [1, 3, 7, 64, 1024] {
+            let p = pool(25, chunk);
+            let mut lease = StepLease::new(Arc::clone(&p));
+            let mut total = 0u64;
+            for step in [5u64, 5, 5, 5, 4, 1, 1] {
+                if !lease.charge(step) {
+                    break;
+                }
+                total += step;
+            }
+            assert_eq!(total, 25, "chunk={chunk}");
+            assert!(!lease.charge(1), "chunk={chunk}: pool must be dry");
+            lease.release();
+            assert_eq!(p.spent(), 25, "chunk={chunk}: refund restores exact spend");
+        }
+    }
+
+    #[test]
+    fn release_refunds_unspent_allowance() {
+        let p = pool(100, 64);
+        let mut lease = StepLease::new(Arc::clone(&p));
+        assert!(lease.charge(2));
+        assert_eq!(p.spent(), 64, "a whole chunk is drawn");
+        let (leased, refunded) = lease.release();
+        assert_eq!((leased, refunded), (64, 62));
+        assert_eq!(p.spent(), 2, "only charged steps stay spent");
+    }
+
+    #[test]
+    fn concurrent_leases_never_overspend() {
+        let p = pool(1000, 16);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let p = Arc::clone(&p);
+                scope.spawn(move || {
+                    let mut lease = StepLease::new(p);
+                    while lease.charge(3) {}
+                    lease.release();
+                });
+            }
+        });
+        assert!(p.spent() <= 1000);
+        // 8 workers charging 3 at a time: at most 8 * 2 steps stay unspent
+        assert!(p.spent() >= 1000 - 16, "spent {}", p.spent());
+    }
+
+    #[test]
+    fn rerun_pool_reports_the_global_limit() {
+        let p = pool(100, 8);
+        let rerun = p.for_rerun(7);
+        assert_eq!(rerun.step_limit(), Some(7));
+        assert_eq!(rerun.report_steps(), 100);
+        let mut lease = StepLease::new(Arc::clone(&rerun));
+        assert!(lease.charge(7));
+        assert!(!lease.charge(1));
+    }
+
+    #[test]
+    fn deadline_only_pool_has_unlimited_steps() {
+        let p = BudgetPool::new(None, Some(Duration::from_secs(3600)), 8, Instant::now()).unwrap();
+        assert!(p.has_deadline());
+        assert!(!p.deadline_exceeded());
+        let mut lease = StepLease::new(Arc::clone(&p));
+        assert!(lease.charge(u64::MAX / 4));
+        lease.release();
+        let expired =
+            BudgetPool::new(None, Some(Duration::ZERO), 8, Instant::now() - Duration::from_secs(1))
+                .unwrap();
+        assert!(expired.deadline_exceeded());
+        assert!(expired.elapsed() >= Duration::from_secs(1));
+    }
+}

@@ -32,6 +32,7 @@
 //! assert!(v.verdict.holds());
 //! ```
 
+pub mod budget;
 pub mod cancel;
 pub mod config;
 pub mod domain;
@@ -47,6 +48,7 @@ pub mod universe;
 pub mod verifier;
 pub mod visibility;
 
+pub use budget::{BudgetPool, StepLease, DEFAULT_BUDGET_CHUNK};
 pub use cancel::CancelToken;
 pub use config::{canonicalize, core_instance, no_facts, Facts, PseudoConfig, SharedFacts};
 pub use domain::{assignments, build_pools, Assignment, PagePool, ParamMode};

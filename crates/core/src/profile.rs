@@ -35,6 +35,16 @@ pub struct SearchProfile {
     pub intern_hits: u64,
     /// Configurations stored for the first time.
     pub intern_misses: u64,
+    /// Steps granted by the shared [`crate::budget::BudgetPool`] to this
+    /// search's leases (see the lease-chunk protocol there). The split
+    /// between leases depends on the chunk size and, under the parallel
+    /// scheduler, on worker timing — so these two counters are reported
+    /// for budget accounting but are *not* part of the deterministic
+    /// record output.
+    pub steps_leased: u64,
+    /// Granted steps returned unspent when the leases were released.
+    /// `steps_leased - steps_refunded` equals the steps actually charged.
+    pub steps_refunded: u64,
 }
 
 impl SearchProfile {
@@ -47,6 +57,8 @@ impl SearchProfile {
         self.visit_ns += other.visit_ns;
         self.intern_hits += other.intern_hits;
         self.intern_misses += other.intern_misses;
+        self.steps_leased += other.steps_leased;
+        self.steps_refunded += other.steps_refunded;
     }
 
     /// True when every counter is zero (e.g. a cache-hit record).
@@ -120,6 +132,7 @@ mod tests {
             visit_ns: 10,
             intern_hits: 3,
             intern_misses: 1,
+            ..Default::default()
         };
         assert_eq!(p.total_ns(), 100, "canon is inside expand, not added again");
         assert_eq!(p.intern_hit_rate(), Some(0.75));

@@ -16,6 +16,7 @@
 //! verification — when both the specification and the property are
 //! input-bounded, and a sound "no counterexample found" verdict otherwise.
 
+use crate::budget::{BudgetPool, DEFAULT_BUDGET_CHUNK};
 use crate::cancel::CancelToken;
 use crate::config::core_instance;
 use crate::domain::{assignments, build_pools, relevant_constants, Assignment, ParamMode};
@@ -45,10 +46,18 @@ pub struct VerifyOptions {
     pub pruning: ExtensionPruning,
     /// `C_∃` equality-pattern enumeration mode.
     pub param_mode: ParamMode,
-    /// Give up after this many generated pseudoconfigurations.
+    /// Give up after this many generated pseudoconfigurations. The limit
+    /// is global to a check: all units (and, under the parallel
+    /// scheduler, all workers) draw on one shared [`BudgetPool`].
     pub max_steps: Option<u64>,
     /// Wall-clock budget.
     pub time_limit: Option<Duration>,
+    /// Steps a search leases from the shared budget pool per refill.
+    /// Purely a contention-tuning knob — the exhaustion point is
+    /// chunk-size independent (see [`crate::budget`]), so verdicts and
+    /// reports do not depend on it and result caches must ignore it
+    /// (like `state_store`).
+    pub budget_chunk: u64,
     /// Use compiled prepared plans (`true`) or the FO interpreter for
     /// every rule (`false`; the query-evaluation ablation baseline).
     pub use_plans: bool,
@@ -72,10 +81,21 @@ impl Default for VerifyOptions {
             param_mode: ParamMode::DistinctFresh,
             max_steps: None,
             time_limit: None,
+            budget_chunk: DEFAULT_BUDGET_CHUNK,
             use_plans: true,
             state_store: StateStoreKind::Interned,
             cancel: None,
         }
+    }
+}
+
+impl VerifyOptions {
+    /// Build the shared [`BudgetPool`] for one check starting at
+    /// `started`; `None` when neither budget is configured. One pool per
+    /// check: a property suite gives each property a fresh step budget,
+    /// exactly as the sequential per-property loop does.
+    pub fn budget_pool(&self, started: Instant) -> Option<std::sync::Arc<BudgetPool>> {
+        BudgetPool::new(self.max_steps, self.time_limit, self.budget_chunk, started)
     }
 }
 
@@ -211,7 +231,8 @@ impl Verifier {
         &self.spec
     }
 
-    /// Options (read-only; schedulers derive per-unit budgets from them).
+    /// Options (read-only; schedulers build the shared budget pool from
+    /// them).
     pub fn options(&self) -> &VerifyOptions {
         &self.options
     }
@@ -262,20 +283,17 @@ impl Verifier {
         tracer: &mut T,
     ) -> Result<Verification, VerifyError> {
         let start = Instant::now();
-        let deadline = self.options.time_limit.map(|d| start + d);
         let prepared = self.prepare(property)?;
 
+        // one shared pool for the whole check: each unit draws on
+        // whatever the previous units left in it
+        let limits = SearchLimits {
+            pool: self.options.budget_pool(start),
+            cancel: self.options.cancel.clone(),
+        };
         let mut stats = Stats::default();
         let mut verdict = Verdict::Holds;
         for unit in 0..prepared.num_units() {
-            let limits = SearchLimits {
-                // the step budget spans the whole check: each unit gets
-                // whatever the previous units left over
-                max_steps: self.options.max_steps.map(|m| m.saturating_sub(stats.configs)),
-                deadline,
-                time_limit: self.options.time_limit,
-                cancel: self.options.cancel.clone(),
-            };
             let outcome = prepared.run_unit_traced(unit, None, &limits, tracer)?;
             stats.merge(&outcome.stats);
             match outcome.result {
@@ -629,19 +647,10 @@ impl PreparedCheck<'_> {
                 use_plans: options.use_plans,
                 visibility: self.visibility.clone(),
             };
-            let engine = Ndfs::new(
-                &ctx,
-                &self.buchi,
-                &components,
-                store,
-                &mut *tracer,
-                SearchLimits {
-                    max_steps: limits.max_steps.map(|m| m.saturating_sub(stats.configs)),
-                    deadline: limits.deadline,
-                    time_limit: limits.time_limit,
-                    cancel: limits.cancel.clone(),
-                },
-            );
+            // every core's search leases from the same shared pool, so
+            // no per-core budget arithmetic is needed here
+            let engine =
+                Ndfs::new(&ctx, &self.buchi, &components, store, &mut *tracer, limits.clone());
             let (search_result, search_stats) = engine.run()?;
             stats.max_run_len = stats.max_run_len.max(search_stats.max_run_len);
             stats.configs += search_stats.configs;

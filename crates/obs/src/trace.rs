@@ -72,8 +72,11 @@ pub enum TraceEvent {
     /// Fields: `len` (total steps), `cycle_start`.
     Cycle { len: u32, cycle_start: u32 },
     /// The search stopped early.
-    /// Fields: `reason` (`"steps"`, `"time"`, or `"cancelled"`).
-    Budget { reason: &'static str },
+    /// Fields: `reason` (`"steps"`, `"time"`, or `"cancelled"`),
+    /// `spent` (configurations this search had generated when it gave
+    /// up), `limit` (the configured global step budget; `0` when no step
+    /// budget was set).
+    Budget { reason: &'static str, spent: u64, limit: u64 },
 }
 
 impl TraceEvent {
@@ -119,8 +122,10 @@ impl TraceEvent {
             TraceEvent::Cycle { len, cycle_start } => {
                 s.push_str(&format!(",\"len\":{len},\"cycle_start\":{cycle_start}"));
             }
-            TraceEvent::Budget { reason } => {
-                s.push_str(&format!(",\"reason\":\"{reason}\""));
+            TraceEvent::Budget { reason, spent, limit } => {
+                s.push_str(&format!(
+                    ",\"reason\":\"{reason}\",\"spent\":{spent},\"limit\":{limit}"
+                ));
             }
         }
         s.push_str(&format!(",\"t_ns\":{t_ns}}}"));
@@ -299,8 +304,11 @@ mod tests {
             ev.to_jsonl(42),
             r#"{"v":1,"ev":"expand","depth":3,"succs":7,"dur_ns":125,"t_ns":42}"#
         );
-        let ev = TraceEvent::Budget { reason: "steps" };
-        assert_eq!(ev.to_jsonl(1), r#"{"v":1,"ev":"budget","reason":"steps","t_ns":1}"#);
+        let ev = TraceEvent::Budget { reason: "steps", spent: 12, limit: 10 };
+        assert_eq!(
+            ev.to_jsonl(1),
+            r#"{"v":1,"ev":"budget","reason":"steps","spent":12,"limit":10,"t_ns":1}"#
+        );
         let ev = TraceEvent::Intern { hit: true };
         assert!(ev.to_jsonl(0).starts_with(r#"{"v":1,"ev":"intern","hit":true"#));
     }
@@ -364,7 +372,7 @@ mod tests {
         const { assert!(<Tee<NoopTracer, FlightRecorder>>::ENABLED) };
         const { assert!(!<Tee<NoopTracer, NoopTracer>>::ENABLED) };
         let mut tee = Tee(FlightRecorder::new(4), FlightRecorder::new(4));
-        tee.event(TraceEvent::Budget { reason: "time" });
+        tee.event(TraceEvent::Budget { reason: "time", spent: 0, limit: 0 });
         assert_eq!(tee.0.total(), 1);
         assert_eq!(tee.1.total(), 1);
     }

@@ -6,13 +6,18 @@
 //! [`VerifyOptions`] fields (the cancellation token is excluded — it is
 //! scheduling state, not semantics).
 //!
-//! The cache stores the verdict summary, not the counterexample trace: a
-//! cached `violated` hit reports the lasso shape (step count and cycle
-//! start) but cannot be replayed. Re-run with the cache disabled to
-//! regenerate the full trace. The original run's [`SearchProfile`] *is*
-//! kept (memory and disk tiers) and returned on hit; search counters
-//! stay zeroed (`Stats.cores == 0`), which is how callers tell a hit
-//! from a fresh run.
+//! A cached `violated` entry carries the *full* counterexample trace
+//! (every pseudorun step with its configuration, the database core, and
+//! the parameter assignment), so a hit can be replayed and re-validated
+//! exactly like a fresh run — the trace is a pure function of the
+//! fingerprint key, so the interned `Value` indices it stores are stable
+//! across runs. Budget and elapsed figures round-trip *exactly* (steps
+//! as integers, time as integer nanoseconds); entries written by older
+//! versions (string budgets, `elapsed_s`, shape-only counterexamples)
+//! still read back, minus the trace. The original run's
+//! [`SearchProfile`] is kept (memory and disk tiers) and returned on
+//! hit; search counters stay zeroed (`Stats.cores == 0`), which is how
+//! callers tell a hit from a fresh run.
 //!
 //! When built [`ResultCache::with_metrics`], the cache counts hits,
 //! misses, and memory-tier evictions into the service metrics registry.
@@ -23,8 +28,13 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime};
-use wave_core::{Budget, SearchProfile, Verdict, Verification, VerifyOptions};
+use wave_core::{
+    Budget, CounterExample, Facts, PseudoConfig, SearchProfile, TraceStep, Verdict, Verification,
+    VerifyOptions,
+};
 use wave_obs::Counter;
+use wave_relalg::{RelId, Tuple, Value};
+use wave_spec::PageId;
 
 /// Default bound on in-memory cache entries (see [`ResultCache`]).
 pub const DEFAULT_MEM_ENTRIES: usize = 256;
@@ -33,9 +43,11 @@ pub const DEFAULT_MEM_ENTRIES: usize = 256;
 /// fingerprint components, NUL-separated.
 ///
 /// Only *semantic* option fields participate: `cancel` (scheduling
-/// state) and `state_store` (a speed/memory knob — both backends produce
-/// identical verdicts, traces and statistics) are deliberately excluded,
-/// so runs under either backend share cache entries.
+/// state), `state_store` (a speed/memory knob — both backends produce
+/// identical verdicts, traces and statistics) and `budget_chunk` (a
+/// contention knob — the exhaustion point is chunk-independent) are
+/// deliberately excluded, so runs under any of those settings share
+/// cache entries.
 pub fn fingerprint(spec_text: &str, property: &str, options: &VerifyOptions) -> String {
     let opts = format!(
         "h1={} h2={} pruning={:?} param={:?} max_steps={:?} time_limit={:?} plans={}",
@@ -78,17 +90,49 @@ fn fnv1a_pos(bytes: &[u8], offset: u64) -> u64 {
     h
 }
 
-/// A cacheable verdict summary.
+/// An exhausted budget, stored losslessly: steps as the exact integer,
+/// time as integer nanoseconds. `Unknown(Cancelled)` is deliberately
+/// unrepresentable — cancellation is scheduling state, not a
+/// reproducible verdict, so such runs never reach the cache (and a
+/// legacy `"cancelled"` string on disk reads back as a miss).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CachedBudget {
+    Steps(u64),
+    Time(Duration),
+}
+
+impl CachedBudget {
+    fn from_budget(b: &Budget) -> Option<CachedBudget> {
+        match b {
+            Budget::Steps(n) => Some(CachedBudget::Steps(*n)),
+            Budget::Time(d) => Some(CachedBudget::Time(*d)),
+            Budget::Cancelled => None,
+        }
+    }
+
+    /// Back to the verifier's [`Budget`] (exact round-trip).
+    pub fn to_budget(&self) -> Budget {
+        match self {
+            CachedBudget::Steps(n) => Budget::Steps(*n),
+            CachedBudget::Time(d) => Budget::Time(*d),
+        }
+    }
+}
+
+/// A cacheable verdict.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CachedVerdict {
     Holds,
-    /// Lasso shape of the counterexample (the trace itself is not kept).
+    /// The counterexample: lasso shape plus — for entries written by this
+    /// version — the full replayable trace. `trace` is `None` only for
+    /// entries persisted before traces were cached.
     Violated {
         steps: usize,
         cycle_start: usize,
+        trace: Option<CounterExample>,
     },
     Unknown {
-        budget: String,
+        budget: CachedBudget,
     },
 }
 
@@ -110,16 +154,12 @@ impl CachedResult {
     pub fn from_verification(v: &Verification) -> Option<CachedResult> {
         let verdict = match &v.verdict {
             Verdict::Holds => CachedVerdict::Holds,
-            Verdict::Violated(ce) => {
-                CachedVerdict::Violated { steps: ce.steps.len(), cycle_start: ce.cycle_start }
-            }
-            Verdict::Unknown(Budget::Cancelled) => return None,
-            Verdict::Unknown(Budget::Steps(n)) => {
-                CachedVerdict::Unknown { budget: format!("steps:{n}") }
-            }
-            Verdict::Unknown(Budget::Time(d)) => {
-                CachedVerdict::Unknown { budget: format!("time:{}", d.as_secs_f64()) }
-            }
+            Verdict::Violated(ce) => CachedVerdict::Violated {
+                steps: ce.steps.len(),
+                cycle_start: ce.cycle_start,
+                trace: Some(ce.clone()),
+            },
+            Verdict::Unknown(b) => CachedVerdict::Unknown { budget: CachedBudget::from_budget(b)? },
         };
         Some(CachedResult {
             verdict,
@@ -129,22 +169,39 @@ impl CachedResult {
         })
     }
 
+    /// The full counterexample trace, when this entry carries one.
+    pub fn counterexample(&self) -> Option<&CounterExample> {
+        match &self.verdict {
+            CachedVerdict::Violated { trace, .. } => trace.as_ref(),
+            _ => None,
+        }
+    }
+
     fn to_json(&self) -> Json {
         let mut pairs = vec![];
         match &self.verdict {
             CachedVerdict::Holds => pairs.push(("verdict", Json::from("holds"))),
-            CachedVerdict::Violated { steps, cycle_start } => {
+            CachedVerdict::Violated { steps, cycle_start, trace } => {
                 pairs.push(("verdict", Json::from("violated")));
                 pairs.push(("steps", Json::from(*steps)));
                 pairs.push(("cycle_start", Json::from(*cycle_start)));
+                if let Some(ce) = trace {
+                    pairs.push(("ce", ce_to_json(ce)));
+                }
             }
             CachedVerdict::Unknown { budget } => {
                 pairs.push(("verdict", Json::from("unknown")));
-                pairs.push(("budget", Json::from(budget.clone())));
+                let budget = match budget {
+                    CachedBudget::Steps(n) => Json::obj([("steps", u64_to_json(*n))]),
+                    CachedBudget::Time(d) => {
+                        Json::obj([("time_ns", u64_to_json(d.as_nanos() as u64))])
+                    }
+                };
+                pairs.push(("budget", budget));
             }
         }
         pairs.push(("complete", Json::from(self.complete)));
-        pairs.push(("elapsed_s", Json::from(self.elapsed.as_secs_f64())));
+        pairs.push(("elapsed_ns", u64_to_json(self.elapsed.as_nanos() as u64)));
         let p = &self.profile;
         pairs.push((
             "profile",
@@ -156,6 +213,8 @@ impl CachedResult {
                 ("visit_ns", Json::from(p.visit_ns)),
                 ("intern_hits", Json::from(p.intern_hits)),
                 ("intern_misses", Json::from(p.intern_misses)),
+                ("steps_leased", Json::from(p.steps_leased)),
+                ("steps_refunded", Json::from(p.steps_refunded)),
             ]),
         ));
         Json::obj(pairs)
@@ -164,11 +223,21 @@ impl CachedResult {
     fn from_json(v: &Json) -> Option<CachedResult> {
         let verdict = match v.get("verdict")?.as_str()? {
             "holds" => CachedVerdict::Holds,
-            "violated" => CachedVerdict::Violated {
-                steps: v.get("steps")?.as_u64()? as usize,
-                cycle_start: v.get("cycle_start")?.as_u64()? as usize,
-            },
-            "unknown" => CachedVerdict::Unknown { budget: v.get("budget")?.as_str()?.to_string() },
+            "violated" => {
+                let cycle_start = v.get("cycle_start")?.as_u64()? as usize;
+                // entries written before traces were persisted have no
+                // "ce"; they read back shape-only
+                let trace = v.get("ce").and_then(ce_from_json).map(|mut ce| {
+                    ce.cycle_start = cycle_start;
+                    ce
+                });
+                CachedVerdict::Violated {
+                    steps: v.get("steps")?.as_u64()? as usize,
+                    cycle_start,
+                    trace,
+                }
+            }
+            "unknown" => CachedVerdict::Unknown { budget: budget_from_json(v.get("budget")?)? },
             _ => return None,
         };
         // entries written before profiles were persisted have no
@@ -185,16 +254,156 @@ impl CachedResult {
                     visit_ns: ns("visit_ns"),
                     intern_hits: ns("intern_hits"),
                     intern_misses: ns("intern_misses"),
+                    steps_leased: ns("steps_leased"),
+                    steps_refunded: ns("steps_refunded"),
                 }
             })
             .unwrap_or_default();
-        Some(CachedResult {
-            verdict,
-            complete: v.get("complete")?.as_bool()?,
-            elapsed: Duration::from_secs_f64(v.get("elapsed_s")?.as_f64()?.max(0.0)),
-            profile,
-        })
+        let elapsed = match v.get("elapsed_ns").and_then(u64_from_json) {
+            Some(ns) => Duration::from_nanos(ns),
+            // legacy entries stored lossy fractional seconds
+            None => Duration::from_secs_f64(v.get("elapsed_s")?.as_f64()?.max(0.0)),
+        };
+        Some(CachedResult { verdict, complete: v.get("complete")?.as_bool()?, elapsed, profile })
     }
+}
+
+/// Serialize a `u64` exactly: a plain JSON number while `f64` represents
+/// it losslessly, a decimal string beyond 2^53 (the hand-rolled [`Json`]
+/// stores all numbers as `f64`).
+fn u64_to_json(n: u64) -> Json {
+    if n <= (1u64 << 53) {
+        Json::from(n)
+    } else {
+        Json::Str(n.to_string())
+    }
+}
+
+fn u64_from_json(v: &Json) -> Option<u64> {
+    v.as_u64().or_else(|| v.as_str()?.parse().ok())
+}
+
+/// Parse a stored budget: the structured object written by this version,
+/// or the legacy `"steps:N"` / `"time:SECONDS"` strings. A legacy
+/// `"cancelled"` string (or anything else unparseable) invalidates the
+/// entry — the old writer serialized cancelled verdicts it should have
+/// dropped, and there is nothing sound to serve for them.
+fn budget_from_json(v: &Json) -> Option<CachedBudget> {
+    if let Some(n) = v.get("steps").and_then(u64_from_json) {
+        return Some(CachedBudget::Steps(n));
+    }
+    if let Some(ns) = v.get("time_ns").and_then(u64_from_json) {
+        return Some(CachedBudget::Time(Duration::from_nanos(ns)));
+    }
+    let s = v.as_str()?;
+    if let Some(n) = s.strip_prefix("steps:") {
+        return n.parse().ok().map(CachedBudget::Steps);
+    }
+    if let Some(secs) = s.strip_prefix("time:") {
+        let secs: f64 = secs.parse().ok()?;
+        return (secs.is_finite() && secs >= 0.0)
+            .then(|| CachedBudget::Time(Duration::from_secs_f64(secs)));
+    }
+    None
+}
+
+/// Encode a canonical fact list as `[[rel, v0, v1, …], …]` of raw
+/// interned indices. The indices are deterministic given the fingerprint
+/// key (canonical spec + property + semantic options), which is what
+/// makes a persisted trace replayable.
+fn facts_to_json(facts: &Facts) -> Json {
+    Json::Arr(
+        facts
+            .iter()
+            .map(|(rel, tuple)| {
+                let mut row = vec![Json::from(u64::from(rel.0))];
+                row.extend(tuple.values().iter().map(|v| Json::from(u64::from(v.0))));
+                Json::Arr(row)
+            })
+            .collect(),
+    )
+}
+
+fn facts_from_json(v: &Json) -> Option<Facts> {
+    v.as_array()?
+        .iter()
+        .map(|row| {
+            let row = row.as_array()?;
+            let rel = RelId(u32::try_from(row.first()?.as_u64()?).ok()?);
+            let values = row[1..]
+                .iter()
+                .map(|c| c.as_u64().and_then(|n| u32::try_from(n).ok()).map(Value))
+                .collect::<Option<Vec<Value>>>()?;
+            Some((rel, Tuple::from(values)))
+        })
+        .collect()
+}
+
+fn ce_to_json(ce: &CounterExample) -> Json {
+    let params = Json::Arr(
+        ce.assignment
+            .iter()
+            .map(|(name, v)| Json::Arr(vec![Json::from(name.clone()), Json::from(u64::from(v.0))]))
+            .collect(),
+    );
+    let steps = Json::Arr(
+        ce.steps
+            .iter()
+            .map(|step| {
+                Json::obj([
+                    ("auto", Json::from(step.auto_state)),
+                    // the component bitmask is a full u64: go through a
+                    // string to stay exact beyond f64's 2^53
+                    ("assign", Json::from(step.assignment.to_string())),
+                    ("page", Json::from(u64::from(step.config.page.0))),
+                    ("ext", facts_to_json(&step.config.ext)),
+                    ("input", facts_to_json(&step.config.input)),
+                    ("prev", facts_to_json(&step.config.prev)),
+                    ("state", facts_to_json(&step.config.state)),
+                    ("actions", facts_to_json(&step.config.actions)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([("core", facts_to_json(&ce.core)), ("params", params), ("steps", steps)])
+}
+
+fn ce_from_json(v: &Json) -> Option<CounterExample> {
+    let core = facts_from_json(v.get("core")?)?;
+    let assignment = v
+        .get("params")?
+        .as_array()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array()?;
+            let name = pair.first()?.as_str()?.to_string();
+            let value = Value(u32::try_from(pair.get(1)?.as_u64()?).ok()?);
+            Some((name, value))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let steps = v
+        .get("steps")?
+        .as_array()?
+        .iter()
+        .map(|step| {
+            let config = PseudoConfig {
+                page: PageId(u32::try_from(step.get("page")?.as_u64()?).ok()?),
+                ext: Arc::new(facts_from_json(step.get("ext")?)?),
+                input: Arc::new(facts_from_json(step.get("input")?)?),
+                prev: Arc::new(facts_from_json(step.get("prev")?)?),
+                state: Arc::new(facts_from_json(step.get("state")?)?),
+                actions: Arc::new(facts_from_json(step.get("actions")?)?),
+            };
+            Some(TraceStep {
+                auto_state: step.get("auto")?.as_u64()? as usize,
+                config,
+                assignment: step.get("assign")?.as_str()?.parse().ok()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    // the outer record's cycle_start is authoritative; from_json patches
+    // it in after parsing
+    Some(CounterExample { steps, cycle_start: 0, core, assignment })
 }
 
 /// The in-memory tier: an LRU-bounded map from fingerprint to result.
@@ -434,11 +643,42 @@ mod tests {
         assert_eq!(fingerprint("s", "p", &options()), fingerprint("s", "p", &opts));
     }
 
+    /// A small but fully populated counterexample exercising every
+    /// serialized field, including a component bitmask above 2^53 that
+    /// would corrupt if routed through an f64.
+    fn sample_ce() -> CounterExample {
+        let facts = |rows: &[(u32, &[u32])]| -> Facts {
+            rows.iter()
+                .map(|(rel, vals)| {
+                    (RelId(*rel), Tuple::from(vals.iter().map(|v| Value(*v)).collect::<Vec<_>>()))
+                })
+                .collect()
+        };
+        let step = |auto: usize, assign: u64, page: u32| TraceStep {
+            auto_state: auto,
+            assignment: assign,
+            config: PseudoConfig {
+                page: PageId(page),
+                ext: Arc::new(facts(&[(0, &[1, 2]), (3, &[])])),
+                input: Arc::new(facts(&[(1, &[4])])),
+                prev: Arc::new(facts(&[])),
+                state: Arc::new(facts(&[(2, &[5, 6, 7])])),
+                actions: Arc::new(facts(&[(4, &[8])])),
+            },
+        };
+        CounterExample {
+            steps: vec![step(0, u64::MAX - 1, 0), step(1, 3, 1), step(2, 0, 0)],
+            cycle_start: 1,
+            core: facts(&[(0, &[1, 2]), (5, &[9])]),
+            assignment: vec![("x".to_string(), Value(7)), ("y".to_string(), Value(0))],
+        }
+    }
+
     #[test]
     fn memory_round_trip() {
         let cache = ResultCache::in_memory();
         let result = CachedResult {
-            verdict: CachedVerdict::Violated { steps: 7, cycle_start: 2 },
+            verdict: CachedVerdict::Violated { steps: 7, cycle_start: 2, trace: Some(sample_ce()) },
             complete: true,
             elapsed: Duration::from_millis(120),
             profile: SearchProfile { expand_ns: 42, intern_misses: 3, ..Default::default() },
@@ -453,7 +693,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("wave-cache-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let result = CachedResult {
-            verdict: CachedVerdict::Unknown { budget: "steps:100".to_string() },
+            verdict: CachedVerdict::Unknown { budget: CachedBudget::Steps(100) },
             complete: false,
             elapsed: Duration::from_secs(1),
             profile: SearchProfile {
@@ -464,6 +704,8 @@ mod tests {
                 visit_ns: 5,
                 intern_hits: 6,
                 intern_misses: 7,
+                steps_leased: 8,
+                steps_refunded: 9,
             },
         };
         {
@@ -476,9 +718,90 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    #[test]
+    fn counterexample_trace_survives_disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("wave-cache-ce-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ce = sample_ce();
+        let result = CachedResult {
+            verdict: CachedVerdict::Violated {
+                steps: ce.steps.len(),
+                cycle_start: ce.cycle_start,
+                trace: Some(ce.clone()),
+            },
+            complete: true,
+            elapsed: Duration::from_nanos(1),
+            profile: SearchProfile::default(),
+        };
+        {
+            let cache = ResultCache::with_dir(dir.clone()).unwrap();
+            cache.put("cafe", &result);
+        }
+        let cache = ResultCache::with_dir(dir.clone()).unwrap();
+        let back = cache.get("cafe").expect("disk hit");
+        assert_eq!(back.counterexample(), Some(&ce), "trace must round-trip exactly");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budgets_and_elapsed_round_trip_exactly() {
+        // values chosen to be unrepresentable after an f64-seconds round
+        // trip: the old format lost the low nanoseconds of both
+        for budget in [
+            CachedBudget::Steps(u64::MAX),
+            CachedBudget::Time(Duration::new(1_000_000, 123_456_789)),
+            CachedBudget::Time(Duration::from_nanos(1)),
+        ] {
+            let result = CachedResult {
+                verdict: CachedVerdict::Unknown { budget: budget.clone() },
+                complete: false,
+                elapsed: Duration::new(3_600_000, 999_999_999),
+                profile: SearchProfile::default(),
+            };
+            let json = result.to_json().to_string();
+            let back = CachedResult::from_json(&json::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, result, "lossy round trip for {budget:?}");
+        }
+    }
+
+    #[test]
+    fn legacy_string_budgets_and_elapsed_still_parse() {
+        let old = r#"{"verdict":"unknown","budget":"steps:100","complete":false,"elapsed_s":0.5}"#;
+        let parsed = CachedResult::from_json(&json::parse(old).unwrap()).unwrap();
+        assert_eq!(parsed.verdict, CachedVerdict::Unknown { budget: CachedBudget::Steps(100) });
+        assert_eq!(parsed.elapsed, Duration::from_millis(500));
+
+        let old = r#"{"verdict":"unknown","budget":"time:1.5","complete":false,"elapsed_s":1}"#;
+        let parsed = CachedResult::from_json(&json::parse(old).unwrap()).unwrap();
+        assert_eq!(
+            parsed.verdict,
+            CachedVerdict::Unknown { budget: CachedBudget::Time(Duration::from_millis(1500)) }
+        );
+    }
+
+    #[test]
+    fn legacy_cancelled_budget_invalidates_the_entry() {
+        // the old writer cached cancelled runs it shouldn't have; those
+        // entries must read back as a miss, not as a bogus verdict
+        let old = r#"{"verdict":"unknown","budget":"cancelled","complete":false,"elapsed_s":1}"#;
+        assert!(CachedResult::from_json(&json::parse(old).unwrap()).is_none());
+    }
+
+    #[test]
+    fn legacy_shape_only_violations_read_back_without_a_trace() {
+        let old =
+            r#"{"verdict":"violated","steps":7,"cycle_start":2,"complete":true,"elapsed_s":1}"#;
+        let parsed = CachedResult::from_json(&json::parse(old).unwrap()).unwrap();
+        assert_eq!(
+            parsed.verdict,
+            CachedVerdict::Violated { steps: 7, cycle_start: 2, trace: None }
+        );
+        assert_eq!(parsed.counterexample(), None);
+    }
+
     fn result(tag: usize) -> CachedResult {
         CachedResult {
-            verdict: CachedVerdict::Violated { steps: tag, cycle_start: 0 },
+            verdict: CachedVerdict::Violated { steps: tag, cycle_start: 0, trace: None },
             complete: true,
             elapsed: Duration::from_millis(1),
             profile: SearchProfile::default(),
@@ -582,6 +905,13 @@ mod tests {
     fn state_store_backend_does_not_affect_fingerprint() {
         let mut opts = options();
         opts.state_store = wave_core::StateStoreKind::ByteKeys;
+        assert_eq!(fingerprint("s", "p", &options()), fingerprint("s", "p", &opts));
+    }
+
+    #[test]
+    fn budget_chunk_does_not_affect_fingerprint() {
+        let mut opts = options();
+        opts.budget_chunk = 1;
         assert_eq!(fingerprint("s", "p", &options()), fingerprint("s", "p", &opts));
     }
 

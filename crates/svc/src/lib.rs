@@ -27,7 +27,9 @@ pub mod server;
 pub mod service;
 
 pub use batch::{render_records, run_batch, summary};
-pub use cache::{fingerprint, CacheMetrics, CachedResult, CachedVerdict, ResultCache};
+pub use cache::{
+    fingerprint, CacheMetrics, CachedBudget, CachedResult, CachedVerdict, ResultCache,
+};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::SvcMetrics;
 pub use scheduler::{check_parallel, run_prepared, ParallelOptions};

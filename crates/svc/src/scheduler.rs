@@ -13,17 +13,47 @@
 //! * the first *decisive* (non-clean) outcome at ordinal `k` cancels only
 //!   items with ordinal `> k` of the same check — items the sequential
 //!   loop would never have reached,
-//! * the reducer takes the lowest-ordinal decisive outcome, which is
-//!   exactly the outcome the sequential scan stops at.
+//! * the reducer walks ordinals in order and stops at the first decisive
+//!   outcome, which is exactly the outcome the sequential scan stops at.
 //!
-//! Verdicts are therefore byte-identical to [`Verifier::check`] for
-//! unbudgeted runs. (With a step or wall-clock budget the sequential
-//! loop threads *leftover* budget from unit to unit, which a parallel
-//! schedule cannot reproduce; each parallel unit gets the full budget,
-//! so budgeted verdicts may differ — only in which `Unknown` they
-//! report, never between `Holds` and `Violated`.) Stats counters are
-//! deterministic for clean runs; under early cancellation the amount of
-//! sibling work already done depends on timing.
+//! # Budgeted runs: the shared pool and the settlement pass
+//!
+//! A step budget (`--max-steps`) is *global to a check*: every worker
+//! item of a check leases steps from one shared
+//! [`wave_core::BudgetPool`], so the total work charged equals the
+//! configured limit, never `limit × items`. That bounds the work, but
+//! worker timing still decides *which* items the pool starves — a
+//! sibling that the sequential scan would never have reached can drain
+//! steps a lower-ordinal item was entitled to. The reducer therefore
+//! runs a deterministic *settlement* pass per check, threading the exact
+//! sequential leftover through the ordinals:
+//!
+//! * a recorded `Clean` or `Violation` whose `configs` fit the leftover
+//!   is accepted as-is — a completed search is a pure function of the
+//!   item, so it is byte-identical to what the sequential scan produces
+//!   (a completed parallel search charged exactly `configs` steps, and
+//!   the exhaustion point of a lease is chunk-size independent);
+//! * anything else (an exhausted or cancel-starved item, an error, or a
+//!   result that overran the leftover) is re-run sequentially on the
+//!   spot under a fresh pool granting *exactly* the leftover — which
+//!   reproduces the sequential outcome for that item by construction.
+//!
+//! Total settlement work is bounded by the budget itself (re-runs charge
+//! at most the leftover). Exhaustion reports carry the configured global
+//! limit (`Budget::Steps(K)`) and deadline reports the actual elapsed
+//! time, on both the sequential and parallel paths — so budgeted
+//! verdicts, `Unknown` attributions, and counterexamples are
+//! byte-identical to [`Verifier::check`] at any `--jobs` count.
+//! Wall-clock budgets remain best-effort: which `Unknown(Time)` item
+//! trips first depends on real time, never the verdict between `Holds`
+//! and `Violated`.
+//!
+//! Stats counters (`configs`, `cores`, `assignments`, maxima) are
+//! deterministic too: the reducer merges exactly the ordinals the
+//! sequential scan would have run (everything up to and including the
+//! decisive one), never timing-dependent sibling work. Interner
+//! hit/miss profile counters do vary with the split factor (each item
+//! gets its own store arena), as do the lease accounting counters.
 
 use crate::metrics::SvcMetrics;
 use std::ops::Range;
@@ -117,8 +147,10 @@ pub fn run_prepared(
     popts: &ParallelOptions,
 ) -> Vec<Result<Verification, VerifyError>> {
     let start = Instant::now();
-    let deadline = options.time_limit.map(|d| start + d);
     let jobs = popts.jobs.max(1);
+    // One shared budget pool per check (`None` when unbudgeted): all of
+    // a check's items lease from it, so the step budget is global.
+    let pools: Vec<_> = checks.iter().map(|_| options.budget_pool(start)).collect();
 
     // Decompose: one item per unit, plus core-range splits when the plain
     // unit count leaves workers idle.
@@ -130,7 +162,10 @@ pub fn run_prepared(
     };
     let mut items = Vec::new();
     let mut tokens: Vec<Vec<CancelToken>> = Vec::with_capacity(checks.len());
+    // items of check `ci` occupy `item_offsets[ci] + ordinal` in `items`
+    let mut item_offsets: Vec<usize> = Vec::with_capacity(checks.len());
     for (ci, check) in checks.iter().enumerate() {
+        item_offsets.push(items.len());
         let mut ordinal = 0;
         let mut check_tokens = Vec::new();
         let mut push = |unit: usize, cores: Option<Range<u64>>, cost: u64, ordinal: &mut usize| {
@@ -224,10 +259,7 @@ pub fn run_prepared(
             continue;
         }
         let limits = SearchLimits {
-            // full budget per unit; see the module docs on budgeted runs
-            max_steps: options.max_steps,
-            deadline,
-            time_limit: options.time_limit,
+            pool: pools[item.check].clone(),
             cancel: Some(tokens[item.check][item.ordinal].clone()),
         };
         let t0 = Instant::now();
@@ -256,40 +288,92 @@ pub fn run_prepared(
         }
     });
 
-    // Reduce each check in ordinal order.
+    // Reduce: settle each check in ordinal order — threading the exact
+    // sequential leftover budget through the ordinals, re-running any
+    // item whose recorded outcome the leftover cannot vouch for (see the
+    // module docs). Re-runs recurse like any search, so the settlement
+    // runs on a big-stack thread.
     let states = states.into_inner().unwrap();
-    checks
-        .iter()
-        .zip(states)
-        .map(|(check, state)| {
-            let mut stats = Stats::default();
-            let mut verdict = Verdict::Holds;
-            for (ordinal, slot) in state.outcomes.into_iter().enumerate() {
-                let outcome = slot.expect("all items recorded");
-                match outcome {
-                    Ok(o) => {
-                        stats.merge(&o.stats);
-                        if ordinal == state.best {
-                            verdict = match o.result {
-                                SearchResult::Clean => unreachable!("best is decisive"),
-                                SearchResult::Violation(ce) => Verdict::Violated(ce),
-                                SearchResult::Exhausted(b) => Verdict::Unknown(b),
-                            };
+    let settle = move || {
+        checks
+            .iter()
+            .enumerate()
+            .zip(states)
+            .map(|((ci, check), state)| {
+                // leftover step budget the sequential scan would have at
+                // the current ordinal (None: no step budget configured)
+                let mut leftover = options.max_steps;
+                let mut reran = false;
+                let mut stats = Stats::default();
+                let mut verdict = Verdict::Holds;
+                for (ordinal, slot) in state.outcomes.into_iter().enumerate() {
+                    let recorded = slot.expect("all items recorded");
+                    // a completed search that fits the leftover is exactly
+                    // what the sequential scan produces for this item;
+                    // anything else must be replayed under the precise
+                    // leftover allowance
+                    let accepted = match (&recorded, leftover) {
+                        (Ok(o), Some(left)) => {
+                            matches!(o.result, SearchResult::Clean | SearchResult::Violation(_))
+                                && o.stats.configs <= left
                         }
-                    }
-                    Err(e) => {
-                        if ordinal == state.best {
-                            return Err(e);
+                        (Ok(_), None) => true,
+                        (Err(_), _) => leftover.is_none(),
+                    };
+                    let outcome = if accepted {
+                        recorded
+                    } else {
+                        reran = true;
+                        let item = &items[item_offsets[ci] + ordinal];
+                        let pool = pools[ci].as_ref().expect("step budget implies a pool");
+                        let limits = SearchLimits {
+                            pool: Some(pool.for_rerun(leftover.unwrap_or(0))),
+                            cancel: options.cancel.clone(),
+                        };
+                        check.run_unit(item.unit, item.cores.clone(), &limits)
+                    };
+                    match outcome {
+                        Ok(o) => {
+                            stats.merge(&o.stats);
+                            match o.result {
+                                SearchResult::Clean => {
+                                    if let Some(left) = &mut leftover {
+                                        *left -= o.stats.configs;
+                                    }
+                                }
+                                SearchResult::Violation(ce) => {
+                                    verdict = Verdict::Violated(ce);
+                                    break;
+                                }
+                                SearchResult::Exhausted(b) => {
+                                    verdict = Verdict::Unknown(b);
+                                    break;
+                                }
+                            }
                         }
-                        // a non-best error was pre-empted by an earlier
-                        // decisive outcome, as in the sequential scan
+                        Err(e) => return Err(e),
                     }
                 }
-            }
-            stats.elapsed = state.done_at.unwrap_or_else(|| start.elapsed());
-            Ok(Verification { verdict, stats, complete: check.complete })
-        })
-        .collect()
+                let done_at = if reran {
+                    start.elapsed()
+                } else {
+                    state.done_at.unwrap_or_else(|| start.elapsed())
+                };
+                stats.elapsed = done_at;
+                Ok(Verification { verdict, stats, complete: check.complete })
+            })
+            .collect::<Vec<_>>()
+    };
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("wave-settle".into())
+            // settlement re-runs recurse once per pseudorun step
+            .stack_size(512 << 20)
+            .spawn_scoped(scope, settle)
+            .expect("spawn settle thread")
+            .join()
+            .expect("settle thread panicked")
+    })
 }
 
 #[cfg(test)]
@@ -364,6 +448,43 @@ mod tests {
             assert_eq!(seq.stats.cores, par.stats.cores, "jobs={jobs}");
             assert_eq!(seq.stats.configs, par.stats.configs, "jobs={jobs}");
             assert_eq!(seq.stats.assignments, par.stats.assignments, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn budgeted_runs_match_sequential_exactly() {
+        // pick budgets spanning "exhausted immediately" through "almost
+        // done": the parallel verdict, the reported budget, AND the
+        // search counters must equal the sequential leftover semantics
+        let unbudgeted = shop();
+        let texts = ["forall x: G !cart(x)", "forall x: G (cart(x) -> F cart(x))", "G !@B"];
+        for text in texts {
+            let prop = parse_property(text).unwrap();
+            let full = unbudgeted.check(&prop).unwrap().stats.configs;
+            for budget in [1, 2, full / 2, full.saturating_sub(1), full, full + 1].into_iter() {
+                let mut verifier = shop();
+                verifier.options_mut().max_steps = Some(budget);
+                let seq = verifier.check(&prop).unwrap();
+                for jobs in [1, 2, 4] {
+                    for chunk in [1, 7, 1024] {
+                        let mut verifier = shop();
+                        verifier.options_mut().max_steps = Some(budget);
+                        verifier.options_mut().budget_chunk = chunk;
+                        let popts = ParallelOptions { jobs, ..Default::default() };
+                        let par = check_parallel(&verifier, &prop, &popts).unwrap();
+                        let tag = format!("{text} budget={budget} jobs={jobs} chunk={chunk}");
+                        assert_eq!(
+                            format!("{:?}", seq.verdict),
+                            format!("{:?}", par.verdict),
+                            "{tag}"
+                        );
+                        assert_eq!(seq.complete, par.complete, "{tag}");
+                        assert_eq!(seq.stats.configs, par.stats.configs, "{tag}");
+                        assert_eq!(seq.stats.cores, par.stats.cores, "{tag}");
+                        assert_eq!(seq.stats.assignments, par.stats.assignments, "{tag}");
+                    }
+                }
+            }
         }
     }
 

@@ -68,6 +68,16 @@ pub struct JobRecord {
     pub stats: Stats,
 }
 
+/// The canonical textual form of an exhausted budget, used by both fresh
+/// and cached records so the two are byte-identical in `--json` output.
+pub fn budget_label(b: &Budget) -> String {
+    match b {
+        Budget::Steps(n) => format!("steps:{n}"),
+        Budget::Time(d) => format!("time:{}", d.as_secs_f64()),
+        Budget::Cancelled => "cancelled".to_string(),
+    }
+}
+
 impl JobRecord {
     pub fn error(name: &str, message: impl std::fmt::Display) -> JobRecord {
         JobRecord {
@@ -87,14 +97,7 @@ impl JobRecord {
         let (verdict, budget, ce) = match &v.verdict {
             Verdict::Holds => ("holds", None, None),
             Verdict::Violated(ce) => ("violated", None, Some((ce.steps.len(), ce.cycle_start))),
-            Verdict::Unknown(b) => {
-                let budget = match b {
-                    Budget::Steps(n) => format!("steps:{n}"),
-                    Budget::Time(d) => format!("time:{}", d.as_secs_f64()),
-                    Budget::Cancelled => "cancelled".to_string(),
-                };
-                ("unknown", Some(budget), None)
-            }
+            Verdict::Unknown(b) => ("unknown", Some(budget_label(b)), None),
         };
         JobRecord {
             name: name.to_string(),
@@ -114,10 +117,14 @@ impl JobRecord {
     pub fn from_cached(name: &str, hit: &CachedResult) -> JobRecord {
         let (verdict, budget, ce) = match &hit.verdict {
             CachedVerdict::Holds => ("holds", None, None),
-            CachedVerdict::Violated { steps, cycle_start } => {
+            CachedVerdict::Violated { steps, cycle_start, .. } => {
                 ("violated", None, Some((*steps, *cycle_start)))
             }
-            CachedVerdict::Unknown { budget } => ("unknown", Some(budget.clone()), None),
+            // going through `to_budget` + `budget_label` guarantees the
+            // cached record's budget string byte-matches a fresh run's
+            CachedVerdict::Unknown { budget } => {
+                ("unknown", Some(budget_label(&budget.to_budget())), None)
+            }
         };
         JobRecord {
             name: name.to_string(),
@@ -441,6 +448,13 @@ pub fn parse_options(json: Option<&Json>) -> Result<VerifyOptions, String> {
                     return Err("\"time_limit_s\" must be positive".to_string());
                 }
                 options.time_limit = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "budget_chunk" => {
+                let n = value.as_u64().ok_or("\"budget_chunk\" must be an integer")?;
+                if n == 0 {
+                    return Err("\"budget_chunk\" must be at least 1".to_string());
+                }
+                options.budget_chunk = n;
             }
             "heuristic1" => {
                 options.heuristic1 = value.as_bool().ok_or("\"heuristic1\" must be a boolean")?;

@@ -68,8 +68,10 @@ usage:
   wave trace summarize <trace.jsonl> [--top <k>]
 
 check options:
-  --max-steps <n>         configuration budget
+  --max-steps <n>         global configuration budget (shared across workers)
   --time-limit <seconds>  wall-clock budget
+  --budget-chunk <n>      steps leased from the shared budget pool per grant
+                          (contention knob; does not affect the verdict)
   --no-heuristic1         disable core pruning (Heuristic 1)
   --no-heuristic2         disable extension pruning (Heuristic 2)
   --paper-strict          strict Heuristic 2 (no option-support witnesses)
@@ -152,6 +154,15 @@ fn cmd_check(rest: &[String]) -> ExitCode {
     }
     if let Some(secs) = take_value(&mut args, "--time-limit") {
         options.time_limit = secs.parse().ok().map(Duration::from_secs_f64);
+    }
+    if let Some(n) = take_value(&mut args, "--budget-chunk") {
+        match n.parse::<u64>() {
+            Ok(n) if n >= 1 => options.budget_chunk = n,
+            _ => {
+                eprintln!("--budget-chunk needs a positive integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
     }
     if take_flag(&mut args, "--no-heuristic1") {
         options.heuristic1 = false;

@@ -67,6 +67,85 @@ fn budget_exhaustion_exits_three() {
     assert_eq!(out.status.code(), Some(3), "{out:?}");
 }
 
+/// Strip the timing-dependent parts of a `--json` record (wall-clock
+/// and the per-phase profile); everything else must be byte-stable.
+fn normalized_json(stdout: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stdout);
+    let wave_svc::Json::Obj(mut pairs) = wave_svc::parse_json(text.trim()).expect("json record")
+    else {
+        panic!("record is an object: {text}")
+    };
+    for (key, value) in pairs.iter_mut() {
+        if key == "stats" {
+            if let wave_svc::Json::Obj(stats) = value {
+                stats.retain(|(k, _)| k != "elapsed_ms" && k != "profile");
+            }
+        }
+    }
+    wave_svc::Json::Obj(pairs).to_string()
+}
+
+#[test]
+fn budgeted_json_is_identical_across_jobs() {
+    // one exhausting budget (verdict + budget string) and one generous
+    // budget on a violated property (counterexample shape): both must be
+    // byte-identical between --jobs 1 and --jobs 8, and stable run-to-run
+    let cases = [
+        ("e1_shop.wave", "G (@HP -> X (@HP | @CP | @EP | @RP | @HLP | @ABP))", "200"),
+        ("e2_motogp.wave", "F @GDP", "2000000"),
+    ];
+    for (spec, property, budget) in cases {
+        let run = |jobs: &str| {
+            let out = Command::new(wave_bin())
+                .args([
+                    "check",
+                    spec_path(spec).to_str().unwrap(),
+                    "--property",
+                    property,
+                    "--max-steps",
+                    budget,
+                    "--json",
+                    "--jobs",
+                    jobs,
+                ])
+                .output()
+                .expect("wave runs");
+            (normalized_json(&out.stdout), out.status.code())
+        };
+        let (seq, seq_code) = run("1");
+        for jobs in ["2", "8"] {
+            let (par, par_code) = run(jobs);
+            assert_eq!(seq, par, "{spec} {property:?}: --jobs {jobs} diverged");
+            assert_eq!(seq_code, par_code, "{spec} {property:?}: exit code diverged");
+        }
+        let (again, _) = run("8");
+        assert_eq!(seq, again, "{spec} {property:?}: unstable across runs");
+    }
+}
+
+#[test]
+fn deadline_exhaustion_never_reports_time_zero() {
+    let out = Command::new(wave_bin())
+        .args([
+            "check",
+            spec_path("e1_shop.wave").to_str().unwrap(),
+            "--property",
+            "G (@HP -> X (@HP | @CP | @EP | @RP | @HLP | @ABP))",
+            "--time-limit",
+            "0.000001",
+            "--json",
+            "--jobs",
+            "2",
+        ])
+        .output()
+        .expect("wave runs");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let record = wave_svc::parse_json(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    let budget = record.get("budget").and_then(wave_svc::Json::as_str).expect("budget field");
+    let secs: f64 = budget.strip_prefix("time:").expect("time budget").parse().unwrap();
+    assert!(secs > 0.0, "deadline must report actual elapsed, got {budget:?}");
+}
+
 #[test]
 fn bad_usage_exits_two() {
     for args in [
