@@ -210,7 +210,12 @@ fn p4_successor_uniqueness() -> String {
 
 /// The full E1 suite.
 pub fn suite() -> AppSuite {
-    AppSuite { name: "E1 computer shopping", spec: spec(), properties: properties() }
+    AppSuite {
+        name: "E1 computer shopping",
+        spec: spec(),
+        source: E1_SOURCE,
+        properties: properties(),
+    }
 }
 
 #[cfg(test)]

@@ -122,7 +122,12 @@ pub fn properties() -> Vec<PropCase> {
 
 /// The full E2 suite.
 pub fn suite() -> AppSuite {
-    AppSuite { name: "E2 MotoGP browsing", spec: spec(), properties: properties() }
+    AppSuite {
+        name: "E2 MotoGP browsing",
+        spec: spec(),
+        source: E2_SOURCE,
+        properties: properties(),
+    }
 }
 
 #[cfg(test)]

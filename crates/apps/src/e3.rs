@@ -126,7 +126,12 @@ pub fn properties() -> Vec<PropCase> {
 
 /// The full E3 suite.
 pub fn suite() -> AppSuite {
-    AppSuite { name: "E3 airline reservation", spec: spec(), properties: properties() }
+    AppSuite {
+        name: "E3 airline reservation",
+        spec: spec(),
+        source: E3_SOURCE,
+        properties: properties(),
+    }
 }
 
 #[cfg(test)]

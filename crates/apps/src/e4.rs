@@ -127,7 +127,12 @@ pub fn properties() -> Vec<PropCase> {
 
 /// The full E4 suite.
 pub fn suite() -> AppSuite {
-    AppSuite { name: "E4 online bookstore", spec: spec(), properties: properties() }
+    AppSuite {
+        name: "E4 online bookstore",
+        spec: spec(),
+        source: E4_SOURCE,
+        properties: properties(),
+    }
 }
 
 #[cfg(test)]

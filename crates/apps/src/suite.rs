@@ -100,6 +100,8 @@ pub struct PropCase {
 pub struct AppSuite {
     pub name: &'static str,
     pub spec: Spec,
+    /// DSL source the spec was parsed from; spans in `spec` index into it.
+    pub source: &'static str,
     pub properties: Vec<PropCase>,
 }
 

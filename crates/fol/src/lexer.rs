@@ -7,11 +7,21 @@
 
 use std::fmt;
 
-/// A lexical token with its source position (byte offset) for diagnostics.
+/// A lexical token with its source extent (byte offsets) for diagnostics.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Token {
     pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
     pub pos: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's source extent as a [`crate::span::Span`].
+    pub fn span(&self) -> crate::span::Span {
+        crate::span::Span::new(self.pos, self.end)
+    }
 }
 
 /// Token kinds.
@@ -134,64 +144,64 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), pos: start });
+                tokens.push(Token { kind: TokenKind::Str(s), pos: start, end: i });
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, pos: i });
+                tokens.push(Token { kind: TokenKind::LParen, pos: i, end: i + 1 });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, pos: i });
+                tokens.push(Token { kind: TokenKind::RParen, pos: i, end: i + 1 });
                 i += 1;
             }
             b'{' => {
-                tokens.push(Token { kind: TokenKind::LBrace, pos: i });
+                tokens.push(Token { kind: TokenKind::LBrace, pos: i, end: i + 1 });
                 i += 1;
             }
             b'}' => {
-                tokens.push(Token { kind: TokenKind::RBrace, pos: i });
+                tokens.push(Token { kind: TokenKind::RBrace, pos: i, end: i + 1 });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, pos: i });
+                tokens.push(Token { kind: TokenKind::Comma, pos: i, end: i + 1 });
                 i += 1;
             }
             b';' => {
-                tokens.push(Token { kind: TokenKind::Semi, pos: i });
+                tokens.push(Token { kind: TokenKind::Semi, pos: i, end: i + 1 });
                 i += 1;
             }
             b':' => {
-                tokens.push(Token { kind: TokenKind::Colon, pos: i });
+                tokens.push(Token { kind: TokenKind::Colon, pos: i, end: i + 1 });
                 i += 1;
             }
             b'@' => {
-                tokens.push(Token { kind: TokenKind::At, pos: i });
+                tokens.push(Token { kind: TokenKind::At, pos: i, end: i + 1 });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, pos: i });
+                tokens.push(Token { kind: TokenKind::Eq, pos: i, end: i + 1 });
                 i += 1;
             }
             b'&' => {
-                tokens.push(Token { kind: TokenKind::Amp, pos: i });
+                tokens.push(Token { kind: TokenKind::Amp, pos: i, end: i + 1 });
                 i += 1;
             }
             b'|' => {
-                tokens.push(Token { kind: TokenKind::Pipe, pos: i });
+                tokens.push(Token { kind: TokenKind::Pipe, pos: i, end: i + 1 });
                 i += 1;
             }
             b'!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, pos: i });
+                    tokens.push(Token { kind: TokenKind::Ne, pos: i, end: i + 2 });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Bang, pos: i });
+                    tokens.push(Token { kind: TokenKind::Bang, pos: i, end: i + 1 });
                     i += 1;
                 }
             }
             b'-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Arrow, pos: i });
+                    tokens.push(Token { kind: TokenKind::Arrow, pos: i, end: i + 2 });
                     i += 2;
                 } else {
                     return Err(LexError { pos: i, message: "expected '->'".into() });
@@ -199,7 +209,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             b'[' => {
                 if bytes.get(i + 1) == Some(&b']') {
-                    tokens.push(Token { kind: TokenKind::Box_, pos: i });
+                    tokens.push(Token { kind: TokenKind::Box_, pos: i, end: i + 2 });
                     i += 2;
                 } else {
                     return Err(LexError { pos: i, message: "expected '[]'".into() });
@@ -207,11 +217,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             b'<' => match bytes.get(i + 1) {
                 Some(&b'>') => {
-                    tokens.push(Token { kind: TokenKind::Diamond, pos: i });
+                    tokens.push(Token { kind: TokenKind::Diamond, pos: i, end: i + 2 });
                     i += 2;
                 }
                 Some(&b'-') => {
-                    tokens.push(Token { kind: TokenKind::LArrow, pos: i });
+                    tokens.push(Token { kind: TokenKind::LArrow, pos: i, end: i + 2 });
                     i += 2;
                 }
                 _ => return Err(LexError { pos: i, message: "expected '<>' or '<-'".into() }),
@@ -222,7 +232,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let ident = src[start..i].to_string();
-                tokens.push(Token { kind: TokenKind::Ident(ident), pos: start });
+                tokens.push(Token { kind: TokenKind::Ident(ident), pos: start, end: i });
             }
             b if b.is_ascii_digit() => {
                 // bare numbers are identifiers too (e.g. page names like "404");
@@ -231,8 +241,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
                     i += 1;
                 }
-                tokens
-                    .push(Token { kind: TokenKind::Ident(src[start..i].to_string()), pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    pos: start,
+                    end: i,
+                });
             }
             other => {
                 return Err(LexError {
@@ -242,7 +255,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, pos: bytes.len() });
+    tokens.push(Token { kind: TokenKind::Eof, pos: bytes.len(), end: bytes.len() });
     Ok(tokens)
 }
 
@@ -345,5 +358,13 @@ mod tests {
     fn unexpected_char_reports_position() {
         let err = lex("ab $").unwrap_err();
         assert_eq!(err.pos, 3);
+    }
+
+    #[test]
+    fn tokens_carry_byte_extents() {
+        let toks = lex(r#"ab <- "xy" !="#).unwrap();
+        let extents: Vec<(usize, usize)> = toks.iter().map(|t| (t.pos, t.end)).collect();
+        // ident, larrow, string (includes quotes), ne, eof
+        assert_eq!(extents, vec![(0, 2), (3, 5), (6, 10), (11, 13), (13, 13)]);
     }
 }

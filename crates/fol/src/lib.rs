@@ -15,6 +15,7 @@ pub mod eval;
 pub mod lexer;
 pub mod parser;
 pub mod rewrite;
+pub mod span;
 
 pub use analysis::{
     check_input_bounded, check_option_rule, constants, free_vars, relations, IbViolation,
@@ -29,3 +30,4 @@ pub use eval::{
 };
 pub use parser::{parse_formula, ParseError, Parser};
 pub use rewrite::eliminate_input_quantifiers;
+pub use span::{LineCol, LineMap, Span};

@@ -19,18 +19,25 @@
 
 use crate::ast::{Atom, Formula, Term};
 use crate::lexer::{lex, LexError, Token, TokenKind};
+use crate::span::{LineCol, LineMap, Span};
 use std::fmt;
 
-/// Parse error with byte position.
+/// Parse error with byte position and (when the parser was built from
+/// source text) the resolved line/column of that position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     pub pos: usize,
+    /// 1-based line/column of `pos`, when known.
+    pub line_col: Option<LineCol>,
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+        match self.line_col {
+            Some(lc) => write!(f, "parse error at {lc}: {}", self.message),
+            None => write!(f, "parse error at byte {}: {}", self.pos, self.message),
+        }
     }
 }
 
@@ -38,7 +45,7 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { pos: e.pos, message: e.message }
+        ParseError { pos: e.pos, line_col: None, message: e.message }
     }
 }
 
@@ -47,17 +54,30 @@ impl From<LexError> for ParseError {
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// End offset of the most recently consumed token (for span building).
+    last_end: usize,
+    /// Line map of the source text, when parsing from source.
+    line_map: Option<LineMap>,
 }
 
 impl Parser {
     /// Parser over an already-lexed token stream.
     pub fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+        Parser { tokens, pos: 0, last_end: 0, line_map: None }
     }
 
-    /// Lex and wrap `src`.
+    /// Lex and wrap `src`. Errors produced by this parser resolve their
+    /// positions to line/column pairs.
     pub fn from_source(src: &str) -> Result<Self, ParseError> {
-        Ok(Parser::new(lex(src)?))
+        let map = LineMap::new(src);
+        let tokens = lex(src).map_err(|e| ParseError {
+            pos: e.pos,
+            line_col: Some(map.resolve(e.pos)),
+            message: e.message,
+        })?;
+        let mut p = Parser::new(tokens);
+        p.line_map = Some(map);
+        Ok(p)
     }
 
     /// Current token.
@@ -81,12 +101,35 @@ impl Parser {
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
+        self.last_end = t.end;
         t
+    }
+
+    /// Start offset of the current (next unconsumed) token.
+    pub fn next_start(&self) -> usize {
+        self.peek().pos
+    }
+
+    /// End offset of the most recently consumed token. Combined with
+    /// [`Parser::next_start`] this brackets a construct:
+    /// `Span::new(start, p.prev_end())`.
+    pub fn prev_end(&self) -> usize {
+        self.last_end
+    }
+
+    /// Span from `start` to the end of the last consumed token.
+    pub fn span_from(&self, start: usize) -> Span {
+        Span::new(start, self.last_end)
     }
 
     /// Error at the current position.
     pub fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { pos: self.peek().pos, message: message.into() }
+        let pos = self.peek().pos;
+        ParseError {
+            pos,
+            line_col: self.line_map.as_ref().map(|m| m.resolve(pos)),
+            message: message.into(),
+        }
     }
 
     /// Consume a specific token kind or fail.
@@ -398,6 +441,22 @@ mod tests {
     fn error_positions_point_at_problem() {
         let err = parse_formula("a() & ").unwrap_err();
         assert_eq!(err.pos, 6);
+    }
+
+    #[test]
+    fn errors_from_source_carry_line_and_column() {
+        let err = parse_formula("a() &\n  (b() &").unwrap_err();
+        assert_eq!(err.line_col, Some(crate::span::LineCol { line: 2, col: 9 }));
+        assert!(err.to_string().contains("parse error at 2:9"), "{err}");
+    }
+
+    #[test]
+    fn span_helpers_bracket_constructs() {
+        let mut p = Parser::from_source("foo(x, y)").unwrap();
+        let start = p.next_start();
+        p.parse_formula().unwrap();
+        let span = p.span_from(start);
+        assert_eq!((span.start, span.end), (0, 9));
     }
 
     #[test]

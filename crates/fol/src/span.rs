@@ -1,0 +1,177 @@
+//! Source spans and line/column resolution.
+//!
+//! Every token carries its byte extent; the DSL parser aggregates token
+//! extents into [`Span`]s on declarations and rules so that diagnostics
+//! (parse errors, lint findings) can point at real source positions.
+//! A [`LineMap`] converts byte offsets into 1-based line/column pairs and
+//! recovers the text of a line for caret rendering.
+
+use std::fmt;
+
+/// A byte range into the source a construct was parsed from.
+///
+/// Spans are *metadata*: two ASTs that differ only in spans represent the
+/// same specification. To keep structural equality (and the print/parse
+/// round-trip guarantees built on it) span-agnostic, `PartialEq`, `Eq`,
+/// `Hash` and `Ord` treat all spans as equal.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// The empty placeholder span (offset 0) used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end: end.max(start) }
+    }
+
+    /// A zero-width span at one offset.
+    pub fn point(pos: usize) -> Span {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// True for the placeholder produced by [`Span::DUMMY`] / `default()`.
+    pub fn is_dummy(self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+}
+
+impl PartialEq for Span {
+    /// Always equal — spans are position metadata, not structure.
+    fn eq(&self, _: &Span) -> bool {
+        true
+    }
+}
+
+impl Eq for Span {}
+
+impl std::hash::Hash for Span {
+    /// Hashes nothing, consistent with the all-equal `PartialEq`.
+    fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineCol {
+    pub line: usize,
+    pub col: usize,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Byte-offset → line/column resolver over one source text.
+#[derive(Clone, Debug)]
+pub struct LineMap {
+    /// Byte offset of the start of each line (line 1 starts at offset 0).
+    line_starts: Vec<usize>,
+    /// Total source length, for clamping out-of-range offsets.
+    len: usize,
+}
+
+impl LineMap {
+    pub fn new(src: &str) -> LineMap {
+        let mut line_starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineMap { line_starts, len: src.len() }
+    }
+
+    /// Line/column (both 1-based) of a byte offset. Columns count bytes,
+    /// which matches the ASCII-only surface syntax.
+    pub fn resolve(&self, offset: usize) -> LineCol {
+        let offset = offset.min(self.len);
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol { line: line + 1, col: offset - self.line_starts[line] + 1 }
+    }
+
+    /// The text of 1-based line `line` in `src` (no trailing newline).
+    /// `src` must be the text the map was built from.
+    pub fn line_text<'a>(&self, src: &'a str, line: usize) -> &'a str {
+        if line == 0 || line > self.line_starts.len() {
+            return "";
+        }
+        let start = self.line_starts[line - 1];
+        let end = self.line_starts.get(line).map(|&e| e - 1).unwrap_or(src.len());
+        &src[start..end.max(start)]
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_lines_and_columns() {
+        let src = "abc\ndef\n\nxyz";
+        let map = LineMap::new(src);
+        assert_eq!(map.resolve(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.resolve(2), LineCol { line: 1, col: 3 });
+        assert_eq!(map.resolve(4), LineCol { line: 2, col: 1 });
+        assert_eq!(map.resolve(8), LineCol { line: 3, col: 1 });
+        assert_eq!(map.resolve(9), LineCol { line: 4, col: 1 });
+        assert_eq!(map.resolve(12), LineCol { line: 4, col: 4 });
+        // past-the-end clamps to the final position
+        assert_eq!(map.resolve(1000), LineCol { line: 4, col: 4 });
+    }
+
+    #[test]
+    fn recovers_line_text() {
+        let src = "abc\ndef\n\nxyz";
+        let map = LineMap::new(src);
+        assert_eq!(map.line_text(src, 1), "abc");
+        assert_eq!(map.line_text(src, 2), "def");
+        assert_eq!(map.line_text(src, 3), "");
+        assert_eq!(map.line_text(src, 4), "xyz");
+        assert_eq!(map.line_text(src, 5), "");
+        assert_eq!(map.lines(), 4);
+    }
+
+    #[test]
+    fn spans_compare_equal_regardless_of_position() {
+        assert_eq!(Span::new(3, 9), Span::new(100, 200));
+        assert_eq!(Span::DUMMY, Span::point(42));
+        assert!(Span::DUMMY.is_dummy());
+        assert!(!Span::new(1, 2).is_dummy());
+        // field-level check: Span's PartialEq is intentionally vacuous
+        let joined = Span::new(3, 5).to(Span::new(10, 12));
+        assert_eq!((joined.start, joined.end), (3, 12));
+    }
+
+    #[test]
+    fn empty_source() {
+        let map = LineMap::new("");
+        assert_eq!(map.resolve(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_text("", 1), "");
+    }
+}

@@ -1,0 +1,187 @@
+//! The diagnostic model: stable codes, severities, and resolved records.
+//!
+//! Every finding the linter produces is a [`Diagnostic`] carrying a stable
+//! code (`E####` for errors, `W####` for warnings), a severity, a message,
+//! an optional source [`Span`] into the artifact it was found in, and
+//! free-form notes. Codes are stable across releases so CI configurations
+//! (`--allow CODE`, SARIF rule ids) do not rot.
+
+use std::fmt;
+use wave_fol::Span;
+
+/// Diagnostic severity. `Error` findings make `wave lint` exit non-zero;
+/// `Warning` findings do so only under `--deny warnings`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Which artifact a diagnostic points into: the spec source or the `i`-th
+/// property text handed to the linter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Origin {
+    Spec,
+    Property(usize),
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"W0201"`. Always one of [`CODES`].
+    pub code: &'static str,
+    /// Default severity (may be promoted by `--deny warnings`).
+    pub severity: Severity,
+    pub message: String,
+    pub origin: Origin,
+    /// Byte extent into the origin's source text, when known.
+    pub span: Option<Span>,
+    /// Secondary remarks rendered under the primary message.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    pub fn new(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        let severity = code_severity(code).expect("diagnostic code must be registered");
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            origin: Origin::Spec,
+            span: None,
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        if !span.is_dummy() {
+            self.span = Some(span);
+        }
+        self
+    }
+
+    pub fn in_property(mut self, index: usize) -> Diagnostic {
+        self.origin = Origin::Property(index);
+        self
+    }
+
+    pub fn note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+// Stable diagnostic codes, grouped by pass family:
+//   E00xx  syntax / structural validity
+//   W01xx  decidable-fragment (input-boundedness) findings
+//   W02xx  page-graph reachability
+//   W03xx  dead code
+//   W04xx  rule conflicts
+//   E/W05xx  spec ↔ property cross-checks
+
+pub const E0001: &str = "E0001"; // syntax error
+pub const E0002: &str = "E0002"; // invalid specification structure
+pub const W0101: &str = "W0101"; // rule body not input-bounded
+pub const W0102: &str = "W0102"; // option rule outside the option-rule fragment
+pub const W0201: &str = "W0201"; // page unreachable from home
+pub const W0202: &str = "W0202"; // target rule condition can never hold
+pub const W0301: &str = "W0301"; // state relation written but never read
+pub const W0302: &str = "W0302"; // state relation read but never written
+pub const W0303: &str = "W0303"; // input declared but never used
+pub const W0304: &str = "W0304"; // rule body trivially false
+pub const W0305: &str = "W0305"; // action relation never emitted
+pub const W0306: &str = "W0306"; // relation declared but never used
+pub const W0401: &str = "W0401"; // insert/delete conflict on a state relation
+pub const E0501: &str = "E0501"; // property references undeclared relation
+pub const E0502: &str = "E0502"; // relation arity mismatch in property
+pub const E0503: &str = "E0503"; // property references unknown page
+pub const W0504: &str = "W0504"; // property component not input-bounded
+
+/// The full code registry: `(code, default severity, short description)`.
+/// Drives `--allow` validation, the SARIF rule table, and the docs.
+pub const CODES: &[(&str, Severity, &str)] = &[
+    (E0001, Severity::Error, "syntax error"),
+    (E0002, Severity::Error, "invalid specification structure"),
+    (W0101, Severity::Warning, "rule body is not input-bounded"),
+    (W0102, Severity::Warning, "option rule outside the option-rule fragment"),
+    (W0201, Severity::Warning, "page is unreachable from the home page"),
+    (W0202, Severity::Warning, "target rule condition can never hold"),
+    (W0301, Severity::Warning, "state relation is written but never read"),
+    (W0302, Severity::Warning, "state relation is read but never written"),
+    (W0303, Severity::Warning, "input is declared but never used"),
+    (W0304, Severity::Warning, "rule body is trivially false"),
+    (W0305, Severity::Warning, "action relation is never emitted by any rule"),
+    (W0306, Severity::Warning, "relation is declared but never used"),
+    (
+        W0401,
+        Severity::Warning,
+        "state relation is inserted and deleted under overlapping conditions",
+    ),
+    (E0501, Severity::Error, "property references an undeclared relation"),
+    (E0502, Severity::Error, "relation arity mismatch in property"),
+    (E0503, Severity::Error, "property references an unknown page"),
+    (W0504, Severity::Warning, "property component is not input-bounded"),
+];
+
+/// Default severity of a registered code.
+pub fn code_severity(code: &str) -> Option<Severity> {
+    CODES.iter().find(|(c, _, _)| *c == code).map(|&(_, s, _)| s)
+}
+
+/// Short human description of a registered code.
+pub fn code_description(code: &str) -> Option<&'static str> {
+    CODES.iter().find(|(c, _, _)| *c == code).map(|&(_, _, d)| d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        for (i, (c, sev, desc)) in CODES.iter().enumerate() {
+            assert_eq!(c.len(), 5, "{c}");
+            let class = c.as_bytes()[0];
+            assert!(class == b'E' || class == b'W', "{c}");
+            // the letter agrees with the default severity
+            assert_eq!(*sev == Severity::Error, class == b'E', "{c}");
+            assert!(!desc.is_empty());
+            assert!(!CODES[..i].iter().any(|(d, _, _)| d == c), "duplicate {c}");
+        }
+    }
+
+    #[test]
+    fn severity_lookup() {
+        assert_eq!(code_severity("W0201"), Some(Severity::Warning));
+        assert_eq!(code_severity("E0001"), Some(Severity::Error));
+        assert_eq!(code_severity("X9999"), None);
+    }
+
+    #[test]
+    fn builder_attaches_metadata() {
+        let d = Diagnostic::new(W0201, "page is unreachable")
+            .with_span(Span::new(3, 9))
+            .in_property(2)
+            .note("declared here");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.origin, Origin::Property(2));
+        let s = d.span.unwrap();
+        assert_eq!((s.start, s.end), (3, 9));
+        assert_eq!(d.notes.len(), 1);
+    }
+
+    #[test]
+    fn dummy_spans_are_dropped() {
+        let d = Diagnostic::new(W0301, "m").with_span(Span::DUMMY);
+        assert!(d.span.is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! Pass 1: decidable-fragment checks.
+//!
+//! Re-runs the paper's Section 2.1 input-boundedness restriction
+//! ([`wave_fol::check_input_bounded`]) and the input-option-rule
+//! restriction ([`wave_fol::check_option_rule`]) over every rule, but —
+//! unlike [`wave_spec::CompiledSpec::compile`], which records the same
+//! facts in its `ib_report` — anchors each finding to the offending rule's
+//! source span. Outside the fragment the verifier still runs, but it is
+//! sound-and-incomplete, so these are warnings rather than errors.
+
+use crate::diag::{Diagnostic, W0101, W0102};
+use wave_fol::{check_input_bounded, check_option_rule};
+use wave_spec::{spec_kinds, Spec};
+
+const INCOMPLETE_NOTE: &str =
+    "outside the input-bounded fragment verification is sound but incomplete \
+     (counterexamples are real; PASS verdicts are not conclusive)";
+
+pub fn run(spec: &Spec, out: &mut Vec<Diagnostic>) {
+    let kinds = spec_kinds(spec);
+    for p in &spec.pages {
+        for r in &p.option_rules {
+            if let Err(v) = check_option_rule(&r.body, &kinds) {
+                out.push(
+                    Diagnostic::new(
+                        W0102,
+                        format!(
+                            "option rule for input {:?} on page {} is outside the \
+                             option-rule fragment: {v}",
+                            r.input, p.name
+                        ),
+                    )
+                    .with_span(r.span)
+                    .note(INCOMPLETE_NOTE),
+                );
+            }
+        }
+        for r in &p.state_rules {
+            if let Err(v) = check_input_bounded(&r.body, &kinds) {
+                let verb = if r.insert { "insert" } else { "delete" };
+                out.push(
+                    Diagnostic::new(
+                        W0101,
+                        format!(
+                            "{verb} rule for state {} on page {} is not input-bounded: {v}",
+                            r.state, p.name
+                        ),
+                    )
+                    .with_span(r.span)
+                    .note(INCOMPLETE_NOTE),
+                );
+            }
+        }
+        for r in &p.action_rules {
+            if let Err(v) = check_input_bounded(&r.body, &kinds) {
+                out.push(
+                    Diagnostic::new(
+                        W0101,
+                        format!(
+                            "action rule for {} on page {} is not input-bounded: {v}",
+                            r.action, p.name
+                        ),
+                    )
+                    .with_span(r.span)
+                    .note(INCOMPLETE_NOTE),
+                );
+            }
+        }
+        for r in &p.target_rules {
+            if let Err(v) = check_input_bounded(&r.condition, &kinds) {
+                out.push(
+                    Diagnostic::new(
+                        W0101,
+                        format!(
+                            "target rule to {} on page {} is not input-bounded: {v}",
+                            r.target, p.name
+                        ),
+                    )
+                    .with_span(r.span)
+                    .note(INCOMPLETE_NOTE),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Pass 4: insert/delete conflict detection.
+//!
+//! The paper's update semantics (Section 2.1) makes a simultaneous insert
+//! and delete of the same tuple a *no-op* — the state is left unchanged.
+//! Rules of one page fire in the same step, so an insert rule and a
+//! delete rule for the same state relation *on the same page* whose
+//! bodies can hold together may silently cancel: almost always a spec
+//! bug. [`crate::diag::W0401`] reports each such pair unless the bodies
+//! are provably disjoint.
+//!
+//! The disjointness argument is deliberately cheap and sound: an input
+//! relation holds at most one tuple per step (the user picks one option;
+//! a constant holds one value), so two bodies that each *require* a
+//! ground atom over the same input relation with different tuples can
+//! never hold in the same step. `button("add")` vs `button("remove")` is
+//! the idiomatic case.
+
+use std::collections::HashMap;
+
+use crate::diag::{Diagnostic, W0401};
+use crate::simplify::{truth, Tri};
+use wave_fol::{Formula, Term};
+use wave_spec::{Spec, StateRule};
+
+pub fn run(spec: &Spec, out: &mut Vec<Diagnostic>) {
+    for p in &spec.pages {
+        let inserts: Vec<&StateRule> = p.state_rules.iter().filter(|r| r.insert).collect();
+        let deletes: Vec<&StateRule> = p.state_rules.iter().filter(|r| !r.insert).collect();
+        for ins in &inserts {
+            for del in &deletes {
+                if ins.state != del.state {
+                    continue;
+                }
+                if truth(&ins.body) == Tri::False || truth(&del.body) == Tri::False {
+                    continue; // dead rules are W0304's business
+                }
+                if provably_disjoint(spec, &ins.body, &del.body) {
+                    continue;
+                }
+                out.push(
+                    Diagnostic::new(
+                        W0401,
+                        format!(
+                            "state relation {} is both inserted and deleted on page {} \
+                             under conditions that may hold together",
+                            ins.state, p.name
+                        ),
+                    )
+                    .with_span(del.span)
+                    .note(
+                        "a simultaneous insert and delete of the same tuple is a no-op \
+                         under the paper's update semantics; if the cancellation is \
+                         intended, guard the two rules with distinct input choices",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// True when the two bodies can never hold in the same step, argued via
+/// required ground input atoms.
+fn provably_disjoint(spec: &Spec, a: &Formula, b: &Formula) -> bool {
+    let ra = required_ground_inputs(spec, a);
+    let rb = required_ground_inputs(spec, b);
+    for (key, ta) in &ra {
+        if let Some(tb) = rb.get(key) {
+            if ta != tb {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Ground input atoms every model of `f` must satisfy: positive all-constant
+/// atoms over input relations appearing as top-level conjuncts. Keyed by
+/// `(relation, prev)`; an input relation holds at most one tuple per step,
+/// so one required tuple per key is enough for the disjointness argument.
+fn required_ground_inputs<'f>(spec: &Spec, f: &'f Formula) -> HashMap<(String, bool), &'f [Term]> {
+    let mut out = HashMap::new();
+    let mut stack = vec![f];
+    while let Some(g) = stack.pop() {
+        match g {
+            Formula::And(xs) => stack.extend(xs.iter()),
+            Formula::Atom(a)
+                if spec.input(&a.rel).is_some()
+                    && a.terms.iter().all(|t| matches!(t, Term::Const(_))) =>
+            {
+                out.insert((a.rel.clone(), a.prev), a.terms.as_slice());
+            }
+            _ => {}
+        }
+    }
+    out
+}

@@ -1,0 +1,267 @@
+//! Diagnostic rendering: shared span resolution, human-readable text with
+//! caret underlines, and machine-readable JSON.
+
+use crate::diag::{Diagnostic, Origin, Severity};
+use crate::LintRequest;
+use wave_fol::{LineCol, LineMap};
+
+/// Line maps for every artifact of a request, built once and shared by all
+/// renderers (and by the verification service when it embeds diagnostics).
+pub struct SourceSet<'a> {
+    req: &'a LintRequest,
+    spec_map: LineMap,
+    prop_maps: Vec<LineMap>,
+}
+
+/// A diagnostic's span resolved to file/line/column (1-based, inclusive
+/// start, exclusive end).
+#[derive(Clone, Debug)]
+pub struct ResolvedLoc<'a> {
+    pub file: &'a str,
+    pub start: LineCol,
+    pub end: LineCol,
+}
+
+impl<'a> SourceSet<'a> {
+    pub fn new(req: &'a LintRequest) -> SourceSet<'a> {
+        SourceSet {
+            req,
+            spec_map: LineMap::new(&req.spec_src),
+            prop_maps: req.properties.iter().map(|p| LineMap::new(&p.text)).collect(),
+        }
+    }
+
+    /// Display name of an artifact.
+    pub fn file(&self, origin: Origin) -> &'a str {
+        match origin {
+            Origin::Spec => &self.req.spec_path,
+            Origin::Property(i) => &self.req.properties[i].label,
+        }
+    }
+
+    /// Source text of an artifact.
+    pub fn source(&self, origin: Origin) -> &'a str {
+        match origin {
+            Origin::Spec => &self.req.spec_src,
+            Origin::Property(i) => &self.req.properties[i].text,
+        }
+    }
+
+    fn map(&self, origin: Origin) -> &LineMap {
+        match origin {
+            Origin::Spec => &self.spec_map,
+            Origin::Property(i) => &self.prop_maps[i],
+        }
+    }
+
+    /// Resolve a diagnostic's span, if it has one.
+    pub fn resolve(&self, d: &Diagnostic) -> Option<ResolvedLoc<'a>> {
+        let span = d.span?;
+        let map = self.map(d.origin);
+        Some(ResolvedLoc {
+            file: self.file(d.origin),
+            start: map.resolve(span.start),
+            end: map.resolve(span.end),
+        })
+    }
+}
+
+/// Render diagnostics as human-readable text with source excerpts:
+///
+/// ```text
+/// warning[W0201]: page EP is unreachable from the home page HP
+///   --> shop.wave:12:3
+///    |
+/// 12 |   page EP {
+///    |   ^^^^^^^
+///    = note: no sequence of target-rule transitions leads here
+/// ```
+pub fn render_text(req: &LintRequest, diags: &[Diagnostic]) -> String {
+    let sources = SourceSet::new(req);
+    let mut out = String::new();
+    for d in diags {
+        render_one(&sources, d, &mut out);
+    }
+    out
+}
+
+fn render_one(sources: &SourceSet<'_>, d: &Diagnostic, out: &mut String) {
+    out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+    if let Some(loc) = sources.resolve(d) {
+        out.push_str(&format!("  --> {}:{}:{}\n", loc.file, loc.start.line, loc.start.col));
+        let src = sources.source(d.origin);
+        let map = sources.map(d.origin);
+        {
+            let text = map.line_text(src, loc.start.line);
+            let gutter = loc.start.line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let text = text.trim_end();
+            // caret run: to the span end on this line, or to the line end
+            // for multi-line spans; always at least one caret
+            let end_col = if loc.end.line == loc.start.line {
+                loc.end.col.max(loc.start.col + 1)
+            } else {
+                text.chars().count() + 1
+            };
+            let width = end_col.saturating_sub(loc.start.col).max(1);
+            out.push_str(&format!("{pad} |\n"));
+            out.push_str(&format!("{gutter} | {text}\n"));
+            out.push_str(&format!(
+                "{pad} | {}{}\n",
+                " ".repeat(loc.start.col.saturating_sub(1)),
+                "^".repeat(width)
+            ));
+        }
+    } else {
+        out.push_str(&format!("  --> {}\n", sources.file(d.origin)));
+    }
+    for note in &d.notes {
+        out.push_str(&format!("  = note: {note}\n"));
+    }
+}
+
+/// One-line human summary (`"2 errors, 3 warnings"`), empty string when
+/// there are no diagnostics.
+pub fn summary(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return String::new();
+    }
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    let part = |n: usize, what: &str| format!("{n} {what}{}", if n == 1 { "" } else { "s" });
+    match (errors, warnings) {
+        (0, w) => part(w, "warning"),
+        (e, 0) => part(e, "error"),
+        (e, w) => format!("{}, {}", part(e, "error"), part(w, "warning")),
+    }
+}
+
+/// Render diagnostics as a JSON array, one finding per element. Positions
+/// are 1-based; span-less findings omit the position fields.
+pub fn render_json(req: &LintRequest, diags: &[Diagnostic]) -> String {
+    let sources = SourceSet::new(req);
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        out.push_str(&json_object(&sources, d));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_object(sources: &SourceSet<'_>, d: &Diagnostic) -> String {
+    let mut fields = vec![
+        format!("\"code\":{}", json_string(d.code)),
+        format!("\"severity\":{}", json_string(&d.severity.to_string())),
+        format!("\"message\":{}", json_string(&d.message)),
+        format!("\"file\":{}", json_string(sources.file(d.origin))),
+    ];
+    if let Some(loc) = sources.resolve(d) {
+        fields.push(format!("\"line\":{}", loc.start.line));
+        fields.push(format!("\"col\":{}", loc.start.col));
+        fields.push(format!("\"end_line\":{}", loc.end.line));
+        fields.push(format!("\"end_col\":{}", loc.end.col));
+    }
+    if !d.notes.is_empty() {
+        let notes: Vec<String> = d.notes.iter().map(|n| json_string(n)).collect();
+        fields.push(format!("\"notes\":[{}]", notes.join(",")));
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Escape a string for JSON output.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint;
+
+    fn unreachable_req() -> LintRequest {
+        LintRequest::spec_only(
+            "t.wave",
+            r#"spec t {
+  inputs { b(x); }
+  home HP;
+  page HP {
+    inputs { b }
+    options b(x) <- x = "go";
+    target HP <- b("go");
+  }
+  page EP {
+    inputs { b }
+    options b(x) <- x = "go";
+    target HP <- b("go");
+  }
+}"#,
+        )
+    }
+
+    #[test]
+    fn text_rendering_shows_location_and_caret() {
+        let req = unreachable_req();
+        let diags = lint(&req);
+        assert_eq!(diags.len(), 1);
+        let text = render_text(&req, &diags);
+        assert!(text.contains("warning[W0201]"), "{text}");
+        assert!(text.contains("--> t.wave:9:8"), "{text}");
+        assert!(text.contains("^^"), "{text}");
+        assert!(text.contains("= note:"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_carries_positions() {
+        let req = unreachable_req();
+        let diags = lint(&req);
+        let json = render_json(&req, &diags);
+        assert!(json.contains("\"code\":\"W0201\""), "{json}");
+        assert!(json.contains("\"line\":9"), "{json}");
+        assert!(json.contains("\"file\":\"t.wave\""), "{json}");
+    }
+
+    #[test]
+    fn empty_json_is_an_empty_array() {
+        let req = LintRequest::spec_only("x", "spec x { inputs { b(x); } home P; page P { inputs { b } options b(x) <- x = \"a\"; target P <- b(\"a\"); } }");
+        let diags = lint(&req);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(render_json(&req, &diags), "[]\n");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn summary_counts() {
+        assert_eq!(summary(&[]), "");
+        let req = unreachable_req();
+        let diags = lint(&req);
+        assert_eq!(summary(&diags), "1 warning");
+        let denied = crate::LintConfig { deny_warnings: true, ..Default::default() }.apply(diags);
+        assert_eq!(summary(&denied), "1 error");
+    }
+}

@@ -1,0 +1,135 @@
+//! SARIF 2.1.0 output for CI ingestion (GitHub code scanning and
+//! compatible tools).
+//!
+//! One run, one driver (`wave-lint`), the full stable rule table from
+//! [`crate::diag::CODES`], and one result per diagnostic with a physical
+//! location when the finding has a span. Notes are folded into the
+//! message text (SARIF has related locations, but the notes here are
+//! prose, not positions).
+
+use crate::diag::{Diagnostic, Severity, CODES};
+use crate::render::{json_string, SourceSet};
+use crate::LintRequest;
+
+const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Render diagnostics as a SARIF 2.1.0 log.
+pub fn render_sarif(req: &LintRequest, diags: &[Diagnostic]) -> String {
+    let sources = SourceSet::new(req);
+    let mut out = String::new();
+    out.push('{');
+    out.push_str(&format!("\"$schema\":{},", json_string(SARIF_SCHEMA)));
+    out.push_str("\"version\":\"2.1.0\",\"runs\":[{");
+    out.push_str("\"tool\":{\"driver\":{");
+    out.push_str("\"name\":\"wave-lint\",");
+    out.push_str(&format!("\"version\":{},", json_string(env!("CARGO_PKG_VERSION"))));
+    out.push_str("\"informationUri\":\"https://doi.org/10.1145/1265530.1265562\",");
+    out.push_str("\"rules\":[");
+    for (i, (code, severity, desc)) in CODES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\
+             \"defaultConfiguration\":{{\"level\":{}}}}}",
+            json_string(code),
+            json_string(desc),
+            json_string(level(*severity)),
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_result(&sources, d, &mut out);
+    }
+    out.push_str("]}]}");
+    out.push('\n');
+    out
+}
+
+fn render_result(sources: &SourceSet<'_>, d: &Diagnostic, out: &mut String) {
+    let mut message = d.message.clone();
+    for note in &d.notes {
+        message.push_str("\nnote: ");
+        message.push_str(note);
+    }
+    out.push('{');
+    out.push_str(&format!("\"ruleId\":{},", json_string(d.code)));
+    out.push_str(&format!("\"level\":{},", json_string(level(d.severity))));
+    out.push_str(&format!("\"message\":{{\"text\":{}}}", json_string(&message)));
+    if let Some(loc) = sources.resolve(d) {
+        out.push_str(&format!(
+            ",\"locations\":[{{\"physicalLocation\":{{\
+             \"artifactLocation\":{{\"uri\":{}}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{},\
+             \"endLine\":{},\"endColumn\":{}}}}}}}]",
+            json_string(loc.file),
+            loc.start.line,
+            loc.start.col,
+            loc.end.line,
+            loc.end.col,
+        ));
+    } else {
+        out.push_str(&format!(
+            ",\"locations\":[{{\"physicalLocation\":{{\
+             \"artifactLocation\":{{\"uri\":{}}}}}}}]",
+            json_string(sources.file(d.origin)),
+        ));
+    }
+    out.push('}');
+}
+
+fn level(s: Severity) -> &'static str {
+    match s {
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint;
+
+    #[test]
+    fn sarif_log_has_schema_rules_and_located_results() {
+        let req = LintRequest::spec_only(
+            "bad.wave",
+            r#"spec t {
+  inputs { b(x); }
+  home HP;
+  page HP {
+    inputs { b }
+    options b(x) <- x = "go";
+    target HP <- b("go");
+  }
+  page EP {
+    inputs { b }
+    options b(x) <- x = "go";
+    target HP <- b("go");
+  }
+}"#,
+        );
+        let diags = lint(&req);
+        let sarif = render_sarif(&req, &diags);
+        assert!(sarif.contains("\"version\":\"2.1.0\""), "{sarif}");
+        assert!(sarif.contains("\"id\":\"W0201\""), "{sarif}");
+        assert!(sarif.contains("\"ruleId\":\"W0201\""), "{sarif}");
+        assert!(sarif.contains("\"uri\":\"bad.wave\""), "{sarif}");
+        assert!(sarif.contains("\"startLine\":9"), "{sarif}");
+        // every registered code appears in the rule table
+        for (code, _, _) in CODES {
+            assert!(sarif.contains(&format!("\"id\":\"{code}\"")), "{code}");
+        }
+    }
+
+    #[test]
+    fn sarif_with_no_findings_is_still_a_valid_run() {
+        let req = LintRequest::spec_only("ok.wave", "spec x { inputs { b(x); } home P; page P { inputs { b } options b(x) <- x = \"a\"; target P <- b(\"a\"); } }");
+        let diags = lint(&req);
+        let sarif = render_sarif(&req, &diags);
+        assert!(sarif.contains("\"results\":[]"), "{sarif}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Conservative three-valued constant analysis of FO formulas.
+//!
+//! Decides, without touching any instance, whether a formula is *trivially*
+//! true or false: constant/constant (dis)equalities, boolean structure,
+//! and contradictions inside one conjunction (`x = "a" & x = "b"`, an atom
+//! conjoined with its own negation). Everything else is `Unknown` — the
+//! analysis never claims falsity for a formula that could hold, so lint
+//! findings built on it ([`crate::diag::W0202`], [`crate::diag::W0304`])
+//! have no false positives.
+
+use std::collections::HashMap;
+use wave_fol::{Formula, Term};
+
+/// Three-valued verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+impl Tri {
+    fn not(self) -> Tri {
+        match self {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        }
+    }
+}
+
+/// Constant truth value of `f`, if decidable by inspection.
+pub fn truth(f: &Formula) -> Tri {
+    match f {
+        Formula::True => Tri::True,
+        Formula::False => Tri::False,
+        Formula::Eq(Term::Const(a), Term::Const(b)) => {
+            if a == b {
+                Tri::True
+            } else {
+                Tri::False
+            }
+        }
+        Formula::Eq(a, b) if a == b => Tri::True,
+        Formula::Ne(Term::Const(a), Term::Const(b)) => {
+            if a == b {
+                Tri::False
+            } else {
+                Tri::True
+            }
+        }
+        Formula::Ne(a, b) if a == b => Tri::False,
+        Formula::Not(x) => truth(x).not(),
+        Formula::And(_) => {
+            let mut parts = Vec::new();
+            flatten_and(f, &mut parts);
+            conjunction_truth(&parts)
+        }
+        Formula::Or(xs) => {
+            let mut all_false = true;
+            for x in xs {
+                match truth(x) {
+                    Tri::True => return Tri::True,
+                    Tri::False => {}
+                    Tri::Unknown => all_false = false,
+                }
+            }
+            if all_false {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        Formula::Implies(a, b) => match (truth(a), truth(b)) {
+            (Tri::False, _) | (_, Tri::True) => Tri::True,
+            (Tri::True, tb) => tb,
+            (ta, Tri::False) => ta.not(),
+            _ => Tri::Unknown,
+        },
+        // Quantification ranges over the active domain, which may be
+        // empty, so a decided body only propagates in one direction:
+        // `exists x: false` is false, `forall x: true` is true.
+        Formula::Exists(_, body) => {
+            if truth(body) == Tri::False {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        Formula::Forall(_, body) => {
+            if truth(body) == Tri::True {
+                Tri::True
+            } else {
+                Tri::Unknown
+            }
+        }
+        _ => Tri::Unknown,
+    }
+}
+
+fn flatten_and<'a>(f: &'a Formula, out: &mut Vec<&'a Formula>) {
+    if let Formula::And(xs) = f {
+        for x in xs {
+            flatten_and(x, out);
+        }
+    } else {
+        out.push(f);
+    }
+}
+
+/// Truth of a conjunction, including cross-conjunct contradictions.
+fn conjunction_truth(parts: &[&Formula]) -> Tri {
+    let mut all_true = true;
+    for p in parts {
+        match truth(p) {
+            Tri::False => return Tri::False,
+            Tri::True => {}
+            Tri::Unknown => all_true = false,
+        }
+    }
+    // x = "a" conjoined with x = "b" (different constants) is false
+    let mut bound: HashMap<&str, &str> = HashMap::new();
+    for p in parts {
+        if let Some((v, c)) = var_const_eq(p) {
+            if let Some(prev) = bound.insert(v, c) {
+                if prev != c {
+                    return Tri::False;
+                }
+            }
+        }
+    }
+    // x = "a" conjoined with x != "a" is false
+    for p in parts {
+        if let Formula::Ne(a, b) = p {
+            let pair = match (a, b) {
+                (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+                    Some((v.as_str(), c.as_str()))
+                }
+                _ => None,
+            };
+            if let Some((v, c)) = pair {
+                if bound.get(v) == Some(&c) {
+                    return Tri::False;
+                }
+            }
+        }
+    }
+    // an atom conjoined with its own negation is false
+    for p in parts {
+        if let Formula::Not(inner) = p {
+            if matches!(**inner, Formula::Atom(_) | Formula::Page(_))
+                && parts.iter().any(|q| **q == **inner)
+            {
+                return Tri::False;
+            }
+        }
+    }
+    if all_true {
+        Tri::True
+    } else {
+        Tri::Unknown
+    }
+}
+
+fn var_const_eq(f: &Formula) -> Option<(&str, &str)> {
+    match f {
+        Formula::Eq(Term::Var(v), Term::Const(c)) | Formula::Eq(Term::Const(c), Term::Var(v)) => {
+            Some((v.as_str(), c.as_str()))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_fol::parse_formula;
+
+    fn t(src: &str) -> Tri {
+        truth(&parse_formula(src).unwrap())
+    }
+
+    #[test]
+    fn constant_comparisons_decide() {
+        assert_eq!(t(r#""a" = "a""#), Tri::True);
+        assert_eq!(t(r#""a" = "b""#), Tri::False);
+        assert_eq!(t(r#""a" != "b""#), Tri::True);
+        assert_eq!(t("x = x"), Tri::True);
+        assert_eq!(t("x != x"), Tri::False);
+    }
+
+    #[test]
+    fn atoms_are_unknown() {
+        assert_eq!(t("r(x)"), Tri::Unknown);
+        assert_eq!(t("!r(x)"), Tri::Unknown);
+    }
+
+    #[test]
+    fn boolean_structure_propagates() {
+        assert_eq!(t(r#"r(x) & "a" = "b""#), Tri::False);
+        assert_eq!(t(r#"r(x) | "a" = "a""#), Tri::True);
+        assert_eq!(t(r#""a" = "b" -> r(x)"#), Tri::True);
+        assert_eq!(t(r#"r(x) -> "a" = "a""#), Tri::True);
+    }
+
+    #[test]
+    fn conflicting_bindings_in_a_conjunction_are_false() {
+        assert_eq!(t(r#"x = "a" & x = "b""#), Tri::False);
+        assert_eq!(t(r#"x = "a" & r(x) & x = "b""#), Tri::False);
+        assert_eq!(t(r#"x = "a" & x = "a""#), Tri::Unknown); // consistent, not decided
+        assert_eq!(t(r#"x = "a" & x != "a""#), Tri::False);
+    }
+
+    #[test]
+    fn atom_and_its_negation_are_false() {
+        assert_eq!(t(r#"button("x") & !button("x")"#), Tri::False);
+        assert_eq!(t(r#"button("x") & !button("y")"#), Tri::Unknown);
+    }
+
+    #[test]
+    fn nested_conjunctions_are_flattened() {
+        assert_eq!(t(r#"(x = "a" & r(x)) & (s(x) & x = "b")"#), Tri::False);
+    }
+
+    #[test]
+    fn quantifiers_propagate_one_direction() {
+        assert_eq!(t(r#"exists x: x = "a" & x = "b""#), Tri::False);
+        assert_eq!(t("forall x: x = x"), Tri::True);
+        // a true body does not make an exists true (domain may be empty)
+        assert_eq!(t("exists x: x = x"), Tri::Unknown);
+        assert_eq!(t("forall x: r(x)"), Tri::Unknown);
+    }
+}

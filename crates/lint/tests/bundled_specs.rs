@@ -1,0 +1,36 @@
+//! The bundled example specs (E1–E4) must lint clean: they are the
+//! acceptance benchmarks of the verifier and double as the "known good"
+//! corpus for the linter. Any new pass that starts flagging them is
+//! either finding a real spec bug (fix the spec) or over-eager (fix the
+//! pass) — both should be decided consciously, not silently.
+
+use std::fs;
+use std::path::PathBuf;
+
+use wave_lint::{lint, render_text, LintRequest};
+
+fn spec_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../apps/specs")
+}
+
+#[test]
+fn bundled_specs_lint_clean() {
+    let mut checked = 0;
+    for entry in fs::read_dir(spec_dir()).expect("bundled spec dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("wave") {
+            continue;
+        }
+        let src = fs::read_to_string(&path).expect("readable spec");
+        let req = LintRequest::spec_only(path.display().to_string(), src);
+        let diags = lint(&req);
+        assert!(
+            diags.is_empty(),
+            "expected {} to lint clean, got:\n{}",
+            path.display(),
+            render_text(&req, &diags)
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 4, "expected the four example specs");
+}

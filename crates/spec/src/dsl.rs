@@ -31,6 +31,7 @@
 use crate::model::{ActionRule, InputDecl, OptionRule, PageSchema, Spec, StateRule, TargetRule};
 use wave_fol::lexer::TokenKind;
 use wave_fol::parser::{ParseError, Parser};
+use wave_fol::span::Span;
 
 /// Parse a specification from DSL text.
 pub fn parse_spec(src: &str) -> Result<Spec, ParseError> {
@@ -41,16 +42,19 @@ pub fn parse_spec(src: &str) -> Result<Spec, ParseError> {
     p.expect(&TokenKind::LBrace)?;
     while p.peek_kind() != &TokenKind::RBrace {
         if p.eat_keyword("database") {
-            parse_decl_block(&mut p, &mut spec.database)?;
+            parse_decl_block(&mut p, &mut spec.database, &mut spec.decl_spans)?;
         } else if p.eat_keyword("state") {
-            parse_decl_block(&mut p, &mut spec.states)?;
+            parse_decl_block(&mut p, &mut spec.states, &mut spec.decl_spans)?;
         } else if p.eat_keyword("action") {
-            parse_decl_block(&mut p, &mut spec.actions)?;
+            parse_decl_block(&mut p, &mut spec.actions, &mut spec.decl_spans)?;
         } else if p.eat_keyword("inputs") {
             parse_inputs_block(&mut p, &mut spec.inputs)?;
-        } else if p.eat_keyword("home") {
+        } else if p.at_keyword("home") {
+            let start = p.next_start();
+            p.bump();
             spec.home = p.expect_ident()?;
             p.expect(&TokenKind::Semi)?;
+            spec.home_span = p.span_from(start);
         } else if p.eat_keyword("page") {
             spec.pages.push(parse_page(&mut p)?);
         } else {
@@ -73,54 +77,67 @@ fn expect_keyword(p: &mut Parser, word: &str) -> Result<(), ParseError> {
 }
 
 /// `{ name(attr, …); name(attr, …); }` — declarations with arity from the
-/// attribute count.
-fn parse_decl_block(p: &mut Parser, out: &mut Vec<(String, usize)>) -> Result<(), ParseError> {
+/// attribute count. Each declaration's source extent is recorded in
+/// `spans` under the relation name.
+fn parse_decl_block(
+    p: &mut Parser,
+    out: &mut Vec<(String, usize)>,
+    spans: &mut std::collections::HashMap<String, Span>,
+) -> Result<(), ParseError> {
     p.expect(&TokenKind::LBrace)?;
     while p.peek_kind() != &TokenKind::RBrace {
+        let start = p.next_start();
         let name = p.expect_ident()?;
-        p.expect(&TokenKind::LParen)?;
-        let mut arity = 0;
-        if p.peek_kind() != &TokenKind::RParen {
-            p.expect_ident()?;
-            arity += 1;
-            while p.peek_kind() == &TokenKind::Comma {
-                p.bump();
-                p.expect_ident()?;
-                arity += 1;
-            }
-        }
-        p.expect(&TokenKind::RParen)?;
+        let attrs = parse_attr_list(p)?;
         p.expect(&TokenKind::Semi)?;
-        out.push((name, arity));
+        spans.insert(name.clone(), p.span_from(start));
+        out.push((name, attrs.len()));
     }
     p.expect(&TokenKind::RBrace)?;
     Ok(())
+}
+
+/// `(attr, attr, …)` or `()` — a declaration's attribute-name list.
+fn parse_attr_list(p: &mut Parser) -> Result<Vec<String>, ParseError> {
+    p.expect(&TokenKind::LParen)?;
+    let mut attrs = Vec::new();
+    if p.peek_kind() != &TokenKind::RParen {
+        attrs.push(p.expect_ident()?);
+        while p.peek_kind() == &TokenKind::Comma {
+            p.bump();
+            attrs.push(p.expect_ident()?);
+        }
+    }
+    p.expect(&TokenKind::RParen)?;
+    Ok(attrs)
 }
 
 /// `{ button(x); laptopsearch(r,h,d); constant uname; }`
 fn parse_inputs_block(p: &mut Parser, out: &mut Vec<InputDecl>) -> Result<(), ParseError> {
     p.expect(&TokenKind::LBrace)?;
     while p.peek_kind() != &TokenKind::RBrace {
+        let start = p.next_start();
         if p.eat_keyword("constant") {
             let name = p.expect_ident()?;
             p.expect(&TokenKind::Semi)?;
-            out.push(InputDecl { name, arity: 1, constant: true });
+            out.push(InputDecl {
+                name,
+                arity: 1,
+                constant: true,
+                attrs: Vec::new(),
+                span: p.span_from(start),
+            });
         } else {
             let name = p.expect_ident()?;
-            p.expect(&TokenKind::LParen)?;
-            let mut arity = 0;
-            if p.peek_kind() != &TokenKind::RParen {
-                p.expect_ident()?;
-                arity += 1;
-                while p.peek_kind() == &TokenKind::Comma {
-                    p.bump();
-                    p.expect_ident()?;
-                    arity += 1;
-                }
-            }
-            p.expect(&TokenKind::RParen)?;
+            let attrs = parse_attr_list(p)?;
             p.expect(&TokenKind::Semi)?;
-            out.push(InputDecl { name, arity, constant: false });
+            out.push(InputDecl {
+                name,
+                arity: attrs.len(),
+                constant: false,
+                attrs,
+                span: p.span_from(start),
+            });
         }
     }
     p.expect(&TokenKind::RBrace)?;
@@ -128,9 +145,12 @@ fn parse_inputs_block(p: &mut Parser, out: &mut Vec<InputDecl>) -> Result<(), Pa
 }
 
 fn parse_page(p: &mut Parser) -> Result<PageSchema, ParseError> {
+    let header_start = p.next_start();
     let mut page = PageSchema { name: p.expect_ident()?, ..Default::default() };
+    page.span = p.span_from(header_start);
     p.expect(&TokenKind::LBrace)?;
     while p.peek_kind() != &TokenKind::RBrace {
+        let start = p.next_start();
         if p.at_keyword("inputs") {
             p.bump();
             p.expect(&TokenKind::LBrace)?;
@@ -148,7 +168,7 @@ fn parse_page(p: &mut Parser) -> Result<PageSchema, ParseError> {
             p.expect(&TokenKind::LArrow)?;
             let body = p.parse_formula()?;
             p.expect(&TokenKind::Semi)?;
-            page.option_rules.push(OptionRule { input, head, body });
+            page.option_rules.push(OptionRule { input, head, body, span: p.span_from(start) });
         } else if p.at_keyword("insert") || p.at_keyword("delete") {
             let insert = p.eat_keyword("insert") || {
                 p.bump();
@@ -159,20 +179,26 @@ fn parse_page(p: &mut Parser) -> Result<PageSchema, ParseError> {
             p.expect(&TokenKind::LArrow)?;
             let body = p.parse_formula()?;
             p.expect(&TokenKind::Semi)?;
-            page.state_rules.push(StateRule { state, insert, head, body });
+            page.state_rules.push(StateRule {
+                state,
+                insert,
+                head,
+                body,
+                span: p.span_from(start),
+            });
         } else if p.eat_keyword("action") {
             let action = p.expect_ident()?;
             let head = parse_head_vars(p)?;
             p.expect(&TokenKind::LArrow)?;
             let body = p.parse_formula()?;
             p.expect(&TokenKind::Semi)?;
-            page.action_rules.push(ActionRule { action, head, body });
+            page.action_rules.push(ActionRule { action, head, body, span: p.span_from(start) });
         } else if p.eat_keyword("target") {
             let target = p.expect_ident()?;
             p.expect(&TokenKind::LArrow)?;
             let condition = p.parse_formula()?;
             p.expect(&TokenKind::Semi)?;
-            page.target_rules.push(TargetRule { target, condition });
+            page.target_rules.push(TargetRule { target, condition, span: p.span_from(start) });
         } else {
             return Err(p.error(format!("expected a page section, found {}", p.peek_kind())));
         }
@@ -306,6 +332,50 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = parse_spec("spec s {\n  home\n}").unwrap_err();
+        let lc = err.line_col.expect("spec errors resolve to line/col");
+        assert_eq!((lc.line, lc.col), (3, 1), "{err}");
+        assert!(err.to_string().contains("parse error at 3:1"), "{err}");
+    }
+
+    #[test]
+    fn declarations_and_rules_carry_spans() {
+        let spec = parse_spec(LSP_SPEC).unwrap();
+        let src = LSP_SPEC;
+        // declaration span covers `user(name, passwd);`
+        let user = spec.decl_span("user").expect("db decl span");
+        assert_eq!(&src[user.start..user.end], "user(name, passwd);");
+        let state = spec.decl_span("userchoice").expect("state decl span");
+        assert_eq!(&src[state.start..state.end], "userchoice(r, h, d);");
+        // input decl span
+        let button = spec.decl_span("button").expect("input decl span");
+        assert_eq!(&src[button.start..button.end], "button(x);");
+        // page header span
+        let lsp = spec.page("LSP").unwrap();
+        assert_eq!(&src[lsp.span.start..lsp.span.end], "LSP");
+        // rule spans cover keyword through semicolon
+        let rule = &lsp.state_rules[0];
+        assert!(src[rule.span.start..rule.span.end].starts_with("insert userchoice"));
+        assert!(src[rule.span.start..rule.span.end].ends_with(';'));
+        let target = &lsp.target_rules[0];
+        assert_eq!(&src[target.span.start..target.span.end], r#"target HP  <- button("logout");"#);
+        // home span
+        assert_eq!(&src[spec.home_span.start..spec.home_span.end], "home LSP;");
+    }
+
+    #[test]
+    fn input_attribute_names_survive_round_trip() {
+        let spec = parse_spec(LSP_SPEC).unwrap();
+        let printed = print_spec(&spec);
+        assert!(printed.contains("laptopsearch(r, h, d);"), "{printed}");
+        let reparsed = parse_spec(&printed).unwrap();
+        let attrs: Vec<&str> =
+            reparsed.input("laptopsearch").unwrap().attrs.iter().map(String::as_str).collect();
+        assert_eq!(attrs, vec!["r", "h", "d"]);
+    }
+
+    #[test]
     fn error_position_is_meaningful() {
         let err = parse_spec("spec s { home }").unwrap_err();
         assert!(err.message.contains("identifier"), "{err}");
@@ -338,7 +408,13 @@ pub fn print_spec(spec: &Spec) -> String {
             if i.constant {
                 let _ = writeln!(out, "    constant {};", i.name);
             } else {
-                let attrs: Vec<String> = (0..i.arity).map(|j| format!("a{j}")).collect();
+                // preserve declared attribute names (loss-free round trip);
+                // fall back to positional names for synthesized decls
+                let attrs: Vec<String> = if i.attrs.len() == i.arity {
+                    i.attrs.clone()
+                } else {
+                    (0..i.arity).map(|j| format!("a{j}")).collect()
+                };
                 let _ = writeln!(out, "    {}({});", i.name, attrs.join(", "));
             }
         }

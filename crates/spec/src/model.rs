@@ -8,7 +8,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use wave_fol::{free_vars, Formula};
+use wave_fol::{free_vars, Formula, Span};
 
 /// Declaration of an input: either an option-list relation (the user picks
 /// at most one tuple among the options each step) or a text-input constant
@@ -19,6 +19,18 @@ pub struct InputDecl {
     pub arity: usize,
     /// True for text-input constants (arity is forced to 1).
     pub constant: bool,
+    /// Declared attribute names (documentation only; empty for constants).
+    /// Preserved so `print_spec` round-trips declarations loss-free.
+    pub attrs: Vec<String>,
+    /// Source extent of the declaration.
+    pub span: Span,
+}
+
+impl InputDecl {
+    /// An input declaration with default (positional) attribute names.
+    pub fn new(name: impl Into<String>, arity: usize, constant: bool) -> InputDecl {
+        InputDecl { name: name.into(), arity, constant, attrs: Vec::new(), span: Span::DUMMY }
+    }
 }
 
 /// `Options_R(x̄) ← φ` — the options generated for input relation `input`.
@@ -27,6 +39,8 @@ pub struct OptionRule {
     pub input: String,
     pub head: Vec<String>,
     pub body: Formula,
+    /// Source extent of the whole rule.
+    pub span: Span,
 }
 
 /// `S(x̄) ← φ` (insert) or `¬S(x̄) ← φ` (delete).
@@ -36,6 +50,8 @@ pub struct StateRule {
     pub insert: bool,
     pub head: Vec<String>,
     pub body: Formula,
+    /// Source extent of the whole rule.
+    pub span: Span,
 }
 
 /// `A(x̄) ← φ` — action tuples emitted this step.
@@ -44,6 +60,8 @@ pub struct ActionRule {
     pub action: String,
     pub head: Vec<String>,
     pub body: Formula,
+    /// Source extent of the whole rule.
+    pub span: Span,
 }
 
 /// `V ← φ` — transition to page `target` when `φ` holds.
@@ -51,6 +69,8 @@ pub struct ActionRule {
 pub struct TargetRule {
     pub target: String,
     pub condition: Formula,
+    /// Source extent of the whole rule.
+    pub span: Span,
 }
 
 /// One web page schema.
@@ -63,6 +83,8 @@ pub struct PageSchema {
     pub state_rules: Vec<StateRule>,
     pub action_rules: Vec<ActionRule>,
     pub target_rules: Vec<TargetRule>,
+    /// Source extent of the page header (`page <name>`).
+    pub span: Span,
 }
 
 /// A full web application specification.
@@ -80,6 +102,11 @@ pub struct Spec {
     pub pages: Vec<PageSchema>,
     /// Name of the home page.
     pub home: String,
+    /// Source extent of the `home` declaration.
+    pub home_span: Span,
+    /// Source extents of database/state/action declarations, by relation
+    /// name (attribute names in those blocks stay positional).
+    pub decl_spans: HashMap<String, Span>,
 }
 
 /// A structural error in a specification.
@@ -213,6 +240,16 @@ impl Spec {
     /// Look up an input declaration by name.
     pub fn input(&self, name: &str) -> Option<&InputDecl> {
         self.inputs.iter().find(|i| i.name == name)
+    }
+
+    /// Source extent of any declared relation (db/state/action/input),
+    /// when the spec was parsed from text.
+    pub fn decl_span(&self, name: &str) -> Option<Span> {
+        self.decl_spans
+            .get(name)
+            .copied()
+            .or_else(|| self.input(name).map(|i| i.span))
+            .filter(|s| !s.is_dummy())
     }
 
     /// Arity of any declared relation (db/state/action/input).
@@ -491,9 +528,9 @@ mod tests {
             states: vec![("logged".into(), 1)],
             actions: vec![("greet".into(), 1)],
             inputs: vec![
-                InputDecl { name: "button".into(), arity: 1, constant: false },
-                InputDecl { name: "uname".into(), arity: 1, constant: true },
-                InputDecl { name: "pass".into(), arity: 1, constant: true },
+                InputDecl::new("button", 1, false),
+                InputDecl::new("uname", 1, true),
+                InputDecl::new("pass", 1, true),
             ],
             pages: vec![
                 PageSchema {
@@ -503,6 +540,7 @@ mod tests {
                         input: "button".into(),
                         head: vec!["x".into()],
                         body: parse_formula(r#"x = "login""#).unwrap(),
+                        span: Span::DUMMY,
                     }],
                     state_rules: vec![StateRule {
                         state: "logged".into(),
@@ -512,6 +550,7 @@ mod tests {
                             r#"exists p: pass(p) & uname(u) & user(u, p) & button("login")"#,
                         )
                         .unwrap(),
+                        span: Span::DUMMY,
                     }],
                     action_rules: vec![],
                     target_rules: vec![TargetRule {
@@ -520,7 +559,9 @@ mod tests {
                             r#"exists u: uname(u) & exists p: pass(p) & user(u, p)"#,
                         )
                         .unwrap(),
+                        span: Span::DUMMY,
                     }],
+                    span: Span::DUMMY,
                 },
                 PageSchema {
                     name: "CP".into(),
@@ -529,20 +570,25 @@ mod tests {
                         input: "button".into(),
                         head: vec!["x".into()],
                         body: parse_formula(r#"x = "logout""#).unwrap(),
+                        span: Span::DUMMY,
                     }],
                     state_rules: vec![],
                     action_rules: vec![ActionRule {
                         action: "greet".into(),
                         head: vec!["u".into()],
                         body: parse_formula(r#"logged(u) & exists b: button(b)"#).unwrap(),
+                        span: Span::DUMMY,
                     }],
                     target_rules: vec![TargetRule {
                         target: "HP".into(),
                         condition: parse_formula(r#"button("logout")"#).unwrap(),
+                        span: Span::DUMMY,
                     }],
+                    span: Span::DUMMY,
                 },
             ],
             home: "HP".into(),
+            ..Spec::default()
         }
     }
 
@@ -568,9 +614,11 @@ mod tests {
     #[test]
     fn unknown_target_detected() {
         let mut s = tiny_spec();
-        s.pages[0]
-            .target_rules
-            .push(TargetRule { target: "GHOST".into(), condition: Formula::True });
+        s.pages[0].target_rules.push(TargetRule {
+            target: "GHOST".into(),
+            condition: Formula::True,
+            span: Span::DUMMY,
+        });
         let errs = s.validate().unwrap_err();
         assert!(errs
             .iter()
@@ -612,6 +660,7 @@ mod tests {
             input: "uname".into(),
             head: vec!["x".into()],
             body: parse_formula(r#"x = "a""#).unwrap(),
+            span: Span::DUMMY,
         });
         let errs = s.validate().unwrap_err();
         assert!(errs.iter().any(|e| matches!(e, SpecError::OptionForConstant { .. })));

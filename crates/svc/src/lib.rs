@@ -34,4 +34,7 @@ pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::SvcMetrics;
 pub use scheduler::{check_parallel, run_prepared, ParallelOptions};
 pub use server::{Server, ServerConfig};
-pub use service::{lookup_suite, parse_options, JobRecord, ServiceConfig, VerifyService};
+pub use service::{
+    lint_records, lookup_suite, parse_options, DiagnosticRecord, JobRecord, ServiceConfig,
+    VerifyService,
+};

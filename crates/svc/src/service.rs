@@ -65,7 +65,68 @@ pub struct JobRecord {
     pub budget: Option<String>,
     /// Counterexample lasso shape when violated.
     pub ce: Option<(usize, usize)>,
+    /// Lint pre-pass findings over the spec and property. Recomputed on
+    /// every run (never cached — lint is cheap and its rules evolve).
+    pub diagnostics: Vec<DiagnosticRecord>,
     pub stats: Stats,
+}
+
+/// One lint finding, resolved to file/line/column for JSON embedding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiagnosticRecord {
+    pub code: String,
+    /// `warning` or `error`.
+    pub severity: String,
+    pub message: String,
+    /// Artifact the finding is anchored to (spec path or property label).
+    pub file: String,
+    /// 1-based `(line, col, end_line, end_col)` when the finding has a span.
+    pub pos: Option<(usize, usize, usize, usize)>,
+    pub notes: Vec<String>,
+}
+
+impl DiagnosticRecord {
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("code", Json::from(self.code.clone())),
+            ("severity", Json::from(self.severity.clone())),
+            ("message", Json::from(self.message.clone())),
+            ("file", Json::from(self.file.clone())),
+        ];
+        if let Some((line, col, end_line, end_col)) = self.pos {
+            pairs.push(("line", Json::from(line)));
+            pairs.push(("col", Json::from(col)));
+            pairs.push(("end_line", Json::from(end_line)));
+            pairs.push(("end_col", Json::from(end_col)));
+        }
+        if !self.notes.is_empty() {
+            pairs.push((
+                "notes",
+                Json::Arr(self.notes.iter().map(|n| Json::from(n.clone())).collect()),
+            ));
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// Run the lint pre-pass over a request and resolve every finding to a
+/// flat [`DiagnosticRecord`].
+pub fn lint_records(req: &wave_lint::LintRequest) -> Vec<DiagnosticRecord> {
+    let diags = wave_lint::lint(req);
+    let sources = wave_lint::SourceSet::new(req);
+    diags
+        .iter()
+        .map(|d| DiagnosticRecord {
+            code: d.code.to_string(),
+            severity: d.severity.to_string(),
+            message: d.message.clone(),
+            file: sources.file(d.origin).to_string(),
+            pos: sources
+                .resolve(d)
+                .map(|loc| (loc.start.line, loc.start.col, loc.end.line, loc.end.col)),
+            notes: d.notes.clone(),
+        })
+        .collect()
 }
 
 /// The canonical textual form of an exhausted budget, used by both fresh
@@ -88,6 +149,7 @@ impl JobRecord {
             cached: false,
             budget: None,
             ce: None,
+            diagnostics: Vec::new(),
             stats: Stats::default(),
         }
     }
@@ -107,6 +169,7 @@ impl JobRecord {
             cached: false,
             budget,
             ce,
+            diagnostics: Vec::new(),
             stats: v.stats.clone(),
         }
     }
@@ -134,6 +197,7 @@ impl JobRecord {
             cached: true,
             budget,
             ce,
+            diagnostics: Vec::new(),
             stats: Stats { profile: hit.profile.clone(), ..Stats::default() },
         }
     }
@@ -156,6 +220,12 @@ impl JobRecord {
         pairs.push(("complete", Json::from(self.complete)));
         pairs.push(("cached", Json::from(self.cached)));
         pairs.push(("profile_source", Json::from(if self.cached { "cached" } else { "fresh" })));
+        if !self.diagnostics.is_empty() {
+            pairs.push((
+                "diagnostics",
+                Json::Arr(self.diagnostics.iter().map(DiagnosticRecord::to_json).collect()),
+            ));
+        }
         let profile = &self.stats.profile;
         let ms = |ns: u64| Json::from(ns as f64 / 1e6);
         let opt = |v: Option<f64>| v.map(Json::from).unwrap_or(Json::Null);
@@ -284,7 +354,17 @@ impl VerifyService {
             None => default_name.to_string(),
         };
         let spec = parse_spec(&spec_text).map_err(|e| format!("{origin}: {e}"))?;
-        Ok(vec![self.check_one(&name, spec, &property, options)])
+        let lint_req = wave_lint::LintRequest {
+            spec_path: origin,
+            spec_src: spec_text,
+            properties: vec![wave_lint::PropertySource {
+                label: "property".to_string(),
+                text: property.clone(),
+            }],
+        };
+        let mut record = self.check_one(&name, spec, &property, options);
+        record.diagnostics = lint_records(&lint_req);
+        Ok(vec![record])
     }
 
     /// Verify one (spec, property) pair, cache-aware.
@@ -338,6 +418,22 @@ impl VerifyService {
                 format!("suite {} has no property {which:?}", suite.name),
             )];
         }
+        // lint once against the full property suite (not just `only`): the
+        // suite defines the spec's complete observable set, so dead-code
+        // findings would be spurious against a single-property slice
+        let lint_req = wave_lint::LintRequest {
+            spec_path: suite.name.to_string(),
+            spec_src: suite.source.to_string(),
+            properties: suite
+                .properties
+                .iter()
+                .map(|c| wave_lint::PropertySource {
+                    label: format!("{}/{}", suite.name, c.name),
+                    text: c.text.clone(),
+                })
+                .collect(),
+        };
+        let diagnostics = lint_records(&lint_req);
         let canonical = print_spec(&suite.spec);
         let mut records: Vec<Option<JobRecord>> = vec![None; cases.len()];
         let mut fresh: Vec<(usize, String)> = Vec::new(); // (case index, key)
@@ -360,7 +456,14 @@ impl VerifyService {
                         let name = format!("{}/{}", suite.name, cases[*i].name);
                         records[*i] = Some(JobRecord::error(&name, &e));
                     }
-                    return records.into_iter().map(|r| r.unwrap()).collect();
+                    return records
+                        .into_iter()
+                        .map(|r| {
+                            let mut r = r.unwrap();
+                            r.diagnostics = diagnostics.clone();
+                            r
+                        })
+                        .collect();
                 }
             };
             // parse + prepare each property; parse failures become error
@@ -395,7 +498,14 @@ impl VerifyService {
                 });
             }
         }
-        records.into_iter().map(|r| r.unwrap()).collect()
+        records
+            .into_iter()
+            .map(|r| {
+                let mut r = r.unwrap();
+                r.diagnostics = diagnostics.clone();
+                r
+            })
+            .collect()
     }
 
     fn store(&self, key: &str, v: &Verification) {
@@ -645,6 +755,70 @@ mod tests {
                 "{:?} should mention {needle:?}",
                 records[0].error
             );
+        }
+    }
+
+    #[test]
+    fn lint_findings_ride_in_the_record() {
+        // MINI with an unreachable page and a property reading nothing
+        const DIRTY: &str = r#"
+            spec dirty {
+              inputs { button(x); }
+              home A;
+              page A {
+                inputs { button }
+                options button(x) <- x = "go";
+                target B <- button("go");
+              }
+              page B { target A <- true; }
+              page C {
+                inputs { button }
+                options button(x) <- x = "go";
+                target A <- button("go");
+              }
+            }
+        "#;
+        let svc = service();
+        let request =
+            Json::obj([("spec", Json::from(DIRTY)), ("property", Json::from("G (@B -> X @A)"))]);
+        let record = &svc.run_request(&request, "job-0")[0];
+        assert_eq!(record.verdict, "holds");
+        assert_eq!(record.diagnostics.len(), 1, "{:?}", record.diagnostics);
+        let d = &record.diagnostics[0];
+        assert_eq!(d.code, "W0201");
+        assert_eq!(d.severity, "warning");
+        assert_eq!(d.file, "inline spec");
+        assert!(d.pos.is_some(), "W0201 carries a source span");
+        let json = record.to_json();
+        let diags = json.get("diagnostics").expect("diagnostics field").as_array().unwrap();
+        assert_eq!(diags[0].get("code").unwrap().as_str(), Some("W0201"));
+        assert_eq!(crate::json::parse(&json.to_string()).unwrap(), json, "round-trips");
+
+        // cache hits recompute lint: findings never disappear on the hit
+        let hit = &svc.run_request(&request, "job-1")[0];
+        assert!(hit.cached);
+        assert_eq!(hit.diagnostics, record.diagnostics);
+
+        // a clean job's record omits the field entirely
+        let clean =
+            Json::obj([("spec", Json::from(MINI)), ("property", Json::from("G (@B -> X @A)"))]);
+        let record = &svc.run_request(&clean, "job-2")[0];
+        assert!(record.diagnostics.is_empty());
+        assert!(record.to_json().get("diagnostics").is_none());
+    }
+
+    #[test]
+    fn suite_records_lint_against_the_whole_property_suite() {
+        // E1 has observables modeled for fidelity to the paper's app that
+        // no property of the suite reads — those (and only those) surface
+        // as W0301; single-property slices still lint against the full
+        // suite so the findings don't depend on which slice ran
+        let svc = service();
+        let suite = lookup_suite("E2").unwrap();
+        let records = svc.run_suite(&suite, Some("P1"), VerifyOptions::default());
+        assert_eq!(records.len(), 1);
+        for d in &records[0].diagnostics {
+            assert_eq!(d.severity, "warning", "suites must carry no lint errors: {d:?}");
         }
     }
 

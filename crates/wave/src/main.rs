@@ -35,6 +35,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("automaton") => cmd_automaton(&args[1..]),
         Some("fmt") => cmd_fmt(&args[1..]),
@@ -58,6 +59,7 @@ wave — a verifier for interactive, data-driven web applications
 
 usage:
   wave check <spec.wave> --property \"<LTL-FO>\" [options]
+  wave lint <spec.wave> [--property <text-or-file>]... [lint options]
   wave validate <spec.wave>
   wave automaton --property \"<LTL-FO>\"
   wave fmt <spec.wave>
@@ -85,6 +87,14 @@ check options:
   --no-replay             skip counterexample re-validation
   --quiet                 print the verdict only
 
+lint options:
+  --property <p>          LTL-FO property to cross-check against the spec;
+                          a path to a readable file is loaded from disk,
+                          anything else is inline text (repeatable)
+  --format <fmt>          text (default), json, or sarif (SARIF 2.1.0)
+  --deny warnings         treat every warning as an error
+  --allow <CODE>          suppress a warning code, e.g. W0301 (repeatable)
+
 cache options (batch and serve):
   --cache-dir <dir>       on-disk result cache
   --no-cache              disable the result cache
@@ -101,6 +111,7 @@ stdout; e.g. {\"suite\":\"E1\"}, {\"suite\":\"E1\",\"property\":\"P5\"}, or
 
 exit codes: 0 property holds · 1 property violated · 2 usage/spec error
             3 budget exhausted   (batch: 0 all jobs ran · 2 some errored)
+            (lint: 0 clean or warnings only · 1 errors · 2 usage)
 ";
 
 /// Pull `--flag value` out of an argument list.
@@ -126,7 +137,7 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-fn load_spec(path: &str) -> Result<wave::Spec, String> {
+fn load_spec(path: &str) -> Result<(wave::Spec, String), String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let spec = parse_spec(&src).map_err(|e| format!("{path}: {e}"))?;
     if let Err(errs) = spec.validate() {
@@ -136,7 +147,7 @@ fn load_spec(path: &str) -> Result<wave::Spec, String> {
         }
         return Err(msg);
     }
-    Ok(spec)
+    Ok((spec, src))
 }
 
 fn cmd_check(rest: &[String]) -> ExitCode {
@@ -205,13 +216,30 @@ fn cmd_check(rest: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let spec = match load_spec(path) {
+    let (spec, src) = match load_spec(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
+    // lint pre-pass: static findings over the spec and property, on
+    // stderr in human mode and embedded in the --json record; never
+    // blocks verification (even error-level findings, e.g. an undeclared
+    // relation, surface a clearer message here than the verifier's)
+    let lint_req = wave_lint::LintRequest {
+        spec_path: path.clone(),
+        spec_src: src,
+        properties: vec![wave_lint::PropertySource {
+            label: "property".to_string(),
+            text: property_text.clone(),
+        }],
+    };
+    let lint_diags = wave_lint::lint(&lint_req);
+    if !json_out && !quiet && !lint_diags.is_empty() {
+        eprint!("{}", wave_lint::render_text(&lint_req, &lint_diags));
+        eprintln!("lint: {}", wave_lint::summary(&lint_diags));
+    }
     let property = match parse_property(&property_text) {
         Ok(p) => p,
         Err(e) => {
@@ -251,7 +279,8 @@ fn cmd_check(rest: &[String]) -> ExitCode {
                 }
             }
         }
-        let record = wave_svc::JobRecord::from_verification(path, &v);
+        let mut record = wave_svc::JobRecord::from_verification(path, &v);
+        record.diagnostics = wave_svc::lint_records(&lint_req);
         println!("{}", record.to_json());
         return match &v.verdict {
             Verdict::Holds => ExitCode::SUCCESS,
@@ -308,6 +337,91 @@ fn cmd_check(rest: &[String]) -> ExitCode {
     }
 }
 
+/// Static analysis over a spec (and optionally properties): spanned
+/// diagnostics in text, JSON, or SARIF form. Warnings exit 0 unless
+/// `--deny warnings` promotes them; error-level findings exit 1.
+fn cmd_lint(rest: &[String]) -> ExitCode {
+    let mut args = rest.to_vec();
+    let mut properties = Vec::new();
+    while let Some(p) = take_value(&mut args, "--property") {
+        // a value naming a readable file is loaded from disk; anything
+        // else is inline LTL-FO text
+        if std::path::Path::new(&p).is_file() {
+            match std::fs::read_to_string(&p) {
+                Ok(text) => {
+                    properties.push(wave_lint::PropertySource { label: p, text });
+                }
+                Err(e) => {
+                    eprintln!("cannot read property file {p}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            let label = format!("property#{}", properties.len() + 1);
+            properties.push(wave_lint::PropertySource { label, text: p });
+        }
+    }
+    let format = take_value(&mut args, "--format").unwrap_or_else(|| "text".to_string());
+    if !matches!(format.as_str(), "text" | "json" | "sarif") {
+        eprintln!("--format must be text, json, or sarif, got {format:?}");
+        return ExitCode::from(2);
+    }
+    let mut config = wave_lint::LintConfig::default();
+    if let Some(what) = take_value(&mut args, "--deny") {
+        if what != "warnings" {
+            eprintln!("--deny only understands \"warnings\", got {what:?}");
+            return ExitCode::from(2);
+        }
+        config.deny_warnings = true;
+    }
+    while let Some(code) = take_value(&mut args, "--allow") {
+        match wave_lint::code_severity(&code) {
+            Some(wave_lint::Severity::Warning) => {
+                config.allow.insert(code);
+            }
+            Some(wave_lint::Severity::Error) => {
+                eprintln!("--allow {code}: hard errors cannot be allowed");
+                return ExitCode::from(2);
+            }
+            None => {
+                eprintln!("--allow {code}: not a registered diagnostic code");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let [path] = args.as_slice() else {
+        eprintln!("lint needs exactly one spec file, got {args:?}");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let req = wave_lint::LintRequest { spec_path: path.clone(), spec_src: src, properties };
+    let diags = config.apply(wave_lint::lint(&req));
+    match format.as_str() {
+        "json" => print!("{}", wave_lint::render_json(&req, &diags)),
+        "sarif" => print!("{}", wave_lint::render_sarif(&req, &diags)),
+        _ => {
+            print!("{}", wave_lint::render_text(&req, &diags));
+            let summary = wave_lint::summary(&diags);
+            if summary.is_empty() {
+                eprintln!("{path}: no findings");
+            } else {
+                eprintln!("{path}: {summary}");
+            }
+        }
+    }
+    if wave_lint::has_errors(&diags) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// How many trailing events the `--trace-out` flight recorder keeps for
 /// the stderr dump on budget exhaustion or panic.
 const FLIGHT_RECORDER_CAPACITY: usize = 256;
@@ -349,7 +463,7 @@ fn cmd_validate(rest: &[String]) -> ExitCode {
         eprintln!("validate needs exactly one spec file");
         return ExitCode::from(2);
     };
-    let spec = match load_spec(path) {
+    let (spec, _) = match load_spec(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
@@ -402,7 +516,7 @@ fn cmd_fmt(rest: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
     match load_spec(path) {
-        Ok(spec) => {
+        Ok((spec, _)) => {
             print!("{}", wave::spec::print_spec(&spec));
             ExitCode::SUCCESS
         }
