@@ -64,13 +64,28 @@ impl BudgetPool {
         chunk: u64,
         started: Instant,
     ) -> Option<Arc<BudgetPool>> {
+        BudgetPool::resumed(max_steps, time_limit, chunk, started, 0)
+    }
+
+    /// Like [`BudgetPool::new`] but with `spent` steps already charged —
+    /// the checkpoint driver resumes an interrupted check under exactly
+    /// the allowance it had left. Callers shift `started` into the past
+    /// by the wall-clock time the interrupted run consumed, so the
+    /// deadline tightens the same way the step budget does.
+    pub fn resumed(
+        max_steps: Option<u64>,
+        time_limit: Option<Duration>,
+        chunk: u64,
+        started: Instant,
+        spent: u64,
+    ) -> Option<Arc<BudgetPool>> {
         if max_steps.is_none() && time_limit.is_none() {
             return None;
         }
         Some(Arc::new(BudgetPool {
             limit: max_steps,
             report_steps: max_steps.unwrap_or(0),
-            spent: AtomicU64::new(0),
+            spent: AtomicU64::new(spent),
             deadline: time_limit.map(|d| started + d),
             started,
             chunk: chunk.max(1),
@@ -301,6 +316,18 @@ mod tests {
         let mut lease = StepLease::new(Arc::clone(&rerun));
         assert!(lease.charge(7));
         assert!(!lease.charge(1));
+    }
+
+    #[test]
+    fn resumed_pool_grants_only_the_leftover() {
+        let p = BudgetPool::resumed(Some(10), None, 4, Instant::now(), 7).unwrap();
+        assert_eq!(p.spent(), 7);
+        let mut lease = StepLease::new(Arc::clone(&p));
+        assert!(lease.charge(3));
+        assert!(!lease.charge(1), "only 10 - 7 steps remain");
+        lease.release();
+        assert_eq!(p.spent(), 10);
+        assert_eq!(p.report_steps(), 10, "exhaustion still reports the global limit");
     }
 
     #[test]

@@ -156,6 +156,96 @@ impl ConfigStore {
     pub fn stats(&self) -> InternStats {
         self.stats
     }
+
+    /// Serialize the arena for a checkpoint: fact sections as flat
+    /// `(rel, values…)` rows, configs as their parts keys, plus the
+    /// hit/miss counters. Ids are dense indices, so the on-disk order
+    /// *is* the id assignment and a reload reproduces every `FactsId`
+    /// and `ConfigId` exactly — which is what keeps resumed searches
+    /// byte-identical to uninterrupted ones.
+    pub fn serialize(&self, w: &mut wave_store::ByteWriter) {
+        w.u64(self.facts.len() as u64);
+        for facts in &self.facts {
+            w.u32(facts.len() as u32);
+            for (rel, t) in facts.iter() {
+                w.u32(rel.0);
+                let vals = t.values();
+                w.u32(vals.len() as u32);
+                for v in vals {
+                    w.u32(v.0);
+                }
+            }
+        }
+        w.u64(self.configs.len() as u64);
+        for p in &self.configs {
+            w.u32(p.page.0);
+            for id in [p.ext, p.input, p.prev, p.state, p.actions] {
+                w.u32(id.0);
+            }
+        }
+        for c in [
+            self.stats.config_hits,
+            self.stats.config_misses,
+            self.stats.facts_hits,
+            self.stats.facts_misses,
+        ] {
+            w.u64(c);
+        }
+    }
+
+    /// Rebuild an arena from [`ConfigStore::serialize`] output. `None`
+    /// on truncation or dangling ids (a corrupt checkpoint).
+    pub fn deserialize(r: &mut wave_store::ByteReader<'_>) -> Option<ConfigStore> {
+        let mut store = ConfigStore::new();
+        let n_facts = r.u64()?;
+        for _ in 0..n_facts {
+            let rows = r.u32()?;
+            let mut facts = Facts::with_capacity(rows as usize);
+            for _ in 0..rows {
+                let rel = wave_relalg::RelId(r.u32()?);
+                let arity = r.u32()?;
+                let mut vals = Vec::with_capacity(arity as usize);
+                for _ in 0..arity {
+                    vals.push(wave_relalg::Value(r.u32()?));
+                }
+                facts.push((rel, store.tuples.intern(wave_relalg::Tuple::from(vals))));
+            }
+            let canonical: SharedFacts = Arc::new(facts);
+            let id = FactsId(u32::try_from(store.facts.len()).ok()?);
+            store.facts.push(Arc::clone(&canonical));
+            store.facts_ids.insert(canonical, id);
+        }
+        let n_configs = r.u64()?;
+        for _ in 0..n_configs {
+            let page = PageId(r.u32()?);
+            let mut ids = [FactsId(0); 5];
+            for slot in &mut ids {
+                let id = r.u32()?;
+                if id as usize >= store.facts.len() {
+                    return None; // dangling section id
+                }
+                *slot = FactsId(id);
+            }
+            let parts = ConfigParts {
+                page,
+                ext: ids[0],
+                input: ids[1],
+                prev: ids[2],
+                state: ids[3],
+                actions: ids[4],
+            };
+            let id = ConfigId(u32::try_from(store.configs.len()).ok()?);
+            store.configs.push(parts);
+            store.config_ids.insert(parts, id);
+        }
+        store.stats = InternStats {
+            config_hits: r.u64()?,
+            config_misses: r.u64()?,
+            facts_hits: r.u64()?,
+            facts_misses: r.u64()?,
+        };
+        Some(store)
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +313,31 @@ mod tests {
         store.intern(&cfg(0, no_facts()));
         store.intern(&cfg(1, no_facts()));
         assert_eq!(store.facts_len(), 1, "one empty section for all five slots");
+    }
+
+    #[test]
+    fn serialize_round_trips_ids_and_stats() {
+        let mut store = ConfigStore::new();
+        let a = store.intern(&cfg(0, facts(&[1, 2])));
+        let b = store.intern(&cfg(1, facts(&[3])));
+        store.intern(&cfg(0, facts(&[1, 2]))); // a hit, for the counters
+        let mut w = wave_store::ByteWriter::new();
+        store.serialize(&mut w);
+        let buf = w.into_inner();
+        let mut r = wave_store::ByteReader::new(&buf);
+        let mut loaded = ConfigStore::deserialize(&mut r).expect("round trip");
+        assert!(r.is_empty());
+        assert_eq!(loaded.len(), store.len());
+        assert_eq!(loaded.facts_len(), store.facts_len());
+        assert_eq!(loaded.stats(), store.stats());
+        // the dense id assignment is reproduced exactly
+        assert_eq!(loaded.config(a), store.config(a));
+        assert_eq!(loaded.config(b), store.config(b));
+        assert_eq!(loaded.intern(&cfg(0, facts(&[1, 2]))), a, "reload preserves ids");
+        assert_eq!(loaded.intern(&cfg(1, facts(&[3]))), b);
+        // truncated payloads are rejected, not misread
+        let mut short = wave_store::ByteReader::new(&buf[..buf.len() - 4]);
+        assert!(ConfigStore::deserialize(&mut short).is_none());
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod budget;
 pub mod cancel;
+pub mod checkpoint;
 pub mod config;
 pub mod domain;
 pub mod intern;
@@ -50,6 +51,10 @@ pub mod visibility;
 
 pub use budget::{BudgetPool, StepLease, DEFAULT_BUDGET_CHUNK};
 pub use cancel::CancelToken;
+pub use checkpoint::{
+    check_checkpointed, check_checkpointed_traced, CheckpointConfig, CheckpointOutcome,
+    CHECKPOINT_FILE,
+};
 pub use config::{canonicalize, core_instance, no_facts, Facts, PseudoConfig, SharedFacts};
 pub use domain::{assignments, build_pools, Assignment, PagePool, ParamMode};
 pub use intern::{ConfigId, ConfigStore, FactsId, InternStats};
@@ -57,7 +62,7 @@ pub use layout::RelLayout;
 pub use ndfs::{Budget, CounterExample, SearchLimits, SearchResult, SearchStats, TraceStep};
 pub use profile::SearchProfile;
 pub use replay::{replay, ReplayError};
-pub use store::{ByteStore, InternedStore, StateStore, StateStoreKind};
+pub use store::{ByteStore, InternedStore, StateStore, StateStoreKind, TierParams, TieredStore};
 pub use succ::{SearchCtx, SuccError};
 pub use trie::{Phase, VisitTable, VisitTrie};
 pub use universe::{
@@ -73,3 +78,6 @@ pub use visibility::Visibility;
 pub use wave_obs::{
     FlightRecorder, JsonlTracer, NoopTracer, SearchTracer, Tee, TraceEvent, TRACE_SCHEMA_VERSION,
 };
+// Re-exported so callers sizing the tiered backend don't need a direct
+// wave-store dependency for the common types.
+pub use wave_store::{TierConfig, TierCounters, TieredVisits};

@@ -45,6 +45,20 @@ pub struct SearchProfile {
     /// Granted steps returned unspent when the leases were released.
     /// `steps_leased - steps_refunded` equals the steps actually charged.
     pub steps_refunded: u64,
+    /// Visited pairs written to spill segments by the tiered store
+    /// (zero under the in-memory backends). Deterministic for a given
+    /// sequential search; under the parallel scheduler the per-unit
+    /// split varies with the split factor, like the interner counters.
+    pub spill_pairs: u64,
+    /// Spill segments written (compaction outputs included).
+    pub spill_segments: u64,
+    /// Cold-tier merge compactions run.
+    pub spill_compactions: u64,
+    /// Visited-set probes the Bloom front answered without touching
+    /// any tier ("definitely fresh").
+    pub bloom_skips: u64,
+    /// Visited-set probes that had to search the on-disk cold tier.
+    pub cold_probes: u64,
 }
 
 impl SearchProfile {
@@ -59,6 +73,11 @@ impl SearchProfile {
         self.intern_misses += other.intern_misses;
         self.steps_leased += other.steps_leased;
         self.steps_refunded += other.steps_refunded;
+        self.spill_pairs += other.spill_pairs;
+        self.spill_segments += other.spill_segments;
+        self.spill_compactions += other.spill_compactions;
+        self.bloom_skips += other.bloom_skips;
+        self.cold_probes += other.cold_probes;
     }
 
     /// True when every counter is zero (e.g. a cache-hit record).

@@ -16,12 +16,19 @@
 //!   intern re-serializes the configuration to a canonical byte vector
 //!   and the visited set is the paper's byte [`VisitTrie`].
 //!
-//! Both backends return a *canonical* configuration from
-//! [`StateStore::intern`]; for the interned store this is the
-//! hash-consed copy whose sections are shared `Arc`s, so callers that
-//! retain it (path steps, successor caches) deduplicate storage for
-//! free. Verdicts and traversal order are independent of the backend;
-//! only speed and memory differ.
+//! * [`TieredStore`] — the out-of-core backend: interned ids like
+//!   [`InternedStore`], but the visited set is `wave-store`'s
+//!   [`TieredVisits`] (Bloom front → clock hot tier → sorted spill
+//!   segments) under a configurable byte budget, so searches whose
+//!   visited set outgrows RAM spill to disk instead of dying. See
+//!   DESIGN.md §10.
+//!
+//! Both in-memory backends (and the tiered one) return a *canonical*
+//! configuration from [`StateStore::intern`]; for the interned store
+//! this is the hash-consed copy whose sections are shared `Arc`s, so
+//! callers that retain it (path steps, successor caches) deduplicate
+//! storage for free. Verdicts and traversal order are independent of
+//! the backend; only speed and memory differ.
 //!
 //! [`VerifyOptions::state_store`]: crate::verifier::VerifyOptions
 
@@ -29,15 +36,36 @@ use crate::config::PseudoConfig;
 use crate::intern::{ConfigId, ConfigStore};
 use crate::trie::{Phase, VisitTable, VisitTrie};
 use std::hash::Hash;
+use std::path::PathBuf;
+use wave_store::{ByteReader, ByteWriter, TierConfig, TierCounters, TieredVisits};
+
+/// Sizing knobs of the tiered backend (a subset of
+/// [`wave_store::TierConfig`] — the segment-merge fanout stays an
+/// internal constant so verdict-relevant options stay small).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TierParams {
+    /// Hot-tier byte budget.
+    pub mem_bytes: u64,
+    /// Spill directory; `None` = private temp dir, removed on drop.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for TierParams {
+    fn default() -> TierParams {
+        TierParams { mem_bytes: 64 << 20, spill_dir: None }
+    }
+}
 
 /// Which state-store backend a search uses.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum StateStoreKind {
     /// Hash-consed interned ids (the fast path).
     #[default]
     Interned,
     /// Canonical byte keys in a visit trie (the seed baseline).
     ByteKeys,
+    /// Interned ids with the tiered out-of-core visited set.
+    Tiered(TierParams),
 }
 
 /// The state representation one NDFS runs over. One store serves all
@@ -60,11 +88,35 @@ pub trait StateStore {
     fn is_marked(&self, pk: &Self::PKey, phase: Phase) -> bool;
     /// Reset the visited set (between cores), keeping the historic max.
     fn clear_visits(&mut self);
-    /// Maximum number of visited pairs ever resident (the paper's
-    /// "Max. trie size" column).
+    /// Maximum number of *distinct* visited pairs between clears (the
+    /// paper's "Max. trie size" column) — resident and spilled pairs
+    /// together; see [`StateStore::visited_breakdown`] for the split.
     fn max_visited(&self) -> usize;
+    /// `(max resident, max spilled)` high-water marks. In-memory
+    /// backends keep everything resident; the tiered backend reports
+    /// its hot-tier occupancy peak and on-disk entry peak separately
+    /// (the spilled count includes duplicate copies across segments,
+    /// so the two need not sum to [`StateStore::max_visited`]).
+    fn visited_breakdown(&self) -> (usize, usize) {
+        (self.max_visited(), 0)
+    }
+    /// Spill/compaction/Bloom event counters (all zero for in-memory
+    /// backends).
+    fn tier_counters(&self) -> TierCounters {
+        TierCounters::default()
+    }
     /// Interner (hits, misses) counters since construction.
     fn intern_counters(&self) -> (u64, u64);
+    /// Serialize the durable store state (the intern arena, for
+    /// backends that have one) into a checkpoint payload. Visited
+    /// marks are *not* part of it: checkpoints happen at core
+    /// boundaries, where the visited set is empty by construction.
+    fn save_state(&mut self, _w: &mut ByteWriter) {}
+    /// Restore [`StateStore::save_state`] output; false on a corrupt
+    /// payload. Must be called on a freshly built store.
+    fn load_state(&mut self, _r: &mut ByteReader<'_>) -> bool {
+        true
+    }
 }
 
 /// Hash-consed backend: [`ConfigStore`] arena + [`VisitTable`].
@@ -117,6 +169,20 @@ impl StateStore for InternedStore {
     fn intern_counters(&self) -> (u64, u64) {
         let s = self.store.stats();
         (s.config_hits, s.config_misses)
+    }
+
+    fn save_state(&mut self, w: &mut ByteWriter) {
+        self.store.serialize(w);
+    }
+
+    fn load_state(&mut self, r: &mut ByteReader<'_>) -> bool {
+        match ConfigStore::deserialize(r) {
+            Some(store) => {
+                self.store = store;
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -175,6 +241,100 @@ impl StateStore for ByteStore {
     }
 }
 
+/// Out-of-core backend: the [`InternedStore`] arena in front of
+/// `wave-store`'s tiered visited set. Keys and traversal order are
+/// identical to [`InternedStore`] — only where the marks live differs —
+/// so verdicts and the deterministic stats columns are byte-identical
+/// across the two (pinned by `tests/store_tiered.rs`).
+#[derive(Debug)]
+pub struct TieredStore {
+    store: ConfigStore,
+    visits: TieredVisits,
+}
+
+impl TieredStore {
+    /// Build from the option-level sizing knobs. Panics when the spill
+    /// directory cannot be created — a store that cannot spill cannot
+    /// honor its memory budget.
+    pub fn new(params: &TierParams) -> TieredStore {
+        let config = TierConfig {
+            mem_bytes: usize::try_from(params.mem_bytes).unwrap_or(usize::MAX),
+            spill_dir: params.spill_dir.clone(),
+            ..TierConfig::default()
+        };
+        let visits = TieredVisits::new(config)
+            .unwrap_or_else(|e| panic!("tiered store: cannot create spill dir: {e}"));
+        TieredStore { store: ConfigStore::new(), visits }
+    }
+
+    /// The underlying arena (diagnostics and tests).
+    pub fn arena(&self) -> &ConfigStore {
+        &self.store
+    }
+
+    /// The tiered visited set (diagnostics and tests).
+    pub fn visits(&self) -> &TieredVisits {
+        &self.visits
+    }
+}
+
+impl StateStore for TieredStore {
+    type CKey = ConfigId;
+    type PKey = u64;
+
+    fn intern(&mut self, cfg: &PseudoConfig) -> (ConfigId, PseudoConfig) {
+        let id = self.store.intern(cfg);
+        (id, self.store.config(id))
+    }
+
+    fn pair(&self, ck: &ConfigId, auto_state: usize) -> u64 {
+        VisitTable::key(*ck, auto_state)
+    }
+
+    fn mark(&mut self, pk: &u64, phase: Phase) -> bool {
+        self.visits.mark(*pk, phase.mask())
+    }
+
+    fn is_marked(&self, pk: &u64, phase: Phase) -> bool {
+        self.visits.is_marked(*pk, phase.mask())
+    }
+
+    fn clear_visits(&mut self) {
+        self.visits.clear();
+    }
+
+    fn max_visited(&self) -> usize {
+        self.visits.max_distinct()
+    }
+
+    fn visited_breakdown(&self) -> (usize, usize) {
+        (self.visits.max_resident(), self.visits.max_spilled())
+    }
+
+    fn tier_counters(&self) -> TierCounters {
+        self.visits.counters()
+    }
+
+    fn intern_counters(&self) -> (u64, u64) {
+        let s = self.store.stats();
+        (s.config_hits, s.config_misses)
+    }
+
+    fn save_state(&mut self, w: &mut ByteWriter) {
+        self.store.serialize(w);
+    }
+
+    fn load_state(&mut self, r: &mut ByteReader<'_>) -> bool {
+        match ConfigStore::deserialize(r) {
+            Some(store) => {
+                self.store = store;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +388,57 @@ mod tests {
     #[test]
     fn byte_store_semantics() {
         exercise(ByteStore::new());
+    }
+
+    #[test]
+    fn tiered_store_semantics() {
+        exercise(TieredStore::new(&TierParams::default()));
+        // and again with a budget small enough that everything spills
+        exercise(TieredStore::new(&TierParams { mem_bytes: 0, spill_dir: None }));
+    }
+
+    #[test]
+    fn tiered_breakdown_separates_resident_from_spilled() {
+        let mut s = TieredStore::new(&TierParams { mem_bytes: 0, spill_dir: None });
+        // 64-slot floor -> 48-entry ceiling; 300 pairs must spill
+        let (key, _) = s.intern(&cfg(0, &[1]));
+        for auto_state in 0..300 {
+            let pk = s.pair(&key, auto_state);
+            assert!(!s.mark(&pk, Phase::Stick));
+        }
+        assert_eq!(s.max_visited(), 300, "distinct count spans both tiers");
+        let (resident, spilled) = s.visited_breakdown();
+        assert!(resident <= 48, "resident bounded by the budget: {resident}");
+        assert!(spilled > 0, "overflow went to disk");
+        assert!(s.tier_counters().spill_segments > 0);
+        let interned = InternedStore::new();
+        assert_eq!(interned.visited_breakdown(), (0, 0), "default breakdown is all-resident");
+    }
+
+    #[test]
+    fn save_state_round_trips_the_arena() {
+        let mut s = TieredStore::new(&TierParams::default());
+        let (ka, _) = s.intern(&cfg(0, &[1]));
+        let (kb, _) = s.intern(&cfg(1, &[2, 3]));
+        let mut w = wave_store::ByteWriter::new();
+        s.save_state(&mut w);
+        let buf = w.into_inner();
+
+        let mut fresh = TieredStore::new(&TierParams::default());
+        assert!(fresh.load_state(&mut wave_store::ByteReader::new(&buf)));
+        let (ka2, _) = fresh.intern(&cfg(0, &[1]));
+        let (kb2, _) = fresh.intern(&cfg(1, &[2, 3]));
+        assert_eq!((ka, kb), (ka2, kb2), "ids survive the round trip");
+        assert!(!fresh.load_state(&mut wave_store::ByteReader::new(&buf[..3])), "corrupt payload");
+
+        let mut interned = InternedStore::new();
+        interned.intern(&cfg(0, &[9]));
+        let mut w = wave_store::ByteWriter::new();
+        interned.save_state(&mut w);
+        let buf = w.into_inner();
+        let mut fresh = InternedStore::new();
+        assert!(fresh.load_state(&mut wave_store::ByteReader::new(&buf)));
+        assert_eq!(fresh.intern_counters(), interned.intern_counters());
     }
 
     #[test]

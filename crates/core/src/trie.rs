@@ -45,7 +45,7 @@ pub enum Phase {
 }
 
 impl Phase {
-    fn mask(self) -> u8 {
+    pub(crate) fn mask(self) -> u8 {
         match self {
             Phase::Stick => 0b01,
             Phase::Candy => 0b10,

@@ -22,7 +22,7 @@ use crate::config::core_instance;
 use crate::domain::{assignments, build_pools, relevant_constants, Assignment, ParamMode};
 use crate::ndfs::{Budget, CounterExample, Ndfs, SearchLimits, SearchResult};
 use crate::profile::SearchProfile;
-use crate::store::{ByteStore, InternedStore, StateStore, StateStoreKind};
+use crate::store::{ByteStore, InternedStore, StateStore, StateStoreKind, TieredStore};
 use crate::succ::{SearchCtx, SuccError};
 use crate::universe::{core_universe, ExtensionPruning, UniverseOverflow};
 use crate::visibility::Visibility;
@@ -105,8 +105,17 @@ pub struct Stats {
     pub elapsed: Duration,
     /// Max pseudorun length (of the counterexample when violated).
     pub max_run_len: usize,
-    /// Max number of pseudoconfigurations resident in the trie.
+    /// Max number of distinct visited pairs between cores (the paper's
+    /// "Max. trie size"); spans both tiers under the tiered backend —
+    /// see `max_resident`/`max_spilled` for the split.
     pub max_trie: usize,
+    /// High-water mark of visited pairs resident in memory. Equals
+    /// `max_trie` under the in-memory backends; bounded by the byte
+    /// budget under the tiered one.
+    pub max_resident: usize,
+    /// High-water mark of visited pairs spilled to disk (duplicate
+    /// copies across segments included; zero for in-memory backends).
+    pub max_spilled: usize,
     /// Pseudoconfigurations generated.
     pub configs: u64,
     /// Database cores searched.
@@ -127,6 +136,8 @@ impl Stats {
         self.elapsed += other.elapsed;
         self.max_run_len = self.max_run_len.max(other.max_run_len);
         self.max_trie = self.max_trie.max(other.max_trie);
+        self.max_resident = self.max_resident.max(other.max_resident);
+        self.max_spilled = self.max_spilled.max(other.max_spilled);
         self.configs += other.configs;
         self.cores += other.cores;
         self.assignments += other.assignments;
@@ -176,6 +187,9 @@ pub enum VerifyError {
     TooManyComponents(usize),
     Overflow(UniverseOverflow),
     Succ(SuccError),
+    /// Checkpoint I/O failed or an adopted checkpoint turned out to be
+    /// internally inconsistent (see [`crate::checkpoint`]).
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for VerifyError {
@@ -188,6 +202,7 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::Overflow(e) => write!(f, "{e}"),
             VerifyError::Succ(e) => write!(f, "{e}"),
+            VerifyError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -581,20 +596,26 @@ impl PreparedCheck<'_> {
         limits: &SearchLimits,
         tracer: &mut T,
     ) -> Result<UnitOutcome, VerifyError> {
-        match self.verifier.options.state_store {
+        match &self.verifier.options.state_store {
             StateStoreKind::Interned => {
-                self.run_unit_with(unit, cores, limits, &mut InternedStore::new(), tracer)
+                self.run_unit_in(unit, cores, limits, &mut InternedStore::new(), tracer)
             }
             StateStoreKind::ByteKeys => {
-                self.run_unit_with(unit, cores, limits, &mut ByteStore::new(), tracer)
+                self.run_unit_in(unit, cores, limits, &mut ByteStore::new(), tracer)
+            }
+            StateStoreKind::Tiered(params) => {
+                self.run_unit_in(unit, cores, limits, &mut TieredStore::new(params), tracer)
             }
         }
     }
 
     /// The core scan over an explicit state store (one store per unit:
     /// the interned arena is shared by all its cores, the visited set is
-    /// cleared between cores).
-    fn run_unit_with<S: StateStore, T: SearchTracer>(
+    /// cleared between cores). Public so drivers that must keep one
+    /// store alive across several core-range chunks of the same unit —
+    /// the checkpoint driver in [`crate::checkpoint`] — can run the
+    /// chunks without re-interning the arena from scratch each time.
+    pub fn run_unit_in<S: StateStore, T: SearchTracer>(
         &self,
         unit: usize,
         cores: Option<Range<u64>>,
@@ -623,6 +644,9 @@ impl PreparedCheck<'_> {
         // chunked merge still counts each C_∃ assignment once
         let mut stats = Stats { assignments: u64::from(range.start == 0), ..Stats::default() };
         let mut result = SearchResult::Clean;
+        // the store may be shared across several calls (checkpoint
+        // chunks), so tier counters fold as deltas from this baseline
+        let mut tier_base = store.tier_counters();
 
         for bitmap in range {
             if limits.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
@@ -655,6 +679,27 @@ impl PreparedCheck<'_> {
             stats.max_run_len = stats.max_run_len.max(search_stats.max_run_len);
             stats.configs += search_stats.configs;
             stats.max_trie = stats.max_trie.max(store.max_visited());
+            let (resident, spilled) = store.visited_breakdown();
+            stats.max_resident = stats.max_resident.max(resident);
+            stats.max_spilled = stats.max_spilled.max(spilled);
+            let tier = store.tier_counters();
+            if tier != tier_base {
+                stats.profile.spill_pairs += tier.spill_pairs - tier_base.spill_pairs;
+                stats.profile.spill_segments += tier.spill_segments - tier_base.spill_segments;
+                stats.profile.spill_compactions += tier.compactions - tier_base.compactions;
+                stats.profile.bloom_skips += tier.bloom_skips - tier_base.bloom_skips;
+                stats.profile.cold_probes += tier.cold_probes - tier_base.cold_probes;
+                if T::ENABLED && tier.spill_pairs > tier_base.spill_pairs {
+                    tracer.event(TraceEvent::Spill {
+                        unit: unit as u32,
+                        core: bitmap,
+                        pairs: tier.spill_pairs - tier_base.spill_pairs,
+                        segments: tier.spill_segments - tier_base.spill_segments,
+                        compactions: tier.compactions - tier_base.compactions,
+                    });
+                }
+                tier_base = tier;
+            }
             stats.profile.add(&search_stats.profile);
             match search_result {
                 SearchResult::Clean => {}

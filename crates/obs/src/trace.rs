@@ -22,8 +22,10 @@
 //! * `ev` — event type tag, always second.
 //! * payload — the event's fields, in the order documented on each
 //!   [`TraceEvent`] variant. New fields may be *appended* within a
-//!   version; renaming, reordering or removing a field requires a
-//!   version bump (the golden-schema CI test pins this).
+//!   version, and new event *types* (with fresh `ev` tags) may be added
+//!   — consumers switch on `ev` and must skip tags they do not know;
+//!   renaming, reordering or removing a field requires a version bump
+//!   (the golden-schema CI test pins this).
 //! * `t_ns` — nanoseconds since the tracer was created, always last.
 //!   Timing values (`t_ns`, `dur_ns`) vary run to run; everything else
 //!   is deterministic for a deterministic search.
@@ -77,6 +79,12 @@ pub enum TraceEvent {
     /// up), `limit` (the configured global step budget; `0` when no step
     /// budget was set).
     Budget { reason: &'static str, spent: u64, limit: u64 },
+    /// The tiered state store spilled visited pairs to disk during one
+    /// core's search (emitted per core, aggregated — not per segment
+    /// write; absent under in-memory backends).
+    /// Fields: `unit`, `core`, `pairs` (spilled this core), `segments`
+    /// (segments written), `compactions` (merges run).
+    Spill { unit: u32, core: u64, pairs: u64, segments: u64, compactions: u64 },
 }
 
 impl TraceEvent {
@@ -91,6 +99,7 @@ impl TraceEvent {
             TraceEvent::Core { .. } => "core",
             TraceEvent::Cycle { .. } => "cycle",
             TraceEvent::Budget { .. } => "budget",
+            TraceEvent::Spill { .. } => "spill",
         }
     }
 
@@ -125,6 +134,11 @@ impl TraceEvent {
             TraceEvent::Budget { reason, spent, limit } => {
                 s.push_str(&format!(
                     ",\"reason\":\"{reason}\",\"spent\":{spent},\"limit\":{limit}"
+                ));
+            }
+            TraceEvent::Spill { unit, core, pairs, segments, compactions } => {
+                s.push_str(&format!(
+                    ",\"unit\":{unit},\"core\":{core},\"pairs\":{pairs},\"segments\":{segments},\"compactions\":{compactions}"
                 ));
             }
         }
@@ -311,6 +325,11 @@ mod tests {
         );
         let ev = TraceEvent::Intern { hit: true };
         assert!(ev.to_jsonl(0).starts_with(r#"{"v":1,"ev":"intern","hit":true"#));
+        let ev = TraceEvent::Spill { unit: 2, core: 5, pairs: 96, segments: 1, compactions: 0 };
+        assert_eq!(
+            ev.to_jsonl(9),
+            r#"{"v":1,"ev":"spill","unit":2,"core":5,"pairs":96,"segments":1,"compactions":0,"t_ns":9}"#
+        );
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Hot in-memory tier: an open-addressing table of packed visit pairs
+//! under clock (second-chance) eviction.
+//!
+//! Each slot is 9 bytes — a packed `(ConfigId << 32 | auto_state)` key
+//! plus a meta byte holding the two phase mark bits, an occupancy bit
+//! (key 0 is a valid pair, so occupancy cannot be a key sentinel), and
+//! the clock's reference bit. The table never resizes: its capacity is
+//! the largest power of two fitting the configured byte budget, and
+//! when occupancy reaches 75% a batch eviction sweep frees a quarter of
+//! the capacity in one pass, handing the victims to the caller (which
+//! spills them to a cold segment).
+//!
+//! Eviction is the textbook second chance: the hand sweeps slots,
+//! clearing the reference bit on entries that have it and evicting the
+//! ones that don't, so recently re-marked pairs survive. Because open
+//! addressing cannot delete in place without breaking probe chains, the
+//! sweep collects victims and then rebuilds the table from the
+//! survivors — O(capacity), amortized over the quarter-capacity of
+//! inserts that preceded it. The probe hash is a fixed splitmix64, so
+//! the full eviction/spill sequence is deterministic: identical search
+//! order in, identical spill counters out, on any machine.
+
+use crate::bloom::mix64;
+
+/// Bytes one slot occupies (8-byte key + meta byte).
+pub const SLOT_BYTES: usize = 9;
+
+const OCCUPIED: u8 = 0x80;
+const REF: u8 = 0x40;
+const MARKS: u8 = 0x03;
+
+/// Fixed-capacity clock-evicted hash table; see the module docs.
+#[derive(Clone, Debug)]
+pub struct ClockTable {
+    keys: Vec<u64>,
+    meta: Vec<u8>,
+    mask: usize,
+    len: usize,
+    hand: usize,
+    max_len: usize,
+}
+
+impl ClockTable {
+    /// Table whose slots fit in `mem_bytes` (min 64 slots).
+    pub fn with_budget(mem_bytes: usize) -> ClockTable {
+        let slots = (mem_bytes / SLOT_BYTES).max(64);
+        // largest power of two <= slots, so the budget is never exceeded
+        let cap = 1usize << (usize::BITS - 1 - slots.leading_zeros());
+        ClockTable {
+            keys: vec![0; cap],
+            meta: vec![0; cap],
+            mask: cap - 1,
+            len: 0,
+            hand: 0,
+            max_len: 0,
+        }
+    }
+
+    #[inline]
+    fn start(&self, key: u64) -> usize {
+        // seed differs from the Bloom front's so the two don't correlate
+        mix64(key ^ 0x5bf0_3635_dcaa_b6ec) as usize & self.mask
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Historic occupancy high-water mark.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Heap footprint of the slot arrays.
+    pub fn bytes(&self) -> usize {
+        self.keys.len() * SLOT_BYTES
+    }
+
+    /// True once occupancy reaches 75% — evict before inserting more.
+    pub fn is_full(&self) -> bool {
+        self.len * 4 >= self.capacity() * 3
+    }
+
+    /// Mark bits of `key`, if resident. Read-only: does not set the
+    /// reference bit (callers on the `&self` probe path stay pure).
+    pub fn get(&self, key: u64) -> Option<u8> {
+        let mut i = self.start(key);
+        loop {
+            if self.meta[i] & OCCUPIED == 0 {
+                return None;
+            }
+            if self.keys[i] == key {
+                return Some(self.meta[i] & MARKS);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// If `key` is resident: OR `mask` into its marks, set the
+    /// reference bit, and return the *previous* marks. `None` when
+    /// absent (insert via [`ClockTable::insert`] after making room).
+    pub fn touch_or(&mut self, key: u64, mask: u8) -> Option<u8> {
+        let mut i = self.start(key);
+        loop {
+            if self.meta[i] & OCCUPIED == 0 {
+                return None;
+            }
+            if self.keys[i] == key {
+                let old = self.meta[i] & MARKS;
+                self.meta[i] |= (mask & MARKS) | REF;
+                return Some(old);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Insert an absent key. Callers must check [`ClockTable::is_full`]
+    /// first and evict; the 75% ceiling guarantees a free slot here.
+    pub fn insert(&mut self, key: u64, marks: u8) {
+        debug_assert!(self.len < self.capacity());
+        self.insert_raw(key, (marks & MARKS) | REF);
+        self.max_len = self.max_len.max(self.len);
+    }
+
+    fn insert_raw(&mut self, key: u64, meta: u8) {
+        let mut i = self.start(key);
+        while self.meta[i] & OCCUPIED != 0 {
+            debug_assert_ne!(self.keys[i], key, "insert of resident key");
+            i = (i + 1) & self.mask;
+        }
+        self.keys[i] = key;
+        self.meta[i] = OCCUPIED | meta;
+        self.len += 1;
+    }
+
+    /// Second-chance sweep: free up to `target` slots, returning the
+    /// victims as `(key, marks)`. Entries whose reference bit is set
+    /// survive one sweep (the bit is cleared); two full revolutions
+    /// bound the scan. The table is rebuilt without the victims so
+    /// probe chains stay intact.
+    pub fn evict(&mut self, target: usize) -> Vec<(u64, u8)> {
+        let cap = self.capacity();
+        let target = target.min(self.len);
+        if target == 0 {
+            return Vec::new();
+        }
+        let mut victims = Vec::with_capacity(target);
+        let mut is_victim = vec![false; cap];
+        let mut i = self.hand & self.mask;
+        let mut examined = 0usize;
+        while victims.len() < target && examined < cap * 2 {
+            if self.meta[i] & OCCUPIED != 0 && !is_victim[i] {
+                if self.meta[i] & REF != 0 {
+                    self.meta[i] &= !REF;
+                } else {
+                    is_victim[i] = true;
+                    victims.push((self.keys[i], self.meta[i] & MARKS));
+                }
+            }
+            i = (i + 1) & self.mask;
+            examined += 1;
+        }
+        self.hand = i;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
+        let old_meta = std::mem::replace(&mut self.meta, vec![0; cap]);
+        self.len = 0;
+        for j in 0..cap {
+            if old_meta[j] & OCCUPIED != 0 && !is_victim[j] {
+                self.insert_raw(old_keys[j], old_meta[j] & !OCCUPIED);
+            }
+        }
+        victims
+    }
+
+    /// Drop every entry (between NDFS cores); `max_len` survives.
+    pub fn clear(&mut self) {
+        self.keys.fill(0);
+        self.meta.fill(0);
+        self.len = 0;
+        self.hand = 0;
+    }
+
+    /// Resident `(key, marks)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u8)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.meta)
+            .filter(|(_, &m)| m & OCCUPIED != 0)
+            .map(|(&k, &m)| (k, m & MARKS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_caps_capacity_at_a_power_of_two() {
+        let t = ClockTable::with_budget(10_000);
+        assert_eq!(t.capacity(), 1024); // 10_000 / 9 = 1111 -> 1024
+        assert!(t.bytes() <= 10_000);
+        assert_eq!(ClockTable::with_budget(0).capacity(), 64);
+    }
+
+    #[test]
+    fn insert_get_touch_roundtrip_including_key_zero() {
+        let mut t = ClockTable::with_budget(1024);
+        assert_eq!(t.get(0), None);
+        t.insert(0, 0b01);
+        t.insert(7, 0b10);
+        assert_eq!(t.get(0), Some(0b01));
+        assert_eq!(t.get(7), Some(0b10));
+        assert_eq!(t.touch_or(0, 0b10), Some(0b01));
+        assert_eq!(t.get(0), Some(0b11));
+        assert_eq!(t.touch_or(99, 0b01), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn eviction_frees_slots_and_prefers_unreferenced() {
+        let mut t = ClockTable::with_budget(64 * SLOT_BYTES); // 64 slots
+        for k in 0..40u64 {
+            t.insert(k, 0b01);
+        }
+        // re-touch half: they carry the reference bit into the sweep
+        for k in 0..20u64 {
+            t.touch_or(k, 0b01);
+        }
+        // newly inserted entries also start referenced; age them once
+        let first = t.evict(10);
+        assert_eq!(first.len(), 10);
+        assert_eq!(t.len(), 30);
+        for (k, m) in &first {
+            assert_eq!(t.get(*k), None);
+            assert_eq!(*m, 0b01);
+        }
+        // survivors keep their marks and stay probeable after rebuild
+        let survivors: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(survivors.len(), 30);
+        for k in survivors {
+            assert_eq!(t.get(k), Some(0b01));
+        }
+    }
+
+    #[test]
+    fn eviction_is_deterministic() {
+        let run = || {
+            let mut t = ClockTable::with_budget(64 * SLOT_BYTES);
+            for k in 0..48u64 {
+                t.insert(k * 17, (k % 2 + 1) as u8);
+            }
+            t.evict(16)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clear_keeps_high_water_mark() {
+        let mut t = ClockTable::with_budget(1024);
+        for k in 0..50u64 {
+            t.insert(k, 1);
+        }
+        assert_eq!(t.max_len(), 50);
+        t.clear();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.max_len(), 50);
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn full_table_eviction_terminates_even_when_all_referenced() {
+        let mut t = ClockTable::with_budget(64 * SLOT_BYTES);
+        for k in 0..48u64 {
+            t.insert(k, 1);
+            t.touch_or(k, 1); // everyone referenced
+        }
+        let v = t.evict(48);
+        assert_eq!(v.len(), 48, "second revolution must evict");
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Cold on-disk tier: sorted, immutable spill segments.
+//!
+//! A segment is one eviction batch (or one compaction output) written
+//! as an append-only sorted run — the mini-LSM shape. The file layout
+//! is
+//!
+//! ```text
+//! magic "WSEG" | version u32 | count u64 | min u64 | max u64
+//! | bloom_capacity u64 | bloom_words u64 | bloom words …
+//! | keys  count × u64  (sorted ascending, unique)
+//! | marks count × u8   (parallel to keys)
+//! ```
+//!
+//! everything little-endian. The header, fence keys (`min`/`max`) and
+//! Bloom sidecar are held in memory after [`Segment::open`]; a point
+//! probe fence-checks, consults the sidecar, then binary-searches the
+//! key region with positioned reads (`read_at`), touching `O(log n)`
+//! disk pages and never mutating the file. Keys and marks live in
+//! separate regions so key reads stay 8-byte aligned.
+//!
+//! [`SegmentIter`] streams a segment in key order through a small
+//! refill buffer — the input side of k-way merge compaction.
+
+use crate::bloom::SplitBloom;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"WSEG";
+const VERSION: u32 = 1;
+/// magic + version + count + min + max + bloom_capacity + bloom_words
+const HEADER_BYTES: u64 = 4 + 4 + 8 * 5;
+
+fn read_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, offset)
+    }
+    #[cfg(windows)]
+    {
+        use std::os::windows::fs::FileExt;
+        let mut done = 0;
+        while done < buf.len() {
+            let n = file.seek_read(&mut buf[done..], offset + done as u64)?;
+            if n == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            done += n;
+        }
+        Ok(())
+    }
+}
+
+fn corrupt(path: &Path, what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{}: {what}", path.display()))
+}
+
+/// Writes one segment file from an eviction batch or merge output.
+pub struct SegmentWriter;
+
+impl SegmentWriter {
+    /// Write `entries` (sorted ascending by key, unique) to `path`.
+    pub fn write(path: &Path, entries: &[(u64, u8)]) -> io::Result<()> {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries sorted+unique");
+        let mut bloom = SplitBloom::with_capacity(entries.len());
+        for &(k, _) in entries {
+            bloom.insert(k);
+        }
+        let words = bloom.to_words();
+        let min = entries.first().map_or(u64::MAX, |e| e.0);
+        let max = entries.last().map_or(0, |e| e.0);
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(entries.len() as u64).to_le_bytes())?;
+        w.write_all(&min.to_le_bytes())?;
+        w.write_all(&max.to_le_bytes())?;
+        w.write_all(&(bloom.capacity() as u64).to_le_bytes())?;
+        w.write_all(&(words.len() as u64).to_le_bytes())?;
+        for word in &words {
+            w.write_all(&word.to_le_bytes())?;
+        }
+        for &(k, _) in entries {
+            w.write_all(&k.to_le_bytes())?;
+        }
+        for &(_, m) in entries {
+            w.write_all(&[m])?;
+        }
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()
+    }
+}
+
+/// An open, immutable sorted run; probed without loading the entries.
+#[derive(Debug)]
+pub struct Segment {
+    file: File,
+    path: PathBuf,
+    count: u64,
+    min: u64,
+    max: u64,
+    bloom: SplitBloom,
+    keys_off: u64,
+    marks_off: u64,
+}
+
+impl Segment {
+    pub fn open(path: &Path) -> io::Result<Segment> {
+        let mut file = File::open(path)?;
+        let mut header = [0u8; HEADER_BYTES as usize];
+        file.read_exact(&mut header)?;
+        if &header[..4] != MAGIC {
+            return Err(corrupt(path, "bad segment magic"));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(corrupt(path, &format!("unsupported segment version {version}")));
+        }
+        let word = |i: usize| u64::from_le_bytes(header[8 + i * 8..16 + i * 8].try_into().unwrap());
+        let (count, min, max, bloom_capacity, bloom_words) =
+            (word(0), word(1), word(2), word(3), word(4));
+        let mut raw = vec![0u8; (bloom_words * 8) as usize];
+        file.read_exact(&mut raw)?;
+        let words: Vec<u64> =
+            raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        let bloom = SplitBloom::from_words(bloom_capacity as usize, &words)
+            .ok_or_else(|| corrupt(path, "bad bloom sidecar"))?;
+        let keys_off = HEADER_BYTES + bloom_words * 8;
+        let marks_off = keys_off + count * 8;
+        let expect = marks_off + count;
+        if file.metadata()?.len() < expect {
+            return Err(corrupt(path, "truncated segment"));
+        }
+        Ok(Segment { file, path: path.to_path_buf(), count, min, max, bloom, keys_off, marks_off })
+    }
+
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Mark byte of `key`, if present: fence check, Bloom sidecar,
+    /// then binary search over the on-disk key region.
+    pub fn get(&self, key: u64) -> io::Result<Option<u8>> {
+        if self.count == 0 || key < self.min || key > self.max || !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        let (mut lo, mut hi) = (0u64, self.count);
+        let mut buf = [0u8; 8];
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            read_at(&self.file, &mut buf, self.keys_off + mid * 8)?;
+            let k = u64::from_le_bytes(buf);
+            match k.cmp(&key) {
+                std::cmp::Ordering::Equal => {
+                    let mut m = [0u8; 1];
+                    read_at(&self.file, &mut m, self.marks_off + mid)?;
+                    return Ok(Some(m[0]));
+                }
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Stream the entries in key order (compaction input).
+    pub fn stream(&self) -> SegmentIter<'_> {
+        SegmentIter { seg: self, next: 0, buf: Vec::new(), buf_base: 0 }
+    }
+}
+
+const ITER_CHUNK: u64 = 4096;
+
+/// Buffered sequential reader over one segment; not an `Iterator` so
+/// I/O errors propagate instead of hiding inside `Option`.
+pub struct SegmentIter<'a> {
+    seg: &'a Segment,
+    next: u64,
+    buf: Vec<(u64, u8)>,
+    buf_base: u64,
+}
+
+impl SegmentIter<'_> {
+    pub fn next_entry(&mut self) -> io::Result<Option<(u64, u8)>> {
+        if self.next >= self.seg.count {
+            return Ok(None);
+        }
+        let idx = (self.next - self.buf_base) as usize;
+        if self.buf.is_empty() || idx >= self.buf.len() {
+            self.refill()?;
+        }
+        let entry = self.buf[(self.next - self.buf_base) as usize];
+        self.next += 1;
+        Ok(Some(entry))
+    }
+
+    fn refill(&mut self) -> io::Result<()> {
+        let n = ITER_CHUNK.min(self.seg.count - self.next);
+        let mut keys = vec![0u8; (n * 8) as usize];
+        read_at(&self.seg.file, &mut keys, self.seg.keys_off + self.next * 8)?;
+        let mut marks = vec![0u8; n as usize];
+        read_at(&self.seg.file, &mut marks, self.seg.marks_off + self.next)?;
+        self.buf = keys
+            .chunks_exact(8)
+            .zip(&marks)
+            .map(|(k, &m)| (u64::from_le_bytes(k.try_into().unwrap()), m))
+            .collect();
+        self.buf_base = self.next;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wave-seg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_open_probe() {
+        let entries: Vec<(u64, u8)> = (0..5000u64).map(|k| (k * 3, (k % 3 + 1) as u8)).collect();
+        let path = tmp("probe.wseg");
+        SegmentWriter::write(&path, &entries).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.len(), 5000);
+        for &(k, m) in entries.iter().step_by(97) {
+            assert_eq!(seg.get(k).unwrap(), Some(m));
+        }
+        assert_eq!(seg.get(1).unwrap(), None); // between fences, absent
+        assert_eq!(seg.get(u64::MAX).unwrap(), None); // past max fence
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn stream_reproduces_entries_in_order() {
+        let entries: Vec<(u64, u8)> = (0..10_000u64).map(|k| (k * 7 + 1, 0b10)).collect();
+        let path = tmp("stream.wseg");
+        SegmentWriter::write(&path, &entries).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        let mut it = seg.stream();
+        let mut got = Vec::new();
+        while let Some(e) = it.next_entry().unwrap() {
+            got.push(e);
+        }
+        assert_eq!(got, entries);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let path = tmp("empty.wseg");
+        SegmentWriter::write(&path, &[]).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        assert!(seg.is_empty());
+        assert_eq!(seg.get(0).unwrap(), None);
+        assert!(seg.stream().next_entry().unwrap().is_none());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let path = tmp("bad.wseg");
+        std::fs::write(&path, b"NOPE00000000000000000000000000000000000000000000").unwrap();
+        let err = Segment::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).unwrap();
+    }
+}

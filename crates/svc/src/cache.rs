@@ -215,6 +215,11 @@ impl CachedResult {
                 ("intern_misses", Json::from(p.intern_misses)),
                 ("steps_leased", Json::from(p.steps_leased)),
                 ("steps_refunded", Json::from(p.steps_refunded)),
+                ("spill_pairs", Json::from(p.spill_pairs)),
+                ("spill_segments", Json::from(p.spill_segments)),
+                ("spill_compactions", Json::from(p.spill_compactions)),
+                ("bloom_skips", Json::from(p.bloom_skips)),
+                ("cold_probes", Json::from(p.cold_probes)),
             ]),
         ));
         Json::obj(pairs)
@@ -256,6 +261,13 @@ impl CachedResult {
                     intern_misses: ns("intern_misses"),
                     steps_leased: ns("steps_leased"),
                     steps_refunded: ns("steps_refunded"),
+                    // entries written before the tiered store have none
+                    // of these; they read back zero like the others
+                    spill_pairs: ns("spill_pairs"),
+                    spill_segments: ns("spill_segments"),
+                    spill_compactions: ns("spill_compactions"),
+                    bloom_skips: ns("bloom_skips"),
+                    cold_probes: ns("cold_probes"),
                 }
             })
             .unwrap_or_default();
@@ -643,6 +655,19 @@ mod tests {
         assert_eq!(fingerprint("s", "p", &options()), fingerprint("s", "p", &opts));
     }
 
+    #[test]
+    fn state_store_backend_does_not_affect_fingerprint() {
+        let base = fingerprint("s", "p", &options());
+        let mut opts = options();
+        opts.state_store = wave_core::StateStoreKind::ByteKeys;
+        assert_eq!(base, fingerprint("s", "p", &opts));
+        opts.state_store = wave_core::StateStoreKind::Tiered(wave_core::TierParams {
+            mem_bytes: 4 << 20,
+            spill_dir: Some(std::path::PathBuf::from("/tmp/spill")),
+        });
+        assert_eq!(base, fingerprint("s", "p", &opts), "tier sizing is a tuning knob");
+    }
+
     /// A small but fully populated counterexample exercising every
     /// serialized field, including a component bitmask above 2^53 that
     /// would corrupt if routed through an f64.
@@ -706,6 +731,11 @@ mod tests {
                 intern_misses: 7,
                 steps_leased: 8,
                 steps_refunded: 9,
+                spill_pairs: 10,
+                spill_segments: 11,
+                spill_compactions: 12,
+                bloom_skips: 13,
+                cold_probes: 14,
             },
         };
         {
@@ -899,13 +929,6 @@ mod tests {
         assert_eq!(report.removed, 1, "{report:?}");
         assert!(dir.join("new.json").exists());
         let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn state_store_backend_does_not_affect_fingerprint() {
-        let mut opts = options();
-        opts.state_store = wave_core::StateStoreKind::ByteKeys;
-        assert_eq!(fingerprint("s", "p", &options()), fingerprint("s", "p", &opts));
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub struct SvcMetrics {
     pub queue_depth: Arc<Gauge>,
     /// Wall-time per scheduler work unit (one core-range scan), ns.
     pub unit_latency_ns: Arc<Histogram>,
+    /// Visited pairs written to spill segments by the tiered store.
+    pub spill_pairs_total: Arc<Counter>,
+    /// Spill segments written by the tiered store (compaction outputs
+    /// included).
+    pub spill_segments_total: Arc<Counter>,
+    /// Cold-tier merge compactions run by the tiered store.
+    pub spill_compactions_total: Arc<Counter>,
     /// Open `wave serve` connections.
     pub connections_active: Arc<Gauge>,
     /// Request lines processed by the server.
@@ -64,6 +71,16 @@ impl SvcMetrics {
                 .gauge("wave_scheduler_queue_depth", "Work items waiting for a scheduler worker"),
             unit_latency_ns: registry
                 .histogram("wave_unit_latency_ns", "Scheduler work-unit wall time (ns)"),
+            spill_pairs_total: registry.counter(
+                "wave_spill_pairs_total",
+                "Visited pairs written to spill segments by the tiered store",
+            ),
+            spill_segments_total: registry.counter(
+                "wave_spill_segments_total",
+                "Spill segments written by the tiered store (compactions included)",
+            ),
+            spill_compactions_total: registry
+                .counter("wave_spill_compactions_total", "Cold-tier merge compactions run"),
             connections_active: registry
                 .gauge("wave_connections_active", "Open wave serve connections"),
             requests_total: registry
@@ -121,6 +138,9 @@ mod tests {
             "wave_cache_misses_total",
             "wave_cache_evictions_total",
             "wave_scheduler_queue_depth",
+            "wave_spill_pairs_total",
+            "wave_spill_segments_total",
+            "wave_spill_compactions_total",
             "wave_connections_active",
             "wave_requests_total",
         ] {

@@ -220,6 +220,11 @@ pub fn run_prepared(
     let cursor = AtomicUsize::new(0);
 
     let record = |item: &Item, outcome: Result<UnitOutcome, VerifyError>| {
+        if let (Some(m), Ok(o)) = (metrics, &outcome) {
+            m.spill_pairs_total.add(o.stats.profile.spill_pairs);
+            m.spill_segments_total.add(o.stats.profile.spill_segments);
+            m.spill_compactions_total.add(o.stats.profile.spill_compactions);
+        }
         let mut states = states.lock().unwrap();
         let state = &mut states[item.check];
         let decisive = !matches!(&outcome, Ok(UnitOutcome { result: SearchResult::Clean, .. }));

@@ -238,6 +238,8 @@ impl JobRecord {
                 ("assignments", Json::from(self.stats.assignments)),
                 ("max_run_len", Json::from(self.stats.max_run_len)),
                 ("max_trie", Json::from(self.stats.max_trie)),
+                ("max_resident", Json::from(self.stats.max_resident)),
+                ("max_spilled", Json::from(self.stats.max_spilled)),
                 (
                     "profile",
                     Json::obj([
@@ -249,6 +251,11 @@ impl JobRecord {
                         ("intern_hits", Json::from(profile.intern_hits)),
                         ("intern_misses", Json::from(profile.intern_misses)),
                         ("intern_hit_rate", opt(profile.intern_hit_rate())),
+                        ("spill_pairs", Json::from(profile.spill_pairs)),
+                        ("spill_segments", Json::from(profile.spill_segments)),
+                        ("spill_compactions", Json::from(profile.spill_compactions)),
+                        ("bloom_skips", Json::from(profile.bloom_skips)),
+                        ("cold_probes", Json::from(profile.cold_probes)),
                         ("canon_pct", opt(profile.pct(profile.canon_ns))),
                         ("intern_pct", opt(profile.pct(profile.intern_ns))),
                         ("expand_pct", opt(profile.pct(profile.expand_ns))),
@@ -547,6 +554,10 @@ pub fn parse_options(json: Option<&Json>) -> Result<VerifyOptions, String> {
     let Json::Obj(pairs) = json else {
         return Err("\"options\" must be an object".to_string());
     };
+    // tier knobs apply after the loop so they compose with
+    // `"state_store":"tiered"` in either key order
+    let mut store_mem_mb: Option<u64> = None;
+    let mut spill_dir: Option<String> = None;
     for (key, value) in pairs {
         match key.as_str() {
             "max_steps" => {
@@ -576,17 +587,40 @@ pub fn parse_options(json: Option<&Json>) -> Result<VerifyOptions, String> {
                 options.use_plans = value.as_bool().ok_or("\"use_plans\" must be a boolean")?;
             }
             "state_store" => {
-                options.state_store = match value.as_str() {
-                    Some("interned") => wave_core::StateStoreKind::Interned,
-                    Some("byte_keys") => wave_core::StateStoreKind::ByteKeys,
-                    _ => {
-                        return Err(
-                            "\"state_store\" must be \"interned\" or \"byte_keys\"".to_string()
-                        )
-                    }
-                };
+                options.state_store =
+                    match value.as_str() {
+                        Some("interned") => wave_core::StateStoreKind::Interned,
+                        Some("byte_keys") => wave_core::StateStoreKind::ByteKeys,
+                        Some("tiered") => {
+                            wave_core::StateStoreKind::Tiered(wave_core::TierParams::default())
+                        }
+                        _ => return Err(
+                            "\"state_store\" must be \"interned\", \"byte_keys\", or \"tiered\""
+                                .to_string(),
+                        ),
+                    };
+            }
+            "store_mem_mb" => {
+                store_mem_mb = Some(value.as_u64().ok_or("\"store_mem_mb\" must be an integer")?);
+            }
+            "spill_dir" => {
+                spill_dir =
+                    Some(value.as_str().ok_or("\"spill_dir\" must be a string")?.to_string());
             }
             other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if store_mem_mb.is_some() || spill_dir.is_some() {
+        let wave_core::StateStoreKind::Tiered(params) = &mut options.state_store else {
+            return Err(
+                "\"store_mem_mb\"/\"spill_dir\" require \"state_store\": \"tiered\"".to_string()
+            );
+        };
+        if let Some(mb) = store_mem_mb {
+            params.mem_bytes = mb << 20;
+        }
+        if let Some(dir) = spill_dir {
+            params.spill_dir = Some(PathBuf::from(dir));
         }
     }
     Ok(options)
@@ -731,6 +765,75 @@ mod tests {
         ]);
         let second = &svc.run_request(&request, "b")[0];
         assert!(second.cached, "backends share cache entries");
+    }
+
+    #[test]
+    fn tiered_store_options_parse_and_run() {
+        // knob composition works in either key order
+        let opts = parse_options(Some(
+            &json::parse(r#"{"store_mem_mb":8,"state_store":"tiered","spill_dir":"/tmp/sp"}"#)
+                .unwrap(),
+        ))
+        .unwrap();
+        let wave_core::StateStoreKind::Tiered(params) = &opts.state_store else {
+            panic!("expected tiered, got {:?}", opts.state_store)
+        };
+        assert_eq!(params.mem_bytes, 8 << 20);
+        assert_eq!(params.spill_dir.as_deref(), Some(std::path::Path::new("/tmp/sp")));
+
+        // tier knobs without the tiered backend are rejected
+        let err = parse_options(Some(&json::parse(r#"{"store_mem_mb":8}"#).unwrap())).unwrap_err();
+        assert!(err.contains("tiered"), "{err}");
+
+        // bare "tiered" takes the default budget
+        let opts =
+            parse_options(Some(&json::parse(r#"{"state_store":"tiered"}"#).unwrap())).unwrap();
+        assert_eq!(
+            opts.state_store,
+            wave_core::StateStoreKind::Tiered(wave_core::TierParams::default())
+        );
+
+        // a forced-spill run completes, reports the tier split in JSON,
+        // and feeds the spill metrics
+        let svc = service();
+        let request = Json::obj([
+            ("spec", Json::from(MINI)),
+            ("property", Json::from("G (@B -> X @A)")),
+            ("options", json::parse(r#"{"state_store":"tiered","store_mem_mb":0}"#).unwrap()),
+        ]);
+        let record = &svc.run_request(&request, "t")[0];
+        assert_eq!(record.verdict, "holds");
+        let json = record.to_json();
+        let stats = json.get("stats").unwrap();
+        assert!(stats.get("max_resident").unwrap().as_u64().is_some());
+        assert!(stats.get("max_spilled").unwrap().as_u64().is_some());
+        let profile = stats.get("profile").unwrap();
+        for field in
+            ["spill_pairs", "spill_segments", "spill_compactions", "bloom_skips", "cold_probes"]
+        {
+            assert!(profile.get(field).unwrap().as_u64().is_some(), "{field} missing");
+        }
+        let m = svc.metrics();
+        assert_eq!(
+            m.spill_pairs_total.get() > 0,
+            record.stats.profile.spill_pairs > 0,
+            "scheduler feeds spill metrics exactly when the search spilled"
+        );
+    }
+
+    #[test]
+    fn tiered_backend_shares_cache_entries() {
+        let svc = service();
+        let request = Json::obj([("spec", Json::from(MINI)), ("property", Json::from("G !@B"))]);
+        let first = &svc.run_request(&request, "a")[0];
+        assert!(!first.cached);
+        let request = Json::obj([
+            ("spec", Json::from(MINI)),
+            ("property", Json::from("G !@B")),
+            ("options", json::parse(r#"{"state_store":"tiered","store_mem_mb":4}"#).unwrap()),
+        ]);
+        let second = &svc.run_request(&request, "b")[0];
+        assert!(second.cached, "the tiered backend is semantics-neutral: shared entry");
     }
 
     #[test]

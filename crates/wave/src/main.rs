@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             ExitCode::from(2)
@@ -68,6 +69,7 @@ usage:
              [--max-connections <n>] [--read-timeout <seconds>]
              [--metrics-addr <host:port>]
   wave trace summarize <trace.jsonl> [--top <k>]
+  wave bench --record | --check [--out <file>]
 
 check options:
   --max-steps <n>         global configuration budget (shared across workers)
@@ -80,6 +82,14 @@ check options:
   --exhaustive-equality   enumerate all C_∃ equality patterns
   --interpret             evaluate rules directly (no compiled plans)
   --byte-keys             byte-keyed visit sets (interning ablation baseline)
+  --store <kind>          visited-state store: interned (default), byte, or
+                          tiered (Bloom front + bounded hot tier + disk spill)
+  --store-mem-mb <m>      tiered only: hot-tier byte budget in MiB (default 64)
+  --spill-dir <dir>       tiered only: directory for spill segments
+                          (default: a private temp dir, removed on exit)
+  --checkpoint-dir <dir>  checkpoint search state into <dir>/wave.ckpt so an
+                          interrupted run resumes where it left off
+  --checkpoint-every <n>  cores scanned between checkpoints (default 64)
   --jobs <n>              verify on an n-worker pool (wave-svc scheduler)
   --json                  print one JSON result record (batch format)
   --trace-out <file>      stream a JSONL search trace (sequential only;
@@ -105,6 +115,11 @@ cache options (batch and serve):
 serve: --metrics-addr binds a Prometheus text-exposition listener
 (scrape GET /metrics); the socket itself answers {\"cmd\":\"metrics\"}
 
+bench: --record runs the E1–E4 property suites on the tiered store at a
+generous and a forced-spill memory budget and writes the deterministic
+columns to BENCH_store.json (--out overrides); --check re-runs them and
+fails if the committed file has drifted
+
 batch: one JSON job per input line, one JSON record per property on
 stdout; e.g. {\"suite\":\"E1\"}, {\"suite\":\"E1\",\"property\":\"P5\"}, or
 {\"spec_path\":\"shop.wave\",\"property\":\"G !@ERR\",\"options\":{\"max_steps\":5000}}
@@ -113,6 +128,12 @@ exit codes: 0 property holds · 1 property violated · 2 usage/spec error
             3 budget exhausted   (batch: 0 all jobs ran · 2 some errored)
             (lint: 0 clean or warnings only · 1 errors · 2 usage)
 ";
+
+/// Cores scanned between checkpoints when `--checkpoint-every` is not
+/// given. Checkpoints land at core boundaries (where the visited set is
+/// empty), so this trades re-scanned work after a kill against
+/// checkpoint write traffic.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 64;
 
 /// Pull `--flag value` out of an argument list.
 fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -193,6 +214,54 @@ fn cmd_check(rest: &[String]) -> ExitCode {
     if take_flag(&mut args, "--byte-keys") {
         options.state_store = wave::core::StateStoreKind::ByteKeys;
     }
+    let store_mem_mb = take_value(&mut args, "--store-mem-mb");
+    let spill_dir = take_value(&mut args, "--spill-dir");
+    if let Some(kind) = take_value(&mut args, "--store") {
+        options.state_store = match kind.as_str() {
+            "interned" => wave::core::StateStoreKind::Interned,
+            "byte" => wave::core::StateStoreKind::ByteKeys,
+            "tiered" => wave::core::StateStoreKind::Tiered(wave::core::TierParams::default()),
+            _ => {
+                eprintln!("--store must be interned, byte, or tiered, got {kind:?}");
+                return ExitCode::from(2);
+            }
+        };
+    }
+    if store_mem_mb.is_some() || spill_dir.is_some() {
+        let wave::core::StateStoreKind::Tiered(ref mut params) = options.state_store else {
+            eprintln!("--store-mem-mb/--spill-dir require --store tiered");
+            return ExitCode::from(2);
+        };
+        if let Some(mb) = store_mem_mb {
+            match mb.parse::<u64>() {
+                Ok(mb) => params.mem_bytes = mb << 20,
+                Err(_) => {
+                    eprintln!("--store-mem-mb needs an integer number of MiB, got {mb:?}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Some(dir) = spill_dir {
+            params.spill_dir = Some(dir.into());
+        }
+    }
+    let checkpoint_dir = take_value(&mut args, "--checkpoint-dir");
+    let checkpoint_every = match take_value(&mut args, "--checkpoint-every") {
+        Some(n) => {
+            if checkpoint_dir.is_none() {
+                eprintln!("--checkpoint-every needs --checkpoint-dir");
+                return ExitCode::from(2);
+            }
+            match n.parse::<u64>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("--checkpoint-every needs a positive integer, got {n:?}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => DEFAULT_CHECKPOINT_EVERY,
+    };
     let no_replay = take_flag(&mut args, "--no-replay");
     let quiet = take_flag(&mut args, "--quiet");
     let json_out = take_flag(&mut args, "--json");
@@ -209,6 +278,10 @@ fn cmd_check(rest: &[String]) -> ExitCode {
     };
     if trace_out.is_some() && jobs.is_some() {
         eprintln!("--trace-out traces the sequential search; it does not combine with --jobs");
+        return ExitCode::from(2);
+    }
+    if checkpoint_dir.is_some() && (jobs.is_some() || trace_out.is_some()) {
+        eprintln!("--checkpoint-dir drives the sequential search; it does not combine with --jobs or --trace-out");
         return ExitCode::from(2);
     }
     let [path] = args.as_slice() else {
@@ -254,13 +327,23 @@ fn cmd_check(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let run = match (&trace_out, jobs) {
-        (Some(out), _) => run_traced(&verifier, &property, out),
-        (None, Some(n)) => {
+    let run = match (&checkpoint_dir, &trace_out, jobs) {
+        (Some(dir), _, _) => {
+            let config = wave::core::CheckpointConfig::new(dir, checkpoint_every);
+            match wave::core::check_checkpointed(&verifier, &property_text, &config) {
+                Ok(wave::core::CheckpointOutcome::Finished(v)) => Ok(v),
+                Ok(wave::core::CheckpointOutcome::Interrupted { .. }) => {
+                    unreachable!("the interrupt hook is never armed from the CLI")
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        }
+        (None, Some(out), _) => run_traced(&verifier, &property, out),
+        (None, None, Some(n)) => {
             wave_svc::check_parallel(&verifier, &property, &wave_svc::ParallelOptions::with_jobs(n))
                 .map_err(|e| e.to_string())
         }
-        (None, None) => verifier.check(&property).map_err(|e| e.to_string()),
+        (None, None, None) => verifier.check(&property).map_err(|e| e.to_string()),
     };
     let v = match run {
         Ok(v) => v,
@@ -306,6 +389,7 @@ fn cmd_check(rest: &[String]) -> ExitCode {
                     v.stats.max_trie,
                     v.stats.configs,
                 );
+                print_spill_breakdown(&v.stats);
             }
             ExitCode::SUCCESS
         }
@@ -332,8 +416,26 @@ fn cmd_check(rest: &[String]) -> ExitCode {
         }
         Verdict::Unknown(b) => {
             println!("UNKNOWN — budget exhausted ({b:?})");
+            if !quiet {
+                print_spill_breakdown(&v.stats);
+            }
             ExitCode::from(3)
         }
+    }
+}
+
+/// One extra stats line when the tiered store actually spilled: how the
+/// peak visited set split across memory and disk.
+fn print_spill_breakdown(stats: &wave::Stats) {
+    if stats.max_spilled > 0 {
+        println!(
+            "  peak visited set: {} resident + {} spilled pairs \
+             ({} spill segments written, {} compactions)",
+            stats.max_resident,
+            stats.max_spilled,
+            stats.profile.spill_segments,
+            stats.profile.spill_compactions,
+        );
     }
 }
 
@@ -776,6 +878,184 @@ fn cmd_trace_summarize(rest: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Default output of `wave bench` — committed at the repo root, kept
+/// fresh by the CI gate (`wave bench --check`).
+const BENCH_FILE: &str = "BENCH_store.json";
+
+/// Hot-tier budgets the store bench runs at: a generous budget the
+/// suites fit inside (the fast path) and a zero budget that forces every
+/// visited pair through the spill path.
+const BENCH_BUDGETS_MB: [u64; 2] = [64, 0];
+
+/// Row fields `wave bench --check` compares. Everything the search
+/// determines — verdict, work counts, and tier traffic — is in here;
+/// `elapsed_ms` is informational and excluded.
+const BENCH_DETERMINISTIC_KEYS: [&str; 14] = [
+    "suite",
+    "prop",
+    "mem_mb",
+    "verdict",
+    "configs",
+    "cores",
+    "assignments",
+    "max_run_len",
+    "max_trie",
+    "max_resident",
+    "max_spilled",
+    "spill_pairs",
+    "spill_segments",
+    "spill_compactions",
+];
+
+/// Run every E1–E4 property on the tiered store at each bench budget,
+/// one JSON row per (suite, budget, property).
+fn bench_rows() -> Result<Vec<wave_svc::Json>, String> {
+    use wave_svc::Json;
+    let suites = [
+        wave::apps::e1::suite(),
+        wave::apps::e2::suite(),
+        wave::apps::e3::suite(),
+        wave::apps::e4::suite(),
+    ];
+    let mut rows = Vec::new();
+    for suite in &suites {
+        for &mb in &BENCH_BUDGETS_MB {
+            let options = VerifyOptions {
+                state_store: wave::core::StateStoreKind::Tiered(wave::core::TierParams {
+                    mem_bytes: mb << 20,
+                    spill_dir: None,
+                }),
+                ..Default::default()
+            };
+            let verifier = Verifier::with_options(suite.spec.clone(), options)
+                .map_err(|e| format!("{}: {e}", suite.name))?;
+            for case in &suite.properties {
+                let v = verifier
+                    .check_str(&case.text)
+                    .map_err(|e| format!("{} {}: {e}", suite.name, case.name))?;
+                let verdict = match &v.verdict {
+                    Verdict::Holds => "holds",
+                    Verdict::Violated(_) => "violated",
+                    Verdict::Unknown(_) => "unknown",
+                };
+                rows.push(Json::obj([
+                    ("suite", Json::from(suite.name)),
+                    ("prop", Json::from(case.name)),
+                    ("mem_mb", Json::from(mb)),
+                    ("verdict", Json::from(verdict)),
+                    ("configs", Json::from(v.stats.configs)),
+                    ("cores", Json::from(v.stats.cores)),
+                    ("assignments", Json::from(v.stats.assignments)),
+                    ("max_run_len", Json::from(v.stats.max_run_len)),
+                    ("max_trie", Json::from(v.stats.max_trie)),
+                    ("max_resident", Json::from(v.stats.max_resident)),
+                    ("max_spilled", Json::from(v.stats.max_spilled)),
+                    ("spill_pairs", Json::from(v.stats.profile.spill_pairs)),
+                    ("spill_segments", Json::from(v.stats.profile.spill_segments)),
+                    ("spill_compactions", Json::from(v.stats.profile.spill_compactions)),
+                    ("elapsed_ms", Json::from(v.stats.elapsed.as_secs_f64() * 1e3)),
+                ]));
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// One row per line so `BENCH_store.json` diffs review cleanly.
+fn render_bench(rows: &[wave_svc::Json]) -> String {
+    let mut out = String::from("{\"schema\": 1, \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&row.to_string());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// `wave bench --record | --check`: measure the tiered store on the
+/// benchmark suites, and gate drift against the committed results.
+fn cmd_bench(rest: &[String]) -> ExitCode {
+    let mut args = rest.to_vec();
+    let record = take_flag(&mut args, "--record");
+    let check = take_flag(&mut args, "--check");
+    let out = take_value(&mut args, "--out").unwrap_or_else(|| BENCH_FILE.to_string());
+    if !args.is_empty() {
+        eprintln!("bench: unexpected arguments {args:?}");
+        return ExitCode::from(2);
+    }
+    if record == check {
+        eprintln!("bench needs exactly one of --record or --check");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "bench: E1–E4 property suites on the tiered store at {:?} MiB hot-tier budgets",
+        BENCH_BUDGETS_MB
+    );
+    let rows = match bench_rows() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if record {
+        if let Err(e) = std::fs::write(&out, render_bench(&rows)) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("bench: wrote {} rows to {out}", rows.len());
+        return ExitCode::SUCCESS;
+    }
+    let committed = match std::fs::read_to_string(&out) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {out}: {e} (run `wave bench --record` first)");
+            return ExitCode::from(2);
+        }
+    };
+    let committed = match wave_svc::parse_json(&committed) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{out}: not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(old_rows) = committed.get("rows").and_then(wave_svc::Json::as_array) else {
+        eprintln!("{out}: no \"rows\" array");
+        return ExitCode::from(2);
+    };
+    let mut drift = 0usize;
+    if old_rows.len() != rows.len() {
+        eprintln!("{out}: {} committed rows, measured {}", old_rows.len(), rows.len());
+        drift += 1;
+    }
+    for (old, new) in old_rows.iter().zip(&rows) {
+        for key in BENCH_DETERMINISTIC_KEYS {
+            if old.get(key) != new.get(key) {
+                eprintln!(
+                    "drift in {}/{} at {} MiB: {key} was {}, measured {}",
+                    new.get("suite").and_then(wave_svc::Json::as_str).unwrap_or("?"),
+                    new.get("prop").and_then(wave_svc::Json::as_str).unwrap_or("?"),
+                    new.get("mem_mb").and_then(wave_svc::Json::as_u64).unwrap_or(0),
+                    old.get(key).unwrap_or(&wave_svc::Json::Null),
+                    new.get(key).unwrap_or(&wave_svc::Json::Null),
+                );
+                drift += 1;
+            }
+        }
+    }
+    if drift > 0 {
+        eprintln!("bench: {drift} drifted values — re-run `wave bench --record` and commit {out}");
+        ExitCode::from(1)
+    } else {
+        eprintln!("bench: {out} is fresh ({} rows match)", rows.len());
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_automaton(rest: &[String]) -> ExitCode {

@@ -17,7 +17,23 @@ fn service(jobs: usize) -> VerifyService {
 }
 
 fn budgeted(max_steps: u64) -> VerifyOptions {
-    VerifyOptions { max_steps: Some(max_steps), ..Default::default() }
+    VerifyOptions { max_steps: Some(max_steps), state_store: test_store(), ..Default::default() }
+}
+
+/// The store backend under test: interned by default, or the tiered
+/// backend when the CI matrix sets `WAVE_TEST_STORE=tiered` (with an
+/// optional `WAVE_TEST_STORE_MEM_KB` hot-tier budget). Budget
+/// determinism must hold regardless of where the visited set lives.
+fn test_store() -> wave::core::StateStoreKind {
+    if std::env::var("WAVE_TEST_STORE").as_deref() != Ok("tiered") {
+        return wave::core::StateStoreKind::default();
+    }
+    let mut params = wave::core::TierParams::default();
+    if let Ok(kb) = std::env::var("WAVE_TEST_STORE_MEM_KB") {
+        params.mem_bytes =
+            kb.parse::<u64>().expect("WAVE_TEST_STORE_MEM_KB must be a KiB count") << 10;
+    }
+    wave::core::StateStoreKind::Tiered(params)
 }
 
 /// Render records to the deterministic part of their `--json` lines:
