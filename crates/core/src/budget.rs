@@ -51,6 +51,12 @@ pub struct BudgetPool {
     spent: AtomicU64,
     deadline: Option<Instant>,
     started: Instant,
+    /// Wall-clock consumed by interrupted predecessors of this run
+    /// (checkpoint resume). Kept as a `Duration` rather than folded
+    /// into `started`: shifting an `Instant` into the past panics when
+    /// the shift exceeds the monotonic clock's origin (e.g. resuming a
+    /// multi-day run shortly after a reboot).
+    prior_elapsed: Duration,
     chunk: u64,
 }
 
@@ -64,19 +70,23 @@ impl BudgetPool {
         chunk: u64,
         started: Instant,
     ) -> Option<Arc<BudgetPool>> {
-        BudgetPool::resumed(max_steps, time_limit, chunk, started, 0)
+        BudgetPool::resumed(max_steps, time_limit, chunk, started, Duration::ZERO, 0)
     }
 
-    /// Like [`BudgetPool::new`] but with `spent` steps already charged —
-    /// the checkpoint driver resumes an interrupted check under exactly
-    /// the allowance it had left. Callers shift `started` into the past
-    /// by the wall-clock time the interrupted run consumed, so the
-    /// deadline tightens the same way the step budget does.
+    /// Like [`BudgetPool::new`] but with `spent` steps already charged
+    /// and `prior_elapsed` wall-clock already consumed — the checkpoint
+    /// driver resumes an interrupted check under exactly the allowance
+    /// it had left. The prior elapsed time is subtracted from the
+    /// remaining deadline (and added to [`BudgetPool::elapsed`]), so
+    /// the deadline tightens the same way the step budget does; a
+    /// prior elapsed at or past the limit makes the pool expire
+    /// immediately.
     pub fn resumed(
         max_steps: Option<u64>,
         time_limit: Option<Duration>,
         chunk: u64,
         started: Instant,
+        prior_elapsed: Duration,
         spent: u64,
     ) -> Option<Arc<BudgetPool>> {
         if max_steps.is_none() && time_limit.is_none() {
@@ -86,8 +96,9 @@ impl BudgetPool {
             limit: max_steps,
             report_steps: max_steps.unwrap_or(0),
             spent: AtomicU64::new(spent),
-            deadline: time_limit.map(|d| started + d),
+            deadline: time_limit.map(|d| started + d.saturating_sub(prior_elapsed)),
             started,
+            prior_elapsed,
             chunk: chunk.max(1),
         }))
     }
@@ -103,6 +114,7 @@ impl BudgetPool {
             spent: AtomicU64::new(0),
             deadline: self.deadline,
             started: self.started,
+            prior_elapsed: self.prior_elapsed,
             chunk: self.chunk,
         })
     }
@@ -163,10 +175,11 @@ impl BudgetPool {
         self.deadline.is_some()
     }
 
-    /// Wall-clock time since the check started — the figure reported in
+    /// Wall-clock time since the check started, including the time
+    /// consumed by interrupted predecessors — the figure reported in
     /// [`crate::ndfs::Budget::Time`] on deadline exhaustion.
     pub fn elapsed(&self) -> Duration {
-        self.started.elapsed()
+        self.prior_elapsed + self.started.elapsed()
     }
 }
 
@@ -320,7 +333,7 @@ mod tests {
 
     #[test]
     fn resumed_pool_grants_only_the_leftover() {
-        let p = BudgetPool::resumed(Some(10), None, 4, Instant::now(), 7).unwrap();
+        let p = BudgetPool::resumed(Some(10), None, 4, Instant::now(), Duration::ZERO, 7).unwrap();
         assert_eq!(p.spent(), 7);
         let mut lease = StepLease::new(Arc::clone(&p));
         assert!(lease.charge(3));
@@ -328,6 +341,31 @@ mod tests {
         lease.release();
         assert_eq!(p.spent(), 10);
         assert_eq!(p.report_steps(), 10, "exhaustion still reports the global limit");
+    }
+
+    #[test]
+    fn resumed_pool_survives_prior_elapsed_past_the_clock_origin() {
+        // a checkpoint from a multi-day run resumed right after a reboot:
+        // prior_elapsed far exceeds the monotonic clock's origin, which
+        // must tighten the deadline, not panic on Instant arithmetic
+        let prior = Duration::from_secs(3 * 24 * 3600);
+        let p =
+            BudgetPool::resumed(None, Some(Duration::from_secs(1)), 8, Instant::now(), prior, 0)
+                .unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(p.deadline_exceeded(), "prior elapsed past the limit expires the pool");
+        assert!(p.elapsed() >= prior, "reported elapsed includes the prior run");
+
+        let roomy = BudgetPool::resumed(
+            None,
+            Some(Duration::from_secs(3600)),
+            8,
+            Instant::now(),
+            prior.min(Duration::from_secs(60)),
+            0,
+        )
+        .unwrap();
+        assert!(!roomy.deadline_exceeded(), "remaining allowance still open");
     }
 
     #[test]

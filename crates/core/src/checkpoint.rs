@@ -26,8 +26,8 @@
 //! deterministic statistics (configs, cores, assignments, trie sizes)
 //! byte-identical to the uninterrupted run. Wall-time fields obviously
 //! differ; the budget deadline still tightens correctly because the
-//! resumed pool's start instant is shifted into the past by the
-//! recorded elapsed time.
+//! resumed pool carries the recorded elapsed time and subtracts it
+//! from the remaining deadline allowance.
 //!
 //! A checkpoint whose magic, version, fingerprint or checksum does not
 //! match is **ignored** (the check restarts from scratch and overwrites
@@ -272,6 +272,11 @@ impl Drive<'_> {
         f.sync_all().map_err(io)?;
         drop(f);
         fs::rename(&tmp, self.config.path()).map_err(io)?;
+        // fsync the directory too: without it the rename itself may not
+        // survive a power loss, losing the checkpoint the caller was
+        // just promised (progress only — a lost file restarts cleanly)
+        #[cfg(unix)]
+        fs::File::open(&self.config.dir).and_then(|d| d.sync_all()).map_err(io)?;
 
         self.cores_since_ckpt = 0;
         self.checkpoints_written += 1;
@@ -389,7 +394,8 @@ fn check_checkpointed_inner<T: SearchTracer>(
                 options.max_steps,
                 options.time_limit,
                 options.budget_chunk,
-                started - prior_elapsed,
+                started,
+                prior_elapsed,
                 pool_spent,
             ),
             cancel: options.cancel.clone(),

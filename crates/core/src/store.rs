@@ -46,7 +46,9 @@ use wave_store::{ByteReader, ByteWriter, TierConfig, TierCounters, TieredVisits}
 pub struct TierParams {
     /// Hot-tier byte budget.
     pub mem_bytes: u64,
-    /// Spill directory; `None` = private temp dir, removed on drop.
+    /// Parent directory for spill files; `None` = system temp dir.
+    /// Each store spills into its own private subdirectory underneath,
+    /// removed on drop — concurrent searches may share one parent.
     pub spill_dir: Option<PathBuf>,
 }
 

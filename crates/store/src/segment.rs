@@ -70,7 +70,11 @@ impl SegmentWriter {
         let words = bloom.to_words();
         let min = entries.first().map_or(u64::MAX, |e| e.0);
         let max = entries.last().map_or(0, |e| e.0);
-        let mut w = BufWriter::new(File::create(path)?);
+        // create_new: a segment path is written exactly once per store
+        // lifetime, so an existing file means two stores share a spill
+        // directory — fail loudly instead of truncating a sibling's
+        // segment out from under its open fd
+        let mut w = BufWriter::new(File::options().write(true).create_new(true).open(path)?);
         w.write_all(MAGIC)?;
         w.write_all(&VERSION.to_le_bytes())?;
         w.write_all(&(entries.len() as u64).to_le_bytes())?;
@@ -119,18 +123,24 @@ impl Segment {
         let word = |i: usize| u64::from_le_bytes(header[8 + i * 8..16 + i * 8].try_into().unwrap());
         let (count, min, max, bloom_capacity, bloom_words) =
             (word(0), word(1), word(2), word(3), word(4));
-        let mut raw = vec![0u8; (bloom_words * 8) as usize];
+        // size sanity against the real file length before any
+        // allocation — a corrupt header must land on InvalidData, not
+        // an arithmetic overflow or a huge-vec OOM
+        let header_err = || corrupt(path, "bad segment header");
+        let bloom_bytes = bloom_words.checked_mul(8).ok_or_else(header_err)?;
+        let keys_off = HEADER_BYTES.checked_add(bloom_bytes).ok_or_else(header_err)?;
+        let marks_off =
+            count.checked_mul(8).and_then(|b| keys_off.checked_add(b)).ok_or_else(header_err)?;
+        let expect = marks_off.checked_add(count).ok_or_else(header_err)?;
+        if file.metadata()?.len() < expect {
+            return Err(corrupt(path, "truncated segment"));
+        }
+        let mut raw = vec![0u8; bloom_bytes as usize];
         file.read_exact(&mut raw)?;
         let words: Vec<u64> =
             raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
         let bloom = SplitBloom::from_words(bloom_capacity as usize, &words)
             .ok_or_else(|| corrupt(path, "bad bloom sidecar"))?;
-        let keys_off = HEADER_BYTES + bloom_words * 8;
-        let marks_off = keys_off + count * 8;
-        let expect = marks_off + count;
-        if file.metadata()?.len() < expect {
-            return Err(corrupt(path, "truncated segment"));
-        }
         Ok(Segment { file, path: path.to_path_buf(), count, min, max, bloom, keys_off, marks_off })
     }
 
@@ -225,7 +235,10 @@ mod tests {
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("wave-seg-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        dir.join(name)
+        let path = dir.join(name);
+        // segments are create_new; clear leftovers from a crashed run
+        let _ = std::fs::remove_file(&path);
+        path
     }
 
     #[test]
@@ -266,6 +279,41 @@ mod tests {
         assert!(seg.is_empty());
         assert_eq!(seg.get(0).unwrap(), None);
         assert!(seg.stream().next_entry().unwrap().is_none());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rewriting_an_existing_segment_path_fails_loudly() {
+        let path = tmp("twice.wseg");
+        SegmentWriter::write(&path, &[(1, 1)]).unwrap();
+        let err = SegmentWriter::write(&path, &[(2, 1)]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn oversized_header_counts_are_rejected() {
+        // header layout: magic 0..4, version 4..8, count 8..16,
+        // min 16..24, max 24..32, bloom_capacity 32..40, bloom_words 40..48
+        let path = tmp("huge.wseg");
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // count: overflows count*8
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&8u64.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // bloom_words: overflows *8
+        std::fs::write(&path, &buf).unwrap();
+        assert_eq!(Segment::open(&path).unwrap_err().kind(), io::ErrorKind::InvalidData);
+
+        // non-overflowing but far larger than the file: must be caught
+        // by the length check before the bloom buffer is allocated
+        buf[8..16].copy_from_slice(&(1u64 << 40).to_le_bytes()); // count
+        buf[40..48].copy_from_slice(&1u64.to_le_bytes()); // bloom_words
+        buf.extend_from_slice(&0u64.to_le_bytes()); // the one bloom word
+        std::fs::write(&path, &buf).unwrap();
+        assert_eq!(Segment::open(&path).unwrap_err().kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(path).unwrap();
     }
 

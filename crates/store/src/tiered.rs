@@ -46,8 +46,10 @@ pub struct TierConfig {
     /// Byte budget for the hot tier's slot arrays (the Bloom front
     /// adds ~2 bytes per distinct key on top; see DESIGN.md §10).
     pub mem_bytes: usize,
-    /// Directory for spill segments; `None` uses a private directory
-    /// under the system temp dir, removed when the store drops.
+    /// Parent directory for spill segments; `None` uses the system
+    /// temp dir. Each store creates its own private subdirectory under
+    /// the parent (sibling stores sharing one parent never collide),
+    /// removed when the store drops.
     pub spill_dir: Option<PathBuf>,
     /// Cold segment count that triggers a full-merge compaction.
     pub segment_limit: usize,
@@ -81,25 +83,27 @@ static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 #[derive(Debug)]
 struct SpillDir {
     path: PathBuf,
-    /// We created it privately under temp — remove the whole directory
-    /// on drop (unless a manifest detached it for a later reopen).
+    /// We created it privately — remove the whole directory on drop
+    /// (unless a manifest detached it for a later reopen).
     owned: bool,
     next_seq: u64,
 }
 
 impl SpillDir {
     fn create(config: &TierConfig) -> io::Result<SpillDir> {
-        let (path, owned) = match &config.spill_dir {
-            Some(dir) => (dir.clone(), false),
-            None => {
-                let n = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
-                let path =
-                    std::env::temp_dir().join(format!("wave-spill-{}-{n}", std::process::id()));
-                (path, true)
-            }
+        // Every store gets a private subdirectory (pid + process-wide
+        // counter): sibling stores built from one TierConfig — parallel
+        // units, or concurrent processes sharing one --spill-dir —
+        // must never see each other's segment paths, or a spill in one
+        // would truncate a segment a sibling is reading.
+        let n = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let leaf = format!("wave-spill-{}-{n}", std::process::id());
+        let path = match &config.spill_dir {
+            Some(dir) => dir.join(leaf),
+            None => std::env::temp_dir().join(leaf),
         };
         std::fs::create_dir_all(&path)?;
-        Ok(SpillDir { path, owned, next_seq: 0 })
+        Ok(SpillDir { path, owned: true, next_seq: 0 })
     }
 
     fn next_segment_path(&mut self) -> PathBuf {
@@ -450,6 +454,19 @@ impl TieredVisits {
             *slot = r.u64().ok_or_else(|| bad("truncated"))?;
         }
         std::fs::create_dir_all(&dir_path)?;
+        // Segments written after the manifest was taken (a crash between
+        // persist and exit leaves them) are not part of this state, and
+        // a stale file at a future sequence number would fail the
+        // create_new spill path — drop them. The directory is private to
+        // one store, so anything unlisted is ours to delete.
+        for entry in std::fs::read_dir(&dir_path)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".wseg") && !names.iter().any(|n| n.as_str() == name) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
         let mut cold = Vec::with_capacity(names.len());
         for name in &names {
             cold.push(Segment::open(&dir_path.join(name))?);
@@ -592,6 +609,36 @@ mod tests {
             (t.counters(), t.max_resident(), t.max_spilled(), t.max_distinct())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sibling_stores_share_a_spill_dir_without_collisions() {
+        let dir = std::env::temp_dir().join(format!("wave-tier-shared-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = TierConfig { spill_dir: Some(dir.clone()), ..tiny() };
+        let mut a = TieredVisits::new(config.clone()).unwrap();
+        let mut b = TieredVisits::new(config).unwrap();
+        assert_ne!(a.spill_path(), b.spill_path(), "each store gets a private subdirectory");
+        // interleaved spilling from both stores: even keys in a, odd in b
+        for k in 0..3000u64 {
+            a.mark(k * 2, STICK);
+            b.mark(k * 2 + 1, CANDY);
+        }
+        assert!(a.counters().spill_segments > 0 && b.counters().spill_segments > 0);
+        for k in 0..3000u64 {
+            assert!(a.is_marked(k * 2, STICK), "a lost its own key {k}");
+            assert!(!a.is_marked(k * 2 + 1, CANDY), "b's marks leaked into a");
+            assert!(b.is_marked(k * 2 + 1, CANDY), "b lost its own key {k}");
+            assert!(!b.is_marked(k * 2, STICK), "a's marks leaked into b");
+        }
+        drop(a);
+        drop(b);
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "private subdirectories removed on drop"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
