@@ -54,7 +54,7 @@ use wave_store::{fnv1a, ByteReader, ByteWriter};
 pub const CHECKPOINT_FILE: &str = "wave.ckpt";
 
 const MAGIC: u32 = 0x5743_4B50; // "WCKP"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2; // v2: memo/join-build profile counters in stats
 
 /// Where and how often to checkpoint.
 #[derive(Clone, Debug)]
@@ -146,6 +146,9 @@ fn write_stats(w: &mut ByteWriter, stats: &Stats) {
         p.spill_compactions,
         p.bloom_skips,
         p.cold_probes,
+        p.memo_hits,
+        p.memo_misses,
+        p.join_builds,
     ] {
         w.u64(v);
     }
@@ -160,7 +163,7 @@ fn read_stats(r: &mut ByteReader<'_>) -> Option<Stats> {
     let configs = r.u64()?;
     let cores = r.u64()?;
     let assignments = r.u64()?;
-    let mut p = [0u64; 14];
+    let mut p = [0u64; 17];
     for v in &mut p {
         *v = r.u64()?;
     }
@@ -188,6 +191,9 @@ fn read_stats(r: &mut ByteReader<'_>) -> Option<Stats> {
             spill_compactions: p[11],
             bloom_skips: p[12],
             cold_probes: p[13],
+            memo_hits: p[14],
+            memo_misses: p[15],
+            join_builds: p[16],
         },
     })
 }

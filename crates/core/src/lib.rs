@@ -39,6 +39,7 @@ pub mod config;
 pub mod domain;
 pub mod intern;
 pub mod layout;
+pub mod memo;
 pub mod ndfs;
 pub mod profile;
 pub mod replay;
@@ -59,6 +60,7 @@ pub use config::{canonicalize, core_instance, no_facts, Facts, PseudoConfig, Sha
 pub use domain::{assignments, build_pools, Assignment, PagePool, ParamMode};
 pub use intern::{ConfigId, ConfigStore, FactsId, InternStats};
 pub use layout::RelLayout;
+pub use memo::QueryEngine;
 pub use ndfs::{Budget, CounterExample, SearchLimits, SearchResult, SearchStats, TraceStep};
 pub use profile::SearchProfile;
 pub use replay::{replay, ReplayError};

@@ -59,6 +59,17 @@ pub struct SearchProfile {
     pub bloom_skips: u64,
     /// Visited-set probes that had to search the on-disk cold tier.
     pub cold_probes: u64,
+    /// Rule/target evaluations answered from the delta-driven query memo
+    /// without re-executing the plan (see [`crate::memo::QueryEngine`]).
+    /// Like the interner counters, the per-unit split under the parallel
+    /// scheduler depends on worker timing, so these are reported but not
+    /// part of the deterministic record output.
+    pub memo_hits: u64,
+    /// Memoized rule/target evaluations that had to execute the plan.
+    pub memo_misses: u64,
+    /// Hash tables built by lowered hash-join operators (zero under
+    /// `--naive-joins`, which keeps every join nested-loop).
+    pub join_builds: u64,
 }
 
 impl SearchProfile {
@@ -78,6 +89,9 @@ impl SearchProfile {
         self.spill_compactions += other.spill_compactions;
         self.bloom_skips += other.bloom_skips;
         self.cold_probes += other.cold_probes;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.join_builds += other.join_builds;
     }
 
     /// True when every counter is zero (e.g. a cache-hit record).
@@ -96,6 +110,13 @@ impl SearchProfile {
     pub fn intern_hit_rate(&self) -> Option<f64> {
         let total = self.intern_hits + self.intern_misses;
         (total > 0).then(|| self.intern_hits as f64 / total as f64)
+    }
+
+    /// Fraction of memoized rule evaluations answered from the memo, in
+    /// `[0, 1]`; `None` when the memo never engaged (e.g. `--naive-joins`).
+    pub fn memo_hit_rate(&self) -> Option<f64> {
+        let total = self.memo_hits + self.memo_misses;
+        (total > 0).then(|| self.memo_hits as f64 / total as f64)
     }
 
     /// A phase's share of [`SearchProfile::total_ns`] as a percentage in

@@ -16,9 +16,11 @@
 
 use crate::config::{canonicalize, no_facts, Facts, PseudoConfig, SharedFacts};
 use crate::domain::PagePool;
+use crate::memo::QueryEngine;
 use crate::profile::SearchProfile;
 use crate::universe::{extension_universe, ExtensionPruning, UniverseOverflow};
 use crate::visibility::Visibility;
+use std::cell::OnceCell;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use wave_fol::{answers, eval, prev_shadow_name, Bindings, EvalCtx, EvalError, SchemaResolver};
@@ -82,38 +84,81 @@ pub struct SearchCtx<'a> {
     pub use_plans: bool,
     /// Observability of prev inputs / states / actions (relevance pruning).
     pub visibility: Visibility,
+    /// Optimized-plan overlay and delta-driven result memo for this core
+    /// (holds interior mutability, so a context is built per worker).
+    pub engine: QueryEngine,
+}
+
+/// Lazily materialized evaluation state for one pseudoconfiguration.
+/// Materializing the working instance clones the whole base, binding
+/// parameters scans it, and the quantification domain sorts every value
+/// in it — but a configuration whose queries all hit the result memo
+/// needs none of the three. Deferring them behind `OnceCell`s means a
+/// fully memoized expansion never touches the instance at all.
+struct EvalState<'a> {
+    ctx: &'a SearchCtx<'a>,
+    cfg: &'a PseudoConfig,
+    inst: OnceCell<Instance>,
+    params: OnceCell<Params>,
+    domain: OnceCell<Vec<Value>>,
+}
+
+impl<'a> EvalState<'a> {
+    fn new(ctx: &'a SearchCtx<'a>, cfg: &'a PseudoConfig) -> EvalState<'a> {
+        EvalState {
+            ctx,
+            cfg,
+            inst: OnceCell::new(),
+            params: OnceCell::new(),
+            domain: OnceCell::new(),
+        }
+    }
+
+    /// The working instance `cfg` denotes (base ∪ sections ∪ marker).
+    fn inst(&self) -> &Instance {
+        self.inst.get_or_init(|| self.cfg.materialize(self.ctx.spec, &self.ctx.base))
+    }
+
+    /// Parameter bindings for the working instance.
+    fn params(&self) -> &Params {
+        self.params.get_or_init(|| self.ctx.spec.bind_params(self.inst()))
+    }
+
+    /// Quantification domain at the working instance: active domain ∪ `C`.
+    fn domain(&self) -> &[Value] {
+        self.domain.get_or_init(|| {
+            let mut dom = self.inst().active_domain();
+            dom.extend_from_slice(&self.ctx.c_values);
+            dom.sort_unstable();
+            dom.dedup();
+            dom
+        })
+    }
 }
 
 impl SearchCtx<'_> {
-    /// Quantification domain at an instance: active domain ∪ `C`.
-    fn domain(&self, inst: &Instance) -> Vec<Value> {
-        let mut dom = inst.active_domain();
-        dom.extend_from_slice(&self.c_values);
-        dom.sort_unstable();
-        dom.dedup();
-        dom
-    }
-
-    /// Run one rule, returning its derived head tuples.
+    /// Run one rule, returning its derived head tuples. The memo keys
+    /// the result on the epochs of the sections the rule reads;
+    /// `ev.inst()` materializes only on a miss (or for interpreted
+    /// rules).
     fn run_rule(
         &self,
         rule: &CompiledRule,
-        inst: &Instance,
-        params: &Params,
+        ev: &EvalState<'_>,
         page_name: &str,
-        domain: &[Value],
     ) -> Result<Vec<Tuple>, SuccError> {
         if self.use_plans {
             if let RuleExec::Plan(q) = &rule.exec {
-                let rel = q.run(inst, params)?;
-                return Ok(rel.iter().cloned().collect());
+                return Ok(self
+                    .engine
+                    .run_rows(rule.reads, q, ev.cfg, || (ev.inst(), ev.params()))?);
             }
         }
         let ctx = EvalCtx {
-            instance: inst,
+            instance: ev.inst(),
             symbols: self.symbols,
             current_page: Some(page_name),
-            domain,
+            domain: ev.domain(),
         };
         let rows = answers(&rule.body, &rule.head_vars, &ctx, &SchemaResolver(&self.spec.schema))?;
         Ok(rows.into_iter().map(Tuple::from).collect())
@@ -123,21 +168,21 @@ impl SearchCtx<'_> {
     fn target_holds(
         &self,
         t: &wave_spec::CompiledTarget,
-        inst: &Instance,
-        params: &Params,
+        ev: &EvalState<'_>,
         page_name: &str,
-        domain: &[Value],
     ) -> Result<bool, SuccError> {
         if self.use_plans {
             if let TargetExec::Plan(q) = &t.exec {
-                return Ok(q.run_bool(inst, params)?);
+                return Ok(self
+                    .engine
+                    .run_bool(t.reads, q, ev.cfg, || (ev.inst(), ev.params()))?);
             }
         }
         let ctx = EvalCtx {
-            instance: inst,
+            instance: ev.inst(),
             symbols: self.symbols,
             current_page: Some(page_name),
-            domain,
+            domain: ev.domain(),
         };
         Ok(eval(&t.condition, &ctx, &SchemaResolver(&self.spec.schema), &mut Bindings::new())?)
     }
@@ -168,15 +213,13 @@ impl SearchCtx<'_> {
         prof: &mut SearchProfile,
         tracer: &mut T,
     ) -> Result<Vec<PseudoConfig>, SuccError> {
-        let inst = cfg.materialize(self.spec, &self.base);
-        let params = self.spec.bind_params(&inst);
+        let ev = EvalState::new(self, cfg);
         let page = self.spec.page(cfg.page);
-        let domain = self.domain(&inst);
 
         // 1) target page
         let mut fired: Vec<PageId> = Vec::new();
         for t in &page.target_rules {
-            if self.target_holds(t, &inst, &params, &page.name, &domain)? {
+            if self.target_holds(t, &ev, &page.name)? {
                 fired.push(t.target);
             }
         }
@@ -194,7 +237,7 @@ impl SearchCtx<'_> {
             if !self.visibility.state_observable(rule.head) {
                 continue; // write-only state: nothing can read it
             }
-            let tuples = self.run_rule(rule, &inst, &params, &page.name, &domain)?;
+            let tuples = self.run_rule(rule, &ev, &page.name)?;
             let sink = if rule.insert { &mut inserts } else { &mut deletes };
             for t in tuples {
                 if self.over_c(&t) || !rule.insert {
@@ -275,9 +318,7 @@ impl SearchCtx<'_> {
                 state: Arc::clone(&state),
                 actions: no_facts(),
             };
-            let inst = shell.materialize(self.spec, &self.base);
-            let params = self.spec.bind_params(&inst);
-            let domain = self.domain(&inst);
+            let ev = EvalState::new(self, &shell);
 
             // options per input relation; choice lists per input
             let mut choice_lists: Vec<(wave_relalg::RelId, Vec<Option<Tuple>>)> = Vec::new();
@@ -290,7 +331,7 @@ impl SearchCtx<'_> {
                             if rule.head != input {
                                 continue;
                             }
-                            for t in self.run_rule(rule, &inst, &params, &page.name, &domain)? {
+                            for t in self.run_rule(rule, &ev, &page.name)? {
                                 if seen.insert(t.clone()) {
                                     opts.push(Some(t));
                                 }
@@ -356,14 +397,14 @@ impl SearchCtx<'_> {
                     .filter(|r| self.visibility.action_observable(r.head))
                     .collect();
                 if !visible_actions.is_empty() {
-                    let inst2 = cfg.materialize(self.spec, &self.base);
-                    let params2 = self.spec.bind_params(&inst2);
-                    let domain2 = self.domain(&inst2);
                     let mut actions: BTreeSet<(wave_relalg::RelId, Tuple)> = BTreeSet::new();
-                    for rule in visible_actions {
-                        for t in self.run_rule(rule, &inst2, &params2, &page.name, &domain2)? {
-                            if self.over_c(&t) {
-                                actions.insert((rule.head, t));
+                    {
+                        let ev2 = EvalState::new(self, &cfg);
+                        for rule in visible_actions {
+                            for t in self.run_rule(rule, &ev2, &page.name)? {
+                                if self.over_c(&t) {
+                                    actions.insert((rule.head, t));
+                                }
                             }
                         }
                     }

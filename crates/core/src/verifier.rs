@@ -20,6 +20,7 @@ use crate::budget::{BudgetPool, DEFAULT_BUDGET_CHUNK};
 use crate::cancel::CancelToken;
 use crate::config::core_instance;
 use crate::domain::{assignments, build_pools, relevant_constants, Assignment, ParamMode};
+use crate::memo::QueryEngine;
 use crate::ndfs::{Budget, CounterExample, Ndfs, SearchLimits, SearchResult};
 use crate::profile::SearchProfile;
 use crate::store::{ByteStore, InternedStore, StateStore, StateStoreKind, TieredStore};
@@ -66,6 +67,12 @@ pub struct VerifyOptions {
     /// statistics are identical; only speed and memory differ (result
     /// caches must therefore ignore it, like `cancel`).
     pub state_store: StateStoreKind,
+    /// Query-engine ablation: when true, skip the cardinality-guided plan
+    /// optimizer (so every join stays nested-loop) and the delta-driven
+    /// result memo. Semantics-neutral like `state_store` — verdicts,
+    /// traces and deterministic statistics are identical; only speed and
+    /// the memo/join profile counters differ (result caches ignore it).
+    pub naive_joins: bool,
     /// Cooperative cancellation: when the token is raised mid-search the
     /// check stops with [`Verdict::Unknown`]`(`[`Budget::Cancelled`]`)`.
     /// Not part of the verification semantics (result caches ignore it).
@@ -84,6 +91,7 @@ impl Default for VerifyOptions {
             budget_chunk: DEFAULT_BUDGET_CHUNK,
             use_plans: true,
             state_store: StateStoreKind::Interned,
+            naive_joins: false,
             cancel: None,
         }
     }
@@ -450,17 +458,21 @@ impl Verifier {
         let visibility = Visibility::compute(spec, &extraction.components);
         let mut sorted_c = ctx_c_values;
         sorted_c.sort_unstable();
+        let base = core_instance(spec, &ce.core);
+        let engine =
+            QueryEngine::build(spec, &base, self.options.use_plans && !self.options.naive_joins);
         let ctx = SearchCtx {
             spec,
             symbols: &symbols,
             pools: &pools,
             flow: &flow,
             c_values: sorted_c,
-            base: core_instance(spec, &ce.core),
+            base,
             pruning: self.options.pruning,
             heuristic2: self.options.heuristic2,
             use_plans: self.options.use_plans,
             visibility,
+            engine,
         };
         crate::replay::replay(&ctx, &buchi, &components, ce)
     }
@@ -659,17 +671,21 @@ impl PreparedCheck<'_> {
                 tracer.event(TraceEvent::Core { unit: unit as u32, core: bitmap });
             }
             store.clear_visits();
+            let base = core_instance(spec, &core);
+            let qengine =
+                QueryEngine::build(spec, &base, options.use_plans && !options.naive_joins);
             let ctx = SearchCtx {
                 spec,
                 symbols: &self.symbols,
                 pools: &self.pools,
                 flow: &flow,
                 c_values: sorted_c.clone(),
-                base: core_instance(spec, &core),
+                base,
                 pruning: options.pruning,
                 heuristic2: options.heuristic2,
                 use_plans: options.use_plans,
                 visibility: self.visibility.clone(),
+                engine: qengine,
             };
             // every core's search leases from the same shared pool, so
             // no per-core budget arithmetic is needed here
@@ -701,6 +717,9 @@ impl PreparedCheck<'_> {
                 tier_base = tier;
             }
             stats.profile.add(&search_stats.profile);
+            stats.profile.memo_hits += ctx.engine.memo_hits();
+            stats.profile.memo_misses += ctx.engine.memo_misses();
+            stats.profile.join_builds += ctx.engine.join_builds();
             match search_result {
                 SearchResult::Clean => {}
                 SearchResult::Violation(mut ce) => {

@@ -85,6 +85,21 @@ impl SlotMap {
     pub fn empties(&self) -> impl Iterator<Item = (&(String, bool), usize)> {
         self.empties.iter().map(|(k, &v)| (k, v))
     }
+
+    /// Origin of every allocated slot, indexed by slot number: the input
+    /// relation it is bound from and whether that is the previous step's
+    /// copy. Field and empty-flag slots look alike here — the memo only
+    /// needs to know *which section* a slot's binding derives from.
+    pub fn slot_origins(&self) -> Vec<(String, bool)> {
+        let mut origins = vec![(String::new(), false); self.next];
+        for ((rel, _, prev), slot) in self.fields() {
+            origins[slot] = (rel.clone(), *prev);
+        }
+        for ((rel, prev), slot) in self.empties() {
+            origins[slot] = (rel.clone(), *prev);
+        }
+        origins
+    }
 }
 
 /// Why a formula could not be compiled.

@@ -103,12 +103,13 @@ pub struct DiskEngine {
 impl DiskEngine {
     /// Create a disk-backed store logging to a fresh temp file.
     pub fn new(schema: Arc<Schema>) -> std::io::Result<Self> {
-        let path = std::env::temp_dir().join(format!(
-            "wave-diskengine-{}-{:x}.log",
-            std::process::id(),
-            // distinguish engines within one process
-            &*Box::new(0u8) as *const u8 as usize
-        ));
+        // Distinguish engines within one process. A monotone counter,
+        // not an allocation address: a freed address can be handed to
+        // the next engine, colliding two engines on one log path.
+        static NEXT_ENGINE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let serial = NEXT_ENGINE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = std::env::temp_dir()
+            .join(format!("wave-diskengine-{}-{serial}.log", std::process::id()));
         let file = std::fs::File::create(&path)?;
         Ok(DiskEngine { inst: Instance::empty(schema), log: std::io::BufWriter::new(file), path })
     }

@@ -37,6 +37,17 @@ pub enum Pred {
     EmptyFlag(usize),
 }
 
+/// Which rows a [`Plan::HashJoin`] produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Concatenated left++right rows for every match (equi-join).
+    Inner,
+    /// Left rows with at least one match (hash semi-join).
+    Semi,
+    /// Left rows with no match (hash anti-join).
+    Anti,
+}
+
 /// A query plan node. Every plan produces a set of rows of a fixed width.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Plan {
@@ -61,6 +72,13 @@ pub enum Plan {
     /// Left rows that join with no right row (anti-join, used for guarded
     /// negation).
     AntiJoin { left: Box<Plan>, right: Box<Plan>, on: Vec<(usize, usize)> },
+    /// Hash equi-join: a hash table is built on `right` keyed by its `on`
+    /// columns, then probed with each left row. The optimizer lowers
+    /// `Select{Product}`/`SemiJoin`/`AntiJoin` to this form when the
+    /// build side is large enough to amortize the table; the result is
+    /// canonicalized, so it is tuple-for-tuple identical to the
+    /// nested-loop form.
+    HashJoin { left: Box<Plan>, right: Box<Plan>, on: Vec<(usize, usize)>, kind: JoinKind },
 }
 
 /// Validation error for ill-formed plans.
@@ -182,6 +200,22 @@ impl Plan {
                 }
                 Ok(lw)
             }
+            Plan::HashJoin { left, right, on, kind } => {
+                let lw = left.validate(schema)?;
+                let rw = right.validate(schema)?;
+                for &(lc, rc) in on {
+                    if lc >= lw {
+                        return Err(PlanError::ColumnOutOfRange { col: lc, width: lw });
+                    }
+                    if rc >= rw {
+                        return Err(PlanError::ColumnOutOfRange { col: rc, width: rw });
+                    }
+                }
+                Ok(match kind {
+                    JoinKind::Inner => lw + rw,
+                    JoinKind::Semi | JoinKind::Anti => lw,
+                })
+            }
         }
     }
 
@@ -206,12 +240,91 @@ impl Plan {
                 Plan::Product(l, r) | Plan::Union(l, r) | Plan::Difference(l, r) => {
                     walk(l).max(walk(r))
                 }
-                Plan::SemiJoin { left, right, .. } | Plan::AntiJoin { left, right, .. } => {
-                    walk(left).max(walk(right))
-                }
+                Plan::SemiJoin { left, right, .. }
+                | Plan::AntiJoin { left, right, .. }
+                | Plan::HashJoin { left, right, .. } => walk(left).max(walk(right)),
             }
         }
         walk(self).map_or(0, |m| m + 1)
+    }
+
+    /// Everything the plan's result can depend on besides the plan
+    /// itself: the relations it scans and the parameter slots it
+    /// consults. This is the read-set the delta-driven memo keys on.
+    pub fn reads(&self) -> PlanReads {
+        let mut reads = PlanReads::default();
+        self.collect_reads(&mut reads);
+        reads.rels.sort_unstable();
+        reads.rels.dedup();
+        reads.value_slots.sort_unstable();
+        reads.value_slots.dedup();
+        reads.empty_slots.sort_unstable();
+        reads.empty_slots.dedup();
+        reads
+    }
+
+    fn collect_reads(&self, out: &mut PlanReads) {
+        let scal = |s: &Scalar, out: &mut PlanReads| {
+            if let Scalar::Param(i) = *s {
+                out.value_slots.push(i);
+            }
+        };
+        match self {
+            Plan::Scan(r) => out.rels.push(*r),
+            Plan::Values { rows, .. } => {
+                rows.iter().flatten().for_each(|s| scal(s, out));
+            }
+            Plan::Select { input, pred } => {
+                input.collect_reads(out);
+                pred.collect_reads(out);
+            }
+            Plan::Project { input, cols } => {
+                input.collect_reads(out);
+                cols.iter().for_each(|s| scal(s, out));
+            }
+            Plan::Product(l, r) | Plan::Union(l, r) | Plan::Difference(l, r) => {
+                l.collect_reads(out);
+                r.collect_reads(out);
+            }
+            Plan::SemiJoin { left, right, .. }
+            | Plan::AntiJoin { left, right, .. }
+            | Plan::HashJoin { left, right, .. } => {
+                left.collect_reads(out);
+                right.collect_reads(out);
+            }
+        }
+    }
+}
+
+/// The read-set of a plan: scanned relations plus consulted parameter
+/// slots, each sorted and deduplicated.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanReads {
+    /// Relations scanned anywhere in the plan.
+    pub rels: Vec<RelId>,
+    /// Parameter slots read as values (`Scalar::Param`).
+    pub value_slots: Vec<usize>,
+    /// Parameter slots read as empty-input flags (`Pred::EmptyFlag`).
+    pub empty_slots: Vec<usize>,
+}
+
+impl Pred {
+    fn collect_reads(&self, out: &mut PlanReads) {
+        let scal = |s: &Scalar, out: &mut PlanReads| {
+            if let Scalar::Param(i) = *s {
+                out.value_slots.push(i);
+            }
+        };
+        match self {
+            Pred::True | Pred::False => {}
+            Pred::EmptyFlag(i) => out.empty_slots.push(*i),
+            Pred::Eq(a, b) | Pred::Ne(a, b) => {
+                scal(a, out);
+                scal(b, out);
+            }
+            Pred::And(ps) | Pred::Or(ps) => ps.iter().for_each(|p| p.collect_reads(out)),
+            Pred::Not(p) => p.collect_reads(out),
+        }
     }
 }
 
@@ -274,6 +387,52 @@ mod tests {
         let bad = Plan::Values { width: 1, rows: vec![vec![Scalar::Col(0)]] };
         assert_eq!(bad.validate(&s), Err(PlanError::ColumnInValues));
     }
+
+    #[test]
+    fn hash_join_width_depends_on_kind() {
+        let s = schema();
+        let r = s.lookup("r").unwrap();
+        let st = s.lookup("s").unwrap();
+        let join = |kind| Plan::HashJoin {
+            left: Box::new(Plan::Scan(r)),
+            right: Box::new(Plan::Scan(st)),
+            on: vec![(0, 0)],
+            kind,
+        };
+        assert_eq!(join(JoinKind::Inner).validate(&s), Ok(3));
+        assert_eq!(join(JoinKind::Semi).validate(&s), Ok(2));
+        assert_eq!(join(JoinKind::Anti).validate(&s), Ok(2));
+        let bad = Plan::HashJoin {
+            left: Box::new(Plan::Scan(r)),
+            right: Box::new(Plan::Scan(st)),
+            on: vec![(0, 1)],
+            kind: JoinKind::Inner,
+        };
+        assert!(matches!(bad.validate(&s), Err(PlanError::ColumnOutOfRange { col: 1, width: 1 })));
+    }
+
+    #[test]
+    fn reads_collects_rels_and_slots() {
+        let s = schema();
+        let r = s.lookup("r").unwrap();
+        let st = s.lookup("s").unwrap();
+        let plan = Plan::Select {
+            input: Box::new(Plan::SemiJoin {
+                left: Box::new(Plan::Scan(r)),
+                right: Box::new(Plan::Scan(st)),
+                on: vec![(0, 0)],
+            }),
+            pred: Pred::And(vec![
+                Pred::Eq(Scalar::Col(0), Scalar::Param(4)),
+                Pred::EmptyFlag(2),
+                Pred::Eq(Scalar::Col(1), Scalar::Param(4)),
+            ]),
+        };
+        let reads = plan.reads();
+        assert_eq!(reads.rels, vec![r, st]);
+        assert_eq!(reads.value_slots, vec![4], "deduplicated");
+        assert_eq!(reads.empty_slots, vec![2]);
+    }
 }
 
 impl Plan {
@@ -325,6 +484,11 @@ impl Plan {
             }
             Plan::AntiJoin { left, right, on } => {
                 let _ = writeln!(out, "{pad}AntiJoin on {on:?}");
+                left.explain_into(schema, depth + 1, out);
+                right.explain_into(schema, depth + 1, out);
+            }
+            Plan::HashJoin { left, right, on, kind } => {
+                let _ = writeln!(out, "{pad}HashJoin({kind:?}) on {on:?} build=right");
                 left.explain_into(schema, depth + 1, out);
                 right.explain_into(schema, depth + 1, out);
             }

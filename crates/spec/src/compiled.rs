@@ -34,6 +34,50 @@ impl PageId {
     }
 }
 
+/// Bit flags naming the pseudoconfiguration sections a compiled query
+/// can read. The verifier's delta-driven memo keys a cached result on
+/// the epochs of exactly these sections — everything else a query
+/// touches (the per-core base database, the interned constants) is
+/// fixed for the lifetime of one search.
+pub mod sections {
+    /// Extension tuples layered over the base database relations.
+    pub const EXT: u8 = 1 << 0;
+    /// The current step's input choice (also the source of value/empty
+    /// parameter slots).
+    pub const INPUT: u8 = 1 << 1;
+    /// The previous step's inputs (`prev$R` shadows).
+    pub const PREV: u8 = 1 << 2;
+    /// State relations.
+    pub const STATE: u8 = 1 << 3;
+    /// Action relations.
+    pub const ACTIONS: u8 = 1 << 4;
+    /// The nullary `page$V` markers (i.e. the configuration's page).
+    pub const PAGE: u8 = 1 << 5;
+    /// Every section — the conservative profile for interpreted rules.
+    pub const ALL: u8 = (1 << 6) - 1;
+    /// Number of distinct section bits.
+    pub const COUNT: usize = 6;
+}
+
+/// A query's identity and read-set for the delta-driven memo: a dense id
+/// (unique across all rules and targets of one spec) plus a bitmask over
+/// [`sections`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadProfile {
+    /// Dense query id, `0..CompiledSpec::num_queries`.
+    pub qid: u32,
+    /// Which sections the query's result depends on.
+    pub mask: u8,
+}
+
+impl ReadProfile {
+    /// Conservative placeholder until the compile post-pass assigns the
+    /// real profile.
+    fn unassigned() -> Self {
+        ReadProfile { qid: 0, mask: sections::ALL }
+    }
+}
+
 /// How a rule body is executed at each step.
 #[derive(Debug, Clone)]
 pub enum RuleExec {
@@ -54,6 +98,8 @@ pub struct CompiledRule {
     pub exec: RuleExec,
     /// For state rules: insertion (`true`) or deletion.
     pub insert: bool,
+    /// Query id and section read-set (assigned by the compile post-pass).
+    pub reads: ReadProfile,
 }
 
 /// A compiled target rule.
@@ -62,6 +108,8 @@ pub struct CompiledTarget {
     pub target: PageId,
     pub condition: Formula,
     pub exec: TargetExec,
+    /// Query id and section read-set (assigned by the compile post-pass).
+    pub reads: ReadProfile,
 }
 
 /// Execution mode of a target condition (a sentence).
@@ -134,6 +182,9 @@ pub struct CompiledSpec {
     pub slots: SlotMap,
     /// Input-boundedness violations (empty ⇒ complete verification).
     pub ib_report: Vec<IbReport>,
+    /// Total number of query ids handed out (rules + targets); memo
+    /// tables size their per-query storage from this.
+    pub num_queries: u32,
 }
 
 impl CompiledSpec {
@@ -215,6 +266,7 @@ impl CompiledSpec {
                         body: body.clone(),
                         exec,
                         insert,
+                        reads: ReadProfile::unassigned(),
                     }
                 };
             let option_rules: Vec<CompiledRule> = p
@@ -287,6 +339,7 @@ impl CompiledSpec {
                         target: page_ids[r.target.as_str()],
                         condition: r.condition.clone(),
                         exec,
+                        reads: ReadProfile::unassigned(),
                     }
                 })
                 .collect();
@@ -301,6 +354,63 @@ impl CompiledSpec {
             });
         }
         let home = page_ids[spec.home.as_str()];
+
+        // Post-pass: assign every rule/target a dense query id and
+        // compute its section read-set from the plan's scans and
+        // parameter slots. Interpreted rules conservatively read
+        // everything (they consult the active domain too).
+        let shadow_ids: std::collections::HashSet<RelId> = spec
+            .inputs
+            .iter()
+            .map(|i| schema.lookup(&prev_shadow_name(&i.name)).expect("declared above"))
+            .collect();
+        let marker_ids: std::collections::HashSet<RelId> = markers.values().copied().collect();
+        let origins = slots.slot_origins();
+        let mask_of = |q: &PreparedQuery| -> u8 {
+            let reads = q.reads();
+            let mut mask = 0u8;
+            for r in &reads.rels {
+                mask |= match schema.kind(*r) {
+                    RelKind::Database if marker_ids.contains(r) => sections::PAGE,
+                    RelKind::Database => sections::EXT,
+                    RelKind::State => sections::STATE,
+                    RelKind::Action => sections::ACTIONS,
+                    RelKind::Input | RelKind::InputConstant if shadow_ids.contains(r) => {
+                        sections::PREV
+                    }
+                    RelKind::Input | RelKind::InputConstant => sections::INPUT,
+                };
+            }
+            for &slot in reads.value_slots.iter().chain(&reads.empty_slots) {
+                mask |= if origins[slot].1 { sections::PREV } else { sections::INPUT };
+            }
+            mask
+        };
+        let mut num_queries = 0u32;
+        for page in &mut pages {
+            for r in page
+                .option_rules
+                .iter_mut()
+                .chain(page.state_rules.iter_mut())
+                .chain(page.action_rules.iter_mut())
+            {
+                let mask = match &r.exec {
+                    RuleExec::Plan(q) => mask_of(q),
+                    RuleExec::Interp => sections::ALL,
+                };
+                r.reads = ReadProfile { qid: num_queries, mask };
+                num_queries += 1;
+            }
+            for t in page.target_rules.iter_mut() {
+                let mask = match &t.exec {
+                    TargetExec::Plan(q) => mask_of(q),
+                    TargetExec::Interp => sections::ALL,
+                };
+                t.reads = ReadProfile { qid: num_queries, mask };
+                num_queries += 1;
+            }
+        }
+
         Ok(CompiledSpec {
             spec,
             schema,
@@ -311,6 +421,7 @@ impl CompiledSpec {
             home,
             slots,
             ib_report,
+            num_queries,
         })
     }
 
@@ -468,6 +579,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn read_profiles_are_dense_and_section_accurate() {
+        let c = CompiledSpec::compile(tiny()).unwrap();
+        let mut qids = Vec::new();
+        for p in &c.pages {
+            for r in p.option_rules.iter().chain(&p.state_rules).chain(&p.action_rules) {
+                qids.push(r.reads.qid);
+            }
+            for t in &p.target_rules {
+                qids.push(t.reads.qid);
+            }
+        }
+        qids.sort_unstable();
+        assert_eq!(qids, (0..c.num_queries).collect::<Vec<_>>(), "qids dense and unique");
+
+        let hp = c.page(c.page_id("HP").unwrap());
+        // options button(x) <- x = "login": no relations, no input slots.
+        assert_eq!(hp.option_rules[0].reads.mask, 0, "constant option rule reads nothing");
+        // insert logged(u) <- uname(u) & (exists q: pass(q) & user(u,q)) & button("login"):
+        // database scan (user) + input-bound slots, no state/prev/action reads.
+        let insert = &hp.state_rules[0];
+        assert_ne!(insert.reads.mask & sections::INPUT, 0, "reads input slots");
+        assert_eq!(insert.reads.mask & sections::STATE, 0, "does not read state");
+        assert_eq!(insert.reads.mask & sections::PREV, 0, "does not read prev inputs");
+        // action greet(u) <- logged(u) & button("logout"): state + input.
+        let cp = c.page(c.page_id("CP").unwrap());
+        let action = &cp.action_rules[0];
+        assert_ne!(action.reads.mask & sections::STATE, 0);
+        assert_ne!(action.reads.mask & sections::INPUT, 0);
     }
 
     #[test]

@@ -44,10 +44,11 @@ pub const DEFAULT_MEM_ENTRIES: usize = 256;
 ///
 /// Only *semantic* option fields participate: `cancel` (scheduling
 /// state), `state_store` (a speed/memory knob — both backends produce
-/// identical verdicts, traces and statistics) and `budget_chunk` (a
-/// contention knob — the exhaustion point is chunk-independent) are
-/// deliberately excluded, so runs under any of those settings share
-/// cache entries.
+/// identical verdicts, traces and statistics), `naive_joins` (a query
+/// ablation knob — optimized and naive plans compute identical
+/// relations) and `budget_chunk` (a contention knob — the exhaustion
+/// point is chunk-independent) are deliberately excluded, so runs under
+/// any of those settings share cache entries.
 pub fn fingerprint(spec_text: &str, property: &str, options: &VerifyOptions) -> String {
     let opts = format!(
         "h1={} h2={} pruning={:?} param={:?} max_steps={:?} time_limit={:?} plans={}",
@@ -220,6 +221,9 @@ impl CachedResult {
                 ("spill_compactions", Json::from(p.spill_compactions)),
                 ("bloom_skips", Json::from(p.bloom_skips)),
                 ("cold_probes", Json::from(p.cold_probes)),
+                ("memo_hits", Json::from(p.memo_hits)),
+                ("memo_misses", Json::from(p.memo_misses)),
+                ("join_builds", Json::from(p.join_builds)),
             ]),
         ));
         Json::obj(pairs)
@@ -268,6 +272,10 @@ impl CachedResult {
                     spill_compactions: ns("spill_compactions"),
                     bloom_skips: ns("bloom_skips"),
                     cold_probes: ns("cold_probes"),
+                    // likewise for entries predating the query engine
+                    memo_hits: ns("memo_hits"),
+                    memo_misses: ns("memo_misses"),
+                    join_builds: ns("join_builds"),
                 }
             })
             .unwrap_or_default();
@@ -668,6 +676,13 @@ mod tests {
         assert_eq!(base, fingerprint("s", "p", &opts), "tier sizing is a tuning knob");
     }
 
+    #[test]
+    fn naive_joins_ablation_does_not_affect_fingerprint() {
+        let mut opts = options();
+        opts.naive_joins = true;
+        assert_eq!(fingerprint("s", "p", &options()), fingerprint("s", "p", &opts));
+    }
+
     /// A small but fully populated counterexample exercising every
     /// serialized field, including a component bitmask above 2^53 that
     /// would corrupt if routed through an f64.
@@ -736,6 +751,9 @@ mod tests {
                 spill_compactions: 12,
                 bloom_skips: 13,
                 cold_probes: 14,
+                memo_hits: 15,
+                memo_misses: 16,
+                join_builds: 17,
             },
         };
         {

@@ -39,6 +39,12 @@ pub struct SvcMetrics {
     pub spill_segments_total: Arc<Counter>,
     /// Cold-tier merge compactions run by the tiered store.
     pub spill_compactions_total: Arc<Counter>,
+    /// Rule/target evaluations answered from the delta-driven query memo.
+    pub memo_hits_total: Arc<Counter>,
+    /// Memoized rule/target evaluations that executed their plan.
+    pub memo_misses_total: Arc<Counter>,
+    /// Hash tables built by lowered hash-join operators.
+    pub join_builds_total: Arc<Counter>,
     /// Open `wave serve` connections.
     pub connections_active: Arc<Gauge>,
     /// Request lines processed by the server.
@@ -81,6 +87,18 @@ impl SvcMetrics {
             ),
             spill_compactions_total: registry
                 .counter("wave_spill_compactions_total", "Cold-tier merge compactions run"),
+            memo_hits_total: registry.counter(
+                "wave_memo_hits_total",
+                "Rule evaluations answered from the delta-driven query memo",
+            ),
+            memo_misses_total: registry.counter(
+                "wave_memo_misses_total",
+                "Memoized rule evaluations that executed their plan",
+            ),
+            join_builds_total: registry.counter(
+                "wave_join_builds_total",
+                "Hash tables built by lowered hash-join operators",
+            ),
             connections_active: registry
                 .gauge("wave_connections_active", "Open wave serve connections"),
             requests_total: registry
@@ -141,6 +159,9 @@ mod tests {
             "wave_spill_pairs_total",
             "wave_spill_segments_total",
             "wave_spill_compactions_total",
+            "wave_memo_hits_total",
+            "wave_memo_misses_total",
+            "wave_join_builds_total",
             "wave_connections_active",
             "wave_requests_total",
         ] {

@@ -224,6 +224,9 @@ pub fn run_prepared(
             m.spill_pairs_total.add(o.stats.profile.spill_pairs);
             m.spill_segments_total.add(o.stats.profile.spill_segments);
             m.spill_compactions_total.add(o.stats.profile.spill_compactions);
+            m.memo_hits_total.add(o.stats.profile.memo_hits);
+            m.memo_misses_total.add(o.stats.profile.memo_misses);
+            m.join_builds_total.add(o.stats.profile.join_builds);
         }
         let mut states = states.lock().unwrap();
         let state = &mut states[item.check];

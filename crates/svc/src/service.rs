@@ -256,6 +256,10 @@ impl JobRecord {
                         ("spill_compactions", Json::from(profile.spill_compactions)),
                         ("bloom_skips", Json::from(profile.bloom_skips)),
                         ("cold_probes", Json::from(profile.cold_probes)),
+                        ("memo_hits", Json::from(profile.memo_hits)),
+                        ("memo_misses", Json::from(profile.memo_misses)),
+                        ("memo_hit_rate", opt(profile.memo_hit_rate())),
+                        ("join_builds", Json::from(profile.join_builds)),
                         ("canon_pct", opt(profile.pct(profile.canon_ns))),
                         ("intern_pct", opt(profile.pct(profile.intern_ns))),
                         ("expand_pct", opt(profile.pct(profile.expand_ns))),
@@ -585,6 +589,9 @@ pub fn parse_options(json: Option<&Json>) -> Result<VerifyOptions, String> {
             }
             "use_plans" => {
                 options.use_plans = value.as_bool().ok_or("\"use_plans\" must be a boolean")?;
+            }
+            "naive_joins" => {
+                options.naive_joins = value.as_bool().ok_or("\"naive_joins\" must be a boolean")?;
             }
             "state_store" => {
                 options.state_store =

@@ -69,7 +69,7 @@ usage:
              [--max-connections <n>] [--read-timeout <seconds>]
              [--metrics-addr <host:port>]
   wave trace summarize <trace.jsonl> [--top <k>]
-  wave bench --record | --check [--out <file>]
+  wave bench --record | --check [--out <file>] [--query-out <file>]
 
 check options:
   --max-steps <n>         global configuration budget (shared across workers)
@@ -82,6 +82,8 @@ check options:
   --exhaustive-equality   enumerate all C_∃ equality patterns
   --interpret             evaluate rules directly (no compiled plans)
   --byte-keys             byte-keyed visit sets (interning ablation baseline)
+  --naive-joins           nested-loop joins, no query memo (planner ablation
+                          baseline; verdicts and statistics are unchanged)
   --store <kind>          visited-state store: interned (default), byte, or
                           tiered (Bloom front + bounded hot tier + disk spill)
   --store-mem-mb <m>      tiered only: hot-tier byte budget in MiB (default 64)
@@ -115,10 +117,12 @@ cache options (batch and serve):
 serve: --metrics-addr binds a Prometheus text-exposition listener
 (scrape GET /metrics); the socket itself answers {\"cmd\":\"metrics\"}
 
-bench: --record runs the E1–E4 property suites on the tiered store at a
-generous and a forced-spill memory budget and writes the deterministic
-columns to BENCH_store.json (--out overrides); --check re-runs them and
-fails if the committed file has drifted
+bench: --record runs the E1–E4 property suites twice — on the tiered
+store at a generous and a forced-spill memory budget (BENCH_store.json,
+--out overrides) and with the query engine on/off (BENCH_query.json,
+--query-out overrides) — writing deterministic columns plus
+informational per-phase wall-time and memo/intern hit-rate columns;
+--check re-runs them and fails if a committed file has drifted
 
 batch: one JSON job per input line, one JSON record per property on
 stdout; e.g. {\"suite\":\"E1\"}, {\"suite\":\"E1\",\"property\":\"P5\"}, or
@@ -213,6 +217,9 @@ fn cmd_check(rest: &[String]) -> ExitCode {
     }
     if take_flag(&mut args, "--byte-keys") {
         options.state_store = wave::core::StateStoreKind::ByteKeys;
+    }
+    if take_flag(&mut args, "--naive-joins") {
+        options.naive_joins = true;
     }
     let store_mem_mb = take_value(&mut args, "--store-mem-mb");
     let spill_dir = take_value(&mut args, "--spill-dir");
@@ -909,18 +916,51 @@ const BENCH_DETERMINISTIC_KEYS: [&str; 14] = [
     "spill_compactions",
 ];
 
-/// Run every E1–E4 property on the tiered store at each bench budget,
-/// one JSON row per (suite, budget, property).
-fn bench_rows() -> Result<Vec<wave_svc::Json>, String> {
-    use wave_svc::Json;
-    let suites = [
+/// The E1–E4 benchmark suites.
+fn bench_suites() -> [wave::apps::AppSuite; 4] {
+    [
         wave::apps::e1::suite(),
         wave::apps::e2::suite(),
         wave::apps::e3::suite(),
         wave::apps::e4::suite(),
-    ];
+    ]
+}
+
+/// Informational measurement columns shared by both bench files:
+/// per-phase wall-time plus the memo/intern hit rates. Excluded from the
+/// drift check (timing varies run to run; the hit-rate split varies
+/// under the parallel scheduler).
+fn bench_measured(v: &wave::Verification) -> Vec<(&'static str, wave_svc::Json)> {
+    use wave_svc::Json;
+    let p = &v.stats.profile;
+    let ms = |ns: u64| Json::from(ns as f64 / 1e6);
+    let opt = |r: Option<f64>| r.map(Json::from).unwrap_or(wave_svc::Json::Null);
+    vec![
+        ("expand_ms", ms(p.expand_ns)),
+        ("eval_ms", ms(p.eval_ns)),
+        ("intern_ms", ms(p.intern_ns)),
+        ("visit_ms", ms(p.visit_ns)),
+        ("intern_hit_rate", opt(p.intern_hit_rate())),
+        ("memo_hit_rate", opt(p.memo_hit_rate())),
+        ("join_builds", Json::from(p.join_builds)),
+        ("elapsed_ms", Json::from(v.stats.elapsed.as_secs_f64() * 1e3)),
+    ]
+}
+
+fn bench_verdict(v: &wave::Verification) -> &'static str {
+    match &v.verdict {
+        Verdict::Holds => "holds",
+        Verdict::Violated(_) => "violated",
+        Verdict::Unknown(_) => "unknown",
+    }
+}
+
+/// Run every E1–E4 property on the tiered store at each bench budget,
+/// one JSON row per (suite, budget, property).
+fn bench_rows() -> Result<Vec<wave_svc::Json>, String> {
+    use wave_svc::Json;
     let mut rows = Vec::new();
-    for suite in &suites {
+    for suite in &bench_suites() {
         for &mb in &BENCH_BUDGETS_MB {
             let options = VerifyOptions {
                 state_store: wave::core::StateStoreKind::Tiered(wave::core::TierParams {
@@ -935,16 +975,11 @@ fn bench_rows() -> Result<Vec<wave_svc::Json>, String> {
                 let v = verifier
                     .check_str(&case.text)
                     .map_err(|e| format!("{} {}: {e}", suite.name, case.name))?;
-                let verdict = match &v.verdict {
-                    Verdict::Holds => "holds",
-                    Verdict::Violated(_) => "violated",
-                    Verdict::Unknown(_) => "unknown",
-                };
-                rows.push(Json::obj([
+                let mut pairs = vec![
                     ("suite", Json::from(suite.name)),
                     ("prop", Json::from(case.name)),
                     ("mem_mb", Json::from(mb)),
-                    ("verdict", Json::from(verdict)),
+                    ("verdict", Json::from(bench_verdict(&v))),
                     ("configs", Json::from(v.stats.configs)),
                     ("cores", Json::from(v.stats.cores)),
                     ("assignments", Json::from(v.stats.assignments)),
@@ -955,8 +990,63 @@ fn bench_rows() -> Result<Vec<wave_svc::Json>, String> {
                     ("spill_pairs", Json::from(v.stats.profile.spill_pairs)),
                     ("spill_segments", Json::from(v.stats.profile.spill_segments)),
                     ("spill_compactions", Json::from(v.stats.profile.spill_compactions)),
-                    ("elapsed_ms", Json::from(v.stats.elapsed.as_secs_f64() * 1e3)),
-                ]));
+                ];
+                pairs.extend(bench_measured(&v));
+                rows.push(Json::obj(pairs));
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Default output of the query-engine bench — committed at the repo
+/// root next to [`BENCH_FILE`], same freshness gate.
+const BENCH_QUERY_FILE: &str = "BENCH_query.json";
+
+/// Deterministic columns of the query bench. Identical between
+/// `joins=opt` and `joins=naive` rows of one property — the optimizer
+/// and memo are semantics-neutral — so the drift gate doubles as an
+/// equivalence check on the committed file.
+const BENCH_QUERY_DETERMINISTIC_KEYS: [&str; 9] = [
+    "suite",
+    "prop",
+    "joins",
+    "verdict",
+    "configs",
+    "cores",
+    "assignments",
+    "max_run_len",
+    "max_trie",
+];
+
+/// Run every E1–E4 property with the query engine on (`joins=opt`) and
+/// off (`joins=naive`, the `--naive-joins` ablation), one row per
+/// (suite, property, mode).
+fn bench_query_rows() -> Result<Vec<wave_svc::Json>, String> {
+    use wave_svc::Json;
+    let mut rows = Vec::new();
+    for suite in &bench_suites() {
+        for naive in [false, true] {
+            let options = VerifyOptions { naive_joins: naive, ..Default::default() };
+            let verifier = Verifier::with_options(suite.spec.clone(), options)
+                .map_err(|e| format!("{}: {e}", suite.name))?;
+            for case in &suite.properties {
+                let v = verifier
+                    .check_str(&case.text)
+                    .map_err(|e| format!("{} {}: {e}", suite.name, case.name))?;
+                let mut pairs = vec![
+                    ("suite", Json::from(suite.name)),
+                    ("prop", Json::from(case.name)),
+                    ("joins", Json::from(if naive { "naive" } else { "opt" })),
+                    ("verdict", Json::from(bench_verdict(&v))),
+                    ("configs", Json::from(v.stats.configs)),
+                    ("cores", Json::from(v.stats.cores)),
+                    ("assignments", Json::from(v.stats.assignments)),
+                    ("max_run_len", Json::from(v.stats.max_run_len)),
+                    ("max_trie", Json::from(v.stats.max_trie)),
+                ];
+                pairs.extend(bench_measured(&v));
+                rows.push(Json::obj(pairs));
             }
         }
     }
@@ -977,13 +1067,51 @@ fn render_bench(rows: &[wave_svc::Json]) -> String {
     out
 }
 
-/// `wave bench --record | --check`: measure the tiered store on the
-/// benchmark suites, and gate drift against the committed results.
+/// Compare measured rows against a committed bench file on the given
+/// deterministic keys; returns the number of drifted values.
+fn bench_drift(out: &str, rows: &[wave_svc::Json], keys: &[&str]) -> Result<usize, String> {
+    let committed = std::fs::read_to_string(out)
+        .map_err(|e| format!("cannot read {out}: {e} (run `wave bench --record` first)"))?;
+    let committed =
+        wave_svc::parse_json(&committed).map_err(|e| format!("{out}: not valid JSON: {e}"))?;
+    let Some(old_rows) = committed.get("rows").and_then(wave_svc::Json::as_array) else {
+        return Err(format!("{out}: no \"rows\" array"));
+    };
+    let mut drift = 0usize;
+    if old_rows.len() != rows.len() {
+        eprintln!("{out}: {} committed rows, measured {}", old_rows.len(), rows.len());
+        drift += 1;
+    }
+    for (old, new) in old_rows.iter().zip(rows) {
+        for &key in keys {
+            if old.get(key) != new.get(key) {
+                let tag = |k: &str| new.get(k).map(wave_svc::Json::to_string).unwrap_or_default();
+                eprintln!(
+                    "drift in {}/{} ({}{}): {key} was {}, measured {}",
+                    new.get("suite").and_then(wave_svc::Json::as_str).unwrap_or("?"),
+                    new.get("prop").and_then(wave_svc::Json::as_str).unwrap_or("?"),
+                    if new.get("mem_mb").is_some() { "mem_mb=" } else { "joins=" },
+                    if new.get("mem_mb").is_some() { tag("mem_mb") } else { tag("joins") },
+                    old.get(key).unwrap_or(&wave_svc::Json::Null),
+                    new.get(key).unwrap_or(&wave_svc::Json::Null),
+                );
+                drift += 1;
+            }
+        }
+    }
+    Ok(drift)
+}
+
+/// `wave bench --record | --check`: measure the tiered store and the
+/// query engine on the benchmark suites, and gate drift against the
+/// committed results.
 fn cmd_bench(rest: &[String]) -> ExitCode {
     let mut args = rest.to_vec();
     let record = take_flag(&mut args, "--record");
     let check = take_flag(&mut args, "--check");
     let out = take_value(&mut args, "--out").unwrap_or_else(|| BENCH_FILE.to_string());
+    let query_out =
+        take_value(&mut args, "--query-out").unwrap_or_else(|| BENCH_QUERY_FILE.to_string());
     if !args.is_empty() {
         eprintln!("bench: unexpected arguments {args:?}");
         return ExitCode::from(2);
@@ -996,7 +1124,15 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
         "bench: E1–E4 property suites on the tiered store at {:?} MiB hot-tier budgets",
         BENCH_BUDGETS_MB
     );
-    let rows = match bench_rows() {
+    let store_rows = match bench_rows() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("bench: E1–E4 property suites with the query engine on (opt) and off (naive)");
+    let query_rows = match bench_query_rows() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bench failed: {e}");
@@ -1004,56 +1140,33 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
         }
     };
     if record {
-        if let Err(e) = std::fs::write(&out, render_bench(&rows)) {
-            eprintln!("cannot write {out}: {e}");
-            return ExitCode::from(2);
+        for (path, rows) in [(&out, &store_rows), (&query_out, &query_rows)] {
+            if let Err(e) = std::fs::write(path, render_bench(rows)) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("bench: wrote {} rows to {path}", rows.len());
         }
-        eprintln!("bench: wrote {} rows to {out}", rows.len());
         return ExitCode::SUCCESS;
     }
-    let committed = match std::fs::read_to_string(&out) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {out}: {e} (run `wave bench --record` first)");
-            return ExitCode::from(2);
-        }
-    };
-    let committed = match wave_svc::parse_json(&committed) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("{out}: not valid JSON: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let Some(old_rows) = committed.get("rows").and_then(wave_svc::Json::as_array) else {
-        eprintln!("{out}: no \"rows\" array");
-        return ExitCode::from(2);
-    };
     let mut drift = 0usize;
-    if old_rows.len() != rows.len() {
-        eprintln!("{out}: {} committed rows, measured {}", old_rows.len(), rows.len());
-        drift += 1;
-    }
-    for (old, new) in old_rows.iter().zip(&rows) {
-        for key in BENCH_DETERMINISTIC_KEYS {
-            if old.get(key) != new.get(key) {
-                eprintln!(
-                    "drift in {}/{} at {} MiB: {key} was {}, measured {}",
-                    new.get("suite").and_then(wave_svc::Json::as_str).unwrap_or("?"),
-                    new.get("prop").and_then(wave_svc::Json::as_str).unwrap_or("?"),
-                    new.get("mem_mb").and_then(wave_svc::Json::as_u64).unwrap_or(0),
-                    old.get(key).unwrap_or(&wave_svc::Json::Null),
-                    new.get(key).unwrap_or(&wave_svc::Json::Null),
-                );
-                drift += 1;
+    for (path, rows, keys) in [
+        (&out, &store_rows, &BENCH_DETERMINISTIC_KEYS[..]),
+        (&query_out, &query_rows, &BENCH_QUERY_DETERMINISTIC_KEYS[..]),
+    ] {
+        match bench_drift(path, rows, keys) {
+            Ok(0) => eprintln!("bench: {path} is fresh ({} rows match)", rows.len()),
+            Ok(n) => drift += n,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
             }
         }
     }
     if drift > 0 {
-        eprintln!("bench: {drift} drifted values — re-run `wave bench --record` and commit {out}");
+        eprintln!("bench: {drift} drifted values — re-run `wave bench --record` and commit the bench files");
         ExitCode::from(1)
     } else {
-        eprintln!("bench: {out} is fresh ({} rows match)", rows.len());
         ExitCode::SUCCESS
     }
 }

@@ -17,7 +17,19 @@ fn service(jobs: usize) -> VerifyService {
 }
 
 fn budgeted(max_steps: u64) -> VerifyOptions {
-    VerifyOptions { max_steps: Some(max_steps), state_store: test_store(), ..Default::default() }
+    VerifyOptions {
+        max_steps: Some(max_steps),
+        state_store: test_store(),
+        naive_joins: test_naive_joins(),
+        ..Default::default()
+    }
+}
+
+/// The query-engine setting under test: on by default, off when the CI
+/// matrix sets `WAVE_TEST_JOINS=naive`. Budget determinism must hold
+/// with and without the plan optimizer and result memo.
+fn test_naive_joins() -> bool {
+    std::env::var("WAVE_TEST_JOINS").as_deref() == Ok("naive")
 }
 
 /// The store backend under test: interned by default, or the tiered
