@@ -168,6 +168,7 @@ fn read_stats(r: &mut ByteReader<'_>) -> Option<Stats> {
         *v = r.u64()?;
     }
     Some(Stats {
+        queries: Vec::new(),
         elapsed,
         max_run_len,
         max_trie,
@@ -318,7 +319,14 @@ fn drive_unit<S: StateStore, T: SearchTracer>(
     let mut next = first_core;
     while next < total {
         let end = next.saturating_add(every - drive.cores_since_ckpt).min(total);
-        let outcome = prepared.run_unit_in(unit, Some(next..end), &drive.limits, store, tracer)?;
+        let outcome = prepared.run_unit_in(
+            unit,
+            Some(next..end),
+            &drive.limits,
+            store,
+            tracer,
+            &mut wave_obs::NoopSpans,
+        )?;
         drive.stats.merge(&outcome.stats);
         match outcome.result {
             crate::ndfs::SearchResult::Clean => {}

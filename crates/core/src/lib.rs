@@ -60,7 +60,7 @@ pub use config::{canonicalize, core_instance, no_facts, Facts, PseudoConfig, Sha
 pub use domain::{assignments, build_pools, Assignment, PagePool, ParamMode};
 pub use intern::{ConfigId, ConfigStore, FactsId, InternStats};
 pub use layout::RelLayout;
-pub use memo::QueryEngine;
+pub use memo::{QueryCost, QueryEngine};
 pub use ndfs::{Budget, CounterExample, SearchLimits, SearchResult, SearchStats, TraceStep};
 pub use profile::SearchProfile;
 pub use replay::{replay, ReplayError};
@@ -78,7 +78,8 @@ pub use visibility::Visibility;
 // Re-exported so callers attaching a tracer don't need a direct wave-obs
 // dependency for the common types.
 pub use wave_obs::{
-    FlightRecorder, JsonlTracer, NoopTracer, SearchTracer, Tee, TraceEvent, TRACE_SCHEMA_VERSION,
+    FlightRecorder, JsonlTracer, NoopSpans, NoopTracer, SearchTracer, SpanProfiler, SpanRow,
+    SpanSink, Tee, TraceEvent, NO_INDEX, TRACE_SCHEMA_VERSION,
 };
 // Re-exported so callers sizing the tiered backend don't need a direct
 // wave-store dependency for the common types.

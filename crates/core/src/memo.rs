@@ -98,6 +98,49 @@ enum MemoVal {
     Bool(bool),
 }
 
+/// Per-query cost roll-up, collected only when the engine is built
+/// with profiling on (`wave check --profile-out`). One entry per
+/// compiled query id; `calls` counts memo hits and executions alike.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    pub qid: u32,
+    /// Rule/target evaluations routed through the engine (hits + execs).
+    pub calls: u64,
+    pub memo_hits: u64,
+    pub memo_misses: u64,
+    /// Wall time in actual plan executions (memo hits cost none).
+    pub exec_ns: u64,
+    /// Output rows produced by executions.
+    pub rows: u64,
+    pub hash_builds: u64,
+    pub rows_built: u64,
+    pub rows_probed: u64,
+}
+
+impl QueryCost {
+    /// Fold `other` into `self` (same qid).
+    pub fn add(&mut self, other: &QueryCost) {
+        self.calls += other.calls;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.exec_ns += other.exec_ns;
+        self.rows += other.rows;
+        self.hash_builds += other.hash_builds;
+        self.rows_built += other.rows_built;
+        self.rows_probed += other.rows_probed;
+    }
+
+    /// Memo hit rate over engine-routed calls, `None` before any call.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let probes = self.memo_hits + self.memo_misses;
+        if probes == 0 {
+            None
+        } else {
+            Some(self.memo_hits as f64 / probes as f64)
+        }
+    }
+}
+
 /// Per-core query engine: the optimized plan overlay plus the
 /// delta-driven result memo. Owned by `SearchCtx`; uses interior
 /// mutability because the search holds the context by shared reference.
@@ -112,7 +155,13 @@ pub struct QueryEngine {
     memo: RefCell<HashMap<MemoKey, MemoVal>>,
     memo_hits: Cell<u64>,
     memo_misses: Cell<u64>,
+    /// Inserts dropped because the memo hit its cap (the memo never
+    /// evicts resident entries; "eviction" in the trace-event sense).
+    memo_evictions: Cell<u64>,
     join_builds: Cell<u64>,
+    /// Per-qid cost roll-ups; empty unless built with `profiled`.
+    profiled: bool,
+    costs: RefCell<Vec<QueryCost>>,
 }
 
 impl QueryEngine {
@@ -122,6 +171,18 @@ impl QueryEngine {
     /// memo is armed; otherwise both stay off (the `--naive-joins`
     /// ablation and the `--interpret` baseline).
     pub fn build(spec: &CompiledSpec, base: &Instance, enabled: bool) -> QueryEngine {
+        QueryEngine::build_profiled(spec, base, enabled, false)
+    }
+
+    /// [`QueryEngine::build`], optionally arming the per-qid cost
+    /// roll-ups ([`QueryEngine::query_costs`]). Profiling adds one
+    /// clock read per execution; answers are unaffected.
+    pub fn build_profiled(
+        spec: &CompiledSpec,
+        base: &Instance,
+        enabled: bool,
+        profiled: bool,
+    ) -> QueryEngine {
         let mut plans = Vec::new();
         if enabled {
             let stats = InstanceStats::collect(base);
@@ -141,6 +202,13 @@ impl QueryEngine {
                 }
             }
         }
+        let mut costs = Vec::new();
+        if profiled {
+            costs.resize_with(spec.num_queries as usize, QueryCost::default);
+            for (qid, c) in costs.iter_mut().enumerate() {
+                c.qid = qid as u32;
+            }
+        }
         QueryEngine {
             plans,
             memo_enabled: enabled,
@@ -148,7 +216,21 @@ impl QueryEngine {
             memo: RefCell::new(HashMap::new()),
             memo_hits: Cell::new(0),
             memo_misses: Cell::new(0),
+            memo_evictions: Cell::new(0),
             join_builds: Cell::new(0),
+            profiled,
+            costs: RefCell::new(costs),
+        }
+    }
+
+    #[inline]
+    fn cost_mut(&self, qid: u32, f: impl FnOnce(&mut QueryCost)) {
+        if !self.profiled {
+            return;
+        }
+        let mut costs = self.costs.borrow_mut();
+        if let Some(c) = costs.get_mut(qid as usize) {
+            f(c);
         }
     }
 
@@ -199,6 +281,10 @@ impl QueryEngine {
         if let Some(key) = key {
             if let Some(MemoVal::Rows(rows)) = self.memo.borrow().get(&key) {
                 self.memo_hits.set(self.memo_hits.get() + 1);
+                self.cost_mut(reads.qid, |c| {
+                    c.calls += 1;
+                    c.memo_hits += 1;
+                });
                 return Ok(rows.clone());
             }
         }
@@ -207,9 +293,12 @@ impl QueryEngine {
         let rows: Vec<Tuple> = rel.iter().cloned().collect();
         if let Some(key) = key {
             self.memo_misses.set(self.memo_misses.get() + 1);
+            self.cost_mut(reads.qid, |c| c.memo_misses += 1);
             let mut memo = self.memo.borrow_mut();
             if memo.len() < MEMO_CAP {
                 memo.insert(key, MemoVal::Rows(rows.clone()));
+            } else {
+                self.memo_evictions.set(self.memo_evictions.get() + 1);
             }
         }
         Ok(rows)
@@ -228,6 +317,10 @@ impl QueryEngine {
         if let Some(key) = key {
             if let Some(MemoVal::Bool(b)) = self.memo.borrow().get(&key) {
                 self.memo_hits.set(self.memo_hits.get() + 1);
+                self.cost_mut(reads.qid, |c| {
+                    c.calls += 1;
+                    c.memo_hits += 1;
+                });
                 return Ok(*b);
             }
         }
@@ -235,9 +328,12 @@ impl QueryEngine {
         let b = !self.execute(reads.qid, compiled, inst, params)?.is_empty();
         if let Some(key) = key {
             self.memo_misses.set(self.memo_misses.get() + 1);
+            self.cost_mut(reads.qid, |c| c.memo_misses += 1);
             let mut memo = self.memo.borrow_mut();
             if memo.len() < MEMO_CAP {
                 memo.insert(key, MemoVal::Bool(b));
+            } else {
+                self.memo_evictions.set(self.memo_evictions.get() + 1);
             }
         }
         Ok(b)
@@ -251,8 +347,20 @@ impl QueryEngine {
         params: &Params,
     ) -> Result<Relation, wave_relalg::ExecError> {
         let mut stats = ExecStats::default();
+        let t0 = if self.profiled { Some(std::time::Instant::now()) } else { None };
         let rel = self.plan_for(qid, compiled).run_counting(inst, params, &mut stats)?;
         self.join_builds.set(self.join_builds.get() + stats.hash_builds);
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.cost_mut(qid, |c| {
+                c.calls += 1;
+                c.exec_ns += ns;
+                c.rows += rel.len() as u64;
+                c.hash_builds += stats.hash_builds;
+                c.rows_built += stats.rows_built;
+                c.rows_probed += stats.rows_probed;
+            });
+        }
         Ok(rel)
     }
 
@@ -270,6 +378,18 @@ impl QueryEngine {
     /// Hash tables built by lowered join operators.
     pub fn join_builds(&self) -> u64 {
         self.join_builds.get()
+    }
+
+    /// Memo inserts dropped at the capacity cap (see the field docs —
+    /// the memo never evicts resident entries).
+    pub fn memo_evictions(&self) -> u64 {
+        self.memo_evictions.get()
+    }
+
+    /// Per-qid cost roll-ups with at least one engine-routed call.
+    /// Empty unless built with [`QueryEngine::build_profiled`].
+    pub fn query_costs(&self) -> Vec<QueryCost> {
+        self.costs.borrow().iter().filter(|c| c.calls > 0).cloned().collect()
     }
 }
 

@@ -101,7 +101,8 @@ pub fn replay(
     // scratch profile, no-op tracer)
     let mut prof = crate::profile::SearchProfile::default();
     let mut tracer = wave_obs::NoopTracer;
-    let starts = ctx.initial_configs(&mut prof, &mut tracer)?;
+    let mut spans = wave_obs::NoopSpans;
+    let starts = ctx.initial_configs(&mut prof, &mut tracer, &mut spans)?;
     if !starts.contains(&ce.steps[0].config) {
         return Err(ReplayError::NotAStartConfig);
     }
@@ -121,7 +122,7 @@ pub fn replay(
         }
         if i + 1 < ce.steps.len() {
             let next = &ce.steps[i + 1];
-            let succs = ctx.successors(&step.config, &mut prof, &mut tracer)?;
+            let succs = ctx.successors(&step.config, &mut prof, &mut tracer, &mut spans)?;
             if !succs.contains(&next.config) {
                 return Err(ReplayError::NotASuccessor { step: i + 1 });
             }
@@ -134,7 +135,7 @@ pub fn replay(
     // (4) the cycle closes: the last step can step back to cycle_start
     let last = ce.steps.last().expect("nonempty");
     let back = &ce.steps[ce.cycle_start];
-    let succs = ctx.successors(&last.config, &mut prof, &mut tracer)?;
+    let succs = ctx.successors(&last.config, &mut prof, &mut tracer, &mut spans)?;
     let closes = succs.contains(&back.config)
         && buchi.successors(last.auto_state, last.assignment).any(|t| t == back.auto_state);
     if !closes {

@@ -107,6 +107,12 @@ pub trait StateStore {
     fn tier_counters(&self) -> TierCounters {
         TierCounters::default()
     }
+    /// Wall time spent in (segment writes, merge compactions), ns.
+    /// Zero for in-memory backends; profiler diagnostics only, not
+    /// part of the deterministic counter contract.
+    fn spill_timers(&self) -> (u64, u64) {
+        (0, 0)
+    }
     /// Interner (hits, misses) counters since construction.
     fn intern_counters(&self) -> (u64, u64);
     /// Serialize the durable store state (the intern arena, for
@@ -315,6 +321,10 @@ impl StateStore for TieredStore {
 
     fn tier_counters(&self) -> TierCounters {
         self.visits.counters()
+    }
+
+    fn spill_timers(&self) -> (u64, u64) {
+        self.visits.spill_timers()
     }
 
     fn intern_counters(&self) -> (u64, u64) {

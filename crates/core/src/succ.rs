@@ -24,7 +24,7 @@ use std::cell::OnceCell;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use wave_fol::{answers, eval, prev_shadow_name, Bindings, EvalCtx, EvalError, SchemaResolver};
-use wave_obs::{SearchTracer, TraceEvent};
+use wave_obs::{SearchTracer, SpanSink, TraceEvent};
 use wave_relalg::{Instance, Params, RelKind, Relation, Tuple, Value};
 use wave_spec::{CompiledRule, CompiledSpec, Dataflow, PageId, RuleExec, TargetExec};
 
@@ -140,8 +140,26 @@ impl SearchCtx<'_> {
     /// Run one rule, returning its derived head tuples. The memo keys
     /// the result on the epochs of the sections the rule reads;
     /// `ev.inst()` materializes only on a miss (or for interpreted
-    /// rules).
-    fn run_rule(
+    /// rules). Under a profiling run, the evaluation is wrapped in a
+    /// `query:<qid>` span frame (both execution paths).
+    fn run_rule<P: SpanSink>(
+        &self,
+        rule: &CompiledRule,
+        ev: &EvalState<'_>,
+        page_name: &str,
+        spans: &mut P,
+    ) -> Result<Vec<Tuple>, SuccError> {
+        if P::ENABLED {
+            spans.enter("query", u64::from(rule.reads.qid));
+        }
+        let out = self.run_rule_inner(rule, ev, page_name);
+        if P::ENABLED {
+            spans.exit();
+        }
+        out
+    }
+
+    fn run_rule_inner(
         &self,
         rule: &CompiledRule,
         ev: &EvalState<'_>,
@@ -165,7 +183,24 @@ impl SearchCtx<'_> {
     }
 
     /// Evaluate a target condition (a sentence).
-    fn target_holds(
+    fn target_holds<P: SpanSink>(
+        &self,
+        t: &wave_spec::CompiledTarget,
+        ev: &EvalState<'_>,
+        page_name: &str,
+        spans: &mut P,
+    ) -> Result<bool, SuccError> {
+        if P::ENABLED {
+            spans.enter("query", u64::from(t.reads.qid));
+        }
+        let out = self.target_holds_inner(t, ev, page_name);
+        if P::ENABLED {
+            spans.exit();
+        }
+        out
+    }
+
+    fn target_holds_inner(
         &self,
         t: &wave_spec::CompiledTarget,
         ev: &EvalState<'_>,
@@ -197,21 +232,23 @@ impl SearchCtx<'_> {
     /// empty state and previous input, every extension and input choice.
     /// `prof` collects the canonicalization share of the work; `tracer`
     /// receives one [`TraceEvent::Options`] per extension.
-    pub fn initial_configs<T: SearchTracer>(
+    pub fn initial_configs<T: SearchTracer, P: SpanSink>(
         &self,
         prof: &mut SearchProfile,
         tracer: &mut T,
+        spans: &mut P,
     ) -> Result<Vec<PseudoConfig>, SuccError> {
-        self.expand_page(self.spec.home, Vec::new(), Vec::new(), prof, tracer)
+        self.expand_page(self.spec.home, Vec::new(), Vec::new(), prof, tracer, spans)
     }
 
     /// The paper's `succP`. `prof` collects the canonicalization share of
     /// the work (the caller times the whole call as `expand_ns`).
-    pub fn successors<T: SearchTracer>(
+    pub fn successors<T: SearchTracer, P: SpanSink>(
         &self,
         cfg: &PseudoConfig,
         prof: &mut SearchProfile,
         tracer: &mut T,
+        spans: &mut P,
     ) -> Result<Vec<PseudoConfig>, SuccError> {
         let ev = EvalState::new(self, cfg);
         let page = self.spec.page(cfg.page);
@@ -219,7 +256,7 @@ impl SearchCtx<'_> {
         // 1) target page
         let mut fired: Vec<PageId> = Vec::new();
         for t in &page.target_rules {
-            if self.target_holds(t, &ev, &page.name)? {
+            if self.target_holds(t, &ev, &page.name, spans)? {
                 fired.push(t.target);
             }
         }
@@ -237,7 +274,7 @@ impl SearchCtx<'_> {
             if !self.visibility.state_observable(rule.head) {
                 continue; // write-only state: nothing can read it
             }
-            let tuples = self.run_rule(rule, &ev, &page.name)?;
+            let tuples = self.run_rule(rule, &ev, &page.name, spans)?;
             let sink = if rule.insert { &mut inserts } else { &mut deletes };
             for t in tuples {
                 if self.over_c(&t) || !rule.insert {
@@ -276,20 +313,21 @@ impl SearchCtx<'_> {
 
         // 4) extensions × options × input choices
         let prev = prof.time(|p| &mut p.canon_ns, || canonicalize(prev));
-        self.expand_page(vt, prev, st, prof, tracer)
+        self.expand_page(vt, prev, st, prof, tracer, spans)
     }
 
     /// Enumerate the configurations entering `page` with the given previous
     /// input and state: every Heuristic-2 extension, every input choice,
     /// with actions computed per choice. `prev` must already be canonical;
     /// `state` is canonical by construction (it comes from a `BTreeSet`).
-    fn expand_page<T: SearchTracer>(
+    fn expand_page<T: SearchTracer, P: SpanSink>(
         &self,
         page_id: PageId,
         prev: Facts,
         state: Facts,
         prof: &mut SearchProfile,
         tracer: &mut T,
+        spans: &mut P,
     ) -> Result<Vec<PseudoConfig>, SuccError> {
         let page = self.spec.page(page_id);
         let pool = &self.pools[page_id.index()];
@@ -331,7 +369,7 @@ impl SearchCtx<'_> {
                             if rule.head != input {
                                 continue;
                             }
-                            for t in self.run_rule(rule, &ev, &page.name)? {
+                            for t in self.run_rule(rule, &ev, &page.name, spans)? {
                                 if seen.insert(t.clone()) {
                                     opts.push(Some(t));
                                 }
@@ -401,7 +439,7 @@ impl SearchCtx<'_> {
                     {
                         let ev2 = EvalState::new(self, &cfg);
                         for rule in visible_actions {
-                            for t in self.run_rule(rule, &ev2, &page.name)? {
+                            for t in self.run_rule(rule, &ev2, &page.name, spans)? {
                                 if self.over_c(&t) {
                                     actions.insert((rule.head, t));
                                 }

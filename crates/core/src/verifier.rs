@@ -20,7 +20,7 @@ use crate::budget::{BudgetPool, DEFAULT_BUDGET_CHUNK};
 use crate::cancel::CancelToken;
 use crate::config::core_instance;
 use crate::domain::{assignments, build_pools, relevant_constants, Assignment, ParamMode};
-use crate::memo::QueryEngine;
+use crate::memo::{QueryCost, QueryEngine};
 use crate::ndfs::{Budget, CounterExample, Ndfs, SearchLimits, SearchResult};
 use crate::profile::SearchProfile;
 use crate::store::{ByteStore, InternedStore, StateStore, StateStoreKind, TieredStore};
@@ -31,7 +31,7 @@ use std::ops::Range;
 use std::time::{Duration, Instant};
 use wave_fol::{check_input_bounded, constants as fo_constants, Formula};
 use wave_ltl::{extract, nnf, parse_property, Buchi, Property};
-use wave_obs::{NoopTracer, SearchTracer, TraceEvent};
+use wave_obs::{NoopSpans, NoopTracer, SearchTracer, SpanSink, TraceEvent, NO_INDEX};
 use wave_relalg::{SymbolTable, Value};
 use wave_spec::{analyze, CompileSpecError, CompiledSpec, Dataflow, Spec};
 
@@ -132,6 +132,10 @@ pub struct Stats {
     pub assignments: u64,
     /// Per-phase wall-time and interner counters of the searches.
     pub profile: SearchProfile,
+    /// Per-query cost attribution, populated only by profiled runs
+    /// ([`Verifier::check_profiled`]); empty otherwise. One entry per
+    /// query id that executed at least once, sorted by qid after merge.
+    pub queries: Vec<QueryCost>,
 }
 
 impl Stats {
@@ -150,6 +154,13 @@ impl Stats {
         self.cores += other.cores;
         self.assignments += other.assignments;
         self.profile.add(&other.profile);
+        for q in &other.queries {
+            match self.queries.iter_mut().find(|c| c.qid == q.qid) {
+                Some(c) => c.add(q),
+                None => self.queries.push(q.clone()),
+            }
+        }
+        self.queries.sort_by_key(|c| c.qid);
     }
 }
 
@@ -289,21 +300,48 @@ impl Verifier {
         property: &Property,
         tracer: &mut T,
     ) -> Result<Verification, VerifyError> {
+        self.check_instrumented(property, tracer, &mut NoopSpans)
+    }
+
+    /// [`Verifier::check`] with a [`SpanSink`] recording the hierarchical
+    /// span tree and per-query cost attribution. The search is identical
+    /// to the unprofiled one — verdicts, lassos and deterministic stats
+    /// are byte-for-byte the same; only `Stats::queries` and the span
+    /// tree are extra.
+    pub fn check_profiled<P: SpanSink + Send>(
+        &self,
+        property: &Property,
+        spans: &mut P,
+    ) -> Result<Verification, VerifyError> {
+        self.check_instrumented(property, &mut NoopTracer, spans)
+    }
+
+    /// The fully general entry point: both a tracer and a span sink. The
+    /// no-op implementations of either monomorphize their emission sites
+    /// away, so `check`, `check_traced` and `check_profiled` all compile
+    /// down to exactly the instrumentation they asked for.
+    pub fn check_instrumented<T: SearchTracer + Send, P: SpanSink + Send>(
+        &self,
+        property: &Property,
+        tracer: &mut T,
+        spans: &mut P,
+    ) -> Result<Verification, VerifyError> {
         std::thread::scope(|scope| {
             std::thread::Builder::new()
                 .name("wave-search".into())
                 .stack_size(512 << 20)
-                .spawn_scoped(scope, || self.check_inner(property, tracer))
+                .spawn_scoped(scope, || self.check_inner(property, tracer, spans))
                 .expect("spawn search thread")
                 .join()
                 .expect("search thread panicked")
         })
     }
 
-    fn check_inner<T: SearchTracer>(
+    fn check_inner<T: SearchTracer, P: SpanSink>(
         &self,
         property: &Property,
         tracer: &mut T,
+        spans: &mut P,
     ) -> Result<Verification, VerifyError> {
         let start = Instant::now();
         let prepared = self.prepare(property)?;
@@ -317,7 +355,14 @@ impl Verifier {
         let mut stats = Stats::default();
         let mut verdict = Verdict::Holds;
         for unit in 0..prepared.num_units() {
-            let outcome = prepared.run_unit_traced(unit, None, &limits, tracer)?;
+            if P::ENABLED {
+                spans.enter("unit", unit as u64);
+            }
+            let outcome = prepared.run_unit_instrumented(unit, None, &limits, tracer, spans);
+            if P::ENABLED {
+                spans.exit();
+            }
+            let outcome = outcome?;
             stats.merge(&outcome.stats);
             match outcome.result {
                 SearchResult::Clean => {}
@@ -608,15 +653,28 @@ impl PreparedCheck<'_> {
         limits: &SearchLimits,
         tracer: &mut T,
     ) -> Result<UnitOutcome, VerifyError> {
+        self.run_unit_instrumented(unit, cores, limits, tracer, &mut NoopSpans)
+    }
+
+    /// [`PreparedCheck::run_unit_traced`] with a [`SpanSink`] attached as
+    /// well. Both hooks monomorphize away when no-op.
+    pub fn run_unit_instrumented<T: SearchTracer, P: SpanSink>(
+        &self,
+        unit: usize,
+        cores: Option<Range<u64>>,
+        limits: &SearchLimits,
+        tracer: &mut T,
+        spans: &mut P,
+    ) -> Result<UnitOutcome, VerifyError> {
         match &self.verifier.options.state_store {
             StateStoreKind::Interned => {
-                self.run_unit_in(unit, cores, limits, &mut InternedStore::new(), tracer)
+                self.run_unit_in(unit, cores, limits, &mut InternedStore::new(), tracer, spans)
             }
             StateStoreKind::ByteKeys => {
-                self.run_unit_in(unit, cores, limits, &mut ByteStore::new(), tracer)
+                self.run_unit_in(unit, cores, limits, &mut ByteStore::new(), tracer, spans)
             }
             StateStoreKind::Tiered(params) => {
-                self.run_unit_in(unit, cores, limits, &mut TieredStore::new(params), tracer)
+                self.run_unit_in(unit, cores, limits, &mut TieredStore::new(params), tracer, spans)
             }
         }
     }
@@ -627,13 +685,14 @@ impl PreparedCheck<'_> {
     /// store alive across several core-range chunks of the same unit —
     /// the checkpoint driver in [`crate::checkpoint`] — can run the
     /// chunks without re-interning the arena from scratch each time.
-    pub fn run_unit_in<S: StateStore, T: SearchTracer>(
+    pub fn run_unit_in<S: StateStore, T: SearchTracer, P: SpanSink>(
         &self,
         unit: usize,
         cores: Option<Range<u64>>,
         limits: &SearchLimits,
         store: &mut S,
         tracer: &mut T,
+        spans: &mut P,
     ) -> Result<UnitOutcome, VerifyError> {
         let start = Instant::now();
         let spec = &self.verifier.spec;
@@ -659,6 +718,7 @@ impl PreparedCheck<'_> {
         // the store may be shared across several calls (checkpoint
         // chunks), so tier counters fold as deltas from this baseline
         let mut tier_base = store.tier_counters();
+        let mut spill_ns_base = store.spill_timers();
 
         for bitmap in range {
             if limits.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
@@ -670,10 +730,17 @@ impl PreparedCheck<'_> {
             if T::ENABLED {
                 tracer.event(TraceEvent::Core { unit: unit as u32, core: bitmap });
             }
+            if P::ENABLED {
+                spans.enter("core", bitmap);
+            }
             store.clear_visits();
             let base = core_instance(spec, &core);
-            let qengine =
-                QueryEngine::build(spec, &base, options.use_plans && !options.naive_joins);
+            let qengine = QueryEngine::build_profiled(
+                spec,
+                &base,
+                options.use_plans && !options.naive_joins,
+                P::ENABLED,
+            );
             let ctx = SearchCtx {
                 spec,
                 symbols: &self.symbols,
@@ -689,9 +756,32 @@ impl PreparedCheck<'_> {
             };
             // every core's search leases from the same shared pool, so
             // no per-core budget arithmetic is needed here
-            let engine =
-                Ndfs::new(&ctx, &self.buchi, &components, store, &mut *tracer, limits.clone());
-            let (search_result, search_stats) = engine.run()?;
+            let engine = Ndfs::new(
+                &ctx,
+                &self.buchi,
+                &components,
+                store,
+                &mut *tracer,
+                &mut *spans,
+                limits.clone(),
+            );
+            let run_out = engine.run();
+            if P::ENABLED {
+                // attribute this core's spill/compaction I/O (measured
+                // inside the store, no extra clock reads per probe) as
+                // leaf frames under the core frame, then close it —
+                // balanced even on the error path below
+                let (spill_ns, compact_ns) = store.spill_timers();
+                if spill_ns > spill_ns_base.0 {
+                    spans.leaf_ns("spill", NO_INDEX, 1, spill_ns - spill_ns_base.0);
+                }
+                if compact_ns > spill_ns_base.1 {
+                    spans.leaf_ns("compact", NO_INDEX, 1, compact_ns - spill_ns_base.1);
+                }
+                spill_ns_base = (spill_ns, compact_ns);
+                spans.exit();
+            }
+            let (search_result, search_stats) = run_out?;
             stats.max_run_len = stats.max_run_len.max(search_stats.max_run_len);
             stats.configs += search_stats.configs;
             stats.max_trie = stats.max_trie.max(store.max_visited());
@@ -714,12 +804,44 @@ impl PreparedCheck<'_> {
                         compactions: tier.compactions - tier_base.compactions,
                     });
                 }
+                if T::ENABLED && tier.compactions > tier_base.compactions {
+                    tracer.event(TraceEvent::Compact {
+                        unit: unit as u32,
+                        core: bitmap,
+                        compactions: tier.compactions - tier_base.compactions,
+                        segments: tier.spill_segments - tier_base.spill_segments,
+                    });
+                }
                 tier_base = tier;
             }
             stats.profile.add(&search_stats.profile);
             stats.profile.memo_hits += ctx.engine.memo_hits();
             stats.profile.memo_misses += ctx.engine.memo_misses();
             stats.profile.join_builds += ctx.engine.join_builds();
+            if T::ENABLED {
+                let (hits, misses) = (ctx.engine.memo_hits(), ctx.engine.memo_misses());
+                if hits + misses > 0 {
+                    tracer.event(TraceEvent::Memo {
+                        unit: unit as u32,
+                        core: bitmap,
+                        hits,
+                        misses,
+                        evictions: ctx.engine.memo_evictions(),
+                    });
+                }
+                let builds = ctx.engine.join_builds();
+                if builds > 0 {
+                    tracer.event(TraceEvent::JoinBuild { unit: unit as u32, core: bitmap, builds });
+                }
+            }
+            if P::ENABLED {
+                for q in ctx.engine.query_costs() {
+                    match stats.queries.iter_mut().find(|c| c.qid == q.qid) {
+                        Some(c) => c.add(&q),
+                        None => stats.queries.push(q),
+                    }
+                }
+            }
             match search_result {
                 SearchResult::Clean => {}
                 SearchResult::Violation(mut ce) => {
@@ -737,6 +859,7 @@ impl PreparedCheck<'_> {
         }
 
         stats.elapsed = start.elapsed();
+        stats.queries.sort_by_key(|c| c.qid);
         Ok(UnitOutcome { result, stats })
     }
 }

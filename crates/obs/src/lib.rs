@@ -14,15 +14,23 @@
 //!   name, rendered as Prometheus text exposition ([`prom`]) and served
 //!   by a tiny hand-rolled HTTP listener ([`MetricsServer`]).
 //!
+//! A third pillar, [`span`] (wave-prof), reuses the tracer's
+//! `const ENABLED` monomorphization trick for a hierarchical span
+//! profiler: the engine opens frames through a [`SpanSink`] it is
+//! generic over, and the aggregating [`SpanProfiler`] renders the call
+//! tree as an attribution table or inferno-compatible folded stacks.
+//!
 //! The crate sits below `wave-core` in the dependency graph; events and
 //! metric values are plain integers so nothing verifier-shaped leaks in.
 
 pub mod metrics;
 pub mod prom;
+pub mod span;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricKind, MetricSnapshot, MetricsRegistry};
 pub use prom::{render_prometheus, MetricsServer};
+pub use span::{NoopSpans, SpanProfiler, SpanRow, SpanSink, NO_INDEX};
 pub use trace::{
     FlightRecorder, JsonlTracer, NoopTracer, SearchTracer, Tee, TraceEvent, TRACE_SCHEMA_VERSION,
 };

@@ -67,6 +67,12 @@ impl Gauge {
         self.value.store(n, Ordering::Relaxed);
     }
 
+    /// Raise the gauge to `n` if it is below (high-water marks, e.g.
+    /// peak store residency). Atomic, so racing writers keep the max.
+    pub fn set_max(&self, n: i64) {
+        self.value.fetch_max(n, Ordering::Relaxed);
+    }
+
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
@@ -319,6 +325,38 @@ mod tests {
                 if b == u64::MAX >> 1 { 64 } else { i + 1 }
             );
         }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_pinned() {
+        // The log₂ bucket layout is part of the exposition contract
+        // (dashboards alert on `_bucket{le=...}` series): bucket i's
+        // inclusive upper bound is 2^i − 1, bucket 64 is +Inf. Pin the
+        // first boundaries and the count explicitly so a layout change
+        // cannot slip through as a refactor.
+        let expected: [u64; 11] = [0, 1, 3, 7, 15, 31, 63, 127, 255, 511, 1023];
+        for (i, &bound) in expected.iter().enumerate() {
+            assert_eq!(bucket_bound(i), Some(bound), "bucket {i}");
+        }
+        assert_eq!(HISTOGRAM_BUCKETS, 65);
+        assert_eq!(bucket_bound(63), Some((1u64 << 63) - 1));
+        assert_eq!(bucket_bound(64), None, "+Inf");
+        // Transitions at powers of two: 2^k is the first value of bucket k+1.
+        for k in 0..10u32 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), k as usize + 1);
+            assert_eq!(bucket_index(v - 1), if v == 1 { 0 } else { k as usize });
+        }
+    }
+
+    #[test]
+    fn gauge_set_max_keeps_high_water() {
+        let g = Gauge::default();
+        g.set_max(5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
     }
 
     #[test]

@@ -39,7 +39,15 @@ use std::time::Instant;
 
 /// Version of the JSONL trace schema. Bumped on any incompatible field
 /// change; see the module docs for the compatibility rule.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// * **v1** — intern / options / expand / transition / phase / core /
+///   cycle / budget (/ spill, added late in v1 without a golden pin).
+/// * **v2** — adds the query-engine and out-of-core event kinds:
+///   `memo` (per-core hit/miss/evict deltas), `join_build` (per-core
+///   hash-join builds), and `compact` (cold-tier merge compactions,
+///   split out of the aggregate `spill` event). v1 lines decode as a
+///   strict subset — consumers that accept v2 must accept v1.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// One structured search event. All payloads are plain integers (plus
 /// `&'static str` reasons), so events are `Copy` and cost nothing to
@@ -85,6 +93,20 @@ pub enum TraceEvent {
     /// Fields: `unit`, `core`, `pairs` (spilled this core), `segments`
     /// (segments written), `compactions` (merges run).
     Spill { unit: u32, core: u64, pairs: u64, segments: u64, compactions: u64 },
+    /// Query-memo activity during one core's search (emitted per core,
+    /// aggregated). `evictions` counts inserts dropped at the memo's
+    /// capacity cap (the memo never evicts resident entries).
+    /// Fields: `unit`, `core`, `hits`, `misses`, `evictions`.
+    Memo { unit: u32, core: u64, hits: u64, misses: u64, evictions: u64 },
+    /// Hash-join builds run by the query engine during one core's
+    /// search (emitted per core, aggregated).
+    /// Fields: `unit`, `core`, `builds`.
+    JoinBuild { unit: u32, core: u64, builds: u64 },
+    /// Cold-tier merge compactions run during one core's search
+    /// (emitted per core, aggregated; absent under in-memory backends).
+    /// Fields: `unit`, `core`, `compactions`, `segments` (cold segments
+    /// after the last compaction's rewrite).
+    Compact { unit: u32, core: u64, compactions: u64, segments: u64 },
 }
 
 impl TraceEvent {
@@ -100,6 +122,9 @@ impl TraceEvent {
             TraceEvent::Cycle { .. } => "cycle",
             TraceEvent::Budget { .. } => "budget",
             TraceEvent::Spill { .. } => "spill",
+            TraceEvent::Memo { .. } => "memo",
+            TraceEvent::JoinBuild { .. } => "join_build",
+            TraceEvent::Compact { .. } => "compact",
         }
     }
 
@@ -139,6 +164,19 @@ impl TraceEvent {
             TraceEvent::Spill { unit, core, pairs, segments, compactions } => {
                 s.push_str(&format!(
                     ",\"unit\":{unit},\"core\":{core},\"pairs\":{pairs},\"segments\":{segments},\"compactions\":{compactions}"
+                ));
+            }
+            TraceEvent::Memo { unit, core, hits, misses, evictions } => {
+                s.push_str(&format!(
+                    ",\"unit\":{unit},\"core\":{core},\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions}"
+                ));
+            }
+            TraceEvent::JoinBuild { unit, core, builds } => {
+                s.push_str(&format!(",\"unit\":{unit},\"core\":{core},\"builds\":{builds}"));
+            }
+            TraceEvent::Compact { unit, core, compactions, segments } => {
+                s.push_str(&format!(
+                    ",\"unit\":{unit},\"core\":{core},\"compactions\":{compactions},\"segments\":{segments}"
                 ));
             }
         }
@@ -316,19 +354,34 @@ mod tests {
         let ev = TraceEvent::Expand { depth: 3, succs: 7, dur_ns: 125 };
         assert_eq!(
             ev.to_jsonl(42),
-            r#"{"v":1,"ev":"expand","depth":3,"succs":7,"dur_ns":125,"t_ns":42}"#
+            r#"{"v":2,"ev":"expand","depth":3,"succs":7,"dur_ns":125,"t_ns":42}"#
         );
         let ev = TraceEvent::Budget { reason: "steps", spent: 12, limit: 10 };
         assert_eq!(
             ev.to_jsonl(1),
-            r#"{"v":1,"ev":"budget","reason":"steps","spent":12,"limit":10,"t_ns":1}"#
+            r#"{"v":2,"ev":"budget","reason":"steps","spent":12,"limit":10,"t_ns":1}"#
         );
         let ev = TraceEvent::Intern { hit: true };
-        assert!(ev.to_jsonl(0).starts_with(r#"{"v":1,"ev":"intern","hit":true"#));
+        assert!(ev.to_jsonl(0).starts_with(r#"{"v":2,"ev":"intern","hit":true"#));
         let ev = TraceEvent::Spill { unit: 2, core: 5, pairs: 96, segments: 1, compactions: 0 };
         assert_eq!(
             ev.to_jsonl(9),
-            r#"{"v":1,"ev":"spill","unit":2,"core":5,"pairs":96,"segments":1,"compactions":0,"t_ns":9}"#
+            r#"{"v":2,"ev":"spill","unit":2,"core":5,"pairs":96,"segments":1,"compactions":0,"t_ns":9}"#
+        );
+        let ev = TraceEvent::Memo { unit: 0, core: 3, hits: 40, misses: 8, evictions: 0 };
+        assert_eq!(
+            ev.to_jsonl(7),
+            r#"{"v":2,"ev":"memo","unit":0,"core":3,"hits":40,"misses":8,"evictions":0,"t_ns":7}"#
+        );
+        let ev = TraceEvent::JoinBuild { unit: 1, core: 0, builds: 6 };
+        assert_eq!(
+            ev.to_jsonl(2),
+            r#"{"v":2,"ev":"join_build","unit":1,"core":0,"builds":6,"t_ns":2}"#
+        );
+        let ev = TraceEvent::Compact { unit: 2, core: 9, compactions: 1, segments: 1 };
+        assert_eq!(
+            ev.to_jsonl(3),
+            r#"{"v":2,"ev":"compact","unit":2,"core":9,"compactions":1,"segments":1,"t_ns":3}"#
         );
     }
 

@@ -116,6 +116,10 @@ fn eval_pred(p: &Pred, row: &[Value], params: &Params) -> Result<bool, ExecError
 pub struct ExecStats {
     /// Hash tables built by [`Plan::HashJoin`] nodes.
     pub hash_builds: u64,
+    /// Rows inserted into hash-join build tables.
+    pub rows_built: u64,
+    /// Probe-side rows driven through hash-join tables.
+    pub rows_probed: u64,
 }
 
 /// Execute `plan` over `inst` with `params`, producing a relation.
@@ -209,6 +213,8 @@ pub fn execute_counting(
             let lrel = execute_counting(left, inst, params, stats)?;
             let rrel = execute_counting(right, inst, params, stats)?;
             stats.hash_builds += 1;
+            stats.rows_built += rrel.len() as u64;
+            stats.rows_probed += lrel.len() as u64;
             let key = |t: &Tuple, cols: &dyn Fn(&(usize, usize)) -> usize| -> Vec<Value> {
                 on.iter().map(|pair| t.get(cols(pair))).collect()
             };

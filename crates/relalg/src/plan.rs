@@ -494,6 +494,36 @@ impl Plan {
             }
         }
     }
+
+    /// One-line operator-tree skeleton (no predicates or column lists),
+    /// e.g. `Sel(HJ-inner(Scan,Scan))` — the "plan shape" column of the
+    /// profiler's attribution table, where [`Plan::explain`] would be
+    /// too wide.
+    pub fn shape(&self) -> String {
+        match self {
+            Plan::Scan(_) => "Scan".to_string(),
+            Plan::Values { rows, .. } => format!("Vals[{}]", rows.len()),
+            Plan::Select { input, .. } => format!("Sel({})", input.shape()),
+            Plan::Project { input, .. } => format!("Proj({})", input.shape()),
+            Plan::Product(l, r) => format!("Prod({},{})", l.shape(), r.shape()),
+            Plan::Union(l, r) => format!("Union({},{})", l.shape(), r.shape()),
+            Plan::Difference(l, r) => format!("Diff({},{})", l.shape(), r.shape()),
+            Plan::SemiJoin { left, right, .. } => {
+                format!("Semi({},{})", left.shape(), right.shape())
+            }
+            Plan::AntiJoin { left, right, .. } => {
+                format!("Anti({},{})", left.shape(), right.shape())
+            }
+            Plan::HashJoin { left, right, kind, .. } => {
+                let k = match kind {
+                    JoinKind::Inner => "inner",
+                    JoinKind::Semi => "semi",
+                    JoinKind::Anti => "anti",
+                };
+                format!("HJ-{k}({},{})", left.shape(), right.shape())
+            }
+        }
+    }
 }
 
 #[cfg(test)]

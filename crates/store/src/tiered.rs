@@ -140,6 +140,11 @@ pub struct TieredVisits {
     spill_pairs: u64,
     spill_segments: u64,
     compactions: u64,
+    /// Wall time in segment writes / merge compactions. Diagnostics
+    /// for the span profiler — not persisted, not part of the
+    /// deterministic [`TierCounters`] contract.
+    spill_ns: u64,
+    compact_ns: u64,
     // read-path counters need interior mutability: is_marked is &self
     bloom_skips: Cell<u64>,
     cold_probes: Cell<u64>,
@@ -165,6 +170,8 @@ impl TieredVisits {
             spill_pairs: 0,
             spill_segments: 0,
             compactions: 0,
+            spill_ns: 0,
+            compact_ns: 0,
             bloom_skips: Cell::new(0),
             cold_probes: Cell::new(0),
         })
@@ -267,6 +274,12 @@ impl TieredVisits {
         &self.config
     }
 
+    /// Wall time spent in (segment writes, merge compactions), in
+    /// nanoseconds since construction. Not persisted across reopen.
+    pub fn spill_timers(&self) -> (u64, u64) {
+        (self.spill_ns, self.compact_ns)
+    }
+
     fn probe_cold(&self, key: u64) -> Option<u8> {
         // newest first: invariant 1 makes the newest copy a superset
         for seg in self.cold.iter().rev() {
@@ -289,6 +302,7 @@ impl TieredVisits {
     }
 
     fn spill(&mut self) {
+        let t0 = std::time::Instant::now();
         let target = (self.hot.capacity() / 4).max(1);
         let mut victims = self.hot.evict(target);
         if victims.is_empty() {
@@ -305,6 +319,7 @@ impl TieredVisits {
         self.spill_segments += 1;
         self.spilled += victims.len();
         self.max_spilled = self.max_spilled.max(self.spilled);
+        self.spill_ns += t0.elapsed().as_nanos() as u64;
         if self.cold.len() > self.config.segment_limit {
             self.compact();
         }
@@ -313,6 +328,7 @@ impl TieredVisits {
     /// Merge every cold segment into one sorted run, ORing the marks of
     /// duplicate keys (exact, since marks are monotone between clears).
     fn compact(&mut self) {
+        let t0 = std::time::Instant::now();
         let merged =
             self.merge_cold().unwrap_or_else(|e| panic!("wave-store: compaction read failed: {e}"));
         for seg in self.cold.drain(..) {
@@ -328,6 +344,7 @@ impl TieredVisits {
         self.max_spilled = self.max_spilled.max(self.spilled);
         self.cold.push(seg);
         self.compactions += 1;
+        self.compact_ns += t0.elapsed().as_nanos() as u64;
     }
 
     fn merge_cold(&self) -> io::Result<Vec<(u64, u8)>> {
@@ -485,6 +502,8 @@ impl TieredVisits {
             spill_pairs: nums[5],
             spill_segments: nums[6],
             compactions: nums[7],
+            spill_ns: 0,
+            compact_ns: 0,
             bloom_skips: Cell::new(nums[8]),
             cold_probes: Cell::new(nums[9]),
             config,

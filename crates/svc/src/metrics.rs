@@ -39,6 +39,13 @@ pub struct SvcMetrics {
     pub spill_segments_total: Arc<Counter>,
     /// Cold-tier merge compactions run by the tiered store.
     pub spill_compactions_total: Arc<Counter>,
+    /// High-water mark of visited pairs resident in memory across all
+    /// completed work units (gauge; only ever ratchets up via
+    /// [`Gauge::set_max`]).
+    pub store_max_resident: Arc<Gauge>,
+    /// High-water mark of visited pairs spilled to disk across all
+    /// completed work units (gauge; ratchets up like `store_max_resident`).
+    pub store_max_spilled: Arc<Gauge>,
     /// Rule/target evaluations answered from the delta-driven query memo.
     pub memo_hits_total: Arc<Counter>,
     /// Memoized rule/target evaluations that executed their plan.
@@ -87,6 +94,14 @@ impl SvcMetrics {
             ),
             spill_compactions_total: registry
                 .counter("wave_spill_compactions_total", "Cold-tier merge compactions run"),
+            store_max_resident: registry.gauge(
+                "wave_store_max_resident",
+                "High-water mark of visited pairs resident in memory",
+            ),
+            store_max_spilled: registry.gauge(
+                "wave_store_max_spilled",
+                "High-water mark of visited pairs spilled to disk",
+            ),
             memo_hits_total: registry.counter(
                 "wave_memo_hits_total",
                 "Rule evaluations answered from the delta-driven query memo",
@@ -159,6 +174,8 @@ mod tests {
             "wave_spill_pairs_total",
             "wave_spill_segments_total",
             "wave_spill_compactions_total",
+            "wave_store_max_resident",
+            "wave_store_max_spilled",
             "wave_memo_hits_total",
             "wave_memo_misses_total",
             "wave_join_builds_total",

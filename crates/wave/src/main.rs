@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("prof") => cmd_prof(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
@@ -69,7 +70,10 @@ usage:
              [--max-connections <n>] [--read-timeout <seconds>]
              [--metrics-addr <host:port>]
   wave trace summarize <trace.jsonl> [--top <k>]
-  wave bench --record | --check [--out <file>] [--query-out <file>]
+  wave prof flame <profile.json>
+  wave bench --record | --check | --trend | --backfill
+             [--out <file>] [--query-out <file>] [--ledger <file>]
+             [--max-regress <pct>]
 
 check options:
   --max-steps <n>         global configuration budget (shared across workers)
@@ -96,6 +100,11 @@ check options:
   --json                  print one JSON result record (batch format)
   --trace-out <file>      stream a JSONL search trace (sequential only;
                           summarize it with `wave trace summarize`)
+  --profile-out <file>    run the hierarchical span profiler and write a
+                          profile JSON (span tree, folded stacks, per-query
+                          cost attribution); prints the top-10 attribution
+                          table; sequential only. Render a flamegraph with
+                          `wave prof flame <file> | flamegraph.pl`
   --no-replay             skip counterexample re-validation
   --quiet                 print the verdict only
 
@@ -121,8 +130,14 @@ bench: --record runs the E1–E4 property suites twice — on the tiered
 store at a generous and a forced-spill memory budget (BENCH_store.json,
 --out overrides) and with the query engine on/off (BENCH_query.json,
 --query-out overrides) — writing deterministic columns plus
-informational per-phase wall-time and memo/intern hit-rate columns;
---check re-runs them and fails if a committed file has drifted
+informational per-phase wall-time and memo/intern hit-rate columns,
+and appends one run-ledger entry per bench (LEDGER.jsonl, --ledger
+overrides) keyed by git revision and suite fingerprint; --check
+re-runs them, fails if a committed file has drifted, and fails if the
+measured suite wall time regressed more than --max-regress percent
+(default 200) against the last ledger entry; --trend renders the
+per-property elapsed-time history across ledger entries; --backfill
+seeds the ledger from the committed bench files without re-running
 
 batch: one JSON job per input line, one JSON record per property on
 stdout; e.g. {\"suite\":\"E1\"}, {\"suite\":\"E1\",\"property\":\"P5\"}, or
@@ -273,6 +288,7 @@ fn cmd_check(rest: &[String]) -> ExitCode {
     let quiet = take_flag(&mut args, "--quiet");
     let json_out = take_flag(&mut args, "--json");
     let trace_out = take_value(&mut args, "--trace-out");
+    let profile_out = take_value(&mut args, "--profile-out");
     let jobs = match take_value(&mut args, "--jobs") {
         Some(n) => match n.parse::<usize>() {
             Ok(n) if n >= 1 => Some(n),
@@ -289,6 +305,14 @@ fn cmd_check(rest: &[String]) -> ExitCode {
     }
     if checkpoint_dir.is_some() && (jobs.is_some() || trace_out.is_some()) {
         eprintln!("--checkpoint-dir drives the sequential search; it does not combine with --jobs or --trace-out");
+        return ExitCode::from(2);
+    }
+    if profile_out.is_some() && (jobs.is_some() || trace_out.is_some() || checkpoint_dir.is_some())
+    {
+        eprintln!(
+            "--profile-out profiles the sequential search; it does not combine \
+             with --jobs, --trace-out, or --checkpoint-dir"
+        );
         return ExitCode::from(2);
     }
     let [path] = args.as_slice() else {
@@ -334,6 +358,7 @@ fn cmd_check(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let mut profiler = wave::core::SpanProfiler::new();
     let run = match (&checkpoint_dir, &trace_out, jobs) {
         (Some(dir), _, _) => {
             let config = wave::core::CheckpointConfig::new(dir, checkpoint_every);
@@ -350,6 +375,9 @@ fn cmd_check(rest: &[String]) -> ExitCode {
             wave_svc::check_parallel(&verifier, &property, &wave_svc::ParallelOptions::with_jobs(n))
                 .map_err(|e| e.to_string())
         }
+        (None, None, None) if profile_out.is_some() => {
+            verifier.check_profiled(&property, &mut profiler).map_err(|e| e.to_string())
+        }
         (None, None, None) => verifier.check(&property).map_err(|e| e.to_string()),
     };
     let v = match run {
@@ -359,6 +387,17 @@ fn cmd_check(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(out) = &profile_out {
+        let report = profile_report(verifier.spec(), &v, &profiler);
+        if let Err(e) = std::fs::write(out, format!("{report}\n")) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+        if !json_out && !quiet {
+            print_attribution_table(verifier.spec(), &v, &profiler, 10);
+            eprintln!("profile: wrote {out}");
+        }
+    }
     if json_out {
         // the same record format batch and serve emit
         if let Verdict::Violated(ce) = &v.verdict {
@@ -442,6 +481,148 @@ fn print_spill_breakdown(stats: &wave::Stats) {
             stats.max_spilled,
             stats.profile.spill_segments,
             stats.profile.spill_compactions,
+        );
+    }
+}
+
+/// Static label and plan shape for every query id of a compiled spec:
+/// `page/kind head` (rules) or `page/target page` (targets) plus the
+/// compiled plan's operator skeleton (`interp` for interpreted rules).
+fn query_catalog(spec: &wave::spec::CompiledSpec) -> Vec<(String, String)> {
+    let mut out = vec![(String::new(), String::new()); spec.num_queries as usize];
+    for page in &spec.pages {
+        let rules = [
+            ("option", &page.option_rules),
+            ("state", &page.state_rules),
+            ("action", &page.action_rules),
+        ];
+        for (kind, rules) in rules {
+            for r in rules {
+                let shape = match &r.exec {
+                    wave::spec::RuleExec::Plan(q) => q.plan().shape(),
+                    wave::spec::RuleExec::Interp => "interp".to_string(),
+                };
+                let label = format!("{}/{kind} {}", page.name, spec.schema.name(r.head));
+                out[r.reads.qid as usize] = (label, shape);
+            }
+        }
+        for t in &page.target_rules {
+            let shape = match &t.exec {
+                wave::spec::TargetExec::Plan(q) => q.plan().shape(),
+                wave::spec::TargetExec::Interp => "interp".to_string(),
+            };
+            let label = format!("{}/target {}", page.name, spec.pages[t.target.index()].name);
+            out[t.reads.qid as usize] = (label, shape);
+        }
+    }
+    out
+}
+
+/// The `--profile-out` report: phase timers, the span tree, folded
+/// stacks for flamegraph rendering, and the per-query attribution table.
+fn profile_report(
+    spec: &wave::spec::CompiledSpec,
+    v: &wave::Verification,
+    profiler: &wave::core::SpanProfiler,
+) -> wave_svc::Json {
+    use wave_svc::Json;
+    let catalog = query_catalog(spec);
+    let p = &v.stats.profile;
+    let spans = profiler
+        .rows()
+        .into_iter()
+        .map(|r| {
+            Json::obj([
+                ("stack", Json::from(r.stack)),
+                ("calls", Json::from(r.calls)),
+                ("total_ns", Json::from(r.total_ns)),
+                ("self_ns", Json::from(r.self_ns)),
+            ])
+        })
+        .collect();
+    let folded = profiler.fold().into_iter().map(Json::from).collect();
+    let queries = v
+        .stats
+        .queries
+        .iter()
+        .map(|q| {
+            let (label, shape) = catalog
+                .get(q.qid as usize)
+                .cloned()
+                .unwrap_or_else(|| ("?".to_string(), "?".to_string()));
+            Json::obj([
+                ("qid", Json::from(u64::from(q.qid))),
+                ("label", Json::from(label)),
+                ("shape", Json::from(shape)),
+                ("calls", Json::from(q.calls)),
+                ("memo_hits", Json::from(q.memo_hits)),
+                ("memo_misses", Json::from(q.memo_misses)),
+                ("hit_rate", q.hit_rate().map(Json::from).unwrap_or(Json::Null)),
+                ("exec_ns", Json::from(q.exec_ns)),
+                ("rows", Json::from(q.rows)),
+                ("hash_builds", Json::from(q.hash_builds)),
+                ("rows_built", Json::from(q.rows_built)),
+                ("rows_probed", Json::from(q.rows_probed)),
+                ("wall_ns", Json::from(profiler.total_ns_of("query", u64::from(q.qid)))),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::from(1u64)),
+        (
+            "phases",
+            Json::obj([
+                ("expand_ns", Json::from(p.expand_ns)),
+                ("eval_ns", Json::from(p.eval_ns)),
+                ("intern_ns", Json::from(p.intern_ns)),
+                ("visit_ns", Json::from(p.visit_ns)),
+            ]),
+        ),
+        ("spans", Json::Arr(spans)),
+        ("folded", Json::Arr(folded)),
+        ("queries", Json::Arr(queries)),
+    ])
+}
+
+/// Print the top-`k` per-query cost attribution rows, hottest first.
+fn print_attribution_table(
+    spec: &wave::spec::CompiledSpec,
+    v: &wave::Verification,
+    profiler: &wave::core::SpanProfiler,
+    k: usize,
+) {
+    if v.stats.queries.is_empty() {
+        println!("profile: no query executions recorded");
+        return;
+    }
+    let catalog = query_catalog(spec);
+    let mut rows: Vec<_> = v.stats.queries.iter().collect();
+    rows.sort_by(|a, b| b.exec_ns.cmp(&a.exec_ns).then(a.qid.cmp(&b.qid)));
+    println!(
+        "per-query cost attribution (top {} of {} by exec time):",
+        k.min(rows.len()),
+        rows.len()
+    );
+    println!(
+        "  {:>4} {:>9} {:>8} {:>9} {:>9} {:>9}  {:<28} plan",
+        "qid", "calls", "hit%", "rows", "exec_ms", "wall_ms", "label"
+    );
+    for q in rows.iter().take(k) {
+        let (label, shape) = catalog
+            .get(q.qid as usize)
+            .cloned()
+            .unwrap_or_else(|| ("?".to_string(), "?".to_string()));
+        let hit = q.hit_rate().map(|r| format!("{:.1}", r * 100.0)).unwrap_or_else(|| "-".into());
+        println!(
+            "  {:>4} {:>9} {:>8} {:>9} {:>9.3} {:>9.3}  {:<28} {}",
+            q.qid,
+            q.calls,
+            hit,
+            q.rows,
+            q.exec_ns as f64 / 1e6,
+            profiler.total_ns_of("query", u64::from(q.qid)) as f64 / 1e6,
+            label,
+            shape,
         );
     }
 }
@@ -779,6 +960,53 @@ fn cmd_serve(rest: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_prof(rest: &[String]) -> ExitCode {
+    match rest.first().map(String::as_str) {
+        Some("flame") => cmd_prof_flame(&rest[1..]),
+        _ => {
+            eprintln!("usage: wave prof flame <profile.json>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Print the folded-stack lines of a `--profile-out` report, one per
+/// line — the input format of inferno / flamegraph.pl.
+fn cmd_prof_flame(rest: &[String]) -> ExitCode {
+    let [path] = rest else {
+        eprintln!("prof flame needs exactly one profile.json file, got {rest:?}");
+        return ExitCode::from(2);
+    };
+    let input = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let profile = match wave_svc::parse_json(&input) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(folded) = profile.get("folded").and_then(wave_svc::Json::as_array) else {
+        eprintln!("{path}: no \"folded\" array — not a wave profile");
+        return ExitCode::from(2);
+    };
+    for line in folded {
+        match line.as_str() {
+            Some(s) => println!("{s}"),
+            None => {
+                eprintln!("{path}: non-string folded entry");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_trace(rest: &[String]) -> ExitCode {
     match rest.first().map(String::as_str) {
         Some("summarize") => cmd_trace_summarize(&rest[1..]),
@@ -819,6 +1047,15 @@ fn cmd_trace_summarize(rest: &[String]) -> ExitCode {
     let mut depths: Vec<u64> = Vec::new(); // depth -> expand count
     let mut expansions: Vec<(u64, u64, u64, u64)> = Vec::new(); // (dur_ns, line, depth, succs)
     let mut total = 0u64;
+    // v2 roll-ups: memo traffic, hash-join builds, spill/compaction work
+    let mut memo = [0u64; 3]; // hits, misses, evictions
+    let mut join_builds = 0u64;
+    let mut spill = [0u64; 2]; // pairs, segments
+                               // spill events carry a compactions delta since v1; dedicated compact
+                               // events repeat it since v2 — count each stream separately and
+                               // prefer the dedicated one when present
+    let mut spill_compactions = 0u64;
+    let mut compact_events: Option<u64> = None;
     for (lineno, line) in input.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -831,10 +1068,13 @@ fn cmd_trace_summarize(rest: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        // v1 is a strict subset of v2 (v2 added the memo, join_build,
+        // and compact kinds), so any version up to ours decodes fine
         let version = event.get("v").and_then(wave_svc::Json::as_u64);
-        if version != Some(u64::from(wave::core::TRACE_SCHEMA_VERSION)) {
+        if !version.is_some_and(|v| (1..=u64::from(wave::core::TRACE_SCHEMA_VERSION)).contains(&v))
+        {
             eprintln!(
-                "{path}:{}: trace schema version {version:?}, this wave understands {}",
+                "{path}:{}: trace schema version {version:?}, this wave understands 1..={}",
                 lineno + 1,
                 wave::core::TRACE_SCHEMA_VERSION
             );
@@ -849,15 +1089,33 @@ fn cmd_trace_summarize(rest: &[String]) -> ExitCode {
             Some((_, n)) => *n += 1,
             None => counts.push((tag.to_string(), 1)),
         }
-        if tag == "expand" {
-            let depth = event.get("depth").and_then(wave_svc::Json::as_u64).unwrap_or(0);
-            let succs = event.get("succs").and_then(wave_svc::Json::as_u64).unwrap_or(0);
-            let dur = event.get("dur_ns").and_then(wave_svc::Json::as_u64).unwrap_or(0);
-            if depths.len() <= depth as usize {
-                depths.resize(depth as usize + 1, 0);
+        let field = |k: &str| event.get(k).and_then(wave_svc::Json::as_u64).unwrap_or(0);
+        match tag {
+            "expand" => {
+                let depth = field("depth");
+                let succs = field("succs");
+                let dur = field("dur_ns");
+                if depths.len() <= depth as usize {
+                    depths.resize(depth as usize + 1, 0);
+                }
+                depths[depth as usize] += 1;
+                expansions.push((dur, lineno as u64 + 1, depth, succs));
             }
-            depths[depth as usize] += 1;
-            expansions.push((dur, lineno as u64 + 1, depth, succs));
+            "memo" => {
+                memo[0] += field("hits");
+                memo[1] += field("misses");
+                memo[2] += field("evictions");
+            }
+            "join_build" => join_builds += field("builds"),
+            "spill" => {
+                spill[0] += field("pairs");
+                spill[1] += field("segments");
+                spill_compactions += field("compactions");
+            }
+            "compact" => {
+                *compact_events.get_or_insert(0) += field("compactions");
+            }
+            _ => {}
         }
     }
 
@@ -865,6 +1123,26 @@ fn cmd_trace_summarize(rest: &[String]) -> ExitCode {
     println!("event counts:");
     for (tag, n) in &counts {
         println!("  {tag:<12} {n}");
+    }
+    if memo[0] + memo[1] > 0 {
+        println!(
+            "memo: {} hits / {} misses ({:.1}% hit rate), {} evictions",
+            memo[0],
+            memo[1],
+            memo[0] as f64 / (memo[0] + memo[1]) as f64 * 100.0,
+            memo[2],
+        );
+    }
+    if join_builds > 0 {
+        println!("joins: {join_builds} hash tables built");
+    }
+    if spill[0] > 0 {
+        println!(
+            "spill: {} pairs in {} segments, {} compactions",
+            spill[0],
+            spill[1],
+            compact_events.unwrap_or(spill_compactions),
+        );
     }
     if !depths.is_empty() {
         let widest = *depths.iter().max().unwrap();
@@ -1102,23 +1380,349 @@ fn bench_drift(out: &str, rows: &[wave_svc::Json], keys: &[&str]) -> Result<usiz
     Ok(drift)
 }
 
-/// `wave bench --record | --check`: measure the tiered store and the
-/// query engine on the benchmark suites, and gate drift against the
-/// committed results.
+/// Default run ledger — append-only JSONL at the repo root, one entry
+/// per bench kind per `wave bench --record` run.
+const LEDGER_FILE: &str = "LEDGER.jsonl";
+
+/// Allowed suite wall-time regression (percent) before the ledger gate
+/// fails `wave bench --check`. Generous by default: CI machines are
+/// noisy, and the gate is a backstop against order-of-magnitude
+/// regressions, not a microbenchmark.
+const DEFAULT_MAX_REGRESS_PCT: f64 = 200.0;
+
+/// FNV-1a over `bytes`, continuing from `h`.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the benchmark workload: suite sources and property
+/// texts. Ledger entries with different fingerprints measured different
+/// work, so trend/gate comparisons across them would be meaningless.
+fn bench_fingerprint() -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for suite in &bench_suites() {
+        h = fnv1a(h, suite.name.as_bytes());
+        h = fnv1a(h, suite.source.as_bytes());
+        for case in &suite.properties {
+            h = fnv1a(h, case.name.as_bytes());
+            h = fnv1a(h, case.text.as_bytes());
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a
+/// repository.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One ledger entry: the bench kind, provenance keys, knobs, and the
+/// full measured row set.
+fn ledger_entry(
+    kind: &str,
+    rev: &str,
+    knobs: wave_svc::Json,
+    rows: &[wave_svc::Json],
+) -> wave_svc::Json {
+    use wave_svc::Json;
+    Json::obj([
+        ("v", Json::from(1u64)),
+        ("kind", Json::from(kind)),
+        ("rev", Json::from(rev)),
+        ("fingerprint", Json::from(bench_fingerprint())),
+        ("knobs", knobs),
+        ("rows", Json::Arr(rows.to_vec())),
+    ])
+}
+
+/// Parse every line of a ledger file. A missing file is an empty ledger.
+fn read_ledger(path: &str) -> Result<Vec<wave_svc::Json>, String> {
+    let input = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {path}: {e}")),
+    };
+    let mut entries = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = wave_svc::parse_json(line)
+            .map_err(|e| format!("{path}:{}: not a JSON entry: {e}", lineno + 1))?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+/// Append entries to the ledger (creating it when absent).
+fn append_ledger(path: &str, entries: &[wave_svc::Json]) -> Result<(), String> {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    for entry in entries {
+        writeln!(file, "{entry}").map_err(|e| format!("write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Stable identity of one bench row across ledger entries.
+fn ledger_row_key(row: &wave_svc::Json) -> String {
+    let suite = row.get("suite").and_then(wave_svc::Json::as_str).unwrap_or("?");
+    let prop = row.get("prop").and_then(wave_svc::Json::as_str).unwrap_or("?");
+    match row.get("mem_mb").and_then(wave_svc::Json::as_u64) {
+        Some(mb) => format!("{suite}/{prop} @{mb}MiB"),
+        None => format!(
+            "{suite}/{prop} joins={}",
+            row.get("joins").and_then(wave_svc::Json::as_str).unwrap_or("?")
+        ),
+    }
+}
+
+fn row_elapsed_ms(row: &wave_svc::Json) -> f64 {
+    row.get("elapsed_ms").and_then(wave_svc::Json::as_f64).unwrap_or(0.0)
+}
+
+/// Sum of `elapsed_ms` over an entry's rows (the gate's scalar).
+fn entry_elapsed_ms(entry: &wave_svc::Json) -> f64 {
+    entry
+        .get("rows")
+        .and_then(wave_svc::Json::as_array)
+        .map(|rows| rows.iter().map(row_elapsed_ms).sum())
+        .unwrap_or(0.0)
+}
+
+/// Unicode sparkline of a series, min–max normalized.
+fn sparkline(series: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (lo, hi) = series
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    series
+        .iter()
+        .map(|&v| {
+            if hi <= lo {
+                BARS[3]
+            } else {
+                let t = (v - lo) / (hi - lo);
+                BARS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// `wave bench --trend`: per-property elapsed-time history across the
+/// ledger entries of each bench kind.
+fn bench_trend(ledger: &str) -> ExitCode {
+    let entries = match read_ledger(ledger) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if entries.is_empty() {
+        eprintln!("{ledger}: empty ledger — run `wave bench --record` first");
+        return ExitCode::from(1);
+    }
+    for kind in ["store", "query"] {
+        let of_kind: Vec<&wave_svc::Json> = entries
+            .iter()
+            .filter(|e| e.get("kind").and_then(wave_svc::Json::as_str) == Some(kind))
+            .collect();
+        if of_kind.is_empty() {
+            continue;
+        }
+        let revs: Vec<&str> = of_kind
+            .iter()
+            .map(|e| e.get("rev").and_then(wave_svc::Json::as_str).unwrap_or("?"))
+            .collect();
+        println!("ledger trend — {kind} ({} entries: {})", of_kind.len(), revs.join(" → "));
+        // row identities from the newest entry; older entries may miss some
+        let Some(latest_rows) =
+            of_kind.last().and_then(|e| e.get("rows")).and_then(wave_svc::Json::as_array)
+        else {
+            continue;
+        };
+        for row in latest_rows {
+            let key = ledger_row_key(row);
+            let series: Vec<f64> = of_kind
+                .iter()
+                .filter_map(|e| {
+                    e.get("rows")
+                        .and_then(wave_svc::Json::as_array)?
+                        .iter()
+                        .find(|r| ledger_row_key(r) == key)
+                        .map(row_elapsed_ms)
+                })
+                .collect();
+            let (first, last) = match (series.first(), series.last()) {
+                (Some(&f), Some(&l)) => (f, l),
+                _ => continue,
+            };
+            let delta = if first > 0.0 {
+                format!("{:+.1}%", (last - first) / first * 100.0)
+            } else {
+                "n/a".to_string()
+            };
+            println!(
+                "  {key:<28} {first:>9.3} → {last:>9.3} ms  ({delta:>7})  {}",
+                sparkline(&series)
+            );
+        }
+        let totals: Vec<f64> = of_kind.iter().map(|e| entry_elapsed_ms(e)).collect();
+        let first = totals.first().copied().unwrap_or(0.0);
+        let last = totals.last().copied().unwrap_or(0.0);
+        println!(
+            "  {:<28} {first:>9.3} → {last:>9.3} ms  ({:>7})  {}",
+            "suite total",
+            if first > 0.0 {
+                format!("{:+.1}%", (last - first) / first * 100.0)
+            } else {
+                "n/a".to_string()
+            },
+            sparkline(&totals)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `wave bench --backfill`: seed the ledger from the committed bench
+/// files (no re-run; provenance is recorded as `pre-ledger`).
+fn bench_backfill(ledger: &str, out: &str, query_out: &str) -> ExitCode {
+    use wave_svc::Json;
+    let mut entries = Vec::new();
+    for (path, kind, knobs) in [
+        (
+            out,
+            "store",
+            Json::obj([(
+                "budgets_mb",
+                Json::Arr(BENCH_BUDGETS_MB.iter().map(|&mb| Json::from(mb)).collect()),
+            )]),
+        ),
+        (
+            query_out,
+            "query",
+            Json::obj([("modes", Json::Arr(vec![Json::from("opt"), Json::from("naive")]))]),
+        ),
+    ] {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e} (run `wave bench --record` first)");
+                return ExitCode::from(2);
+            }
+        };
+        let committed = match wave_svc::parse_json(&committed) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}: not valid JSON: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(rows) = committed.get("rows").and_then(wave_svc::Json::as_array) else {
+            eprintln!("{path}: no \"rows\" array");
+            return ExitCode::from(2);
+        };
+        entries.push(ledger_entry(kind, "pre-ledger", knobs, rows));
+    }
+    if let Err(e) = append_ledger(ledger, &entries) {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
+    eprintln!("bench: backfilled {} entries into {ledger}", entries.len());
+    ExitCode::SUCCESS
+}
+
+/// The ledger regression gate: compare a measured suite's total wall
+/// time against the most recent ledger entry of the same kind (and, when
+/// available, the same fingerprint).
+fn ledger_gate(
+    entries: &[wave_svc::Json],
+    kind: &str,
+    rows: &[wave_svc::Json],
+    max_regress_pct: f64,
+) -> Result<(), String> {
+    let fingerprint = bench_fingerprint();
+    let of_kind = |same_fp: bool| {
+        entries.iter().rev().find(|e| {
+            e.get("kind").and_then(wave_svc::Json::as_str) == Some(kind)
+                && (!same_fp
+                    || e.get("fingerprint").and_then(wave_svc::Json::as_str)
+                        == Some(fingerprint.as_str()))
+        })
+    };
+    let Some(prev) = of_kind(true).or_else(|| of_kind(false)) else {
+        eprintln!("bench: no {kind} ledger entry — regression gate skipped");
+        return Ok(());
+    };
+    let prev_ms = entry_elapsed_ms(prev);
+    let cur_ms: f64 = rows.iter().map(row_elapsed_ms).sum();
+    let rev = prev.get("rev").and_then(wave_svc::Json::as_str).unwrap_or("?");
+    if prev_ms > 0.0 && cur_ms > prev_ms * (1.0 + max_regress_pct / 100.0) {
+        return Err(format!(
+            "ledger gate: {kind} suite took {cur_ms:.1} ms, more than {max_regress_pct}% over \
+             the last recorded {prev_ms:.1} ms (rev {rev})"
+        ));
+    }
+    eprintln!(
+        "bench: ledger gate ok — {kind} suite {cur_ms:.1} ms vs {prev_ms:.1} ms recorded at {rev} \
+         (threshold +{max_regress_pct}%)"
+    );
+    Ok(())
+}
+
+/// `wave bench --record | --check | --trend | --backfill`: measure the
+/// tiered store and the query engine on the benchmark suites, gate
+/// drift against the committed results, and keep the run ledger.
 fn cmd_bench(rest: &[String]) -> ExitCode {
     let mut args = rest.to_vec();
     let record = take_flag(&mut args, "--record");
     let check = take_flag(&mut args, "--check");
+    let trend = take_flag(&mut args, "--trend");
+    let backfill = take_flag(&mut args, "--backfill");
     let out = take_value(&mut args, "--out").unwrap_or_else(|| BENCH_FILE.to_string());
     let query_out =
         take_value(&mut args, "--query-out").unwrap_or_else(|| BENCH_QUERY_FILE.to_string());
+    let ledger = take_value(&mut args, "--ledger").unwrap_or_else(|| LEDGER_FILE.to_string());
+    let max_regress = match take_value(&mut args, "--max-regress") {
+        Some(pct) => match pct.parse::<f64>() {
+            Ok(p) if p.is_finite() && p >= 0.0 => p,
+            _ => {
+                eprintln!("--max-regress needs a non-negative percentage, got {pct:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => DEFAULT_MAX_REGRESS_PCT,
+    };
     if !args.is_empty() {
         eprintln!("bench: unexpected arguments {args:?}");
         return ExitCode::from(2);
     }
-    if record == check {
-        eprintln!("bench needs exactly one of --record or --check");
+    if [record, check, trend, backfill].iter().filter(|&&f| f).count() != 1 {
+        eprintln!("bench needs exactly one of --record, --check, --trend, or --backfill");
         return ExitCode::from(2);
+    }
+    if trend {
+        return bench_trend(&ledger);
+    }
+    if backfill {
+        return bench_backfill(&ledger, &out, &query_out);
     }
     eprintln!(
         "bench: E1–E4 property suites on the tiered store at {:?} MiB hot-tier budgets",
@@ -1147,6 +1751,37 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
             }
             eprintln!("bench: wrote {} rows to {path}", rows.len());
         }
+        let rev = git_rev();
+        let entries = [
+            ledger_entry(
+                "store",
+                &rev,
+                wave_svc::Json::obj([(
+                    "budgets_mb",
+                    wave_svc::Json::Arr(
+                        BENCH_BUDGETS_MB.iter().map(|&mb| wave_svc::Json::from(mb)).collect(),
+                    ),
+                )]),
+                &store_rows,
+            ),
+            ledger_entry(
+                "query",
+                &rev,
+                wave_svc::Json::obj([(
+                    "modes",
+                    wave_svc::Json::Arr(vec![
+                        wave_svc::Json::from("opt"),
+                        wave_svc::Json::from("naive"),
+                    ]),
+                )]),
+                &query_rows,
+            ),
+        ];
+        if let Err(e) = append_ledger(&ledger, &entries) {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("bench: appended {} entries to {ledger} (rev {rev})", entries.len());
         return ExitCode::SUCCESS;
     }
     let mut drift = 0usize;
@@ -1163,8 +1798,25 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
             }
         }
     }
+    let ledger_entries = match read_ledger(&ledger) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut gate_failed = false;
+    for (kind, rows) in [("store", &store_rows), ("query", &query_rows)] {
+        if let Err(e) = ledger_gate(&ledger_entries, kind, rows, max_regress) {
+            eprintln!("{e}");
+            gate_failed = true;
+        }
+    }
     if drift > 0 {
         eprintln!("bench: {drift} drifted values — re-run `wave bench --record` and commit the bench files");
+        ExitCode::from(1)
+    } else if gate_failed {
+        eprintln!("bench: wall-time regression beyond --max-regress {max_regress}% — investigate or re-record the ledger");
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

@@ -304,7 +304,7 @@ fn trace_out_round_trips_through_summarize() {
     let text = std::fs::read_to_string(&trace).unwrap();
     assert!(!text.is_empty(), "trace file is empty");
     for line in text.lines() {
-        assert!(line.starts_with("{\"v\":1,\"ev\":\""), "{line}");
+        assert!(line.starts_with("{\"v\":2,\"ev\":\""), "{line}");
         assert!(line.ends_with('}'), "{line}");
     }
 

@@ -9,12 +9,16 @@
 //! 2. Tracing is observation-only: verdicts, counterexample lassos, and
 //!    the deterministic search counters are byte-identical with and
 //!    without a tracer attached, across all four benchmark suites.
+//! 3. Span profiling is observation-only too: `check_profiled` with a
+//!    live [`SpanProfiler`] reaches the same deterministic outcome as a
+//!    plain `check`, including under the tiered out-of-core store and
+//!    (behind `WAVE_TEST_PROFILE=1`) on a memo-heavy search.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 use wave::apps::{e1, e2, e3, e4, AppSuite};
-use wave::core::JsonlTracer;
+use wave::core::{JsonlTracer, SpanProfiler, StateStoreKind, TierParams, VerifyOptions};
 use wave::{parse_property, Verdict, Verifier};
 use wave_svc::{parse_json, Json, Server, ServerConfig};
 
@@ -133,9 +137,66 @@ fn assert_tracing_is_observation_only(suite: &AppSuite, names: &[&str]) {
     }
 }
 
+/// Like [`assert_tracing_is_observation_only`], but for the monomorphized
+/// span profiler: `check_profiled` with a live [`SpanProfiler`] must
+/// reproduce the plain check's verdict and deterministic counters.
+fn assert_profiling_is_observation_only(suite: &AppSuite, names: &[&str], options: VerifyOptions) {
+    let verifier = Verifier::with_options(suite.spec.clone(), options).expect("spec compiles");
+    for case in suite.properties.iter().filter(|c| names.contains(&c.name)) {
+        let property = parse_property(&case.text).unwrap();
+        let plain = verifier.check(&property).expect("unprofiled check runs");
+        let mut profiler = SpanProfiler::new();
+        let profiled =
+            verifier.check_profiled(&property, &mut profiler).expect("profiled check runs");
+        assert_eq!(
+            outcome(&plain),
+            outcome(&profiled),
+            "{}/{}: profiling changed the search",
+            suite.name,
+            case.name
+        );
+        assert!(
+            profiler.rows().iter().any(|r| r.label == "expand"),
+            "{}/{}: the profiler saw no expand spans",
+            suite.name,
+            case.name
+        );
+        assert_eq!(profiler.open_depth(), 0, "span frames must balance");
+    }
+}
+
 #[test]
 fn tracing_is_observation_only_e1() {
     assert_tracing_is_observation_only(&e1::suite(), &["P1", "P2", "P13", "P17"]);
+}
+
+#[test]
+fn profiling_is_observation_only_e1() {
+    assert_profiling_is_observation_only(&e1::suite(), &["P1", "P17"], VerifyOptions::default());
+}
+
+#[test]
+fn profiling_is_observation_only_under_the_tiered_store() {
+    // a pathologically small memory budget forces every core to spill,
+    // exercising the spill/compact leaf spans alongside the search spans
+    let options = VerifyOptions {
+        state_store: StateStoreKind::Tiered(TierParams { mem_bytes: 1, spill_dir: None }),
+        ..VerifyOptions::default()
+    };
+    assert_profiling_is_observation_only(&e1::suite(), &["P1", "P2"], options);
+}
+
+/// Memo-heavy equivalence: E1/P5 drives far more rule evaluations (and
+/// therefore memo traffic) than the quick properties above. It costs
+/// tens of seconds in a debug build, so the CI profiling leg opts in
+/// with `WAVE_TEST_PROFILE=1`.
+#[test]
+fn profiling_is_observation_only_memo_heavy() {
+    if std::env::var("WAVE_TEST_PROFILE").map(|v| v != "1").unwrap_or(true) {
+        eprintln!("skipping memo-heavy profiled run (set WAVE_TEST_PROFILE=1)");
+        return;
+    }
+    assert_profiling_is_observation_only(&e1::suite(), &["P5"], VerifyOptions::default());
 }
 
 #[test]

@@ -1,4 +1,4 @@
-//! Golden-file pin of the JSONL trace schema (version 1).
+//! Golden-file pin of the JSONL trace schema (version 2).
 //!
 //! DESIGN.md's compatibility rule: within a schema version, fields may
 //! only be *appended* to an event; renaming, reordering, or removing a
@@ -9,9 +9,13 @@
 //! `tests/golden/trace_schema.golden`. If this test fails you have
 //! changed the wire format: either restore it, or bump the version and
 //! regenerate the golden file deliberately.
+//!
+//! Version 2 appended the `memo`, `join_build`, and `compact` event
+//! kinds; every v1 event shape is unchanged, so v1 traces remain a
+//! strict subset of v2 (pinned by `v1_traces_still_summarize`).
 
 use wave::apps::e1;
-use wave::core::{JsonlTracer, TRACE_SCHEMA_VERSION};
+use wave::core::{JsonlTracer, SearchTracer, TraceEvent, TRACE_SCHEMA_VERSION};
 use wave::{parse_property, Verifier, VerifyOptions};
 use wave_svc::{parse_json, Json};
 
@@ -49,11 +53,12 @@ fn trace_of(verifier: &Verifier, property: &str) -> String {
 
 #[test]
 fn trace_schema_matches_the_golden_file() {
-    assert_eq!(TRACE_SCHEMA_VERSION, 1, "version bump: regenerate the golden file");
+    assert_eq!(TRACE_SCHEMA_VERSION, 2, "version bump: regenerate the golden file");
     let suite = e1::suite();
     let verifier = Verifier::new(suite.spec.clone()).unwrap();
-    // three small runs that together emit every event type: a holding
-    // property, a violated one (cycle), and a budget-exhausted one
+    // three small runs that together emit every run-derived event type:
+    // a holding property, a violated one (cycle), and a budget-exhausted
+    // one
     let mut lines = String::new();
     lines.push_str(&trace_of(&verifier, &suite.properties[0].text)); // P1, holds
     let p17 = suite.properties.iter().find(|c| c.name == "P17").unwrap();
@@ -64,6 +69,16 @@ fn trace_schema_matches_the_golden_file() {
     )
     .unwrap();
     lines.push_str(&trace_of(&tight, &suite.properties[0].text)); // budget event
+
+    // the store-dependent kinds (spill, compact) only fire on forced
+    // out-of-core runs, so pin their wire shape directly
+    let mut synth = JsonlTracer::new(Vec::new());
+    synth.event(TraceEvent::Spill { unit: 0, core: 0, pairs: 1, segments: 1, compactions: 0 });
+    synth.event(TraceEvent::Compact { unit: 0, core: 0, compactions: 1, segments: 1 });
+    synth.event(TraceEvent::Memo { unit: 0, core: 0, hits: 1, misses: 1, evictions: 0 });
+    synth.event(TraceEvent::JoinBuild { unit: 0, core: 0, builds: 1 });
+    assert!(synth.take_error().is_none());
+    lines.push_str(&String::from_utf8(synth.into_inner()).unwrap());
 
     let mut skeletons: Vec<String> = Vec::new();
     for line in lines.lines().filter(|l| !l.trim().is_empty()) {
@@ -81,4 +96,31 @@ fn trace_schema_matches_the_golden_file() {
          version; otherwise bump TRACE_SCHEMA_VERSION and regenerate \
          tests/golden/trace_schema.golden"
     );
+}
+
+/// A v2 reader must keep decoding v1 traces: the version bump appended
+/// event kinds, it did not change any existing shape. These lines are
+/// verbatim from a pre-v2 `--trace-out` run.
+#[test]
+fn v1_traces_still_summarize() {
+    let v1 = "\
+{\"v\":1,\"ev\":\"core\",\"unit\":0,\"core\":0,\"t_ns\":100}\n\
+{\"v\":1,\"ev\":\"expand\",\"depth\":0,\"succs\":3,\"dur_ns\":1500,\"t_ns\":200}\n\
+{\"v\":1,\"ev\":\"intern\",\"hit\":true,\"t_ns\":300}\n\
+{\"v\":1,\"ev\":\"phase\",\"candy\":false,\"depth\":1,\"t_ns\":400}\n\
+{\"v\":1,\"ev\":\"spill\",\"unit\":0,\"core\":0,\"pairs\":12,\"segments\":1,\"compactions\":0,\"t_ns\":500}\n";
+    let dir = std::env::temp_dir().join(format!("wave_v1_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("v1.jsonl");
+    std::fs::write(&path, v1).unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_wave"))
+        .args(["trace", "summarize"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "summarize rejected a v1 trace: {stdout}");
+    assert!(stdout.contains("5 events"), "{stdout}");
+    assert!(stdout.contains("spill: 12 pairs in 1 segments, 0 compactions"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
 }
