@@ -31,7 +31,7 @@ fn bench_parallel(c: &mut Criterion) {
             })
         });
         for jobs in [2, 4] {
-            let popts = ParallelOptions { jobs, split_units: true, metrics: None };
+            let popts = ParallelOptions { jobs, split_units: true, ..Default::default() };
             group.bench_function(format!("{name}/jobs={jobs}"), |b| {
                 b.iter(|| {
                     let v = check_parallel(&verifier, &prop, &popts).expect("verifies");

@@ -209,6 +209,10 @@ pub enum VerifyError {
     /// Checkpoint I/O failed or an adopted checkpoint turned out to be
     /// internally inconsistent (see [`crate::checkpoint`]).
     Checkpoint(String),
+    /// A worker running the unit panicked. The schedulers catch the
+    /// unwind and record it as a failed outcome so one poisoned unit
+    /// cannot take the orchestrator (or its sibling checks) down.
+    Panic(String),
 }
 
 impl std::fmt::Display for VerifyError {
@@ -222,6 +226,7 @@ impl std::fmt::Display for VerifyError {
             VerifyError::Overflow(e) => write!(f, "{e}"),
             VerifyError::Succ(e) => write!(f, "{e}"),
             VerifyError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            VerifyError::Panic(e) => write!(f, "worker panicked: {e}"),
         }
     }
 }

@@ -203,29 +203,7 @@ impl CachedResult {
         }
         pairs.push(("complete", Json::from(self.complete)));
         pairs.push(("elapsed_ns", u64_to_json(self.elapsed.as_nanos() as u64)));
-        let p = &self.profile;
-        pairs.push((
-            "profile",
-            Json::obj([
-                ("canon_ns", Json::from(p.canon_ns)),
-                ("intern_ns", Json::from(p.intern_ns)),
-                ("expand_ns", Json::from(p.expand_ns)),
-                ("eval_ns", Json::from(p.eval_ns)),
-                ("visit_ns", Json::from(p.visit_ns)),
-                ("intern_hits", Json::from(p.intern_hits)),
-                ("intern_misses", Json::from(p.intern_misses)),
-                ("steps_leased", Json::from(p.steps_leased)),
-                ("steps_refunded", Json::from(p.steps_refunded)),
-                ("spill_pairs", Json::from(p.spill_pairs)),
-                ("spill_segments", Json::from(p.spill_segments)),
-                ("spill_compactions", Json::from(p.spill_compactions)),
-                ("bloom_skips", Json::from(p.bloom_skips)),
-                ("cold_probes", Json::from(p.cold_probes)),
-                ("memo_hits", Json::from(p.memo_hits)),
-                ("memo_misses", Json::from(p.memo_misses)),
-                ("join_builds", Json::from(p.join_builds)),
-            ]),
-        ));
+        pairs.push(("profile", profile_to_json(&self.profile)));
         Json::obj(pairs)
     }
 
@@ -251,34 +229,7 @@ impl CachedResult {
         };
         // entries written before profiles were persisted have no
         // "profile" object; they read back with a zeroed profile
-        let profile = v
-            .get("profile")
-            .map(|p| {
-                let ns = |field: &str| p.get(field).and_then(Json::as_u64).unwrap_or(0);
-                SearchProfile {
-                    canon_ns: ns("canon_ns"),
-                    intern_ns: ns("intern_ns"),
-                    expand_ns: ns("expand_ns"),
-                    eval_ns: ns("eval_ns"),
-                    visit_ns: ns("visit_ns"),
-                    intern_hits: ns("intern_hits"),
-                    intern_misses: ns("intern_misses"),
-                    steps_leased: ns("steps_leased"),
-                    steps_refunded: ns("steps_refunded"),
-                    // entries written before the tiered store have none
-                    // of these; they read back zero like the others
-                    spill_pairs: ns("spill_pairs"),
-                    spill_segments: ns("spill_segments"),
-                    spill_compactions: ns("spill_compactions"),
-                    bloom_skips: ns("bloom_skips"),
-                    cold_probes: ns("cold_probes"),
-                    // likewise for entries predating the query engine
-                    memo_hits: ns("memo_hits"),
-                    memo_misses: ns("memo_misses"),
-                    join_builds: ns("join_builds"),
-                }
-            })
-            .unwrap_or_default();
+        let profile = v.get("profile").map(profile_from_json).unwrap_or_default();
         let elapsed = match v.get("elapsed_ns").and_then(u64_from_json) {
             Some(ns) => Duration::from_nanos(ns),
             // legacy entries stored lossy fractional seconds
@@ -290,8 +241,8 @@ impl CachedResult {
 
 /// Serialize a `u64` exactly: a plain JSON number while `f64` represents
 /// it losslessly, a decimal string beyond 2^53 (the hand-rolled [`Json`]
-/// stores all numbers as `f64`).
-fn u64_to_json(n: u64) -> Json {
+/// stores all numbers as `f64`). Shared with the fleet wire codecs.
+pub(crate) fn u64_to_json(n: u64) -> Json {
     if n <= (1u64 << 53) {
         Json::from(n)
     } else {
@@ -299,8 +250,57 @@ fn u64_to_json(n: u64) -> Json {
     }
 }
 
-fn u64_from_json(v: &Json) -> Option<u64> {
+pub(crate) fn u64_from_json(v: &Json) -> Option<u64> {
     v.as_u64().or_else(|| v.as_str()?.parse().ok())
+}
+
+/// Encode a [`SearchProfile`] field-for-field (all counters fit f64 at
+/// realistic magnitudes; the fleet and the cache share this layout).
+pub(crate) fn profile_to_json(p: &SearchProfile) -> Json {
+    Json::obj([
+        ("canon_ns", Json::from(p.canon_ns)),
+        ("intern_ns", Json::from(p.intern_ns)),
+        ("expand_ns", Json::from(p.expand_ns)),
+        ("eval_ns", Json::from(p.eval_ns)),
+        ("visit_ns", Json::from(p.visit_ns)),
+        ("intern_hits", Json::from(p.intern_hits)),
+        ("intern_misses", Json::from(p.intern_misses)),
+        ("steps_leased", Json::from(p.steps_leased)),
+        ("steps_refunded", Json::from(p.steps_refunded)),
+        ("spill_pairs", Json::from(p.spill_pairs)),
+        ("spill_segments", Json::from(p.spill_segments)),
+        ("spill_compactions", Json::from(p.spill_compactions)),
+        ("bloom_skips", Json::from(p.bloom_skips)),
+        ("cold_probes", Json::from(p.cold_probes)),
+        ("memo_hits", Json::from(p.memo_hits)),
+        ("memo_misses", Json::from(p.memo_misses)),
+        ("join_builds", Json::from(p.join_builds)),
+    ])
+}
+
+/// Decode a profile object; absent fields read back zero, so entries
+/// written by older versions (pre-tiered-store, pre-query-engine) parse.
+pub(crate) fn profile_from_json(p: &Json) -> SearchProfile {
+    let ns = |field: &str| p.get(field).and_then(Json::as_u64).unwrap_or(0);
+    SearchProfile {
+        canon_ns: ns("canon_ns"),
+        intern_ns: ns("intern_ns"),
+        expand_ns: ns("expand_ns"),
+        eval_ns: ns("eval_ns"),
+        visit_ns: ns("visit_ns"),
+        intern_hits: ns("intern_hits"),
+        intern_misses: ns("intern_misses"),
+        steps_leased: ns("steps_leased"),
+        steps_refunded: ns("steps_refunded"),
+        spill_pairs: ns("spill_pairs"),
+        spill_segments: ns("spill_segments"),
+        spill_compactions: ns("spill_compactions"),
+        bloom_skips: ns("bloom_skips"),
+        cold_probes: ns("cold_probes"),
+        memo_hits: ns("memo_hits"),
+        memo_misses: ns("memo_misses"),
+        join_builds: ns("join_builds"),
+    }
 }
 
 /// Parse a stored budget: the structured object written by this version,
@@ -359,7 +359,7 @@ fn facts_from_json(v: &Json) -> Option<Facts> {
         .collect()
 }
 
-fn ce_to_json(ce: &CounterExample) -> Json {
+pub(crate) fn ce_to_json(ce: &CounterExample) -> Json {
     let params = Json::Arr(
         ce.assignment
             .iter()
@@ -388,7 +388,7 @@ fn ce_to_json(ce: &CounterExample) -> Json {
     Json::obj([("core", facts_to_json(&ce.core)), ("params", params), ("steps", steps)])
 }
 
-fn ce_from_json(v: &Json) -> Option<CounterExample> {
+pub(crate) fn ce_from_json(v: &Json) -> Option<CounterExample> {
     let core = facts_from_json(v.get("core")?)?;
     let assignment = v
         .get("params")?
@@ -464,13 +464,14 @@ impl MemCache {
     }
 }
 
-/// Hit/miss/eviction counters the cache feeds (see
+/// Hit/miss/eviction/persist-failure counters the cache feeds (see
 /// [`crate::metrics::SvcMetrics`]).
 #[derive(Clone)]
 pub struct CacheMetrics {
     pub hits: Arc<Counter>,
     pub misses: Arc<Counter>,
     pub evictions: Arc<Counter>,
+    pub persist_errors: Arc<Counter>,
 }
 
 /// In-memory LRU result cache with an optional on-disk mirror (one
@@ -543,18 +544,40 @@ impl ResultCache {
         }
     }
 
-    /// Insert into memory and (best-effort) onto disk.
+    /// Insert into memory and onto disk. The disk write is crash-durable
+    /// and atomic: the tmp file is fsynced before the rename publishes
+    /// it, and the directory is fsynced after, so a power cut leaves
+    /// either the old entry or the new one — never a torn or vanished
+    /// file. A persist failure keeps the entry memory-only and is
+    /// counted in [`CacheMetrics::persist_errors`].
     pub fn put(&self, key: &str, result: &CachedResult) {
         self.insert_mem(key, result.clone());
         if let Some(dir) = &self.dir {
-            let path = dir.join(format!("{key}.json"));
-            let tmp = dir.join(format!("{key}.json.tmp"));
-            let body = format!("{}\n", result.to_json());
-            // atomic publish so concurrent readers never see a torn file
-            if std::fs::write(&tmp, body).is_ok() {
-                let _ = std::fs::rename(&tmp, &path);
+            if self.persist(dir, key, result).is_err() {
+                if let Some(m) = &self.metrics {
+                    m.persist_errors.inc();
+                }
             }
         }
+    }
+
+    fn persist(&self, dir: &Path, key: &str, result: &CachedResult) -> io::Result<()> {
+        use std::io::Write;
+        let path = dir.join(format!("{key}.json"));
+        let tmp = dir.join(format!("{key}.json.tmp"));
+        let body = format!("{}\n", result.to_json());
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(body.as_bytes())?;
+        // fsync-then-rename: the data must be on disk before the rename
+        // makes the entry visible, else a crash can publish an empty file
+        file.sync_all()?;
+        drop(file);
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        // fsync the directory so the rename itself survives a crash
+        std::fs::File::open(dir)?.sync_all()
     }
 
     pub fn len(&self) -> usize {
@@ -865,13 +888,40 @@ mod tests {
         assert!(parsed.profile.is_zero());
     }
 
-    #[test]
-    fn metrics_count_hits_misses_and_evictions() {
-        let metrics = CacheMetrics {
+    fn test_metrics() -> CacheMetrics {
+        CacheMetrics {
             hits: Arc::new(Counter::default()),
             misses: Arc::new(Counter::default()),
             evictions: Arc::new(Counter::default()),
-        };
+            persist_errors: Arc::new(Counter::default()),
+        }
+    }
+
+    #[test]
+    fn failed_persist_is_counted_and_entry_stays_memory_only() {
+        let dir = std::env::temp_dir().join(format!("wave-cache-perr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // a directory squatting on the tmp path makes File::create fail
+        // (EISDIR) regardless of privileges — chmod tricks don't work
+        // when the tests run as root
+        std::fs::create_dir_all(dir.join("kk.json.tmp")).unwrap();
+        let metrics = test_metrics();
+        let cache = ResultCache::bounded(8, Some(dir.clone())).with_metrics(metrics.clone());
+        cache.put("kk", &result(1));
+        assert_eq!(metrics.persist_errors.get(), 1, "failed persist is surfaced");
+        assert!(!dir.join("kk.json").exists(), "nothing was published");
+        assert_eq!(cache.get("kk"), Some(result(1)), "memory tier still serves it");
+        // an unobstructed key persists durably on the same cache
+        cache.put("ok", &result(2));
+        assert_eq!(metrics.persist_errors.get(), 1, "healthy persist not counted");
+        assert!(dir.join("ok.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_count_hits_misses_and_evictions() {
+        let metrics = test_metrics();
         let cache = ResultCache::bounded(1, None).with_metrics(metrics.clone());
         assert!(cache.get("a").is_none());
         cache.put("a", &result(1));

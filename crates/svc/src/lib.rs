@@ -13,6 +13,10 @@
 //!   a fingerprint of (canonical spec, property text, options).
 //! * [`batch`] — the `wave batch <jobs.jsonl>` front-end.
 //! * [`server`] — the `wave serve` line-JSON TCP front-end.
+//! * [`fleet`] — distributed verification: a dispatcher that leases
+//!   work units to remote `wave worker` processes with heartbeats,
+//!   lease timeouts, straggler re-dispatch, and a local fallback
+//!   executor, settling to verdicts byte-identical to `--jobs 1`.
 //! * [`json`] — the dependency-free JSON model they all share.
 //! * [`metrics`] — the service metrics bundle ([`SvcMetrics`]) backed by
 //!   a [`wave_obs::MetricsRegistry`], exposed over the socket
@@ -20,6 +24,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod fleet;
 pub mod json;
 pub mod metrics;
 pub mod scheduler;
@@ -29,6 +34,9 @@ pub mod service;
 pub use batch::{render_records, run_batch, summary};
 pub use cache::{
     fingerprint, CacheMetrics, CachedBudget, CachedResult, CachedVerdict, ResultCache,
+};
+pub use fleet::{
+    check_fleet, run_worker, CheckSource, FleetDispatcher, FleetOptions, WorkerConfig, WorkerReport,
 };
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::SvcMetrics;

@@ -56,6 +56,36 @@ pub struct SvcMetrics {
     pub connections_active: Arc<Gauge>,
     /// Request lines processed by the server.
     pub requests_total: Arc<Counter>,
+    /// Connection handlers that panicked (slot released by guard).
+    pub handler_panics_total: Arc<Counter>,
+    /// Connections dropped on a socket read/write timeout.
+    pub conn_timeouts_total: Arc<Counter>,
+    /// Disk-cache persist attempts that failed (tmp write, fsync, or
+    /// rename); the entry stays memory-only.
+    pub cache_persist_errors_total: Arc<Counter>,
+    /// Scheduler work units whose search panicked (recorded as failed
+    /// outcomes, re-run by the settlement pass when budgeted).
+    pub unit_panics_total: Arc<Counter>,
+    /// Fleet workers currently registered with the dispatcher.
+    pub fleet_workers_connected: Arc<Gauge>,
+    /// Fleet workers that ever registered.
+    pub fleet_workers_total: Arc<Counter>,
+    /// Work-unit leases sent to fleet workers (re-dispatches included).
+    pub fleet_units_dispatched_total: Arc<Counter>,
+    /// Work-unit outcomes accepted from fleet workers.
+    pub fleet_units_completed_total: Arc<Counter>,
+    /// Straggler units duplicated onto a second worker.
+    pub fleet_units_redispatched_total: Arc<Counter>,
+    /// Leases that exceeded the lease timeout.
+    pub fleet_lease_timeouts_total: Arc<Counter>,
+    /// Workers declared dead (heartbeat loss, EOF, or protocol error).
+    pub fleet_worker_deaths_total: Arc<Counter>,
+    /// Worker-reported unit errors (re-queued, never recorded).
+    pub fleet_worker_errors_total: Arc<Counter>,
+    /// Units the dispatcher ran locally (fallback executor).
+    pub fleet_local_units_total: Arc<Counter>,
+    /// Heartbeat lines received from fleet workers.
+    pub fleet_heartbeats_total: Arc<Counter>,
 }
 
 impl std::fmt::Debug for SvcMetrics {
@@ -118,6 +148,52 @@ impl SvcMetrics {
                 .gauge("wave_connections_active", "Open wave serve connections"),
             requests_total: registry
                 .counter("wave_requests_total", "Request lines processed by wave serve"),
+            handler_panics_total: registry
+                .counter("wave_handler_panics_total", "Connection handlers that panicked"),
+            conn_timeouts_total: registry.counter(
+                "wave_conn_timeouts_total",
+                "Connections dropped on a socket read/write timeout",
+            ),
+            cache_persist_errors_total: registry.counter(
+                "wave_cache_persist_errors_total",
+                "Disk-cache persist attempts that failed",
+            ),
+            unit_panics_total: registry
+                .counter("wave_unit_panics_total", "Scheduler work units whose search panicked"),
+            fleet_workers_connected: registry.gauge(
+                "wave_fleet_workers_connected",
+                "Fleet workers currently registered with the dispatcher",
+            ),
+            fleet_workers_total: registry
+                .counter("wave_fleet_workers_total", "Fleet workers that ever registered"),
+            fleet_units_dispatched_total: registry.counter(
+                "wave_fleet_units_dispatched_total",
+                "Work-unit leases sent to fleet workers (re-dispatches included)",
+            ),
+            fleet_units_completed_total: registry.counter(
+                "wave_fleet_units_completed_total",
+                "Work-unit outcomes accepted from fleet workers",
+            ),
+            fleet_units_redispatched_total: registry.counter(
+                "wave_fleet_units_redispatched_total",
+                "Straggler units duplicated onto a second worker",
+            ),
+            fleet_lease_timeouts_total: registry
+                .counter("wave_fleet_lease_timeouts_total", "Leases that exceeded the timeout"),
+            fleet_worker_deaths_total: registry.counter(
+                "wave_fleet_worker_deaths_total",
+                "Workers declared dead (heartbeat loss, EOF, or protocol error)",
+            ),
+            fleet_worker_errors_total: registry.counter(
+                "wave_fleet_worker_errors_total",
+                "Worker-reported unit errors (re-queued, never recorded)",
+            ),
+            fleet_local_units_total: registry.counter(
+                "wave_fleet_local_units_total",
+                "Units the dispatcher ran locally (fallback executor)",
+            ),
+            fleet_heartbeats_total: registry
+                .counter("wave_fleet_heartbeats_total", "Heartbeat lines received from workers"),
             registry,
         })
     }
@@ -181,6 +257,20 @@ mod tests {
             "wave_join_builds_total",
             "wave_connections_active",
             "wave_requests_total",
+            "wave_handler_panics_total",
+            "wave_conn_timeouts_total",
+            "wave_cache_persist_errors_total",
+            "wave_unit_panics_total",
+            "wave_fleet_workers_connected",
+            "wave_fleet_workers_total",
+            "wave_fleet_units_dispatched_total",
+            "wave_fleet_units_completed_total",
+            "wave_fleet_units_redispatched_total",
+            "wave_fleet_lease_timeouts_total",
+            "wave_fleet_worker_deaths_total",
+            "wave_fleet_worker_errors_total",
+            "wave_fleet_local_units_total",
+            "wave_fleet_heartbeats_total",
         ] {
             assert!(json.get(name).is_some(), "missing {name}");
         }
@@ -194,5 +284,7 @@ mod tests {
         assert!(text.contains("# TYPE wave_requests_total counter"), "{text}");
         assert!(text.contains("wave_requests_total 7"), "{text}");
         assert!(text.contains("# TYPE wave_unit_latency_ns histogram"), "{text}");
+        assert!(text.contains("# TYPE wave_fleet_workers_connected gauge"), "{text}");
+        assert!(text.contains("# TYPE wave_fleet_lease_timeouts_total counter"), "{text}");
     }
 }

@@ -33,10 +33,11 @@
 //!   item, so it is byte-identical to what the sequential scan produces
 //!   (a completed parallel search charged exactly `configs` steps, and
 //!   the exhaustion point of a lease is chunk-size independent);
-//! * anything else (an exhausted or cancel-starved item, an error, or a
-//!   result that overran the leftover) is re-run sequentially on the
-//!   spot under a fresh pool granting *exactly* the leftover — which
-//!   reproduces the sequential outcome for that item by construction.
+//! * anything else (an exhausted or cancel-starved item, an error, a
+//!   result that overran the leftover, or a unit whose worker died
+//!   before recording anything) is re-run sequentially on the spot under
+//!   a fresh pool granting *exactly* the leftover — which reproduces the
+//!   sequential outcome for that item by construction.
 //!
 //! Total settlement work is bounded by the budget itself (re-runs charge
 //! at most the leftover). Exhaustion reports carry the configured global
@@ -48,21 +49,39 @@
 //! trips first depends on real time, never the verdict between `Holds`
 //! and `Violated`.
 //!
+//! The settlement pass is shared with the distributed fleet dispatcher
+//! ([`crate::fleet`]): the fleet records remote `UnitOutcome`s into the
+//! same per-ordinal slots and reduces through [`settle_checks`], which is
+//! what makes the fleet verdict byte-identical to `--jobs 1` across a
+//! lossy transport — any unit a worker lost, starved, or overran is
+//! simply re-run under the exact sequential leftover.
+//!
 //! Stats counters (`configs`, `cores`, `assignments`, maxima) are
 //! deterministic too: the reducer merges exactly the ordinals the
 //! sequential scan would have run (everything up to and including the
 //! decisive one), never timing-dependent sibling work. Interner
 //! hit/miss profile counters do vary with the split factor (each item
 //! gets its own store arena), as do the lease accounting counters.
+//!
+//! # Fault tolerance
+//!
+//! A panic inside a unit search is caught at the worker and recorded as
+//! a failed outcome ([`VerifyError::Panic`]) instead of unwinding
+//! through the pool: sibling checks still settle, and on budgeted runs
+//! the settlement pass re-runs the panicked unit (a transient panic
+//! heals; a deterministic one reproduces as the check's error). All
+//! shared-state locks are poison-tolerant — a worker that died mid-
+//! record can no longer cascade into orchestrator panics.
 
 use crate::metrics::SvcMetrics;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use wave_core::{
-    Budget, CancelToken, PreparedCheck, SearchLimits, SearchResult, Stats, UnitOutcome, Verdict,
-    Verification, Verifier, VerifyError, VerifyOptions,
+    Budget, BudgetPool, CancelToken, PreparedCheck, SearchLimits, SearchResult, Stats, UnitOutcome,
+    Verdict, Verification, Verifier, VerifyError, VerifyOptions,
 };
 use wave_ltl::Property;
 
@@ -77,6 +96,10 @@ pub struct ParallelOptions {
     /// When set, the scheduler feeds its queue-depth gauge and per-unit
     /// latency histogram (see [`SvcMetrics`]).
     pub metrics: Option<Arc<SvcMetrics>>,
+    /// Fault-injection hook: panic inside the worker running the item at
+    /// `(check index, ordinal)`. Tests use it to pin the panic-hardening
+    /// behavior; production callers leave it `None`.
+    pub chaos_panic_unit: Option<(usize, usize)>,
 }
 
 impl ParallelOptions {
@@ -88,19 +111,21 @@ impl ParallelOptions {
 impl Default for ParallelOptions {
     fn default() -> ParallelOptions {
         let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        ParallelOptions { jobs, split_units: true, metrics: None }
+        ParallelOptions { jobs, split_units: true, metrics: None, chaos_panic_unit: None }
     }
 }
 
 /// One schedulable piece of work: a core range of one unit of one check.
-struct Item {
-    check: usize,
+/// Shared with the fleet dispatcher, which leases items to remote
+/// workers instead of local threads.
+pub(crate) struct Item {
+    pub(crate) check: usize,
     /// Position in the check's sequential scan order.
-    ordinal: usize,
-    unit: usize,
-    cores: Option<Range<u64>>,
+    pub(crate) ordinal: usize,
+    pub(crate) unit: usize,
+    pub(crate) cores: Option<Range<u64>>,
     /// Estimated cost: the number of database cores the item scans.
-    cost: u64,
+    pub(crate) cost: u64,
 }
 
 /// The order workers pick items in: cheapest first (by core-count
@@ -109,71 +134,34 @@ struct Item {
 /// property suite reports its easy verdicts early and the pool stays
 /// busy — while the *reduction* still happens in ordinal order, keeping
 /// verdicts identical to the sequential scan.
-fn execution_order(items: &[Item]) -> Vec<usize> {
+pub(crate) fn execution_order(items: &[Item]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..items.len()).collect();
     order.sort_by_key(|&i| (items[i].cost, items[i].check, items[i].ordinal));
     order
 }
 
-struct CheckState {
-    /// Per-ordinal outcome slots, filled as items complete.
-    outcomes: Vec<Option<Result<UnitOutcome, VerifyError>>>,
-    /// Lowest ordinal with a decisive (non-clean) outcome.
-    best: usize,
-    /// Items not yet recorded; when it reaches zero the check is done.
-    remaining: usize,
-    /// Wall-clock time (from scheduler start) at which the check finished.
-    done_at: Option<Duration>,
-}
-
-/// Check one property on a worker pool. Spawns the pool even for a
-/// single-unit check (the NDFS needs the big stack anyway).
-pub fn check_parallel(
-    verifier: &Verifier,
-    property: &Property,
-    popts: &ParallelOptions,
-) -> Result<Verification, VerifyError> {
-    let prepared = verifier.prepare(property)?;
-    run_prepared(verifier.options(), std::slice::from_ref(&prepared), popts)
-        .pop()
-        .expect("one check in, one verification out")
-}
-
-/// Run several prepared checks (typically a property suite over one spec)
-/// concurrently, returning one [`Verification`] per check, in order.
-pub fn run_prepared(
-    options: &VerifyOptions,
+/// Decompose prepared checks into schedulable items: one per unit, plus
+/// core-range splits when the plain unit count leaves `jobs` workers
+/// idle. Returns the items and, per check, the offset of its ordinal 0
+/// in the item vector (`items[item_offsets[ci] + ordinal]`).
+pub(crate) fn decompose(
     checks: &[PreparedCheck<'_>],
-    popts: &ParallelOptions,
-) -> Vec<Result<Verification, VerifyError>> {
-    let start = Instant::now();
-    let jobs = popts.jobs.max(1);
-    // One shared budget pool per check (`None` when unbudgeted): all of
-    // a check's items lease from it, so the step budget is global.
-    let pools: Vec<_> = checks.iter().map(|_| options.budget_pool(start)).collect();
-
-    // Decompose: one item per unit, plus core-range splits when the plain
-    // unit count leaves workers idle.
+    jobs: usize,
+    split_units: bool,
+) -> (Vec<Item>, Vec<usize>) {
     let total_units: usize = checks.iter().map(|c| c.num_units()).sum();
-    let split_into = if popts.split_units && total_units < 2 * jobs && total_units > 0 {
+    let split_into = if split_units && total_units < 2 * jobs && total_units > 0 {
         (2 * jobs).div_ceil(total_units)
     } else {
         1
     };
     let mut items = Vec::new();
-    let mut tokens: Vec<Vec<CancelToken>> = Vec::with_capacity(checks.len());
-    // items of check `ci` occupy `item_offsets[ci] + ordinal` in `items`
     let mut item_offsets: Vec<usize> = Vec::with_capacity(checks.len());
     for (ci, check) in checks.iter().enumerate() {
         item_offsets.push(items.len());
         let mut ordinal = 0;
-        let mut check_tokens = Vec::new();
         let mut push = |unit: usize, cores: Option<Range<u64>>, cost: u64, ordinal: &mut usize| {
             items.push(Item { check: ci, ordinal: *ordinal, unit, cores, cost });
-            check_tokens.push(match &options.cancel {
-                Some(parent) => parent.child(),
-                None => CancelToken::new(),
-            });
             *ordinal += 1;
         };
         for unit in 0..check.num_units() {
@@ -194,116 +182,53 @@ pub fn run_prepared(
                 }
             }
         }
-        tokens.push(check_tokens);
     }
-    let order = execution_order(&items);
-    let metrics = popts.metrics.as_deref();
-    if let Some(m) = metrics {
-        m.queue_depth.add(items.len() as i64);
+    (items, item_offsets)
+}
+
+/// Render a caught panic payload for [`VerifyError::Panic`].
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
+}
 
-    let states = Mutex::new(
-        checks
-            .iter()
-            .enumerate()
-            .map(|(ci, _)| {
-                let n = tokens[ci].len();
-                CheckState {
-                    outcomes: (0..n).map(|_| None).collect(),
-                    best: usize::MAX,
-                    remaining: n,
-                    done_at: if n == 0 { Some(start.elapsed()) } else { None },
-                }
-            })
-            .collect::<Vec<_>>(),
-    );
-    let cursor = AtomicUsize::new(0);
+/// Lock that recovers from a poisoned mutex: a worker that panicked
+/// while holding it left data the settlement pass can still repair
+/// (unfilled outcome slots are re-run), so propagating the poison would
+/// only turn one dead unit into a dead orchestrator.
+pub(crate) fn lock_tolerant<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
-    let record = |item: &Item, outcome: Result<UnitOutcome, VerifyError>| {
-        if let (Some(m), Ok(o)) = (metrics, &outcome) {
-            m.spill_pairs_total.add(o.stats.profile.spill_pairs);
-            m.spill_segments_total.add(o.stats.profile.spill_segments);
-            m.spill_compactions_total.add(o.stats.profile.spill_compactions);
-            m.memo_hits_total.add(o.stats.profile.memo_hits);
-            m.memo_misses_total.add(o.stats.profile.memo_misses);
-            m.join_builds_total.add(o.stats.profile.join_builds);
-            m.store_max_resident.set_max(o.stats.max_resident as i64);
-            m.store_max_spilled.set_max(o.stats.max_spilled as i64);
-        }
-        let mut states = states.lock().unwrap();
-        let state = &mut states[item.check];
-        let decisive = !matches!(&outcome, Ok(UnitOutcome { result: SearchResult::Clean, .. }));
-        state.outcomes[item.ordinal] = Some(outcome);
-        state.remaining -= 1;
-        if state.remaining == 0 {
-            state.done_at = Some(start.elapsed());
-        }
-        if decisive && item.ordinal < state.best {
-            state.best = item.ordinal;
-            // cancel exactly the items the sequential scan would not reach
-            for token in &tokens[item.check][item.ordinal + 1..] {
-                token.cancel();
-            }
-        }
-    };
+/// Per-check reduction input: the recorded outcome slots (one per
+/// ordinal; `None` when no worker ever recorded the item) and the
+/// wall-clock at which the check's last item completed.
+pub(crate) struct CheckSlots {
+    pub(crate) outcomes: Vec<Option<Result<UnitOutcome, VerifyError>>>,
+    pub(crate) done_at: Option<Duration>,
+}
 
-    let worker = || loop {
-        let i = cursor.fetch_add(1, Ordering::Relaxed);
-        let Some(&idx) = order.get(i) else { break };
-        let item = &items[idx];
-        // picked up by a worker: no longer queued
-        if let Some(m) = metrics {
-            m.queue_depth.dec();
-        }
-        let skip = {
-            let states = states.lock().unwrap();
-            states[item.check].best < item.ordinal
-        };
-        if skip {
-            // a lower ordinal already decided this check; charge nothing
-            let outcome = UnitOutcome {
-                result: SearchResult::Exhausted(Budget::Cancelled),
-                stats: Stats::default(),
-            };
-            record(item, Ok(outcome));
-            continue;
-        }
-        let limits = SearchLimits {
-            pool: pools[item.check].clone(),
-            cancel: Some(tokens[item.check][item.ordinal].clone()),
-        };
-        let t0 = Instant::now();
-        let outcome = checks[item.check].run_unit(item.unit, item.cores.clone(), &limits);
-        if let Some(m) = metrics {
-            m.unit_latency_ns.observe(t0.elapsed().as_nanos() as u64);
-        }
-        record(item, outcome);
-    };
-
-    std::thread::scope(|scope| {
-        let threads = jobs.min(items.len());
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("wave-worker-{t}"))
-                    // the nested DFS recurses once per pseudorun step
-                    .stack_size(512 << 20)
-                    .spawn_scoped(scope, worker)
-                    .expect("spawn worker thread"),
-            );
-        }
-        for h in handles {
-            h.join().expect("worker thread panicked");
-        }
-    });
-
-    // Reduce: settle each check in ordinal order — threading the exact
-    // sequential leftover budget through the ordinals, re-running any
-    // item whose recorded outcome the leftover cannot vouch for (see the
-    // module docs). Re-runs recurse like any search, so the settlement
-    // runs on a big-stack thread.
-    let states = states.into_inner().unwrap();
+/// The deterministic reduction: settle each check in ordinal order,
+/// threading the exact sequential leftover budget through the ordinals
+/// and re-running (on a big-stack thread, since re-runs recurse like any
+/// search) every item whose recorded outcome the leftover cannot vouch
+/// for — including items nobody recorded at all. Shared by the thread
+/// scheduler and the fleet dispatcher; see the module docs for the
+/// argument that the result is byte-identical to the sequential scan.
+pub(crate) fn settle_checks(
+    options: &VerifyOptions,
+    checks: &[PreparedCheck<'_>],
+    items: &[Item],
+    item_offsets: &[usize],
+    pools: &[Option<Arc<BudgetPool>>],
+    states: Vec<CheckSlots>,
+    start: Instant,
+) -> Vec<Result<Verification, VerifyError>> {
     let settle = move || {
         checks
             .iter()
@@ -317,30 +242,34 @@ pub fn run_prepared(
                 let mut stats = Stats::default();
                 let mut verdict = Verdict::Holds;
                 for (ordinal, slot) in state.outcomes.into_iter().enumerate() {
-                    let recorded = slot.expect("all items recorded");
                     // a completed search that fits the leftover is exactly
                     // what the sequential scan produces for this item;
                     // anything else must be replayed under the precise
                     // leftover allowance
-                    let accepted = match (&recorded, leftover) {
-                        (Ok(o), Some(left)) => {
+                    let accepted = match (&slot, leftover) {
+                        (Some(Ok(o)), Some(left)) => {
                             matches!(o.result, SearchResult::Clean | SearchResult::Violation(_))
                                 && o.stats.configs <= left
                         }
-                        (Ok(_), None) => true,
-                        (Err(_), _) => leftover.is_none(),
+                        (Some(Ok(_)), None) => true,
+                        (Some(Err(_)), _) => leftover.is_none(),
+                        (None, _) => false,
                     };
                     let outcome = if accepted {
-                        recorded
+                        slot.expect("accepted implies recorded")
                     } else {
                         reran = true;
                         let item = &items[item_offsets[ci] + ordinal];
-                        let pool = pools[ci].as_ref().expect("step budget implies a pool");
-                        let limits = SearchLimits {
-                            pool: Some(pool.for_rerun(leftover.unwrap_or(0))),
-                            cancel: options.cancel.clone(),
+                        let pool = match (&pools[ci], leftover) {
+                            (Some(p), Some(left)) => Some(p.for_rerun(left)),
+                            (Some(p), None) => Some(Arc::clone(p)),
+                            (None, _) => None,
                         };
-                        check.run_unit(item.unit, item.cores.clone(), &limits)
+                        let limits = SearchLimits { pool, cancel: options.cancel.clone() };
+                        catch_unwind(AssertUnwindSafe(|| {
+                            check.run_unit(item.unit, item.cores.clone(), &limits)
+                        }))
+                        .unwrap_or_else(|p| Err(VerifyError::Panic(panic_message(p))))
                     };
                     match outcome {
                         Ok(o) => {
@@ -384,6 +313,184 @@ pub fn run_prepared(
             .join()
             .expect("settle thread panicked")
     })
+}
+
+struct CheckState {
+    /// Per-ordinal outcome slots, filled as items complete.
+    outcomes: Vec<Option<Result<UnitOutcome, VerifyError>>>,
+    /// Lowest ordinal with a decisive (non-clean) outcome.
+    best: usize,
+    /// Items not yet recorded; when it reaches zero the check is done.
+    remaining: usize,
+    /// Wall-clock time (from scheduler start) at which the check finished.
+    done_at: Option<Duration>,
+}
+
+/// Check one property on a worker pool. Spawns the pool even for a
+/// single-unit check (the NDFS needs the big stack anyway).
+pub fn check_parallel(
+    verifier: &Verifier,
+    property: &Property,
+    popts: &ParallelOptions,
+) -> Result<Verification, VerifyError> {
+    let prepared = verifier.prepare(property)?;
+    run_prepared(verifier.options(), std::slice::from_ref(&prepared), popts)
+        .pop()
+        .expect("one check in, one verification out")
+}
+
+/// Run several prepared checks (typically a property suite over one spec)
+/// concurrently, returning one [`Verification`] per check, in order.
+pub fn run_prepared(
+    options: &VerifyOptions,
+    checks: &[PreparedCheck<'_>],
+    popts: &ParallelOptions,
+) -> Vec<Result<Verification, VerifyError>> {
+    let start = Instant::now();
+    let jobs = popts.jobs.max(1);
+    // One shared budget pool per check (`None` when unbudgeted): all of
+    // a check's items lease from it, so the step budget is global.
+    let pools: Vec<_> = checks.iter().map(|_| options.budget_pool(start)).collect();
+
+    let (items, item_offsets) = decompose(checks, jobs, popts.split_units);
+    // one cancel token per item, chained to the caller's
+    let tokens: Vec<CancelToken> = items
+        .iter()
+        .map(|_| match &options.cancel {
+            Some(parent) => parent.child(),
+            None => CancelToken::new(),
+        })
+        .collect();
+    let order = execution_order(&items);
+    let metrics = popts.metrics.as_deref();
+    if let Some(m) = metrics {
+        m.queue_depth.add(items.len() as i64);
+    }
+
+    let counts: Vec<usize> = {
+        let mut counts = vec![0usize; checks.len()];
+        for item in &items {
+            counts[item.check] += 1;
+        }
+        counts
+    };
+    let states = Mutex::new(
+        counts
+            .iter()
+            .map(|&n| CheckState {
+                outcomes: (0..n).map(|_| None).collect(),
+                best: usize::MAX,
+                remaining: n,
+                done_at: if n == 0 { Some(start.elapsed()) } else { None },
+            })
+            .collect::<Vec<_>>(),
+    );
+    let cursor = AtomicUsize::new(0);
+
+    let record = |item: &Item, outcome: Result<UnitOutcome, VerifyError>| {
+        if let (Some(m), Ok(o)) = (metrics, &outcome) {
+            m.spill_pairs_total.add(o.stats.profile.spill_pairs);
+            m.spill_segments_total.add(o.stats.profile.spill_segments);
+            m.spill_compactions_total.add(o.stats.profile.spill_compactions);
+            m.memo_hits_total.add(o.stats.profile.memo_hits);
+            m.memo_misses_total.add(o.stats.profile.memo_misses);
+            m.join_builds_total.add(o.stats.profile.join_builds);
+            m.store_max_resident.set_max(o.stats.max_resident as i64);
+            m.store_max_spilled.set_max(o.stats.max_spilled as i64);
+        }
+        let mut states = lock_tolerant(&states);
+        let state = &mut states[item.check];
+        let decisive = !matches!(&outcome, Ok(UnitOutcome { result: SearchResult::Clean, .. }));
+        state.outcomes[item.ordinal] = Some(outcome);
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            state.done_at = Some(start.elapsed());
+        }
+        if decisive && item.ordinal < state.best {
+            state.best = item.ordinal;
+            // cancel exactly the items the sequential scan would not
+            // reach: sibling items of this check with a higher ordinal
+            for (i, other) in items.iter().enumerate() {
+                if other.check == item.check && other.ordinal > item.ordinal {
+                    tokens[i].cancel();
+                }
+            }
+        }
+    };
+
+    let worker = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(&idx) = order.get(i) else { break };
+        let item = &items[idx];
+        // picked up by a worker: no longer queued
+        if let Some(m) = metrics {
+            m.queue_depth.dec();
+        }
+        let skip = {
+            let states = lock_tolerant(&states);
+            states[item.check].best < item.ordinal
+        };
+        if skip {
+            // a lower ordinal already decided this check; charge nothing
+            let outcome = UnitOutcome {
+                result: SearchResult::Exhausted(Budget::Cancelled),
+                stats: Stats::default(),
+            };
+            record(item, Ok(outcome));
+            continue;
+        }
+        let limits =
+            SearchLimits { pool: pools[item.check].clone(), cancel: Some(tokens[idx].clone()) };
+        let t0 = Instant::now();
+        // a panic inside the search (or the chaos hook) becomes a failed
+        // outcome, not a dead worker thread
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if popts.chaos_panic_unit == Some((item.check, item.ordinal)) {
+                panic!("chaos: injected panic in unit ({}, {})", item.check, item.ordinal);
+            }
+            checks[item.check].run_unit(item.unit, item.cores.clone(), &limits)
+        }))
+        .unwrap_or_else(|payload| {
+            if let Some(m) = metrics {
+                m.unit_panics_total.inc();
+            }
+            Err(VerifyError::Panic(panic_message(payload)))
+        });
+        if let Some(m) = metrics {
+            m.unit_latency_ns.observe(t0.elapsed().as_nanos() as u64);
+        }
+        record(item, outcome);
+    };
+
+    std::thread::scope(|scope| {
+        let threads = jobs.min(items.len());
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wave-worker-{t}"))
+                    // the nested DFS recurses once per pseudorun step
+                    .stack_size(512 << 20)
+                    .spawn_scoped(scope, worker)
+                    .expect("spawn worker thread"),
+            );
+        }
+        for h in handles {
+            // a panicked worker left unrecorded slots; the settlement
+            // pass re-runs them, so the join failure is not fatal
+            let _ = h.join();
+        }
+    });
+
+    // Reduce: settle each check in ordinal order (see module docs). The
+    // mutex may be poisoned if a worker died mid-record; the slots it
+    // did fill are still sound, and unfilled ones are re-run.
+    let states = states.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let states: Vec<CheckSlots> = states
+        .into_iter()
+        .map(|s| CheckSlots { outcomes: s.outcomes, done_at: s.done_at })
+        .collect();
+    settle_checks(options, checks, &items, &item_offsets, &pools, states, start)
 }
 
 #[cfg(test)]
@@ -535,6 +642,52 @@ mod tests {
             let seq = verifier.check(prop).unwrap();
             let par = result.unwrap();
             assert_eq!(format!("{:?}", seq.verdict), format!("{:?}", par.verdict), "{text}");
+        }
+    }
+
+    #[test]
+    fn unit_panic_becomes_a_failed_outcome_not_an_orchestrator_panic() {
+        // unbudgeted: the panicked unit's error surfaces as that check's
+        // result, while sibling checks still settle normally
+        let verifier = shop();
+        let texts = ["forall x: G (cart(x) -> F cart(x))", "G (@B -> X @A)"];
+        let props: Vec<_> = texts.iter().map(|t| parse_property(t).unwrap()).collect();
+        let checks: Vec<_> = props.iter().map(|p| verifier.prepare(p).unwrap()).collect();
+        let popts = ParallelOptions {
+            jobs: 2,
+            chaos_panic_unit: Some((0, 0)),
+            metrics: Some(crate::metrics::SvcMetrics::new()),
+            ..Default::default()
+        };
+        let results = run_prepared(verifier.options(), &checks, &popts);
+        let err = results[0].as_ref().expect_err("panicked check errors");
+        assert!(
+            matches!(err, VerifyError::Panic(msg) if msg.contains("chaos")),
+            "unexpected error: {err}"
+        );
+        let sibling = results[1].as_ref().expect("sibling check unaffected");
+        assert!(sibling.verdict.holds());
+        assert_eq!(popts.metrics.as_ref().unwrap().unit_panics_total.get(), 1);
+    }
+
+    #[test]
+    fn budgeted_runs_self_heal_transient_panics() {
+        // with a step budget, the settlement pass re-runs the panicked
+        // unit under the exact sequential leftover — a transient panic
+        // leaves the verdict and counters byte-identical to sequential
+        let prop = parse_property("forall x: G (cart(x) -> F cart(x))").unwrap();
+        let full = shop().check(&prop).unwrap().stats.configs;
+        for budget in [full / 2, full, full + 1] {
+            let mut verifier = shop();
+            verifier.options_mut().max_steps = Some(budget);
+            let seq = verifier.check(&prop).unwrap();
+            let popts =
+                ParallelOptions { jobs: 2, chaos_panic_unit: Some((0, 0)), ..Default::default() };
+            let par = check_parallel(&verifier, &prop, &popts).unwrap();
+            let tag = format!("budget={budget}");
+            assert_eq!(format!("{:?}", seq.verdict), format!("{:?}", par.verdict), "{tag}");
+            assert_eq!(seq.stats.configs, par.stats.configs, "{tag}");
+            assert_eq!(seq.stats.cores, par.stats.cores, "{tag}");
         }
     }
 }

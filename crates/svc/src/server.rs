@@ -15,7 +15,13 @@
 //!
 //! The accept loop is bounded: at most `max_connections` handler threads
 //! run at once, further clients queue in the OS backlog. Each connection
-//! gets a read timeout so an idle client cannot pin a handler slot.
+//! gets a read *and* a write timeout, so neither an idle client nor one
+//! that stops reading its responses can pin a handler slot; timed-out
+//! connections are dropped and counted
+//! ([`crate::metrics::SvcMetrics::conn_timeouts_total`]). A handler that
+//! panics releases its slot through a drop guard and is counted too
+//! ([`crate::metrics::SvcMetrics::handler_panics_total`]) — the server
+//! keeps accepting and the shutdown drain still completes.
 //!
 //! With [`ServerConfig::metrics_addr`] set, a second listener serves the
 //! same metrics as Prometheus text exposition (`GET /metrics`) for
@@ -42,6 +48,13 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Per-connection read timeout.
     pub read_timeout: Duration,
+    /// Per-connection write timeout: bounds how long a handler blocks on
+    /// a client that stops reading its responses.
+    pub write_timeout: Duration,
+    /// Fault-injection hook: honor `{"cmd":"panic"}` by panicking inside
+    /// the connection handler. Tests use it to pin the slot-release
+    /// guard; production configs leave it off.
+    pub chaos: bool,
     pub use_cache: bool,
     pub cache_dir: Option<PathBuf>,
     /// In-memory result-cache entry bound (`0` = unbounded).
@@ -62,6 +75,8 @@ impl Default for ServerConfig {
             jobs: crate::scheduler::ParallelOptions::default().jobs,
             max_connections: 16,
             read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            chaos: false,
             use_cache: true,
             cache_dir: None,
             cache_mem_entries: crate::cache::DEFAULT_MEM_ENTRIES,
@@ -156,13 +171,32 @@ impl Server {
             }
             let svc = Arc::clone(&self.svc);
             let shutdown = Arc::clone(&self.shutdown);
-            let timeout = self.config.read_timeout;
+            let config = self.config.clone();
             let slots_for_handler = Arc::clone(&slots);
             std::thread::Builder::new()
                 .name("wave-serve-conn".to_string())
                 .spawn(move || {
-                    let _ = handle_connection(stream, &svc, &shutdown, timeout, local);
-                    release(&slots_for_handler);
+                    // Drop guard: the slot is released even when the
+                    // handler panics — a leaked slot would eventually
+                    // wedge the accept loop and deadlock the drain
+                    let _slot = SlotGuard(slots_for_handler);
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(stream, &svc, &shutdown, &config, local)
+                    }));
+                    match outcome {
+                        Err(_) => svc.metrics().handler_panics_total.inc(),
+                        Ok(Err(e))
+                            if matches!(
+                                e.kind(),
+                                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                            ) =>
+                        {
+                            // read timeouts surface as WouldBlock on unix,
+                            // TimedOut on windows; write timeouts likewise
+                            svc.metrics().conn_timeouts_total.inc()
+                        }
+                        _ => {}
+                    }
                 })
                 .expect("spawn connection handler");
         }
@@ -178,18 +212,31 @@ impl Server {
 
 fn release(slots: &Arc<(Mutex<usize>, Condvar)>) {
     let (count, cv) = &**slots;
-    *count.lock().unwrap() -= 1;
+    // tolerate poison: a panicked sibling handler must not stop this
+    // slot from being returned to the accept loop
+    let mut count = count.lock().unwrap_or_else(|p| p.into_inner());
+    *count -= 1;
     cv.notify_all();
+}
+
+/// Releases a handler slot on drop — panic-proof, unlike a trailing call.
+struct SlotGuard(Arc<(Mutex<usize>, Condvar)>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        release(&self.0);
+    }
 }
 
 fn handle_connection(
     stream: TcpStream,
     svc: &VerifyService,
     shutdown: &AtomicBool,
-    timeout: Duration,
+    config: &ServerConfig,
     local: SocketAddr,
 ) -> io::Result<()> {
-    stream.set_read_timeout(Some(timeout))?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
     svc.metrics().connections_active.inc();
     // dec on every exit path, including `?` returns
     let _guard = ConnectionGuard(svc);
@@ -202,7 +249,7 @@ fn handle_connection(
             continue;
         }
         svc.metrics().requests_total.inc();
-        let (response, stop) = process(svc, line);
+        let (response, stop) = process(svc, line, config.chaos);
         writer.write_all(format!("{response}\n").as_bytes())?;
         writer.flush()?;
         if stop {
@@ -224,7 +271,7 @@ impl Drop for ConnectionGuard<'_> {
 }
 
 /// Handle one request line; the flag is true for `shutdown`.
-fn process(svc: &VerifyService, line: &str) -> (Json, bool) {
+fn process(svc: &VerifyService, line: &str, chaos: bool) -> (Json, bool) {
     let request = match json::parse(line) {
         Ok(v) => v,
         Err(e) => {
@@ -242,6 +289,8 @@ fn process(svc: &VerifyService, line: &str) -> (Json, bool) {
         Some("shutdown") => {
             (Json::obj([("ok", Json::from(true)), ("bye", Json::from(true))]), true)
         }
+        // fault injection, enabled only by ServerConfig::chaos
+        Some("panic") if chaos => panic!("chaos: injected connection-handler panic"),
         Some(other) => (
             Json::obj([
                 ("ok", Json::from(false)),

@@ -287,6 +287,7 @@ impl VerifyService {
             hits: Arc::clone(&metrics.cache_hits),
             misses: Arc::clone(&metrics.cache_misses),
             evictions: Arc::clone(&metrics.cache_evictions),
+            persist_errors: Arc::clone(&metrics.cache_persist_errors_total),
         };
         let cache = if !config.use_cache {
             None
@@ -565,7 +566,11 @@ pub fn parse_options(json: Option<&Json>) -> Result<VerifyOptions, String> {
     for (key, value) in pairs {
         match key.as_str() {
             "max_steps" => {
-                options.max_steps = Some(value.as_u64().ok_or("\"max_steps\" must be an integer")?);
+                // u64_from_json also accepts the decimal-string form
+                // emitted for values beyond 2^53
+                options.max_steps = Some(
+                    crate::cache::u64_from_json(value).ok_or("\"max_steps\" must be an integer")?,
+                );
             }
             "time_limit_s" => {
                 let secs = value.as_f64().ok_or("\"time_limit_s\" must be a number")?;
@@ -573,6 +578,37 @@ pub fn parse_options(json: Option<&Json>) -> Result<VerifyOptions, String> {
                     return Err("\"time_limit_s\" must be positive".to_string());
                 }
                 options.time_limit = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            // the exact form the fleet wire uses: integer nanoseconds
+            // round-trip losslessly where f64 seconds cannot
+            "time_limit_ns" => {
+                let ns = crate::cache::u64_from_json(value)
+                    .ok_or("\"time_limit_ns\" must be an integer")?;
+                if ns == 0 {
+                    return Err("\"time_limit_ns\" must be positive".to_string());
+                }
+                options.time_limit = Some(std::time::Duration::from_nanos(ns));
+            }
+            "pruning" => {
+                options.pruning = match value.as_str() {
+                    Some("paper_strict") => wave_core::ExtensionPruning::PaperStrict,
+                    Some("option_support") => wave_core::ExtensionPruning::OptionSupport,
+                    _ => {
+                        return Err("\"pruning\" must be \"paper_strict\" or \"option_support\""
+                            .to_string())
+                    }
+                };
+            }
+            "param_mode" => {
+                options.param_mode =
+                    match value.as_str() {
+                        Some("distinct_fresh") => wave_core::ParamMode::DistinctFresh,
+                        Some("exhaustive_equality") => wave_core::ParamMode::ExhaustiveEquality,
+                        _ => return Err(
+                            "\"param_mode\" must be \"distinct_fresh\" or \"exhaustive_equality\""
+                                .to_string(),
+                        ),
+                    };
             }
             "budget_chunk" => {
                 let n = value.as_u64().ok_or("\"budget_chunk\" must be an integer")?;
@@ -631,6 +667,57 @@ pub fn parse_options(json: Option<&Json>) -> Result<VerifyOptions, String> {
         }
     }
     Ok(options)
+}
+
+/// Render [`VerifyOptions`] as a job-`options` object that
+/// [`parse_options`] reads back to the same options (the cancellation
+/// token, which is scheduling state, excluded). The fleet dispatcher
+/// ships options to workers in this form; time limits go as exact
+/// integer nanoseconds so the worker's budget arithmetic matches the
+/// dispatcher's bit-for-bit.
+pub fn options_to_json(options: &VerifyOptions) -> Json {
+    let mut pairs = Vec::new();
+    if let Some(n) = options.max_steps {
+        pairs.push(("max_steps", crate::cache::u64_to_json(n)));
+    }
+    if let Some(d) = options.time_limit {
+        pairs.push(("time_limit_ns", crate::cache::u64_to_json(d.as_nanos() as u64)));
+    }
+    pairs.push(("budget_chunk", crate::cache::u64_to_json(options.budget_chunk)));
+    pairs.push(("heuristic1", Json::from(options.heuristic1)));
+    pairs.push(("heuristic2", Json::from(options.heuristic2)));
+    pairs.push(("use_plans", Json::from(options.use_plans)));
+    pairs.push(("naive_joins", Json::from(options.naive_joins)));
+    pairs.push((
+        "pruning",
+        Json::from(match options.pruning {
+            wave_core::ExtensionPruning::PaperStrict => "paper_strict",
+            wave_core::ExtensionPruning::OptionSupport => "option_support",
+        }),
+    ));
+    pairs.push((
+        "param_mode",
+        Json::from(match options.param_mode {
+            wave_core::ParamMode::DistinctFresh => "distinct_fresh",
+            wave_core::ParamMode::ExhaustiveEquality => "exhaustive_equality",
+        }),
+    ));
+    match &options.state_store {
+        wave_core::StateStoreKind::Interned => {
+            pairs.push(("state_store", Json::from("interned")));
+        }
+        wave_core::StateStoreKind::ByteKeys => {
+            pairs.push(("state_store", Json::from("byte_keys")));
+        }
+        wave_core::StateStoreKind::Tiered(params) => {
+            pairs.push(("state_store", Json::from("tiered")));
+            pairs.push(("store_mem_mb", crate::cache::u64_to_json(params.mem_bytes >> 20)));
+            if let Some(dir) = &params.spill_dir {
+                pairs.push(("spill_dir", Json::from(dir.display().to_string())));
+            }
+        }
+    }
+    Json::obj(pairs)
 }
 
 #[cfg(test)]
@@ -947,6 +1034,56 @@ mod tests {
         assert!(json.get("stats").unwrap().get("cores").unwrap().as_u64().unwrap() > 0);
         // render + reparse round-trips
         assert_eq!(json::parse(&json.to_string()).unwrap(), json);
+    }
+
+    #[test]
+    fn options_json_round_trips() {
+        // every semantic field set away from its default
+        let opts = VerifyOptions {
+            max_steps: Some(u64::MAX - 3),
+            time_limit: Some(std::time::Duration::new(3, 123_456_789)),
+            budget_chunk: 7,
+            heuristic1: false,
+            heuristic2: false,
+            use_plans: false,
+            naive_joins: true,
+            pruning: wave_core::ExtensionPruning::PaperStrict,
+            param_mode: wave_core::ParamMode::ExhaustiveEquality,
+            state_store: wave_core::StateStoreKind::Tiered(wave_core::TierParams {
+                mem_bytes: 8 << 20,
+                spill_dir: Some(PathBuf::from("/tmp/sp")),
+            }),
+            ..Default::default()
+        };
+        let back = parse_options(Some(&options_to_json(&opts))).unwrap();
+        // VerifyOptions carries no PartialEq (the cancel token); Debug
+        // covers every field we care about
+        assert_eq!(format!("{opts:?}"), format!("{back:?}"));
+        // and the rendered JSON itself survives print → parse
+        let json = options_to_json(&opts);
+        assert_eq!(json::parse(&json.to_string()).unwrap(), json);
+
+        // defaults round-trip too
+        let opts = VerifyOptions::default();
+        let back = parse_options(Some(&options_to_json(&opts))).unwrap();
+        assert_eq!(format!("{opts:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn exact_time_limit_and_enum_options_parse() {
+        let opts = parse_options(Some(
+            &json::parse(
+                r#"{"time_limit_ns":1500000001,"pruning":"paper_strict","param_mode":"exhaustive_equality"}"#,
+            )
+            .unwrap(),
+        ))
+        .unwrap();
+        assert_eq!(opts.time_limit, Some(std::time::Duration::from_nanos(1_500_000_001)));
+        assert_eq!(opts.pruning, wave_core::ExtensionPruning::PaperStrict);
+        assert_eq!(opts.param_mode, wave_core::ParamMode::ExhaustiveEquality);
+        assert!(parse_options(Some(&json::parse(r#"{"pruning":"x"}"#).unwrap())).is_err());
+        assert!(parse_options(Some(&json::parse(r#"{"param_mode":"x"}"#).unwrap())).is_err());
+        assert!(parse_options(Some(&json::parse(r#"{"time_limit_ns":0}"#).unwrap())).is_err());
     }
 
     #[test]

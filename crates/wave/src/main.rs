@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         Some("fmt") => cmd_fmt(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("prof") => cmd_prof(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -68,7 +69,8 @@ usage:
   wave batch <jobs.jsonl> [--jobs <n>] [cache options]
   wave serve --addr <host:port> [--jobs <n>] [cache options]
              [--max-connections <n>] [--read-timeout <seconds>]
-             [--metrics-addr <host:port>]
+             [--write-timeout <seconds>] [--metrics-addr <host:port>]
+  wave worker --connect <host:port> [--name <id>]
   wave trace summarize <trace.jsonl> [--top <k>]
   wave prof flame <profile.json>
   wave bench --record | --check | --trend | --backfill
@@ -97,6 +99,12 @@ check options:
                           interrupted run resumes where it left off
   --checkpoint-every <n>  cores scanned between checkpoints (default 64)
   --jobs <n>              verify on an n-worker pool (wave-svc scheduler)
+  --fleet <host:port>     bind a fleet dispatcher on <host:port> and verify
+                          across connecting `wave worker` processes; verdicts
+                          and counters stay byte-identical to --jobs 1
+  --fleet-workers <n>     also run n in-process workers (0 = remote only;
+                          the dispatcher still finishes via local fallback
+                          if no worker ever connects)
   --json                  print one JSON result record (batch format)
   --trace-out <file>      stream a JSONL search trace (sequential only;
                           summarize it with `wave trace summarize`)
@@ -125,6 +133,17 @@ cache options (batch and serve):
 
 serve: --metrics-addr binds a Prometheus text-exposition listener
 (scrape GET /metrics); the socket itself answers {\"cmd\":\"metrics\"}
+
+worker: joins a fleet dispatcher (`wave check --fleet` or an embedding
+service), registers with a heartbeat, and executes work units shipped
+as (spec fingerprint, property, unit ordinal, core range, budget
+lease); exits when the dispatcher says bye
+  --connect <host:port>   dispatcher address (required; retried ~10 s)
+  --name <id>             worker name for dispatcher diagnostics
+  --max-units <n>         exit cleanly after n units (fault injection)
+  --chaos-abort-unit <n>  drop the connection upon receiving the nth
+                          run command — a worker killed mid-unit
+                          (fault injection)
 
 bench: --record runs the E1–E4 property suites twice — on the tiered
 store at a generous and a forced-spill memory budget (BENCH_store.json,
@@ -299,6 +318,35 @@ fn cmd_check(rest: &[String]) -> ExitCode {
         },
         None => None,
     };
+    let fleet_addr = take_value(&mut args, "--fleet");
+    let fleet_workers = match take_value(&mut args, "--fleet-workers") {
+        Some(n) => {
+            if fleet_addr.is_none() {
+                eprintln!("--fleet-workers needs --fleet");
+                return ExitCode::from(2);
+            }
+            match n.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--fleet-workers needs an integer, got {n:?}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => 0,
+    };
+    if fleet_addr.is_some()
+        && (jobs.is_some()
+            || trace_out.is_some()
+            || checkpoint_dir.is_some()
+            || profile_out.is_some())
+    {
+        eprintln!(
+            "--fleet runs the distributed scheduler; it does not combine \
+             with --jobs, --trace-out, --checkpoint-dir, or --profile-out"
+        );
+        return ExitCode::from(2);
+    }
     if trace_out.is_some() && jobs.is_some() {
         eprintln!("--trace-out traces the sequential search; it does not combine with --jobs");
         return ExitCode::from(2);
@@ -351,6 +399,10 @@ fn cmd_check(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // the fleet ships specs by canonical text (the fingerprint input);
+    // capture it before the spec moves into the verifier
+    let spec_text =
+        if fleet_addr.is_some() { wave::spec::print_spec(&spec) } else { String::new() };
     let verifier = match Verifier::with_options(spec, options) {
         Ok(v) => v,
         Err(e) => {
@@ -359,26 +411,32 @@ fn cmd_check(rest: &[String]) -> ExitCode {
         }
     };
     let mut profiler = wave::core::SpanProfiler::new();
-    let run = match (&checkpoint_dir, &trace_out, jobs) {
-        (Some(dir), _, _) => {
-            let config = wave::core::CheckpointConfig::new(dir, checkpoint_every);
-            match wave::core::check_checkpointed(&verifier, &property_text, &config) {
-                Ok(wave::core::CheckpointOutcome::Finished(v)) => Ok(v),
-                Ok(wave::core::CheckpointOutcome::Interrupted { .. }) => {
-                    unreachable!("the interrupt hook is never armed from the CLI")
+    let run = if let Some(addr) = &fleet_addr {
+        run_fleet(addr, fleet_workers, &verifier, &spec_text, &property_text, &property)
+    } else {
+        match (&checkpoint_dir, &trace_out, jobs) {
+            (Some(dir), _, _) => {
+                let config = wave::core::CheckpointConfig::new(dir, checkpoint_every);
+                match wave::core::check_checkpointed(&verifier, &property_text, &config) {
+                    Ok(wave::core::CheckpointOutcome::Finished(v)) => Ok(v),
+                    Ok(wave::core::CheckpointOutcome::Interrupted { .. }) => {
+                        unreachable!("the interrupt hook is never armed from the CLI")
+                    }
+                    Err(e) => Err(e.to_string()),
                 }
-                Err(e) => Err(e.to_string()),
             }
+            (None, Some(out), _) => run_traced(&verifier, &property, out),
+            (None, None, Some(n)) => wave_svc::check_parallel(
+                &verifier,
+                &property,
+                &wave_svc::ParallelOptions::with_jobs(n),
+            )
+            .map_err(|e| e.to_string()),
+            (None, None, None) if profile_out.is_some() => {
+                verifier.check_profiled(&property, &mut profiler).map_err(|e| e.to_string())
+            }
+            (None, None, None) => verifier.check(&property).map_err(|e| e.to_string()),
         }
-        (None, Some(out), _) => run_traced(&verifier, &property, out),
-        (None, None, Some(n)) => {
-            wave_svc::check_parallel(&verifier, &property, &wave_svc::ParallelOptions::with_jobs(n))
-                .map_err(|e| e.to_string())
-        }
-        (None, None, None) if profile_out.is_some() => {
-            verifier.check_profiled(&property, &mut profiler).map_err(|e| e.to_string())
-        }
-        (None, None, None) => verifier.check(&property).map_err(|e| e.to_string()),
     };
     let v = match run {
         Ok(v) => v,
@@ -748,6 +806,79 @@ fn run_traced(
     Ok(v)
 }
 
+/// `wave check --fleet`: bind a dispatcher, optionally spawn in-process
+/// workers, and verify across whatever connects. The dispatcher's local
+/// fallback guarantees completion even if no worker ever shows up.
+fn run_fleet(
+    addr: &str,
+    workers: usize,
+    verifier: &Verifier,
+    spec_text: &str,
+    property_text: &str,
+    property: &wave::ltl::Property,
+) -> Result<wave::Verification, String> {
+    let dispatcher = wave_svc::FleetDispatcher::bind(addr, wave_svc::FleetOptions::default())
+        .map_err(|e| format!("cannot bind fleet dispatcher on {addr}: {e}"))?;
+    let bound = dispatcher.local_addr().map_err(|e| format!("bound address: {e}"))?;
+    eprintln!("wave check: fleet dispatcher listening on {bound}");
+    std::thread::scope(|scope| {
+        for i in 0..workers {
+            let config = wave_svc::WorkerConfig {
+                name: format!("local-{i}"),
+                ..wave_svc::WorkerConfig::new(bound.to_string())
+            };
+            scope.spawn(move || {
+                if let Err(e) = wave_svc::run_worker(&config) {
+                    eprintln!("fleet worker {}: {e}", config.name);
+                }
+            });
+        }
+        wave_svc::check_fleet(&dispatcher, verifier, spec_text, property_text, property)
+            .map_err(|e| e.to_string())
+    })
+}
+
+/// `wave worker`: one fleet worker process, run until the dispatcher
+/// finishes the session (or the connection is lost).
+fn cmd_worker(rest: &[String]) -> ExitCode {
+    let mut args = rest.to_vec();
+    let Some(connect) = take_value(&mut args, "--connect") else {
+        eprintln!("worker needs --connect <host:port>");
+        return ExitCode::from(2);
+    };
+    let mut config = wave_svc::WorkerConfig::new(connect);
+    if let Some(name) = take_value(&mut args, "--name") {
+        config.name = name;
+    }
+    for (flag, slot) in
+        [("--max-units", &mut config.max_units), ("--chaos-abort-unit", &mut config.abort_unit)]
+    {
+        if let Some(n) = take_value(&mut args, flag) {
+            match n.parse::<u64>() {
+                Ok(n) if n >= 1 => *slot = Some(n),
+                _ => {
+                    eprintln!("{flag} needs a positive integer, got {n:?}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    if !args.is_empty() {
+        eprintln!("worker: unexpected arguments {args:?}");
+        return ExitCode::from(2);
+    }
+    match wave_svc::run_worker(&config) {
+        Ok(report) => {
+            eprintln!("wave worker: done, {} units completed", report.units_completed);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("worker error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn cmd_validate(rest: &[String]) -> ExitCode {
     let [path] = rest else {
         eprintln!("validate needs exactly one spec file");
@@ -929,6 +1060,20 @@ fn cmd_serve(rest: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+    if let Some(secs) = take_value(&mut args, "--write-timeout") {
+        match secs.parse::<f64>() {
+            Ok(s) if s > 0.0 => config.write_timeout = Duration::from_secs_f64(s),
+            _ => {
+                eprintln!("--write-timeout needs a positive number of seconds");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // undocumented fault-injection switch for the integration tests: a
+    // {"cmd":"panic"} request panics its connection handler
+    if take_flag(&mut args, "--chaos") {
+        config.chaos = true;
     }
     if !args.is_empty() {
         eprintln!("serve: unexpected arguments {args:?}");

@@ -1,0 +1,238 @@
+//! Fault-injection integration tests: panic a connection handler, kill
+//! a fleet worker mid-unit, starve an idle connection, and interrupt a
+//! cache persist — the service must keep serving, drain cleanly, count
+//! every fault in its metrics, and keep fleet verdicts byte-identical
+//! to sequential.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use wave::spec::print_spec;
+use wave::{parse_property, parse_spec, Verifier};
+use wave_svc::{
+    fingerprint, CheckSource, FleetDispatcher, FleetOptions, Json, Server, ServerConfig,
+    SvcMetrics, WorkerConfig,
+};
+
+const SPEC: &str = r#"spec m { inputs { b(x); } home A; page A { inputs { b } options b(x) <- x = "g"; target B <- b("g"); } page B { target A <- true; } }"#;
+
+fn send(stream: &mut TcpStream, line: &str) -> Json {
+    stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    wave_svc::parse_json(response.trim()).unwrap()
+}
+
+fn job_line(property: &str) -> String {
+    format!(r#"{{"spec":{},"property":{}}}"#, Json::from(SPEC), Json::from(property))
+}
+
+fn metric(stream: &mut TcpStream, name: &str) -> u64 {
+    let reply = send(stream, r#"{"cmd":"metrics"}"#);
+    reply
+        .get("metrics")
+        .and_then(|m| m.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("metric {name} missing or not an integer"))
+}
+
+/// A `{"cmd":"panic"}` request kills its handler — the slot guard must
+/// release the connection slot and the server must keep accepting more
+/// connections than `max_connections` panics, serve real work, and
+/// drain to a clean shutdown.
+#[test]
+fn panicking_handler_releases_slot_and_server_keeps_serving() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        max_connections: 2,
+        chaos: true,
+        read_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+
+    // more panics than there are connection slots: only a leak-free
+    // handler lets the later connections through
+    for _ in 0..5 {
+        let mut victim = TcpStream::connect(addr).unwrap();
+        victim.write_all(b"{\"cmd\":\"panic\"}\n").unwrap();
+        victim.flush().unwrap();
+        // the handler dies without replying; the connection just closes
+        let mut buf = Vec::new();
+        let n = victim.read_to_end(&mut buf).unwrap();
+        assert_eq!(n, 0, "a panicked handler must not send a reply");
+    }
+
+    let mut client = TcpStream::connect(addr).unwrap();
+    let pong = send(&mut client, r#"{"cmd":"ping"}"#);
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true), "server still serves");
+    let reply = send(&mut client, &job_line("G (@B -> X @A)"));
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let results = reply.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results[0].get("verdict").and_then(Json::as_str), Some("holds"));
+
+    assert_eq!(metric(&mut client, "wave_handler_panics_total"), 5);
+    assert_eq!(metric(&mut client, "wave_connections_active"), 1, "victims fully released");
+
+    let bye = send(&mut client, r#"{"cmd":"shutdown"}"#);
+    assert_eq!(bye.get("bye").and_then(Json::as_bool), Some(true));
+    drop(client);
+    handle.join().unwrap().unwrap();
+}
+
+/// An idle client trips the socket timeout; the server counts it and
+/// keeps serving.
+#[test]
+fn idle_connection_times_out_is_counted_and_server_survives() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        read_timeout: Duration::from_millis(100),
+        write_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut idler = TcpStream::connect(addr).unwrap();
+    // send nothing: the read times out server-side and the connection
+    // is dropped
+    let mut buf = Vec::new();
+    let n = idler.read_to_end(&mut buf).unwrap();
+    assert_eq!(n, 0, "timed-out connection closes without data");
+
+    let mut client = TcpStream::connect(addr).unwrap();
+    assert_eq!(
+        send(&mut client, r#"{"cmd":"ping"}"#).get("pong").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert!(metric(&mut client, "wave_conn_timeouts_total") >= 1);
+
+    let bye = send(&mut client, r#"{"cmd":"shutdown"}"#);
+    assert_eq!(bye.get("bye").and_then(Json::as_bool), Some(true));
+    drop(client);
+    handle.join().unwrap().unwrap();
+}
+
+/// Interrupt the disk-cache persist (a directory squats on the temp
+/// path, so the atomic write cannot even start): the failure is
+/// counted, nothing half-written is published, and the entry still
+/// serves from memory.
+#[test]
+fn interrupted_cache_persist_is_counted_and_serving_continues() {
+    let dir = std::env::temp_dir().join(format!("wave-fault-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // the service keys the cache by fingerprint(canonical spec,
+    // property, options) — compute it the same way to squat the slot
+    let property = "G (@B -> X @A)";
+    let canonical = print_spec(&parse_spec(SPEC).unwrap());
+    let key = fingerprint(&canonical, property, &wave::VerifyOptions::default());
+    std::fs::create_dir(dir.join(format!("{key}.json.tmp"))).unwrap();
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+        read_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = TcpStream::connect(addr).unwrap();
+    let reply = send(&mut client, &job_line(property));
+    let results = reply.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results[0].get("verdict").and_then(Json::as_str), Some("holds"));
+    assert_eq!(results[0].get("cached").and_then(Json::as_bool), Some(false));
+
+    assert_eq!(metric(&mut client, "wave_cache_persist_errors_total"), 1);
+    assert!(!dir.join(format!("{key}.json")).exists(), "no half-written entry published");
+
+    // the result still serves — from the memory tier
+    let again = send(&mut client, &job_line(property));
+    let results = again.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results[0].get("verdict").and_then(Json::as_str), Some("holds"));
+    assert_eq!(results[0].get("cached").and_then(Json::as_bool), Some(true));
+
+    let bye = send(&mut client, r#"{"cmd":"shutdown"}"#);
+    assert_eq!(bye.get("bye").and_then(Json::as_bool), Some(true));
+    drop(client);
+    handle.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill a fleet worker mid-unit while a healthy one races on: the
+/// dispatcher detects the death, re-dispatches, and the verdict and
+/// counters stay byte-identical to the sequential run.
+#[test]
+fn fleet_worker_killed_mid_unit_keeps_verdict_byte_identical() {
+    let spec = parse_spec(
+        r#"
+        spec faultshop {
+          database { stock(item); }
+          state { cart(item); }
+          inputs { pick(x); button(x); }
+          home A;
+          page A {
+            inputs { pick, button }
+            options button(x) <- x = "add";
+            options pick(x) <- stock(x);
+            insert cart(x) <- pick(x) & button("add");
+            target B <- (exists x: pick(x)) & button("add");
+          }
+          page B { target A <- true; }
+        }
+    "#,
+    )
+    .unwrap();
+    let spec_text = print_spec(&spec);
+    let verifier = Verifier::new(spec).unwrap();
+    let prop = parse_property("forall x: G (cart(x) -> F cart(x))").unwrap();
+    let seq = verifier.check(&prop).unwrap();
+
+    let metrics = SvcMetrics::new();
+    let fopts = FleetOptions {
+        heartbeat: Duration::from_millis(100),
+        retry_base: Duration::from_millis(10),
+        local_fallback_after: Duration::from_millis(300),
+        metrics: Some(metrics.clone()),
+        ..FleetOptions::default()
+    };
+    let dispatcher = FleetDispatcher::bind("127.0.0.1:0", fopts).unwrap();
+    let addr = dispatcher.local_addr().unwrap().to_string();
+    let prepared = verifier.prepare(&prop).unwrap();
+    let source =
+        CheckSource { spec: spec_text, property: "forall x: G (cart(x) -> F cart(x))".to_string() };
+    let results = std::thread::scope(|scope| {
+        for (name, abort) in [("killed", Some(1)), ("healthy", None)] {
+            let config = WorkerConfig {
+                name: name.to_string(),
+                abort_unit: abort,
+                ..WorkerConfig::new(addr.clone())
+            };
+            scope.spawn(move || {
+                let _ = wave_svc::run_worker(&config);
+            });
+        }
+        dispatcher.run_checks(
+            verifier.options(),
+            std::slice::from_ref(&prepared),
+            std::slice::from_ref(&source),
+        )
+    });
+    let flt = results.into_iter().next().unwrap().expect("fleet check runs");
+    assert_eq!(format!("{:?}", seq.verdict), format!("{:?}", flt.verdict));
+    assert_eq!(seq.stats.configs, flt.stats.configs);
+    assert_eq!(seq.stats.cores, flt.stats.cores);
+    assert_eq!(metrics.fleet_worker_deaths_total.get(), 1);
+    assert_eq!(metrics.fleet_workers_connected.get(), 0, "session drained both workers");
+}

@@ -1,0 +1,235 @@
+//! Integration tests for the verification fleet: remote workers over
+//! the line-JSON protocol must reproduce sequential verdicts and
+//! deterministic counters byte-for-byte — under 1, 2, and 4 workers,
+//! with workers killed mid-unit, with straggler re-dispatch racing
+//! duplicates, and with no workers at all (local fallback).
+
+use std::time::Duration;
+use wave::apps::{e1, e2, e3, e4};
+use wave::spec::print_spec;
+use wave::{parse_property, parse_spec, Verification, Verifier};
+use wave_core::VerifyError;
+use wave_ltl::Property;
+use wave_svc::{CheckSource, FleetDispatcher, FleetOptions, SvcMetrics, WorkerConfig};
+
+/// Fleet policy tuned for tests: fast heartbeats and a short local
+/// fallback so worker-free and all-workers-dead scenarios settle in
+/// milliseconds, not the production 30 s.
+fn test_fleet_options() -> FleetOptions {
+    FleetOptions {
+        heartbeat: Duration::from_millis(100),
+        heartbeat_grace: 10,
+        lease_timeout: Duration::from_secs(20),
+        retry_base: Duration::from_millis(10),
+        retry_cap: Duration::from_millis(100),
+        local_fallback_after: Duration::from_millis(300),
+        ..FleetOptions::default()
+    }
+}
+
+/// Run `props` through a dispatcher with one in-process worker per
+/// entry of `aborts` (each entry is that worker's `--chaos-abort-unit`
+/// value: `None` = healthy, `Some(n)` = vanish upon the nth run).
+fn fleet_run(
+    verifier: &Verifier,
+    spec_text: &str,
+    props: &[(String, Property)],
+    aborts: &[Option<u64>],
+    fopts: FleetOptions,
+) -> Vec<Result<Verification, VerifyError>> {
+    let prepared: Vec<_> =
+        props.iter().map(|(_, p)| verifier.prepare(p).expect("prepares")).collect();
+    let sources: Vec<_> = props
+        .iter()
+        .map(|(text, _)| CheckSource { spec: spec_text.to_string(), property: text.clone() })
+        .collect();
+    let dispatcher = FleetDispatcher::bind("127.0.0.1:0", fopts).expect("binds");
+    let addr = dispatcher.local_addr().expect("bound address").to_string();
+    std::thread::scope(|scope| {
+        for (i, abort) in aborts.iter().enumerate() {
+            let config = WorkerConfig {
+                name: format!("w{i}"),
+                abort_unit: *abort,
+                ..WorkerConfig::new(addr.clone())
+            };
+            scope.spawn(move || {
+                let _ = wave_svc::run_worker(&config);
+            });
+        }
+        dispatcher.run_checks(verifier.options(), &prepared, &sources)
+    })
+}
+
+fn parse_cases(suite: &wave::apps::AppSuite, names: &[&str]) -> Vec<(String, Property)> {
+    names
+        .iter()
+        .map(|name| {
+            let case = suite.properties.iter().find(|p| p.name == *name).unwrap();
+            (case.text.clone(), parse_property(&case.text).expect("property parses"))
+        })
+        .collect()
+}
+
+/// The headline equivalence: E1–E4 subsets under 1, 2, and 4 workers —
+/// with one worker killed mid-unit whenever there are at least two —
+/// must match the sequential verdicts byte-for-byte, and (for clean
+/// complete runs, where sibling cancellation cannot differ) the
+/// deterministic search counters too.
+#[test]
+fn e1_e4_fleet_verdicts_match_sequential_across_worker_counts() {
+    let suites = [
+        (e1::suite(), vec!["P1", "P2", "P3", "P6"]),
+        (e2::suite(), vec!["Q1", "Q2", "Q3", "Q4"]),
+        (e3::suite(), vec!["R1", "R4", "R5"]),
+        (e4::suite(), vec!["S1", "S4", "S5"]),
+    ];
+    for (suite, names) in &suites {
+        let verifier = Verifier::new(suite.spec.clone()).expect("suite compiles");
+        let spec_text = print_spec(&suite.spec);
+        let props = parse_cases(suite, names);
+        let sequential: Vec<_> =
+            props.iter().map(|(_, p)| verifier.check(p).expect("sequential runs")).collect();
+        for workers in [1usize, 2, 4] {
+            // kill one worker upon its first run command when the fleet
+            // has a survivor to re-dispatch to
+            let mut aborts = vec![None; workers];
+            if workers >= 2 {
+                aborts[0] = Some(1);
+            }
+            let fleet = fleet_run(&verifier, &spec_text, &props, &aborts, test_fleet_options());
+            for ((name, seq), result) in names.iter().zip(&sequential).zip(fleet) {
+                let flt = result.expect("fleet check runs");
+                let tag = format!("{}/{name} workers={workers}", suite.name);
+                assert_eq!(
+                    format!("{:?}", seq.verdict),
+                    format!("{:?}", flt.verdict),
+                    "{tag}: fleet verdict diverged"
+                );
+                assert_eq!(seq.complete, flt.complete, "{tag}");
+                if seq.verdict.holds() && seq.complete {
+                    assert_eq!(seq.stats.configs, flt.stats.configs, "{tag}");
+                    assert_eq!(seq.stats.cores, flt.stats.cores, "{tag}");
+                    assert_eq!(seq.stats.assignments, flt.stats.assignments, "{tag}");
+                    assert_eq!(seq.stats.max_run_len, flt.stats.max_run_len, "{tag}");
+                    assert_eq!(seq.stats.max_trie, flt.stats.max_trie, "{tag}");
+                }
+            }
+        }
+    }
+}
+
+fn minishop() -> (Verifier, String) {
+    let src = r#"
+        spec minishop {
+          database { stock(item); }
+          state { cart(item); }
+          inputs { pick(x); button(x); }
+          home A;
+          page A {
+            inputs { pick, button }
+            options button(x) <- x = "add";
+            options pick(x) <- stock(x);
+            insert cart(x) <- pick(x) & button("add");
+            target B <- (exists x: pick(x)) & button("add");
+          }
+          page B { target A <- true; }
+        }
+    "#;
+    let spec = parse_spec(src).unwrap();
+    let text = print_spec(&spec);
+    (Verifier::new(spec).unwrap(), text)
+}
+
+/// Budget leases over a lossy transport: the settlement pass must
+/// normalize whatever the lease policy did, so budgeted fleet runs —
+/// even with a worker killed mid-unit — report the exact sequential
+/// verdict, leftover budget, and counters.
+#[test]
+fn budgeted_fleet_runs_match_sequential_exactly() {
+    let (unbudgeted, spec_text) = minishop();
+    let texts = ["forall x: G !cart(x)", "forall x: G (cart(x) -> F cart(x))"];
+    for text in texts {
+        let prop = parse_property(text).unwrap();
+        let full = unbudgeted.check(&prop).unwrap().stats.configs;
+        for budget in [1, 2, full / 2, full, full + 1] {
+            let (mut verifier, _) = minishop();
+            verifier.options_mut().max_steps = Some(budget);
+            let seq = verifier.check(&prop).unwrap();
+            let props = vec![(text.to_string(), parse_property(text).unwrap())];
+            let fleet =
+                fleet_run(&verifier, &spec_text, &props, &[Some(1), None], test_fleet_options());
+            let flt = fleet.into_iter().next().unwrap().expect("fleet check runs");
+            let tag = format!("{text} budget={budget}");
+            assert_eq!(format!("{:?}", seq.verdict), format!("{:?}", flt.verdict), "{tag}");
+            assert_eq!(seq.complete, flt.complete, "{tag}");
+            assert_eq!(seq.stats.configs, flt.stats.configs, "{tag}");
+            assert_eq!(seq.stats.cores, flt.stats.cores, "{tag}");
+            assert_eq!(seq.stats.assignments, flt.stats.assignments, "{tag}");
+        }
+    }
+}
+
+/// No worker ever connects: the dispatcher's local fallback executor
+/// must finish the session by itself with the exact sequential result.
+#[test]
+fn fleet_with_zero_workers_falls_back_to_local_execution() {
+    let (verifier, spec_text) = minishop();
+    let metrics = SvcMetrics::new();
+    let fopts = FleetOptions {
+        local_fallback_after: Duration::from_millis(50),
+        metrics: Some(metrics.clone()),
+        ..test_fleet_options()
+    };
+    let texts = ["G !@B", "forall x: G (cart(x) -> F cart(x))"];
+    let props: Vec<_> = texts.iter().map(|t| (t.to_string(), parse_property(t).unwrap())).collect();
+    let results = fleet_run(&verifier, &spec_text, &props, &[], fopts);
+    for (text, result) in texts.iter().zip(results) {
+        let seq = verifier.check(&parse_property(text).unwrap()).unwrap();
+        let flt = result.expect("fleet check runs");
+        assert_eq!(format!("{:?}", seq.verdict), format!("{:?}", flt.verdict), "{text}");
+    }
+    assert!(metrics.fleet_local_units_total.get() > 0, "local executor did the work");
+    assert_eq!(metrics.fleet_workers_total.get(), 0);
+}
+
+/// The sole worker dies mid-unit: its lease must be detected and the
+/// whole session recovered by the local executor, with worker-death
+/// accounting in the metrics.
+#[test]
+fn killed_single_worker_is_detected_and_work_recovered() {
+    let (verifier, spec_text) = minishop();
+    let metrics = SvcMetrics::new();
+    let fopts = FleetOptions { metrics: Some(metrics.clone()), ..test_fleet_options() };
+    let text = "forall x: G (cart(x) -> F cart(x))";
+    let props = vec![(text.to_string(), parse_property(text).unwrap())];
+    let results = fleet_run(&verifier, &spec_text, &props, &[Some(1)], fopts);
+    let seq = verifier.check(&props[0].1).unwrap();
+    let flt = results.into_iter().next().unwrap().expect("fleet check runs");
+    assert_eq!(format!("{:?}", seq.verdict), format!("{:?}", flt.verdict));
+    assert!(seq.verdict.holds());
+    assert_eq!(seq.stats.configs, flt.stats.configs);
+    assert_eq!(metrics.fleet_worker_deaths_total.get(), 1, "the kill was detected");
+    assert_eq!(metrics.fleet_workers_connected.get(), 0, "gauge drains after the session");
+}
+
+/// An aggressive lease timeout re-dispatches every in-flight unit to
+/// idle workers; first completion wins and duplicates are discarded by
+/// ordinal, so the verdict and counters still match sequential.
+#[test]
+fn straggler_redispatch_duplicates_are_discarded() {
+    let (verifier, spec_text) = minishop();
+    let metrics = SvcMetrics::new();
+    let fopts = FleetOptions {
+        lease_timeout: Duration::from_millis(1),
+        metrics: Some(metrics.clone()),
+        ..test_fleet_options()
+    };
+    let text = "forall x: G (cart(x) -> F cart(x))";
+    let props = vec![(text.to_string(), parse_property(text).unwrap())];
+    let results = fleet_run(&verifier, &spec_text, &props, &[None, None], fopts);
+    let seq = verifier.check(&props[0].1).unwrap();
+    let flt = results.into_iter().next().unwrap().expect("fleet check runs");
+    assert_eq!(format!("{:?}", seq.verdict), format!("{:?}", flt.verdict));
+    assert_eq!(seq.stats.configs, flt.stats.configs, "duplicates must not double-count");
+    assert_eq!(seq.stats.cores, flt.stats.cores);
+}

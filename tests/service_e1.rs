@@ -26,7 +26,7 @@ fn e1_parallel_suite_verdicts_match_sequential_exactly() {
     let parallel = run_prepared(
         verifier.options(),
         &prepared,
-        &ParallelOptions { jobs: 4, split_units: true, metrics: None },
+        &ParallelOptions { jobs: 4, split_units: true, ..Default::default() },
     );
 
     for ((case, prop), result) in cases.iter().zip(&props).zip(parallel) {
@@ -75,7 +75,7 @@ fn counterexample_found_under_sibling_cancellation_replays() {
     assert!(prepared.num_units() > 1, "the test needs a multi-unit check to exercise cancellation");
 
     for jobs in [2, 4, 8] {
-        let popts = ParallelOptions { jobs, split_units: true, metrics: None };
+        let popts = ParallelOptions { jobs, split_units: true, ..Default::default() };
         let v = wave_svc::check_parallel(&verifier, &prop, &popts).unwrap();
         let Verdict::Violated(ce) = &v.verdict else {
             panic!("jobs={jobs}: expected a violation, got {:?}", v.verdict)
