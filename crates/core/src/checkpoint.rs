@@ -163,6 +163,8 @@ fn read_stats(r: &mut ByteReader<'_>) -> Option<Stats> {
     let configs = r.u64()?;
     let cores = r.u64()?;
     let assignments = r.u64()?;
+    // Slice counters are stamped per *check* after the unit merge, never
+    // in per-unit stats, so they are not part of the checkpoint format.
     let mut p = [0u64; 17];
     for v in &mut p {
         *v = r.u64()?;
@@ -195,6 +197,7 @@ fn read_stats(r: &mut ByteReader<'_>) -> Option<Stats> {
             memo_hits: p[14],
             memo_misses: p[15],
             join_builds: p[16],
+            ..Default::default()
         },
     })
 }

@@ -43,6 +43,7 @@ pub mod memo;
 pub mod ndfs;
 pub mod profile;
 pub mod replay;
+pub mod slice;
 pub mod store;
 pub mod succ;
 pub mod trie;
@@ -64,6 +65,7 @@ pub use memo::{QueryCost, QueryEngine};
 pub use ndfs::{Budget, CounterExample, SearchLimits, SearchResult, SearchStats, TraceStep};
 pub use profile::SearchProfile;
 pub use replay::{replay, ReplayError};
+pub use slice::SliceInfo;
 pub use store::{ByteStore, InternedStore, StateStore, StateStoreKind, TierParams, TieredStore};
 pub use succ::{SearchCtx, SuccError};
 pub use trie::{Phase, VisitTable, VisitTrie};

@@ -70,6 +70,21 @@ pub struct SearchProfile {
     /// Hash tables built by lowered hash-join operators (zero under
     /// `--naive-joins`, which keeps every join nested-loop).
     pub join_builds: u64,
+    /// Rules (targets included) the wave-flow slice removed from the
+    /// search (dead guards + unreachable pages). Stamped once per check
+    /// from the verifier's [`crate::SliceInfo`] after the unit merge —
+    /// per-unit profiles carry zero. Deterministic per check, but it
+    /// differs between `--no-slice` (always zero) and the default run
+    /// *by design*, so equivalence comparisons must exclude it (like
+    /// `memo_hits`).
+    pub slice_rules_removed: u64,
+    /// Relations statically proven always-empty (memo-mask narrowing
+    /// set). Stamped like `slice_rules_removed`.
+    pub slice_relations_removed: u64,
+    /// Rules whose guard the flow analysis refuted outright (the W0601
+    /// set; a subset of `slice_rules_removed`). Stamped like
+    /// `slice_rules_removed`.
+    pub flow_dead_rules: u64,
 }
 
 impl SearchProfile {
@@ -92,6 +107,9 @@ impl SearchProfile {
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
         self.join_builds += other.join_builds;
+        self.slice_rules_removed += other.slice_rules_removed;
+        self.slice_relations_removed += other.slice_relations_removed;
+        self.flow_dead_rules += other.flow_dead_rules;
     }
 
     /// True when every counter is zero (e.g. a cache-hit record).

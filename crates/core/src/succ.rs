@@ -84,6 +84,10 @@ pub struct SearchCtx<'a> {
     pub use_plans: bool,
     /// Observability of prev inputs / states / actions (relevance pruning).
     pub visibility: Visibility,
+    /// The wave-flow slice: per-qid rule liveness and the monotone
+    /// delete fast-path flags. The identity slice under `--no-slice`;
+    /// every skip it licenses is runtime-inert (see [`crate::SliceInfo`]).
+    pub slice: std::sync::Arc<crate::slice::SliceInfo>,
     /// Optimized-plan overlay and delta-driven result memo for this core
     /// (holds interior mutability, so a context is built per worker).
     pub engine: QueryEngine,
@@ -253,10 +257,10 @@ impl SearchCtx<'_> {
         let ev = EvalState::new(self, cfg);
         let page = self.spec.page(cfg.page);
 
-        // 1) target page
+        // 1) target page (statically dead conditions can never hold)
         let mut fired: Vec<PageId> = Vec::new();
         for t in &page.target_rules {
-            if self.target_holds(t, &ev, &page.name, spans)? {
+            if self.slice.live(t.reads.qid) && self.target_holds(t, &ev, &page.name, spans)? {
                 fired.push(t.target);
             }
         }
@@ -268,28 +272,51 @@ impl SearchCtx<'_> {
 
         // 2) state update with insert/delete conflict = no-op, over C only
         let mut state: BTreeSet<(wave_relalg::RelId, Tuple)> = cfg.state.iter().cloned().collect();
-        let mut inserts: BTreeSet<(wave_relalg::RelId, Tuple)> = BTreeSet::new();
-        let mut deletes: BTreeSet<(wave_relalg::RelId, Tuple)> = BTreeSet::new();
-        for rule in &page.state_rules {
-            if !self.visibility.state_observable(rule.head) {
-                continue; // write-only state: nothing can read it
-            }
-            let tuples = self.run_rule(rule, &ev, &page.name, spans)?;
-            let sink = if rule.insert { &mut inserts } else { &mut deletes };
-            for t in tuples {
-                if self.over_c(&t) || !rule.insert {
-                    sink.insert((rule.head, t));
+        if self.slice.has_live_delete(cfg.page.index()) {
+            let mut inserts: BTreeSet<(wave_relalg::RelId, Tuple)> = BTreeSet::new();
+            let mut deletes: BTreeSet<(wave_relalg::RelId, Tuple)> = BTreeSet::new();
+            for rule in &page.state_rules {
+                if !self.slice.live(rule.reads.qid) {
+                    continue; // statically dead: derives nothing
+                }
+                if !self.visibility.state_observable(rule.head) {
+                    continue; // write-only state: nothing can read it
+                }
+                let tuples = self.run_rule(rule, &ev, &page.name, spans)?;
+                let sink = if rule.insert { &mut inserts } else { &mut deletes };
+                for t in tuples {
+                    if self.over_c(&t) || !rule.insert {
+                        sink.insert((rule.head, t));
+                    }
                 }
             }
-        }
-        for f in inserts.iter() {
-            if !deletes.contains(f) {
-                state.insert(f.clone());
+            for f in inserts.iter() {
+                if !deletes.contains(f) {
+                    state.insert(f.clone());
+                }
             }
-        }
-        for f in deletes.iter() {
-            if !inserts.contains(f) {
-                state.remove(f);
+            for f in deletes.iter() {
+                if !inserts.contains(f) {
+                    state.remove(f);
+                }
+            }
+        } else {
+            // monotone fast path: no live delete rule on this page, so no
+            // tuple can leave the state and no insert/delete conflict can
+            // arise — inserts land directly (same final set as above with
+            // an empty delete batch)
+            for rule in &page.state_rules {
+                if !rule.insert
+                    || !self.slice.live(rule.reads.qid)
+                    || !self.visibility.state_observable(rule.head)
+                {
+                    continue;
+                }
+                for t in self.run_rule(rule, &ev, &page.name, spans)? {
+                    if self.over_c(&t) {
+                        state.insert((rule.head, t));
+                    }
+                }
             }
         }
         let st: Facts = state.into_iter().collect();
@@ -366,7 +393,7 @@ impl SearchCtx<'_> {
                     RelKind::Input => {
                         let mut seen = Relation::empty(self.spec.schema.arity(input));
                         for rule in &page.option_rules {
-                            if rule.head != input {
+                            if rule.head != input || !self.slice.live(rule.reads.qid) {
                                 continue;
                             }
                             for t in self.run_rule(rule, &ev, &page.name, spans)? {
@@ -432,6 +459,7 @@ impl SearchCtx<'_> {
                 let visible_actions: Vec<&CompiledRule> = page
                     .action_rules
                     .iter()
+                    .filter(|r| self.slice.live(r.reads.qid))
                     .filter(|r| self.visibility.action_observable(r.head))
                     .collect();
                 if !visible_actions.is_empty() {

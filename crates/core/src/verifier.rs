@@ -77,6 +77,15 @@ pub struct VerifyOptions {
     /// check stops with [`Verdict::Unknown`]`(`[`Budget::Cancelled`]`)`.
     /// Not part of the verification semantics (result caches ignore it).
     pub cancel: Option<CancelToken>,
+    /// Static slicing (`--no-slice` clears it): run the wave-flow
+    /// analyses at construction, skip statically dead rules, take the
+    /// monotone insert fast path on pages without live delete rules,
+    /// and narrow memo read-masks over always-empty relations. Every
+    /// transformation is runtime-inert (see [`crate::SliceInfo`]) —
+    /// verdicts, traces and deterministic counters are byte-identical
+    /// either way — but the slice counters it stamps into the profile
+    /// differ, so result caches must key on it.
+    pub slice: bool,
 }
 
 impl Default for VerifyOptions {
@@ -93,6 +102,7 @@ impl Default for VerifyOptions {
             state_store: StateStoreKind::Interned,
             naive_joins: false,
             cancel: None,
+            slice: true,
         }
     }
 }
@@ -252,17 +262,34 @@ impl From<SuccError> for VerifyError {
 pub struct Verifier {
     spec: CompiledSpec,
     options: VerifyOptions,
+    /// The wave-flow slice (identity when `options.slice` is off),
+    /// computed once and shared by every prepared check. The flow
+    /// report is property-independent, so there is nothing per-check
+    /// to recompute.
+    slice: std::sync::Arc<crate::slice::SliceInfo>,
 }
 
 impl Verifier {
     /// Compile `spec` and build a verifier with default options.
     pub fn new(spec: Spec) -> Result<Verifier, VerifyError> {
-        Ok(Verifier { spec: CompiledSpec::compile(spec)?, options: VerifyOptions::default() })
+        Verifier::with_options(spec, VerifyOptions::default())
     }
 
     /// Build with explicit options.
     pub fn with_options(spec: Spec, options: VerifyOptions) -> Result<Verifier, VerifyError> {
-        Ok(Verifier { spec: CompiledSpec::compile(spec)?, options })
+        let mut compiled = CompiledSpec::compile(spec)?;
+        let slice = if options.slice {
+            crate::slice::SliceInfo::compute(&mut compiled)
+        } else {
+            crate::slice::SliceInfo::full(&compiled)
+        };
+        Ok(Verifier { spec: compiled, options, slice: std::sync::Arc::new(slice) })
+    }
+
+    /// The slice driving this verifier's searches (identity under
+    /// `--no-slice`).
+    pub fn slice(&self) -> &crate::slice::SliceInfo {
+        &self.slice
     }
 
     /// The compiled specification (for inspection and experiment harnesses).
@@ -277,6 +304,9 @@ impl Verifier {
     }
 
     /// Options (mutable, so harnesses can toggle heuristics between runs).
+    /// `slice` is the one option that only takes effect at construction
+    /// ([`Verifier::with_options`]): the flow analyses and mask narrowing
+    /// run once while compiling, so toggling it here is a no-op.
     pub fn options_mut(&mut self) -> &mut VerifyOptions {
         &mut self.options
     }
@@ -383,6 +413,11 @@ impl Verifier {
         }
 
         stats.elapsed = start.elapsed();
+        // stamped once per check (units leave these at zero, so the merge
+        // above cannot multiply-count them)
+        stats.profile.slice_rules_removed = self.slice.rules_removed;
+        stats.profile.slice_relations_removed = self.slice.relations_removed;
+        stats.profile.flow_dead_rules = self.slice.dead_rules;
         Ok(Verification { verdict, stats, complete: prepared.complete })
     }
 
@@ -446,6 +481,7 @@ impl Verifier {
             pools,
             assignments: all_assignments,
             visibility,
+            slice: std::sync::Arc::clone(&self.slice),
             complete,
         })
     }
@@ -522,6 +558,7 @@ impl Verifier {
             heuristic2: self.options.heuristic2,
             use_plans: self.options.use_plans,
             visibility,
+            slice: std::sync::Arc::clone(&self.slice),
             engine,
         };
         crate::replay::replay(&ctx, &buchi, &components, ce)
@@ -585,6 +622,7 @@ pub struct PreparedCheck<'v> {
     pools: Vec<crate::domain::PagePool>,
     assignments: Vec<Assignment>,
     visibility: Visibility,
+    slice: std::sync::Arc<crate::slice::SliceInfo>,
     /// Both spec and property are input-bounded (Theorem 3.3 / 3.8).
     pub complete: bool,
 }
@@ -601,6 +639,14 @@ impl PreparedCheck<'_> {
     /// Number of independent work units (`C_∃` assignments).
     pub fn num_units(&self) -> usize {
         self.assignments.len()
+    }
+
+    /// The slice driving this check's searches (identity under
+    /// `--no-slice`). External schedulers merging [`UnitOutcome`]s stamp
+    /// the per-check slice counters from here, exactly like
+    /// [`Verifier::check`] does — units leave them at zero.
+    pub fn slice(&self) -> &crate::slice::SliceInfo {
+        &self.slice
     }
 
     /// The `C_∃` assignment a unit instantiates.
@@ -757,6 +803,7 @@ impl PreparedCheck<'_> {
                 heuristic2: options.heuristic2,
                 use_plans: options.use_plans,
                 visibility: self.visibility.clone(),
+                slice: std::sync::Arc::clone(&self.slice),
                 engine: qengine,
             };
             // every core's search leases from the same shared pool, so

@@ -1,0 +1,620 @@
+//! Abstract three-valued evaluation of rule guards.
+//!
+//! A guard is evaluated against the current [`Facts`] approximation:
+//! which relations may hold tuples at all, and which constants each
+//! tracked column may carry (the §3.2 comparison sets, run as a
+//! constant-propagation lattice). The evaluator is *refutation
+//! oriented*: `False` means no run of the spec can ever satisfy the
+//! guard, together with a provenance chain saying why; anything it
+//! cannot refute degrades to `Unknown`, never the other way around.
+//!
+//! Within one conjunctive scope the evaluator maintains an equality
+//! environment (union-find over variables) whose classes carry *pin
+//! sets* — the constants a variable is forced to be among. Pins come
+//! from explicit equalities (`x = "go"`), from positive atoms over
+//! columns with finite value sets, and transitively through variable
+//! equalities; a pin set running dry is a contradiction.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::lattice::{Tri, Values};
+use wave_fol::{Atom, Formula, Term};
+
+/// The relation-level facts a guard is evaluated against.
+///
+/// `tracked` relations (state, action, and non-constant input
+/// relations) start empty and are grown by the enclosing fixpoint;
+/// everything else (database relations, input constants) is
+/// permanently nonempty with ⊤ columns — their contents come from the
+/// arbitrary database instance, not from the spec text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Facts {
+    tracked: BTreeSet<String>,
+    nonempty: BTreeSet<String>,
+    columns: BTreeMap<(String, usize), Values>,
+    /// Post-fixpoint provenance: why a tracked relation is known empty.
+    pub empty_reason: BTreeMap<String, String>,
+    /// Post-fixpoint provenance: where a tracked column's value set
+    /// comes from.
+    pub column_source: BTreeMap<String, String>,
+}
+
+impl Facts {
+    /// ⊥ over the given tracked relations (with their arities).
+    pub fn bottom(tracked: impl IntoIterator<Item = (String, usize)>) -> Facts {
+        let mut cols = BTreeMap::new();
+        let mut rels = BTreeSet::new();
+        for (rel, arity) in tracked {
+            for col in 0..arity {
+                cols.insert((rel.clone(), col), Values::bottom());
+            }
+            rels.insert(rel);
+        }
+        Facts {
+            tracked: rels,
+            nonempty: BTreeSet::new(),
+            columns: cols,
+            empty_reason: BTreeMap::new(),
+            column_source: BTreeMap::new(),
+        }
+    }
+
+    /// May `rel` hold a tuple at some step of some run?
+    pub fn nonempty(&self, rel: &str) -> bool {
+        !self.tracked.contains(rel) || self.nonempty.contains(rel)
+    }
+
+    /// Over-approximation of the constants column `col` of `rel` can
+    /// carry. Untracked relations are ⊤.
+    pub fn column(&self, rel: &str, col: usize) -> Values {
+        self.columns.get(&(rel.to_string(), col)).cloned().unwrap_or(Values::Top)
+    }
+
+    /// Record that `rel` may be populated, with per-column value
+    /// contributions; `true` if anything grew.
+    pub fn feed(&mut self, rel: &str, cols: &[Values]) -> bool {
+        let mut changed = self.tracked.contains(rel) && self.nonempty.insert(rel.to_string());
+        for (col, v) in cols.iter().enumerate() {
+            if let Some(slot) = self.columns.get_mut(&(rel.to_string(), col)) {
+                changed |= slot.join(v);
+            }
+        }
+        changed
+    }
+
+    /// Tracked relations still known empty at the current approximation.
+    pub fn empty_tracked(&self) -> impl Iterator<Item = &str> {
+        self.tracked.iter().filter(|r| !self.nonempty.contains(*r)).map(String::as_str)
+    }
+
+    fn why_empty(&self, rel: &str) -> String {
+        self.empty_reason
+            .get(rel)
+            .cloned()
+            .unwrap_or_else(|| format!("relation `{rel}` can never hold a tuple"))
+    }
+
+    fn why_column(&self, rel: &str, col: usize, values: &Values) -> String {
+        let source = self
+            .column_source
+            .get(rel)
+            .cloned()
+            .unwrap_or_else(|| "the rules that populate it".to_string());
+        format!("column {col} of `{rel}` can only carry {} (from {source})", values.describe())
+    }
+}
+
+/// One equality class: the pin set and a short provenance trail.
+#[derive(Clone, Debug)]
+struct Class {
+    pin: Values,
+    why: Vec<String>,
+}
+
+impl Class {
+    fn top() -> Class {
+        Class { pin: Values::Top, why: Vec::new() }
+    }
+
+    /// Narrow the pin set; `Err` with the refutation chain if it dries up.
+    fn narrow(&mut self, v: &Values, why: String) -> Result<(), Vec<String>> {
+        let met = self.pin.meet(v);
+        if met.is_empty() && !self.pin.is_empty() {
+            let mut notes = self.why.clone();
+            notes.push(why);
+            return Err(notes);
+        }
+        if met != self.pin {
+            self.pin = met;
+            if self.why.len() < 4 {
+                self.why.push(why);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The equality environment of one conjunctive scope.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    vars: HashMap<String, usize>,
+    classes: Vec<Class>,
+}
+
+impl Env {
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    fn class_of(&mut self, var: &str) -> usize {
+        if let Some(&c) = self.vars.get(var) {
+            return c;
+        }
+        self.classes.push(Class::top());
+        let c = self.classes.len() - 1;
+        self.vars.insert(var.to_string(), c);
+        c
+    }
+
+    /// Rebind `var` to a fresh unconstrained class (quantifier shadowing).
+    fn shadow(&mut self, var: &str) {
+        self.classes.push(Class::top());
+        let c = self.classes.len() - 1;
+        self.vars.insert(var.to_string(), c);
+    }
+
+    fn union(&mut self, a: &str, b: &str) -> Result<(), Vec<String>> {
+        let (ca, cb) = (self.class_of(a), self.class_of(b));
+        if ca == cb {
+            return Ok(());
+        }
+        let other = self.classes[cb].clone();
+        // re-point every member of b's class at a's
+        for c in self.vars.values_mut() {
+            if *c == cb {
+                *c = ca;
+            }
+        }
+        let why = format!("`{a}` = `{b}` in this guard");
+        let slot = &mut self.classes[ca];
+        for w in other.why {
+            if slot.why.len() < 4 {
+                slot.why.push(w);
+            }
+        }
+        slot.narrow(&other.pin, why)
+    }
+
+    fn narrow(&mut self, var: &str, v: &Values, why: String) -> Result<(), Vec<String>> {
+        let c = self.class_of(var);
+        self.classes[c].narrow(v, why)
+    }
+
+    /// The pin set of `var` (⊤ when unconstrained or never mentioned).
+    pub fn pin(&self, var: &str) -> Values {
+        match self.vars.get(var) {
+            Some(&c) => self.classes[c].pin.clone(),
+            None => Values::Top,
+        }
+    }
+
+    fn same_class(&self, a: &str, b: &str) -> bool {
+        match (self.vars.get(a), self.vars.get(b)) {
+            (Some(ca), Some(cb)) => ca == cb,
+            _ => false,
+        }
+    }
+}
+
+/// Abstract evaluation result: `False` carries the provenance chain.
+#[derive(Clone, Debug)]
+pub enum Verdict3 {
+    True,
+    False(Vec<String>),
+    Unknown,
+}
+
+impl Verdict3 {
+    pub fn tri(&self) -> Tri {
+        match self {
+            Verdict3::True => Tri::True,
+            Verdict3::False(_) => Tri::False,
+            Verdict3::Unknown => Tri::Unknown,
+        }
+    }
+
+    fn and(self, other: Verdict3) -> Verdict3 {
+        match (self, other) {
+            (f @ Verdict3::False(_), _) | (_, f @ Verdict3::False(_)) => f,
+            (Verdict3::True, Verdict3::True) => Verdict3::True,
+            _ => Verdict3::Unknown,
+        }
+    }
+}
+
+/// Evaluate `body` as the guard of a rule on `page`, refining `env`
+/// with the pins the conjunction implies. The caller reads surviving
+/// head-variable pins out of `env` afterwards.
+pub fn eval(body: &Formula, page: &str, facts: &Facts, env: &mut Env) -> Verdict3 {
+    let mut conjuncts = Vec::new();
+    flatten(body, &mut conjuncts);
+
+    // pass 1: explicit equalities establish the classes and seed pins
+    let mut verdict = Verdict3::True;
+    for c in &conjuncts {
+        if let Formula::Eq(a, b) = c {
+            match register_eq(a, b, env) {
+                Ok(v) => verdict = verdict.and(v),
+                Err(notes) => return Verdict3::False(notes),
+            }
+        }
+    }
+    if let Verdict3::False(_) = verdict {
+        return verdict;
+    }
+
+    // pass 2: positive atoms check emptiness and narrow pins through
+    // column value sets; loop until the pins stop moving (pins from one
+    // atom can dry up another's)
+    loop {
+        let mut moved = false;
+        for c in &conjuncts {
+            if let Formula::Atom(a) = c {
+                match check_atom(a, facts, env) {
+                    Ok(m) => moved |= m,
+                    Err(notes) => return Verdict3::False(notes),
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    // pass 3: everything else, each in its own nested scope
+    let mut all_true = true;
+    for c in &conjuncts {
+        let v = match c {
+            Formula::Eq(..) | Formula::Atom(_) => Verdict3::Unknown, // handled above
+            other => eval_one(other, page, facts, env),
+        };
+        match &v {
+            Verdict3::False(_) => return v,
+            Verdict3::Unknown => all_true = false,
+            Verdict3::True => {}
+        }
+    }
+    // a scope with atoms or free pins is satisfiable-but-not-valid
+    let constrained = conjuncts.iter().any(|c| {
+        matches!(c, Formula::Atom(_) | Formula::Eq(..))
+            && !matches!(c, Formula::Eq(Term::Const(_), Term::Const(_)))
+    });
+    if all_true && !constrained {
+        Verdict3::True
+    } else {
+        Verdict3::Unknown
+    }
+}
+
+fn flatten<'f>(f: &'f Formula, out: &mut Vec<&'f Formula>) {
+    match f {
+        Formula::And(parts) => {
+            for p in parts {
+                flatten(p, out);
+            }
+        }
+        other => out.push(other),
+    }
+}
+
+fn register_eq(a: &Term, b: &Term, env: &mut Env) -> Result<Verdict3, Vec<String>> {
+    match (a, b) {
+        (Term::Const(x), Term::Const(y)) => {
+            if x == y {
+                Ok(Verdict3::True)
+            } else {
+                Err(vec![format!("the guard requires {x:?} = {y:?}, which never holds")])
+            }
+        }
+        (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+            let single = Values::Set([c.clone()].into());
+            env.narrow(v, &single, format!("`{v}` = {c:?} in this guard"))?;
+            Ok(Verdict3::Unknown)
+        }
+        (Term::Var(v), Term::Var(w)) => {
+            env.union(v, w)?;
+            Ok(Verdict3::Unknown)
+        }
+        // Field terms only exist after the input rewrite; opaque here
+        _ => Ok(Verdict3::Unknown),
+    }
+}
+
+/// Check one positive atom against the facts; `Ok(true)` if a pin moved.
+fn check_atom(a: &Atom, facts: &Facts, env: &mut Env) -> Result<bool, Vec<String>> {
+    if !facts.nonempty(&a.rel) {
+        return Err(vec![
+            format!("`{a}` requires a tuple of `{}`", a.rel),
+            facts.why_empty(&a.rel),
+        ]);
+    }
+    let mut moved = false;
+    for (col, t) in a.terms.iter().enumerate() {
+        let values = facts.column(&a.rel, col);
+        match t {
+            Term::Const(c) => {
+                if !values.admits(c) {
+                    return Err(vec![
+                        format!("`{a}` requires {c:?} in column {col} of `{}`", a.rel),
+                        facts.why_column(&a.rel, col, &values),
+                    ]);
+                }
+            }
+            Term::Var(v) => {
+                if let Values::Set(_) = values {
+                    let why = facts.why_column(&a.rel, col, &values);
+                    let before = env.pin(v);
+                    env.narrow(v, &values, why).map_err(|mut notes| {
+                        notes.insert(
+                            0,
+                            format!("`{a}` binds `{v}` against column {col} of `{}`", a.rel),
+                        );
+                        notes
+                    })?;
+                    moved |= env.pin(v) != before;
+                }
+            }
+            Term::Field { .. } => {}
+        }
+    }
+    Ok(moved)
+}
+
+/// Evaluate a non-conjunctive sub-formula in a nested scope.
+fn eval_one(f: &Formula, page: &str, facts: &Facts, env: &mut Env) -> Verdict3 {
+    match f {
+        Formula::True => Verdict3::True,
+        Formula::False => Verdict3::False(vec!["the guard is literally false".to_string()]),
+        Formula::Page(name) => {
+            if name == page {
+                Verdict3::True
+            } else {
+                Verdict3::False(vec![format!(
+                    "the guard requires the current page to be {name}, but this rule runs on {page}"
+                )])
+            }
+        }
+        Formula::InputEmpty { rel, .. } => {
+            if facts.nonempty(rel) {
+                Verdict3::Unknown
+            } else {
+                Verdict3::True
+            }
+        }
+        Formula::Ne(a, b) => eval_ne(a, b, env),
+        Formula::Not(inner) => {
+            let mut nested = env.clone();
+            match eval(inner, page, facts, &mut nested) {
+                Verdict3::True => Verdict3::False(vec![format!(
+                    "the guard negates a condition that always holds: `{inner}`"
+                )]),
+                Verdict3::False(_) => Verdict3::True,
+                Verdict3::Unknown => Verdict3::Unknown,
+            }
+        }
+        Formula::Or(parts) => {
+            let mut branches = Vec::new();
+            let mut notes = Vec::new();
+            for p in parts {
+                let mut nested = env.clone();
+                match eval(p, page, facts, &mut nested) {
+                    Verdict3::False(mut n) => notes.append(&mut n),
+                    v => branches.push((v, nested)),
+                }
+            }
+            if branches.is_empty() {
+                notes.insert(0, "every alternative of the disjunction is impossible".to_string());
+                notes.truncate(6);
+                return Verdict3::False(notes);
+            }
+            // write surviving-branch pins back: a variable constrained in
+            // *every* live branch is pinned to the union of its branch pins
+            let mut vars = BTreeSet::new();
+            for (_, benv) in &branches {
+                vars.extend(benv.vars.keys().cloned());
+            }
+            for v in vars {
+                let mut joined = Values::bottom();
+                let mut finite = true;
+                for (_, benv) in &branches {
+                    match benv.pin(&v) {
+                        Values::Top => {
+                            finite = false;
+                            break;
+                        }
+                        set => {
+                            joined.join(&set);
+                        }
+                    }
+                }
+                if finite {
+                    let why = format!("`{v}` is pinned by every alternative of a disjunction");
+                    if let Err(notes) = env.narrow(&v, &joined, why) {
+                        return Verdict3::False(notes);
+                    }
+                }
+            }
+            if branches.iter().any(|(v, _)| matches!(v, Verdict3::True)) {
+                Verdict3::True
+            } else {
+                Verdict3::Unknown
+            }
+        }
+        Formula::Implies(a, b) => {
+            let mut na = env.clone();
+            let va = eval(a, page, facts, &mut na);
+            let mut nb = env.clone();
+            let vb = eval(b, page, facts, &mut nb);
+            match (va.tri(), vb.tri()) {
+                (Tri::False, _) | (_, Tri::True) => Verdict3::True,
+                (Tri::True, Tri::False) => {
+                    Verdict3::False(vec![format!("`{a}` always holds but `{b}` never can")])
+                }
+                _ => Verdict3::Unknown,
+            }
+        }
+        Formula::Exists(vars, body) | Formula::Forall(vars, body) => {
+            let mut nested = env.clone();
+            for v in vars {
+                nested.shadow(v);
+            }
+            // the active domain is never empty (spec constants and pool
+            // witnesses are always in it), so both quantifiers pass a
+            // definite body verdict through unchanged
+            eval(body, page, facts, &mut nested)
+        }
+        Formula::Eq(a, b) => match register_eq(a, b, env) {
+            Ok(v) => v,
+            Err(notes) => Verdict3::False(notes),
+        },
+        Formula::Atom(a) => match check_atom(a, facts, env) {
+            Ok(_) => Verdict3::Unknown,
+            Err(notes) => Verdict3::False(notes),
+        },
+        Formula::And(_) => {
+            let mut nested = env.clone();
+            eval(f, page, facts, &mut nested)
+        }
+    }
+}
+
+fn eval_ne(a: &Term, b: &Term, env: &Env) -> Verdict3 {
+    match (a, b) {
+        (Term::Const(x), Term::Const(y)) => {
+            if x != y {
+                Verdict3::True
+            } else {
+                Verdict3::False(vec![format!("the guard requires {x:?} != {y:?}")])
+            }
+        }
+        (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => match env.pin(v) {
+            Values::Set(s) if s.len() == 1 && s.contains(c) => Verdict3::False(vec![format!(
+                "`{v}` is pinned to {c:?}, so `{v}` != {c:?} never holds"
+            )]),
+            Values::Set(s) if !s.contains(c) => Verdict3::True,
+            _ => Verdict3::Unknown,
+        },
+        (Term::Var(v), Term::Var(w)) => {
+            if v == w || env.same_class(v, w) {
+                Verdict3::False(vec![format!(
+                    "`{v}` and `{w}` are equal here, so `{v}` != `{w}` never holds"
+                )])
+            } else {
+                match (env.pin(v), env.pin(w)) {
+                    (Values::Set(a), Values::Set(b)) if a.is_disjoint(&b) => Verdict3::True,
+                    _ => Verdict3::Unknown,
+                }
+            }
+        }
+        _ => Verdict3::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts() -> Facts {
+        let mut f = Facts::bottom([("go".to_string(), 1), ("junk".to_string(), 1)]);
+        f.feed("go", &[Values::Set(["next".to_string(), "stop".to_string()].into())]);
+        f
+    }
+
+    fn atom(rel: &str, t: Term) -> Formula {
+        Formula::Atom(Atom { rel: rel.to_string(), prev: false, terms: vec![t] })
+    }
+
+    #[test]
+    fn refutes_constant_outside_value_set() {
+        let g = atom("go", Term::Const("teleport".to_string()));
+        let v = eval(&g, "P", &facts(), &mut Env::new());
+        assert!(matches!(v, Verdict3::False(_)), "{v:?}");
+    }
+
+    #[test]
+    fn refutes_empty_relation_and_contradictory_pins() {
+        let g = atom("junk", Term::Var("x".to_string()));
+        assert!(matches!(eval(&g, "P", &facts(), &mut Env::new()), Verdict3::False(_)));
+
+        let g = Formula::and([
+            Formula::Eq(Term::Var("x".into()), Term::Const("a".into())),
+            Formula::Eq(Term::Var("x".into()), Term::Const("b".into())),
+        ]);
+        let v = eval(&g, "P", &facts(), &mut Env::new());
+        assert!(matches!(v, Verdict3::False(_)), "{v:?}");
+    }
+
+    #[test]
+    fn pins_flow_through_variable_equalities_and_atoms() {
+        // y = x, go(x), y = "gone": go's column excludes "gone"
+        let g = Formula::and([
+            Formula::Eq(Term::Var("y".into()), Term::Var("x".into())),
+            atom("go", Term::Var("x".into())),
+            Formula::Eq(Term::Var("y".into()), Term::Const("gone".into())),
+        ]);
+        let v = eval(&g, "P", &facts(), &mut Env::new());
+        assert!(matches!(v, Verdict3::False(_)), "{v:?}");
+
+        // the satisfiable variant stays unknown and pins the head var
+        let g = Formula::and([
+            Formula::Eq(Term::Var("y".into()), Term::Var("x".into())),
+            atom("go", Term::Var("x".into())),
+        ]);
+        let mut env = Env::new();
+        assert!(matches!(eval(&g, "P", &facts(), &mut env), Verdict3::Unknown));
+        assert_eq!(env.pin("y"), Values::Set(["next".to_string(), "stop".to_string()].into()));
+    }
+
+    #[test]
+    fn disjunction_pins_join_and_page_markers_resolve() {
+        let g = Formula::or([
+            Formula::Eq(Term::Var("x".into()), Term::Const("a".into())),
+            Formula::Eq(Term::Var("x".into()), Term::Const("b".into())),
+        ]);
+        let mut env = Env::new();
+        assert!(matches!(eval(&g, "P", &facts(), &mut env), Verdict3::Unknown));
+        assert_eq!(env.pin("x"), Values::Set(["a".to_string(), "b".to_string()].into()));
+
+        assert!(matches!(
+            eval(&Formula::Page("Q".into()), "P", &facts(), &mut Env::new()),
+            Verdict3::False(_)
+        ));
+        assert!(matches!(
+            eval(&Formula::Page("P".into()), "P", &facts(), &mut Env::new()),
+            Verdict3::True
+        ));
+    }
+
+    #[test]
+    fn shadowed_quantifiers_do_not_merge() {
+        // (exists x: x = "a") & (exists x: x = "b") is satisfiable
+        let g = Formula::and([
+            Formula::Exists(
+                vec!["x".into()],
+                Box::new(Formula::Eq(Term::Var("x".into()), Term::Const("a".into()))),
+            ),
+            Formula::Exists(
+                vec!["x".into()],
+                Box::new(Formula::Eq(Term::Var("x".into()), Term::Const("b".into()))),
+            ),
+        ]);
+        let v = eval(&g, "P", &facts(), &mut Env::new());
+        assert!(!matches!(v, Verdict3::False(_)), "{v:?}");
+    }
+
+    #[test]
+    fn negation_of_empty_atom_is_true() {
+        let g = Formula::not(atom("junk", Term::Var("x".into())));
+        assert!(matches!(eval(&g, "P", &facts(), &mut Env::new()), Verdict3::True));
+    }
+}

@@ -1,0 +1,570 @@
+//! The spec-level analyses: a combined least fixpoint over page
+//! reachability, relation emptiness, and column value sets, followed by
+//! a classification pass that names dead rules (with provenance),
+//! unreachable pages, always-empty relations, and monotone state
+//! relations. Everything downstream — the W06xx lints, the verifier's
+//! rule-liveness slice, the memo-mask narrowing — reads the
+//! [`FlowReport`] this module produces.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::absint::{eval, Env, Facts, Verdict3};
+use crate::lattice::{fixpoint, Values, Worklist};
+use wave_spec::{PageSchema, Spec};
+
+/// Which rule vector of a page a [`RuleRef`] indexes into. `State`
+/// covers both insert and delete rules (they share one vector in the
+/// spec model, and the compiled spec preserves that order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleKind {
+    Option,
+    State,
+    Action,
+    Target,
+}
+
+/// A rule, addressed positionally so the compiled spec (which maps each
+/// AST rule vector in order) can translate it to a query id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RuleRef {
+    pub page: usize,
+    pub kind: RuleKind,
+    pub index: usize,
+}
+
+/// A rule whose guard is statically unsatisfiable, with the provenance
+/// chain explaining the refutation.
+#[derive(Clone, Debug)]
+pub struct DeadRule {
+    pub rule: RuleRef,
+    pub notes: Vec<String>,
+}
+
+/// A tracked relation that has populating rules, all of which are dead
+/// or unreachable — it can never hold a tuple.
+#[derive(Clone, Debug)]
+pub struct EmptyRel {
+    pub rel: String,
+    pub writers: usize,
+    pub note: String,
+}
+
+/// The output of [`analyze`]: everything the lints and the verifier
+/// slice consume.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// The post-fixpoint facts (relation emptiness + column value sets).
+    pub facts: Facts,
+    /// Guard-unsat rules, in page/kind/index order.
+    pub dead: Vec<DeadRule>,
+    dead_set: BTreeSet<RuleRef>,
+    /// Pages reachable from home via statically-live target edges.
+    pub reachable_pages: BTreeSet<usize>,
+    /// Complement of `reachable_pages`, in index order.
+    pub unreachable_pages: Vec<usize>,
+    /// Tracked relations with ≥1 populating rule that still can never
+    /// hold a tuple (W0602 material).
+    pub always_empty: Vec<EmptyRel>,
+    /// Every tracked relation that can never hold a tuple, writers or
+    /// not (memo-mask narrowing material).
+    pub never_nonempty: BTreeSet<String>,
+    /// State relations inserted by some rule but never deleted by any.
+    pub monotone: Vec<String>,
+    /// Per page: does it host a *live* delete rule? Pages without one
+    /// can take the verifier's monotone insert fast path.
+    pub page_has_live_delete: Vec<bool>,
+    /// Fixpoint rounds taken (diagnostic; bounded by the spec's constants).
+    pub rounds: usize,
+}
+
+impl FlowReport {
+    /// Is the rule's guard statically unsatisfiable?
+    pub fn is_dead(&self, r: &RuleRef) -> bool {
+        self.dead_set.contains(r)
+    }
+
+    /// Can the rule ever fire: guard satisfiable *and* page reachable?
+    pub fn is_live(&self, r: &RuleRef) -> bool {
+        !self.is_dead(r) && self.reachable_pages.contains(&r.page)
+    }
+
+    /// Refutation notes for a dead rule, if it is one.
+    pub fn dead_notes(&self, r: &RuleRef) -> Option<&[String]> {
+        self.dead.iter().find(|d| d.rule == *r).map(|d| d.notes.as_slice())
+    }
+}
+
+/// How a relation is populated, for provenance wording and writer counts.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RelClass {
+    Db,
+    State,
+    Action,
+    Input { constant: bool },
+}
+
+struct SpecIndex<'s> {
+    spec: &'s Spec,
+    class: BTreeMap<&'s str, RelClass>,
+    page_index: BTreeMap<&'s str, usize>,
+    home: usize,
+}
+
+impl<'s> SpecIndex<'s> {
+    fn new(spec: &'s Spec) -> SpecIndex<'s> {
+        let mut class = BTreeMap::new();
+        for (r, _) in &spec.database {
+            class.insert(r.as_str(), RelClass::Db);
+        }
+        for (r, _) in &spec.states {
+            class.insert(r.as_str(), RelClass::State);
+        }
+        for (r, _) in &spec.actions {
+            class.insert(r.as_str(), RelClass::Action);
+        }
+        for i in &spec.inputs {
+            class.insert(i.name.as_str(), RelClass::Input { constant: i.constant });
+        }
+        let page_index: BTreeMap<&str, usize> =
+            spec.pages.iter().enumerate().map(|(i, p)| (p.name.as_str(), i)).collect();
+        let home = page_index.get(spec.home.as_str()).copied().unwrap_or(0);
+        SpecIndex { spec, class, page_index, home }
+    }
+
+    /// Relations whose emptiness and value sets the fixpoint tracks:
+    /// state and action relations plus non-constant inputs. Database
+    /// relations and input constants carry arbitrary instance data.
+    fn tracked(&self) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        for (r, a) in self.spec.states.iter().chain(&self.spec.actions) {
+            out.push((r.clone(), *a));
+        }
+        for i in &self.spec.inputs {
+            if !i.constant {
+                out.push((i.name.clone(), i.arity));
+            }
+        }
+        out
+    }
+
+    /// Rules (across every page) that populate `rel`.
+    fn writers(&self, rel: &str) -> usize {
+        self.spec
+            .pages
+            .iter()
+            .map(|p| match self.class.get(rel) {
+                Some(RelClass::State) => {
+                    p.state_rules.iter().filter(|r| r.insert && r.state == rel).count()
+                }
+                Some(RelClass::Action) => p.action_rules.iter().filter(|r| r.action == rel).count(),
+                Some(RelClass::Input { .. }) => {
+                    p.option_rules.iter().filter(|r| r.input == rel).count()
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn populate_phrase(&self, rel: &str) -> &'static str {
+        match self.class.get(rel) {
+            Some(RelClass::State) => "the insert rules that populate it",
+            Some(RelClass::Action) => "the action rules that emit it",
+            Some(RelClass::Input { .. }) => "the option rules that offer it",
+            _ => "the rules that populate it",
+        }
+    }
+}
+
+/// Pages reachable from home via target edges whose conditions the
+/// current facts cannot refute.
+fn reachable_pages(idx: &SpecIndex<'_>, facts: &Facts) -> BTreeSet<usize> {
+    let mut wl = Worklist::new();
+    wl.push(idx.home);
+    while let Some(pi) = wl.pop() {
+        let page = &idx.spec.pages[pi];
+        for t in &page.target_rules {
+            let mut env = Env::new();
+            if matches!(eval(&t.condition, &page.name, facts, &mut env), Verdict3::False(_)) {
+                continue;
+            }
+            if let Some(&ti) = idx.page_index.get(t.target.as_str()) {
+                wl.push(ti);
+            }
+        }
+    }
+    wl.seen().clone()
+}
+
+/// Evaluate a rule body and, if it survives, feed the head relation's
+/// facts. Returns whether the facts grew.
+fn feed_rule(
+    facts: &mut Facts,
+    snapshot: &Facts,
+    page: &PageSchema,
+    rel: &str,
+    head: &[String],
+    body: &wave_fol::Formula,
+) -> bool {
+    let mut env = Env::new();
+    if matches!(eval(body, &page.name, snapshot, &mut env), Verdict3::False(_)) {
+        return false;
+    }
+    let cols: Vec<Values> = head.iter().map(|v| env.pin(v)).collect();
+    facts.feed(rel, &cols)
+}
+
+/// Run the combined reachability / emptiness / value-set least fixpoint
+/// and classify every rule, page, and relation of `spec`.
+pub fn analyze(spec: &Spec) -> FlowReport {
+    let idx = SpecIndex::new(spec);
+    let mut facts = Facts::bottom(idx.tracked());
+
+    let rounds = fixpoint(|| {
+        let snapshot = facts.clone();
+        let reach = reachable_pages(&idx, &snapshot);
+        let mut changed = false;
+        for &pi in &reach {
+            let page = &spec.pages[pi];
+            for r in &page.option_rules {
+                changed |= feed_rule(&mut facts, &snapshot, page, &r.input, &r.head, &r.body);
+            }
+            for r in page.state_rules.iter().filter(|r| r.insert) {
+                changed |= feed_rule(&mut facts, &snapshot, page, &r.state, &r.head, &r.body);
+            }
+            for r in &page.action_rules {
+                changed |= feed_rule(&mut facts, &snapshot, page, &r.action, &r.head, &r.body);
+            }
+        }
+        changed
+    });
+
+    // provenance for the classification pass and downstream diagnostics
+    let empty: Vec<String> = facts.empty_tracked().map(str::to_string).collect();
+    for rel in &empty {
+        let reason = if idx.writers(rel) == 0 {
+            format!("relation `{rel}` can never hold a tuple: no rule populates it")
+        } else {
+            format!(
+                "relation `{rel}` can never hold a tuple: every rule that populates it is \
+                 statically dead or sits on an unreachable page"
+            )
+        };
+        facts.empty_reason.insert(rel.clone(), reason);
+    }
+    for (rel, _) in idx.tracked() {
+        facts.column_source.insert(rel.clone(), idx.populate_phrase(&rel).to_string());
+    }
+
+    // classification: final reachability, then re-evaluate every guard
+    let reachable = reachable_pages(&idx, &facts);
+    let mut dead = Vec::new();
+    let mut dead_set = BTreeSet::new();
+    for (pi, page) in spec.pages.iter().enumerate() {
+        let mut judge = |kind: RuleKind, index: usize, body: &wave_fol::Formula| {
+            let mut env = Env::new();
+            if let Verdict3::False(notes) = eval(body, &page.name, &facts, &mut env) {
+                let rule = RuleRef { page: pi, kind, index };
+                dead_set.insert(rule);
+                dead.push(DeadRule { rule, notes });
+            }
+        };
+        for (i, r) in page.option_rules.iter().enumerate() {
+            judge(RuleKind::Option, i, &r.body);
+        }
+        for (i, r) in page.state_rules.iter().enumerate() {
+            judge(RuleKind::State, i, &r.body);
+        }
+        for (i, r) in page.action_rules.iter().enumerate() {
+            judge(RuleKind::Action, i, &r.body);
+        }
+        for (i, r) in page.target_rules.iter().enumerate() {
+            judge(RuleKind::Target, i, &r.condition);
+        }
+    }
+
+    let unreachable_pages: Vec<usize> =
+        (0..spec.pages.len()).filter(|pi| !reachable.contains(pi)).collect();
+
+    let never_nonempty: BTreeSet<String> = facts.empty_tracked().map(str::to_string).collect();
+    let always_empty: Vec<EmptyRel> = never_nonempty
+        .iter()
+        .map(|rel| (rel, idx.writers(rel)))
+        .filter(|(_, w)| *w > 0)
+        .map(|(rel, writers)| EmptyRel {
+            rel: rel.clone(),
+            writers,
+            note: facts
+                .empty_reason
+                .get(rel)
+                .cloned()
+                .unwrap_or_else(|| format!("relation `{rel}` can never hold a tuple")),
+        })
+        .collect();
+
+    // monotonicity: inserted somewhere, and no *live* delete rule — a
+    // delete whose guard is refuted or whose page is unreachable can
+    // never fire, so the relation only ever grows. Relations that can
+    // never hold a tuple are vacuously monotone; their useful diagnostic
+    // is W0602, so they are excluded here.
+    let is_live = |pi: usize, i: usize| {
+        reachable.contains(&pi)
+            && !dead_set.contains(&RuleRef { page: pi, kind: RuleKind::State, index: i })
+    };
+    let monotone: Vec<String> = spec
+        .states
+        .iter()
+        .map(|(s, _)| s)
+        .filter(|s| !never_nonempty.contains(s.as_str()))
+        .filter(|s| {
+            let mut inserts = 0;
+            let mut live_deletes = 0;
+            for (pi, p) in spec.pages.iter().enumerate() {
+                for (i, r) in p.state_rules.iter().enumerate() {
+                    if &r.state == *s {
+                        if r.insert {
+                            inserts += 1;
+                        } else if is_live(pi, i) {
+                            live_deletes += 1;
+                        }
+                    }
+                }
+            }
+            inserts > 0 && live_deletes == 0
+        })
+        .cloned()
+        .collect();
+
+    let page_has_live_delete: Vec<bool> = spec
+        .pages
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| {
+            reachable.contains(&pi)
+                && p.state_rules.iter().enumerate().any(|(i, r)| {
+                    !r.insert
+                        && !dead_set.contains(&RuleRef {
+                            page: pi,
+                            kind: RuleKind::State,
+                            index: i,
+                        })
+                })
+        })
+        .collect();
+
+    FlowReport {
+        facts,
+        dead,
+        dead_set,
+        reachable_pages: reachable,
+        unreachable_pages,
+        always_empty,
+        never_nonempty,
+        monotone,
+        page_has_live_delete,
+        rounds,
+    }
+}
+
+/// The cone of influence of a property: the least set of relations and
+/// pages that can affect the property's observables, closed backwards
+/// through rule bodies and target edges. Reported for diagnostics and
+/// the DESIGN §14 accounting; the runtime slice itself is realized by
+/// rule liveness plus the verifier's existing observable projection,
+/// which together refine this cone.
+#[derive(Clone, Debug, Default)]
+pub struct Cone {
+    pub relations: BTreeSet<String>,
+    pub pages: BTreeSet<String>,
+    /// Rules inside the cone vs all rules in the spec.
+    pub rules_in: usize,
+    pub rules_total: usize,
+}
+
+/// Relations an atom-bearing formula reads (positive, negated, or via
+/// emptiness tests).
+fn body_reads(f: &wave_fol::Formula, out: &mut BTreeSet<String>) {
+    f.visit_atoms(&mut |a| {
+        out.insert(a.rel.clone());
+    });
+    collect_input_empty(f, out);
+}
+
+fn collect_input_empty(f: &wave_fol::Formula, out: &mut BTreeSet<String>) {
+    use wave_fol::Formula as F;
+    match f {
+        F::InputEmpty { rel, .. } => {
+            out.insert(rel.clone());
+        }
+        F::Not(x) | F::Exists(_, x) | F::Forall(_, x) => collect_input_empty(x, out),
+        F::And(xs) | F::Or(xs) => xs.iter().for_each(|x| collect_input_empty(x, out)),
+        F::Implies(a, b) => {
+            collect_input_empty(a, out);
+            collect_input_empty(b, out);
+        }
+        _ => {}
+    }
+}
+
+/// Compute the cone of influence from a seed set of observable
+/// relations and pages (the names a property mentions).
+pub fn cone_of_influence(
+    spec: &Spec,
+    observable_rels: &BTreeSet<String>,
+    observable_pages: &BTreeSet<String>,
+) -> Cone {
+    let mut cone = Cone {
+        relations: observable_rels.clone(),
+        pages: observable_pages.clone(),
+        ..Cone::default()
+    };
+    fixpoint(|| {
+        let before = (cone.relations.len(), cone.pages.len());
+        for page in &spec.pages {
+            let mut pull = |rel: &str, body: &wave_fol::Formula| {
+                if cone.relations.contains(rel) {
+                    body_reads(body, &mut cone.relations);
+                    cone.pages.insert(page.name.clone());
+                }
+            };
+            for r in &page.option_rules {
+                pull(&r.input, &r.body);
+            }
+            for r in &page.state_rules {
+                pull(&r.state, &r.body);
+            }
+            for r in &page.action_rules {
+                pull(&r.action, &r.body);
+            }
+            for t in &page.target_rules {
+                if cone.pages.contains(&t.target) {
+                    body_reads(&t.condition, &mut cone.relations);
+                    cone.pages.insert(page.name.clone());
+                }
+            }
+        }
+        (cone.relations.len(), cone.pages.len()) != before
+    });
+
+    for page in &spec.pages {
+        let in_page = cone.pages.contains(&page.name);
+        for r in &page.option_rules {
+            cone.rules_total += 1;
+            cone.rules_in += usize::from(in_page && cone.relations.contains(&r.input));
+        }
+        for r in &page.state_rules {
+            cone.rules_total += 1;
+            cone.rules_in += usize::from(in_page && cone.relations.contains(&r.state));
+        }
+        for r in &page.action_rules {
+            cone.rules_total += 1;
+            cone.rules_in += usize::from(in_page && cone.relations.contains(&r.action));
+        }
+        for t in &page.target_rules {
+            cone.rules_total += 1;
+            cone.rules_in += usize::from(in_page && cone.pages.contains(&t.target));
+        }
+    }
+    cone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_spec::parse_spec;
+
+    /// A spec with a dead option rule (value-set contradiction), an
+    /// always-empty state relation, an unreachable page, and a monotone
+    /// state relation.
+    fn dirty() -> Spec {
+        parse_spec(
+            r#"
+            spec dirty {
+              state { log(entry); ghost(x); }
+              action { noted(entry); }
+              inputs { pick(choice); }
+              home A;
+
+              page A {
+                inputs { pick }
+                options pick(c) <- c = "go" | c = "stay";
+                insert log(c) <- pick(c);
+                action noted(c) <- pick(c);
+                insert ghost(c) <- pick(c) & c = "teleport";
+                target B <- pick("go");
+                target Ghost <- ghost("x");
+              }
+              page B {
+                inputs { pick }
+                options pick(c) <- c = "go";
+                target A <- pick("go");
+              }
+              page Ghost {
+                inputs { pick }
+                options pick(c) <- c = "go";
+                target A <- pick("go");
+              }
+            }
+            "#,
+        )
+        .expect("dirty spec parses")
+    }
+
+    #[test]
+    fn classifies_dead_rules_pages_and_relations() {
+        let spec = dirty();
+        let report = analyze(&spec);
+
+        // ghost insert needs c = "teleport", but pick only offers go/stay
+        let ghost_insert = report
+            .dead
+            .iter()
+            .find(|d| d.rule.kind == RuleKind::State)
+            .expect("ghost insert is dead");
+        assert!(
+            ghost_insert.notes.iter().any(|n| n.contains("teleport") || n.contains("pick")),
+            "notes explain the refutation: {:?}",
+            ghost_insert.notes
+        );
+
+        // ghost never holds a tuple, so the Ghost edge is dead too
+        assert!(report.never_nonempty.contains("ghost"));
+        assert_eq!(report.always_empty.len(), 1);
+        assert!(report.dead.iter().any(|d| d.rule.kind == RuleKind::Target));
+
+        // and the Ghost page is unreachable via live edges
+        let ghost_page = spec.pages.iter().position(|p| p.name == "Ghost").unwrap();
+        assert_eq!(report.unreachable_pages, vec![ghost_page]);
+        assert!(!report.is_live(&RuleRef { page: ghost_page, kind: RuleKind::Target, index: 0 }));
+
+        // log is inserted but never deleted
+        assert_eq!(report.monotone, vec!["log".to_string()]);
+        assert!(report.page_has_live_delete.iter().all(|b| !b));
+    }
+
+    #[test]
+    fn live_rules_stay_live() {
+        let spec = dirty();
+        let report = analyze(&spec);
+        let a = spec.pages.iter().position(|p| p.name == "A").unwrap();
+        assert!(report.is_live(&RuleRef { page: a, kind: RuleKind::Option, index: 0 }));
+        assert!(report.is_live(&RuleRef { page: a, kind: RuleKind::Action, index: 0 }));
+        // the facts learned pick's value set
+        let vals = report.facts.column("pick", 0);
+        assert_eq!(vals.describe(), "{\"go\", \"stay\"}");
+    }
+
+    #[test]
+    fn cone_pulls_dependencies_backwards() {
+        let spec = dirty();
+        let mut rels = BTreeSet::new();
+        rels.insert("noted".to_string());
+        let cone = cone_of_influence(&spec, &rels, &BTreeSet::new());
+        assert!(cone.relations.contains("pick"), "noted reads pick");
+        assert!(cone.pages.contains("A"));
+        // ghost guards a target edge into a cone page, so it is pulled in;
+        // log is read by nothing and stays out
+        assert!(cone.relations.contains("ghost"));
+        assert!(!cone.relations.contains("log"));
+        assert!(cone.rules_in < cone.rules_total);
+    }
+}

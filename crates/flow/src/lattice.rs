@@ -1,0 +1,210 @@
+//! The per-pass lattices of the flow framework.
+//!
+//! Every analysis in this crate runs as a *least* fixpoint: facts start
+//! at ⊥ (optimistic — nothing reachable, every tracked relation empty,
+//! every tracked column carrying no value) and only grow until stable.
+//! The lattices here are deliberately finite: value sets draw from the
+//! constants written in the spec, so the chain height is bounded by the
+//! spec text itself and termination is structural, not fuel-based.
+
+use std::collections::BTreeSet;
+
+/// Three-valued truth, ordered by information: `Unknown` is the top of
+/// the approximation (could be either), `True`/`False` are definite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+impl std::ops::Not for Tri {
+    type Output = Tri;
+
+    /// Three-valued negation.
+    fn not(self) -> Tri {
+        match self {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        }
+    }
+}
+
+impl Tri {
+    /// Three-valued conjunction (Kleene).
+    #[must_use]
+    pub fn and(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::False, _) | (_, Tri::False) => Tri::False,
+            (Tri::True, Tri::True) => Tri::True,
+            _ => Tri::Unknown,
+        }
+    }
+
+    /// Three-valued disjunction (Kleene).
+    #[must_use]
+    pub fn or(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::True, _) | (_, Tri::True) => Tri::True,
+            (Tri::False, Tri::False) => Tri::False,
+            _ => Tri::Unknown,
+        }
+    }
+}
+
+/// Over-approximation of the constants a relation column (or a pinned
+/// variable) can carry: either a finite set drawn from the spec's
+/// constants, or ⊤ (any value, including data never written in the
+/// spec — database columns, input-constant witnesses).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Values {
+    Top,
+    Set(BTreeSet<String>),
+}
+
+impl Values {
+    /// ⊥: no value at all (the column of a never-populated relation).
+    pub fn bottom() -> Values {
+        Values::Set(BTreeSet::new())
+    }
+
+    /// Least upper bound; `true` if `self` grew.
+    pub fn join(&mut self, other: &Values) -> bool {
+        match (&mut *self, other) {
+            (Values::Top, _) => false,
+            (slot @ Values::Set(_), Values::Top) => {
+                *slot = Values::Top;
+                true
+            }
+            (Values::Set(a), Values::Set(b)) => {
+                let before = a.len();
+                a.extend(b.iter().cloned());
+                a.len() != before
+            }
+        }
+    }
+
+    /// Greatest lower bound (used when *pinning* a variable: each
+    /// constraint narrows what it may be).
+    #[must_use]
+    pub fn meet(&self, other: &Values) -> Values {
+        match (self, other) {
+            (Values::Top, v) | (v, Values::Top) => v.clone(),
+            (Values::Set(a), Values::Set(b)) => Values::Set(a.intersection(b).cloned().collect()),
+        }
+    }
+
+    /// Could this column carry constant `c`?
+    pub fn admits(&self, c: &str) -> bool {
+        match self {
+            Values::Top => true,
+            Values::Set(s) => s.contains(c),
+        }
+    }
+
+    /// Definitely no value at all?
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Values::Set(s) if s.is_empty())
+    }
+
+    /// Render for provenance notes: `{"a", "b"}` or `⊤`.
+    pub fn describe(&self) -> String {
+        match self {
+            Values::Top => "any value".to_string(),
+            Values::Set(s) => {
+                let items: Vec<String> = s.iter().map(|c| format!("{c:?}")).collect();
+                format!("{{{}}}", items.join(", "))
+            }
+        }
+    }
+}
+
+/// A dedup-on-insert worklist: the driver of every solver in this
+/// crate. Pushing an item already seen is a no-op, so each node is
+/// processed once per "round" of the enclosing fixpoint.
+#[derive(Default)]
+pub struct Worklist<T: Ord + Clone> {
+    queue: std::collections::VecDeque<T>,
+    seen: BTreeSet<T>,
+}
+
+impl<T: Ord + Clone> Worklist<T> {
+    pub fn new() -> Worklist<T> {
+        Worklist { queue: std::collections::VecDeque::new(), seen: BTreeSet::new() }
+    }
+
+    /// Enqueue `item` unless it was ever enqueued before.
+    pub fn push(&mut self, item: T) -> bool {
+        if self.seen.insert(item.clone()) {
+            self.queue.push_back(item);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Everything ever enqueued (the reached set, for reachability uses).
+    pub fn seen(&self) -> &BTreeSet<T> {
+        &self.seen
+    }
+}
+
+/// Run `step` until it reports no change, returning the number of
+/// rounds. Every lattice in this crate is finite, so a monotone `step`
+/// terminates; the bound is a defense against a non-monotone bug, not a
+/// tuning knob.
+pub fn fixpoint(mut step: impl FnMut() -> bool) -> usize {
+    let mut rounds = 0;
+    while step() {
+        rounds += 1;
+        assert!(rounds < 100_000, "flow fixpoint failed to converge: non-monotone transfer?");
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tri_kleene_tables() {
+        assert_eq!(Tri::True.and(Tri::Unknown), Tri::Unknown);
+        assert_eq!(Tri::False.and(Tri::Unknown), Tri::False);
+        assert_eq!(Tri::True.or(Tri::Unknown), Tri::True);
+        assert_eq!(Tri::False.or(Tri::Unknown), Tri::Unknown);
+        assert_eq!(!Tri::Unknown, Tri::Unknown);
+        assert_eq!(!Tri::True, Tri::False);
+    }
+
+    #[test]
+    fn values_join_meet() {
+        let mut v = Values::bottom();
+        assert!(v.is_empty());
+        let ab = Values::Set(["a".to_string(), "b".to_string()].into());
+        assert!(v.join(&ab));
+        assert!(!v.join(&ab), "join is idempotent");
+        assert!(v.admits("a") && !v.admits("c"));
+        let bc = Values::Set(["b".to_string(), "c".to_string()].into());
+        let met = v.meet(&bc);
+        assert_eq!(met, Values::Set(["b".to_string()].into()));
+        assert!(v.join(&Values::Top));
+        assert_eq!(v, Values::Top);
+        assert_eq!(v.meet(&bc), bc);
+    }
+
+    #[test]
+    fn worklist_dedups() {
+        let mut w = Worklist::new();
+        assert!(w.push(1));
+        assert!(!w.push(1));
+        assert!(w.push(2));
+        assert_eq!(w.pop(), Some(1));
+        assert!(!w.push(1), "pushing a popped item stays a no-op");
+        assert_eq!(w.seen().len(), 2);
+    }
+}

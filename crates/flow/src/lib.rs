@@ -1,0 +1,32 @@
+//! wave-flow — a fixpoint dataflow framework over wave specs.
+//!
+//! The framework runs a combined least fixpoint over three joined
+//! graphs: page reachability (the page graph restricted to
+//! statically-live target edges), relation emptiness (which state /
+//! action / input relations can ever hold a tuple), and column value
+//! sets (constant propagation over the §3.2 comparison sets). On top of
+//! the fixpoint a classification pass names:
+//!
+//! * **dead rules** — guards refuted by the abstract evaluator, each
+//!   with a provenance chain (surfaced as W0601 and pruned from the
+//!   verifier's search);
+//! * **always-empty relations** (W0602) and **unreachable pages**
+//!   (W0603), both consequences of the same facts;
+//! * **monotone state relations** — inserted but never deleted (N0604
+//!   plus the verifier's delete-skipping fast path and memo-epoch
+//!   stabilization).
+//!
+//! The analyses are *refutation oriented*: every definite answer errs
+//! toward "don't know", so anything the report prunes is provably
+//! impossible in every run over every database. That is the soundness
+//! contract the verifier's slice relies on (DESIGN.md §14).
+
+pub mod absint;
+pub mod analyses;
+pub mod lattice;
+
+pub use absint::{Env, Facts, Verdict3};
+pub use analyses::{
+    analyze, cone_of_influence, Cone, DeadRule, EmptyRel, FlowReport, RuleKind, RuleRef,
+};
+pub use lattice::{fixpoint, Tri, Values, Worklist};

@@ -1,0 +1,35 @@
+//! The bundled example specs are the lint-clean baseline: the flow
+//! analyses must not flag anything in them (CI lints every bundled spec
+//! with --deny warnings, and the slice must not look degenerate there).
+
+use std::path::Path;
+
+#[test]
+fn bundled_specs_have_no_dead_rules_or_empty_relations() {
+    let specs = Path::new(env!("CARGO_MANIFEST_DIR")).join("../apps/specs");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&specs).expect("bundled specs dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("wave") {
+            continue;
+        }
+        seen += 1;
+        let src = std::fs::read_to_string(&path).expect("read spec");
+        let spec = wave_spec::parse_spec(&src).expect("bundled spec parses");
+        let report = wave_flow::analyze(&spec);
+        assert!(report.dead.is_empty(), "{}: dead rules {:?}", path.display(), report.dead);
+        assert!(
+            report.always_empty.is_empty(),
+            "{}: always-empty {:?}",
+            path.display(),
+            report.always_empty
+        );
+        assert!(
+            report.unreachable_pages.is_empty(),
+            "{}: unreachable pages {:?}",
+            path.display(),
+            report.unreachable_pages
+        );
+    }
+    assert!(seen >= 4, "expected the E1-E4 bundled specs, saw {seen}");
+}

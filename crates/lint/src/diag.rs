@@ -10,9 +10,12 @@ use std::fmt;
 use wave_fol::Span;
 
 /// Diagnostic severity. `Error` findings make `wave lint` exit non-zero;
-/// `Warning` findings do so only under `--deny warnings`.
+/// `Warning` findings do so only under `--deny warnings`. `Note`
+/// findings are informational hints (e.g. [`N0604`]) — they never fail
+/// a lint run and `--deny warnings` does not promote them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
+    Note,
     Warning,
     Error,
 }
@@ -20,6 +23,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Severity::Note => write!(f, "note"),
             Severity::Warning => write!(f, "warning"),
             Severity::Error => write!(f, "error"),
         }
@@ -87,6 +91,7 @@ impl Diagnostic {
 //   W03xx  dead code
 //   W04xx  rule conflicts
 //   E/W05xx  spec ↔ property cross-checks
+//   W/N06xx  fixpoint dataflow (wave-flow) findings
 
 pub const E0001: &str = "E0001"; // syntax error
 pub const E0002: &str = "E0002"; // invalid specification structure
@@ -105,6 +110,10 @@ pub const E0501: &str = "E0501"; // property references undeclared relation
 pub const E0502: &str = "E0502"; // relation arity mismatch in property
 pub const E0503: &str = "E0503"; // property references unknown page
 pub const W0504: &str = "W0504"; // property component not input-bounded
+pub const W0601: &str = "W0601"; // rule guard statically unsatisfiable (dataflow)
+pub const W0602: &str = "W0602"; // relation has writers but is provably always empty
+pub const W0603: &str = "W0603"; // page only reachable through refuted target edges
+pub const N0604: &str = "N0604"; // state relation is monotone (inserted, never deleted)
 
 /// The full code registry: `(code, default severity, short description)`.
 /// Drives `--allow` validation, the SARIF rule table, and the docs.
@@ -130,6 +139,10 @@ pub const CODES: &[(&str, Severity, &str)] = &[
     (E0502, Severity::Error, "relation arity mismatch in property"),
     (E0503, Severity::Error, "property references an unknown page"),
     (W0504, Severity::Warning, "property component is not input-bounded"),
+    (W0601, Severity::Warning, "rule guard is statically unsatisfiable"),
+    (W0602, Severity::Warning, "relation has writers but can never hold a tuple"),
+    (W0603, Severity::Warning, "page is only reachable through refuted target edges"),
+    (N0604, Severity::Note, "state relation is monotone (inserted but never deleted)"),
 ];
 
 /// Default severity of a registered code.
@@ -142,6 +155,159 @@ pub fn code_description(code: &str) -> Option<&'static str> {
     CODES.iter().find(|(c, _, _)| *c == code).map(|&(_, _, d)| d)
 }
 
+/// Long-form explanations for `wave lint --explain CODE`: what the
+/// finding means, why it matters, and how to address it. Every code in
+/// [`CODES`] has an entry (enforced by test).
+pub const EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        E0001,
+        "The spec or property text could not be parsed. The message carries the \
+         parser's position and expectation; nothing else can be checked until the \
+         syntax error is fixed.",
+    ),
+    (
+        E0002,
+        "The spec parsed but violates a structural rule: a duplicate relation or \
+         page, a missing home page, a rule referencing an undeclared relation, an \
+         arity mismatch, or an unbound head variable. Semantic passes only run on \
+         structurally valid specs, so fix these first.",
+    ),
+    (
+        W0101,
+        "The rule body quantifies over variables that are not bounded by input \
+         atoms, so the check falls outside the input-bounded fragment the paper's \
+         decidability results (Theorems 3.3/3.8) cover. The verifier still runs \
+         but reports the check as incomplete: a clean search is evidence, not \
+         proof. Rewrite the body so every quantified variable appears in a \
+         positive input atom, or accept the incomplete verdict. Note the spec is \
+         not input-bounded as written — a future `--mode recency=K` bounded-recency \
+         search could still explore this spec exhaustively up to depth K.",
+    ),
+    (
+        W0102,
+        "Option rules must draw their tuples from the database under the \
+         option-rule fragment (§3.2): this body reads state, action, or input \
+         relations in a way that breaks the fragment's pruning argument. Move the \
+         dependency into the guard of the rule that consumes the option.",
+    ),
+    (
+        W0201,
+        "No chain of target-rule transitions from the home page ever displays \
+         this page, so its rules can never fire. Either add a target edge leading \
+         here or delete the page.",
+    ),
+    (
+        W0202,
+        "The target rule's condition simplifies to false (contradictory \
+         comparisons), so the transition can never be taken. The page graph \
+         ignores the edge; if the page it points to has no other incoming edge it \
+         is reported unreachable too.",
+    ),
+    (
+        W0301,
+        "The relation is written by rules, but no rule body or supplied property \
+         reads it, so its contents cannot influence any run or verdict. Delete \
+         the write rules or the declaration — or add the property that was meant \
+         to observe it. Only reported when properties are supplied (without them \
+         any state or action relation is a potential observable).",
+    ),
+    (
+        W0302,
+        "The relation is read by rule bodies but has no insert rule, so it is \
+         empty in every run and every read of it is vacuous. Add the missing \
+         insert rule or drop the reads.",
+    ),
+    (
+        W0303,
+        "The input is declared but no rule or property references it. Dead \
+         inputs still enlarge the verifier's search space (each must be \
+         enumerated per configuration), so deleting it speeds up verification.",
+    ),
+    (
+        W0304,
+        "The rule body simplifies to false by constant comparison alone \
+         (e.g. `x = \"a\" & x = \"b\"`), so the rule never fires. Delete it or fix \
+         the contradictory guard.",
+    ),
+    (
+        W0305,
+        "The action relation is declared but no action rule emits it, so \
+         properties observing it test an always-empty relation. Add the emitting \
+         rule or drop the declaration.",
+    ),
+    (
+        W0306,
+        "The relation is declared but nothing reads or writes it. It is inert \
+         clutter — delete the declaration. Only reported when properties are \
+         supplied.",
+    ),
+    (
+        W0401,
+        "An insert rule and a delete rule target the same state relation on the \
+         same page under guards that are not provably disjoint. When both fire on \
+         the same tuple in the same step, the paper's semantics makes the net \
+         effect a no-op, which is rarely what was meant. Make the guards disjoint \
+         (e.g. key them on different button values) or merge the rules.",
+    ),
+    (
+        E0501,
+        "The property references a relation the spec does not declare. \
+         Properties can only observe the spec's database, state, action, and \
+         input relations.",
+    ),
+    (
+        E0502,
+        "The property uses a declared relation with the wrong number of \
+         arguments. Match the declaration's arity.",
+    ),
+    (E0503, "The property's `@Page` atom names a page the spec does not define."),
+    (
+        W0504,
+        "One of the property's FO components is not input-bounded, so the \
+         combined check leaves the decidable fragment and the verifier reports \
+         it as incomplete. Bound every quantified variable by a positive input \
+         atom inside the component.",
+    ),
+    (
+        W0601,
+        "The fixpoint dataflow analysis proved the rule's guard unsatisfiable: \
+         on every reachable configuration of every run, some conjunct is false. \
+         Unlike W0304 this is not visible in the rule body alone — the notes \
+         carry the provenance chain (which relation stays empty, or which \
+         option rule pins the value set that refutes a comparison). The \
+         verifier's slice skips such rules; fix the guard or delete the rule.",
+    ),
+    (
+        W0602,
+        "The relation has insert (or emit) rules, but the dataflow fixpoint \
+         proved every one of them dead or unreachable, so the relation can \
+         never hold a tuple. Reads of it never hold and negated reads always \
+         hold. The note names the refuted writers; revive one of them or drop \
+         the relation. (A relation with no writers at all is W0302/W0305.)",
+    ),
+    (
+        W0603,
+        "Every target edge into this page is statically refuted by the dataflow \
+         analysis, so no run ever displays it — even though the syntactic page \
+         graph (W0201) considers it reachable. The notes explain why each \
+         incoming edge cannot fire.",
+    ),
+    (
+        N0604,
+        "The state relation is inserted but never deleted (no delete rule, or \
+         only statically dead ones), so it grows monotonically along every run. \
+         The verifier exploits this automatically: pages without live delete \
+         rules skip the insert/delete conflict machinery, and memo epochs over \
+         the relation stabilize. This note is informational — monotone state is \
+         often exactly what was intended (e.g. an audit log).",
+    ),
+];
+
+/// Long-form explanation of a registered code (`wave lint --explain`).
+pub fn code_explanation(code: &str) -> Option<&'static str> {
+    EXPLANATIONS.iter().find(|(c, _)| *c == code).map(|&(_, e)| e)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,12 +317,30 @@ mod tests {
         for (i, (c, sev, desc)) in CODES.iter().enumerate() {
             assert_eq!(c.len(), 5, "{c}");
             let class = c.as_bytes()[0];
-            assert!(class == b'E' || class == b'W', "{c}");
+            assert!(class == b'E' || class == b'W' || class == b'N', "{c}");
             // the letter agrees with the default severity
-            assert_eq!(*sev == Severity::Error, class == b'E', "{c}");
+            let expect = match class {
+                b'E' => Severity::Error,
+                b'W' => Severity::Warning,
+                _ => Severity::Note,
+            };
+            assert_eq!(*sev, expect, "{c}");
             assert!(!desc.is_empty());
             assert!(!CODES[..i].iter().any(|(d, _, _)| d == c), "duplicate {c}");
         }
+    }
+
+    #[test]
+    fn every_code_has_an_explanation() {
+        for (c, _, _) in CODES {
+            let e = code_explanation(c).unwrap_or_else(|| panic!("no explanation for {c}"));
+            assert!(e.len() > 40, "{c}: explanation too short");
+        }
+        // and no orphan explanations for unregistered codes
+        for (c, _) in EXPLANATIONS {
+            assert!(code_severity(c).is_some(), "explanation for unregistered {c}");
+        }
+        assert_eq!(code_explanation("X9999"), None);
     }
 
     #[test]

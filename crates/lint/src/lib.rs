@@ -13,7 +13,10 @@
 //! 2. page-graph reachability from the home page,
 //! 3. dead-code analysis,
 //! 4. insert/delete conflict detection,
-//! 5. spec ↔ property cross-checks.
+//! 5. spec ↔ property cross-checks,
+//! 6. fixpoint dataflow findings (guard-unsat rules, always-empty
+//!    relations, flow-unreachable pages, monotone state — via
+//!    [`wave_flow`]).
 
 use std::collections::BTreeSet;
 
@@ -23,7 +26,10 @@ pub mod render;
 pub mod sarif;
 pub mod simplify;
 
-pub use diag::{code_description, code_severity, Diagnostic, Origin, Severity, CODES};
+pub use diag::{
+    code_description, code_explanation, code_severity, Diagnostic, Origin, Severity, CODES,
+    EXPLANATIONS,
+};
 pub use passes::ParsedProperty;
 pub use render::{render_json, render_text, summary, SourceSet};
 pub use sarif::render_sarif;
@@ -164,13 +170,14 @@ pub struct LintConfig {
 }
 
 impl LintConfig {
-    /// Apply the policy. Only warning-class codes can be allowed away;
-    /// errors always survive.
+    /// Apply the policy. Warning- and note-class codes can be allowed
+    /// away; errors always survive. `--deny warnings` promotes only
+    /// warnings — notes are informational and never fail a run.
     pub fn apply(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
         diags
             .into_iter()
             .filter(|d| {
-                !(code_severity(d.code) == Some(Severity::Warning) && self.allow.contains(d.code))
+                !(code_severity(d.code) != Some(Severity::Error) && self.allow.contains(d.code))
             })
             .map(|mut d| {
                 if self.deny_warnings && d.severity == Severity::Warning {
@@ -221,14 +228,17 @@ mod tests {
     }
 
     #[test]
-    fn clean_spec_with_property_yields_no_diagnostics() {
+    fn clean_spec_with_property_yields_no_warnings() {
         let mut req = LintRequest::spec_only("s.wave", GOOD);
         req.properties.push(PropertySource {
             label: "p1".into(),
             text: "forall u: G (greet(u) -> logged(u))".into(),
         });
         let diags = lint(&req);
-        assert!(diags.is_empty(), "{diags:?}");
+        // `logged` is genuinely monotone, so the informational N0604
+        // note fires — but nothing of warning severity or above
+        assert!(diags.iter().all(|d| d.severity == Severity::Note), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "N0604"), "{diags:?}");
     }
 
     #[test]
@@ -284,13 +294,15 @@ mod tests {
         // without properties: silent (scratch could be a property observable)
         let diags = lint(&LintRequest::spec_only("s.wave", src.clone()));
         assert!(diags.is_empty(), "{diags:?}");
-        // with a property that does not read it: W0301
+        // with a property that does not read it: W0301 (plus monotone
+        // notes, which are not warnings)
         let mut req = LintRequest::spec_only("s.wave", src);
         req.properties.push(PropertySource {
             label: "p1".into(),
             text: "forall u: G (greet(u) -> logged(u))".into(),
         });
-        let diags = lint(&req);
+        let diags: Vec<_> =
+            lint(&req).into_iter().filter(|d| d.severity > Severity::Note).collect();
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].code, "W0301");
         assert!(diags[0].span.is_some(), "anchored at the declaration");
@@ -411,6 +423,7 @@ mod tests {
         let mut sorted = starts.clone();
         sorted.sort_unstable();
         assert_eq!(starts, sorted);
-        assert_eq!(diags.len(), 2, "{diags:?}"); // void1 + void2, decl order
+        let warnings: Vec<_> = diags.iter().filter(|d| d.severity > Severity::Note).collect();
+        assert_eq!(warnings.len(), 2, "{warnings:?}"); // void1 + void2, decl order
     }
 }

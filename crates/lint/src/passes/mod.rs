@@ -12,6 +12,7 @@ use wave_spec::Spec;
 pub mod bounded;
 pub mod conflict;
 pub mod dead;
+pub mod flow;
 pub mod property;
 pub mod reach;
 
@@ -29,6 +30,7 @@ pub fn run_all(spec: &Spec, props: &[ParsedProperty], out: &mut Vec<Diagnostic>)
     dead::run(spec, props, out);
     conflict::run(spec, out);
     property::run(spec, props, out);
+    flow::run(spec, props, out);
 }
 
 /// The maximal FO components of a property body (the paper's `frFO(φ)`).

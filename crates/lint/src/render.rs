@@ -120,20 +120,27 @@ fn render_one(sources: &SourceSet<'_>, d: &Diagnostic, out: &mut String) {
     }
 }
 
-/// One-line human summary (`"2 errors, 3 warnings"`), empty string when
-/// there are no diagnostics.
+/// One-line human summary (`"2 errors, 3 warnings, 1 note"`), empty
+/// string when there are no diagnostics.
 pub fn summary(diags: &[Diagnostic]) -> String {
     if diags.is_empty() {
         return String::new();
     }
     let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
-    let warnings = diags.len() - errors;
+    let notes = diags.iter().filter(|d| d.severity == Severity::Note).count();
+    let warnings = diags.len() - errors - notes;
     let part = |n: usize, what: &str| format!("{n} {what}{}", if n == 1 { "" } else { "s" });
-    match (errors, warnings) {
-        (0, w) => part(w, "warning"),
-        (e, 0) => part(e, "error"),
-        (e, w) => format!("{}, {}", part(e, "error"), part(w, "warning")),
+    let mut parts = Vec::new();
+    if errors > 0 {
+        parts.push(part(errors, "error"));
     }
+    if warnings > 0 {
+        parts.push(part(warnings, "warning"));
+    }
+    if notes > 0 {
+        parts.push(part(notes, "note"));
+    }
+    parts.join(", ")
 }
 
 /// Render diagnostics as a JSON array, one finding per element. Positions

@@ -6,6 +6,12 @@
 //! location when the finding has a span. Notes are folded into the
 //! message text (SARIF has related locations, but the notes here are
 //! prose, not positions).
+//!
+//! Every result carries a `partialFingerprints` entry
+//! (`waveLintFingerprint/v1`) hashing the rule id, artifact name, and
+//! the *content* of the finding's source line — not its line number —
+//! so CI result matching survives unrelated edits that shift the
+//! finding up or down the file.
 
 use crate::diag::{Diagnostic, Severity, CODES};
 use crate::render::{json_string, SourceSet};
@@ -58,7 +64,11 @@ fn render_result(sources: &SourceSet<'_>, d: &Diagnostic, out: &mut String) {
     out.push('{');
     out.push_str(&format!("\"ruleId\":{},", json_string(d.code)));
     out.push_str(&format!("\"level\":{},", json_string(level(d.severity))));
-    out.push_str(&format!("\"message\":{{\"text\":{}}}", json_string(&message)));
+    out.push_str(&format!("\"message\":{{\"text\":{}}},", json_string(&message)));
+    out.push_str(&format!(
+        "\"partialFingerprints\":{{\"waveLintFingerprint/v1\":{}}}",
+        json_string(&fingerprint(sources, d)),
+    ));
     if let Some(loc) = sources.resolve(d) {
         out.push_str(&format!(
             ",\"locations\":[{{\"physicalLocation\":{{\
@@ -83,9 +93,32 @@ fn render_result(sources: &SourceSet<'_>, d: &Diagnostic, out: &mut String) {
 
 fn level(s: Severity) -> &'static str {
     match s {
+        Severity::Note => "note",
         Severity::Warning => "warning",
         Severity::Error => "error",
     }
+}
+
+/// Stable fingerprint for CI result matching: 64 bits of FNV-1a over the
+/// rule id, the artifact name, and the *text* of the line the finding
+/// starts on (the message for span-less findings). Keyed on line content
+/// rather than line number, so edits elsewhere in the file that shift
+/// the finding do not break the match; NUL separators keep the
+/// components from running together.
+fn fingerprint(sources: &SourceSet<'_>, d: &Diagnostic) -> String {
+    let line_text = sources
+        .resolve(d)
+        .and_then(|loc| sources.source(d.origin).lines().nth(loc.start.line.saturating_sub(1)));
+    let mut h: u64 = 0xcbf29ce484222325;
+    for part in [d.code, sources.file(d.origin), line_text.unwrap_or(&d.message)] {
+        for &b in part.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
 }
 
 #[cfg(test)]
@@ -123,6 +156,45 @@ mod tests {
         for (code, _, _) in CODES {
             assert!(sarif.contains(&format!("\"id\":\"{code}\"")), "{code}");
         }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_under_line_shifts() {
+        let body = r#"spec t {
+  inputs { b(x); }
+  home HP;
+  page HP {
+    inputs { b }
+    options b(x) <- x = "go";
+    target HP <- b("go");
+  }
+  page EP {
+    inputs { b }
+    options b(x) <- x = "go";
+    target HP <- b("go");
+  }
+}"#;
+        let req = LintRequest::spec_only("bad.wave", body);
+        let diags = lint(&req);
+        let fp = |req: &LintRequest, diags: &[Diagnostic]| {
+            let sources = SourceSet::new(req);
+            fingerprint(&sources, &diags[0])
+        };
+        let original = fp(&req, &diags);
+        assert_eq!(original.len(), 16);
+        let sarif = render_sarif(&req, &diags);
+        assert!(sarif.contains(&format!("\"waveLintFingerprint/v1\":\"{original}\"")), "{sarif}");
+
+        // shifting the finding down by a comment line keeps the fingerprint
+        let shifted = LintRequest::spec_only("bad.wave", format!("# preamble\n{body}"));
+        let shifted_diags = lint(&shifted);
+        assert_eq!(shifted_diags[0].code, diags[0].code);
+        assert_eq!(fp(&shifted, &shifted_diags), original);
+
+        // a different artifact name changes it
+        let renamed = LintRequest::spec_only("other.wave", body);
+        let renamed_diags = lint(&renamed);
+        assert_ne!(fp(&renamed, &renamed_diags), original);
     }
 
     #[test]

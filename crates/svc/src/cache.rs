@@ -51,7 +51,7 @@ pub const DEFAULT_MEM_ENTRIES: usize = 256;
 /// any of those settings share cache entries.
 pub fn fingerprint(spec_text: &str, property: &str, options: &VerifyOptions) -> String {
     let opts = format!(
-        "h1={} h2={} pruning={:?} param={:?} max_steps={:?} time_limit={:?} plans={}",
+        "h1={} h2={} pruning={:?} param={:?} max_steps={:?} time_limit={:?} plans={} slice={}",
         options.heuristic1,
         options.heuristic2,
         options.pruning,
@@ -59,6 +59,7 @@ pub fn fingerprint(spec_text: &str, property: &str, options: &VerifyOptions) -> 
         options.max_steps,
         options.time_limit,
         options.use_plans,
+        options.slice,
     );
     let mut bytes = Vec::with_capacity(spec_text.len() + property.len() + opts.len() + 2);
     bytes.extend_from_slice(spec_text.as_bytes());
@@ -275,6 +276,9 @@ pub(crate) fn profile_to_json(p: &SearchProfile) -> Json {
         ("memo_hits", Json::from(p.memo_hits)),
         ("memo_misses", Json::from(p.memo_misses)),
         ("join_builds", Json::from(p.join_builds)),
+        ("slice_rules_removed", Json::from(p.slice_rules_removed)),
+        ("slice_relations_removed", Json::from(p.slice_relations_removed)),
+        ("flow_dead_rules", Json::from(p.flow_dead_rules)),
     ])
 }
 
@@ -300,6 +304,9 @@ pub(crate) fn profile_from_json(p: &Json) -> SearchProfile {
         memo_hits: ns("memo_hits"),
         memo_misses: ns("memo_misses"),
         join_builds: ns("join_builds"),
+        slice_rules_removed: ns("slice_rules_removed"),
+        slice_relations_removed: ns("slice_relations_removed"),
+        flow_dead_rules: ns("flow_dead_rules"),
     }
 }
 
@@ -777,6 +784,9 @@ mod tests {
                 memo_hits: 15,
                 memo_misses: 16,
                 join_builds: 17,
+                slice_rules_removed: 18,
+                slice_relations_removed: 19,
+                flow_dead_rules: 20,
             },
         };
         {
@@ -997,6 +1007,16 @@ mod tests {
         assert_eq!(report.removed, 1, "{report:?}");
         assert!(dir.join("new.json").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slice_ablation_changes_the_fingerprint() {
+        // unlike naive_joins, the slice changes the *profile counters*
+        // served back on a hit, so runs with it off must not share
+        // entries with default runs
+        let mut opts = options();
+        opts.slice = false;
+        assert_ne!(fingerprint("s", "p", &options()), fingerprint("s", "p", &opts));
     }
 
     #[test]

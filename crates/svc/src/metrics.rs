@@ -52,6 +52,14 @@ pub struct SvcMetrics {
     pub memo_misses_total: Arc<Counter>,
     /// Hash tables built by lowered hash-join operators.
     pub join_builds_total: Arc<Counter>,
+    /// Rules (targets included) the wave-flow slice removed from
+    /// completed checks (summed per check, not per unit).
+    pub slice_rules_removed_total: Arc<Counter>,
+    /// Relations statically proven always-empty across completed checks.
+    pub slice_relations_removed_total: Arc<Counter>,
+    /// Rules whose guard the flow analysis refuted across completed
+    /// checks.
+    pub flow_dead_rules_total: Arc<Counter>,
     /// Open `wave serve` connections.
     pub connections_active: Arc<Gauge>,
     /// Request lines processed by the server.
@@ -143,6 +151,18 @@ impl SvcMetrics {
             join_builds_total: registry.counter(
                 "wave_join_builds_total",
                 "Hash tables built by lowered hash-join operators",
+            ),
+            slice_rules_removed_total: registry.counter(
+                "wave_slice_rules_removed_total",
+                "Rules removed by the wave-flow slice across completed checks",
+            ),
+            slice_relations_removed_total: registry.counter(
+                "wave_slice_relations_removed_total",
+                "Relations statically proven always-empty across completed checks",
+            ),
+            flow_dead_rules_total: registry.counter(
+                "wave_flow_dead_rules_total",
+                "Rules with statically unsatisfiable guards across completed checks",
             ),
             connections_active: registry
                 .gauge("wave_connections_active", "Open wave serve connections"),
@@ -255,6 +275,9 @@ mod tests {
             "wave_memo_hits_total",
             "wave_memo_misses_total",
             "wave_join_builds_total",
+            "wave_slice_rules_removed_total",
+            "wave_slice_relations_removed_total",
+            "wave_flow_dead_rules_total",
             "wave_connections_active",
             "wave_requests_total",
             "wave_handler_panics_total",

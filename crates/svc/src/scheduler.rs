@@ -299,6 +299,12 @@ pub(crate) fn settle_checks(
                     state.done_at.unwrap_or_else(|| start.elapsed())
                 };
                 stats.elapsed = done_at;
+                // stamped once per check, like Verifier::check — the
+                // per-unit outcomes merged above carry zeros
+                let slice = check.slice();
+                stats.profile.slice_rules_removed = slice.rules_removed;
+                stats.profile.slice_relations_removed = slice.relations_removed;
+                stats.profile.flow_dead_rules = slice.dead_rules;
                 Ok(Verification { verdict, stats, complete: check.complete })
             })
             .collect::<Vec<_>>()
@@ -490,6 +496,16 @@ pub fn run_prepared(
         .into_iter()
         .map(|s| CheckSlots { outcomes: s.outcomes, done_at: s.done_at })
         .collect();
+    // slice counters are per *check* (stamped by settle, zero in units),
+    // so they feed the registry here rather than in `record`
+    if let Some(m) = metrics {
+        for check in checks {
+            let slice = check.slice();
+            m.slice_rules_removed_total.add(slice.rules_removed);
+            m.slice_relations_removed_total.add(slice.relations_removed);
+            m.flow_dead_rules_total.add(slice.dead_rules);
+        }
+    }
     settle_checks(options, checks, &items, &item_offsets, &pools, states, start)
 }
 

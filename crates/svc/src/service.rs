@@ -110,12 +110,16 @@ impl DiagnosticRecord {
 }
 
 /// Run the lint pre-pass over a request and resolve every finding to a
-/// flat [`DiagnosticRecord`].
+/// flat [`DiagnosticRecord`]. Informational notes (severity
+/// [`wave_lint::Severity::Note`], e.g. N0604 monotonicity hints) stay
+/// out of job records — they describe verifier behavior, not spec
+/// defects, and would churn cached record bytes.
 pub fn lint_records(req: &wave_lint::LintRequest) -> Vec<DiagnosticRecord> {
     let diags = wave_lint::lint(req);
     let sources = wave_lint::SourceSet::new(req);
     diags
         .iter()
+        .filter(|d| d.severity > wave_lint::Severity::Note)
         .map(|d| DiagnosticRecord {
             code: d.code.to_string(),
             severity: d.severity.to_string(),
@@ -260,6 +264,9 @@ impl JobRecord {
                         ("memo_misses", Json::from(profile.memo_misses)),
                         ("memo_hit_rate", opt(profile.memo_hit_rate())),
                         ("join_builds", Json::from(profile.join_builds)),
+                        ("slice_rules_removed", Json::from(profile.slice_rules_removed)),
+                        ("slice_relations_removed", Json::from(profile.slice_relations_removed)),
+                        ("flow_dead_rules", Json::from(profile.flow_dead_rules)),
                         ("canon_pct", opt(profile.pct(profile.canon_ns))),
                         ("intern_pct", opt(profile.pct(profile.intern_ns))),
                         ("expand_pct", opt(profile.pct(profile.expand_ns))),
@@ -629,6 +636,9 @@ pub fn parse_options(json: Option<&Json>) -> Result<VerifyOptions, String> {
             "naive_joins" => {
                 options.naive_joins = value.as_bool().ok_or("\"naive_joins\" must be a boolean")?;
             }
+            "slice" => {
+                options.slice = value.as_bool().ok_or("\"slice\" must be a boolean")?;
+            }
             "state_store" => {
                 options.state_store =
                     match value.as_str() {
@@ -688,6 +698,7 @@ pub fn options_to_json(options: &VerifyOptions) -> Json {
     pairs.push(("heuristic2", Json::from(options.heuristic2)));
     pairs.push(("use_plans", Json::from(options.use_plans)));
     pairs.push(("naive_joins", Json::from(options.naive_joins)));
+    pairs.push(("slice", Json::from(options.slice)));
     pairs.push((
         "pruning",
         Json::from(match options.pruning {
@@ -1047,6 +1058,7 @@ mod tests {
             heuristic2: false,
             use_plans: false,
             naive_joins: true,
+            slice: false,
             pruning: wave_core::ExtensionPruning::PaperStrict,
             param_mode: wave_core::ParamMode::ExhaustiveEquality,
             state_store: wave_core::StateStoreKind::Tiered(wave_core::TierParams {

@@ -74,8 +74,8 @@ usage:
   wave trace summarize <trace.jsonl> [--top <k>]
   wave prof flame <profile.json>
   wave bench --record | --check | --trend | --backfill
-             [--out <file>] [--query-out <file>] [--ledger <file>]
-             [--max-regress <pct>]
+             [--out <file>] [--query-out <file>] [--slice-out <file>]
+             [--ledger <file>] [--max-regress <pct>]
 
 check options:
   --max-steps <n>         global configuration budget (shared across workers)
@@ -90,6 +90,9 @@ check options:
   --byte-keys             byte-keyed visit sets (interning ablation baseline)
   --naive-joins           nested-loop joins, no query memo (planner ablation
                           baseline; verdicts and statistics are unchanged)
+  --no-slice              disable cone-of-influence property slicing
+                          (dataflow ablation baseline; verdicts, traces,
+                          and deterministic counters are unchanged)
   --store <kind>          visited-state store: interned (default), byte, or
                           tiered (Bloom front + bounded hot tier + disk spill)
   --store-mem-mb <m>      tiered only: hot-tier byte budget in MiB (default 64)
@@ -122,7 +125,10 @@ lint options:
                           anything else is inline text (repeatable)
   --format <fmt>          text (default), json, or sarif (SARIF 2.1.0)
   --deny warnings         treat every warning as an error
-  --allow <CODE>          suppress a warning code, e.g. W0301 (repeatable)
+  --allow <CODE>          suppress a warning or note code, e.g. W0301
+                          (repeatable; hard errors cannot be allowed)
+  --explain <CODE>        print the full description and remediation notes
+                          for a diagnostic code and exit (no spec needed)
 
 cache options (batch and serve):
   --cache-dir <dir>       on-disk result cache
@@ -145,10 +151,12 @@ lease); exits when the dispatcher says bye
                           run command — a worker killed mid-unit
                           (fault injection)
 
-bench: --record runs the E1–E4 property suites twice — on the tiered
-store at a generous and a forced-spill memory budget (BENCH_store.json,
---out overrides) and with the query engine on/off (BENCH_query.json,
---query-out overrides) — writing deterministic columns plus
+bench: --record runs the E1–E4 property suites on the tiered store at a
+generous and a forced-spill memory budget (BENCH_store.json, --out
+overrides) and with the query engine on/off (BENCH_query.json,
+--query-out overrides), plus a dead-code-heavy slice workload with
+property slicing on/off (BENCH_slice.json, --slice-out overrides) —
+writing deterministic columns plus
 informational per-phase wall-time and memo/intern hit-rate columns,
 and appends one run-ledger entry per bench (LEDGER.jsonl, --ledger
 overrides) keyed by git revision and suite fingerprint; --check
@@ -254,6 +262,9 @@ fn cmd_check(rest: &[String]) -> ExitCode {
     }
     if take_flag(&mut args, "--naive-joins") {
         options.naive_joins = true;
+    }
+    if take_flag(&mut args, "--no-slice") {
+        options.slice = false;
     }
     let store_mem_mb = take_value(&mut args, "--store-mem-mb");
     let spill_dir = take_value(&mut args, "--spill-dir");
@@ -690,6 +701,24 @@ fn print_attribution_table(
 /// `--deny warnings` promotes them; error-level findings exit 1.
 fn cmd_lint(rest: &[String]) -> ExitCode {
     let mut args = rest.to_vec();
+    // `--explain CODE` is a documentation lookup, not a lint run: it
+    // needs no spec file and ignores every other flag.
+    if let Some(code) = take_value(&mut args, "--explain") {
+        let code = code.to_ascii_uppercase();
+        match (wave_lint::code_severity(&code), wave_lint::code_explanation(&code)) {
+            (Some(severity), Some(explanation)) => {
+                let desc = wave_lint::code_description(&code).unwrap_or_default();
+                println!("{code} ({severity}): {desc}");
+                println!();
+                println!("{explanation}");
+                return ExitCode::SUCCESS;
+            }
+            _ => {
+                eprintln!("--explain {code}: not a registered diagnostic code");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let mut properties = Vec::new();
     while let Some(p) = take_value(&mut args, "--property") {
         // a value naming a readable file is loaded from disk; anything
@@ -724,7 +753,7 @@ fn cmd_lint(rest: &[String]) -> ExitCode {
     }
     while let Some(code) = take_value(&mut args, "--allow") {
         match wave_lint::code_severity(&code) {
-            Some(wave_lint::Severity::Warning) => {
+            Some(wave_lint::Severity::Note | wave_lint::Severity::Warning) => {
                 config.allow.insert(code);
             }
             Some(wave_lint::Severity::Error) => {
@@ -1366,6 +1395,9 @@ fn bench_measured(v: &wave::Verification) -> Vec<(&'static str, wave_svc::Json)>
         ("intern_hit_rate", opt(p.intern_hit_rate())),
         ("memo_hit_rate", opt(p.memo_hit_rate())),
         ("join_builds", Json::from(p.join_builds)),
+        ("slice_rules_removed", Json::from(p.slice_rules_removed)),
+        ("slice_relations_removed", Json::from(p.slice_relations_removed)),
+        ("flow_dead_rules", Json::from(p.flow_dead_rules)),
         ("elapsed_ms", Json::from(v.stats.elapsed.as_secs_f64() * 1e3)),
     ]
 }
@@ -1476,6 +1508,107 @@ fn bench_query_rows() -> Result<Vec<wave_svc::Json>, String> {
     Ok(rows)
 }
 
+/// Default output of the slice bench — committed at the repo root next
+/// to [`BENCH_FILE`], same freshness gate.
+const BENCH_SLICE_FILE: &str = "BENCH_slice.json";
+
+/// Deterministic columns of the slice bench. Identical between
+/// `slice=on` and `slice=off` rows of one property — the slice is
+/// runtime-inert (DESIGN.md §14) — so the drift gate doubles as an
+/// equivalence check on the committed file. The slice counters are
+/// measured columns: they differ between the modes by design.
+const BENCH_SLICE_DETERMINISTIC_KEYS: [&str; 9] = [
+    "suite",
+    "prop",
+    "slice",
+    "verdict",
+    "configs",
+    "cores",
+    "assignments",
+    "max_run_len",
+    "max_trie",
+];
+
+/// Dead delete rules stamped per page into the slice bench spec.
+const SLICE_BENCH_DEAD_RULES: usize = 6;
+
+/// The slice bench workload: a programmatically generated spec whose
+/// live core is a two-page navigation loop growing `seen`/`log`, plus
+/// statically dead freight for the slice to remove — a value-set-refuted
+/// `ghost` writer, a `mirror` relation fed only by `ghost`, per-page
+/// batches of refuted delete rules (so both pages take the monotone
+/// fast path once sliced), and a `Limbo` page reachable only through a
+/// refuted edge.
+fn slice_bench_spec() -> String {
+    let mut s = String::from(
+        "spec slicebench {\n  state { seen(v); log(v); ghost(v); mirror(v); }\n  \
+         inputs { pick(v); }\n  home A;\n",
+    );
+    let options = "    options pick(v) <- v = \"a\" | v = \"b\" | v = \"c\";\n";
+    for (page, hop) in [("A", "B"), ("B", "A")] {
+        s.push_str(&format!("  page {page} {{\n    inputs {{ pick }}\n"));
+        s.push_str(options);
+        s.push_str("    insert seen(v) <- pick(v);\n");
+        s.push_str("    insert log(v) <- pick(v) & seen(v);\n");
+        s.push_str("    insert ghost(v) <- pick(v) & v = \"z\";\n");
+        s.push_str("    insert mirror(v) <- ghost(v) & pick(v);\n");
+        for k in 0..SLICE_BENCH_DEAD_RULES {
+            s.push_str(&format!(
+                "    delete log(v) <- seen(v) & pick(v) & v = \"z\" \
+                 & exists w{k}: (seen(w{k}) & log(w{k}));\n"
+            ));
+        }
+        s.push_str("    delete seen(v) <- mirror(v) & pick(v);\n");
+        s.push_str(&format!("    target {hop} <- pick(\"a\");\n"));
+        s.push_str(&format!("    target {page} <- pick(\"b\");\n"));
+        s.push_str("    target Limbo <- ghost(\"z\");\n");
+        s.push_str("  }\n");
+    }
+    s.push_str(
+        "  page Limbo {\n    inputs { pick }\n    options pick(v) <- v = \"a\";\n    \
+         insert log(v) <- pick(v) & exists u: (seen(u) & log(u) & v = u);\n    \
+         target A <- pick(\"a\");\n  }\n}\n",
+    );
+    s
+}
+
+/// The slice bench properties: full-exploration PASS properties (where
+/// per-configuration savings accumulate) plus one violated property.
+const SLICE_BENCH_PROPS: [(&str, &str); 3] =
+    [("S1", "G !ghost(\"z\")"), ("S2", "G (log(\"a\") -> seen(\"a\"))"), ("S3", "G !log(\"c\")")];
+
+/// Run the slice bench with slicing on (`slice=on`) and off
+/// (`slice=off`, the `--no-slice` ablation), one row per (property,
+/// mode).
+fn bench_slice_rows() -> Result<Vec<wave_svc::Json>, String> {
+    use wave_svc::Json;
+    let source = slice_bench_spec();
+    let spec = parse_spec(&source).map_err(|e| format!("slicebench: {e}"))?;
+    let mut rows = Vec::new();
+    for slice in [true, false] {
+        let options = VerifyOptions { slice, ..Default::default() };
+        let verifier = Verifier::with_options(spec.clone(), options)
+            .map_err(|e| format!("slicebench: {e}"))?;
+        for (name, text) in SLICE_BENCH_PROPS {
+            let v = verifier.check_str(text).map_err(|e| format!("slicebench {name}: {e}"))?;
+            let mut pairs = vec![
+                ("suite", Json::from("S")),
+                ("prop", Json::from(name)),
+                ("slice", Json::from(if slice { "on" } else { "off" })),
+                ("verdict", Json::from(bench_verdict(&v))),
+                ("configs", Json::from(v.stats.configs)),
+                ("cores", Json::from(v.stats.cores)),
+                ("assignments", Json::from(v.stats.assignments)),
+                ("max_run_len", Json::from(v.stats.max_run_len)),
+                ("max_trie", Json::from(v.stats.max_trie)),
+            ];
+            pairs.extend(bench_measured(&v));
+            rows.push(Json::obj(pairs));
+        }
+    }
+    Ok(rows)
+}
+
 /// One row per line so `BENCH_store.json` diffs review cleanly.
 fn render_bench(rows: &[wave_svc::Json]) -> String {
     let mut out = String::from("{\"schema\": 1, \"rows\": [\n");
@@ -1509,12 +1642,18 @@ fn bench_drift(out: &str, rows: &[wave_svc::Json], keys: &[&str]) -> Result<usiz
         for &key in keys {
             if old.get(key) != new.get(key) {
                 let tag = |k: &str| new.get(k).map(wave_svc::Json::to_string).unwrap_or_default();
+                let mode = if new.get("mem_mb").is_some() {
+                    "mem_mb"
+                } else if new.get("slice").is_some() {
+                    "slice"
+                } else {
+                    "joins"
+                };
                 eprintln!(
-                    "drift in {}/{} ({}{}): {key} was {}, measured {}",
+                    "drift in {}/{} ({mode}={}): {key} was {}, measured {}",
                     new.get("suite").and_then(wave_svc::Json::as_str).unwrap_or("?"),
                     new.get("prop").and_then(wave_svc::Json::as_str).unwrap_or("?"),
-                    if new.get("mem_mb").is_some() { "mem_mb=" } else { "joins=" },
-                    if new.get("mem_mb").is_some() { tag("mem_mb") } else { tag("joins") },
+                    tag(mode),
                     old.get(key).unwrap_or(&wave_svc::Json::Null),
                     new.get(key).unwrap_or(&wave_svc::Json::Null),
                 );
@@ -1556,6 +1695,11 @@ fn bench_fingerprint() -> String {
             h = fnv1a(h, case.name.as_bytes());
             h = fnv1a(h, case.text.as_bytes());
         }
+    }
+    h = fnv1a(h, slice_bench_spec().as_bytes());
+    for (name, text) in SLICE_BENCH_PROPS {
+        h = fnv1a(h, name.as_bytes());
+        h = fnv1a(h, text.as_bytes());
     }
     format!("{h:016x}")
 }
@@ -1629,12 +1773,15 @@ fn append_ledger(path: &str, entries: &[wave_svc::Json]) -> Result<(), String> {
 fn ledger_row_key(row: &wave_svc::Json) -> String {
     let suite = row.get("suite").and_then(wave_svc::Json::as_str).unwrap_or("?");
     let prop = row.get("prop").and_then(wave_svc::Json::as_str).unwrap_or("?");
-    match row.get("mem_mb").and_then(wave_svc::Json::as_u64) {
-        Some(mb) => format!("{suite}/{prop} @{mb}MiB"),
-        None => format!(
+    if let Some(mb) = row.get("mem_mb").and_then(wave_svc::Json::as_u64) {
+        format!("{suite}/{prop} @{mb}MiB")
+    } else if let Some(mode) = row.get("slice").and_then(wave_svc::Json::as_str) {
+        format!("{suite}/{prop} slice={mode}")
+    } else {
+        format!(
             "{suite}/{prop} joins={}",
             row.get("joins").and_then(wave_svc::Json::as_str).unwrap_or("?")
-        ),
+        )
     }
 }
 
@@ -1684,7 +1831,7 @@ fn bench_trend(ledger: &str) -> ExitCode {
         eprintln!("{ledger}: empty ledger — run `wave bench --record` first");
         return ExitCode::from(1);
     }
-    for kind in ["store", "query"] {
+    for kind in ["store", "query", "slice"] {
         let of_kind: Vec<&wave_svc::Json> = entries
             .iter()
             .filter(|e| e.get("kind").and_then(wave_svc::Json::as_str) == Some(kind))
@@ -1748,7 +1895,7 @@ fn bench_trend(ledger: &str) -> ExitCode {
 
 /// `wave bench --backfill`: seed the ledger from the committed bench
 /// files (no re-run; provenance is recorded as `pre-ledger`).
-fn bench_backfill(ledger: &str, out: &str, query_out: &str) -> ExitCode {
+fn bench_backfill(ledger: &str, out: &str, query_out: &str, slice_out: &str) -> ExitCode {
     use wave_svc::Json;
     let mut entries = Vec::new();
     for (path, kind, knobs) in [
@@ -1764,6 +1911,11 @@ fn bench_backfill(ledger: &str, out: &str, query_out: &str) -> ExitCode {
             query_out,
             "query",
             Json::obj([("modes", Json::Arr(vec![Json::from("opt"), Json::from("naive")]))]),
+        ),
+        (
+            slice_out,
+            "slice",
+            Json::obj([("modes", Json::Arr(vec![Json::from("on"), Json::from("off")]))]),
         ),
     ] {
         let committed = match std::fs::read_to_string(path) {
@@ -1844,6 +1996,8 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
     let out = take_value(&mut args, "--out").unwrap_or_else(|| BENCH_FILE.to_string());
     let query_out =
         take_value(&mut args, "--query-out").unwrap_or_else(|| BENCH_QUERY_FILE.to_string());
+    let slice_out =
+        take_value(&mut args, "--slice-out").unwrap_or_else(|| BENCH_SLICE_FILE.to_string());
     let ledger = take_value(&mut args, "--ledger").unwrap_or_else(|| LEDGER_FILE.to_string());
     let max_regress = match take_value(&mut args, "--max-regress") {
         Some(pct) => match pct.parse::<f64>() {
@@ -1867,7 +2021,7 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
         return bench_trend(&ledger);
     }
     if backfill {
-        return bench_backfill(&ledger, &out, &query_out);
+        return bench_backfill(&ledger, &out, &query_out, &slice_out);
     }
     eprintln!(
         "bench: E1–E4 property suites on the tiered store at {:?} MiB hot-tier budgets",
@@ -1888,8 +2042,18 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    eprintln!("bench: slice workload with property slicing on and off (--no-slice)");
+    let slice_rows = match bench_slice_rows() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
     if record {
-        for (path, rows) in [(&out, &store_rows), (&query_out, &query_rows)] {
+        for (path, rows) in
+            [(&out, &store_rows), (&query_out, &query_rows), (&slice_out, &slice_rows)]
+        {
             if let Err(e) = std::fs::write(path, render_bench(rows)) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::from(2);
@@ -1921,6 +2085,18 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
                 )]),
                 &query_rows,
             ),
+            ledger_entry(
+                "slice",
+                &rev,
+                wave_svc::Json::obj([(
+                    "modes",
+                    wave_svc::Json::Arr(vec![
+                        wave_svc::Json::from("on"),
+                        wave_svc::Json::from("off"),
+                    ]),
+                )]),
+                &slice_rows,
+            ),
         ];
         if let Err(e) = append_ledger(&ledger, &entries) {
             eprintln!("{e}");
@@ -1933,6 +2109,7 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
     for (path, rows, keys) in [
         (&out, &store_rows, &BENCH_DETERMINISTIC_KEYS[..]),
         (&query_out, &query_rows, &BENCH_QUERY_DETERMINISTIC_KEYS[..]),
+        (&slice_out, &slice_rows, &BENCH_SLICE_DETERMINISTIC_KEYS[..]),
     ] {
         match bench_drift(path, rows, keys) {
             Ok(0) => eprintln!("bench: {path} is fresh ({} rows match)", rows.len()),
@@ -1951,7 +2128,7 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
         }
     };
     let mut gate_failed = false;
-    for (kind, rows) in [("store", &store_rows), ("query", &query_rows)] {
+    for (kind, rows) in [("store", &store_rows), ("query", &query_rows), ("slice", &slice_rows)] {
         if let Err(e) = ledger_gate(&ledger_entries, kind, rows, max_regress) {
             eprintln!("{e}");
             gate_failed = true;

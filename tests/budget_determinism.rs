@@ -21,6 +21,7 @@ fn budgeted(max_steps: u64) -> VerifyOptions {
         max_steps: Some(max_steps),
         state_store: test_store(),
         naive_joins: test_naive_joins(),
+        slice: test_slice(),
         ..Default::default()
     }
 }
@@ -30,6 +31,13 @@ fn budgeted(max_steps: u64) -> VerifyOptions {
 /// with and without the plan optimizer and result memo.
 fn test_naive_joins() -> bool {
     std::env::var("WAVE_TEST_JOINS").as_deref() == Ok("naive")
+}
+
+/// The slice setting under test: on by default, off when the CI matrix
+/// sets `WAVE_TEST_SLICE=off`. Budget determinism must hold with and
+/// without the dataflow slice.
+fn test_slice() -> bool {
+    std::env::var("WAVE_TEST_SLICE").as_deref() != Ok("off")
 }
 
 /// The store backend under test: interned by default, or the tiered

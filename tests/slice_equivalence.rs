@@ -1,0 +1,230 @@
+//! Slice equivalence suite (ISSUE 10): cone-of-influence property
+//! slicing — dead-rule skipping, flow-refuted page pruning, memo-mask
+//! narrowing, and the monotone delete fast path — must be runtime-inert.
+//! Same verdicts, same deterministic search counters, byte-identical
+//! counterexample renderings, with the slice on or off, across every
+//! property of all four benchmark applications and on a deliberately
+//! dirty spec where the slice actually removes work.
+//!
+//! `WAVE_TEST_SLICE=off` (the CI matrix leg) flips the *default* side
+//! of each comparison to the ablation too, so the whole integration
+//! test binary also runs green with slicing disabled.
+
+use wave::apps::AppSuite;
+use wave::{Verdict, Verifier, VerifyOptions};
+
+/// Heavyweights excluded from the *debug* sweeps, mirroring
+/// `query_engine.rs` — release runs and the CI bench gate cover them.
+#[cfg(debug_assertions)]
+const SWEEP_EXCLUDE: [(&str, &str); 3] = [("E1", "P5"), ("E1", "P7"), ("E3", "R9")];
+#[cfg(not(debug_assertions))]
+const SWEEP_EXCLUDE: [(&str, &str); 0] = [];
+
+fn suite(name: &str) -> AppSuite {
+    match name {
+        "E1" => wave::apps::e1::suite(),
+        "E2" => wave::apps::e2::suite(),
+        "E3" => wave::apps::e3::suite(),
+        "E4" => wave::apps::e4::suite(),
+        other => panic!("unknown suite {other}"),
+    }
+}
+
+/// Everything the search determines about one property: verdict shape,
+/// the deterministic stats columns, and the rendered counterexample.
+/// The memo hit/miss split and the slice counters are deliberately
+/// absent — mask narrowing may legally shift hits, and the slice
+/// counters *describe* the ablation rather than the result.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    name: String,
+    verdict: String,
+    configs: u64,
+    cores: u64,
+    assignments: u64,
+    max_trie: usize,
+    max_run_len: usize,
+    counterexample: Option<String>,
+}
+
+/// `(outcomes, total rules removed, total dead rules)` for the selected
+/// properties with the given slice setting.
+fn run(suite: &AppSuite, names: &[&str], slice: bool) -> (Vec<Outcome>, u64, u64) {
+    let options = VerifyOptions { slice, ..Default::default() };
+    let verifier = Verifier::with_options(suite.spec.clone(), options).expect("suite compiles");
+    let mut outcomes = Vec::new();
+    let (mut removed, mut dead) = (0, 0);
+    for case in &suite.properties {
+        if !names.contains(&case.name) {
+            continue;
+        }
+        let v = verifier.check_str(&case.text).expect("check runs");
+        removed += v.stats.profile.slice_rules_removed;
+        dead += v.stats.profile.flow_dead_rules;
+        outcomes.push(Outcome {
+            name: case.name.to_string(),
+            verdict: match &v.verdict {
+                Verdict::Holds => "holds".into(),
+                Verdict::Violated(_) => "violated".into(),
+                Verdict::Unknown(b) => format!("unknown({b:?})"),
+            },
+            configs: v.stats.configs,
+            cores: v.stats.cores,
+            assignments: v.stats.assignments,
+            max_trie: v.stats.max_trie,
+            max_run_len: v.stats.max_run_len,
+            counterexample: match &v.verdict {
+                Verdict::Violated(ce) => Some(verifier.render_counterexample(ce)),
+                _ => None,
+            },
+        });
+    }
+    (outcomes, removed, dead)
+}
+
+/// When the CI matrix sets `WAVE_TEST_SLICE=off`, even the "default"
+/// side of each comparison runs the ablation.
+fn default_is_unsliced() -> bool {
+    std::env::var("WAVE_TEST_SLICE").as_deref() == Ok("off")
+}
+
+fn sliced_matches_unsliced_everywhere(name: &str) {
+    let suite = suite(name);
+    let excluded: Vec<&str> =
+        SWEEP_EXCLUDE.iter().filter(|(s, _)| *s == name).map(|(_, prop)| *prop).collect();
+    let names: Vec<&str> =
+        suite.properties.iter().map(|c| c.name).filter(|n| !excluded.contains(n)).collect();
+    let (sliced, _, _) = run(&suite, &names, !default_is_unsliced());
+    let (unsliced, removed, dead) = run(&suite, &names, false);
+    assert_eq!(sliced.len(), names.len());
+    assert_eq!(sliced, unsliced, "{name}: slicing changed an observable result");
+    assert_eq!(removed, 0, "{name}: the ablation must not slice");
+    assert_eq!(dead, 0, "{name}: the ablation must not report dead rules");
+}
+
+#[test]
+fn e1_sliced_matches_unsliced_on_every_property() {
+    sliced_matches_unsliced_everywhere("E1");
+}
+
+#[test]
+fn e2_sliced_matches_unsliced_on_every_property() {
+    sliced_matches_unsliced_everywhere("E2");
+}
+
+#[test]
+fn e3_sliced_matches_unsliced_on_every_property() {
+    sliced_matches_unsliced_everywhere("E3");
+}
+
+#[test]
+fn e4_sliced_matches_unsliced_on_every_property() {
+    sliced_matches_unsliced_everywhere("E4");
+}
+
+/// A spec where the slice has real work to do: a dead insert (value-set
+/// refuted), a dead delete (reads an always-empty relation) whose
+/// removal unlocks the monotone fast path on every page, a flow-refuted
+/// page, and a mask-narrowed target. Every property must come out
+/// byte-identical with the slice on and off, and the sliced run must
+/// actually report removals.
+const DIRTY: &str = r#"
+    spec dirty {
+      state { log(entry); ghost(x); }
+      inputs { pick(choice); }
+      home A;
+      page A {
+        inputs { pick }
+        options pick(c) <- c = "go" | c = "stay";
+        insert log(c) <- pick(c);
+        insert ghost(c) <- pick(c) & c = "teleport";
+        delete log(c) <- ghost(c) & pick(c);
+        target B <- pick("go");
+        target Ghost <- ghost("x");
+      }
+      page B {
+        inputs { pick }
+        options pick(c) <- c = "go" | c = "back";
+        target A <- pick("back");
+      }
+      page Ghost {
+        inputs { pick }
+        options pick(c) <- c = "go";
+        target A <- pick("go");
+      }
+    }
+"#;
+
+#[test]
+fn dirty_spec_slices_hard_and_stays_byte_identical() {
+    let spec = wave::parse_spec(DIRTY).expect("dirty spec parses");
+    let properties = [
+        ("ghost-page", "G !@Ghost"),       // holds: page is flow-unreachable
+        ("ghost-rel", "G !ghost(\"x\")"),  // holds: relation is always empty
+        ("log-grows", "G !log(\"stay\")"), // violated: log(\"stay\") is reachable
+        ("back-home", "G (@B -> F @A)"),   // violated: can stay on B forever
+    ];
+    let mut sides = Vec::new();
+    for slice in [true, false] {
+        let options = VerifyOptions { slice, ..Default::default() };
+        let verifier = Verifier::with_options(spec.clone(), options).expect("compiles");
+        let mut outcomes = Vec::new();
+        let (mut removed, mut relations, mut dead) = (0, 0, 0);
+        for (name, text) in &properties {
+            let v = verifier.check_str(text).expect("check runs");
+            removed = v.stats.profile.slice_rules_removed;
+            relations = v.stats.profile.slice_relations_removed;
+            dead = v.stats.profile.flow_dead_rules;
+            outcomes.push(Outcome {
+                name: (*name).to_string(),
+                verdict: match &v.verdict {
+                    Verdict::Holds => "holds".into(),
+                    Verdict::Violated(_) => "violated".into(),
+                    Verdict::Unknown(b) => format!("unknown({b:?})"),
+                },
+                configs: v.stats.configs,
+                cores: v.stats.cores,
+                assignments: v.stats.assignments,
+                max_trie: v.stats.max_trie,
+                max_run_len: v.stats.max_run_len,
+                counterexample: match &v.verdict {
+                    Verdict::Violated(ce) => Some(verifier.render_counterexample(ce)),
+                    _ => None,
+                },
+            });
+        }
+        sides.push((outcomes, removed, relations, dead));
+    }
+    let (sliced, unsliced) = (&sides[0], &sides[1]);
+    assert_eq!(sliced.0, unsliced.0, "slicing changed an observable result on the dirty spec");
+    assert_eq!(sliced.0[0].verdict, "holds");
+    assert_eq!(sliced.0[2].verdict, "violated");
+    // the slice did real work (dead insert + dead delete + dead target,
+    // plus both rules on the unreachable Ghost page)...
+    assert!(sliced.1 >= 3, "rules removed: {}", sliced.1);
+    assert_eq!(sliced.2, 1, "ghost is the one always-empty relation");
+    assert!(sliced.3 >= 3, "dead rules: {}", sliced.3);
+    // ...and the ablation reported none of it
+    assert_eq!((unsliced.1, unsliced.2, unsliced.3), (0, 0, 0));
+}
+
+/// The interpreter baseline honors the slice too (liveness is checked
+/// before rule evaluation, not inside the plan runner), so it stays
+/// equivalent under both settings as well.
+#[test]
+fn interpret_mode_is_sliced_and_equivalent_too() {
+    let spec = wave::parse_spec(DIRTY).expect("dirty spec parses");
+    let mut verdicts = Vec::new();
+    for slice in [true, false] {
+        let options = VerifyOptions { use_plans: false, slice, ..Default::default() };
+        let verifier = Verifier::with_options(spec.clone(), options).expect("compiles");
+        let v = verifier.check_str("G !log(\"stay\")").expect("check runs");
+        verdicts.push((
+            matches!(v.verdict, Verdict::Violated(_)),
+            v.stats.configs,
+            v.stats.cores,
+            v.stats.assignments,
+        ));
+    }
+    assert_eq!(verdicts[0], verdicts[1]);
+}
